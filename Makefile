@@ -1,0 +1,56 @@
+# Reliable Object Storage — development targets.
+
+GO ?= go
+
+.PHONY: all build test race cover bench bench-save fuzz soak examples tables figures clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./internal/... .
+
+bench:
+	$(GO) test -bench . -benchmem -benchtime 50x .
+	$(GO) test -bench . -benchtime 100x ./internal/stablelog/ ./internal/value/
+
+# Regenerate the committed outputs (test_output.txt, bench_output.txt).
+bench-save:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzUnflatten -fuzztime 30s ./internal/value/
+	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime 30s ./internal/logrec/
+
+# Crash-injection soak across all backends, single-node + distributed.
+soak:
+	$(GO) run ./cmd/roscrash -steps 2000 -seeds 5
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/banking
+	$(GO) run ./examples/reservations
+	$(GO) run ./examples/comparison
+	$(GO) run ./examples/directory
+	rm -rf /tmp/ros-example-data && $(GO) run ./examples/persistent /tmp/ros-example-data
+
+# The experiment tables of EXPERIMENTS.md.
+tables:
+	$(GO) run ./cmd/rosbench
+
+# The thesis's log-scenario figures.
+figures:
+	$(GO) run ./cmd/roslog -figure all
+
+clean:
+	rm -rf ros-data

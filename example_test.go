@@ -1,0 +1,111 @@
+package ros_test
+
+import (
+	"fmt"
+	"log"
+
+	ros "repro"
+)
+
+// The basic life cycle: bind a stable variable inside an action, crash,
+// recover.
+func Example() {
+	g, err := ros.NewGuardian(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := g.Begin()
+	acct, _ := a.NewAtomic(ros.Int(100))
+	if err := a.SetVar("account", acct); err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	g.Crash()
+	g, err = ros.Recover(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recovered, _ := g.VarAtomic("account")
+	fmt.Println(ros.ValueString(recovered.Base()))
+	// Output: 100
+}
+
+// RunAtomic wraps the begin/commit/abort-and-retry loop.
+func ExampleRunAtomic() {
+	g, _ := ros.NewGuardian(1)
+	err := ros.RunAtomic(g, 3, func(a *ros.Action) error {
+		c, err := a.NewAtomic(ros.Int(41))
+		if err != nil {
+			return err
+		}
+		return a.SetVar("answer", c)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = ros.RunAtomic(g, 3, func(a *ros.Action) error {
+		c, _ := g.VarAtomic("answer")
+		return a.Update(c, func(v ros.Value) ros.Value {
+			return ros.Int(int64(v.(ros.Int)) + 1)
+		})
+	})
+	c, _ := g.VarAtomic("answer")
+	fmt.Println(ros.ValueString(c.Base()))
+	// Output: 42
+}
+
+// Handlers spread an action to other guardians; CommitSpread commits it
+// with two-phase commit over the participants the calls reached.
+func ExampleCall() {
+	net := ros.NewNetwork()
+	alpha, _ := ros.NewGuardian(1)
+	beta, _ := ros.NewGuardian(2)
+	_ = ros.RunAtomic(beta, 1, func(a *ros.Action) error {
+		c, _ := a.NewAtomic(ros.Int(0))
+		return a.SetVar("inbox", c)
+	})
+	beta.RegisterHandler("send", func(sub *ros.Sub, arg ros.Value) (ros.Value, error) {
+		inbox, _ := beta.VarAtomic("inbox")
+		if err := sub.Update(inbox, func(v ros.Value) ros.Value {
+			return ros.Int(int64(v.(ros.Int)) + int64(arg.(ros.Int)))
+		}); err != nil {
+			return nil, err
+		}
+		return sub.Read(inbox)
+	})
+
+	a := alpha.Begin()
+	got, err := ros.Call(net, a, beta, "send", ros.Int(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ros.CommitSpread(net, a); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ros.ValueString(got))
+	// Output: 7
+}
+
+// Housekeeping keeps recovery fast no matter how long the history is.
+func ExampleGuardian_Housekeep() {
+	g, _ := ros.NewGuardian(1)
+	_ = ros.RunAtomic(g, 1, func(a *ros.Action) error {
+		c, _ := a.NewAtomic(ros.Int(0))
+		return a.SetVar("n", c)
+	})
+	for i := 0; i < 100; i++ {
+		_ = ros.RunAtomic(g, 1, func(a *ros.Action) error {
+			c, _ := g.VarAtomic("n")
+			return a.Set(c, ros.Int(int64(i)))
+		})
+	}
+	stats, err := g.Housekeep(ros.Snapshot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("live objects copied:", stats.ObjectsCopied)
+	// Output: live objects copied: 2
+}

@@ -1,0 +1,120 @@
+// Banking: a distributed funds transfer between two bank guardians
+// under two-phase commit (thesis §2.2), including the interesting
+// failure: the receiving bank crashes after preparing, recovers in
+// doubt, and queries the coordinator for the verdict (§2.2.2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ros "repro"
+)
+
+func openBank(id ros.GuardianID, name string, balance int64) (*ros.Guardian, *ros.Atomic) {
+	g, err := ros.NewGuardian(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := g.Begin()
+	acct, err := a.NewAtomic(ros.Int(balance))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.SetVar("vault", acct); err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s opens with balance %d\n", name, balance)
+	return g, acct
+}
+
+func balances(east, west *ros.Guardian) (int64, int64) {
+	e, _ := east.VarAtomic("vault")
+	w, _ := west.VarAtomic("vault")
+	return int64(e.Base().(ros.Int)), int64(w.Base().(ros.Int))
+}
+
+func main() {
+	net := ros.NewNetwork()
+	east, eastVault := openBank(1, "bank-east", 1000)
+	west, westVault := openBank(2, "bank-west", 200)
+
+	// --- A clean distributed transfer -----------------------------------
+	xfer := east.Begin() // east coordinates
+	branch := west.Join(xfer.ID())
+	const amount = 300
+	if err := xfer.Update(eastVault, func(v ros.Value) ros.Value {
+		return ros.Int(int64(v.(ros.Int)) - amount)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := branch.Update(westVault, func(v ros.Value) ros.Value {
+		return ros.Int(int64(v.(ros.Int)) + amount)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := ros.CommitDistributed(net, east, xfer, west)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, w := balances(east, west)
+	fmt.Printf("transfer of %d: outcome=%v done=%v; balances east=%d west=%d\n",
+		amount, res.Outcome, res.Done, e, w)
+
+	// --- The hard case: participant crashes between prepare and commit ---
+	xfer2 := east.Begin()
+	branch2 := west.Join(xfer2.ID())
+	if err := xfer2.Update(eastVault, func(v ros.Value) ros.Value {
+		return ros.Int(int64(v.(ros.Int)) - 100)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	wv, _ := west.VarAtomic("vault")
+	if err := branch2.Update(wv, func(v ros.Value) ros.Value {
+		return ros.Int(int64(v.(ros.Int)) + 100)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive phase one by hand so we can crash west at the worst moment.
+	if _, err := east.HandlePrepare(xfer2.ID()); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := west.HandlePrepare(xfer2.ID()); err != nil {
+		log.Fatal(err)
+	}
+	// The coordinator writes its committing record: the point of no
+	// return (§2.2.3). The action IS committed, even though west is
+	// about to crash without hearing the verdict.
+	if err := east.Committing(xfer2.ID(), []ros.GuardianID{east.ID(), west.ID()}); err != nil {
+		log.Fatal(err)
+	}
+	if err := east.HandleCommit(xfer2.ID()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bank-west crashes after preparing...")
+	west.Crash()
+
+	// West recovers: the prepared action is in doubt, its write locks
+	// restored, awaiting the verdict.
+	west, err = ros.Recover(west)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bank-west recovered; in-doubt actions: %v\n", west.InDoubt())
+
+	// The participant queries the coordinator and learns the commit.
+	if err := ros.ResolveInDoubt(net, west, map[ros.GuardianID]*ros.Guardian{east.ID(): east}); err != nil {
+		log.Fatal(err)
+	}
+	// The coordinator finishes phase two when west responds.
+	if _, err := ros.CompleteDistributed(net, east, xfer2.ID(), east, west); err != nil {
+		log.Fatal(err)
+	}
+	e, w = balances(east, west)
+	fmt.Printf("after recovery and resolution: east=%d west=%d (sum %d, money conserved)\n",
+		e, w, e+w)
+}

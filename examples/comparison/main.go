@@ -1,0 +1,96 @@
+// Comparison: the three stable-storage organizations side by side on
+// the same workload — the thesis's §1.2.2 trade-off made visible:
+//
+//	log       ⇒ fast writing, but slow recovery
+//	shadowing ⇒ slow writing, but fast recovery
+//	hybrid    ⇒ writing almost as fast as the log, recovery in between
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	ros "repro"
+)
+
+const (
+	liveObjects = 128
+	commits     = 400
+)
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "organization\tcommit µs (avg)\tstable bytes\trecovery µs\tstate ok")
+	for _, backend := range []ros.Backend{ros.SimpleLog, ros.HybridLog, ros.Shadowing} {
+		commitUS, bytes, recoverUS, ok := run(backend)
+		fmt.Fprintf(w, "%v\t%.1f\t%d\t%.0f\t%v\n", backend, commitUS, bytes, recoverUS, ok)
+	}
+	w.Flush()
+	fmt.Println("\nThe shape to see (thesis §1.2.2, §4.1):")
+	fmt.Println("  - shadowing's commit cost is the worst: it rewrites the whole object map each time;")
+	fmt.Println("  - its recovery is the best: the map points straight at every live object;")
+	fmt.Println("  - the logs write fast; the hybrid log recovers faster than the simple log")
+	fmt.Println("    because it follows the outcome-entry chain instead of reading every entry.")
+}
+
+func run(backend ros.Backend) (commitUS float64, logBytes uint64, recoverUS float64, ok bool) {
+	g, err := ros.NewGuardian(1, ros.WithBackend(backend))
+	if err != nil {
+		log.Fatal(err)
+	}
+	setup := g.Begin()
+	objs := make([]*ros.Atomic, liveObjects)
+	for i := range objs {
+		o, err := setup.NewAtomic(ros.Int(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := setup.SetVar(fmt.Sprintf("o%d", i), o); err != nil {
+			log.Fatal(err)
+		}
+		objs[i] = o
+	}
+	if err := setup.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	for i := 0; i < commits; i++ {
+		a := g.Begin()
+		for j := 0; j < 2; j++ {
+			if err := a.Update(objs[(i+j)%liveObjects], func(v ros.Value) ros.Value {
+				return ros.Int(int64(v.(ros.Int)) + 1)
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := a.Commit(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	commitUS = float64(time.Since(start).Microseconds()) / commits
+	logBytes = g.RS().LogBytes()
+
+	g.Crash()
+	start = time.Now()
+	g, err = ros.Recover(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recoverUS = float64(time.Since(start).Microseconds())
+
+	// Verify the recovered state: each object was incremented twice per
+	// touching commit; just check the total.
+	var total int64
+	for i := 0; i < liveObjects; i++ {
+		o, found := g.VarAtomic(fmt.Sprintf("o%d", i))
+		if !found {
+			return commitUS, logBytes, recoverUS, false
+		}
+		total += int64(o.Base().(ros.Int))
+	}
+	return commitUS, logBytes, recoverUS, total == commits*2
+}

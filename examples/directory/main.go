@@ -1,0 +1,144 @@
+// Directory: a replicated name-service built on guardian handlers
+// (thesis §2.1) and subactions. A front guardian accepts bind requests
+// and fans them out to two replica guardians through handler calls;
+// one top-level action updates all three or none. A replica crash
+// during commit is resolved through the coordinator query path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ros "repro"
+)
+
+// newReplica builds a guardian holding a name→address directory and
+// exposing bind/lookup handlers.
+func newReplica(id ros.GuardianID) *ros.Guardian {
+	g, err := ros.NewGuardian(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	boot := g.Begin()
+	table, err := boot.NewAtomic(ros.NewRecord())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := boot.SetVar("directory", table); err != nil {
+		log.Fatal(err)
+	}
+	if err := boot.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	registerHandlers(g)
+	return g
+}
+
+// registerHandlers installs the replica's external interface. Handlers
+// are volatile state: after a crash the recovered guardian re-runs this
+// (§2.1 — "once the volatile objects have been restored, the guardian
+// ... can respond to new handler calls").
+func registerHandlers(g *ros.Guardian) {
+	g.RegisterHandler("bind", func(sub *ros.Sub, arg ros.Value) (ros.Value, error) {
+		req := arg.(*ros.Record)
+		name := string(req.Fields["name"].(ros.Str))
+		addr := req.Fields["addr"]
+		dir, _ := g.VarAtomic("directory")
+		err := sub.Update(dir, func(v ros.Value) ros.Value {
+			rec := v.(*ros.Record)
+			rec.Fields[name] = addr
+			return rec
+		})
+		return ros.Bool(err == nil), err
+	})
+	g.RegisterHandler("lookup", func(sub *ros.Sub, arg ros.Value) (ros.Value, error) {
+		dir, _ := g.VarAtomic("directory")
+		v, err := sub.Read(dir)
+		if err != nil {
+			return nil, err
+		}
+		name := string(arg.(ros.Str))
+		if addr, ok := v.(*ros.Record).Fields[name]; ok {
+			return addr, nil
+		}
+		return nil, fmt.Errorf("unbound name %q", name)
+	})
+}
+
+func main() {
+	net := ros.NewNetwork()
+	front := newReplica(1)
+	rep2 := newReplica(2)
+	rep3 := newReplica(3)
+	replicas := []*ros.Guardian{front, rep2, rep3}
+
+	// Bind names atomically across all replicas.
+	for i, name := range []string{"alpha", "beta", "gamma"} {
+		a := front.Begin()
+		req := ros.RecordOf("name", ros.Str(name), "addr", ros.Int(int64(9000+i)))
+		ok := true
+		for _, r := range replicas {
+			if _, err := ros.Call(net, a, r, "bind", req); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			if err := a.Abort(); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		// CommitSpread finds the participants reached by the Calls.
+		if _, err := ros.CommitSpread(net, a); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("bound %s on all replicas\n", name)
+	}
+
+	// A replica crashes and recovers: the directory is intact.
+	rep3.Crash()
+	var err error
+	rep3, err = ros.Recover(rep3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	registerHandlers(rep3) // volatile state: handlers come back with the process
+	lookup := front.Begin()
+	addr, err := ros.Call(net, lookup, rep3, "lookup", ros.Str("beta"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := lookup.Abort(); err != nil { // read-only: nothing to keep
+		log.Fatal(err)
+	}
+	fmt.Printf("after replica crash+recovery, beta -> %s on replica 3\n", ros.ValueString(addr))
+
+	// A failed bind (handler error on one replica) leaves no trace.
+	front.RegisterHandler("bind", func(*ros.Sub, ros.Value) (ros.Value, error) {
+		return nil, fmt.Errorf("front replica refuses")
+	})
+	a := front.Begin()
+	failed := false
+	for _, r := range replicas {
+		if _, err := ros.Call(net, a, r, "bind",
+			ros.RecordOf("name", ros.Str("delta"), "addr", ros.Int(9999))); err != nil {
+			failed = true
+			break
+		}
+	}
+	if failed {
+		if err := a.Abort(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	check := front.Begin()
+	if _, err := ros.Call(net, check, rep2, "lookup", ros.Str("delta")); err != nil {
+		fmt.Println("delta correctly unbound everywhere after the failed bind")
+	} else {
+		log.Fatal("delta leaked to a replica")
+	}
+	if err := check.Abort(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+// Persistent: a guardian whose stable storage lives on the real
+// filesystem. Run it repeatedly — the counter keeps incrementing across
+// process restarts, because each run recovers the previous run's
+// stable state from the two-copy page files on disk.
+//
+//	go run ./examples/persistent          # uses ./ros-data
+//	go run ./examples/persistent /tmp/x   # custom directory
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	ros "repro"
+)
+
+func main() {
+	dir := "ros-data"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+
+	vol, err := ros.NewFileVolume(dir, 512, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer vol.Close()
+
+	var g *ros.Guardian
+	if _, statErr := os.Stat(dir + "/gen1-a"); statErr == nil {
+		// A previous run left state behind: recover it.
+		g, err = ros.OpenGuardian(1, vol, ros.HybridLog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("recovered existing guardian from", dir)
+	} else {
+		g, err = ros.NewGuardian(1, ros.WithVolume(vol))
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := g.Begin()
+		c, err := a.NewAtomic(ros.Int(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := a.SetVar("runs", c); err != nil {
+			log.Fatal(err)
+		}
+		if err := a.Commit(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("created new guardian in", dir)
+	}
+
+	counter, ok := g.VarAtomic("runs")
+	if !ok {
+		log.Fatal("runs counter missing")
+	}
+	a := g.Begin()
+	if err := a.Update(counter, func(v ros.Value) ros.Value {
+		return ros.Int(int64(v.(ros.Int)) + 1)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("this program has now run", ros.ValueString(counter.Base()), "time(s)")
+}

@@ -1,0 +1,69 @@
+// Quickstart: a single guardian with one stable variable. Shows the
+// whole life cycle — create, commit actions, abort an action, crash,
+// recover — in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ros "repro"
+)
+
+func main() {
+	// A guardian is a logical node with stable state (thesis §2.1). The
+	// default stable-storage organization is the hybrid log (ch. 4).
+	g, err := ros.NewGuardian(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bind a stable variable inside an atomic action. Only committed
+	// actions change the stable state.
+	a := g.Begin()
+	acct, err := a.NewAtomic(ros.Int(100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.SetVar("account", acct); err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("opened account with balance", ros.ValueString(acct.Base()))
+
+	// A committed update.
+	dep := g.Begin()
+	if err := dep.Update(acct, func(v ros.Value) ros.Value {
+		return ros.Int(int64(v.(ros.Int)) + 50)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := dep.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after deposit:", ros.ValueString(acct.Base()))
+
+	// An aborted update leaves no trace.
+	bad := g.Begin()
+	if err := bad.Set(acct, ros.Int(-1_000_000)); err != nil {
+		log.Fatal(err)
+	}
+	if err := bad.Abort(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after aborted withdrawal:", ros.ValueString(acct.Base()))
+
+	// Crash the node. All volatile state dies; the stable log survives.
+	g.Crash()
+	g, err = ros.Recover(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recovered, ok := g.VarAtomic("account")
+	if !ok {
+		log.Fatal("account lost — this should be impossible")
+	}
+	fmt.Println("after crash and recovery:", ros.ValueString(recovered.Base()))
+}

@@ -1,0 +1,309 @@
+// Package core implements the recovery system of thesis §2.3: the
+// component of each guardian that writes information to stable storage
+// as needed by two-phase commit, restores the guardian's stable state
+// after a crash, and reorganizes stable storage to make recovery more
+// efficient.
+//
+// The recovery system exposes the operations the Argus system calls
+// (§2.3): prepare, commit, abort, committing, done, recovery, and
+// housekeeping — plus write_entry for early prepare (§4.4). Three
+// interchangeable backends realize them:
+//
+//   - BackendSimple: the chapter 3 simple log (the pure-log end of the
+//     organization spectrum — fast writing, slow recovery).
+//   - BackendHybrid: the chapter 4/5 hybrid log (the thesis's
+//     contribution — fast writing and reasonably fast recovery, with
+//     housekeeping).
+//   - BackendShadow: the shadowed-objects scheme of §1.2.1 (slow
+//     writing, fast recovery), the comparison baseline.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hybridlog"
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/shadow"
+	"repro/internal/simplelog"
+	"repro/internal/stablelog"
+)
+
+// Backend selects a stable-storage organization.
+type Backend uint8
+
+const (
+	// BackendSimple is the chapter 3 simple log.
+	BackendSimple Backend = iota + 1
+	// BackendHybrid is the chapter 4 hybrid log (the default).
+	BackendHybrid
+	// BackendShadow is the §1.2.1 shadowing baseline.
+	BackendShadow
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendSimple:
+		return "simple"
+	case BackendHybrid:
+		return "hybrid"
+	case BackendShadow:
+		return "shadow"
+	default:
+		return fmt.Sprintf("backend(%d)", uint8(b))
+	}
+}
+
+// HousekeepKind selects a chapter 5 housekeeping algorithm.
+type HousekeepKind uint8
+
+const (
+	// HousekeepCompact is log compaction (§5.1).
+	HousekeepCompact HousekeepKind = iota + 1
+	// HousekeepSnapshot is the stable-state snapshot (§5.2).
+	HousekeepSnapshot
+)
+
+// ErrUnsupported is returned for operations a backend does not provide
+// (early prepare and housekeeping exist only on the hybrid log).
+var ErrUnsupported = fmt.Errorf("core: operation unsupported by this backend")
+
+// RecoverySystem is the per-guardian interface of thesis §2.3.
+type RecoverySystem interface {
+	// Prepare writes the accessible objects of the MOS and the prepared
+	// record for aid (§2.3 op 1).
+	Prepare(aid ids.ActionID, mos object.MOS) error
+	// Commit writes the committed record (§2.3 op 2).
+	Commit(aid ids.ActionID) error
+	// Abort writes the aborted record (§2.3 op 3).
+	Abort(aid ids.ActionID) error
+	// Committing writes the coordinator's committing record (§2.3 op 4).
+	Committing(aid ids.ActionID, gids []ids.GuardianID) error
+	// Done writes the coordinator's done record (§2.3 op 5).
+	Done(aid ids.ActionID) error
+	// WriteEntry early-prepares the MOS (§4.4), returning the objects
+	// not yet written. Backends without early prepare return
+	// ErrUnsupported.
+	WriteEntry(aid ids.ActionID, mos object.MOS) (object.MOS, error)
+	// Housekeep reorganizes stable storage (§2.3 op 7). Backends
+	// without housekeeping return ErrUnsupported.
+	Housekeep(kind HousekeepKind) (hybridlog.Stats, error)
+	// TrimAS trims the accessibility set by traversing the stable
+	// state and intersecting with the current set (§3.3.3.2).
+	TrimAS()
+	// PAT returns the prepared actions table.
+	PAT() *object.PAT
+	// AS returns the accessibility set.
+	AS() *object.AccessSet
+	// Backend identifies the storage organization.
+	Backend() Backend
+	// LogBytes returns the current stable-log size, and Forces the
+	// number of force operations — the write-cost measures of §1.2.
+	LogBytes() uint64
+	Forces() int
+}
+
+// Recovered is what the recovery operation returns to the Argus system
+// (§2.3 op 6): the reconstructed tables plus a resumed RecoverySystem.
+type Recovered struct {
+	Heap   *object.Heap
+	AS     *object.AccessSet
+	PAT    *object.PAT
+	PT     map[ids.ActionID]simplelog.PartState
+	CT     map[ids.ActionID]simplelog.CoordInfo
+	MaxUID ids.UID
+	// EntriesRead measures recovery cost (entries or records examined).
+	EntriesRead int
+}
+
+// --- hybrid backend ----------------------------------------------------
+
+type hybridRS struct {
+	site *stablelog.Site
+	w    *hybridlog.Writer
+}
+
+// NewHybrid creates a hybrid-log recovery system for a fresh guardian.
+func NewHybrid(site *stablelog.Site, heap *object.Heap) RecoverySystem {
+	return &hybridRS{
+		site: site,
+		w: hybridlog.NewWriter(site.Log(), heap, object.NewAccessSet(),
+			object.NewPAT(), stablelog.NoLSN, nil),
+	}
+}
+
+// RecoverHybrid restores a guardian from its hybrid log after a crash.
+func RecoverHybrid(site *stablelog.Site) (*Recovered, RecoverySystem, error) {
+	t, err := hybridlog.Recover(site.Log())
+	if err != nil {
+		return nil, nil, err
+	}
+	rs := &hybridRS{
+		site: site,
+		w:    hybridlog.NewWriter(site.Log(), t.Heap, t.AS, t.PAT, t.ChainHead, t.MT),
+	}
+	return &Recovered{
+		Heap: t.Heap, AS: t.AS, PAT: t.PAT, PT: t.PT, CT: t.CT,
+		MaxUID: t.MaxUID, EntriesRead: t.OutcomesRead + t.DataRead,
+	}, rs, nil
+}
+
+func (r *hybridRS) Prepare(aid ids.ActionID, mos object.MOS) error { return r.w.Prepare(aid, mos) }
+func (r *hybridRS) Commit(aid ids.ActionID) error                  { return r.w.Commit(aid) }
+func (r *hybridRS) Abort(aid ids.ActionID) error                   { return r.w.Abort(aid) }
+func (r *hybridRS) Committing(aid ids.ActionID, gids []ids.GuardianID) error {
+	return r.w.Committing(aid, gids)
+}
+func (r *hybridRS) Done(aid ids.ActionID) error { return r.w.Done(aid) }
+func (r *hybridRS) WriteEntry(aid ids.ActionID, mos object.MOS) (object.MOS, error) {
+	return r.w.WriteEntry(aid, mos)
+}
+func (r *hybridRS) Housekeep(kind HousekeepKind) (hybridlog.Stats, error) {
+	switch kind {
+	case HousekeepCompact:
+		return r.w.CompactLog(r.site)
+	case HousekeepSnapshot:
+		return r.w.SnapshotLog(r.site)
+	default:
+		return hybridlog.Stats{}, fmt.Errorf("core: unknown housekeeping kind %d", kind)
+	}
+}
+func (r *hybridRS) TrimAS()               { r.w.TrimAS() }
+func (r *hybridRS) PAT() *object.PAT      { return r.w.PAT() }
+func (r *hybridRS) AS() *object.AccessSet { return r.w.AS() }
+func (r *hybridRS) Backend() Backend      { return BackendHybrid }
+func (r *hybridRS) LogBytes() uint64      { return r.w.Log().Size() }
+func (r *hybridRS) Forces() int           { return r.w.Log().Forces() }
+
+// --- simple backend ----------------------------------------------------
+
+type simpleRS struct {
+	site *stablelog.Site
+	w    *simplelog.Writer
+}
+
+// NewSimple creates a simple-log recovery system for a fresh guardian.
+func NewSimple(site *stablelog.Site, heap *object.Heap) RecoverySystem {
+	return &simpleRS{
+		site: site,
+		w:    simplelog.NewWriter(site.Log(), heap, object.NewAccessSet(), object.NewPAT()),
+	}
+}
+
+// RecoverSimple restores a guardian from its simple log after a crash.
+func RecoverSimple(site *stablelog.Site) (*Recovered, RecoverySystem, error) {
+	t, err := simplelog.Recover(site.Log())
+	if err != nil {
+		return nil, nil, err
+	}
+	rs := &simpleRS{
+		site: site,
+		w:    simplelog.NewWriter(site.Log(), t.Heap, t.AS, t.PAT),
+	}
+	return &Recovered{
+		Heap: t.Heap, AS: t.AS, PAT: t.PAT, PT: t.PT, CT: t.CT,
+		MaxUID: t.MaxUID, EntriesRead: t.EntriesRead,
+	}, rs, nil
+}
+
+func (r *simpleRS) Prepare(aid ids.ActionID, mos object.MOS) error { return r.w.Prepare(aid, mos) }
+func (r *simpleRS) Commit(aid ids.ActionID) error                  { return r.w.Commit(aid) }
+func (r *simpleRS) Abort(aid ids.ActionID) error                   { return r.w.Abort(aid) }
+func (r *simpleRS) Committing(aid ids.ActionID, gids []ids.GuardianID) error {
+	return r.w.Committing(aid, gids)
+}
+func (r *simpleRS) Done(aid ids.ActionID) error { return r.w.Done(aid) }
+func (r *simpleRS) WriteEntry(ids.ActionID, object.MOS) (object.MOS, error) {
+	return nil, ErrUnsupported
+}
+func (r *simpleRS) Housekeep(HousekeepKind) (hybridlog.Stats, error) {
+	return hybridlog.Stats{}, ErrUnsupported
+}
+func (r *simpleRS) TrimAS()               { r.w.TrimAS() }
+func (r *simpleRS) PAT() *object.PAT      { return r.w.PAT() }
+func (r *simpleRS) AS() *object.AccessSet { return r.w.AS() }
+func (r *simpleRS) Backend() Backend      { return BackendSimple }
+func (r *simpleRS) LogBytes() uint64      { return r.w.Log().Size() }
+func (r *simpleRS) Forces() int           { return r.w.Log().Forces() }
+
+// --- shadow backend ----------------------------------------------------
+
+type shadowRS struct {
+	s *shadow.Store
+}
+
+// NewShadow creates a shadowing recovery system for a fresh guardian
+// over a volume: generation 1 holds the version area, the root store
+// the installed-map pointer.
+func NewShadow(vol stablelog.Volume, heap *object.Heap) (RecoverySystem, error) {
+	root, err := vol.Root()
+	if err != nil {
+		return nil, err
+	}
+	vsStore, err := vol.Generation(1)
+	if err != nil {
+		return nil, err
+	}
+	return &shadowRS{s: shadow.New(stablelog.New(vsStore), root, heap)}, nil
+}
+
+// RecoverShadow restores a guardian from shadow storage after a crash.
+func RecoverShadow(vol stablelog.Volume) (*Recovered, RecoverySystem, error) {
+	root, err := vol.Root()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := root.Recover(); err != nil {
+		return nil, nil, err
+	}
+	vsStore, err := vol.Generation(1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := vsStore.Recover(); err != nil {
+		return nil, nil, err
+	}
+	vs, err := stablelog.Open(vsStore)
+	if err != nil {
+		return nil, nil, err
+	}
+	t, s, err := shadow.Recover(vs, root)
+	if err != nil {
+		return nil, nil, err
+	}
+	pt := make(map[ids.ActionID]simplelog.PartState)
+	for aid := range t.Prepared {
+		pt[aid] = simplelog.PartPrepared
+	}
+	ct := make(map[ids.ActionID]simplelog.CoordInfo)
+	for aid, gids := range t.Committing {
+		ct[aid] = simplelog.CoordInfo{State: simplelog.CoordCommitting, GIDs: gids}
+	}
+	for aid := range t.Done {
+		ct[aid] = simplelog.CoordInfo{State: simplelog.CoordDone}
+	}
+	return &Recovered{
+		Heap: t.Heap, AS: t.AS, PAT: t.PAT, PT: pt, CT: ct,
+		MaxUID: t.MaxUID, EntriesRead: t.EntriesRead,
+	}, &shadowRS{s: s}, nil
+}
+
+func (r *shadowRS) Prepare(aid ids.ActionID, mos object.MOS) error { return r.s.Prepare(aid, mos) }
+func (r *shadowRS) Commit(aid ids.ActionID) error                  { return r.s.Commit(aid) }
+func (r *shadowRS) Abort(aid ids.ActionID) error                   { return r.s.Abort(aid) }
+func (r *shadowRS) Committing(aid ids.ActionID, gids []ids.GuardianID) error {
+	return r.s.Committing(aid, gids)
+}
+func (r *shadowRS) Done(aid ids.ActionID) error { return r.s.Done(aid) }
+func (r *shadowRS) WriteEntry(ids.ActionID, object.MOS) (object.MOS, error) {
+	return nil, ErrUnsupported
+}
+func (r *shadowRS) Housekeep(HousekeepKind) (hybridlog.Stats, error) {
+	return hybridlog.Stats{}, ErrUnsupported
+}
+func (r *shadowRS) TrimAS()               { r.s.TrimAS() }
+func (r *shadowRS) PAT() *object.PAT      { return r.s.PAT() }
+func (r *shadowRS) AS() *object.AccessSet { return r.s.AS() }
+func (r *shadowRS) Backend() Backend      { return BackendShadow }
+func (r *shadowRS) LogBytes() uint64      { return r.s.Log().Size() }
+func (r *shadowRS) Forces() int           { return r.s.Log().Forces() }

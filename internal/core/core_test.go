@@ -1,0 +1,239 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/simplelog"
+	"repro/internal/stablelog"
+	"repro/internal/value"
+)
+
+var aid = ids.ActionID{Coordinator: 1, Seq: 1}
+
+// newRS builds a fresh recovery system of each flavor with a seeded
+// heap (root + one counter).
+func newRS(t *testing.T, b Backend) (RecoverySystem, *stablelog.MemVolume, *object.Heap, *object.Atomic) {
+	t.Helper()
+	vol := stablelog.NewMemVolume(256)
+	heap := object.NewHeap()
+	counter := object.NewAtomic(2, value.Int(0), ids.NoAction)
+	root := object.NewAtomic(ids.StableVarsUID,
+		value.RecordOf("c", value.Ref{Target: counter}), ids.NoAction)
+	heap.Register(root)
+	heap.Register(counter)
+
+	var rs RecoverySystem
+	var err error
+	switch b {
+	case BackendShadow:
+		rs, err = NewShadow(vol, heap)
+	default:
+		site, serr := stablelog.CreateSite(vol)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if b == BackendSimple {
+			rs = NewSimple(site, heap)
+		} else {
+			rs = NewHybrid(site, heap)
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs, vol, heap, counter
+}
+
+func recover(t *testing.T, b Backend, vol *stablelog.MemVolume) (*Recovered, RecoverySystem) {
+	t.Helper()
+	vol.Crash()
+	vol.Restart()
+	var rec *Recovered
+	var rs RecoverySystem
+	var err error
+	switch b {
+	case BackendShadow:
+		rec, rs, err = RecoverShadow(vol)
+	default:
+		site, serr := stablelog.OpenSite(vol)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if b == BackendSimple {
+			rec, rs, err = RecoverSimple(site)
+		} else {
+			rec, rs, err = RecoverHybrid(site)
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, rs
+}
+
+func TestRoundTripAllBackends(t *testing.T) {
+	for _, b := range []Backend{BackendSimple, BackendHybrid, BackendShadow} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			rs, vol, _, counter := newRS(t, b)
+			if rs.Backend() != b {
+				t.Fatalf("Backend() = %v", rs.Backend())
+			}
+			if err := counter.AcquireWrite(aid); err != nil {
+				t.Fatal(err)
+			}
+			counter.Replace(aid, value.Int(7))
+			if err := rs.Prepare(aid, object.MOS{counter}); err != nil {
+				t.Fatal(err)
+			}
+			if !rs.PAT().Contains(aid) {
+				t.Fatal("prepared action not in PAT")
+			}
+			if err := rs.Committing(aid, []ids.GuardianID{1}); err != nil {
+				t.Fatal(err)
+			}
+			if err := rs.Commit(aid); err != nil {
+				t.Fatal(err)
+			}
+			counter.Commit(aid)
+			if err := rs.Done(aid); err != nil {
+				t.Fatal(err)
+			}
+			if rs.LogBytes() == 0 || rs.Forces() == 0 {
+				t.Fatalf("stats: bytes=%d forces=%d", rs.LogBytes(), rs.Forces())
+			}
+
+			rec, _ := recover(t, b, vol)
+			o, ok := rec.Heap.Lookup(2)
+			if !ok {
+				t.Fatal("counter lost")
+			}
+			if got := o.(*object.Atomic).Base(); !value.Equal(got, value.Int(7)) {
+				t.Fatalf("counter = %s", value.String(got))
+			}
+			// The logs retain the whole action history in the PT; the
+			// shadow scheme resolves commits into the installed map and
+			// keeps only in-doubt actions.
+			if b == BackendShadow {
+				if len(rec.PT) != 0 {
+					t.Fatalf("shadow PT = %v, want only in-doubt actions", rec.PT)
+				}
+			} else if rec.PT[aid] != simplelog.PartCommitted {
+				t.Fatalf("PT = %v", rec.PT)
+			}
+			ci, ok := rec.CT[aid]
+			if !ok || ci.State != simplelog.CoordDone {
+				t.Fatalf("CT = %v", rec.CT)
+			}
+			if rec.EntriesRead == 0 {
+				t.Fatal("recovery read no entries")
+			}
+		})
+	}
+}
+
+func TestAbortAllBackends(t *testing.T) {
+	for _, b := range []Backend{BackendSimple, BackendHybrid, BackendShadow} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			rs, vol, _, counter := newRS(t, b)
+			// First commit the initial state so the counter exists on
+			// stable storage.
+			init := ids.ActionID{Coordinator: 1, Seq: 50}
+			if err := rs.Prepare(init, object.MOS{}); err != nil {
+				t.Fatal(err)
+			}
+			if err := rs.Commit(init); err != nil {
+				t.Fatal(err)
+			}
+			if err := counter.AcquireWrite(aid); err != nil {
+				t.Fatal(err)
+			}
+			counter.Replace(aid, value.Int(99))
+			if err := rs.Prepare(aid, object.MOS{counter}); err != nil {
+				t.Fatal(err)
+			}
+			if err := rs.Abort(aid); err != nil {
+				t.Fatal(err)
+			}
+			counter.Abort(aid)
+			if rs.PAT().Contains(aid) {
+				t.Fatal("aborted action still in PAT")
+			}
+			rec, _ := recover(t, b, vol)
+			o, _ := rec.Heap.Lookup(2)
+			if got := o.(*object.Atomic).Base(); !value.Equal(got, value.Int(0)) {
+				t.Fatalf("counter = %s, want 0", value.String(got))
+			}
+		})
+	}
+}
+
+func TestUnsupportedOperations(t *testing.T) {
+	for _, b := range []Backend{BackendSimple, BackendShadow} {
+		rs, _, _, counter := newRS(t, b)
+		if _, err := rs.WriteEntry(aid, object.MOS{counter}); !errors.Is(err, ErrUnsupported) {
+			t.Fatalf("%v WriteEntry err = %v", b, err)
+		}
+		if _, err := rs.Housekeep(HousekeepCompact); !errors.Is(err, ErrUnsupported) {
+			t.Fatalf("%v Housekeep err = %v", b, err)
+		}
+	}
+}
+
+func TestHybridExtras(t *testing.T) {
+	rs, vol, _, counter := newRS(t, BackendHybrid)
+	init := ids.ActionID{Coordinator: 1, Seq: 50}
+	if err := rs.Prepare(init, object.MOS{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Commit(init); err != nil {
+		t.Fatal(err)
+	}
+	if err := counter.AcquireWrite(aid); err != nil {
+		t.Fatal(err)
+	}
+	counter.Replace(aid, value.Int(3))
+	rest, err := rs.WriteEntry(aid, object.MOS{counter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("rest = %v", rest)
+	}
+	if err := rs.Prepare(aid, object.MOS{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Commit(aid); err != nil {
+		t.Fatal(err)
+	}
+	counter.Commit(aid)
+	for _, kind := range []HousekeepKind{HousekeepCompact, HousekeepSnapshot} {
+		// The hybridRS keeps its own site; housekeeping twice exercises
+		// generation advancing through the interface.
+		if _, err := rs.Housekeep(kind); err != nil {
+			t.Fatalf("housekeep %d: %v", kind, err)
+		}
+	}
+	if _, err := rs.Housekeep(HousekeepKind(99)); err == nil {
+		t.Fatal("unknown housekeeping kind accepted")
+	}
+	rec, _ := recover(t, BackendHybrid, vol)
+	o, _ := rec.Heap.Lookup(2)
+	if got := o.(*object.Atomic).Base(); !value.Equal(got, value.Int(3)) {
+		t.Fatalf("counter = %s", value.String(got))
+	}
+}
+
+func TestBackendStrings(t *testing.T) {
+	if BackendSimple.String() != "simple" || BackendHybrid.String() != "hybrid" ||
+		BackendShadow.String() != "shadow" {
+		t.Fatal("backend strings wrong")
+	}
+	if Backend(42).String() == "" {
+		t.Fatal("unknown backend string empty")
+	}
+}

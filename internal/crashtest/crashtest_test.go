@@ -1,0 +1,88 @@
+package crashtest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSerialOracleNoCrashes: sanity — without crashes, every backend
+// tracks the oracle exactly.
+func TestSerialOracleNoCrashes(t *testing.T) {
+	for _, b := range []core.Backend{core.BackendSimple, core.BackendHybrid, core.BackendShadow} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			res, err := Run(Config{
+				Backend: b, Counters: 5, Steps: 120, Seed: 7, Mutex: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Committed == 0 || res.Aborted == 0 {
+				t.Fatalf("degenerate run: %+v", res)
+			}
+		})
+	}
+}
+
+// TestSerialOracleWithCrashes: the chapter 6 property under clean
+// crashes (between actions) and mid-action device crashes, across all
+// backends and several seeds.
+func TestSerialOracleWithCrashes(t *testing.T) {
+	for _, b := range []core.Backend{core.BackendSimple, core.BackendHybrid, core.BackendShadow} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 6; seed++ {
+				res, err := Run(Config{
+					Backend: b, Counters: 4, Steps: 80, Seed: seed,
+					CrashEvery: 5, Mutex: true,
+				})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if res.Crashes == 0 {
+					t.Fatalf("seed %d: no crashes injected: %+v", seed, res)
+				}
+			}
+		})
+	}
+}
+
+// TestSerialOracleWithHousekeeping: hybrid backend with periodic
+// compaction/snapshot interleaved with crashes.
+func TestSerialOracleWithHousekeeping(t *testing.T) {
+	for seed := int64(10); seed <= 14; seed++ {
+		res, err := Run(Config{
+			Backend: core.BackendHybrid, Counters: 4, Steps: 100, Seed: seed,
+			CrashEvery: 7, HousekeepEvery: 9, Mutex: true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Recoveries == 0 {
+			t.Fatalf("seed %d: no recoveries: %+v", seed, res)
+		}
+	}
+}
+
+// TestLongHaul is a heavier soak run (kept modest for -short).
+func TestLongHaul(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long haul skipped in -short mode")
+	}
+	for _, b := range []core.Backend{core.BackendSimple, core.BackendHybrid, core.BackendShadow} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			cfg := Config{
+				Backend: b, Counters: 8, Steps: 400, Seed: 99,
+				CrashEvery: 6, Mutex: true,
+			}
+			if b == core.BackendHybrid {
+				cfg.HousekeepEvery = 25
+			}
+			if _, err := Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

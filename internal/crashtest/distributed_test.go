@@ -1,0 +1,76 @@
+package crashtest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDistributedNoCrashes(t *testing.T) {
+	for _, b := range []core.Backend{core.BackendSimple, core.BackendHybrid, core.BackendShadow} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			res, err := RunDistributed(DistributedConfig{
+				Backend: b, Guardians: 3, Steps: 60, Seed: 11,
+				InitialBalance: 1000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Committed == 0 {
+				t.Fatalf("degenerate run: %+v", res)
+			}
+		})
+	}
+}
+
+func TestDistributedWithCrashes(t *testing.T) {
+	for _, b := range []core.Backend{core.BackendSimple, core.BackendHybrid, core.BackendShadow} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				res, err := RunDistributed(DistributedConfig{
+					Backend: b, Guardians: 3, Steps: 50, Seed: seed,
+					CrashEvery: 4, InitialBalance: 1000,
+				})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if res.Crashes == 0 {
+					t.Fatalf("seed %d: no crashes: %+v", seed, res)
+				}
+			}
+		})
+	}
+}
+
+func TestDistributedLongHaul(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long haul skipped in -short mode")
+	}
+	res, err := RunDistributed(DistributedConfig{
+		Backend: core.BackendHybrid, Guardians: 5, Steps: 300, Seed: 42,
+		CrashEvery: 5, InitialBalance: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 {
+		t.Fatalf("no in-doubt queries exercised: %+v", res)
+	}
+}
+
+func TestDistributedWithHousekeeping(t *testing.T) {
+	for seed := int64(20); seed <= 23; seed++ {
+		res, err := RunDistributed(DistributedConfig{
+			Backend: core.BackendHybrid, Guardians: 3, Steps: 80, Seed: seed,
+			CrashEvery: 5, HousekeepEvery: 10, InitialBalance: 1000,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Committed == 0 || res.Crashes == 0 {
+			t.Fatalf("seed %d: degenerate: %+v", seed, res)
+		}
+	}
+}

@@ -1,0 +1,438 @@
+package guardian
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/simplelog"
+	"repro/internal/twopc"
+	"repro/internal/value"
+)
+
+// ErrCrashed is returned for operations on a crashed guardian.
+var ErrCrashed = errors.New("guardian: node is down")
+
+// ErrUnknownAction is returned when an operation names an action the
+// guardian does not know (never ran here, aborted locally, or wiped out
+// by a crash, §2.2.2).
+var ErrUnknownAction = errors.New("guardian: unknown action")
+
+// Action is one atomic action's footprint at one guardian. A top-level
+// action is begun at its coordinator guardian with Begin and joined at
+// participant guardians with Join.
+type Action struct {
+	g  *Guardian
+	id ids.ActionID
+}
+
+// Begin starts a new top-level action coordinated by this guardian.
+func (g *Guardian) Begin() *Action {
+	aid := g.aids.Next()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.live[aid] = newActionState()
+	return &Action{g: g, id: aid}
+}
+
+// Join enters an existing action at this guardian (the arrival of a
+// handler call on the action's behalf, §2.1).
+func (g *Guardian) Join(aid ids.ActionID) *Action {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.live[aid]; !ok {
+		g.live[aid] = newActionState()
+	}
+	return &Action{g: g, id: aid}
+}
+
+// ID returns the action identifier.
+func (a *Action) ID() ids.ActionID { return a.id }
+
+func (a *Action) state() (*actionState, error) {
+	a.g.mu.Lock()
+	defer a.g.mu.Unlock()
+	if a.g.crashed {
+		return nil, ErrCrashed
+	}
+	st, ok := a.g.live[a.id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownAction, a.id)
+	}
+	return st, nil
+}
+
+// NewAtomic creates a new built-in atomic object; the creating action
+// holds a read lock on it (§2.4.1).
+func (a *Action) NewAtomic(initial value.Value) (*object.Atomic, error) {
+	st, err := a.state()
+	if err != nil {
+		return nil, err
+	}
+	obj := object.NewAtomic(a.g.uids.Next(), initial, a.id)
+	a.g.heap.Register(obj)
+	a.g.mu.Lock()
+	st.locked[obj.UID()] = obj
+	a.g.mu.Unlock()
+	return obj, nil
+}
+
+// NewMutex creates a new mutex object.
+func (a *Action) NewMutex(initial value.Value) (*object.Mutex, error) {
+	if _, err := a.state(); err != nil {
+		return nil, err
+	}
+	obj := object.NewMutex(a.g.uids.Next(), initial)
+	a.g.heap.Register(obj)
+	return obj, nil
+}
+
+// Read acquires a read lock on obj and returns the version visible to
+// this action.
+func (a *Action) Read(obj *object.Atomic) (value.Value, error) {
+	st, err := a.state()
+	if err != nil {
+		return nil, err
+	}
+	if err := obj.AcquireRead(a.id); err != nil {
+		return nil, err
+	}
+	a.g.mu.Lock()
+	st.locked[obj.UID()] = obj
+	a.g.mu.Unlock()
+	return obj.Value(a.id), nil
+}
+
+// Update acquires a write lock on obj and replaces its current version
+// with fn(old). The object joins the action's modified objects set.
+func (a *Action) Update(obj *object.Atomic, fn func(value.Value) value.Value) error {
+	st, err := a.state()
+	if err != nil {
+		return err
+	}
+	if err := obj.AcquireWrite(a.id); err != nil {
+		return err
+	}
+	if err := obj.Replace(a.id, fn(obj.Value(a.id))); err != nil {
+		return err
+	}
+	a.g.mu.Lock()
+	st.locked[obj.UID()] = obj
+	st.mos[obj.UID()] = obj
+	delete(st.early, obj.UID()) // modified since any early prepare
+	a.g.mu.Unlock()
+	return nil
+}
+
+// Set is Update with a constant new version.
+func (a *Action) Set(obj *object.Atomic, v value.Value) error {
+	return a.Update(obj, func(value.Value) value.Value { return v })
+}
+
+// ReadWait is Read that waits (up to timeout) for a conflicting write
+// lock to be released instead of failing immediately. Argus actions
+// wait for locks; the timeout stands in for deadlock handling.
+func (a *Action) ReadWait(obj *object.Atomic, timeout time.Duration) (value.Value, error) {
+	st, err := a.state()
+	if err != nil {
+		return nil, err
+	}
+	if err := obj.AcquireReadWait(a.id, timeout); err != nil {
+		return nil, err
+	}
+	a.g.mu.Lock()
+	st.locked[obj.UID()] = obj
+	a.g.mu.Unlock()
+	return obj.Value(a.id), nil
+}
+
+// UpdateWait is Update that waits (up to timeout) for conflicting locks
+// instead of failing immediately. On ErrLockTimeout the caller should
+// abort the action and retry (possible deadlock).
+func (a *Action) UpdateWait(obj *object.Atomic, timeout time.Duration, fn func(value.Value) value.Value) error {
+	st, err := a.state()
+	if err != nil {
+		return err
+	}
+	if err := obj.AcquireWriteWait(a.id, timeout); err != nil {
+		return err
+	}
+	if err := obj.Replace(a.id, fn(obj.Value(a.id))); err != nil {
+		return err
+	}
+	a.g.mu.Lock()
+	st.locked[obj.UID()] = obj
+	st.mos[obj.UID()] = obj
+	delete(st.early, obj.UID())
+	a.g.mu.Unlock()
+	return nil
+}
+
+// Seize runs fn while in possession of the mutex object (§2.4.2) and
+// records the modification in the action's MOS.
+func (a *Action) Seize(m *object.Mutex, fn func(value.Value) value.Value) error {
+	st, err := a.state()
+	if err != nil {
+		return err
+	}
+	m.Seize(a.id, fn)
+	a.g.mu.Lock()
+	st.mos[m.UID()] = m
+	delete(st.early, m.UID())
+	a.g.mu.Unlock()
+	return nil
+}
+
+// SetVar binds a stable variable to a recoverable object by modifying
+// the stable-variables root object under this action. The binding
+// becomes permanent when the action commits.
+func (a *Action) SetVar(name string, obj object.Recoverable) error {
+	root, ok := a.g.heap.StableVars()
+	if !ok {
+		return fmt.Errorf("guardian: no stable variables object")
+	}
+	return a.Update(root, func(v value.Value) value.Value {
+		rec, ok := v.(*value.Record)
+		if !ok {
+			rec = value.NewRecord()
+		}
+		rec.Fields[name] = value.Ref{Target: obj}
+		return rec
+	})
+}
+
+// mosList snapshots the action's modified objects, excluding those
+// early-prepared and unmodified since.
+func (a *Action) mosList(st *actionState, includeEarly bool) object.MOS {
+	a.g.mu.Lock()
+	defer a.g.mu.Unlock()
+	mos := make(object.MOS, 0, len(st.mos))
+	for uid, obj := range st.mos {
+		if !includeEarly && st.early[uid] {
+			continue
+		}
+		mos = append(mos, obj)
+	}
+	return mos
+}
+
+// EarlyPrepare writes the action's modified objects to the log ahead of
+// the prepare message (§4.4), so that preparing later only forces the
+// outcome entries. Supported by the hybrid backend.
+func (a *Action) EarlyPrepare() error {
+	st, err := a.state()
+	if err != nil {
+		return err
+	}
+	mos := a.mosList(st, false)
+	rest, err := a.g.rs.WriteEntry(a.id, mos)
+	if err != nil {
+		return err
+	}
+	notWritten := make(map[ids.UID]bool, len(rest))
+	for _, obj := range rest {
+		notWritten[obj.UID()] = true
+	}
+	a.g.mu.Lock()
+	for _, obj := range mos {
+		if !notWritten[obj.UID()] {
+			st.early[obj.UID()] = true
+		}
+	}
+	a.g.mu.Unlock()
+	return nil
+}
+
+// --- participant-side message handlers (twopc.Participant) -------------
+
+// HandlePrepare processes a prepare message (§2.2.2): write the data
+// entries and the prepared record, or vote aborted if the action is
+// unknown here.
+func (g *Guardian) HandlePrepare(aid ids.ActionID) (twopc.Vote, error) {
+	g.mu.Lock()
+	if g.crashed {
+		g.mu.Unlock()
+		return twopc.VoteAborted, ErrCrashed
+	}
+	st, ok := g.live[aid]
+	if !ok {
+		g.mu.Unlock()
+		// "If the action is unknown at the participant (because it
+		// never ran there, was aborted locally, or was wiped out by a
+		// crash), then it replies aborted" (§2.2.2).
+		return twopc.VoteAborted, nil
+	}
+	g.mu.Unlock()
+	// The read-only optimization: a branch that modified nothing (and
+	// early-prepared nothing) writes no records and drops out of phase
+	// two; its read locks are released at once, since no outcome can
+	// affect it.
+	fullMOS := (&Action{g: g, id: aid}).mosList(st, true)
+	if len(fullMOS) == 0 {
+		g.mu.Lock()
+		_, stillLive := g.live[aid]
+		onlyReads := stillLive && len(st.mos) == 0
+		g.mu.Unlock()
+		if onlyReads {
+			g.applyVerdict(aid, false) // releases read locks; no records
+			return twopc.VoteReadOnly, nil
+		}
+	}
+	mos := (&Action{g: g, id: aid}).mosList(st, false)
+	if err := g.rs.Prepare(aid, mos); err != nil {
+		return twopc.VoteAborted, err
+	}
+	g.mu.Lock()
+	st.prepared = true
+	g.pt[aid] = simplelog.PartPrepared
+	g.mu.Unlock()
+	return twopc.VotePrepared, nil
+}
+
+// HandleCommit processes a commit message: force the committed record
+// and install the action's versions in volatile memory.
+func (g *Guardian) HandleCommit(aid ids.ActionID) error {
+	g.mu.Lock()
+	if g.crashed {
+		g.mu.Unlock()
+		return ErrCrashed
+	}
+	g.mu.Unlock()
+	if err := g.rs.Commit(aid); err != nil {
+		return err
+	}
+	g.applyVerdict(aid, true)
+	return nil
+}
+
+// HandleAbort processes an abort message.
+func (g *Guardian) HandleAbort(aid ids.ActionID) error {
+	g.mu.Lock()
+	if g.crashed {
+		g.mu.Unlock()
+		return ErrCrashed
+	}
+	g.mu.Unlock()
+	if err := g.rs.Abort(aid); err != nil {
+		return err
+	}
+	g.applyVerdict(aid, false)
+	return nil
+}
+
+// applyVerdict installs or discards the action's versions and releases
+// its locks. After a crash the action's lock footprint lives only in
+// the recovered objects, so fall back to a heap scan.
+func (g *Guardian) applyVerdict(aid ids.ActionID, commit bool) {
+	g.mu.Lock()
+	st, ok := g.live[aid]
+	if ok {
+		delete(g.live, aid)
+	}
+	if commit {
+		g.pt[aid] = simplelog.PartCommitted
+	} else {
+		g.pt[aid] = simplelog.PartAborted
+	}
+	g.mu.Unlock()
+	apply := func(obj *object.Atomic) {
+		if commit {
+			obj.Commit(aid)
+		} else {
+			obj.Abort(aid)
+		}
+	}
+	if ok {
+		for _, obj := range st.locked {
+			apply(obj)
+		}
+		return
+	}
+	// Recovered guardian: release every lock the recovered objects say
+	// aid holds.
+	for _, uid := range g.heap.UIDs() {
+		if o, found := g.heap.Lookup(uid); found {
+			if at, isAtomic := o.(*object.Atomic); isAtomic {
+				if at.Writer() == aid || at.HoldsRead(aid) {
+					apply(at)
+				}
+			}
+		}
+	}
+}
+
+// --- coordinator-side log (twopc.CoordinatorLog) -----------------------
+
+// Committing forces the committing record: the action's point of no
+// return (§2.2.3).
+func (g *Guardian) Committing(aid ids.ActionID, gids []ids.GuardianID) error {
+	g.mu.Lock()
+	if g.crashed {
+		g.mu.Unlock()
+		return ErrCrashed
+	}
+	g.mu.Unlock()
+	if err := g.rs.Committing(aid, gids); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.ct[aid] = simplelog.CoordInfo{State: simplelog.CoordCommitting, GIDs: gids}
+	g.mu.Unlock()
+	return nil
+}
+
+// Done forces the done record: two-phase commit is over.
+func (g *Guardian) Done(aid ids.ActionID) error {
+	g.mu.Lock()
+	if g.crashed {
+		g.mu.Unlock()
+		return ErrCrashed
+	}
+	g.mu.Unlock()
+	if err := g.rs.Done(aid); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.ct[aid] = simplelog.CoordInfo{State: simplelog.CoordDone}
+	g.mu.Unlock()
+	return nil
+}
+
+// --- local commitment ---------------------------------------------------
+
+// Commit commits a top-level action whose only participant is its own
+// guardian: the full §2.2 sequence with coordinator == participant.
+func (a *Action) Commit() error {
+	if _, err := a.state(); err != nil {
+		return err
+	}
+	vote, err := a.g.HandlePrepare(a.id)
+	if err != nil {
+		return err
+	}
+	if vote == twopc.VoteReadOnly {
+		// Nothing was modified: the action commits trivially with no
+		// stable-storage traffic (the read-only optimization).
+		return nil
+	}
+	if vote != twopc.VotePrepared {
+		return fmt.Errorf("guardian: local prepare of %v voted abort", a.id)
+	}
+	if err := a.g.Committing(a.id, []ids.GuardianID{a.g.id}); err != nil {
+		return err
+	}
+	if err := a.g.HandleCommit(a.id); err != nil {
+		return err
+	}
+	return a.g.Done(a.id)
+}
+
+// Abort aborts the action at this guardian, discarding its versions.
+func (a *Action) Abort() error {
+	if _, err := a.state(); err != nil {
+		return err
+	}
+	return a.g.HandleAbort(a.id)
+}

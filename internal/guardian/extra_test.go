@@ -1,0 +1,337 @@
+package guardian
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/twopc"
+	"repro/internal/value"
+)
+
+// TestTrimAS: unlinking an object from the stable variables leaves its
+// UID in the AS (§3.3.3.2: "the set grows larger over time"); TrimAS
+// removes it, and a later re-link treats the object as newly accessible
+// again without losing data.
+func TestTrimAS(t *testing.T) {
+	forBackends(t, func(t *testing.T, b core.Backend) {
+		g := mustGuardian(t, 1, b)
+		a := g.Begin()
+		keep, err := a.NewAtomic(value.Int(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		drop, err := a.NewAtomic(value.Int(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.SetVar("keep", keep); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.SetVar("drop", drop); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if !g.RS().AS().Contains(drop.UID()) {
+			t.Fatal("drop not in AS after commit")
+		}
+
+		// Unbind "drop": overwrite the stable variable with keep.
+		unbind := g.Begin()
+		if err := unbind.SetVar("drop", keep); err != nil {
+			t.Fatal(err)
+		}
+		if err := unbind.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		// The AS still contains the unreachable UID (superset behavior).
+		if !g.RS().AS().Contains(drop.UID()) {
+			t.Fatal("AS trimmed eagerly — thesis expects lazy growth")
+		}
+		g.TrimAS()
+		if g.RS().AS().Contains(drop.UID()) {
+			t.Fatal("TrimAS kept an unreachable UID")
+		}
+		if !g.RS().AS().Contains(keep.UID()) {
+			t.Fatal("TrimAS dropped a reachable UID")
+		}
+
+		// Re-link the dropped object: it must be written again as newly
+		// accessible, and survive a crash.
+		relink := g.Begin()
+		if err := relink.SetVar("back", drop); err != nil {
+			t.Fatal(err)
+		}
+		if err := relink.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		g.Crash()
+		g2, err := Restart(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := g2.VarAtomic("back")
+		if !ok || !value.Equal(got.Base(), value.Int(2)) {
+			t.Fatalf("re-linked object lost: %v", got)
+		}
+	})
+}
+
+// TestPartitionDuringPhaseOne: a link cut between coordinator and one
+// participant aborts the action everywhere reachable.
+func TestPartitionDuringPhaseOne(t *testing.T) {
+	f := newDistributed(t, core.BackendHybrid)
+	aid, parts := f.spread(t, [3]int64{-30, +10, +20})
+	f.net.Cut(f.g[0].ID(), f.g[2].ID(), true)
+	if _, err := f.coor.Run(aid, parts); err == nil {
+		t.Fatal("commit succeeded across a partition")
+	}
+	// Reachable guardians rolled back.
+	for i := 0; i < 2; i++ {
+		want := int64(100 * (i + 1))
+		if got := counterValue(t, f.g[i]); got != want {
+			t.Fatalf("guardian %d = %d, want %d", i+1, got, want)
+		}
+	}
+	// The partitioned guardian never prepared; its local action state is
+	// still live but uncommitted; heal the partition and confirm its
+	// committed state is intact.
+	f.net.Cut(f.g[0].ID(), f.g[2].ID(), false)
+	if got := counterValue(t, f.g[2]); got != 300 {
+		t.Fatalf("guardian 3 = %d, want 300", got)
+	}
+}
+
+// TestPartitionDuringPhaseTwo: the commit message is cut off; the
+// participant resolves via query after the partition heals.
+func TestPartitionDuringPhaseTwo(t *testing.T) {
+	f := newDistributed(t, core.BackendHybrid)
+	aid, parts := f.spread(t, [3]int64{-30, +10, +20})
+	for _, p := range parts {
+		if v, err := p.(*Guardian).HandlePrepare(aid); err != nil || v != twopc.VotePrepared {
+			t.Fatalf("prepare: %v %v", v, err)
+		}
+	}
+	if err := f.g[0].Committing(aid, []ids.GuardianID{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.net.Cut(f.g[0].ID(), f.g[2].ID(), true)
+	res, err := f.coor.Complete(aid, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done || len(res.Unresponsive) != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	// g[2] is prepared and cut off. Heal; it queries and commits.
+	f.net.Cut(f.g[0].ID(), f.g[2].ID(), false)
+	out, err := twopc.Query(f.net, f.g[2].ID(), f.g[0], aid)
+	if err != nil || out != twopc.OutcomeCommitted {
+		t.Fatalf("query: %v %v", out, err)
+	}
+	if err := f.g[2].HandleCommit(aid); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, f.g[2]); got != 320 {
+		t.Fatalf("guardian 3 = %d, want 320", got)
+	}
+	// The coordinator finishes phase two.
+	if res, err := f.coor.Complete(aid, parts); err != nil || !res.Done {
+		t.Fatalf("complete: %+v %v", res, err)
+	}
+}
+
+// TestConcurrentActionsDisjointObjects: goroutines run actions on
+// disjoint counters; the recovery-system lock serializes log writes and
+// nothing is lost across a crash.
+func TestConcurrentActionsDisjointObjects(t *testing.T) {
+	forBackends(t, func(t *testing.T, b core.Backend) {
+		g := mustGuardian(t, 1, b)
+		const workers = 4
+		const perWorker = 10
+		setup := g.Begin()
+		counters := make([]*object.Atomic, workers)
+		for i := range counters {
+			c, err := setup.NewAtomic(value.Int(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := setup.SetVar(varName(i), c); err != nil {
+				t.Fatal(err)
+			}
+			counters[i] = c
+		}
+		if err := setup.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, workers*perWorker)
+		for wkr := 0; wkr < workers; wkr++ {
+			wkr := wkr
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					a := g.Begin()
+					if err := a.Update(counters[wkr], func(v value.Value) value.Value {
+						return value.Int(int64(v.(value.Int)) + 1)
+					}); err != nil {
+						errs <- err
+						return
+					}
+					if err := a.Commit(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		g.Crash()
+		g2, err := Restart(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < workers; i++ {
+			c, ok := g2.VarAtomic(varName(i))
+			if !ok {
+				t.Fatalf("counter %d lost", i)
+			}
+			if got := c.Base().(value.Int); int64(got) != perWorker {
+				t.Fatalf("counter %d = %d, want %d", i, got, perWorker)
+			}
+		}
+	})
+}
+
+// TestLockConflictAcrossActions: the second action cannot write-lock a
+// counter the first holds; after the first commits, it can.
+func TestLockConflictAcrossActions(t *testing.T) {
+	g := mustGuardian(t, 1, core.BackendHybrid)
+	c := initCounter(t, g, 0)
+	a1 := g.Begin()
+	if err := a1.Set(c, value.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	a2 := g.Begin()
+	if err := a2.Set(c, value.Int(2)); err == nil {
+		t.Fatal("conflicting write lock granted")
+	}
+	if err := a1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Set(c, value.Int(2)); err != nil {
+		t.Fatalf("lock not released after commit: %v", err)
+	}
+	if err := a2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, g); got != 2 {
+		t.Fatalf("counter = %d", got)
+	}
+}
+
+// TestOperationsOnDeadAction: using an action after commit/abort fails
+// cleanly.
+func TestOperationsOnDeadAction(t *testing.T) {
+	g := mustGuardian(t, 1, core.BackendHybrid)
+	c := initCounter(t, g, 0)
+	a := g.Begin()
+	if err := a.Set(c, value.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set(c, value.Int(2)); err == nil {
+		t.Fatal("write through a committed action succeeded")
+	}
+	if err := a.Commit(); err == nil {
+		t.Fatal("double commit succeeded")
+	}
+	if err := a.Abort(); err == nil {
+		t.Fatal("abort after commit succeeded")
+	}
+}
+
+// TestReadOnlyActionWritesNothing: a committed read-only action should
+// add (almost) nothing but outcome entries to the log.
+func TestReadOnlyActionWritesNothing(t *testing.T) {
+	g := mustGuardian(t, 1, core.BackendHybrid)
+	c := initCounter(t, g, 7)
+	before := g.RS().LogBytes()
+	a := g.Begin()
+	v, err := a.Read(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(v, value.Int(7)) {
+		t.Fatalf("read %s", value.String(v))
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	grew := g.RS().LogBytes() - before
+	if grew > 200 { // four small outcome entries
+		t.Fatalf("read-only action wrote %d bytes", grew)
+	}
+}
+
+func varName(i int) string {
+	return string(rune('a' + i))
+}
+
+// TestConcurrentActionsContendedObject: goroutines increment the SAME
+// counter through UpdateWait; lock waiting serializes them and no
+// increment is lost across a crash.
+func TestConcurrentActionsContendedObject(t *testing.T) {
+	g := mustGuardian(t, 1, core.BackendHybrid)
+	c := initCounter(t, g, 0)
+	const workers, per = 4, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a := g.Begin()
+				if err := a.UpdateWait(c, 5*time.Second, func(v value.Value) value.Value {
+					return value.Int(int64(v.(value.Int)) + 1)
+				}); err != nil {
+					errs <- err
+					return
+				}
+				if err := a.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, g); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	g.Crash()
+	g2, err := Restart(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, g2); got != workers*per {
+		t.Fatalf("after crash counter = %d, want %d", got, workers*per)
+	}
+}

@@ -1,0 +1,182 @@
+package guardian
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/value"
+)
+
+// arbLeafValue builds a random regular value (no references).
+func arbLeafValue(rng *rand.Rand, depth int) value.Value {
+	if depth > 2 {
+		return value.Int(rng.Int63n(1000))
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return value.Int(rng.Int63n(1000) - 500)
+	case 1:
+		return value.Str(fmt.Sprintf("s%d", rng.Intn(100)))
+	case 2:
+		return value.Bool(rng.Intn(2) == 0)
+	case 3:
+		b := make(value.Bytes, rng.Intn(8))
+		rng.Read(b)
+		return b
+	case 4:
+		l := value.NewList()
+		for i := 0; i < rng.Intn(4); i++ {
+			l.Elems = append(l.Elems, arbLeafValue(rng, depth+1))
+		}
+		return l
+	default:
+		r := value.NewRecord()
+		for i := 0; i < rng.Intn(4); i++ {
+			r.Fields[fmt.Sprintf("f%d", i)] = arbLeafValue(rng, depth+1)
+		}
+		return r
+	}
+}
+
+// TestRandomObjectGraphsSurviveCrash builds random graphs of atomic and
+// mutex objects with cross-references, commits them over a series of
+// actions, crashes, and checks every object — including reference
+// identity — against the live heap.
+func TestRandomObjectGraphsSurviveCrash(t *testing.T) {
+	forBackends(t, func(t *testing.T, b core.Backend) {
+		for seed := int64(1); seed <= 4; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			g := mustGuardian(t, 1, b)
+			var objects []object.Recoverable
+
+			// Several actions, each creating objects and wiring them to
+			// the stable variables and each other.
+			for round := 0; round < 5; round++ {
+				a := g.Begin()
+				created := 0
+				for created < 3 {
+					v := arbLeafValue(rng, 0)
+					// Sometimes embed a reference to an existing object.
+					if len(objects) > 0 && rng.Intn(2) == 0 {
+						target := objects[rng.Intn(len(objects))]
+						v = value.NewList(v, value.Ref{Target: target})
+					}
+					var obj object.Recoverable
+					var err error
+					if rng.Intn(4) == 0 {
+						obj, err = a.NewMutex(v)
+					} else {
+						obj, err = a.NewAtomic(v)
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := a.SetVar(fmt.Sprintf("v%d-%d", round, created), obj); err != nil {
+						t.Fatal(err)
+					}
+					objects = append(objects, obj)
+					created++
+				}
+				if err := a.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// A few mutations in separate actions, some aborted.
+			for i := 0; i < 8; i++ {
+				a := g.Begin()
+				obj := objects[rng.Intn(len(objects))]
+				var err error
+				switch o := obj.(type) {
+				case *object.Atomic:
+					err = a.Update(o, func(value.Value) value.Value {
+						return arbLeafValue(rng, 0)
+					})
+					if err != nil {
+						// Lock conflict impossible here (sequential), but
+						// stale read locks from creation rounds are gone.
+						t.Fatal(err)
+					}
+				case *object.Mutex:
+					err = a.Seize(o, func(value.Value) value.Value {
+						return arbLeafValue(rng, 0)
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				if rng.Intn(3) == 0 {
+					if err := a.Abort(); err != nil {
+						t.Fatal(err)
+					}
+					// NOTE: an aborted Seize still changed the mutex in
+					// volatile memory (mutex semantics); the comparison
+					// below uses the live heap as oracle, which reflects
+					// exactly what recovery must rebuild for prepared
+					// actions — but an aborted action never prepared, so
+					// skip mutex-modifying aborts in the oracle sense by
+					// re-seizing to a known value under a committed
+					// action.
+					if m, isMutex := obj.(*object.Mutex); isMutex {
+						fix := g.Begin()
+						if err := fix.Seize(m, func(value.Value) value.Value {
+							return value.Str("fixed")
+						}); err != nil {
+							t.Fatal(err)
+						}
+						if err := fix.Commit(); err != nil {
+							t.Fatal(err)
+						}
+					}
+				} else if err := a.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Snapshot the live committed state, crash, recover, compare.
+			type snap struct {
+				kind object.Kind
+				v    value.Value
+			}
+			want := make(map[string]snap)
+			g.Heap().Traverse(func(o object.Recoverable) {
+				switch x := o.(type) {
+				case *object.Atomic:
+					want[x.UID().String()] = snap{object.KindAtomic, value.Copy(x.Base())}
+				case *object.Mutex:
+					want[x.UID().String()] = snap{object.KindMutex, value.Copy(x.Current())}
+				}
+			})
+			g.Crash()
+			g2, err := Restart(g)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			got := 0
+			g2.Heap().Traverse(func(o object.Recoverable) {
+				got++
+				w, ok := want[o.UID().String()]
+				if !ok {
+					t.Fatalf("seed %d: recovered unexpected %v", seed, o.UID())
+				}
+				switch x := o.(type) {
+				case *object.Atomic:
+					if w.kind != object.KindAtomic || !value.Equal(x.Base(), w.v) {
+						t.Fatalf("seed %d: %v = %s, want %s", seed, o.UID(),
+							value.String(x.Base()), value.String(w.v))
+					}
+				case *object.Mutex:
+					if w.kind != object.KindMutex || !value.Equal(x.Current(), w.v) {
+						t.Fatalf("seed %d: %v = %s, want %s", seed, o.UID(),
+							value.String(x.Current()), value.String(w.v))
+					}
+				}
+			})
+			if got != len(want) {
+				t.Fatalf("seed %d: recovered %d objects, want %d", seed, got, len(want))
+			}
+		}
+	})
+}

@@ -1,0 +1,463 @@
+// Package guardian implements the Argus guardian runtime of thesis
+// §2.1 as a Go library: a logical node with stable state (recoverable
+// objects reachable from its stable variables), volatile state, atomic
+// actions with read/write locking, and a recovery system that makes the
+// stable state survive crashes.
+//
+// A guardian's stable variables are held in a single recoverable object
+// with the predefined UID (§3.3.3.2); applications name them with
+// strings. Actions are begun at a coordinator guardian and may be
+// joined at participant guardians; commitment runs the two-phase commit
+// protocol of §2.2 through the recovery system.
+package guardian
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hybridlog"
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/simplelog"
+	"repro/internal/stablelog"
+	"repro/internal/twopc"
+	"repro/internal/value"
+)
+
+// Guardian is one logical node. Create with New, recover a crashed one
+// with Restart.
+type Guardian struct {
+	id      ids.GuardianID
+	backend core.Backend
+	vol     stablelog.Volume
+	memVol  *stablelog.MemVolume // non-nil when vol is the in-memory simulation
+	site    *stablelog.Site      // nil for the shadow backend
+	rs      core.RecoverySystem
+	heap    *object.Heap
+	uids    *ids.UIDGenerator
+	aids    *ids.ActionIDGenerator
+
+	mu      sync.Mutex
+	live    map[ids.ActionID]*actionState
+	ct      map[ids.ActionID]simplelog.CoordInfo
+	pt      map[ids.ActionID]simplelog.PartState
+	crashed bool
+
+	// handlers is the guardian's external interface (§2.1).
+	handlers map[string]HandlerFunc
+}
+
+type actionState struct {
+	mos      map[ids.UID]object.Recoverable // modified objects
+	locked   map[ids.UID]*object.Atomic     // atomics holding locks for this action
+	early    map[ids.UID]bool               // early-prepared and unmodified since
+	remote   map[ids.GuardianID]*Guardian   // participants reached via Call
+	prepared bool
+}
+
+func newActionState() *actionState {
+	return &actionState{
+		mos:    make(map[ids.UID]object.Recoverable),
+		locked: make(map[ids.UID]*object.Atomic),
+		early:  make(map[ids.UID]bool),
+	}
+}
+
+// Option configures guardian creation.
+type Option func(*config)
+
+type config struct {
+	backend   core.Backend
+	blockSize int
+	vol       stablelog.Volume
+}
+
+// WithBackend selects the stable-storage organization (default hybrid).
+func WithBackend(b core.Backend) Option {
+	return func(c *config) { c.backend = b }
+}
+
+// WithBlockSize sets the simulated device block size (default 512).
+func WithBlockSize(n int) Option {
+	return func(c *config) { c.blockSize = n }
+}
+
+// WithVolume runs the guardian's stable storage on the given volume —
+// e.g. a stablelog.FileVolume for real disk persistence — instead of
+// the default in-memory simulation. Crash injection (Crash, Volume,
+// the crashtest harness) requires the in-memory volume; a file-backed
+// guardian is "crashed" by closing the volume and reopened with Open.
+func WithVolume(vol stablelog.Volume) Option {
+	return func(c *config) { c.vol = vol }
+}
+
+// epochPage is the root-store page holding the guardian's incarnation
+// number. Action identifiers embed it so that an action id can never be
+// reused across a crash: an action wiped out mid-prepare leaves no
+// trace in the PT or CT, so a volatile counter alone could hand its id
+// to a new action, whose recovery would then adopt the dead action's
+// orphaned data entries.
+const epochPage = 2
+
+// epochShift positions the incarnation number above the per-epoch
+// action counter within ActionID.Seq.
+const epochShift = 40
+
+func bumpEpoch(vol stablelog.Volume) (uint64, error) {
+	root, err := vol.Root()
+	if err != nil {
+		return 0, err
+	}
+	page, err := root.ReadPage(epochPage)
+	if err != nil {
+		return 0, err
+	}
+	var epoch uint64
+	if len(page) >= 8 {
+		epoch = binary.LittleEndian.Uint64(page[:8])
+	}
+	epoch++
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], epoch)
+	if err := root.WritePage(epochPage, buf[:]); err != nil {
+		return 0, err
+	}
+	return epoch, nil
+}
+
+// New creates a guardian with empty stable state.
+func New(id ids.GuardianID, opts ...Option) (*Guardian, error) {
+	cfg := config{backend: core.BackendHybrid, blockSize: 512}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	vol := cfg.vol
+	var memVol *stablelog.MemVolume
+	if vol == nil {
+		memVol = stablelog.NewMemVolume(cfg.blockSize)
+		vol = memVol
+	} else if mv, ok := vol.(*stablelog.MemVolume); ok {
+		memVol = mv
+	}
+	epoch, err := bumpEpoch(vol)
+	if err != nil {
+		return nil, err
+	}
+	g := &Guardian{
+		id:      id,
+		backend: cfg.backend,
+		vol:     vol,
+		memVol:  memVol,
+		heap:    object.NewHeap(),
+		uids:    ids.NewUIDGenerator(ids.StableVarsUID),
+		aids:    ids.NewActionIDGenerator(id),
+		live:    make(map[ids.ActionID]*actionState),
+		ct:      make(map[ids.ActionID]simplelog.CoordInfo),
+		pt:      make(map[ids.ActionID]simplelog.PartState),
+	}
+	g.aids.SetEpoch(epoch << epochShift)
+	// The stable-variables object exists from the guardian's creation
+	// (§3.3.3.2), initially an empty record, unlocked.
+	g.heap.Register(object.NewAtomic(ids.StableVarsUID, value.NewRecord(), ids.NoAction))
+
+	switch cfg.backend {
+	case core.BackendShadow:
+		rs, err := core.NewShadow(vol, g.heap)
+		if err != nil {
+			return nil, err
+		}
+		g.rs = rs
+	default:
+		site, err := stablelog.CreateSite(vol)
+		if err != nil {
+			return nil, err
+		}
+		g.site = site
+		if cfg.backend == core.BackendSimple {
+			g.rs = core.NewSimple(site, g.heap)
+		} else {
+			g.rs = core.NewHybrid(site, g.heap)
+		}
+	}
+	return g, nil
+}
+
+// ID returns the guardian's identifier.
+func (g *Guardian) ID() ids.GuardianID { return g.id }
+
+// GuardianID implements twopc.Participant and twopc.OutcomeSource.
+func (g *Guardian) GuardianID() ids.GuardianID { return g.id }
+
+// Heap returns the guardian's volatile heap.
+func (g *Guardian) Heap() *object.Heap { return g.heap }
+
+// RS returns the guardian's recovery system (for statistics).
+func (g *Guardian) RS() core.RecoverySystem { return g.rs }
+
+// Backend returns the stable-storage organization in use.
+func (g *Guardian) Backend() core.Backend { return g.backend }
+
+// Volume exposes the simulated storage volume for fault injection; it
+// panics for a guardian created on a non-simulated volume.
+func (g *Guardian) Volume() *stablelog.MemVolume {
+	if g.memVol == nil {
+		panic("guardian: Volume() on a non-simulated volume")
+	}
+	return g.memVol
+}
+
+// Crash simulates a node crash: all volatile state (processes, locks,
+// running actions) disappears; only stable storage survives (§2.1).
+// It requires the in-memory volume; see WithVolume.
+func (g *Guardian) Crash() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.crashed = true
+	g.live = make(map[ids.ActionID]*actionState)
+	if g.memVol != nil {
+		g.memVol.Crash()
+	}
+}
+
+// Restart recovers a crashed guardian from its stable storage: the
+// Argus system "re-creates the guardian with the stable objects as they
+// were when last written to stable storage" (§2.1). The returned
+// guardian has a fresh volatile state; prepared actions are back in the
+// PAT with their locks, awaiting their coordinators' verdicts.
+func Restart(g *Guardian) (*Guardian, error) {
+	if g.memVol != nil {
+		g.memVol.Restart()
+	}
+	return Open(g.id, g.vol, g.backend)
+}
+
+// Open recovers a guardian from an existing volume — either a restarted
+// in-memory simulation or a reopened file volume. It is the §2.3
+// recovery operation at guardian granularity.
+func Open(id ids.GuardianID, vol stablelog.Volume, backend core.Backend) (*Guardian, error) {
+	epoch, err0 := bumpEpoch(vol)
+	if err0 != nil {
+		return nil, err0
+	}
+	ng := &Guardian{
+		id:      id,
+		backend: backend,
+		vol:     vol,
+		aids:    ids.NewActionIDGenerator(id),
+		live:    make(map[ids.ActionID]*actionState),
+	}
+	ng.aids.SetEpoch(epoch << epochShift)
+	if mv, ok := vol.(*stablelog.MemVolume); ok {
+		ng.memVol = mv
+	}
+	var rec *core.Recovered
+	var err error
+	switch backend {
+	case core.BackendShadow:
+		rec, ng.rs, err = core.RecoverShadow(vol)
+	case core.BackendSimple:
+		ng.site, err = stablelog.OpenSite(vol)
+		if err == nil {
+			rec, ng.rs, err = core.RecoverSimple(ng.site)
+		}
+	default:
+		ng.site, err = stablelog.OpenSite(vol)
+		if err == nil {
+			rec, ng.rs, err = core.RecoverHybrid(ng.site)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	ng.heap = rec.Heap
+	ng.pt = rec.PT
+	ng.ct = rec.CT
+	// Reset the stable counter past every recovered UID (§3.2) and the
+	// action counter past every action this guardian coordinated.
+	maxUID := rec.MaxUID
+	if maxUID < ids.StableVarsUID {
+		maxUID = ids.StableVarsUID
+	}
+	ng.uids = ids.NewUIDGenerator(maxUID)
+	// A freshly created guardian that crashed before its first prepare
+	// has nothing on the log, not even the stable-variables object.
+	if _, ok := ng.heap.StableVars(); !ok {
+		ng.heap.Register(object.NewAtomic(ids.StableVarsUID, value.NewRecord(), ids.NoAction))
+	}
+	return ng, nil
+}
+
+// RecoverStats reopens g's stable storage and runs recovery, returning
+// the recovered tables (with their cost accounting) without resuming
+// the guardian. Used by benchmarks to measure recovery work.
+func RecoverStats(g *Guardian) (*core.Recovered, error) {
+	if g.memVol != nil {
+		g.memVol.Restart()
+	}
+	switch g.backend {
+	case core.BackendShadow:
+		rec, _, err := core.RecoverShadow(g.vol)
+		return rec, err
+	case core.BackendSimple:
+		site, err := stablelog.OpenSite(g.vol)
+		if err != nil {
+			return nil, err
+		}
+		rec, _, err := core.RecoverSimple(site)
+		return rec, err
+	default:
+		site, err := stablelog.OpenSite(g.vol)
+		if err != nil {
+			return nil, err
+		}
+		rec, _, err := core.RecoverHybrid(site)
+		return rec, err
+	}
+}
+
+// CheckRecovered verifies the structural invariants a freshly recovered
+// guardian must satisfy; the crash harnesses call it after every
+// recovery. The invariants: (1) every write lock in the heap is held by
+// an action in the PAT (only prepared actions survive a crash holding
+// locks); (2) the accessibility set equals exactly the set of objects
+// reachable from the stable variables (recovery rebuilds it by
+// traversal, §3.4.4 step 4); (3) no heap UID exceeds the stable
+// counter, so fresh UIDs cannot collide (§3.2).
+func CheckRecovered(g *Guardian) error {
+	pat := g.rs.PAT()
+	for _, uid := range g.heap.UIDs() {
+		o, _ := g.heap.Lookup(uid)
+		if at, ok := o.(*object.Atomic); ok {
+			if w := at.Writer(); !w.IsZero() && !pat.Contains(w) {
+				return fmt.Errorf("guardian: %v write-locked by %v, which is not prepared", uid, w)
+			}
+		}
+	}
+	reachable := g.heap.AccessibleSet()
+	as := g.rs.AS()
+	for _, uid := range reachable.UIDs() {
+		if !as.Contains(uid) {
+			return fmt.Errorf("guardian: reachable %v missing from AS", uid)
+		}
+	}
+	for _, uid := range as.UIDs() {
+		if !reachable.Contains(uid) {
+			return fmt.Errorf("guardian: AS contains unreachable %v after recovery", uid)
+		}
+	}
+	if max := g.heap.MaxUID(); max > g.uids.Last() {
+		return fmt.Errorf("guardian: heap UID %v beyond stable counter %v", max, g.uids.Last())
+	}
+	return nil
+}
+
+// LiveActions returns the actions that currently have volatile state at
+// this guardian (running or prepared-and-waiting). After a failed
+// distributed commit, branches that never prepared still hold volatile
+// locks; the runtime aborts them once the coordinator's verdict is
+// known.
+func (g *Guardian) LiveActions() []ids.ActionID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]ids.ActionID, 0, len(g.live))
+	for aid := range g.live {
+		out = append(out, aid)
+	}
+	return out
+}
+
+// InDoubt returns the actions that had prepared here before the crash
+// and await their coordinators' verdicts.
+func (g *Guardian) InDoubt() []ids.ActionID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []ids.ActionID
+	for aid, st := range g.pt {
+		if st == simplelog.PartPrepared {
+			out = append(out, aid)
+		}
+	}
+	return out
+}
+
+// Unfinished returns the actions this guardian was coordinating whose
+// phase two had not completed (CT state committing): Complete must be
+// re-driven for them (§2.2.3).
+func (g *Guardian) Unfinished() []ids.ActionID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []ids.ActionID
+	for aid, ci := range g.ct {
+		if ci.State == simplelog.CoordCommitting {
+			out = append(out, aid)
+		}
+	}
+	return out
+}
+
+// OutcomeOf implements twopc.OutcomeSource: committed iff the
+// committing record reached stable storage; otherwise presumed aborted
+// (§2.2.3).
+func (g *Guardian) OutcomeOf(aid ids.ActionID) twopc.Outcome {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.ct[aid]; ok {
+		return twopc.OutcomeCommitted
+	}
+	return twopc.OutcomeAborted
+}
+
+// TrimAS trims the guardian's accessibility set (§3.3.3.2): useful
+// after workloads that unlink many objects from the stable variables.
+func (g *Guardian) TrimAS() { g.rs.TrimAS() }
+
+// Housekeep runs a chapter 5 housekeeping pass (hybrid backend only).
+func (g *Guardian) Housekeep(kind core.HousekeepKind) (hybridlog.Stats, error) {
+	return g.rs.Housekeep(kind)
+}
+
+// Var returns the recoverable object bound to a stable variable, or
+// false if unbound. It reads the committed state.
+func (g *Guardian) Var(name string) (object.Recoverable, bool) {
+	root, ok := g.heap.StableVars()
+	if !ok {
+		return nil, false
+	}
+	rec, ok := root.Base().(*value.Record)
+	if !ok {
+		return nil, false
+	}
+	ref, ok := rec.Fields[name].(value.Ref)
+	if !ok {
+		return nil, false
+	}
+	obj, ok := ref.Target.(object.Recoverable)
+	if !ok {
+		// A reference recovered but not yet resolved would be a bug;
+		// resolve through the heap defensively.
+		return nil, false
+	}
+	return obj, true
+}
+
+// VarAtomic is Var narrowed to atomic objects.
+func (g *Guardian) VarAtomic(name string) (*object.Atomic, bool) {
+	o, ok := g.Var(name)
+	if !ok {
+		return nil, false
+	}
+	a, ok := o.(*object.Atomic)
+	return a, ok
+}
+
+// VarMutex is Var narrowed to mutex objects.
+func (g *Guardian) VarMutex(name string) (*object.Mutex, bool) {
+	o, ok := g.Var(name)
+	if !ok {
+		return nil, false
+	}
+	m, ok := o.(*object.Mutex)
+	return m, ok
+}

@@ -1,0 +1,109 @@
+package guardian
+
+// Handlers (thesis §2.1): "A guardian's external interface is in the
+// form of a set of operations, called handlers, that can be called by
+// other guardians to provide access to the called guardian's objects."
+//
+// A handler call travels over the network, runs as a subaction of the
+// calling top-level action at the target guardian, and makes that
+// guardian a participant in the action's eventual two-phase commit.
+// If the handler returns an error its subaction is aborted, undoing its
+// modifications at the target without dooming the whole action.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/twopc"
+	"repro/internal/value"
+)
+
+// HandlerFunc is the body of a handler: it runs inside a subaction of
+// the calling action at this guardian and may read and modify the
+// guardian's objects through it.
+type HandlerFunc func(sub *Sub, arg value.Value) (value.Value, error)
+
+var handlerMu sync.Mutex
+
+// RegisterHandler installs a handler under the given name.
+func (g *Guardian) RegisterHandler(name string, fn HandlerFunc) {
+	handlerMu.Lock()
+	defer handlerMu.Unlock()
+	if g.handlers == nil {
+		g.handlers = make(map[string]HandlerFunc)
+	}
+	g.handlers[name] = fn
+}
+
+// lookupHandler fetches a handler by name.
+func (g *Guardian) lookupHandler(name string) (HandlerFunc, bool) {
+	handlerMu.Lock()
+	defer handlerMu.Unlock()
+	fn, ok := g.handlers[name]
+	return fn, ok
+}
+
+// Call invokes a handler at the target guardian on behalf of action a,
+// delivering the call over the network. The target joins the action (it
+// becomes a participant, remembered for CommitSpread); the handler body
+// runs in a subaction, so a handler error undoes its effects at the
+// target and is returned to the caller, leaving the top-level action
+// free to try something else (§2.1).
+func Call(net *netsim.Network, a *Action, target *Guardian, name string, arg value.Value) (value.Value, error) {
+	var result value.Value
+	err := net.Call(a.g.id, target.id, func() error {
+		fn, ok := target.lookupHandler(name)
+		if !ok {
+			return fmt.Errorf("guardian: %v has no handler %q", target.id, name)
+		}
+		branch := target.Join(a.id)
+		sub := branch.Sub()
+		out, herr := fn(sub, arg)
+		if herr != nil {
+			if aerr := sub.Abort(); aerr != nil {
+				return aerr
+			}
+			return herr
+		}
+		if cerr := sub.Commit(); cerr != nil {
+			return cerr
+		}
+		result = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Remember the participant for CommitSpread.
+	a.g.mu.Lock()
+	if st, ok := a.g.live[a.id]; ok {
+		if st.remote == nil {
+			st.remote = make(map[ids.GuardianID]*Guardian)
+		}
+		st.remote[target.id] = target
+	}
+	a.g.mu.Unlock()
+	return result, nil
+}
+
+// CommitSpread commits a top-level action that spread to other
+// guardians through Call: the coordinator assembles the participant
+// list automatically (itself plus every guardian a handler call
+// reached) and runs two-phase commit (§2.2).
+func CommitSpread(net *netsim.Network, a *Action) (twopc.Result, error) {
+	a.g.mu.Lock()
+	st, ok := a.g.live[a.id]
+	if !ok {
+		a.g.mu.Unlock()
+		return twopc.Result{}, fmt.Errorf("%w: %v", ErrUnknownAction, a.id)
+	}
+	parts := []twopc.Participant{a.g}
+	for _, r := range st.remote {
+		parts = append(parts, r)
+	}
+	a.g.mu.Unlock()
+	c := &twopc.Coordinator{Self: a.g.id, Net: net, Log: a.g}
+	return c.Run(a.id, parts)
+}

@@ -1,0 +1,294 @@
+package guardian
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/twopc"
+	"repro/internal/value"
+)
+
+// setupHandlerBank creates a guardian exposing deposit/withdraw
+// handlers over its vault.
+func setupHandlerBank(t *testing.T, id ids.GuardianID) *Guardian {
+	t.Helper()
+	g := mustGuardian(t, id, core.BackendHybrid)
+	boot := g.Begin()
+	vault, err := boot.NewAtomic(value.Int(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := boot.SetVar("vault", vault); err != nil {
+		t.Fatal(err)
+	}
+	if err := boot.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	g.RegisterHandler("deposit", func(sub *Sub, arg value.Value) (value.Value, error) {
+		v, _ := g.VarAtomic("vault")
+		amount := int64(arg.(value.Int))
+		if err := sub.Update(v, func(cur value.Value) value.Value {
+			return value.Int(int64(cur.(value.Int)) + amount)
+		}); err != nil {
+			return nil, err
+		}
+		return sub.Read(v)
+	})
+	g.RegisterHandler("withdraw", func(sub *Sub, arg value.Value) (value.Value, error) {
+		v, _ := g.VarAtomic("vault")
+		amount := int64(arg.(value.Int))
+		cur, err := sub.Read(v)
+		if err != nil {
+			return nil, err
+		}
+		if int64(cur.(value.Int)) < amount {
+			return nil, errors.New("insufficient funds")
+		}
+		if err := sub.Update(v, func(c value.Value) value.Value {
+			return value.Int(int64(c.(value.Int)) - amount)
+		}); err != nil {
+			return nil, err
+		}
+		return sub.Read(v)
+	})
+	return g
+}
+
+func vaultBalance(t *testing.T, g *Guardian) int64 {
+	t.Helper()
+	v, ok := g.VarAtomic("vault")
+	if !ok {
+		t.Fatal("vault missing")
+	}
+	return int64(v.Base().(value.Int))
+}
+
+// TestHandlerCallCommit: a top-level action spreads to another guardian
+// through a handler call, then commits with two-phase commit.
+func TestHandlerCallCommit(t *testing.T) {
+	net := netsim.New()
+	src := setupHandlerBank(t, 1)
+	dst := setupHandlerBank(t, 2)
+
+	a := src.Begin()
+	vault, _ := src.VarAtomic("vault")
+	if err := a.Update(vault, func(v value.Value) value.Value {
+		return value.Int(int64(v.(value.Int)) - 250)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Call(net, a, dst, "deposit", value.Int(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(out, value.Int(1250)) {
+		t.Fatalf("deposit returned %s", value.String(out))
+	}
+	coor := &twopc.Coordinator{Self: src.ID(), Net: net, Log: src}
+	res, err := coor.Run(a.ID(), []twopc.Participant{src, dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatalf("result %+v", res)
+	}
+	if got := vaultBalance(t, src); got != 750 {
+		t.Fatalf("src vault = %d", got)
+	}
+	if got := vaultBalance(t, dst); got != 1250 {
+		t.Fatalf("dst vault = %d", got)
+	}
+}
+
+// TestHandlerErrorAbortsOnlySubaction: a failed handler call undoes its
+// effects at the target, and the top action can still commit other
+// work.
+func TestHandlerErrorAbortsOnlySubaction(t *testing.T) {
+	net := netsim.New()
+	src := setupHandlerBank(t, 1)
+	dst := setupHandlerBank(t, 2)
+
+	a := src.Begin()
+	// Overdraw at the destination: handler fails, subaction aborts.
+	if _, err := Call(net, a, dst, "withdraw", value.Int(5000)); err == nil {
+		t.Fatal("overdraft succeeded")
+	}
+	// A smaller withdrawal through the same action now works.
+	out, err := Call(net, a, dst, "withdraw", value.Int(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(out, value.Int(900)) {
+		t.Fatalf("withdraw returned %s", value.String(out))
+	}
+	coor := &twopc.Coordinator{Self: src.ID(), Net: net, Log: src}
+	if _, err := coor.Run(a.ID(), []twopc.Participant{src, dst}); err != nil {
+		t.Fatal(err)
+	}
+	if got := vaultBalance(t, dst); got != 900 {
+		t.Fatalf("dst vault = %d, want 900", got)
+	}
+}
+
+// TestHandlerUnknownName and unreachable targets.
+func TestHandlerCallFailures(t *testing.T) {
+	net := netsim.New()
+	src := setupHandlerBank(t, 1)
+	dst := setupHandlerBank(t, 2)
+	a := src.Begin()
+	if _, err := Call(net, a, dst, "no-such-handler", value.Int(0)); err == nil {
+		t.Fatal("unknown handler succeeded")
+	}
+	net.SetDown(dst.ID(), true)
+	if _, err := Call(net, a, dst, "deposit", value.Int(1)); err == nil {
+		t.Fatal("call to down guardian succeeded")
+	}
+}
+
+// TestHandlerCallThenCrashBeforeCommit: the spread action dies with the
+// crash; both vaults revert.
+func TestHandlerCallThenCrashBeforeCommit(t *testing.T) {
+	net := netsim.New()
+	src := setupHandlerBank(t, 1)
+	dst := setupHandlerBank(t, 2)
+	a := src.Begin()
+	if _, err := Call(net, a, dst, "deposit", value.Int(250)); err != nil {
+		t.Fatal(err)
+	}
+	dst.Crash()
+	d2, err := Restart(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vaultBalance(t, d2); got != 1000 {
+		t.Fatalf("dst vault = %d, want 1000", got)
+	}
+}
+
+// TestCommitSpread: the coordinator auto-assembles the participants a
+// Call reached.
+func TestCommitSpread(t *testing.T) {
+	net := netsim.New()
+	src := setupHandlerBank(t, 1)
+	dst := setupHandlerBank(t, 2)
+	other := setupHandlerBank(t, 3)
+
+	a := src.Begin()
+	vault, _ := src.VarAtomic("vault")
+	if err := a.Update(vault, func(v value.Value) value.Value {
+		return value.Int(int64(v.(value.Int)) - 100)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Call(net, a, dst, "deposit", value.Int(60)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Call(net, a, other, "deposit", value.Int(40)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := CommitSpread(net, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || res.Outcome != twopc.OutcomeCommitted {
+		t.Fatalf("result %+v", res)
+	}
+	if got := vaultBalance(t, src); got != 900 {
+		t.Fatalf("src = %d", got)
+	}
+	if got := vaultBalance(t, dst); got != 1060 {
+		t.Fatalf("dst = %d", got)
+	}
+	if got := vaultBalance(t, other); got != 1040 {
+		t.Fatalf("other = %d", got)
+	}
+	// And the commits survive crashes.
+	for _, g := range []*Guardian{src, dst, other} {
+		g.Crash()
+		if _, err := Restart(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCommitSpreadUnknownAction: committing a dead action fails.
+func TestCommitSpreadUnknownAction(t *testing.T) {
+	net := netsim.New()
+	src := setupHandlerBank(t, 1)
+	a := src.Begin()
+	if err := a.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CommitSpread(net, a); err == nil {
+		t.Fatal("CommitSpread of an aborted action succeeded")
+	}
+}
+
+// TestReadOnlyParticipantOptimization: a participant that only read
+// votes read-only, writes nothing, and skips phase two.
+func TestReadOnlyParticipantOptimization(t *testing.T) {
+	net := netsim.New()
+	src := setupHandlerBank(t, 1)
+	dst := setupHandlerBank(t, 2)
+	dst.RegisterHandler("peek", func(sub *Sub, _ value.Value) (value.Value, error) {
+		v, _ := dst.VarAtomic("vault")
+		return sub.Read(v)
+	})
+
+	a := src.Begin()
+	vault, _ := src.VarAtomic("vault")
+	if err := a.Update(vault, func(v value.Value) value.Value {
+		return value.Int(int64(v.(value.Int)) + 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Call(net, a, dst, "peek", value.Int(0)); err != nil {
+		t.Fatal(err)
+	}
+	dstBytes := dst.RS().LogBytes()
+	res, err := CommitSpread(net, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatalf("result %+v", res)
+	}
+	if grew := dst.RS().LogBytes() - dstBytes; grew != 0 {
+		t.Fatalf("read-only participant wrote %d bytes", grew)
+	}
+	// Its read locks are released: another action can write at once.
+	b := dst.Begin()
+	dv, _ := dst.VarAtomic("vault")
+	if err := b.Set(dv, value.Int(1)); err != nil {
+		t.Fatalf("read lock leaked: %v", err)
+	}
+	if err := b.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllReadOnlyCommit: every participant read-only — the action
+// commits with zero stable writes anywhere.
+func TestAllReadOnlyCommit(t *testing.T) {
+	net := netsim.New()
+	src := setupHandlerBank(t, 1)
+	before := src.RS().LogBytes()
+	a := src.Begin()
+	vault, _ := src.VarAtomic("vault")
+	if _, err := a.Read(vault); err != nil {
+		t.Fatal(err)
+	}
+	res, err := CommitSpread(net, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != twopc.OutcomeCommitted {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	if grew := src.RS().LogBytes() - before; grew != 0 {
+		t.Fatalf("read-only action wrote %d bytes", grew)
+	}
+}

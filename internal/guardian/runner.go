@@ -1,0 +1,52 @@
+package guardian
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/object"
+)
+
+// ErrRetriesExhausted is returned by RunAtomic when every attempt
+// failed with a retryable error.
+var ErrRetriesExhausted = errors.New("guardian: retries exhausted")
+
+// RunAtomic runs fn inside a fresh top-level action and commits it when
+// fn succeeds. If fn fails the action is aborted; lock conflicts and
+// lock timeouts (the possible-deadlock signal) are retried with jittered
+// backoff, up to attempts tries. Any other error aborts and returns.
+//
+// This is the standard Argus usage loop: actions that might deadlock
+// are timed out, aborted, and re-run.
+func RunAtomic(g *Guardian, attempts int, fn func(a *Action) error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := time.Millisecond
+	var last error
+	for try := 0; try < attempts; try++ {
+		a := g.Begin()
+		err := fn(a)
+		if err == nil {
+			if err := a.Commit(); err != nil {
+				return err
+			}
+			return nil
+		}
+		if aerr := a.Abort(); aerr != nil {
+			return aerr
+		}
+		if !errors.Is(err, object.ErrLockTimeout) && !errors.Is(err, object.ErrLockConflict) {
+			return err
+		}
+		last = err
+		// Jittered backoff so colliding retriers desynchronize.
+		time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff))))
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	return fmt.Errorf("%w after %d attempts: %v", ErrRetriesExhausted, attempts, last)
+}

@@ -1,0 +1,160 @@
+package guardian
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/value"
+)
+
+func TestRunAtomicCommits(t *testing.T) {
+	g := mustGuardian(t, 1, core.BackendHybrid)
+	c := initCounter(t, g, 0)
+	err := RunAtomic(g, 3, func(a *Action) error {
+		return a.Update(c, func(v value.Value) value.Value {
+			return value.Int(int64(v.(value.Int)) + 1)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, g); got != 1 {
+		t.Fatalf("counter = %d", got)
+	}
+}
+
+func TestRunAtomicAbortsOnApplicationError(t *testing.T) {
+	g := mustGuardian(t, 1, core.BackendHybrid)
+	c := initCounter(t, g, 0)
+	boom := errors.New("boom")
+	err := RunAtomic(g, 3, func(a *Action) error {
+		if err := a.Set(c, value.Int(999)); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := counterValue(t, g); got != 0 {
+		t.Fatalf("counter = %d after failed action", got)
+	}
+	// The lock is free for the next action.
+	if err := RunAtomic(g, 1, func(a *Action) error {
+		return a.Set(c, value.Int(5))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAtomicRetriesLockConflicts(t *testing.T) {
+	g := mustGuardian(t, 1, core.BackendHybrid)
+	c := initCounter(t, g, 0)
+	// Hold the lock briefly in a competing action, then release.
+	holder := g.Begin()
+	if err := holder.Set(c, value.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(15 * time.Millisecond)
+		if err := holder.Commit(); err != nil {
+			t.Error(err)
+		}
+	}()
+	err := RunAtomic(g, 20, func(a *Action) error {
+		return a.UpdateWait(c, 5*time.Millisecond, func(v value.Value) value.Value {
+			return value.Int(int64(v.(value.Int)) + 10)
+		})
+	})
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, g); got != 11 {
+		t.Fatalf("counter = %d, want 11", got)
+	}
+}
+
+func TestRunAtomicExhaustsRetries(t *testing.T) {
+	g := mustGuardian(t, 1, core.BackendHybrid)
+	c := initCounter(t, g, 0)
+	holder := g.Begin()
+	if err := holder.Set(c, value.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	err := RunAtomic(g, 3, func(a *Action) error {
+		return a.UpdateWait(c, time.Millisecond, func(v value.Value) value.Value { return v })
+	})
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := holder.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunAtomicDeadlockingWorkers: workers lock two counters in
+// opposite orders — guaranteed deadlocks — and RunAtomic's
+// timeout+retry resolves them all.
+func TestRunAtomicDeadlockingWorkers(t *testing.T) {
+	g := mustGuardian(t, 1, core.BackendHybrid)
+	setup := g.Begin()
+	x, _ := setup.NewAtomic(value.Int(0))
+	y, _ := setup.NewAtomic(value.Int(0))
+	if err := setup.SetVar("x", x); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.SetVar("y", y); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 4, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		first, second := x, y
+		if w%2 == 1 {
+			first, second = y, x
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				err := RunAtomic(g, 50, func(a *Action) error {
+					if err := a.UpdateWait(first, 5*time.Millisecond, func(v value.Value) value.Value {
+						return value.Int(int64(v.(value.Int)) + 1)
+					}); err != nil {
+						return err
+					}
+					return a.UpdateWait(second, 5*time.Millisecond, func(v value.Value) value.Value {
+						return value.Int(int64(v.(value.Int)) + 1)
+					})
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	want := int64(workers * per)
+	gx, _ := g.VarAtomic("x")
+	gy, _ := g.VarAtomic("y")
+	if int64(gx.Base().(value.Int)) != want || int64(gy.Base().(value.Int)) != want {
+		t.Fatalf("x=%s y=%s, want %d each",
+			value.String(gx.Base()), value.String(gy.Base()), want)
+	}
+}

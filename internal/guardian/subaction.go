@@ -1,0 +1,163 @@
+package guardian
+
+// Subactions (thesis §2.1: "an action called a top-level action starts
+// at one guardian and can spread to other guardians, spawning
+// subactions by means of handler calls").
+//
+// The recovery system never sees subactions — only top-level actions
+// prepare, commit, and abort against stable storage. What subactions
+// add is volatile-state scoping: a subaction's modifications can be
+// undone without aborting the whole top-level action, and its locks are
+// acquired on the top-level action's behalf (lock inheritance), so the
+// parent keeps them when the subaction commits.
+//
+// This implementation takes the standard simplification for a
+// single-version-per-top-action runtime: a subaction records, for each
+// atomic object it is the first in its scope to modify, the version
+// that was current when it started; aborting the subaction restores
+// those versions. Mutex objects are exempt — as at top level, seize
+// modifications are not undone by aborts (§2.4.2 gives them no
+// recoverability).
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/value"
+)
+
+// Sub is a subaction of a top-level action at one guardian.
+type Sub struct {
+	parent *Action
+	done   bool
+	// undo records the pre-subaction current version of each atomic
+	// object first modified inside this subaction (and whether the
+	// top-level action already had it in its MOS).
+	undo []undoRecord
+}
+
+type undoRecord struct {
+	obj      *object.Atomic
+	version  value.Value
+	hadWrite bool // the top action already write-locked it before the sub
+}
+
+// Sub starts a subaction. Its reads and writes act on behalf of the
+// top-level action; Commit keeps them, Abort undoes them.
+func (a *Action) Sub() *Sub {
+	return &Sub{parent: a}
+}
+
+func (s *Sub) check() error {
+	if s.done {
+		return fmt.Errorf("guardian: subaction already completed")
+	}
+	_, err := s.parent.state()
+	return err
+}
+
+// Read acquires a read lock (on the top-level action's behalf) and
+// returns the visible version.
+func (s *Sub) Read(obj *object.Atomic) (value.Value, error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	return s.parent.Read(obj)
+}
+
+// Update modifies obj within the subaction's scope.
+func (s *Sub) Update(obj *object.Atomic, fn func(value.Value) value.Value) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	// Record the undo point before the first modification in this scope.
+	already := false
+	for _, u := range s.undo {
+		if u.obj == obj {
+			already = true
+			break
+		}
+	}
+	if !already {
+		hadWrite := obj.Writer() == s.parent.id
+		var prior value.Value
+		if hadWrite {
+			prior = value.Copy(obj.Value(s.parent.id))
+		}
+		s.undo = append(s.undo, undoRecord{obj: obj, version: prior, hadWrite: hadWrite})
+	}
+	return s.parent.Update(obj, fn)
+}
+
+// Set is Update with a constant value.
+func (s *Sub) Set(obj *object.Atomic, v value.Value) error {
+	return s.Update(obj, func(value.Value) value.Value { return v })
+}
+
+// NewAtomic creates an object within the subaction; if the subaction
+// aborts the object remains allocated but unreferenced (and therefore
+// never written to stable storage).
+func (s *Sub) NewAtomic(initial value.Value) (*object.Atomic, error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	return s.parent.NewAtomic(initial)
+}
+
+// Seize runs fn in possession of the mutex on the top action's behalf.
+// Mutex modifications are not undone by subaction abort, mirroring
+// top-level abort semantics (§2.4.2).
+func (s *Sub) Seize(m *object.Mutex, fn func(value.Value) value.Value) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	return s.parent.Seize(m, fn)
+}
+
+// Commit makes the subaction's effects part of the top-level action
+// (which must still commit for them to reach stable storage).
+func (s *Sub) Commit() error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	s.done = true
+	s.undo = nil
+	return nil
+}
+
+// Abort undoes the subaction's modifications to atomic objects while
+// the top-level action continues. Objects the subaction was the first
+// to modify revert to their pre-subaction versions; objects the top
+// action had already modified revert to the top action's version.
+func (s *Sub) Abort() error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	s.done = true
+	a := s.parent
+	for i := len(s.undo) - 1; i >= 0; i-- {
+		u := s.undo[i]
+		if u.hadWrite {
+			if err := u.obj.Replace(a.id, u.version); err != nil {
+				return err
+			}
+			continue
+		}
+		// The subaction introduced the write: drop the version and the
+		// lock, and remove the object from the top action's MOS.
+		u.obj.Abort(a.id)
+		a.g.mu.Lock()
+		if st, ok := a.g.live[a.id]; ok {
+			delete(st.mos, u.obj.UID())
+			delete(st.locked, u.obj.UID())
+		}
+		a.g.mu.Unlock()
+	}
+	s.undo = nil
+	return nil
+}
+
+// aidOf is a test hook returning the top-level action id a subaction
+// runs under.
+func (s *Sub) aidOf() ids.ActionID { return s.parent.id }

@@ -1,0 +1,208 @@
+package guardian
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/value"
+)
+
+func TestSubCommitKeepsEffects(t *testing.T) {
+	g := mustGuardian(t, 1, core.BackendHybrid)
+	c := initCounter(t, g, 10)
+	a := g.Begin()
+	sub := a.Sub()
+	if err := sub.Set(c, value.Int(20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, g); got != 20 {
+		t.Fatalf("counter = %d, want 20", got)
+	}
+}
+
+func TestSubAbortUndoesItsWrites(t *testing.T) {
+	g := mustGuardian(t, 1, core.BackendHybrid)
+	c := initCounter(t, g, 10)
+	a := g.Begin()
+	sub := a.Sub()
+	if err := sub.Set(c, value.Int(99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// The top action continues and commits; the subaction's write is
+	// gone, and since the subaction introduced the lock, the object is
+	// free for the parent (or others) again.
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, g); got != 10 {
+		t.Fatalf("counter = %d, want 10", got)
+	}
+	g.Crash()
+	g2, err := Restart(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, g2); got != 10 {
+		t.Fatalf("after crash counter = %d, want 10", got)
+	}
+}
+
+func TestSubAbortRestoresParentVersion(t *testing.T) {
+	g := mustGuardian(t, 1, core.BackendHybrid)
+	c := initCounter(t, g, 10)
+	a := g.Begin()
+	if err := a.Set(c, value.Int(15)); err != nil {
+		t.Fatal(err)
+	}
+	sub := a.Sub()
+	if err := sub.Set(c, value.Int(99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// The parent's own modification survives the subaction abort.
+	if got := c.Value(a.ID()); !value.Equal(got, value.Int(15)) {
+		t.Fatalf("parent's view = %s, want 15", value.String(got))
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, g); got != 15 {
+		t.Fatalf("counter = %d, want 15", got)
+	}
+}
+
+func TestSubAbortMultipleObjects(t *testing.T) {
+	g := mustGuardian(t, 1, core.BackendHybrid)
+	a0 := g.Begin()
+	x, _ := a0.NewAtomic(value.Int(1))
+	y, _ := a0.NewAtomic(value.Int(2))
+	if err := a0.SetVar("x", x); err != nil {
+		t.Fatal(err)
+	}
+	if err := a0.SetVar("y", y); err != nil {
+		t.Fatal(err)
+	}
+	if err := a0.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	a := g.Begin()
+	if err := a.Set(x, value.Int(11)); err != nil { // parent touches x
+		t.Fatal(err)
+	}
+	sub := a.Sub()
+	if err := sub.Set(x, value.Int(111)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Set(y, value.Int(222)); err != nil { // sub introduces y
+		t.Fatal(err)
+	}
+	if err := sub.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	gx, _ := g.VarAtomic("x")
+	gy, _ := g.VarAtomic("y")
+	if !value.Equal(gx.Base(), value.Int(11)) {
+		t.Fatalf("x = %s, want parent's 11", value.String(gx.Base()))
+	}
+	if !value.Equal(gy.Base(), value.Int(2)) {
+		t.Fatalf("y = %s, want original 2", value.String(gy.Base()))
+	}
+}
+
+func TestSubSequencing(t *testing.T) {
+	g := mustGuardian(t, 1, core.BackendHybrid)
+	c := initCounter(t, g, 0)
+	a := g.Begin()
+	s1 := a.Sub()
+	if err := s1.Set(c, value.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A second subaction sees the first's committed effect and aborts:
+	// the state reverts to s1's result, not to the original.
+	s2 := a.Sub()
+	got, err := s2.Read(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(got, value.Int(1)) {
+		t.Fatalf("s2 read %s", value.String(got))
+	}
+	if err := s2.Set(c, value.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, g); got != 1 {
+		t.Fatalf("counter = %d, want 1", got)
+	}
+}
+
+func TestSubUseAfterCompletion(t *testing.T) {
+	g := mustGuardian(t, 1, core.BackendHybrid)
+	c := initCounter(t, g, 0)
+	a := g.Begin()
+	sub := a.Sub()
+	if err := sub.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Set(c, value.Int(1)); err == nil {
+		t.Fatal("write through a committed subaction succeeded")
+	}
+	if err := sub.Abort(); err == nil {
+		t.Fatal("abort of a committed subaction succeeded")
+	}
+	if sub.aidOf() != a.ID() {
+		t.Fatal("subaction runs under a different action id")
+	}
+}
+
+func TestSubNewObjectDiscardedOnAbort(t *testing.T) {
+	g := mustGuardian(t, 1, core.BackendHybrid)
+	c := initCounter(t, g, 0)
+	a := g.Begin()
+	sub := a.Sub()
+	orphanParent, err := sub.NewAtomic(value.Int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Set(c, value.NewList(value.Ref{Target: orphanParent})); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The counter reverted, so the new object is unreachable and must
+	// not appear in the recovered stable state.
+	g.Crash()
+	g2, err := Restart(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := g2.Heap().Lookup(orphanParent.UID()); found {
+		t.Fatal("orphaned subaction object recovered")
+	}
+}

@@ -1,0 +1,154 @@
+package hybridlog
+
+// Crash-during-housekeeping tests: the atomic switch (thesis ch. 5)
+// means a crash at any point before the root-pointer write leaves the
+// old log authoritative, and any point after leaves the new log
+// complete. Either way no committed state is lost.
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/simplelog"
+	"repro/internal/stablelog"
+	"repro/internal/value"
+)
+
+// TestCrashBetweenStage1AndFinish: the new log exists but was never
+// installed; recovery uses the old log.
+func TestCrashBetweenStage1AndFinish(t *testing.T) {
+	for _, snapshot := range []bool{false, true} {
+		name := "compaction"
+		if snapshot {
+			name = "snapshot"
+		}
+		t.Run(name, func(t *testing.T) {
+			f := newFixture(t)
+			accounts := f.seedBank(2)
+			f.transfer(accounts[0], accounts[1], 100)
+
+			var h *Housekeeper
+			var err error
+			if snapshot {
+				h, err = f.writer.BeginSnapshot(f.site)
+			} else {
+				h, err = f.writer.BeginCompaction(f.site)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Stage1(); err != nil {
+				t.Fatal(err)
+			}
+			// More work lands on the old log before the crash.
+			f.transfer(accounts[1], accounts[0], 25)
+			// Crash before Finish: the generation pointer still names
+			// the old log.
+			tables := f.crashAndRecover()
+			got0 := getAtomic(t, tables.Heap, accounts[0].UID())
+			got1 := getAtomic(t, tables.Heap, accounts[1].UID())
+			if !value.Equal(got0.Base(), value.Int(-75)) || !value.Equal(got1.Base(), value.Int(1075)) {
+				t.Fatalf("balances %s/%s, want -75/1075",
+					value.String(got0.Base()), value.String(got1.Base()))
+			}
+		})
+	}
+}
+
+// TestCrashImmediatelyAfterSwitch: the new log is authoritative and
+// complete.
+func TestCrashImmediatelyAfterSwitch(t *testing.T) {
+	f := newFixture(t)
+	accounts := f.seedBank(2)
+	f.transfer(accounts[0], accounts[1], 100)
+	if _, err := f.writer.CompactLog(f.site); err != nil {
+		t.Fatal(err)
+	}
+	// Crash with zero post-switch activity.
+	tables := f.crashAndRecover()
+	got0 := getAtomic(t, tables.Heap, accounts[0].UID())
+	if !value.Equal(got0.Base(), value.Int(-100)) {
+		t.Fatalf("balance = %s", value.String(got0.Base()))
+	}
+	if tables.OutcomesRead > 2 {
+		t.Fatalf("OutcomesRead = %d: recovery is not reading the checkpoint", tables.OutcomesRead)
+	}
+}
+
+// TestHousekeepingWithCoordinatorEntries: committing entries for
+// unfinished actions survive compaction; done entries let them be
+// dropped.
+func TestHousekeepingWithCoordinatorEntries(t *testing.T) {
+	f := newFixture(t)
+	f.seedBank(1)
+	// An action this guardian coordinates, committed but not done: its
+	// committing entry must survive so the coordinator can finish
+	// phase two after a crash (§2.2.3).
+	unfinished := f.action()
+	if err := f.writer.Prepare(unfinished, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.writer.Committing(unfinished, []ids.GuardianID{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.writer.Commit(unfinished); err != nil {
+		t.Fatal(err)
+	}
+	// And one fully finished action whose coordinator entries are
+	// garbage.
+	finished := f.action()
+	if err := f.writer.Prepare(finished, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.writer.Committing(finished, []ids.GuardianID{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.writer.Commit(finished); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.writer.Done(finished); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := f.writer.CompactLog(f.site); err != nil {
+		t.Fatal(err)
+	}
+	tables := f.crashAndRecover()
+	ci, ok := tables.CT[unfinished]
+	if !ok || ci.State != simplelog.CoordCommitting {
+		t.Fatalf("unfinished action's committing entry lost: CT=%v", tables.CT)
+	}
+	if len(ci.GIDs) != 2 {
+		t.Fatalf("GIDs = %v", ci.GIDs)
+	}
+	if _, still := tables.CT[finished]; still {
+		t.Fatalf("finished action's coordinator entries survived compaction: %v", tables.CT)
+	}
+}
+
+// errorKindGuard ensures housekeeping refuses to run on a foreign
+// (already-switched) generation — regression guard for Site.Switch
+// sequencing.
+func TestSwitchSequencing(t *testing.T) {
+	f := newFixture(t)
+	f.seedBank(1)
+	h1, err := f.writer.BeginCompaction(f.site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.Stage1(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// A second full run on the new generation works, and the site
+	// advanced twice.
+	if _, err := f.writer.CompactLog(f.site); err != nil {
+		t.Fatal(err)
+	}
+	if f.site.Generation() != 3 {
+		t.Fatalf("generation = %d, want 3", f.site.Generation())
+	}
+	_ = stablelog.NoLSN
+}

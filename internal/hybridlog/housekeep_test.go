@@ -1,0 +1,507 @@
+package hybridlog
+
+// Tests for chapter 5: log compaction (§5.1) and the stable-state
+// snapshot (§5.2). The core property for both: recovery from the
+// housekept log reconstructs exactly the state recovery from the
+// original log would have, while the new log is smaller and cheaper to
+// recover from.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/simplelog"
+	"repro/internal/stablelog"
+	"repro/internal/value"
+)
+
+// runHousekeeping dispatches on the algorithm under test.
+func runHousekeeping(t *testing.T, f *fixture, snapshot bool) Stats {
+	t.Helper()
+	var stats Stats
+	var err error
+	if snapshot {
+		stats, err = f.writer.SnapshotLog(f.site)
+	} else {
+		stats, err = f.writer.CompactLog(f.site)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func forBoth(t *testing.T, fn func(t *testing.T, snapshot bool)) {
+	t.Run("compaction", func(t *testing.T) { fn(t, false) })
+	t.Run("snapshot", func(t *testing.T) { fn(t, true) })
+}
+
+// TestHousekeepingShrinksLogAndPreservesState: after a long committed
+// history, housekeeping must shrink the log and recovery must still
+// reproduce the live state.
+func TestHousekeepingShrinksLogAndPreservesState(t *testing.T) {
+	forBoth(t, func(t *testing.T, snapshot bool) {
+		f := newFixture(t)
+		accounts := f.seedBank(4)
+		for i := 0; i < 50; i++ {
+			f.transfer(accounts[i%4], accounts[(i+1)%4], int64(i))
+		}
+		oldSize := f.writer.Log().Size()
+		oldGen := f.site.Generation()
+
+		stats := runHousekeeping(t, f, snapshot)
+		if f.site.Generation() != oldGen+1 {
+			t.Fatalf("generation = %d, want %d", f.site.Generation(), oldGen+1)
+		}
+		if stats.NewLogSize >= oldSize {
+			t.Fatalf("new log %d bytes, old %d: no shrink", stats.NewLogSize, oldSize)
+		}
+		// 5 live objects (root + 4 accounts): the checkpoint copies
+		// exactly those.
+		if stats.ObjectsCopied != 5 {
+			t.Fatalf("ObjectsCopied = %d, want 5", stats.ObjectsCopied)
+		}
+
+		tables := f.crashAndRecover()
+		assertHeapMatches(t, f.heap, tables.Heap)
+		// Recovery reads the committed_ss chain, not 50 transfers' worth
+		// of entries.
+		if tables.OutcomesRead > 3 {
+			t.Fatalf("OutcomesRead = %d after housekeeping, want ≤3", tables.OutcomesRead)
+		}
+	})
+}
+
+// TestHousekeepingContinuesAfterSwitch: the guardian keeps committing
+// actions on the new log and everything survives a crash.
+func TestHousekeepingContinuesAfterSwitch(t *testing.T) {
+	forBoth(t, func(t *testing.T, snapshot bool) {
+		f := newFixture(t)
+		accounts := f.seedBank(2)
+		f.transfer(accounts[0], accounts[1], 100)
+		runHousekeeping(t, f, snapshot)
+		f.transfer(accounts[1], accounts[0], 30)
+
+		tables := f.crashAndRecover()
+		got0 := getAtomic(t, tables.Heap, accounts[0].UID())
+		got1 := getAtomic(t, tables.Heap, accounts[1].UID())
+		if !value.Equal(got0.Base(), value.Int(-70)) || !value.Equal(got1.Base(), value.Int(1070)) {
+			t.Fatalf("balances %s/%s, want -70/1070",
+				value.String(got0.Base()), value.String(got1.Base()))
+		}
+	})
+}
+
+// TestHousekeepingPreservesPreparedAction: an action prepared but not
+// yet resolved at housekeeping time must survive the switch with its
+// write locks and both versions.
+func TestHousekeepingPreservesPreparedAction(t *testing.T) {
+	forBoth(t, func(t *testing.T, snapshot bool) {
+		f := newFixture(t)
+		accounts := f.seedBank(2)
+		aid := f.action()
+		if err := accounts[0].AcquireWrite(aid); err != nil {
+			t.Fatal(err)
+		}
+		accounts[0].Replace(aid, value.Int(42))
+		if err := f.writer.Prepare(aid, object.MOS{accounts[0]}); err != nil {
+			t.Fatal(err)
+		}
+
+		runHousekeeping(t, f, snapshot)
+
+		tables := f.crashAndRecover()
+		if tables.PT[aid] != simplelog.PartPrepared {
+			t.Fatalf("PT[%v] = %v, want prepared", aid, tables.PT[aid])
+		}
+		ra := getAtomic(t, tables.Heap, accounts[0].UID())
+		if ra.Writer() != aid {
+			t.Fatalf("writer = %v, want %v", ra.Writer(), aid)
+		}
+		if cur, ok := ra.Current(); !ok || !value.Equal(cur, value.Int(42)) {
+			t.Fatalf("current = %v, want 42", cur)
+		}
+		if !value.Equal(ra.Base(), value.Int(0)) {
+			t.Fatalf("base = %s, want 0", value.String(ra.Base()))
+		}
+	})
+}
+
+// TestHousekeepingPreparedThenCommitAfterSwitch: the surviving prepared
+// action commits on the new log; its version must win over the
+// checkpoint's base.
+func TestHousekeepingPreparedThenCommitAfterSwitch(t *testing.T) {
+	forBoth(t, func(t *testing.T, snapshot bool) {
+		f := newFixture(t)
+		accounts := f.seedBank(2)
+		aid := f.action()
+		if err := accounts[0].AcquireWrite(aid); err != nil {
+			t.Fatal(err)
+		}
+		accounts[0].Replace(aid, value.Int(42))
+		if err := f.writer.Prepare(aid, object.MOS{accounts[0]}); err != nil {
+			t.Fatal(err)
+		}
+
+		runHousekeeping(t, f, snapshot)
+
+		if err := f.writer.Commit(aid); err != nil {
+			t.Fatal(err)
+		}
+		accounts[0].Commit(aid)
+
+		tables := f.crashAndRecover()
+		ra := getAtomic(t, tables.Heap, accounts[0].UID())
+		if !value.Equal(ra.Base(), value.Int(42)) {
+			t.Fatalf("base = %s, want committed 42", value.String(ra.Base()))
+		}
+		if !ra.Writer().IsZero() {
+			t.Fatalf("stale write lock by %v", ra.Writer())
+		}
+	})
+}
+
+// TestHousekeepingPreparedThenAbortAfterSwitch is the abort dual.
+func TestHousekeepingPreparedThenAbortAfterSwitch(t *testing.T) {
+	forBoth(t, func(t *testing.T, snapshot bool) {
+		f := newFixture(t)
+		accounts := f.seedBank(2)
+		aid := f.action()
+		if err := accounts[0].AcquireWrite(aid); err != nil {
+			t.Fatal(err)
+		}
+		accounts[0].Replace(aid, value.Int(42))
+		if err := f.writer.Prepare(aid, object.MOS{accounts[0]}); err != nil {
+			t.Fatal(err)
+		}
+		runHousekeeping(t, f, snapshot)
+		if err := f.writer.Abort(aid); err != nil {
+			t.Fatal(err)
+		}
+		accounts[0].Abort(aid)
+
+		tables := f.crashAndRecover()
+		ra := getAtomic(t, tables.Heap, accounts[0].UID())
+		if !value.Equal(ra.Base(), value.Int(0)) {
+			t.Fatalf("base = %s, want 0 after abort", value.String(ra.Base()))
+		}
+	})
+}
+
+// TestHousekeepingStageTwoCopiesInterleavedWrites: actions that run
+// between Stage1 and Finish land in the OEL and must survive.
+func TestHousekeepingStageTwoCopiesInterleavedWrites(t *testing.T) {
+	for _, snapshot := range []bool{false, true} {
+		name := "compaction"
+		if snapshot {
+			name = "snapshot"
+		}
+		t.Run(name, func(t *testing.T) {
+			f := newFixture(t)
+			accounts := f.seedBank(3)
+			f.transfer(accounts[0], accounts[1], 10)
+
+			var h *Housekeeper
+			var err error
+			if snapshot {
+				h, err = f.writer.BeginSnapshot(f.site)
+			} else {
+				h, err = f.writer.BeginCompaction(f.site)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Stage1(); err != nil {
+				t.Fatal(err)
+			}
+			// Work arriving between the stages, including a mutex-free
+			// commit and an action left prepared.
+			f.transfer(accounts[1], accounts[2], 5)
+			pend := f.action()
+			if err := accounts[0].AcquireWrite(pend); err != nil {
+				t.Fatal(err)
+			}
+			accounts[0].Replace(pend, value.Int(1234))
+			if err := f.writer.Prepare(pend, object.MOS{accounts[0]}); err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Finish(); err != nil {
+				t.Fatal(err)
+			}
+
+			tables := f.crashAndRecover()
+			// The mid-housekeeping transfer survived.
+			got1 := getAtomic(t, tables.Heap, accounts[1].UID())
+			got2 := getAtomic(t, tables.Heap, accounts[2].UID())
+			if !value.Equal(got1.Base(), value.Int(1005)) || !value.Equal(got2.Base(), value.Int(2005)) {
+				t.Fatalf("balances %s/%s, want 1005/2005",
+					value.String(got1.Base()), value.String(got2.Base()))
+			}
+			// The prepared action survived with lock and versions.
+			ra := getAtomic(t, tables.Heap, accounts[0].UID())
+			if ra.Writer() != pend {
+				t.Fatalf("writer = %v, want %v", ra.Writer(), pend)
+			}
+			if cur, ok := ra.Current(); !ok || !value.Equal(cur, value.Int(1234)) {
+				t.Fatalf("current = %v", cur)
+			}
+		})
+	}
+}
+
+// TestHousekeepingRewritesUnpreparedEarlyData: data entries early-
+// prepared by an action that has not prepared at switch time are not
+// copied by stage two; the writer re-writes them to the new log
+// (§5.1.1 last paragraph).
+func TestHousekeepingRewritesUnpreparedEarlyData(t *testing.T) {
+	forBoth(t, func(t *testing.T, snapshot bool) {
+		f := newFixture(t)
+		accounts := f.seedBank(2)
+		aid := f.action()
+		if err := accounts[0].AcquireWrite(aid); err != nil {
+			t.Fatal(err)
+		}
+		accounts[0].Replace(aid, value.Int(55))
+		if _, err := f.writer.WriteEntry(aid, object.MOS{accounts[0]}); err != nil {
+			t.Fatal(err)
+		}
+
+		runHousekeeping(t, f, snapshot)
+
+		// Now prepare and commit on the new log; the pair must resolve
+		// to a data entry in the *new* log.
+		if err := f.writer.Prepare(aid, object.MOS{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.writer.Commit(aid); err != nil {
+			t.Fatal(err)
+		}
+		accounts[0].Commit(aid)
+
+		tables := f.crashAndRecover()
+		ra := getAtomic(t, tables.Heap, accounts[0].UID())
+		if !value.Equal(ra.Base(), value.Int(55)) {
+			t.Fatalf("base = %s, want 55", value.String(ra.Base()))
+		}
+	})
+}
+
+// TestHousekeepingMutexLatestVersion: two actions prepared mutex
+// versions; housekeeping must keep only the latest, and recovery must
+// agree.
+func TestHousekeepingMutexLatestVersion(t *testing.T) {
+	forBoth(t, func(t *testing.T, snapshot bool) {
+		f := newFixture(t)
+		m := object.NewMutex(2, value.Int(0))
+		root := object.NewAtomic(ids.StableVarsUID,
+			value.RecordOf("m", value.Ref{Target: m}), ids.NoAction)
+		f.heap.Register(root)
+		f.heap.Register(m)
+		setup := f.action()
+		if err := f.writer.Prepare(setup, object.MOS{}); err != nil {
+			t.Fatal(err)
+		}
+		f.writer.Commit(setup)
+
+		// Two prepared (unresolved) actions touch the mutex in turn.
+		a1, a2 := f.action(), f.action()
+		m.Seize(a1, func(value.Value) value.Value { return value.Int(1) })
+		if err := f.writer.Prepare(a1, object.MOS{m}); err != nil {
+			t.Fatal(err)
+		}
+		m.Seize(a2, func(value.Value) value.Value { return value.Int(2) })
+		if err := f.writer.Prepare(a2, object.MOS{m}); err != nil {
+			t.Fatal(err)
+		}
+
+		runHousekeeping(t, f, snapshot)
+
+		tables := f.crashAndRecover()
+		rm := getMutex(t, tables.Heap, 2)
+		if !value.Equal(rm.Current(), value.Int(2)) {
+			t.Fatalf("mutex = %s, want latest prepared version 2", value.String(rm.Current()))
+		}
+		if tables.PT[a1] != simplelog.PartPrepared || tables.PT[a2] != simplelog.PartPrepared {
+			t.Fatalf("PT = %v", tables.PT)
+		}
+	})
+}
+
+// TestRepeatedHousekeeping: housekeeping must compose — including
+// compacting a log that already contains a committed_ss entry — and
+// keep recovery cost bounded as history grows.
+func TestRepeatedHousekeeping(t *testing.T) {
+	forBoth(t, func(t *testing.T, snapshot bool) {
+		f := newFixture(t)
+		accounts := f.seedBank(3)
+		for round := 0; round < 4; round++ {
+			for i := 0; i < 10; i++ {
+				f.transfer(accounts[i%3], accounts[(i+1)%3], 1)
+			}
+			runHousekeeping(t, f, snapshot)
+		}
+		tables := f.crashAndRecover()
+		assertHeapMatches(t, f.heap, tables.Heap)
+		if tables.OutcomesRead > 3 {
+			t.Fatalf("OutcomesRead = %d, want bounded", tables.OutcomesRead)
+		}
+	})
+}
+
+// TestHousekeepingWithNewlyAccessibleUnderPreparedAction covers the
+// §5.2 corner: an object created and made accessible by a *prepared*
+// action. Its data predates the marker; if the action commits after the
+// switch, the object must still be recoverable.
+func TestHousekeepingWithNewlyAccessibleUnderPreparedAction(t *testing.T) {
+	forBoth(t, func(t *testing.T, snapshot bool) {
+		f := newFixture(t)
+		accounts := f.seedBank(2)
+		aid := f.action()
+		child := object.NewAtomic(777, value.Str("child"), aid) // read-locked by creator
+		f.heap.Register(child)
+		if err := accounts[0].AcquireWrite(aid); err != nil {
+			t.Fatal(err)
+		}
+		accounts[0].Replace(aid, value.NewList(value.Ref{Target: child}))
+		if err := f.writer.Prepare(aid, object.MOS{accounts[0]}); err != nil {
+			t.Fatal(err)
+		}
+
+		runHousekeeping(t, f, snapshot)
+
+		if err := f.writer.Commit(aid); err != nil {
+			t.Fatal(err)
+		}
+		accounts[0].Commit(aid)
+		child.Commit(aid)
+
+		tables := f.crashAndRecover()
+		rc := getAtomic(t, tables.Heap, 777)
+		if !value.Equal(rc.Base(), value.Str("child")) {
+			t.Fatalf("child = %s", value.String(rc.Base()))
+		}
+		ra := getAtomic(t, tables.Heap, accounts[0].UID())
+		l, ok := ra.Base().(*value.List)
+		if !ok {
+			t.Fatalf("account0 = %s", value.String(ra.Base()))
+		}
+		if ref, ok := l.Elems[0].(value.Ref); !ok || ref.Target.UID() != 777 {
+			t.Fatalf("reference = %s", value.String(l.Elems[0]))
+		}
+	})
+}
+
+// TestHousekeepingDropsAbortedGarbage: versions written by aborted
+// actions do not survive into the new log.
+func TestHousekeepingDropsAbortedGarbage(t *testing.T) {
+	forBoth(t, func(t *testing.T, snapshot bool) {
+		f := newFixture(t)
+		accounts := f.seedBank(1)
+		for i := 0; i < 20; i++ {
+			aid := f.action()
+			if err := accounts[0].AcquireWrite(aid); err != nil {
+				t.Fatal(err)
+			}
+			accounts[0].Replace(aid, value.Int(int64(i)))
+			if err := f.writer.Prepare(aid, object.MOS{accounts[0]}); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.writer.Abort(aid); err != nil {
+				t.Fatal(err)
+			}
+			accounts[0].Abort(aid)
+		}
+		stats := runHousekeeping(t, f, snapshot)
+		// Only root + account survive (2 objects).
+		if stats.ObjectsCopied != 2 {
+			t.Fatalf("ObjectsCopied = %d, want 2", stats.ObjectsCopied)
+		}
+		tables := f.crashAndRecover()
+		ra := getAtomic(t, tables.Heap, accounts[0].UID())
+		if !value.Equal(ra.Base(), value.Int(0)) {
+			t.Fatalf("account = %s, want 0", value.String(ra.Base()))
+		}
+	})
+}
+
+// TestConcurrentHousekeepingRejected: only one run at a time.
+func TestConcurrentHousekeepingRejected(t *testing.T) {
+	f := newFixture(t)
+	f.seedBank(1)
+	h, err := f.writer.BeginCompaction(f.site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.writer.BeginSnapshot(f.site); err == nil {
+		t.Fatal("second housekeeping accepted")
+	}
+	if err := h.Stage1(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// After Finish a new run is allowed again.
+	stats, err := f.writer.CompactLog(f.site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = stats
+}
+
+// TestHousekeepingRecoveryCostBounded quantifies E6: recovery cost
+// before housekeeping grows with history; after housekeeping it is
+// proportional to the live set.
+func TestHousekeepingRecoveryCostBounded(t *testing.T) {
+	f := newFixture(t)
+	accounts := f.seedBank(2)
+	for i := 0; i < 100; i++ {
+		f.transfer(accounts[0], accounts[1], 1)
+	}
+	// Measure recovery cost pre-housekeeping (on a copy via crash).
+	f.vol.Crash()
+	f.vol.Restart()
+	site, err := stablelog.OpenSite(f.vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Recover(site.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resume and housekeep.
+	w := NewWriter(site.Log(), before.Heap, before.AS, before.PAT, before.ChainHead, before.MT)
+	if _, err := w.CompactLog(site); err != nil {
+		t.Fatal(err)
+	}
+	f.vol.Crash()
+	f.vol.Restart()
+	site2, err := stablelog.OpenSite(f.vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Recover(site2.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.OutcomesRead >= before.OutcomesRead/10 {
+		t.Fatalf("recovery outcome reads: before %d, after %d — not bounded",
+			before.OutcomesRead, after.OutcomesRead)
+	}
+	// And state equivalence.
+	for _, uid := range before.Heap.UIDs() {
+		bo, _ := before.Heap.Lookup(uid)
+		ao, ok := after.Heap.Lookup(uid)
+		if !ok {
+			t.Fatalf("%v lost by housekeeping", uid)
+		}
+		ba, aok := bo.(*object.Atomic)
+		aa, bok := ao.(*object.Atomic)
+		if aok && bok && !value.Equal(ba.Base(), aa.Base()) {
+			t.Fatalf("%v: %s vs %s", uid, value.String(ba.Base()), value.String(aa.Base()))
+		}
+	}
+	_ = fmt.Sprint()
+}

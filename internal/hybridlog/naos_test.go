@@ -1,0 +1,284 @@
+package hybridlog
+
+// Newly-accessible-object coverage for the hybrid writer: the case
+// analysis of §3.3.3.3 step 4 in the hybrid format (chained
+// base_committed / prepared_data entries), plus housekeeping over those
+// entries.
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/value"
+)
+
+// prepareHidden sets up the prepared_data situation: action A modifies
+// an inaccessible object O and prepares; action B then makes O
+// accessible and prepares.
+func prepareHidden(t *testing.T, f *fixture) (aA, aB ids.ActionID, o *object.Atomic) {
+	t.Helper()
+	accounts := f.seedBank(1)
+	holder := accounts[0]
+
+	o = object.NewAtomic(777, value.Int(1), ids.NoAction)
+	f.heap.Register(o)
+	aA = f.action()
+	aB = f.action()
+	if err := o.AcquireWrite(aA); err != nil {
+		t.Fatal(err)
+	}
+	o.Replace(aA, value.Int(2))
+	if err := f.writer.Prepare(aA, object.MOS{o}); err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.AcquireWrite(aB); err != nil {
+		t.Fatal(err)
+	}
+	holder.Replace(aB, value.NewList(value.Ref{Target: o}))
+	if err := f.writer.Prepare(aB, object.MOS{holder}); err != nil {
+		t.Fatal(err)
+	}
+	return aA, aB, o
+}
+
+func TestHybridPreparedDataEntry(t *testing.T) {
+	f := newFixture(t)
+	aA, _, _ := prepareHidden(t, f)
+
+	tables := f.crashAndRecover()
+	rO := getAtomic(t, tables.Heap, 777)
+	if rO.Writer() != aA {
+		t.Fatalf("O writer = %v, want %v", rO.Writer(), aA)
+	}
+	if cur, ok := rO.Current(); !ok || !value.Equal(cur, value.Int(2)) {
+		t.Fatalf("O current = %v", cur)
+	}
+	if !value.Equal(rO.Base(), value.Int(1)) {
+		t.Fatalf("O base = %s", value.String(rO.Base()))
+	}
+}
+
+func TestHybridPreparedDataThenCommit(t *testing.T) {
+	f := newFixture(t)
+	aA, _, o := prepareHidden(t, f)
+	if err := f.writer.Commit(aA); err != nil {
+		t.Fatal(err)
+	}
+	o.Commit(aA)
+	tables := f.crashAndRecover()
+	rO := getAtomic(t, tables.Heap, 777)
+	if !value.Equal(rO.Base(), value.Int(2)) {
+		t.Fatalf("O base = %s, want committed 2", value.String(rO.Base()))
+	}
+	if !rO.Writer().IsZero() {
+		t.Fatalf("stale lock by %v", rO.Writer())
+	}
+}
+
+func TestHybridPreparedDataThenAbort(t *testing.T) {
+	f := newFixture(t)
+	aA, _, o := prepareHidden(t, f)
+	if err := f.writer.Abort(aA); err != nil {
+		t.Fatal(err)
+	}
+	o.Abort(aA)
+	tables := f.crashAndRecover()
+	rO := getAtomic(t, tables.Heap, 777)
+	if !value.Equal(rO.Base(), value.Int(1)) {
+		t.Fatalf("O base = %s, want original 1", value.String(rO.Base()))
+	}
+}
+
+// TestHybridPreparedDataSurvivesHousekeeping: compaction and snapshot
+// must carry the pd entry (or equivalent) across the switch while A is
+// still prepared.
+func TestHybridPreparedDataSurvivesHousekeeping(t *testing.T) {
+	forBoth(t, func(t *testing.T, snapshot bool) {
+		f := newFixture(t)
+		aA, _, o := prepareHidden(t, f)
+
+		runHousekeeping(t, f, snapshot)
+
+		// A commits after the switch; its current version must win.
+		if err := f.writer.Commit(aA); err != nil {
+			t.Fatal(err)
+		}
+		o.Commit(aA)
+		tables := f.crashAndRecover()
+		rO := getAtomic(t, tables.Heap, 777)
+		if !value.Equal(rO.Base(), value.Int(2)) {
+			t.Fatalf("O base = %s, want 2", value.String(rO.Base()))
+		}
+	})
+}
+
+// TestHybridPreparedDataAbortAfterHousekeeping is the abort dual.
+func TestHybridPreparedDataAbortAfterHousekeeping(t *testing.T) {
+	forBoth(t, func(t *testing.T, snapshot bool) {
+		f := newFixture(t)
+		aA, _, o := prepareHidden(t, f)
+		runHousekeeping(t, f, snapshot)
+		if err := f.writer.Abort(aA); err != nil {
+			t.Fatal(err)
+		}
+		o.Abort(aA)
+		tables := f.crashAndRecover()
+		rO := getAtomic(t, tables.Heap, 777)
+		if !value.Equal(rO.Base(), value.Int(1)) {
+			t.Fatalf("O base = %s, want 1", value.String(rO.Base()))
+		}
+	})
+}
+
+// TestHybridNewlyAccessibleUnlocked: an object made accessible while
+// holding no lock gets a single base_committed entry.
+func TestHybridNewlyAccessibleUnlocked(t *testing.T) {
+	f := newFixture(t)
+	accounts := f.seedBank(1)
+	free := object.NewAtomic(888, value.Str("free"), ids.NoAction)
+	f.heap.Register(free)
+	aid := f.action()
+	if err := accounts[0].AcquireWrite(aid); err != nil {
+		t.Fatal(err)
+	}
+	accounts[0].Replace(aid, value.NewList(value.Ref{Target: free}))
+	if err := f.writer.Prepare(aid, object.MOS{accounts[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.writer.Commit(aid); err != nil {
+		t.Fatal(err)
+	}
+	accounts[0].Commit(aid)
+	tables := f.crashAndRecover()
+	rf := getAtomic(t, tables.Heap, 888)
+	if !value.Equal(rf.Base(), value.Str("free")) {
+		t.Fatalf("free = %s", value.String(rf.Base()))
+	}
+}
+
+// TestHybridNewlyAccessibleLockedByUnpreparedAction: the other writer
+// has not prepared, so only the base version is written.
+func TestHybridNewlyAccessibleLockedByUnpreparedAction(t *testing.T) {
+	f := newFixture(t)
+	accounts := f.seedBank(1)
+	o := object.NewAtomic(999, value.Int(1), ids.NoAction)
+	f.heap.Register(o)
+	aA := f.action() // modifies O but never prepares
+	aB := f.action()
+	if err := o.AcquireWrite(aA); err != nil {
+		t.Fatal(err)
+	}
+	o.Replace(aA, value.Int(2))
+	if err := accounts[0].AcquireWrite(aB); err != nil {
+		t.Fatal(err)
+	}
+	accounts[0].Replace(aB, value.NewList(value.Ref{Target: o}))
+	if err := f.writer.Prepare(aB, object.MOS{accounts[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.writer.Commit(aB); err != nil {
+		t.Fatal(err)
+	}
+	accounts[0].Commit(aB)
+	tables := f.crashAndRecover()
+	rO := getAtomic(t, tables.Heap, 999)
+	if !value.Equal(rO.Base(), value.Int(1)) {
+		t.Fatalf("O = %s, want base 1 (A never prepared)", value.String(rO.Base()))
+	}
+	if !rO.Writer().IsZero() {
+		t.Fatalf("phantom lock by %v", rO.Writer())
+	}
+}
+
+// TestHousekeepingStage2CopiesAllOutcomeKinds: bc, pd, committing, and
+// done entries written after the marker are copied by stage two.
+func TestHousekeepingStage2CopiesAllOutcomeKinds(t *testing.T) {
+	forBoth(t, func(t *testing.T, snapshot bool) {
+		f := newFixture(t)
+		accounts := f.seedBank(1)
+
+		var h *Housekeeper
+		var err error
+		if snapshot {
+			h, err = f.writer.BeginSnapshot(f.site)
+		} else {
+			h, err = f.writer.BeginCompaction(f.site)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Stage1(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Post-marker activity producing every outcome kind:
+		// a prepared_data + base_committed via a hidden object, and a
+		// coordinator pair.
+		aA, _, o := prepareHidden2(t, f, accounts[0])
+		coordAid := f.action()
+		if err := f.writer.Prepare(coordAid, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.writer.Committing(coordAid, []ids.GuardianID{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.writer.Commit(coordAid); err != nil {
+			t.Fatal(err)
+		}
+		doneAid := f.action()
+		if err := f.writer.Prepare(doneAid, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.writer.Committing(doneAid, []ids.GuardianID{1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.writer.Commit(doneAid); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.writer.Done(doneAid); err != nil {
+			t.Fatal(err)
+		}
+
+		if err := h.Finish(); err != nil {
+			t.Fatal(err)
+		}
+
+		tables := f.crashAndRecover()
+		// The hidden object's pd entry survived the stage-2 copy.
+		rO := getAtomic(t, tables.Heap, 777)
+		if rO.Writer() != aA {
+			t.Fatalf("O writer = %v, want %v", rO.Writer(), aA)
+		}
+		// The unfinished coordinator survives; the finished one is done.
+		ci, ok := tables.CT[coordAid]
+		if !ok || len(ci.GIDs) != 2 {
+			t.Fatalf("CT[%v] = %+v", coordAid, ci)
+		}
+		_ = o
+	})
+}
+
+// prepareHidden2 is prepareHidden against an existing seeded account.
+func prepareHidden2(t *testing.T, f *fixture, holder *object.Atomic) (aA, aB ids.ActionID, o *object.Atomic) {
+	t.Helper()
+	o = object.NewAtomic(777, value.Int(1), ids.NoAction)
+	f.heap.Register(o)
+	aA = f.action()
+	aB = f.action()
+	if err := o.AcquireWrite(aA); err != nil {
+		t.Fatal(err)
+	}
+	o.Replace(aA, value.Int(2))
+	if err := f.writer.Prepare(aA, object.MOS{o}); err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.AcquireWrite(aB); err != nil {
+		t.Fatal(err)
+	}
+	holder.Replace(aB, value.NewList(value.Ref{Target: o}))
+	if err := f.writer.Prepare(aB, object.MOS{holder}); err != nil {
+		t.Fatal(err)
+	}
+	return aA, aB, o
+}

@@ -1,0 +1,281 @@
+package hybridlog
+
+// Scenario tests for chapter 4: the hybrid-log recovery of §4.3.2
+// (Figure 4-2) and the early-prepare complication of §4.4 (Figure 4-3).
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/logrec"
+	"repro/internal/object"
+	"repro/internal/simplelog"
+	"repro/internal/stablelog"
+	"repro/internal/value"
+)
+
+var (
+	gP = ids.GuardianID(1)
+	tA = ids.ActionID{Coordinator: gP, Seq: 1} // "T1"
+	tB = ids.ActionID{Coordinator: gP, Seq: 2} // "T2"
+)
+
+// logBuilder hand-assembles a hybrid log with explicit chain links.
+type logBuilder struct {
+	t     *testing.T
+	log   *stablelog.Log
+	chain stablelog.LSN
+}
+
+func newLogBuilder(t *testing.T) *logBuilder {
+	t.Helper()
+	vol := stablelog.NewMemVolume(256)
+	site, err := stablelog.CreateSite(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &logBuilder{t: t, log: site.Log(), chain: stablelog.NoLSN}
+}
+
+func (b *logBuilder) data(kind object.Kind, v value.Value) stablelog.LSN {
+	b.t.Helper()
+	lsn, err := b.log.Write(logrec.Encode(logrec.Hybrid, &logrec.Entry{
+		Kind: logrec.KindData, ObjType: kind, Value: value.Flatten(v, nil),
+	}))
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	return lsn
+}
+
+func (b *logBuilder) outcome(e *logrec.Entry) stablelog.LSN {
+	b.t.Helper()
+	e.Prev = b.chain
+	lsn, err := b.log.Write(logrec.Encode(logrec.Hybrid, e))
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	b.chain = lsn
+	return lsn
+}
+
+func (b *logBuilder) finish() *stablelog.Log {
+	b.t.Helper()
+	if err := b.log.Force(); err != nil {
+		b.t.Fatal(err)
+	}
+	return b.log
+}
+
+func getAtomic(t *testing.T, h *object.Heap, uid ids.UID) *object.Atomic {
+	t.Helper()
+	o, ok := h.Lookup(uid)
+	if !ok {
+		t.Fatalf("%v not restored", uid)
+	}
+	a, ok := o.(*object.Atomic)
+	if !ok {
+		t.Fatalf("%v is %T, want atomic", uid, o)
+	}
+	return a
+}
+
+func getMutex(t *testing.T, h *object.Heap, uid ids.UID) *object.Mutex {
+	t.Helper()
+	o, ok := h.Lookup(uid)
+	if !ok {
+		t.Fatalf("%v not restored", uid)
+	}
+	m, ok := o.(*object.Mutex)
+	if !ok {
+		t.Fatalf("%v is %T, want mutex", uid, o)
+	}
+	return m
+}
+
+// TestScenarioFig4_2 reproduces §4.3.2: O1 atomic, O2 mutex; T1
+// committed, T2 prepared. The log of Figure 4-2/4-3's shape:
+//
+//	bc(O1,V1b,nil) data(V1,T1) data(V2,T1)
+//	prepared(T1,[(O1,L1),(O2,L2)]) committed(T1)
+//	data(V1',T2) data(V2',T2) prepared(T2,[(O1,L1'),(O2,L2')])
+func TestScenarioFig4_2(t *testing.T) {
+	const o1, o2 = ids.UID(11), ids.UID(12)
+	v1b := value.Int(1)
+	v1T1, v2T1 := value.Int(10), value.Int(20)
+	v1T2, v2T2 := value.Int(100), value.Int(200)
+
+	b := newLogBuilder(t)
+	b.outcome(&logrec.Entry{Kind: logrec.KindBaseCommitted, UID: o1, Value: value.Flatten(v1b, nil)})
+	l1 := b.data(object.KindAtomic, v1T1)
+	l2 := b.data(object.KindMutex, v2T1)
+	b.outcome(&logrec.Entry{Kind: logrec.KindPrepared, AID: tA,
+		Pairs: []logrec.UIDLSN{{UID: o1, Addr: l1}, {UID: o2, Addr: l2}}})
+	b.outcome(&logrec.Entry{Kind: logrec.KindCommitted, AID: tA})
+	l1p := b.data(object.KindAtomic, v1T2)
+	l2p := b.data(object.KindMutex, v2T2)
+	b.outcome(&logrec.Entry{Kind: logrec.KindPrepared, AID: tB,
+		Pairs: []logrec.UIDLSN{{UID: o1, Addr: l1p}, {UID: o2, Addr: l2p}}})
+	log := b.finish()
+
+	tables, err := Recover(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables.PT[tA] != simplelog.PartCommitted || tables.PT[tB] != simplelog.PartPrepared {
+		t.Fatalf("PT = %v", tables.PT)
+	}
+	// O1: current = T2's version (write lock granted), base = T1's
+	// committed version; the bc entry at the chain's end is ignored.
+	a1 := getAtomic(t, tables.Heap, o1)
+	if a1.Writer() != tB {
+		t.Fatalf("O1 writer = %v, want T2", a1.Writer())
+	}
+	if cur, ok := a1.Current(); !ok || !value.Equal(cur, v1T2) {
+		t.Fatalf("O1 current = %v, want %s", cur, value.String(v1T2))
+	}
+	if !value.Equal(a1.Base(), v1T1) {
+		t.Fatalf("O1 base = %s, want T1's committed %s", value.String(a1.Base()), value.String(v1T1))
+	}
+	// O2: mutex restored to T2's (prepared) version.
+	m2 := getMutex(t, tables.Heap, o2)
+	if !value.Equal(m2.Current(), v2T2) {
+		t.Fatalf("O2 = %s, want %s", value.String(m2.Current()), value.String(v2T2))
+	}
+	// MT points at T2's data entry for O2.
+	if tables.MT[o2] != l2p {
+		t.Fatalf("MT[O2] = %v, want %v", tables.MT[o2], l2p)
+	}
+	// Chain-following efficiency: 4 outcome entries processed, and only
+	// 3 data fetches (O1's base+current, O2's latest) — T1's stale O2
+	// version is never read.
+	if tables.OutcomesRead != 4 {
+		t.Errorf("OutcomesRead = %d, want 4", tables.OutcomesRead)
+	}
+	if tables.DataRead != 3 {
+		t.Errorf("DataRead = %d, want 3 (stale mutex version skipped)", tables.DataRead)
+	}
+}
+
+// TestScenarioFig4_3 reproduces the early-prepare problem of §4.4: data
+// entries of T1 and T2 interleave; O1 is a mutex modified first by T1
+// and then by T2; both prepared, T1 committed. Without the log-address
+// comparison the recovery would restore T1's older version.
+func TestScenarioFig4_3(t *testing.T) {
+	const o1, o2, o3, o4 = ids.UID(21), ids.UID(22), ids.UID(23), ids.UID(24)
+	v1T1 := value.Str("O1 by T1 (older)")
+	v1T2 := value.Str("O1 by T2 (latest)")
+
+	b := newLogBuilder(t)
+	lT1o1 := b.data(object.KindMutex, v1T1) // step 1: early prepare for T1
+	lT2o1 := b.data(object.KindMutex, v1T2) // step 2: T2 seizes and modifies O1
+	lT2o2 := b.data(object.KindAtomic, value.Int(2))
+	lT2o3 := b.data(object.KindAtomic, value.Int(3))
+	b.outcome(&logrec.Entry{Kind: logrec.KindPrepared, AID: tB, Pairs: []logrec.UIDLSN{
+		{UID: o1, Addr: lT2o1}, {UID: o2, Addr: lT2o2}, {UID: o3, Addr: lT2o3}}})
+	lT1o4 := b.data(object.KindAtomic, value.Int(4)) // step 5
+	b.outcome(&logrec.Entry{Kind: logrec.KindPrepared, AID: tA, Pairs: []logrec.UIDLSN{
+		{UID: o1, Addr: lT1o1}, {UID: o4, Addr: lT1o4}}})
+	b.outcome(&logrec.Entry{Kind: logrec.KindCommitted, AID: tA})
+	log := b.finish()
+
+	tables, err := Recover(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The crux: O1 must hold T2's version, the *latest* data entry,
+	// even though T1's prepared entry is processed first (T1 committed,
+	// T2 merely prepared).
+	m1 := getMutex(t, tables.Heap, o1)
+	if !value.Equal(m1.Current(), v1T2) {
+		t.Fatalf("O1 = %s, want %s (latest-address rule)",
+			value.String(m1.Current()), value.String(v1T2))
+	}
+	if tables.MT[o1] != lT2o1 {
+		t.Fatalf("MT[O1] = %v, want %v", tables.MT[o1], lT2o1)
+	}
+	// O4 committed under T1; O2, O3 write-locked by prepared T2.
+	if !value.Equal(getAtomic(t, tables.Heap, o4).Base(), value.Int(4)) {
+		t.Error("O4 wrong")
+	}
+	for _, uid := range []ids.UID{o2, o3} {
+		a := getAtomic(t, tables.Heap, uid)
+		if a.Writer() != tB {
+			t.Errorf("%v writer = %v, want T2", uid, a.Writer())
+		}
+	}
+	if tables.PT[tA] != simplelog.PartCommitted || tables.PT[tB] != simplelog.PartPrepared {
+		t.Fatalf("PT = %v", tables.PT)
+	}
+}
+
+// TestScenarioFig4_3ReversedVerdicts is the dual: T2 (the later mutex
+// writer) aborted after preparing, T1 unknown. T2's version still wins.
+func TestScenarioFig4_3ReversedVerdicts(t *testing.T) {
+	const o1 = ids.UID(31)
+	v1T1 := value.Str("older")
+	v1T2 := value.Str("latest")
+
+	b := newLogBuilder(t)
+	lT1 := b.data(object.KindMutex, v1T1)
+	lT2 := b.data(object.KindMutex, v1T2)
+	b.outcome(&logrec.Entry{Kind: logrec.KindPrepared, AID: tB,
+		Pairs: []logrec.UIDLSN{{UID: o1, Addr: lT2}}})
+	b.outcome(&logrec.Entry{Kind: logrec.KindPrepared, AID: tA,
+		Pairs: []logrec.UIDLSN{{UID: o1, Addr: lT1}}})
+	b.outcome(&logrec.Entry{Kind: logrec.KindAborted, AID: tB})
+	log := b.finish()
+
+	tables, err := Recover(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := getMutex(t, tables.Heap, o1)
+	if !value.Equal(m1.Current(), v1T2) {
+		t.Fatalf("O1 = %s, want %s (prepared-then-aborted still wins by address)",
+			value.String(m1.Current()), value.String(v1T2))
+	}
+}
+
+// TestRecoverySkipsTrailingData: data entries written (and made durable
+// by a later force) after the last outcome entry belong to an action
+// that never prepared; recovery must skip them to find the chain head.
+func TestRecoverySkipsTrailingData(t *testing.T) {
+	const o1 = ids.UID(41)
+	b := newLogBuilder(t)
+	l1 := b.data(object.KindAtomic, value.Int(1))
+	b.outcome(&logrec.Entry{Kind: logrec.KindPrepared, AID: tA,
+		Pairs: []logrec.UIDLSN{{UID: o1, Addr: l1}}})
+	b.outcome(&logrec.Entry{Kind: logrec.KindCommitted, AID: tA})
+	// Early-prepared data for T2, which never prepared.
+	b.data(object.KindAtomic, value.Int(99))
+	b.data(object.KindMutex, value.Int(98))
+	log := b.finish()
+
+	tables, err := Recover(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables.PT) != 1 || tables.PT[tA] != simplelog.PartCommitted {
+		t.Fatalf("PT = %v", tables.PT)
+	}
+	if tables.Heap.Len() != 1 {
+		t.Fatalf("heap has %d objects, want 1", tables.Heap.Len())
+	}
+	if !value.Equal(getAtomic(t, tables.Heap, o1).Base(), value.Int(1)) {
+		t.Fatal("O1 wrong")
+	}
+}
+
+// TestRecoveryEmptyHybridLog handles the degenerate case.
+func TestRecoveryEmptyHybridLog(t *testing.T) {
+	b := newLogBuilder(t)
+	log := b.finish()
+	tables, err := Recover(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables.ChainHead != stablelog.NoLSN || tables.Heap.Len() != 0 {
+		t.Fatalf("recovered %+v from empty log", tables)
+	}
+}

@@ -1,0 +1,171 @@
+package hybridlog
+
+// Direct tests for the recovery ordering rules around committed_ss
+// entries (the fromSS provenance rule): compaction writes stage-one
+// entries in reverse chronological order, so recovery can meet a
+// checkpoint's version of an object *before* the surviving prepared or
+// prepared_data entry that supersedes it. These hand-crafted logs pin
+// each conflict case.
+
+import (
+	"testing"
+
+	"repro/internal/logrec"
+	"repro/internal/object"
+	"repro/internal/simplelog"
+	"repro/internal/value"
+)
+
+// buildSSLog assembles a compacted-shaped log:
+//
+//	data(base of O)   ← checkpoint's copy
+//	data(cur of O)    ← surviving prepared entry's copy (written earlier
+//	                    in stage one, i.e. lower LSN — reverse order!)
+//	prepared(T, [O→cur])   (chain tail)
+//	committed_ss([O→base]) (chain middle)
+//	[verdict for T]        (chain head, from stage two; optional)
+func buildSSLog(t *testing.T, verdict logrec.Kind) (*Tables, value.Value, value.Value) {
+	t.Helper()
+	b := newLogBuilder(t)
+	base := value.Int(1)
+	cur := value.Int(2)
+	// Stage one writes T's data entry first (it processes the prepared
+	// entry before reaching older committed state), then the checkpoint
+	// copy.
+	lCur := b.data(object.KindAtomic, cur)
+	lBase := b.data(object.KindAtomic, base)
+	b.outcome(&logrec.Entry{Kind: logrec.KindPrepared, AID: tA,
+		Pairs: []logrec.UIDLSN{{UID: 7, Addr: lCur}}})
+	b.outcome(&logrec.Entry{Kind: logrec.KindCommittedSS,
+		Pairs: []logrec.UIDLSN{{UID: 7, Addr: lBase}}})
+	if verdict != 0 {
+		b.outcome(&logrec.Entry{Kind: verdict, AID: tA})
+	}
+	log := b.finish()
+	tables, err := Recover(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tables, base, cur
+}
+
+func TestSSOrderPreparedUnknown(t *testing.T) {
+	// No verdict: O must come back write-locked by T with the
+	// checkpoint's base and the prepared entry's current version.
+	tables, base, cur := buildSSLog(t, 0)
+	o := getAtomic(t, tables.Heap, 7)
+	if o.Writer() != tA {
+		t.Fatalf("writer = %v, want %v", o.Writer(), tA)
+	}
+	if got, ok := o.Current(); !ok || !value.Equal(got, cur) {
+		t.Fatalf("current = %v, want %s", got, value.String(cur))
+	}
+	if !value.Equal(o.Base(), base) {
+		t.Fatalf("base = %s, want %s", value.String(o.Base()), value.String(base))
+	}
+	if tables.PT[tA] != simplelog.PartPrepared {
+		t.Fatalf("PT = %v", tables.PT)
+	}
+}
+
+func TestSSOrderCommittedAfterCheckpoint(t *testing.T) {
+	// T committed after the checkpoint (verdict at the chain head): T's
+	// version postdates the checkpoint's and must override it.
+	tables, _, cur := buildSSLog(t, logrec.KindCommitted)
+	o := getAtomic(t, tables.Heap, 7)
+	if !value.Equal(o.Base(), cur) {
+		t.Fatalf("base = %s, want the post-checkpoint commit %s",
+			value.String(o.Base()), value.String(cur))
+	}
+	if !o.Writer().IsZero() {
+		t.Fatalf("stale lock by %v", o.Writer())
+	}
+}
+
+func TestSSOrderAbortedAfterCheckpoint(t *testing.T) {
+	// T aborted after the checkpoint: the checkpoint's base stands.
+	tables, base, _ := buildSSLog(t, logrec.KindAborted)
+	o := getAtomic(t, tables.Heap, 7)
+	if !value.Equal(o.Base(), base) {
+		t.Fatalf("base = %s, want checkpoint %s",
+			value.String(o.Base()), value.String(base))
+	}
+	if !o.Writer().IsZero() {
+		t.Fatalf("stale lock by %v", o.Writer())
+	}
+}
+
+// TestSSOrderPreparedDataVariant: the same three cases with a surviving
+// prepared_data entry (an object another prepare made newly accessible
+// while T held the write lock).
+func TestSSOrderPreparedDataVariant(t *testing.T) {
+	build := func(t *testing.T, verdict logrec.Kind) *Tables {
+		t.Helper()
+		b := newLogBuilder(t)
+		lBase := b.data(object.KindAtomic, value.Int(1))
+		b.outcome(&logrec.Entry{Kind: logrec.KindPreparedData, UID: 7, AID: tA,
+			Value: value.Flatten(value.Int(2), nil)})
+		b.outcome(&logrec.Entry{Kind: logrec.KindCommittedSS,
+			Pairs: []logrec.UIDLSN{{UID: 7, Addr: lBase}}})
+		if verdict != 0 {
+			b.outcome(&logrec.Entry{Kind: verdict, AID: tA})
+		}
+		tables, err := Recover(b.finish())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tables
+	}
+
+	t.Run("unknown", func(t *testing.T) {
+		tables := build(t, 0)
+		o := getAtomic(t, tables.Heap, 7)
+		if o.Writer() != tA {
+			t.Fatalf("writer = %v", o.Writer())
+		}
+		if cur, ok := o.Current(); !ok || !value.Equal(cur, value.Int(2)) {
+			t.Fatalf("current = %v", cur)
+		}
+		if !value.Equal(o.Base(), value.Int(1)) {
+			t.Fatalf("base = %s", value.String(o.Base()))
+		}
+	})
+	t.Run("committed", func(t *testing.T) {
+		tables := build(t, logrec.KindCommitted)
+		o := getAtomic(t, tables.Heap, 7)
+		if !value.Equal(o.Base(), value.Int(2)) {
+			t.Fatalf("base = %s, want 2", value.String(o.Base()))
+		}
+	})
+	t.Run("aborted", func(t *testing.T) {
+		tables := build(t, logrec.KindAborted)
+		o := getAtomic(t, tables.Heap, 7)
+		if !value.Equal(o.Base(), value.Int(1)) {
+			t.Fatalf("base = %s, want 1", value.String(o.Base()))
+		}
+	})
+}
+
+// TestSSOrderMutexInCheckpointVsStage2: a mutex version in the CSSL
+// versus a newer one in a stage-two prepared entry — the higher address
+// (stage two writes after stage one) wins.
+func TestSSOrderMutexInCheckpointVsStage2(t *testing.T) {
+	b := newLogBuilder(t)
+	lOld := b.data(object.KindMutex, value.Str("checkpoint"))
+	b.outcome(&logrec.Entry{Kind: logrec.KindCommittedSS,
+		Pairs: []logrec.UIDLSN{{UID: 7, Addr: lOld}}})
+	lNew := b.data(object.KindMutex, value.Str("stage2"))
+	b.outcome(&logrec.Entry{Kind: logrec.KindPrepared, AID: tB,
+		Pairs: []logrec.UIDLSN{{UID: 7, Addr: lNew}}})
+	tables, err := Recover(b.finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := getMutex(t, tables.Heap, 7)
+	if !value.Equal(m.Current(), value.Str("stage2")) {
+		t.Fatalf("mutex = %s, want stage2", value.String(m.Current()))
+	}
+	if tables.MT[7] != lNew {
+		t.Fatalf("MT = %v, want %v", tables.MT[7], lNew)
+	}
+}

@@ -1,0 +1,406 @@
+// Package hybridlog implements the hybrid log of thesis chapters 4 and
+// 5: the stable-storage organization that combines the pure log's fast
+// writing with shadowing's fast recovery.
+//
+// The shadowing scheme's map is distributed over the log: each prepared
+// outcome entry carries the ⟨uid, log address⟩ pairs for the data
+// entries written on behalf of its action (Figure 4-1), and every
+// outcome entry is linked to the previous outcome entry, forming a
+// backward chain. Recovery follows the chain, reading data entries only
+// when a version actually needs to be copied (§4.3), so its cost is
+// proportional to the number of outcome entries rather than to the
+// whole log.
+//
+// The package also implements early prepare (§4.4) — writing data
+// entries ahead of the prepare message — and the two housekeeping
+// algorithms of chapter 5, log compaction and the stable-state
+// snapshot.
+package hybridlog
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/logrec"
+	"repro/internal/object"
+	"repro/internal/stablelog"
+	"repro/internal/value"
+)
+
+// pendingEntry records one data entry written (possibly early) for an
+// action that has not yet prepared.
+type pendingEntry struct {
+	obj  object.Recoverable
+	addr stablelog.LSN
+}
+
+// Writer runs the hybrid-log writing algorithms for one guardian.
+type Writer struct {
+	mu   sync.Mutex
+	log  *stablelog.Log
+	heap *object.Heap
+	as   *object.AccessSet
+	pat  *object.PAT
+
+	// lastOutcome is the head of the backward chain of outcome entries.
+	lastOutcome stablelog.LSN
+	// pending maps each not-yet-prepared action to the data entries
+	// written for it so far (via early prepare and/or the prepare call);
+	// the prepared entry is assembled from these.
+	pending map[ids.ActionID][]pendingEntry
+	// mt is the mutex table of §5.2: latest prepared data-entry address
+	// per mutex object, maintained during all recovery-system activity
+	// so the snapshot can find mutex versions in the log.
+	mt map[ids.UID]stablelog.LSN
+	// hk, when non-nil, is the housekeeping run in progress; outcome
+	// entries written to the old log are appended to its OEL.
+	hk *housekeeping
+}
+
+// NewWriter returns a hybrid-log writer over an empty (or freshly
+// recovered) state. lastOutcome is the address of the last outcome
+// entry on the log (NoLSN for an empty log); after a crash pass
+// Tables.ChainHead. mt is the recovered mutex table (nil for empty).
+func NewWriter(log *stablelog.Log, heap *object.Heap, as *object.AccessSet, pat *object.PAT,
+	lastOutcome stablelog.LSN, mt map[ids.UID]stablelog.LSN) *Writer {
+	if mt == nil {
+		mt = make(map[ids.UID]stablelog.LSN)
+	}
+	return &Writer{
+		log:         log,
+		heap:        heap,
+		as:          as,
+		pat:         pat,
+		lastOutcome: lastOutcome,
+		pending:     make(map[ids.ActionID][]pendingEntry),
+		mt:          mt,
+	}
+}
+
+// Log returns the current stable log.
+func (w *Writer) Log() *stablelog.Log {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.log
+}
+
+// PAT returns the prepared actions table.
+func (w *Writer) PAT() *object.PAT { return w.pat }
+
+// AS returns the accessibility set.
+func (w *Writer) AS() *object.AccessSet { return w.as }
+
+// ChainHead returns the address of the last outcome entry.
+func (w *Writer) ChainHead() stablelog.LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastOutcome
+}
+
+// MT returns a copy of the mutex table.
+func (w *Writer) MT() map[ids.UID]stablelog.LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[ids.UID]stablelog.LSN, len(w.mt))
+	for k, v := range w.mt {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteEntry early-prepares the objects in mos for action aid (§4.4):
+// each accessible object's version is written as a data entry now, in
+// anticipation of the prepare, so that preparing later only forces the
+// prepared and committed outcome entries. It returns the objects that
+// were not written because they were inaccessible; they become the MOS
+// for the next WriteEntry or the final Prepare.
+func (w *Writer) WriteEntry(aid ids.ActionID, mos object.MOS) (object.MOS, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writeMOSLocked(aid, mos)
+}
+
+// writeMOSLocked runs the chapter-3 writing algorithm (MOS + NAOS
+// drain) in the hybrid format and returns the still-inaccessible rest.
+func (w *Writer) writeMOSLocked(aid ids.ActionID, mos object.MOS) (object.MOS, error) {
+	naos := newNAOS()
+	if w.as.Len() == 0 {
+		if root, ok := w.heap.StableVars(); ok {
+			naos.add(root)
+		}
+	}
+	for _, obj := range mos {
+		if !w.as.Contains(obj.UID()) {
+			continue
+		}
+		if err := w.writeDataEntry(aid, obj, naos); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		obj, ok := naos.pop()
+		if !ok {
+			break
+		}
+		if err := w.writeNewlyAccessible(aid, obj, naos); err != nil {
+			return nil, err
+		}
+		w.as.Add(obj.UID())
+	}
+	var rest object.MOS
+	for _, obj := range mos {
+		if !w.as.Contains(obj.UID()) {
+			rest = append(rest, obj)
+		}
+	}
+	return rest, nil
+}
+
+// Prepare writes data entries for any objects in mos not yet early-
+// prepared, then forces the prepared outcome entry carrying the
+// ⟨uid, log address⟩ pairs for every data entry written on behalf of
+// aid, linked to the previous outcome entry (§4.2).
+func (w *Writer) Prepare(aid ids.ActionID, mos object.MOS) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.writeMOSLocked(aid, mos); err != nil {
+		return err
+	}
+	pend := w.pending[aid]
+	pairs := make([]logrec.UIDLSN, len(pend))
+	for i, p := range pend {
+		pairs[i] = logrec.UIDLSN{UID: p.obj.UID(), Addr: p.addr}
+	}
+	if _, err := w.forceOutcomeLocked(&logrec.Entry{
+		Kind:  logrec.KindPrepared,
+		AID:   aid,
+		Pairs: pairs,
+	}); err != nil {
+		return err
+	}
+	// The action's mutex versions are now prepared: enter them in the
+	// mutex table (§5.2).
+	for _, p := range pend {
+		if p.obj.Kind() == object.KindMutex {
+			w.mt[p.obj.UID()] = p.addr
+		}
+	}
+	delete(w.pending, aid)
+	w.pat.Add(aid)
+	return nil
+}
+
+// Commit forces the committed outcome entry for aid (§3.3.2, hybrid
+// format).
+func (w *Writer) Commit(aid ids.ActionID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.forceOutcomeLocked(&logrec.Entry{Kind: logrec.KindCommitted, AID: aid})
+	if err != nil {
+		return err
+	}
+	w.pat.Remove(aid)
+	delete(w.pending, aid)
+	return nil
+}
+
+// Abort forces the aborted outcome entry for aid. Any early-prepared
+// data entries become garbage ("extra work has been done, but that is
+// not a problem", §4.4).
+func (w *Writer) Abort(aid ids.ActionID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.forceOutcomeLocked(&logrec.Entry{Kind: logrec.KindAborted, AID: aid})
+	if err != nil {
+		return err
+	}
+	w.pat.Remove(aid)
+	delete(w.pending, aid)
+	return nil
+}
+
+// Committing forces the coordinator's committing entry.
+func (w *Writer) Committing(aid ids.ActionID, gids []ids.GuardianID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.forceOutcomeLocked(&logrec.Entry{Kind: logrec.KindCommitting, AID: aid, GIDs: gids})
+	return err
+}
+
+// Done forces the coordinator's done entry.
+func (w *Writer) Done(aid ids.ActionID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.forceOutcomeLocked(&logrec.Entry{Kind: logrec.KindDone, AID: aid})
+	return err
+}
+
+// forceOutcomeLocked links e into the backward chain, forces it, and
+// advances the chain head, notifying any housekeeping run in progress.
+func (w *Writer) forceOutcomeLocked(e *logrec.Entry) (stablelog.LSN, error) {
+	e.Prev = w.lastOutcome
+	lsn, err := w.log.ForceWrite(logrec.Encode(logrec.Hybrid, e))
+	if err != nil {
+		return stablelog.NoLSN, err
+	}
+	w.lastOutcome = lsn
+	if w.hk != nil {
+		w.hk.noteOutcome(lsn)
+	}
+	return lsn, nil
+}
+
+// writeOutcomeLocked is forceOutcomeLocked without the force, for the
+// combined data/outcome entries (base_committed, prepared_data) that
+// need not hit the disk until the prepared entry is forced.
+func (w *Writer) writeOutcomeLocked(e *logrec.Entry) (stablelog.LSN, error) {
+	e.Prev = w.lastOutcome
+	lsn, err := w.log.Write(logrec.Encode(logrec.Hybrid, e))
+	if err != nil {
+		return stablelog.NoLSN, err
+	}
+	w.lastOutcome = lsn
+	if w.hk != nil {
+		w.hk.noteOutcome(lsn)
+	}
+	return lsn, nil
+}
+
+// writeDataEntry writes obj's version for aid as a hybrid data entry
+// and records the ⟨uid, address⟩ pair in aid's pending list (replacing
+// a stale pair from an earlier early-prepare of the same object).
+func (w *Writer) writeDataEntry(aid ids.ActionID, obj object.Recoverable, naos *naos) error {
+	var flat []byte
+	switch o := obj.(type) {
+	case *object.Atomic:
+		flat = o.SnapshotFor(aid, naos.visitor(w.as))
+	case *object.Mutex:
+		flat = o.Snapshot(naos.visitor(w.as))
+	default:
+		return fmt.Errorf("hybridlog: unknown recoverable type %T", obj)
+	}
+	lsn, err := w.log.Write(logrec.Encode(logrec.Hybrid, &logrec.Entry{
+		Kind:    logrec.KindData,
+		ObjType: obj.Kind(),
+		Value:   flat,
+	}))
+	if err != nil {
+		return err
+	}
+	pend := w.pending[aid]
+	for i, p := range pend {
+		if p.obj.UID() == obj.UID() {
+			pend[i].addr = lsn // re-written: keep only the latest address
+			return nil
+		}
+	}
+	w.pending[aid] = append(pend, pendingEntry{obj: obj, addr: lsn})
+	return nil
+}
+
+// writeNewlyAccessible handles a newly accessible object, as in the
+// simple log but with chained base_committed / prepared_data entries.
+func (w *Writer) writeNewlyAccessible(aid ids.ActionID, obj object.Recoverable, naos *naos) error {
+	switch o := obj.(type) {
+	case *object.Mutex:
+		return w.writeDataEntry(aid, obj, naos)
+
+	case *object.Atomic:
+		writer := o.Writer()
+		switch {
+		case writer == aid:
+			if err := w.writeBaseCommitted(o, naos); err != nil {
+				return err
+			}
+			return w.writeDataEntry(aid, obj, naos)
+		case writer.IsZero():
+			return w.writeBaseCommitted(o, naos)
+		default:
+			if w.pat.Contains(writer) {
+				if err := w.writeBaseCommitted(o, naos); err != nil {
+					return err
+				}
+				flat, ok := o.SnapshotCurrent(naos.visitor(w.as))
+				if !ok {
+					return fmt.Errorf("hybridlog: %v write-locked by %v but has no current version", o.UID(), writer)
+				}
+				_, err := w.writeOutcomeLocked(&logrec.Entry{
+					Kind:  logrec.KindPreparedData,
+					UID:   o.UID(),
+					AID:   writer,
+					Value: flat,
+				})
+				return err
+			}
+			return w.writeBaseCommitted(o, naos)
+		}
+
+	default:
+		return fmt.Errorf("hybridlog: unknown recoverable type %T", obj)
+	}
+}
+
+func (w *Writer) writeBaseCommitted(o *object.Atomic, naos *naos) error {
+	flat := o.SnapshotBase(naos.visitor(w.as))
+	_, err := w.writeOutcomeLocked(&logrec.Entry{
+		Kind:  logrec.KindBaseCommitted,
+		UID:   o.UID(),
+		Value: flat,
+	})
+	return err
+}
+
+// TrimAS trims the accessibility set (§3.3.3.2): actions that make
+// objects unreachable leave their UIDs in the AS, so it grows into a
+// superset of the stable state. Trimming traverses the objects
+// reachable from the stable variables into a fresh set and intersects
+// it with the old one — the intersection (rather than replacement)
+// drops objects that became newly accessible during the traversal,
+// which must keep being treated as newly accessible by the writing
+// algorithm.
+func (w *Writer) TrimAS() {
+	fresh := w.heap.AccessibleSet()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fresh.Intersect(w.as)
+	w.as.ReplaceWith(fresh)
+}
+
+// naos is the newly accessible objects work queue, as in simplelog.
+type naos struct {
+	queue  []object.Recoverable
+	queued map[ids.UID]bool
+}
+
+func newNAOS() *naos { return &naos{queued: make(map[ids.UID]bool)} }
+
+func (n *naos) add(obj object.Recoverable) {
+	if n.queued[obj.UID()] {
+		return
+	}
+	n.queued[obj.UID()] = true
+	n.queue = append(n.queue, obj)
+}
+
+func (n *naos) pop() (object.Recoverable, bool) {
+	if len(n.queue) == 0 {
+		return nil, false
+	}
+	obj := n.queue[0]
+	n.queue = n.queue[1:]
+	return obj, true
+}
+
+func (n *naos) visitor(as *object.AccessSet) func(value.Obj) {
+	return func(ref value.Obj) {
+		obj, ok := ref.(object.Recoverable)
+		if !ok {
+			return
+		}
+		if as.Contains(obj.UID()) {
+			return
+		}
+		n.add(obj)
+	}
+}

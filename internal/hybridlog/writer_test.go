@@ -1,0 +1,425 @@
+package hybridlog
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/simplelog"
+	"repro/internal/stablelog"
+	"repro/internal/value"
+)
+
+// fixture is a live guardian state over a hybrid log with crash/recover
+// support via a MemVolume.
+type fixture struct {
+	t      *testing.T
+	vol    *stablelog.MemVolume
+	site   *stablelog.Site
+	heap   *object.Heap
+	as     *object.AccessSet
+	pat    *object.PAT
+	writer *Writer
+	seq    uint64
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	vol := stablelog.NewMemVolume(256)
+	site, err := stablelog.CreateSite(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{
+		t:    t,
+		vol:  vol,
+		site: site,
+		heap: object.NewHeap(),
+		as:   object.NewAccessSet(),
+		pat:  object.NewPAT(),
+	}
+	f.writer = NewWriter(site.Log(), f.heap, f.as, f.pat, stablelog.NoLSN, nil)
+	return f
+}
+
+func (f *fixture) action() ids.ActionID {
+	f.seq++
+	return ids.ActionID{Coordinator: gP, Seq: f.seq}
+}
+
+// crashAndRecover simulates a node crash and runs hybrid recovery on
+// the reopened site.
+func (f *fixture) crashAndRecover() *Tables {
+	f.t.Helper()
+	f.vol.Crash()
+	f.vol.Restart()
+	site, err := stablelog.OpenSite(f.vol)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	tables, err := Recover(site.Log())
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return tables
+}
+
+// commitVolatile applies an action's commit to its objects.
+func commitVolatile(aid ids.ActionID, objs ...object.Recoverable) {
+	for _, o := range objs {
+		if a, ok := o.(*object.Atomic); ok {
+			a.Commit(aid)
+		}
+	}
+}
+
+// seedBank creates a root with n accounts and commits the initial state
+// through the writer. Returns the accounts.
+func (f *fixture) seedBank(n int) []*object.Atomic {
+	f.t.Helper()
+	accounts := make([]*object.Atomic, n)
+	rootRec := value.NewRecord()
+	setup := f.action()
+	for i := range accounts {
+		accounts[i] = object.NewAtomic(ids.UID(100+i), value.Int(int64(1000*i)), setup)
+		f.heap.Register(accounts[i])
+		rootRec.Fields[fmt.Sprintf("acct%d", i)] = value.Ref{Target: accounts[i]}
+	}
+	root := object.NewAtomic(ids.StableVarsUID, rootRec, setup)
+	f.heap.Register(root)
+	if err := f.writer.Prepare(setup, object.MOS{}); err != nil {
+		f.t.Fatal(err)
+	}
+	if err := f.writer.Commit(setup); err != nil {
+		f.t.Fatal(err)
+	}
+	commitVolatile(setup, root)
+	for _, a := range accounts {
+		a.Commit(setup)
+	}
+	return accounts
+}
+
+// transfer runs one committed action moving delta between two accounts.
+func (f *fixture) transfer(from, to *object.Atomic, delta int64) {
+	f.t.Helper()
+	aid := f.action()
+	if err := from.AcquireWrite(aid); err != nil {
+		f.t.Fatal(err)
+	}
+	if err := to.AcquireWrite(aid); err != nil {
+		f.t.Fatal(err)
+	}
+	from.Replace(aid, value.Int(int64(from.Value(aid).(value.Int))-delta))
+	to.Replace(aid, value.Int(int64(to.Value(aid).(value.Int))+delta))
+	if err := f.writer.Prepare(aid, object.MOS{from, to}); err != nil {
+		f.t.Fatal(err)
+	}
+	if err := f.writer.Commit(aid); err != nil {
+		f.t.Fatal(err)
+	}
+	from.Commit(aid)
+	to.Commit(aid)
+}
+
+// assertHeapMatches checks that every live atomic object's committed
+// state equals the recovered one.
+func assertHeapMatches(t *testing.T, live *object.Heap, recovered *object.Heap) {
+	t.Helper()
+	live.Traverse(func(o object.Recoverable) {
+		ro, ok := recovered.Lookup(o.UID())
+		if !ok {
+			t.Errorf("%v missing after recovery", o.UID())
+			return
+		}
+		switch x := o.(type) {
+		case *object.Atomic:
+			ra, ok := ro.(*object.Atomic)
+			if !ok {
+				t.Errorf("%v kind changed", o.UID())
+				return
+			}
+			if !value.Equal(x.Base(), ra.Base()) {
+				t.Errorf("%v: live %s, recovered %s", o.UID(),
+					value.String(x.Base()), value.String(ra.Base()))
+			}
+		case *object.Mutex:
+			rm, ok := ro.(*object.Mutex)
+			if !ok {
+				t.Errorf("%v kind changed", o.UID())
+				return
+			}
+			if !value.Equal(x.Current(), rm.Current()) {
+				t.Errorf("%v: live %s, recovered %s", o.UID(),
+					value.String(x.Current()), value.String(rm.Current()))
+			}
+		}
+	})
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	accounts := f.seedBank(4)
+	f.transfer(accounts[1], accounts[0], 250)
+	f.transfer(accounts[2], accounts[3], 100)
+	f.transfer(accounts[3], accounts[1], 50)
+
+	tables := f.crashAndRecover()
+	assertHeapMatches(t, f.heap, tables.Heap)
+	if tables.MaxUID != 103 {
+		t.Errorf("MaxUID = %v, want O103", tables.MaxUID)
+	}
+}
+
+func TestWriterAbortDiscardsVersions(t *testing.T) {
+	f := newFixture(t)
+	accounts := f.seedBank(2)
+	aid := f.action()
+	if err := accounts[0].AcquireWrite(aid); err != nil {
+		t.Fatal(err)
+	}
+	accounts[0].Replace(aid, value.Int(-1))
+	if err := f.writer.Prepare(aid, object.MOS{accounts[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.writer.Abort(aid); err != nil {
+		t.Fatal(err)
+	}
+	accounts[0].Abort(aid)
+
+	tables := f.crashAndRecover()
+	ra := getAtomic(t, tables.Heap, accounts[0].UID())
+	if !value.Equal(ra.Base(), value.Int(0)) {
+		t.Fatalf("account0 = %s, want 0 (abort must discard)", value.String(ra.Base()))
+	}
+}
+
+func TestEarlyPrepareWriteEntry(t *testing.T) {
+	f := newFixture(t)
+	accounts := f.seedBank(2)
+	aid := f.action()
+	if err := accounts[0].AcquireWrite(aid); err != nil {
+		t.Fatal(err)
+	}
+	accounts[0].Replace(aid, value.Int(777))
+
+	// Early-prepare the modification; only data entries are written, no
+	// outcome entry, so the log's entry count grows but the chain head
+	// does not move.
+	before := f.writer.ChainHead()
+	rest, err := f.writer.WriteEntry(aid, object.MOS{accounts[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("WriteEntry returned %d unwritten objects, want 0", len(rest))
+	}
+	if f.writer.ChainHead() != before {
+		t.Fatal("early prepare moved the outcome chain")
+	}
+
+	// Prepare with an empty MOS: everything was early-prepared. The
+	// prepared entry must still carry the pair for accounts[0].
+	if err := f.writer.Prepare(aid, object.MOS{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.writer.Commit(aid); err != nil {
+		t.Fatal(err)
+	}
+	accounts[0].Commit(aid)
+
+	tables := f.crashAndRecover()
+	ra := getAtomic(t, tables.Heap, accounts[0].UID())
+	if !value.Equal(ra.Base(), value.Int(777)) {
+		t.Fatalf("account0 = %s, want 777", value.String(ra.Base()))
+	}
+}
+
+func TestEarlyPrepareInaccessibleReturned(t *testing.T) {
+	f := newFixture(t)
+	f.seedBank(1)
+	aid := f.action()
+	// A new object not yet reachable from the stable state.
+	orphan := object.NewAtomic(500, value.Int(5), aid)
+	f.heap.Register(orphan)
+	rest, err := f.writer.WriteEntry(aid, object.MOS{orphan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 1 || rest[0].UID() != 500 {
+		t.Fatalf("rest = %v, want the inaccessible orphan", rest)
+	}
+}
+
+func TestEarlyPrepareRewriteSupersedes(t *testing.T) {
+	// An object early-prepared, then modified again, then early-prepared
+	// again: the prepared entry must point at the *latest* data entry.
+	f := newFixture(t)
+	accounts := f.seedBank(1)
+	aid := f.action()
+	if err := accounts[0].AcquireWrite(aid); err != nil {
+		t.Fatal(err)
+	}
+	accounts[0].Replace(aid, value.Int(1))
+	if _, err := f.writer.WriteEntry(aid, object.MOS{accounts[0]}); err != nil {
+		t.Fatal(err)
+	}
+	accounts[0].Replace(aid, value.Int(2))
+	if _, err := f.writer.WriteEntry(aid, object.MOS{accounts[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.writer.Prepare(aid, object.MOS{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.writer.Commit(aid); err != nil {
+		t.Fatal(err)
+	}
+	accounts[0].Commit(aid)
+
+	tables := f.crashAndRecover()
+	ra := getAtomic(t, tables.Heap, accounts[0].UID())
+	if !value.Equal(ra.Base(), value.Int(2)) {
+		t.Fatalf("account = %s, want 2 (latest early-prepare)", value.String(ra.Base()))
+	}
+}
+
+func TestCrashBeforePreparedLosesEarlyData(t *testing.T) {
+	// Early-prepared data whose action never prepared must vanish: the
+	// action is effectively aborted by the crash (§2.2.3).
+	f := newFixture(t)
+	accounts := f.seedBank(2)
+	aid := f.action()
+	if err := accounts[0].AcquireWrite(aid); err != nil {
+		t.Fatal(err)
+	}
+	accounts[0].Replace(aid, value.Int(666))
+	if _, err := f.writer.WriteEntry(aid, object.MOS{accounts[0]}); err != nil {
+		t.Fatal(err)
+	}
+	// Make the data durable via an unrelated committed action, as would
+	// happen when any later force flushes the shared buffer.
+	f.transfer(accounts[1], accounts[1], 0)
+
+	tables := f.crashAndRecover()
+	if _, known := tables.PT[aid]; known {
+		t.Fatalf("unprepared action in PT: %v", tables.PT)
+	}
+	ra := getAtomic(t, tables.Heap, accounts[0].UID())
+	if !value.Equal(ra.Base(), value.Int(0)) {
+		t.Fatalf("account = %s, want 0", value.String(ra.Base()))
+	}
+}
+
+func TestWriterMutexSemantics(t *testing.T) {
+	// A mutex modified and prepared by an action that later aborts must
+	// keep the prepared version; the MT must track its data entry.
+	f := newFixture(t)
+	m := object.NewMutex(2, value.Int(1))
+	root := object.NewAtomic(ids.StableVarsUID,
+		value.RecordOf("m", value.Ref{Target: m}), ids.NoAction)
+	f.heap.Register(root)
+	f.heap.Register(m)
+	setup := f.action()
+	if err := f.writer.Prepare(setup, object.MOS{}); err != nil {
+		t.Fatal(err)
+	}
+	f.writer.Commit(setup)
+
+	aid := f.action()
+	m.Seize(aid, func(value.Value) value.Value { return value.Int(2) })
+	if err := f.writer.Prepare(aid, object.MOS{m}); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.writer.MT()) == 0 {
+		t.Fatal("MT empty after preparing a mutex modification")
+	}
+	if err := f.writer.Abort(aid); err != nil {
+		t.Fatal(err)
+	}
+	// NOTE: mutex state is NOT rolled back on abort (§2.4.2).
+
+	tables := f.crashAndRecover()
+	rm := getMutex(t, tables.Heap, 2)
+	if !value.Equal(rm.Current(), value.Int(2)) {
+		t.Fatalf("mutex = %s, want prepared version 2", value.String(rm.Current()))
+	}
+}
+
+func TestWriterCoordinatorChain(t *testing.T) {
+	f := newFixture(t)
+	f.seedBank(1)
+	aid := f.action()
+	if err := f.writer.Prepare(aid, object.MOS{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.writer.Committing(aid, []ids.GuardianID{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	tables := f.crashAndRecover()
+	ci, ok := tables.CT[aid]
+	if !ok || ci.State != simplelog.CoordCommitting || len(ci.GIDs) != 2 {
+		t.Fatalf("CT = %v", tables.CT)
+	}
+	// Finish two-phase commit; after another crash the CT shows done.
+	f2 := NewWriter(f.site.Log(), f.heap, f.as, f.pat, f.writer.ChainHead(), f.writer.MT())
+	_ = f2
+}
+
+func TestResumeWriterAfterRecovery(t *testing.T) {
+	// Recover, resume a writer on the recovered state, keep working,
+	// crash again: both generations of work must survive.
+	f := newFixture(t)
+	accounts := f.seedBank(2)
+	f.transfer(accounts[0], accounts[1], 10)
+
+	f.vol.Crash()
+	f.vol.Restart()
+	site, err := stablelog.OpenSite(f.vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := Recover(site.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := NewWriter(site.Log(), tables.Heap, tables.AS, tables.PAT, tables.ChainHead, tables.MT)
+
+	// Continue on the recovered heap.
+	ra0 := getAtomic(t, tables.Heap, accounts[0].UID())
+	ra1 := getAtomic(t, tables.Heap, accounts[1].UID())
+	aid := ids.ActionID{Coordinator: gP, Seq: 900}
+	if err := ra0.AcquireWrite(aid); err != nil {
+		t.Fatal(err)
+	}
+	if err := ra1.AcquireWrite(aid); err != nil {
+		t.Fatal(err)
+	}
+	ra0.Replace(aid, value.Int(int64(ra0.Value(aid).(value.Int))-5))
+	ra1.Replace(aid, value.Int(int64(ra1.Value(aid).(value.Int))+5))
+	if err := w2.Prepare(aid, object.MOS{ra0, ra1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Commit(aid); err != nil {
+		t.Fatal(err)
+	}
+	ra0.Commit(aid)
+	ra1.Commit(aid)
+
+	f.vol.Crash()
+	f.vol.Restart()
+	site2, err := stablelog.OpenSite(f.vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables2, err := Recover(site2.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got0 := getAtomic(t, tables2.Heap, accounts[0].UID())
+	got1 := getAtomic(t, tables2.Heap, accounts[1].UID())
+	if !value.Equal(got0.Base(), value.Int(-15)) || !value.Equal(got1.Base(), value.Int(1015)) {
+		t.Fatalf("balances = %s, %s; want -15, 1015",
+			value.String(got0.Base()), value.String(got1.Base()))
+	}
+}

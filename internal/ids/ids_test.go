@@ -1,0 +1,118 @@
+package ids
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestUIDGeneratorSequence(t *testing.T) {
+	g := NewUIDGenerator(StableVarsUID)
+	if got := g.Next(); got != 2 {
+		t.Fatalf("first UID after StableVarsUID = %v, want O2", got)
+	}
+	if got := g.Next(); got != 3 {
+		t.Fatalf("second UID = %v, want O3", got)
+	}
+	if got := g.Last(); got != 3 {
+		t.Fatalf("Last() = %v, want O3", got)
+	}
+}
+
+func TestUIDGeneratorResetNeverMovesBackward(t *testing.T) {
+	g := NewUIDGenerator(0)
+	for i := 0; i < 10; i++ {
+		g.Next()
+	}
+	g.Reset(5) // below current 10: must be a no-op
+	if got := g.Next(); got != 11 {
+		t.Fatalf("after Reset(5), Next() = %v, want O11", got)
+	}
+	g.Reset(100)
+	if got := g.Next(); got != 101 {
+		t.Fatalf("after Reset(100), Next() = %v, want O101", got)
+	}
+}
+
+func TestUIDGeneratorConcurrentUnique(t *testing.T) {
+	g := NewUIDGenerator(0)
+	const workers, per = 8, 1000
+	var mu sync.Mutex
+	seen := make(map[UID]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]UID, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, g.Next())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, u := range local {
+				if seen[u] {
+					t.Errorf("duplicate UID %v", u)
+				}
+				seen[u] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*per {
+		t.Fatalf("got %d unique UIDs, want %d", len(seen), workers*per)
+	}
+}
+
+func TestUIDGeneratorResetProperty(t *testing.T) {
+	// Property: after Reset(r) on a generator whose counter is c,
+	// Next() > max(c, r) and UIDs remain strictly increasing.
+	f := func(c uint16, r uint16) bool {
+		g := NewUIDGenerator(UID(c))
+		g.Reset(UID(r))
+		n1 := g.Next()
+		n2 := g.Next()
+		lo := UID(c)
+		if UID(r) > lo {
+			lo = UID(r)
+		}
+		return n1 == lo+1 && n2 == lo+2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActionIDGenerator(t *testing.T) {
+	g := NewActionIDGenerator(GuardianID(7))
+	a := g.Next()
+	b := g.Next()
+	if a.Coordinator != 7 || b.Coordinator != 7 {
+		t.Fatalf("coordinator not embedded: %v %v", a, b)
+	}
+	if a == b {
+		t.Fatalf("action ids not unique: %v", a)
+	}
+	if a.IsZero() {
+		t.Fatal("generated action id reported as zero")
+	}
+	if !NoAction.IsZero() {
+		t.Fatal("NoAction not reported as zero")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if UID(42).String() != "O42" {
+		t.Errorf("UID string = %q", UID(42).String())
+	}
+	if GuardianID(3).String() != "G3" {
+		t.Errorf("GuardianID string = %q", GuardianID(3).String())
+	}
+	a := ActionID{Coordinator: 3, Seq: 9}
+	if a.String() != "T3.9" {
+		t.Errorf("ActionID string = %q", a.String())
+	}
+	if NoAction.String() != "T<none>" {
+		t.Errorf("NoAction string = %q", NoAction.String())
+	}
+}

@@ -1,0 +1,176 @@
+package logrec
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/stablelog"
+)
+
+var aid = ids.ActionID{Coordinator: 2, Seq: 5}
+
+func roundTrip(t *testing.T, f Format, e *Entry) *Entry {
+	t.Helper()
+	got, err := Decode(f, Encode(f, e))
+	if err != nil {
+		t.Fatalf("decode %v (%v): %v", e.Kind, f, err)
+	}
+	return got
+}
+
+func TestSimpleFormatRoundTrips(t *testing.T) {
+	cases := []*Entry{
+		{Kind: KindData, UID: 7, ObjType: object.KindAtomic, Value: []byte("v"), AID: aid, Prev: stablelog.NoLSN},
+		{Kind: KindData, UID: 8, ObjType: object.KindMutex, Value: []byte{}, AID: aid, Prev: stablelog.NoLSN},
+		{Kind: KindPrepared, AID: aid, Prev: stablelog.NoLSN},
+		{Kind: KindCommitted, AID: aid, Prev: stablelog.NoLSN},
+		{Kind: KindAborted, AID: aid, Prev: stablelog.NoLSN},
+		{Kind: KindCommitting, AID: aid, GIDs: []ids.GuardianID{1, 2, 3}, Prev: stablelog.NoLSN},
+		{Kind: KindDone, AID: aid, Prev: stablelog.NoLSN},
+		{Kind: KindBaseCommitted, UID: 9, Value: []byte("base"), Prev: stablelog.NoLSN},
+		{Kind: KindPreparedData, UID: 10, AID: aid, Value: []byte("cur"), Prev: stablelog.NoLSN},
+	}
+	for _, e := range cases {
+		got := roundTrip(t, Simple, e)
+		if got.Kind != e.Kind || got.UID != e.UID || got.ObjType != e.ObjType ||
+			got.AID != e.AID || string(got.Value) != string(e.Value) ||
+			!reflect.DeepEqual(got.GIDs, e.GIDs) || got.Prev != stablelog.NoLSN {
+			t.Fatalf("simple %v: got %+v, want %+v", e.Kind, got, e)
+		}
+	}
+}
+
+func TestHybridFormatRoundTrips(t *testing.T) {
+	pairs := []UIDLSN{{UID: 3, Addr: 0}, {UID: 4, Addr: 123}}
+	cases := []*Entry{
+		{Kind: KindData, ObjType: object.KindAtomic, Value: []byte("v"), Prev: stablelog.NoLSN},
+		{Kind: KindPrepared, AID: aid, Pairs: pairs, Prev: 45},
+		{Kind: KindPrepared, AID: aid, Prev: stablelog.NoLSN}, // empty pairs, end of chain
+		{Kind: KindCommitted, AID: aid, Prev: 99},
+		{Kind: KindAborted, AID: aid, Prev: stablelog.NoLSN},
+		{Kind: KindCommitting, AID: aid, GIDs: []ids.GuardianID{7}, Prev: 1},
+		{Kind: KindDone, AID: aid, Prev: 2},
+		{Kind: KindBaseCommitted, UID: 9, Value: []byte("b"), Prev: 3},
+		{Kind: KindPreparedData, UID: 10, AID: aid, Value: []byte("c"), Prev: stablelog.NoLSN},
+		{Kind: KindCommittedSS, Pairs: pairs, Prev: 77},
+	}
+	for _, e := range cases {
+		got := roundTrip(t, Hybrid, e)
+		if got.Kind != e.Kind || got.UID != e.UID || got.ObjType != e.ObjType ||
+			got.AID != e.AID || string(got.Value) != string(e.Value) ||
+			!reflect.DeepEqual(got.GIDs, e.GIDs) || got.Prev != e.Prev {
+			t.Fatalf("hybrid %v: got %+v, want %+v", e.Kind, got, e)
+		}
+		if len(e.Pairs) > 0 && !reflect.DeepEqual(got.Pairs, e.Pairs) {
+			t.Fatalf("hybrid %v pairs: got %v, want %v", e.Kind, got.Pairs, e.Pairs)
+		}
+	}
+}
+
+func TestHybridDataEntryOmitsUIDAndAID(t *testing.T) {
+	// Figure 4-1: "data entries no longer need the action ids and object
+	// uids since the prepared outcome entries contain that information."
+	simple := Encode(Simple, &Entry{Kind: KindData, UID: 1 << 40, ObjType: object.KindAtomic, Value: []byte("v"), AID: aid})
+	hybrid := Encode(Hybrid, &Entry{Kind: KindData, ObjType: object.KindAtomic, Value: []byte("v")})
+	if len(hybrid) >= len(simple) {
+		t.Fatalf("hybrid data entry (%d bytes) not smaller than simple (%d bytes)", len(hybrid), len(simple))
+	}
+	got, err := Decode(Hybrid, hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UID != ids.NoUID || !got.AID.IsZero() {
+		t.Fatalf("hybrid data entry decoded uid/aid: %+v", got)
+	}
+}
+
+func TestFormatMismatchRejected(t *testing.T) {
+	e := &Entry{Kind: KindPrepared, AID: aid, Prev: stablelog.NoLSN}
+	data := Encode(Simple, e)
+	if _, err := Decode(Hybrid, data); err == nil {
+		t.Fatal("simple entry decoded as hybrid")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	good := Encode(Hybrid, &Entry{Kind: KindPrepared, AID: aid,
+		Pairs: []UIDLSN{{UID: 1, Addr: 2}}, Prev: 3})
+	for i := 0; i < len(good); i++ {
+		if _, err := Decode(Hybrid, good[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+	if _, err := Decode(Hybrid, append(append([]byte{}, good...), 1)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := Decode(Simple, []byte{byte(Simple), 200}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := Decode(Simple, []byte{byte(Simple), byte(KindData), 99, 0, 0, 0, 0}); err == nil {
+		t.Fatal("bad object type accepted")
+	}
+}
+
+func TestLSNCoding(t *testing.T) {
+	for _, l := range []stablelog.LSN{0, 1, 12345, stablelog.NoLSN} {
+		if got := lsnDecode(lsnCode(l)); got != l {
+			t.Fatalf("lsn round trip %v -> %v", l, got)
+		}
+	}
+}
+
+func TestIsOutcome(t *testing.T) {
+	if KindData.IsOutcome() {
+		t.Fatal("data entry classified as outcome")
+	}
+	for _, k := range []Kind{KindPrepared, KindCommitted, KindAborted,
+		KindCommitting, KindDone, KindBaseCommitted, KindPreparedData, KindCommittedSS} {
+		if !k.IsOutcome() {
+			t.Fatalf("%v not classified as outcome", k)
+		}
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	cases := []struct {
+		e    Entry
+		want string
+	}{
+		{Entry{Kind: KindData, UID: 1, ObjType: object.KindAtomic, Value: []byte("xy"), AID: aid, Prev: stablelog.NoLSN},
+			"<O1, atomic, 2 bytes, T2.5>"},
+		{Entry{Kind: KindBaseCommitted, UID: 2, Value: []byte("x"), Prev: stablelog.NoLSN},
+			"<bc, O2, 1 bytes>"},
+		{Entry{Kind: KindPrepared, AID: aid, Prev: 5},
+			"<prepared, T2.5, prev=L5>"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String = %s, want %s", got, c.want)
+		}
+	}
+}
+
+// Property: both formats round-trip arbitrary prepared entries.
+func TestPreparedRoundTripProperty(t *testing.T) {
+	f := func(coord uint16, seq uint32, rawPairs []uint32, prev uint32) bool {
+		e := &Entry{
+			Kind: KindPrepared,
+			AID:  ids.ActionID{Coordinator: ids.GuardianID(coord), Seq: uint64(seq)},
+			Prev: stablelog.LSN(prev),
+		}
+		for i := 0; i+1 < len(rawPairs); i += 2 {
+			e.Pairs = append(e.Pairs, UIDLSN{UID: ids.UID(rawPairs[i]), Addr: stablelog.LSN(rawPairs[i+1])})
+		}
+		got, err := Decode(Hybrid, Encode(Hybrid, e))
+		if err != nil {
+			return false
+		}
+		return got.AID == e.AID && got.Prev == e.Prev && reflect.DeepEqual(got.Pairs, e.Pairs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

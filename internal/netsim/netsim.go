@@ -1,0 +1,104 @@
+// Package netsim provides a deterministic simulated network between
+// guardians. Argus guardians communicate only by messages (§2.1); for
+// reproducing the thesis's crash scenarios the network must allow
+// tests to take nodes down, cut links, and count traffic, with fully
+// deterministic outcomes.
+//
+// Communication is modeled as synchronous calls: Call(from, to, fn)
+// runs fn if and only if both endpoints are up and the link is intact.
+// The two-phase commit engine (package twopc) issues all its messages
+// through a Network, so every unreachability branch of §2.2 is
+// exercisable.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/ids"
+)
+
+// ErrUnreachable is returned when a call cannot be delivered: an
+// endpoint is down or the link is cut.
+var ErrUnreachable = errors.New("netsim: unreachable")
+
+// Network is a simulated network. The zero value is not usable; call
+// New.
+type Network struct {
+	mu        sync.Mutex
+	down      map[ids.GuardianID]bool
+	cut       map[[2]ids.GuardianID]bool
+	delivered int
+	refused   int
+}
+
+// New returns a network where every guardian is up and connected.
+func New() *Network {
+	return &Network{
+		down: make(map[ids.GuardianID]bool),
+		cut:  make(map[[2]ids.GuardianID]bool),
+	}
+}
+
+func linkKey(a, b ids.GuardianID) [2]ids.GuardianID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]ids.GuardianID{a, b}
+}
+
+// SetDown marks a guardian's node as crashed (true) or restarted
+// (false). A down node neither sends nor receives.
+func (n *Network) SetDown(g ids.GuardianID, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[g] = down
+}
+
+// Cut severs (true) or restores (false) the link between two guardians,
+// simulating a partition.
+func (n *Network) Cut(a, b ids.GuardianID, cut bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[linkKey(a, b)] = cut
+}
+
+// Reachable reports whether a message from a to b would be delivered.
+func (n *Network) Reachable(a, b ids.GuardianID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.reachableLocked(a, b)
+}
+
+func (n *Network) reachableLocked(a, b ids.GuardianID) bool {
+	if n.down[a] || n.down[b] {
+		return false
+	}
+	if a != b && n.cut[linkKey(a, b)] {
+		return false
+	}
+	return true
+}
+
+// Call delivers a synchronous message from a to b by running fn, or
+// returns ErrUnreachable without running it. Calls to self still check
+// that the node is up.
+func (n *Network) Call(a, b ids.GuardianID, fn func() error) error {
+	n.mu.Lock()
+	if !n.reachableLocked(a, b) {
+		n.refused++
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %v -> %v", ErrUnreachable, a, b)
+	}
+	n.delivered++
+	n.mu.Unlock()
+	return fn()
+}
+
+// Stats returns (delivered, refused) message counts.
+func (n *Network) Stats() (int, int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delivered, n.refused
+}

@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func TestCallDelivery(t *testing.T) {
+	n := New()
+	ran := false
+	if err := n.Call(1, 2, func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("call not delivered")
+	}
+	d, r := n.Stats()
+	if d != 1 || r != 0 {
+		t.Fatalf("stats = %d/%d", d, r)
+	}
+}
+
+func TestDownNode(t *testing.T) {
+	n := New()
+	n.SetDown(2, true)
+	err := n.Call(1, 2, func() error { t.Fatal("delivered to down node"); return nil })
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	// Down sender cannot send either.
+	if err := n.Call(2, 1, func() error { return nil }); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("down sender: %v", err)
+	}
+	n.SetDown(2, false)
+	if err := n.Call(1, 2, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutLink(t *testing.T) {
+	n := New()
+	n.Cut(1, 2, true)
+	if err := n.Call(1, 2, func() error { return nil }); !errors.Is(err, ErrUnreachable) {
+		t.Fatal("cut link delivered")
+	}
+	// Symmetric.
+	if err := n.Call(2, 1, func() error { return nil }); !errors.Is(err, ErrUnreachable) {
+		t.Fatal("cut link delivered (reverse)")
+	}
+	// Other links unaffected.
+	if err := n.Call(1, 3, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	n.Cut(1, 2, false)
+	if err := n.Call(1, 2, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfCall(t *testing.T) {
+	n := New()
+	if err := n.Call(1, 1, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDown(1, true)
+	if err := n.Call(1, 1, func() error { return nil }); !errors.Is(err, ErrUnreachable) {
+		t.Fatal("down node called itself")
+	}
+	// Cutting a "self link" is meaningless and ignored.
+	n.SetDown(1, false)
+	n.Cut(1, 1, true)
+	if err := n.Call(1, 1, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	n := New()
+	if !n.Reachable(ids.GuardianID(1), ids.GuardianID(2)) {
+		t.Fatal("fresh network unreachable")
+	}
+	n.Cut(1, 2, true)
+	if n.Reachable(1, 2) {
+		t.Fatal("cut link reachable")
+	}
+}

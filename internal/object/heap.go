@@ -1,0 +1,271 @@
+package object
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/value"
+)
+
+// Heap is a guardian's volatile memory for recoverable objects: the map
+// from UID to object that the recovery system rebuilds after a crash.
+// The heap also owns the guardian's stable-variables object — the
+// single recoverable object with a predefined UID through which all
+// stable state is reachable (§3.3.3.2).
+type Heap struct {
+	mu   sync.RWMutex
+	objs map[ids.UID]Recoverable
+}
+
+// NewHeap returns an empty heap.
+func NewHeap() *Heap {
+	return &Heap{objs: make(map[ids.UID]Recoverable)}
+}
+
+// Register adds obj to the heap. Registering a UID twice panics: UIDs
+// are never reused (§3.2).
+func (h *Heap) Register(obj Recoverable) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	uid := obj.UID()
+	if _, dup := h.objs[uid]; dup {
+		panic(fmt.Sprintf("object: duplicate registration of %v", uid))
+	}
+	h.objs[uid] = obj
+}
+
+// Lookup returns the object with the given UID.
+func (h *Heap) Lookup(uid ids.UID) (Recoverable, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	o, ok := h.objs[uid]
+	return o, ok
+}
+
+// StableVars returns the stable-variables root object, if created.
+func (h *Heap) StableVars() (*Atomic, bool) {
+	o, ok := h.Lookup(ids.StableVarsUID)
+	if !ok {
+		return nil, false
+	}
+	a, ok := o.(*Atomic)
+	return a, ok
+}
+
+// Len returns the number of registered objects.
+func (h *Heap) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.objs)
+}
+
+// UIDs returns all registered UIDs in ascending order.
+func (h *Heap) UIDs() []ids.UID {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]ids.UID, 0, len(h.objs))
+	for u := range h.objs {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MaxUID returns the largest registered UID (0 if the heap is empty);
+// recovery resets the stable counter to it (§3.4.4 step 3).
+func (h *Heap) MaxUID() ids.UID {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var max ids.UID
+	for u := range h.objs {
+		if u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// Traverse walks the graph of recoverable objects reachable from the
+// stable variables, calling visit once per reachable recoverable
+// object. For atomic objects the base version is followed (the
+// committed state); for mutex objects the current version. This is the
+// walk used to rebuild the accessibility set (§3.4.1 step 4) and to
+// take a snapshot (§5.2).
+func (h *Heap) Traverse(visit func(Recoverable)) {
+	root, ok := h.StableVars()
+	if !ok {
+		return
+	}
+	seen := make(map[ids.UID]bool)
+	var walk func(o Recoverable)
+	walk = func(o Recoverable) {
+		if seen[o.UID()] {
+			return
+		}
+		seen[o.UID()] = true
+		visit(o)
+		var v value.Value
+		switch x := o.(type) {
+		case *Atomic:
+			v = x.Base()
+		case *Mutex:
+			v = x.Current()
+		}
+		if v == nil {
+			return
+		}
+		value.Refs(v, func(ref value.Obj) {
+			if target, ok := ref.(Recoverable); ok {
+				walk(target)
+			} else if obj, ok := h.Lookup(ref.UID()); ok {
+				walk(obj)
+			}
+		})
+	}
+	walk(root)
+}
+
+// AccessibleSet computes the set of UIDs reachable from the stable
+// variables: the ground truth that the accessibility set approximates.
+func (h *Heap) AccessibleSet() *AccessSet {
+	as := NewAccessSet()
+	h.Traverse(func(o Recoverable) { as.Add(o.UID()) })
+	return as
+}
+
+// AccessSet is the accessibility set (AS) of §3.3.3.2: the UIDs of
+// objects known to be accessible from the guardian's stable variables.
+// It may over-approximate (objects made unreachable keep their entries
+// until the set is trimmed).
+type AccessSet struct {
+	mu   sync.Mutex
+	uids map[ids.UID]bool
+}
+
+// NewAccessSet returns an empty accessibility set.
+func NewAccessSet() *AccessSet {
+	return &AccessSet{uids: make(map[ids.UID]bool)}
+}
+
+// Add inserts uid.
+func (s *AccessSet) Add(uid ids.UID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.uids[uid] = true
+}
+
+// Contains reports whether uid is in the set.
+func (s *AccessSet) Contains(uid ids.UID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.uids[uid]
+}
+
+// Len returns the set size.
+func (s *AccessSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.uids)
+}
+
+// Intersect replaces s with s ∩ other. Trimming the AS intersects the
+// freshly traversed set with the old one so that objects made newly
+// accessible *during* the traversal — which must still be treated as
+// newly accessible by the writing algorithm — are not retained
+// (§3.3.3.2).
+func (s *AccessSet) Intersect(other *AccessSet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	for u := range s.uids {
+		if !other.uids[u] {
+			delete(s.uids, u)
+		}
+	}
+}
+
+// ReplaceWith replaces s's membership with other's (used when a
+// snapshot installs the freshly computed accessibility set).
+func (s *AccessSet) ReplaceWith(other *AccessSet) {
+	other.mu.Lock()
+	uids := make(map[ids.UID]bool, len(other.uids))
+	for u := range other.uids {
+		uids[u] = true
+	}
+	other.mu.Unlock()
+	s.mu.Lock()
+	s.uids = uids
+	s.mu.Unlock()
+}
+
+// UIDs returns the members in ascending order.
+func (s *AccessSet) UIDs() []ids.UID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ids.UID, 0, len(s.uids))
+	for u := range s.uids {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MOS is the modified objects set passed to prepare (§2.3): the
+// recoverable objects modified by one action. (Newly created objects
+// need not be listed; the writing algorithm discovers them as newly
+// accessible, §3.3.3.2.)
+type MOS []Recoverable
+
+// PAT is the prepared actions table (§3.3.3.2): the set of actions that
+// have prepared at this guardian and not yet committed or aborted.
+type PAT struct {
+	mu  sync.Mutex
+	set map[ids.ActionID]bool
+}
+
+// NewPAT returns an empty prepared actions table.
+func NewPAT() *PAT {
+	return &PAT{set: make(map[ids.ActionID]bool)}
+}
+
+// Add records that aid has prepared.
+func (p *PAT) Add(aid ids.ActionID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.set[aid] = true
+}
+
+// Remove forgets aid (called when the action commits or aborts).
+func (p *PAT) Remove(aid ids.ActionID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.set, aid)
+}
+
+// Contains reports whether aid has prepared.
+func (p *PAT) Contains(aid ids.ActionID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.set[aid]
+}
+
+// Actions returns the prepared actions in unspecified order.
+func (p *PAT) Actions() []ids.ActionID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ids.ActionID, 0, len(p.set))
+	for aid := range p.set {
+		out = append(out, aid)
+	}
+	return out
+}
+
+// Len returns the number of prepared actions.
+func (p *PAT) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.set)
+}

@@ -1,0 +1,152 @@
+package object
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/value"
+)
+
+func TestAcquireWriteWaitGrantsAfterRelease(t *testing.T) {
+	a := NewAtomic(5, value.Int(0), ids.NoAction)
+	if err := a.AcquireWrite(t1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- a.AcquireWriteWait(t2, 2*time.Second)
+	}()
+	// Give the waiter time to block, then release.
+	time.Sleep(10 * time.Millisecond)
+	a.Commit(t1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+	if a.Writer() != t2 {
+		t.Fatalf("writer = %v, want %v", a.Writer(), t2)
+	}
+}
+
+func TestAcquireWriteWaitTimesOut(t *testing.T) {
+	a := NewAtomic(5, value.Int(0), ids.NoAction)
+	if err := a.AcquireWrite(t1); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := a.AcquireWriteWait(t2, 30*time.Millisecond)
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("err = %v, want ErrLockTimeout", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("timed out too early")
+	}
+	// The holder is unaffected.
+	if a.Writer() != t1 {
+		t.Fatalf("writer = %v", a.Writer())
+	}
+}
+
+func TestAcquireReadWaitBehindWriter(t *testing.T) {
+	a := NewAtomic(5, value.Int(0), ids.NoAction)
+	if err := a.AcquireWrite(t1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- a.AcquireReadWait(t2, 2*time.Second)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Abort(t1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !a.HoldsRead(t2) {
+		t.Fatal("read lock not granted")
+	}
+}
+
+func TestAcquireWriteWaitContention(t *testing.T) {
+	// N actions serialize through the waiting write lock, each
+	// incrementing the committed value: no update may be lost.
+	a := NewAtomic(5, value.Int(0), ids.NoAction)
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		aid := ids.ActionID{Coordinator: 1, Seq: uint64(100 + i)}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := a.AcquireWriteWait(aid, 5*time.Second); err != nil {
+				t.Error(err)
+				return
+			}
+			cur := a.Value(aid).(value.Int)
+			if err := a.Replace(aid, value.Int(int64(cur)+1)); err != nil {
+				t.Error(err)
+				return
+			}
+			a.Commit(aid)
+		}()
+	}
+	wg.Wait()
+	if got := a.Base().(value.Int); int64(got) != n {
+		t.Fatalf("final = %d, want %d", got, n)
+	}
+}
+
+func TestAcquireWriteWaitImmediateWhenFree(t *testing.T) {
+	a := NewAtomic(5, value.Int(0), ids.NoAction)
+	start := time.Now()
+	if err := a.AcquireWriteWait(t1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("uncontended waiting acquire was slow")
+	}
+	// Reentrant.
+	if err := a.AcquireWriteWait(t1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitDeadlockResolvedByTimeout(t *testing.T) {
+	// Classic deadlock: t1 holds X wants Y; t2 holds Y wants X. The
+	// timeouts break it; at least one acquire fails with ErrLockTimeout
+	// and after the aborts both objects are free.
+	x := NewAtomic(1, value.Int(0), ids.NoAction)
+	y := NewAtomic(2, value.Int(0), ids.NoAction)
+	if err := x.AcquireWrite(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := y.AcquireWrite(t2); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- y.AcquireWriteWait(t1, 50*time.Millisecond) }()
+	go func() { errs <- x.AcquireWriteWait(t2, 50*time.Millisecond) }()
+	e1, e2 := <-errs, <-errs
+	if e1 == nil && e2 == nil {
+		t.Fatal("deadlock resolved without any timeout?")
+	}
+	for _, e := range []error{e1, e2} {
+		if e != nil && !errors.Is(e, ErrLockTimeout) {
+			t.Fatalf("unexpected error %v", e)
+		}
+	}
+	// Abort both; everything is released.
+	x.Abort(t1)
+	y.Abort(t1)
+	x.Abort(t2)
+	y.Abort(t2)
+	if !x.Writer().IsZero() || !y.Writer().IsZero() {
+		t.Fatal("locks leaked after deadlock resolution")
+	}
+}

@@ -1,0 +1,409 @@
+// Package object implements the recoverable objects of thesis §2.4:
+// built-in atomic objects and mutex objects, together with the volatile
+// heap they live in and the bookkeeping sets the recovery system keeps
+// about them (the modified object set, the accessibility set, and the
+// prepared actions table).
+//
+// Atomic objects provide atomicity through read/write locks and
+// versions: acquiring a write lock creates a current version (a copy of
+// the base version); commit installs it, abort discards it (§2.4.1).
+// Mutex objects are containers with a seize lock and a single current
+// version; once an action has *prepared*, a mutex object's new state
+// survives even if the action later aborts (§2.4.2).
+package object
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/value"
+)
+
+// Kind distinguishes the two flavors of recoverable object.
+type Kind uint8
+
+const (
+	// KindAtomic marks a built-in atomic object.
+	KindAtomic Kind = iota + 1
+	// KindMutex marks a mutex object.
+	KindMutex
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindAtomic:
+		return "atomic"
+	case KindMutex:
+		return "mutex"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ErrLockConflict is returned when an action requests a lock held in a
+// conflicting mode by another action.
+var ErrLockConflict = errors.New("object: lock conflict")
+
+// ErrNotLocked is returned when an operation requires a lock the action
+// does not hold.
+var ErrNotLocked = errors.New("object: lock not held")
+
+// ErrLockTimeout is returned by the waiting acquire variants when the
+// lock was not granted within the deadline. In Argus, waiting actions
+// that might be deadlocked are timed out and aborted; the caller is
+// expected to abort the action and retry.
+var ErrLockTimeout = errors.New("object: lock wait timed out")
+
+// Recoverable is a unit written to stable storage: an atomic object or
+// a mutex object (§2.4).
+type Recoverable interface {
+	value.Obj
+	// Kind reports whether the object is atomic or mutex.
+	Kind() Kind
+}
+
+// Atomic is a built-in atomic object (§2.4.1).
+type Atomic struct {
+	uid ids.UID
+
+	mu         sync.Mutex
+	base       value.Value // latest committed version
+	current    value.Value // version being built by the writer, if any
+	hasCurrent bool
+	readers    map[ids.ActionID]bool
+	writer     ids.ActionID
+	// waitCh is closed (and replaced) whenever a lock is released, waking
+	// the waiting acquire variants.
+	waitCh chan struct{}
+}
+
+// NewAtomic creates an atomic object on behalf of creator, who holds a
+// read lock on it; the initial value is the single (base) version
+// (§2.4.1: "for newly created atomic objects, the creating action holds
+// a read lock on the object").
+func NewAtomic(uid ids.UID, initial value.Value, creator ids.ActionID) *Atomic {
+	a := &Atomic{uid: uid, base: initial, readers: map[ids.ActionID]bool{}}
+	if !creator.IsZero() {
+		a.readers[creator] = true
+	}
+	return a
+}
+
+// RestoreAtomic rebuilds an atomic object during recovery with an
+// explicit base version and, if writer is non-zero, a current version
+// write-locked by writer (recovery algorithm step 2.e.ii / 2.h.ii).
+func RestoreAtomic(uid ids.UID, base, current value.Value, writer ids.ActionID) *Atomic {
+	a := &Atomic{uid: uid, base: base, readers: map[ids.ActionID]bool{}}
+	if !writer.IsZero() {
+		a.writer = writer
+		a.current = current
+		a.hasCurrent = true
+	}
+	return a
+}
+
+// UID implements Recoverable.
+func (a *Atomic) UID() ids.UID { return a.uid }
+
+// Kind implements Recoverable.
+func (a *Atomic) Kind() Kind { return KindAtomic }
+
+// AcquireRead grants aid a read lock, failing on conflict with another
+// action's write lock.
+func (a *Atomic) AcquireRead(aid ids.ActionID) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.writer.IsZero() && a.writer != aid {
+		return fmt.Errorf("%w: %v read-blocked by writer %v on %v", ErrLockConflict, aid, a.writer, a.uid)
+	}
+	a.readers[aid] = true
+	return nil
+}
+
+// AcquireWrite grants aid a write lock (upgrading its read lock if
+// held), creating the current version as a copy of the base version.
+// It fails if any other action holds a lock.
+func (a *Atomic) AcquireWrite(aid ids.ActionID) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.writer.IsZero() {
+		if a.writer == aid {
+			return nil
+		}
+		return fmt.Errorf("%w: %v write-blocked by writer %v on %v", ErrLockConflict, aid, a.writer, a.uid)
+	}
+	for r := range a.readers {
+		if r != aid {
+			return fmt.Errorf("%w: %v write-blocked by reader %v on %v", ErrLockConflict, aid, r, a.uid)
+		}
+	}
+	a.writer = aid
+	a.current = value.Copy(a.base)
+	a.hasCurrent = true
+	return nil
+}
+
+// Value returns the version visible to aid: the current version if aid
+// is the writer, otherwise the base version. Reading requires a lock in
+// the strict model, but Value itself does not check — the guardian
+// runtime acquires locks before calling it.
+func (a *Atomic) Value(aid ids.ActionID) value.Value {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.hasCurrent && a.writer == aid {
+		return a.current
+	}
+	return a.base
+}
+
+// Replace sets the current version outright; aid must hold the write
+// lock.
+func (a *Atomic) Replace(aid ids.ActionID, v value.Value) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.writer != aid || aid.IsZero() {
+		return fmt.Errorf("%w: %v does not write-lock %v", ErrNotLocked, aid, a.uid)
+	}
+	a.current = v
+	return nil
+}
+
+// Commit installs aid's current version as the new base version and
+// releases aid's locks (§2.4.1: "if the action ultimately commits, this
+// version will be retained and the old version discarded").
+func (a *Atomic) Commit(aid ids.ActionID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.writer == aid && a.hasCurrent {
+		a.base = a.current
+	}
+	a.releaseLocked(aid)
+}
+
+// Abort discards aid's current version and releases its locks.
+func (a *Atomic) Abort(aid ids.ActionID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.releaseLocked(aid)
+}
+
+func (a *Atomic) releaseLocked(aid ids.ActionID) {
+	if a.writer == aid {
+		a.writer = ids.ActionID{}
+		a.current = nil
+		a.hasCurrent = false
+	}
+	delete(a.readers, aid)
+	// Wake any waiting acquirers.
+	if a.waitCh != nil {
+		close(a.waitCh)
+		a.waitCh = nil
+	}
+}
+
+// waitChan returns (creating if needed) the channel closed at the next
+// lock release. Callers must hold a.mu.
+func (a *Atomic) waitChanLocked() chan struct{} {
+	if a.waitCh == nil {
+		a.waitCh = make(chan struct{})
+	}
+	return a.waitCh
+}
+
+// AcquireReadWait is AcquireRead that blocks until the lock is granted
+// or the timeout expires (ErrLockTimeout). Argus actions wait for
+// locks; a timeout stands in for its deadlock handling — the caller
+// should abort the action and retry.
+func (a *Atomic) AcquireReadWait(aid ids.ActionID, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		a.mu.Lock()
+		if a.writer.IsZero() || a.writer == aid {
+			a.readers[aid] = true
+			a.mu.Unlock()
+			return nil
+		}
+		ch := a.waitChanLocked()
+		a.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("%w: %v reading %v", ErrLockTimeout, aid, a.uid)
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return fmt.Errorf("%w: %v reading %v", ErrLockTimeout, aid, a.uid)
+		}
+	}
+}
+
+// AcquireWriteWait is AcquireWrite that blocks until the lock is
+// granted or the timeout expires (ErrLockTimeout).
+func (a *Atomic) AcquireWriteWait(aid ids.ActionID, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		a.mu.Lock()
+		grantable := a.writer == aid
+		if a.writer.IsZero() {
+			grantable = true
+			for r := range a.readers {
+				if r != aid {
+					grantable = false
+					break
+				}
+			}
+		}
+		if grantable {
+			if a.writer.IsZero() {
+				a.writer = aid
+				a.current = value.Copy(a.base)
+				a.hasCurrent = true
+			}
+			a.mu.Unlock()
+			return nil
+		}
+		ch := a.waitChanLocked()
+		a.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("%w: %v writing %v", ErrLockTimeout, aid, a.uid)
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return fmt.Errorf("%w: %v writing %v", ErrLockTimeout, aid, a.uid)
+		}
+	}
+}
+
+// Writer returns the action holding the write lock (zero if none).
+func (a *Atomic) Writer() ids.ActionID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.writer
+}
+
+// HoldsRead reports whether aid holds a read lock.
+func (a *Atomic) HoldsRead(aid ids.ActionID) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.readers[aid]
+}
+
+// Base returns the base (committed) version.
+func (a *Atomic) Base() value.Value {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.base
+}
+
+// Current returns the in-progress version and whether one exists.
+func (a *Atomic) Current() (value.Value, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.current, a.hasCurrent
+}
+
+// Mutex is a mutex object (§2.4.2): a container with a seize lock and a
+// single current version.
+type Mutex struct {
+	uid ids.UID
+
+	mu      sync.Mutex // the seize lock
+	holder  ids.ActionID
+	current value.Value
+}
+
+// NewMutex creates a mutex object with the given current version.
+func NewMutex(uid ids.UID, current value.Value) *Mutex {
+	return &Mutex{uid: uid, current: current}
+}
+
+// UID implements Recoverable.
+func (m *Mutex) UID() ids.UID { return m.uid }
+
+// Kind implements Recoverable.
+func (m *Mutex) Kind() Kind { return KindMutex }
+
+// Seize runs fn while aid possesses the mutex (the Argus seize
+// construct). fn receives the current version and returns its
+// replacement. The recovery system uses the same lock to synchronize
+// copying with user code (§2.4.3 step 1).
+func (m *Mutex) Seize(aid ids.ActionID, fn func(v value.Value) value.Value) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.holder = aid
+	m.current = fn(m.current)
+	m.holder = ids.ActionID{}
+}
+
+// Current returns the current version, synchronizing with any action in
+// possession.
+func (m *Mutex) Current() value.Value {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.current
+}
+
+// SetCurrent replaces the current version (used by recovery).
+func (m *Mutex) SetCurrent(v value.Value) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.current = v
+}
+
+// Snapshot flattens the current version while in possession of the
+// seize lock, synchronizing the copy with user code (§2.4.3 step 1).
+// visit is called for each referenced recoverable object.
+func (m *Mutex) Snapshot(visit func(value.Obj)) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return value.Flatten(m.current, visit)
+}
+
+// SnapshotFor flattens the version of an atomic object visible to aid
+// (the current version if aid is the writer, the base version
+// otherwise) under the object's lock. visit is called for each
+// referenced recoverable object.
+func (a *Atomic) SnapshotFor(aid ids.ActionID, visit func(value.Obj)) []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v := a.base
+	if a.hasCurrent && a.writer == aid {
+		v = a.current
+	}
+	return value.Flatten(v, visit)
+}
+
+// SnapshotBase flattens the base version under the object's lock.
+func (a *Atomic) SnapshotBase(visit func(value.Obj)) []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return value.Flatten(a.base, visit)
+}
+
+// SnapshotCurrent flattens the current version under the object's lock;
+// ok is false if no current version exists.
+func (a *Atomic) SnapshotCurrent(visit func(value.Obj)) ([]byte, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.hasCurrent {
+		return nil, false
+	}
+	return value.Flatten(a.current, visit), true
+}
+
+// SetBase replaces the base version (used by recovery when a committed
+// version for a restored object arrives).
+func (a *Atomic) SetBase(v value.Value) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.base = v
+}

@@ -1,0 +1,349 @@
+package object
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/value"
+)
+
+var (
+	t1 = ids.ActionID{Coordinator: 1, Seq: 1}
+	t2 = ids.ActionID{Coordinator: 1, Seq: 2}
+)
+
+func TestAtomicCreateHoldsReadLock(t *testing.T) {
+	a := NewAtomic(5, value.Int(0), t1)
+	if !a.HoldsRead(t1) {
+		t.Fatal("creator does not hold a read lock")
+	}
+	if err := a.AcquireWrite(t2); !errors.Is(err, ErrLockConflict) {
+		t.Fatalf("other action write-locked past creator's read lock: %v", err)
+	}
+}
+
+func TestAtomicWriteLockCreatesVersion(t *testing.T) {
+	a := NewAtomic(5, value.NewList(value.Int(1)), ids.NoAction)
+	if err := a.AcquireWrite(t1); err != nil {
+		t.Fatal(err)
+	}
+	cur, ok := a.Current()
+	if !ok {
+		t.Fatal("no current version after write lock")
+	}
+	// Mutate the current version; the base must be untouched.
+	cur.(*value.List).Elems[0] = value.Int(99)
+	if got := a.Base().(*value.List).Elems[0]; got != value.Int(1) {
+		t.Fatalf("base version mutated through current: %v", got)
+	}
+	if got := a.Value(t1).(*value.List).Elems[0]; got != value.Int(99) {
+		t.Fatalf("writer sees %v, want 99", got)
+	}
+	if got := a.Value(t2).(*value.List).Elems[0]; got != value.Int(1) {
+		t.Fatalf("non-writer sees %v, want base 1", got)
+	}
+}
+
+func TestAtomicCommitInstallsVersion(t *testing.T) {
+	a := NewAtomic(5, value.Int(1), ids.NoAction)
+	a.AcquireWrite(t1)
+	a.Replace(t1, value.Int(2))
+	a.Commit(t1)
+	if got := a.Base(); got != value.Int(2) {
+		t.Fatalf("base after commit = %v, want 2", got)
+	}
+	if _, ok := a.Current(); ok {
+		t.Fatal("current version survives commit")
+	}
+	if !a.Writer().IsZero() {
+		t.Fatal("write lock survives commit")
+	}
+}
+
+func TestAtomicAbortDiscardsVersion(t *testing.T) {
+	a := NewAtomic(5, value.Int(1), ids.NoAction)
+	a.AcquireWrite(t1)
+	a.Replace(t1, value.Int(2))
+	a.Abort(t1)
+	if got := a.Base(); got != value.Int(1) {
+		t.Fatalf("base after abort = %v, want 1", got)
+	}
+	if _, ok := a.Current(); ok {
+		t.Fatal("current version survives abort")
+	}
+}
+
+func TestAtomicLockConflicts(t *testing.T) {
+	a := NewAtomic(5, value.Int(0), ids.NoAction)
+	if err := a.AcquireRead(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AcquireRead(t2); err != nil {
+		t.Fatal(err) // two readers coexist
+	}
+	if err := a.AcquireWrite(t1); !errors.Is(err, ErrLockConflict) {
+		t.Fatalf("write granted over another reader: %v", err)
+	}
+	a.Abort(t2) // t2 releases
+	if err := a.AcquireWrite(t1); err != nil {
+		t.Fatalf("read-to-write upgrade failed: %v", err)
+	}
+	if err := a.AcquireRead(t2); !errors.Is(err, ErrLockConflict) {
+		t.Fatalf("read granted over writer: %v", err)
+	}
+	// Re-acquiring the write lock is idempotent.
+	if err := a.AcquireWrite(t1); err != nil {
+		t.Fatal(err)
+	}
+	// The writer may also read.
+	if err := a.AcquireRead(t1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicReplaceRequiresWriteLock(t *testing.T) {
+	a := NewAtomic(5, value.Int(0), ids.NoAction)
+	if err := a.Replace(t1, value.Int(1)); !errors.Is(err, ErrNotLocked) {
+		t.Fatalf("Replace without lock: %v", err)
+	}
+}
+
+func TestRestoreAtomicWithWriter(t *testing.T) {
+	a := RestoreAtomic(5, value.Int(1), value.Int(2), t1)
+	if a.Writer() != t1 {
+		t.Fatalf("writer = %v", a.Writer())
+	}
+	if got := a.Value(t1); got != value.Int(2) {
+		t.Fatalf("writer's view = %v", got)
+	}
+	a.Commit(t1)
+	if got := a.Base(); got != value.Int(2) {
+		t.Fatalf("post-commit base = %v", got)
+	}
+}
+
+func TestMutexSeize(t *testing.T) {
+	m := NewMutex(7, value.Int(10))
+	m.Seize(t1, func(v value.Value) value.Value {
+		return value.Int(int64(v.(value.Int)) + 5)
+	})
+	if got := m.Current(); got != value.Int(15) {
+		t.Fatalf("after seize, current = %v", got)
+	}
+	if m.Kind() != KindMutex || m.UID() != 7 {
+		t.Fatal("mutex identity wrong")
+	}
+}
+
+func TestHeapRegisterLookup(t *testing.T) {
+	h := NewHeap()
+	a := NewAtomic(2, value.Int(0), ids.NoAction)
+	h.Register(a)
+	got, ok := h.Lookup(2)
+	if !ok || got != Recoverable(a) {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := h.Lookup(99); ok {
+		t.Fatal("phantom object found")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	h.Register(NewAtomic(2, value.Int(1), ids.NoAction))
+}
+
+func TestHeapMaxUID(t *testing.T) {
+	h := NewHeap()
+	if h.MaxUID() != 0 {
+		t.Fatal("empty heap MaxUID != 0")
+	}
+	h.Register(NewAtomic(3, value.Int(0), ids.NoAction))
+	h.Register(NewAtomic(9, value.Int(0), ids.NoAction))
+	h.Register(NewAtomic(6, value.Int(0), ids.NoAction))
+	if h.MaxUID() != 9 {
+		t.Fatalf("MaxUID = %v, want O9", h.MaxUID())
+	}
+}
+
+// buildFigure3_6Heap reproduces the reachability structure of Fig 3-6:
+// stable var X → O2 (atomic) → O3 (atomic); O4 exists but is unreachable.
+func buildFigure3_6Heap() (*Heap, *Atomic, *Atomic, *Atomic) {
+	h := NewHeap()
+	o3 := NewAtomic(3, value.Int(3), ids.NoAction)
+	o2 := NewAtomic(2, value.NewList(value.Ref{Target: o3}), ids.NoAction)
+	o4 := NewAtomic(4, value.Int(4), ids.NoAction)
+	root := NewAtomic(ids.StableVarsUID, value.RecordOf("X", value.Ref{Target: o2}), ids.NoAction)
+	h.Register(root)
+	h.Register(o2)
+	h.Register(o3)
+	h.Register(o4)
+	return h, o2, o3, o4
+}
+
+func TestHeapTraverseReachability(t *testing.T) {
+	h, _, _, _ := buildFigure3_6Heap()
+	as := h.AccessibleSet()
+	want := []ids.UID{ids.StableVarsUID, 2, 3}
+	got := as.UIDs()
+	if len(got) != len(want) {
+		t.Fatalf("accessible = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("accessible = %v, want %v", got, want)
+		}
+	}
+	if as.Contains(4) {
+		t.Fatal("unreachable O4 reported accessible")
+	}
+}
+
+func TestHeapTraverseFollowsCommittedStateOnly(t *testing.T) {
+	// A write-locked atomic's *base* version defines reachability for
+	// the traversal (uncommitted pointers don't count as stable state).
+	h, o2, _, o4 := buildFigure3_6Heap()
+	if err := o2.AcquireWrite(t1); err != nil {
+		t.Fatal(err)
+	}
+	o2.Replace(t1, value.NewList(value.Ref{Target: o4}))
+	as := h.AccessibleSet()
+	if as.Contains(4) {
+		t.Fatal("uncommitted reference made O4 accessible to Traverse")
+	}
+	if !as.Contains(3) {
+		t.Fatal("committed reference to O3 lost")
+	}
+}
+
+func TestHeapTraverseCyclesAndMutex(t *testing.T) {
+	h := NewHeap()
+	m := NewMutex(5, nil)
+	a := NewAtomic(2, value.NewList(value.Ref{Target: m}), ids.NoAction)
+	// Cycle: mutex points back to the atomic.
+	m.SetCurrent(value.NewList(value.Ref{Target: a}))
+	root := NewAtomic(ids.StableVarsUID, value.RecordOf("v", value.Ref{Target: a}), ids.NoAction)
+	h.Register(root)
+	h.Register(a)
+	h.Register(m)
+	count := 0
+	h.Traverse(func(Recoverable) { count++ })
+	if count != 3 {
+		t.Fatalf("traversed %d objects, want 3", count)
+	}
+}
+
+func TestAccessSetIntersect(t *testing.T) {
+	oldAS := NewAccessSet()
+	for _, u := range []ids.UID{1, 2, 3} {
+		oldAS.Add(u)
+	}
+	newAS := NewAccessSet()
+	for _, u := range []ids.UID{2, 3, 4} {
+		newAS.Add(u)
+	}
+	// Trim: new set intersected with old keeps 2,3 and drops 4 (newly
+	// accessible during traversal) and 1 (no longer reachable).
+	newAS.Intersect(oldAS)
+	if newAS.Contains(1) || newAS.Contains(4) || !newAS.Contains(2) || !newAS.Contains(3) {
+		t.Fatalf("intersection = %v", newAS.UIDs())
+	}
+}
+
+func TestPAT(t *testing.T) {
+	p := NewPAT()
+	p.Add(t1)
+	if !p.Contains(t1) || p.Contains(t2) {
+		t.Fatal("PAT membership wrong")
+	}
+	p.Remove(t1)
+	if p.Contains(t1) || p.Len() != 0 {
+		t.Fatal("PAT remove failed")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindAtomic.String() != "atomic" || KindMutex.String() != "mutex" {
+		t.Fatal("kind strings wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}
+
+func TestHeapAccessors(t *testing.T) {
+	h := NewHeap()
+	if h.Len() != 0 || len(h.UIDs()) != 0 {
+		t.Fatal("empty heap accessors wrong")
+	}
+	h.Register(NewAtomic(4, value.Int(0), ids.NoAction))
+	h.Register(NewAtomic(2, value.Int(0), ids.NoAction))
+	uids := h.UIDs()
+	if h.Len() != 2 || len(uids) != 2 || uids[0] != 2 || uids[1] != 4 {
+		t.Fatalf("UIDs = %v", uids)
+	}
+}
+
+func TestAccessSetLenAndReplace(t *testing.T) {
+	a := NewAccessSet()
+	a.Add(1)
+	a.Add(2)
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	b := NewAccessSet()
+	b.Add(9)
+	a.ReplaceWith(b)
+	if a.Len() != 1 || !a.Contains(9) || a.Contains(1) {
+		t.Fatalf("after ReplaceWith: %v", a.UIDs())
+	}
+}
+
+func TestPATActions(t *testing.T) {
+	p := NewPAT()
+	p.Add(t1)
+	p.Add(t2)
+	acts := p.Actions()
+	if len(acts) != 2 {
+		t.Fatalf("Actions = %v", acts)
+	}
+}
+
+func TestSnapshotHelpers(t *testing.T) {
+	a := NewAtomic(5, value.NewList(value.Int(1)), ids.NoAction)
+	if got, err := value.Unflatten(a.SnapshotBase(nil)); err != nil || !value.Equal(got, value.NewList(value.Int(1))) {
+		t.Fatalf("SnapshotBase: %v %v", got, err)
+	}
+	if _, ok := a.SnapshotCurrent(nil); ok {
+		t.Fatal("SnapshotCurrent on unlocked object")
+	}
+	if err := a.AcquireWrite(t1); err != nil {
+		t.Fatal(err)
+	}
+	a.Replace(t1, value.Int(7))
+	if flat, ok := a.SnapshotCurrent(nil); !ok {
+		t.Fatal("no current snapshot")
+	} else if got, _ := value.Unflatten(flat); !value.Equal(got, value.Int(7)) {
+		t.Fatalf("current snapshot = %s", value.String(got))
+	}
+	// SnapshotFor: writer sees current, others see base.
+	if got, _ := value.Unflatten(a.SnapshotFor(t1, nil)); !value.Equal(got, value.Int(7)) {
+		t.Fatalf("SnapshotFor(writer) = %s", value.String(got))
+	}
+	if got, _ := value.Unflatten(a.SnapshotFor(t2, nil)); !value.Equal(got, value.NewList(value.Int(1))) {
+		t.Fatalf("SnapshotFor(other) = %s", value.String(got))
+	}
+	a.SetBase(value.Int(100))
+	if !value.Equal(a.Base(), value.Int(100)) {
+		t.Fatal("SetBase failed")
+	}
+	m := NewMutex(6, value.Str("x"))
+	if got, _ := value.Unflatten(m.Snapshot(nil)); !value.Equal(got, value.Str("x")) {
+		t.Fatalf("mutex snapshot = %s", value.String(got))
+	}
+	if m.Kind().String() != "mutex" || a.Kind().String() != "atomic" {
+		t.Fatal("kind strings")
+	}
+}

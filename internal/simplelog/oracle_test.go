@@ -1,0 +1,280 @@
+package simplelog
+
+// Property test: the backward-scan recovery algorithm (§3.4.4) is
+// equivalent to the forward-replay semantics of the log — for random
+// interleaved action histories, replaying the log chronologically with
+// the thesis's commit/abort/mutex rules yields exactly the object state
+// recovery reconstructs.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/logrec"
+	"repro/internal/object"
+	"repro/internal/stablelog"
+	"repro/internal/value"
+)
+
+// oracleState is the forward-replay interpretation of a simple log.
+type oracleState struct {
+	base   map[ids.UID]value.Value // committed versions (atomic base / mutex current)
+	kind   map[ids.UID]object.Kind
+	writer map[ids.UID]ids.ActionID // write lock of a still-prepared action
+	cur    map[ids.UID]value.Value  // that action's current version
+	status map[ids.ActionID]PartState
+}
+
+func newOracle() *oracleState {
+	return &oracleState{
+		base:   make(map[ids.UID]value.Value),
+		kind:   make(map[ids.UID]object.Kind),
+		writer: make(map[ids.UID]ids.ActionID),
+		cur:    make(map[ids.UID]value.Value),
+		status: make(map[ids.ActionID]PartState),
+	}
+}
+
+// replay applies the log entries chronologically.
+func (o *oracleState) replay(entries []*logrec.Entry) error {
+	// pending data per action, in write order.
+	type write struct {
+		uid  ids.UID
+		kind object.Kind
+		v    value.Value
+	}
+	pending := make(map[ids.ActionID][]write)
+	for _, e := range entries {
+		switch e.Kind {
+		case logrec.KindData:
+			v, err := value.Unflatten(e.Value)
+			if err != nil {
+				return err
+			}
+			pending[e.AID] = append(pending[e.AID], write{e.UID, e.ObjType, v})
+		case logrec.KindBaseCommitted:
+			v, err := value.Unflatten(e.Value)
+			if err != nil {
+				return err
+			}
+			// The committed base version of a newly accessible object.
+			o.base[e.UID] = v
+			o.kind[e.UID] = object.KindAtomic
+		case logrec.KindPreparedData:
+			v, err := value.Unflatten(e.Value)
+			if err != nil {
+				return err
+			}
+			// The current version of an object write-locked by an
+			// already prepared action: as if that action had written it
+			// in its own prepare.
+			pending[e.AID] = append(pending[e.AID], write{e.UID, object.KindAtomic, v})
+		case logrec.KindPrepared:
+			o.status[e.AID] = PartPrepared
+			for _, w := range pending[e.AID] {
+				o.kind[w.uid] = w.kind
+				if w.kind == object.KindMutex {
+					// Mutex versions take effect at prepare (§2.4.2).
+					o.base[w.uid] = w.v
+				} else {
+					o.writer[w.uid] = e.AID
+					o.cur[w.uid] = w.v
+				}
+			}
+		case logrec.KindCommitted:
+			o.status[e.AID] = PartCommitted
+			for _, w := range pending[e.AID] {
+				if w.kind == object.KindAtomic {
+					o.base[w.uid] = w.v
+				}
+				if o.writer[w.uid] == e.AID {
+					delete(o.writer, w.uid)
+					delete(o.cur, w.uid)
+				}
+			}
+		case logrec.KindAborted:
+			o.status[e.AID] = PartAborted
+			for _, w := range pending[e.AID] {
+				if o.writer[w.uid] == e.AID {
+					delete(o.writer, w.uid)
+					delete(o.cur, w.uid)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// genHistory writes a random history to the log and returns the
+// chronological entries. The recovery-system operations are sequential
+// (§2.3), so each action's data entries and prepared entry form a
+// contiguous block; verdict entries interleave freely between other
+// actions' blocks.
+func genHistory(t *testing.T, rng *rand.Rand, log *stablelog.Log) []*logrec.Entry {
+	t.Helper()
+	const nUIDs = 8
+	kinds := make([]object.Kind, nUIDs)
+	for i := range kinds {
+		if rng.Intn(3) == 0 {
+			kinds[i] = object.KindMutex
+		} else {
+			kinds[i] = object.KindAtomic
+		}
+	}
+	// Write locks: one pending writer per atomic uid at a time.
+	locked := make(map[ids.UID]bool)
+
+	type actionRun struct {
+		aid    ids.ActionID
+		uids   []ids.UID
+		phase  int // 0 = not yet prepared, 1 = prepared, 2 = finished
+		commit bool
+	}
+	var runs []*actionRun
+	nActions := 4 + rng.Intn(5)
+	for i := 0; i < nActions; i++ {
+		r := &actionRun{
+			aid:    ids.ActionID{Coordinator: 1, Seq: uint64(i + 1)},
+			commit: rng.Intn(2) == 0,
+		}
+		for u := ids.UID(1); u <= nUIDs; u++ {
+			if rng.Intn(3) != 0 {
+				continue
+			}
+			if kinds[u-1] == object.KindAtomic {
+				if locked[u] {
+					continue
+				}
+				locked[u] = true
+			}
+			r.uids = append(r.uids, u)
+		}
+		runs = append(runs, r)
+	}
+
+	var entries []*logrec.Entry
+	emit := func(e *logrec.Entry) {
+		entries = append(entries, e)
+		if _, err := log.Write(logrec.Encode(logrec.Simple, e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for {
+		// Pick a random unfinished action.
+		var live []*actionRun
+		for _, r := range runs {
+			if r.phase < 2 {
+				live = append(live, r)
+			}
+		}
+		if len(live) == 0 {
+			break
+		}
+		r := live[rng.Intn(len(live))]
+		switch r.phase {
+		case 0:
+			// The whole prepare runs as one sequential operation.
+			for _, u := range r.uids {
+				v := value.Int(int64(u)*1000 + int64(r.aid.Seq)*10)
+				emit(&logrec.Entry{Kind: logrec.KindData, UID: u,
+					ObjType: kinds[u-1], Value: value.Flatten(v, nil), AID: r.aid})
+			}
+			emit(&logrec.Entry{Kind: logrec.KindPrepared, AID: r.aid})
+			r.phase = 1
+		case 1:
+			// Sometimes leave it prepared forever (in doubt at the
+			// crash); release nothing in that case.
+			if rng.Intn(5) == 0 {
+				r.phase = 2
+				continue
+			}
+			kind := logrec.KindAborted
+			if r.commit {
+				kind = logrec.KindCommitted
+			}
+			emit(&logrec.Entry{Kind: kind, AID: r.aid})
+			for _, u := range r.uids {
+				if kinds[u-1] == object.KindAtomic {
+					delete(locked, u)
+				}
+			}
+			r.phase = 2
+		}
+	}
+	if err := log.Force(); err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+func TestRecoveryMatchesForwardReplay(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			log := newTestLog(t)
+			entries := genHistory(t, rng, log)
+
+			oracle := newOracle()
+			if err := oracle.replay(entries); err != nil {
+				t.Fatal(err)
+			}
+			tables, err := Recover(log)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Action states agree.
+			for aid, st := range oracle.status {
+				if tables.PT[aid] != st {
+					t.Fatalf("PT[%v] = %v, oracle %v", aid, tables.PT[aid], st)
+				}
+			}
+			// Object states agree.
+			for uid, want := range oracle.base {
+				obj, ok := tables.Heap.Lookup(uid)
+				if !ok {
+					t.Fatalf("%v missing from recovery (oracle %s)", uid, value.String(want))
+				}
+				switch x := obj.(type) {
+				case *object.Atomic:
+					if !value.Equal(x.Base(), want) {
+						t.Fatalf("%v base = %s, oracle %s", uid,
+							value.String(x.Base()), value.String(want))
+					}
+					wantWriter := oracle.writer[uid]
+					if x.Writer() != wantWriter {
+						t.Fatalf("%v writer = %v, oracle %v", uid, x.Writer(), wantWriter)
+					}
+					if !wantWriter.IsZero() {
+						cur, okc := x.Current()
+						if !okc || !value.Equal(cur, oracle.cur[uid]) {
+							t.Fatalf("%v current = %v, oracle %s", uid, cur,
+								value.String(oracle.cur[uid]))
+						}
+					}
+				case *object.Mutex:
+					if !value.Equal(x.Current(), want) {
+						t.Fatalf("%v mutex = %s, oracle %s", uid,
+							value.String(x.Current()), value.String(want))
+					}
+				}
+			}
+			// Recovery must not invent objects: atomics write-locked by
+			// a prepared action but with no committed base are the only
+			// extras allowed.
+			for _, uid := range tables.Heap.UIDs() {
+				if _, known := oracle.base[uid]; known {
+					continue
+				}
+				obj, _ := tables.Heap.Lookup(uid)
+				a, isAtomic := obj.(*object.Atomic)
+				if !isAtomic || a.Writer().IsZero() {
+					t.Fatalf("recovery invented %v", uid)
+				}
+			}
+		})
+	}
+}

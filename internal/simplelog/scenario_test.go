@@ -1,0 +1,459 @@
+package simplelog
+
+// Scenario tests reproducing the four recovery scenarios of thesis
+// §3.4.2 (Figures 3-7 through 3-10). Each test builds the exact log of
+// the figure, runs recovery, and checks the PT/CT/OT tables printed at
+// the end of each scenario in the thesis.
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/logrec"
+	"repro/internal/object"
+	"repro/internal/stable"
+	"repro/internal/stablelog"
+	"repro/internal/value"
+)
+
+var (
+	gP = ids.GuardianID(1)
+	tA = ids.ActionID{Coordinator: gP, Seq: 1} // "T1" in the figures
+	tB = ids.ActionID{Coordinator: gP, Seq: 2} // "T2"
+	tC = ids.ActionID{Coordinator: gP, Seq: 3} // "T3"
+)
+
+func newTestLog(t *testing.T) *stablelog.Log {
+	t.Helper()
+	a := stable.NewMemDevice(256, nil)
+	b := stable.NewMemDevice(256, nil)
+	store, err := stable.NewStore(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stablelog.New(store)
+}
+
+// appendEntries writes the given entries in order and forces the log.
+func appendEntries(t *testing.T, log *stablelog.Log, entries ...*logrec.Entry) {
+	t.Helper()
+	for _, e := range entries {
+		if _, err := log.Write(logrec.Encode(logrec.Simple, e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Force(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flat(v value.Value) []byte { return value.Flatten(v, nil) }
+
+func data(uid ids.UID, kind object.Kind, v value.Value, aid ids.ActionID) *logrec.Entry {
+	return &logrec.Entry{Kind: logrec.KindData, UID: uid, ObjType: kind, Value: flat(v), AID: aid}
+}
+
+func bc(uid ids.UID, v value.Value) *logrec.Entry {
+	return &logrec.Entry{Kind: logrec.KindBaseCommitted, UID: uid, Value: flat(v)}
+}
+
+func outcome(kind logrec.Kind, aid ids.ActionID) *logrec.Entry {
+	return &logrec.Entry{Kind: kind, AID: aid}
+}
+
+func wantPT(t *testing.T, tables *Tables, want map[ids.ActionID]PartState) {
+	t.Helper()
+	if len(tables.PT) != len(want) {
+		t.Fatalf("PT = %v, want %v", tables.PT, want)
+	}
+	for aid, st := range want {
+		if tables.PT[aid] != st {
+			t.Fatalf("PT[%v] = %v, want %v", aid, tables.PT[aid], st)
+		}
+	}
+}
+
+func getAtomic(t *testing.T, h *object.Heap, uid ids.UID) *object.Atomic {
+	t.Helper()
+	o, ok := h.Lookup(uid)
+	if !ok {
+		t.Fatalf("%v not restored", uid)
+	}
+	a, ok := o.(*object.Atomic)
+	if !ok {
+		t.Fatalf("%v restored as %T, want atomic", uid, o)
+	}
+	return a
+}
+
+func getMutex(t *testing.T, h *object.Heap, uid ids.UID) *object.Mutex {
+	t.Helper()
+	o, ok := h.Lookup(uid)
+	if !ok {
+		t.Fatalf("%v not restored", uid)
+	}
+	m, ok := o.(*object.Mutex)
+	if !ok {
+		t.Fatalf("%v restored as %T, want mutex", uid, o)
+	}
+	return m
+}
+
+// TestScenarioFig3_7 — scenario 1: atomic objects; T1 committed, T2
+// prepared. Log (left to right):
+//
+//	bc(O1,V1) bc(O2,V2) data(O2,at,V2',T1) prepared(T1) committed(T1)
+//	data(O1,at,V1',T2) prepared(T2)
+func TestScenarioFig3_7(t *testing.T) {
+	const o1, o2 = ids.UID(11), ids.UID(12)
+	v1, v2 := value.Int(1), value.Int(2)
+	v2p := value.Int(22)  // V2 written by T1
+	v1p := value.Int(111) // V1 written by T2
+
+	log := newTestLog(t)
+	appendEntries(t, log,
+		bc(o1, v1),
+		bc(o2, v2),
+		data(o2, object.KindAtomic, v2p, tA),
+		outcome(logrec.KindPrepared, tA),
+		outcome(logrec.KindCommitted, tA),
+		data(o1, object.KindAtomic, v1p, tB),
+		outcome(logrec.KindPrepared, tB),
+	)
+
+	tables, err := Recover(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPT(t, tables, map[ids.ActionID]PartState{tA: PartCommitted, tB: PartPrepared})
+	if len(tables.CT) != 0 {
+		t.Fatalf("CT = %v, want empty", tables.CT)
+	}
+
+	// O1: base V1, current V1' write-locked by T2 (still prepared).
+	a1 := getAtomic(t, tables.Heap, o1)
+	if !value.Equal(a1.Base(), v1) {
+		t.Errorf("O1 base = %s, want %s", value.String(a1.Base()), value.String(v1))
+	}
+	if a1.Writer() != tB {
+		t.Errorf("O1 writer = %v, want %v", a1.Writer(), tB)
+	}
+	if cur, ok := a1.Current(); !ok || !value.Equal(cur, v1p) {
+		t.Errorf("O1 current = %v", cur)
+	}
+
+	// O2: restored to T1's committed version.
+	a2 := getAtomic(t, tables.Heap, o2)
+	if !value.Equal(a2.Base(), v2p) {
+		t.Errorf("O2 base = %s, want %s", value.String(a2.Base()), value.String(v2p))
+	}
+	if !a2.Writer().IsZero() {
+		t.Errorf("O2 unexpectedly write-locked by %v", a2.Writer())
+	}
+
+	// T2 is back in the PAT awaiting its verdict.
+	if !tables.PAT.Contains(tB) || tables.PAT.Contains(tA) {
+		t.Errorf("PAT wrong: %v", tables.PAT)
+	}
+	if tables.MaxUID != o2 {
+		t.Errorf("stable counter reset to %v, want %v", tables.MaxUID, o2)
+	}
+}
+
+// TestScenarioFig3_8 — scenario 2: mutex objects; T1 committed, T2
+// prepared then aborted. The mutex version written by T2 must be
+// restored anyway (§2.4.2). Log:
+//
+//	data(O1,mx,V1,T1) data(O2,mx,V2,T1) prepared(T1) committed(T1)
+//	data(O1,mx,V1',T2) prepared(T2) aborted(T2)
+func TestScenarioFig3_8(t *testing.T) {
+	const o1, o2 = ids.UID(21), ids.UID(22)
+	v1, v2, v1p := value.Int(1), value.Int(2), value.Int(111)
+
+	log := newTestLog(t)
+	appendEntries(t, log,
+		data(o1, object.KindMutex, v1, tA),
+		data(o2, object.KindMutex, v2, tA),
+		outcome(logrec.KindPrepared, tA),
+		outcome(logrec.KindCommitted, tA),
+		data(o1, object.KindMutex, v1p, tB),
+		outcome(logrec.KindPrepared, tB),
+		outcome(logrec.KindAborted, tB),
+	)
+
+	tables, err := Recover(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPT(t, tables, map[ids.ActionID]PartState{tA: PartCommitted, tB: PartAborted})
+
+	// O1 must hold T2's version even though T2 aborted: "what matters is
+	// that the action prepared."
+	m1 := getMutex(t, tables.Heap, o1)
+	if !value.Equal(m1.Current(), v1p) {
+		t.Errorf("O1 = %s, want aborted-but-prepared version %s",
+			value.String(m1.Current()), value.String(v1p))
+	}
+	m2 := getMutex(t, tables.Heap, o2)
+	if !value.Equal(m2.Current(), v2) {
+		t.Errorf("O2 = %s, want %s", value.String(m2.Current()), value.String(v2))
+	}
+	if tables.PAT.Len() != 0 {
+		t.Errorf("PAT = %v, want empty (T2 aborted)", tables.PAT)
+	}
+}
+
+// TestScenarioFig3_9 — scenario 3: newly accessible objects, the
+// history of Figure 3-5. O3 was made accessible by T2 (aborted) but is
+// referenced by T3 (committed), so its base version must survive via
+// the base_committed entry. Log:
+//
+//	bc(O1,V1) bc(O2,V2) prepared(T1) committed(T1)
+//	data(O1,at,V1',T2) bc(O3,V3b) data(O3,at,V3c,T2) prepared(T2)
+//	data(O2,at,V2',T3) prepared(T3) aborted(T2) committed(T3)
+func TestScenarioFig3_9(t *testing.T) {
+	const o1, o2, o3 = ids.UID(31), ids.UID(32), ids.UID(33)
+	v1, v2 := value.Int(10), value.Int(20)
+	v1p := value.NewList(value.UIDRef{UID: o3}) // T2: O1 -> O3 (discarded)
+	v3b := value.Int(30)                        // O3's base version
+	v3c := value.Int(33)                        // T2's version of O3 (discarded)
+	v2p := value.NewList(value.UIDRef{UID: o3}) // T3: O2 -> O3 (committed)
+
+	log := newTestLog(t)
+	appendEntries(t, log,
+		bc(o1, v1),
+		bc(o2, v2),
+		outcome(logrec.KindPrepared, tA),
+		outcome(logrec.KindCommitted, tA),
+		data(o1, object.KindAtomic, v1p, tB),
+		bc(o3, v3b),
+		data(o3, object.KindAtomic, v3c, tB),
+		outcome(logrec.KindPrepared, tB),
+		data(o2, object.KindAtomic, v2p, tC),
+		outcome(logrec.KindPrepared, tC),
+		outcome(logrec.KindAborted, tB),
+		outcome(logrec.KindCommitted, tC),
+	)
+
+	tables, err := Recover(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPT(t, tables, map[ids.ActionID]PartState{
+		tA: PartCommitted, tB: PartAborted, tC: PartCommitted,
+	})
+
+	// O1 reverts to V1: T2's modification aborted.
+	a1 := getAtomic(t, tables.Heap, o1)
+	if !value.Equal(a1.Base(), v1) {
+		t.Errorf("O1 = %s, want %s", value.String(a1.Base()), value.String(v1))
+	}
+	// O3 survives with its base version although T2 aborted.
+	a3 := getAtomic(t, tables.Heap, o3)
+	if !value.Equal(a3.Base(), v3b) {
+		t.Errorf("O3 = %s, want base version %s", value.String(a3.Base()), value.String(v3b))
+	}
+	// O2 holds T3's committed version, whose reference to O3 must have
+	// been resolved to the restored object (the §3.4.3 final pass).
+	a2 := getAtomic(t, tables.Heap, o2)
+	l, ok := a2.Base().(*value.List)
+	if !ok {
+		t.Fatalf("O2 base = %s", value.String(a2.Base()))
+	}
+	ref, ok := l.Elems[0].(value.Ref)
+	if !ok {
+		t.Fatalf("O2's reference not resolved: %s", value.String(l.Elems[0]))
+	}
+	if ref.Target != value.Obj(a3) {
+		t.Errorf("O2 references %v, want the restored O3", ref.Target.UID())
+	}
+	if tables.MaxUID != o3 {
+		t.Errorf("stable counter = %v, want %v", tables.MaxUID, o3)
+	}
+}
+
+// TestScenarioFig3_10 — scenario 4: a guardian that is both coordinator
+// and participant for T2. Log:
+//
+//	bc(O1,V1b) data(O1,at,V1,T1) bc(O2,V2b) prepared(T1) committed(T1)
+//	data(O2,at,V2,T2) prepared(T2) committing([P1,P2,P3],T2)
+//	committed(T2) done(T2)
+func TestScenarioFig3_10(t *testing.T) {
+	const o1, o2 = ids.UID(41), ids.UID(42)
+	v1b, v1 := value.Int(1), value.Int(11)
+	v2b, v2 := value.Int(2), value.Int(22)
+	parts := []ids.GuardianID{1, 2, 3}
+
+	log := newTestLog(t)
+	appendEntries(t, log,
+		bc(o1, v1b),
+		data(o1, object.KindAtomic, v1, tA),
+		bc(o2, v2b),
+		outcome(logrec.KindPrepared, tA),
+		outcome(logrec.KindCommitted, tA),
+		data(o2, object.KindAtomic, v2, tB),
+		outcome(logrec.KindPrepared, tB),
+		&logrec.Entry{Kind: logrec.KindCommitting, AID: tB, GIDs: parts},
+		outcome(logrec.KindCommitted, tB),
+		outcome(logrec.KindDone, tB),
+	)
+
+	tables, err := Recover(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPT(t, tables, map[ids.ActionID]PartState{tA: PartCommitted, tB: PartCommitted})
+
+	// CT: T2 done — the committing entry is superseded, so no
+	// coordinator needs restarting.
+	if len(tables.CT) != 1 {
+		t.Fatalf("CT = %v", tables.CT)
+	}
+	ci := tables.CT[tB]
+	if ci.State != CoordDone {
+		t.Fatalf("CT[T2] = %v, want done", ci.State)
+	}
+
+	a1 := getAtomic(t, tables.Heap, o1)
+	if !value.Equal(a1.Base(), v1) {
+		t.Errorf("O1 = %s, want %s", value.String(a1.Base()), value.String(v1))
+	}
+	a2 := getAtomic(t, tables.Heap, o2)
+	if !value.Equal(a2.Base(), v2) {
+		t.Errorf("O2 = %s, want %s", value.String(a2.Base()), value.String(v2))
+	}
+}
+
+// TestScenarioCommittingWithoutDone checks the CT path the thesis
+// describes in scenario 4: if the coordinator crashed between the
+// committing and done entries, the CT reports the action as committing
+// with its participant list, so the coordinator can be resumed.
+func TestScenarioCommittingWithoutDone(t *testing.T) {
+	parts := []ids.GuardianID{2, 3}
+	log := newTestLog(t)
+	appendEntries(t, log,
+		outcome(logrec.KindPrepared, tA),
+		&logrec.Entry{Kind: logrec.KindCommitting, AID: tA, GIDs: parts},
+	)
+	tables, err := Recover(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, ok := tables.CT[tA]
+	if !ok || ci.State != CoordCommitting {
+		t.Fatalf("CT[T1] = %+v, want committing", ci)
+	}
+	if len(ci.GIDs) != 2 || ci.GIDs[0] != 2 || ci.GIDs[1] != 3 {
+		t.Fatalf("GIDs = %v, want [2 3]", ci.GIDs)
+	}
+}
+
+// TestRecoveryIgnoresUnpreparedData: data entries whose action has no
+// outcome entry (crash mid-prepare) are discarded and the action
+// effectively aborts (§2.2.3).
+func TestRecoveryIgnoresUnpreparedData(t *testing.T) {
+	const o1 = ids.UID(5)
+	log := newTestLog(t)
+	appendEntries(t, log,
+		bc(o1, value.Int(1)),
+		outcome(logrec.KindPrepared, tA),
+		outcome(logrec.KindCommitted, tA),
+		// T2 wrote data entries but crashed before its prepared entry.
+		data(o1, object.KindAtomic, value.Int(99), tB),
+	)
+	tables, err := Recover(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, known := tables.PT[tB]; known {
+		t.Fatalf("unprepared T2 appears in PT: %v", tables.PT)
+	}
+	a1 := getAtomic(t, tables.Heap, o1)
+	if !value.Equal(a1.Base(), value.Int(1)) {
+		t.Errorf("O1 = %s, want 1", value.String(a1.Base()))
+	}
+	if !a1.Writer().IsZero() {
+		t.Errorf("O1 write-locked by vanished action %v", a1.Writer())
+	}
+}
+
+// TestRecoveryPreparedDataEntry exercises §3.4.4 step 2.e: a
+// prepared_data entry written for an object write-locked by another,
+// already prepared action.
+func TestRecoveryPreparedDataEntry(t *testing.T) {
+	const oX = ids.UID(7)
+	base, cur := value.Int(1), value.Int(2)
+
+	build := func(t *testing.T, verdict *logrec.Entry) *Tables {
+		log := newTestLog(t)
+		entries := []*logrec.Entry{
+			// T1 prepared earlier; O_X was inaccessible then, so nothing
+			// was written for it.
+			outcome(logrec.KindPrepared, tA),
+			// T2's prepare makes O_X newly accessible: base_committed
+			// plus prepared_data crediting T1's current version.
+			bc(oX, base),
+			{Kind: logrec.KindPreparedData, UID: oX, AID: tA, Value: flat(cur)},
+			outcome(logrec.KindPrepared, tB),
+		}
+		if verdict != nil {
+			entries = append(entries, verdict)
+		}
+		appendEntries(t, log, entries...)
+		tables, err := Recover(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tables
+	}
+
+	t.Run("T1-still-prepared", func(t *testing.T) {
+		tables := build(t, nil)
+		a := getAtomic(t, tables.Heap, oX)
+		if a.Writer() != tA {
+			t.Fatalf("O_X writer = %v, want %v", a.Writer(), tA)
+		}
+		if c, ok := a.Current(); !ok || !value.Equal(c, cur) {
+			t.Fatalf("O_X current = %v", c)
+		}
+		if !value.Equal(a.Base(), base) {
+			t.Fatalf("O_X base = %s", value.String(a.Base()))
+		}
+		if tables.PT[tA] != PartPrepared {
+			t.Fatalf("PT[T1] = %v", tables.PT[tA])
+		}
+	})
+
+	t.Run("T1-committed", func(t *testing.T) {
+		tables := build(t, outcome(logrec.KindCommitted, tA))
+		a := getAtomic(t, tables.Heap, oX)
+		if !value.Equal(a.Base(), cur) {
+			t.Fatalf("O_X base = %s, want committed current %s",
+				value.String(a.Base()), value.String(cur))
+		}
+		if !a.Writer().IsZero() {
+			t.Fatalf("O_X still locked by %v", a.Writer())
+		}
+	})
+
+	t.Run("T1-aborted", func(t *testing.T) {
+		tables := build(t, outcome(logrec.KindAborted, tA))
+		a := getAtomic(t, tables.Heap, oX)
+		if !value.Equal(a.Base(), base) {
+			t.Fatalf("O_X base = %s, want original base %s",
+				value.String(a.Base()), value.String(base))
+		}
+	})
+}
+
+// TestRecoveryEmptyLog: a guardian that never prepared anything.
+func TestRecoveryEmptyLog(t *testing.T) {
+	log := newTestLog(t)
+	tables, err := Recover(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables.PT) != 0 || len(tables.CT) != 0 || tables.Heap.Len() != 0 {
+		t.Fatalf("empty log recovered state: %+v", tables)
+	}
+}

@@ -1,0 +1,311 @@
+// Package simplelog implements the simple log of thesis chapter 3: the
+// algorithm for writing recoverable objects to the log as a top-level
+// action prepares (§3.3) and the algorithm for recovering the guardian's
+// stable state from the log after a crash (§3.4).
+//
+// The simple log is the "pure log" end of the organization spectrum
+// (§1.2): writing is fast (append-only, one force per outcome), but
+// recovery must read and decode every log entry.
+package simplelog
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/logrec"
+	"repro/internal/object"
+	"repro/internal/stablelog"
+	"repro/internal/value"
+)
+
+// Writer runs the participant- and coordinator-side writing algorithms
+// against one guardian's simple log. The thesis assumes recovery-system
+// operations are called sequentially (§2.3); Writer serializes them
+// with a mutex so callers need not.
+type Writer struct {
+	mu   sync.Mutex
+	log  *stablelog.Log
+	heap *object.Heap
+	as   *object.AccessSet
+	pat  *object.PAT
+}
+
+// NewWriter returns a writer over log for a guardian whose volatile
+// state is heap. as is the guardian's accessibility set and pat its
+// prepared actions table; a brand-new guardian starts with both empty.
+func NewWriter(log *stablelog.Log, heap *object.Heap, as *object.AccessSet, pat *object.PAT) *Writer {
+	return &Writer{log: log, heap: heap, as: as, pat: pat}
+}
+
+// Log returns the underlying stable log.
+func (w *Writer) Log() *stablelog.Log { return w.log }
+
+// PAT returns the prepared actions table the writer maintains.
+func (w *Writer) PAT() *object.PAT { return w.pat }
+
+// AS returns the accessibility set the writer maintains.
+func (w *Writer) AS() *object.AccessSet { return w.as }
+
+// Prepare runs the writing algorithm of §3.3.3.3 for action aid with
+// modified-objects set mos, then forces the prepared outcome entry.
+// After Prepare returns the participant may reply "prepared" to the
+// coordinator.
+func (w *Writer) Prepare(aid ids.ActionID, mos object.MOS) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	naos := newNAOS()
+	// Step 2: a just-created guardian has an empty AS; seed the NAOS
+	// with the stable-variables object so the whole initial stable
+	// state is written.
+	if w.as.Len() == 0 {
+		if root, ok := w.heap.StableVars(); ok {
+			naos.add(root)
+		}
+	}
+
+	// Step 3: process the MOS.
+	for _, obj := range mos {
+		if !w.as.Contains(obj.UID()) {
+			// Step 3c: not accessible (or newly accessible — the NAOS
+			// pass will discover and handle it).
+			continue
+		}
+		if err := w.writeDataEntry(aid, obj, naos); err != nil {
+			return err
+		}
+	}
+
+	// Step 4: process the NAOS until empty; processing one object may
+	// reveal more newly accessible objects.
+	for {
+		obj, ok := naos.pop()
+		if !ok {
+			break
+		}
+		if err := w.writeNewlyAccessible(aid, obj, naos); err != nil {
+			return err
+		}
+		w.as.Add(obj.UID())
+	}
+
+	// Step 5: force the prepared outcome entry.
+	_, err := w.log.ForceWrite(logrec.Encode(logrec.Simple, &logrec.Entry{
+		Kind: logrec.KindPrepared,
+		AID:  aid,
+	}))
+	if err != nil {
+		return err
+	}
+	w.pat.Add(aid)
+	return nil
+}
+
+// writeDataEntry copies the version of obj visible to aid and writes a
+// data entry, feeding referenced not-yet-accessible objects to the NAOS.
+func (w *Writer) writeDataEntry(aid ids.ActionID, obj object.Recoverable, naos *naos) error {
+	var flat []byte
+	switch o := obj.(type) {
+	case *object.Atomic:
+		flat = o.SnapshotFor(aid, naos.visitor(w.as))
+	case *object.Mutex:
+		flat = o.Snapshot(naos.visitor(w.as))
+	default:
+		return fmt.Errorf("simplelog: unknown recoverable type %T", obj)
+	}
+	_, err := w.log.Write(logrec.Encode(logrec.Simple, &logrec.Entry{
+		Kind:    logrec.KindData,
+		UID:     obj.UID(),
+		ObjType: obj.Kind(),
+		Value:   flat,
+		AID:     aid,
+	}))
+	return err
+}
+
+// writeNewlyAccessible handles one newly accessible object per the case
+// analysis of §3.3.3.3 step 4.
+func (w *Writer) writeNewlyAccessible(aid ids.ActionID, obj object.Recoverable, naos *naos) error {
+	switch o := obj.(type) {
+	case *object.Mutex:
+		// A newly accessible mutex object is no problem: one data entry
+		// with the current version suffices, because mutex versions are
+		// restored regardless of the writing action's fate (§3.3.3.2).
+		return w.writeDataEntry(aid, obj, naos)
+
+	case *object.Atomic:
+		writer := o.Writer()
+		switch {
+		case writer == aid:
+			// The preparing action write-locks the object: write the
+			// base version as base_committed and the current version as
+			// an ordinary data entry.
+			if err := w.writeBaseCommitted(o, naos); err != nil {
+				return err
+			}
+			return w.writeDataEntry(aid, obj, naos)
+
+		case writer.IsZero():
+			// Read-locked by this action (newly created) or unlocked:
+			// a single version; write it as base_committed.
+			return w.writeBaseCommitted(o, naos)
+
+		default:
+			// Write-locked by some other action A.
+			if w.pat.Contains(writer) {
+				// A has prepared: its current version must survive in
+				// case A commits, and the base version in case A aborts.
+				if err := w.writeBaseCommitted(o, naos); err != nil {
+					return err
+				}
+				flat, ok := o.SnapshotCurrent(naos.visitor(w.as))
+				if !ok {
+					return fmt.Errorf("simplelog: %v write-locked by %v but has no current version", o.UID(), writer)
+				}
+				_, err := w.log.Write(logrec.Encode(logrec.Simple, &logrec.Entry{
+					Kind:  logrec.KindPreparedData,
+					UID:   o.UID(),
+					AID:   writer,
+					Value: flat,
+				}))
+				return err
+			}
+			// A has not prepared: only the base version need survive.
+			return w.writeBaseCommitted(o, naos)
+		}
+
+	default:
+		return fmt.Errorf("simplelog: unknown recoverable type %T", obj)
+	}
+}
+
+func (w *Writer) writeBaseCommitted(o *object.Atomic, naos *naos) error {
+	flat := o.SnapshotBase(naos.visitor(w.as))
+	_, err := w.log.Write(logrec.Encode(logrec.Simple, &logrec.Entry{
+		Kind:  logrec.KindBaseCommitted,
+		UID:   o.UID(),
+		Value: flat,
+	}))
+	return err
+}
+
+// Commit forces the committed outcome entry for aid and drops it from
+// the PAT (§3.3.2).
+func (w *Writer) Commit(aid ids.ActionID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.log.ForceWrite(logrec.Encode(logrec.Simple, &logrec.Entry{
+		Kind: logrec.KindCommitted,
+		AID:  aid,
+	}))
+	if err != nil {
+		return err
+	}
+	w.pat.Remove(aid)
+	return nil
+}
+
+// Abort forces the aborted outcome entry for aid and drops it from the
+// PAT (§3.3.2).
+func (w *Writer) Abort(aid ids.ActionID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.log.ForceWrite(logrec.Encode(logrec.Simple, &logrec.Entry{
+		Kind: logrec.KindAborted,
+		AID:  aid,
+	}))
+	if err != nil {
+		return err
+	}
+	w.pat.Remove(aid)
+	return nil
+}
+
+// Committing forces the coordinator's committing outcome entry naming
+// the participant guardians; once it is on the log the action is
+// committed (§3.3.1).
+func (w *Writer) Committing(aid ids.ActionID, gids []ids.GuardianID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.log.ForceWrite(logrec.Encode(logrec.Simple, &logrec.Entry{
+		Kind: logrec.KindCommitting,
+		AID:  aid,
+		GIDs: gids,
+	}))
+	return err
+}
+
+// Done forces the coordinator's done outcome entry; two-phase commit is
+// complete (§3.3.1).
+func (w *Writer) Done(aid ids.ActionID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.log.ForceWrite(logrec.Encode(logrec.Simple, &logrec.Entry{
+		Kind: logrec.KindDone,
+		AID:  aid,
+	}))
+	return err
+}
+
+// TrimAS trims the accessibility set (§3.3.3.2): actions that make
+// objects unreachable leave their UIDs in the AS, so it grows into a
+// superset of the stable state. Trimming traverses the objects
+// reachable from the stable variables into a fresh set and intersects
+// it with the old one — the intersection (rather than replacement)
+// drops objects that became newly accessible during the traversal,
+// which must keep being treated as newly accessible by the writing
+// algorithm.
+func (w *Writer) TrimAS() {
+	fresh := w.heap.AccessibleSet()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fresh.Intersect(w.as)
+	w.as.ReplaceWith(fresh)
+}
+
+// naos is the newly accessible objects set (§3.3.3.2): a work queue of
+// recoverable objects discovered during flattening whose UIDs are not
+// in the accessibility set.
+type naos struct {
+	queue  []object.Recoverable
+	queued map[ids.UID]bool
+}
+
+func newNAOS() *naos {
+	return &naos{queued: make(map[ids.UID]bool)}
+}
+
+func (n *naos) add(obj object.Recoverable) {
+	if n.queued[obj.UID()] {
+		return
+	}
+	n.queued[obj.UID()] = true
+	n.queue = append(n.queue, obj)
+}
+
+func (n *naos) pop() (object.Recoverable, bool) {
+	if len(n.queue) == 0 {
+		return nil, false
+	}
+	obj := n.queue[0]
+	n.queue = n.queue[1:]
+	return obj, true
+}
+
+// visitor returns the flattening callback that checks the AS for every
+// recoverable object the copy comes across and queues the newly
+// accessible ones. queued membership is retained across pops so an
+// object already processed in this prepare is not re-queued.
+func (n *naos) visitor(as *object.AccessSet) func(value.Obj) {
+	return func(ref value.Obj) {
+		obj, ok := ref.(object.Recoverable)
+		if !ok {
+			return
+		}
+		if as.Contains(obj.UID()) {
+			return
+		}
+		n.add(obj)
+	}
+}

@@ -1,0 +1,505 @@
+package simplelog
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/logrec"
+	"repro/internal/object"
+	"repro/internal/stablelog"
+	"repro/internal/value"
+)
+
+// decodeAll reads the whole log forward and decodes every entry.
+func decodeAll(t *testing.T, log *stablelog.Log) []*logrec.Entry {
+	t.Helper()
+	var rev []*logrec.Entry
+	err := log.ReadBackward(log.LastAppended(), func(_ stablelog.LSN, p []byte) bool {
+		e, err := logrec.Decode(logrec.Simple, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rev = append(rev, e)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*logrec.Entry, len(rev))
+	for i, e := range rev {
+		out[len(rev)-1-i] = e
+	}
+	return out
+}
+
+type fixture struct {
+	log    *stablelog.Log
+	heap   *object.Heap
+	as     *object.AccessSet
+	pat    *object.PAT
+	writer *Writer
+}
+
+func newFixture(t *testing.T) *fixture {
+	f := &fixture{
+		log:  newTestLog(t),
+		heap: object.NewHeap(),
+		as:   object.NewAccessSet(),
+		pat:  object.NewPAT(),
+	}
+	f.writer = NewWriter(f.log, f.heap, f.as, f.pat)
+	return f
+}
+
+// TestWritingScenarioFig3_6 reproduces the worked example of §3.3.3.2:
+// stable var X → O1 → O2; T1 write-locks O2 and makes it point to a new
+// atomic object O3. Prepare must write data(O2), base_committed(O3),
+// prepared(T1) and grow the AS to {O1, O2, O3}.
+func TestWritingScenarioFig3_6(t *testing.T) {
+	f := newFixture(t)
+	// In our runtime the figure's "O1" is the stable-variables object.
+	o2 := object.NewAtomic(2, value.Int(2), ids.NoAction)
+	root := object.NewAtomic(ids.StableVarsUID,
+		value.RecordOf("X", value.Ref{Target: o2}), ids.NoAction)
+	f.heap.Register(root)
+	f.heap.Register(o2)
+	f.as.Add(root.UID())
+	f.as.Add(o2.UID())
+
+	// T1 gets a write lock on O2 and modifies it to point to new O3.
+	if err := o2.AcquireWrite(tA); err != nil {
+		t.Fatal(err)
+	}
+	o3 := object.NewAtomic(3, value.Int(3), tA) // T1 holds a read lock
+	f.heap.Register(o3)
+	if err := o2.Replace(tA, value.NewList(value.Ref{Target: o3})); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := f.writer.Prepare(tA, object.MOS{o2}); err != nil {
+		t.Fatal(err)
+	}
+
+	entries := decodeAll(t, f.log)
+	if len(entries) != 3 {
+		t.Fatalf("log has %d entries, want 3: %v", len(entries), entries)
+	}
+	if entries[0].Kind != logrec.KindData || entries[0].UID != 2 || entries[0].AID != tA {
+		t.Fatalf("entry 0 = %v, want data(O2,...,T1)", entries[0])
+	}
+	if entries[1].Kind != logrec.KindBaseCommitted || entries[1].UID != 3 {
+		t.Fatalf("entry 1 = %v, want bc(O3,...)", entries[1])
+	}
+	if entries[2].Kind != logrec.KindPrepared || entries[2].AID != tA {
+		t.Fatalf("entry 2 = %v, want prepared(T1)", entries[2])
+	}
+	// O2's flattened version references O3 by UID.
+	v, err := value.Unflatten(entries[0].Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref, ok := v.(*value.List).Elems[0].(value.UIDRef); !ok || ref.UID != 3 {
+		t.Fatalf("flattened O2 = %s", value.String(v))
+	}
+	// AS now contains O1(root), O2, O3 — step 7 of the example.
+	for _, u := range []ids.UID{ids.StableVarsUID, 2, 3} {
+		if !f.as.Contains(u) {
+			t.Errorf("AS missing %v", u)
+		}
+	}
+	if !f.pat.Contains(tA) {
+		t.Error("T1 not in PAT after prepare")
+	}
+}
+
+// TestWritingScenarioFig3_5 drives the full 8-step history of Figure
+// 3-5 through the writer, crashes, recovers, and checks that the
+// recovered state matches step 8 ("the stable state ... will look
+// exactly like the situation that existed before the crash in Step 8").
+func TestWritingScenarioFig3_5(t *testing.T) {
+	f := newFixture(t)
+	// Step 1: X→O1, Y→O2, all committed (seeded by a setup action).
+	o1 := object.NewAtomic(11, value.Int(1), ids.NoAction)
+	o2 := object.NewAtomic(12, value.Int(2), ids.NoAction)
+	root := object.NewAtomic(ids.StableVarsUID,
+		value.RecordOf("X", value.Ref{Target: o1}, "Y", value.Ref{Target: o2}), ids.NoAction)
+	f.heap.Register(root)
+	f.heap.Register(o1)
+	f.heap.Register(o2)
+	setup := ids.ActionID{Coordinator: gP, Seq: 100}
+	if err := f.writer.Prepare(setup, object.MOS{root, o1, o2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.writer.Commit(setup); err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 2: T2 write-locks O1, creates O3, points O1's version at it.
+	tT2 := ids.ActionID{Coordinator: gP, Seq: 2}
+	tT3 := ids.ActionID{Coordinator: gP, Seq: 3}
+	if err := o1.AcquireWrite(tT2); err != nil {
+		t.Fatal(err)
+	}
+	o3 := object.NewAtomic(13, value.Int(3), tT2)
+	f.heap.Register(o3)
+	o1.Replace(tT2, value.NewList(value.Ref{Target: o3}))
+
+	// Step 3: T3 write-locks O2 and points it at O3 too.
+	if err := o2.AcquireWrite(tT3); err != nil {
+		t.Fatal(err)
+	}
+	o2.Replace(tT3, value.NewList(value.Ref{Target: o3}))
+
+	// Step 4: T2 modifies O3.
+	if err := o3.AcquireWrite(tT2); err != nil {
+		t.Fatal(err)
+	}
+	o3.Replace(tT2, value.Int(33))
+
+	// Step 5: T2 prepares (MOS = {O1, O3}).
+	if err := f.writer.Prepare(tT2, object.MOS{o1, o3}); err != nil {
+		t.Fatal(err)
+	}
+	// Step 6: T3 prepares (MOS = {O2}).
+	if err := f.writer.Prepare(tT3, object.MOS{o2}); err != nil {
+		t.Fatal(err)
+	}
+	// Step 7: T2 aborts. Step 8: T3 commits.
+	if err := f.writer.Abort(tT2); err != nil {
+		t.Fatal(err)
+	}
+	o1.Abort(tT2)
+	o3.Abort(tT2)
+	if err := f.writer.Commit(tT3); err != nil {
+		t.Fatal(err)
+	}
+	o2.Commit(tT3)
+
+	// Step 9: crash; then recover.
+	tables, err := Recover(f.log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables.PT[tT2] != PartAborted || tables.PT[tT3] != PartCommitted {
+		t.Fatalf("PT = %v", tables.PT)
+	}
+	// O1 reverted to Int(1).
+	r1 := getAtomic(t, tables.Heap, 11)
+	if !value.Equal(r1.Base(), value.Int(1)) {
+		t.Errorf("O1 = %s, want 1", value.String(r1.Base()))
+	}
+	// O2 points at O3 (committed by T3).
+	r2 := getAtomic(t, tables.Heap, 12)
+	l, ok := r2.Base().(*value.List)
+	if !ok {
+		t.Fatalf("O2 = %s", value.String(r2.Base()))
+	}
+	r3 := getAtomic(t, tables.Heap, 13)
+	if ref, ok := l.Elems[0].(value.Ref); !ok || ref.Target != value.Obj(r3) {
+		t.Fatalf("O2's element = %s, want resolved ref to O3", value.String(l.Elems[0]))
+	}
+	// O3 survives with its *base* version (T2's write aborted).
+	if !value.Equal(r3.Base(), value.Int(3)) {
+		t.Errorf("O3 = %s, want base 3", value.String(r3.Base()))
+	}
+	// The AS rebuilt from the stable state contains root, O2, O3 and O1.
+	for _, u := range []ids.UID{ids.StableVarsUID, 11, 12, 13} {
+		if !tables.AS.Contains(u) {
+			t.Errorf("recovered AS missing %v (AS=%v)", u, tables.AS.UIDs())
+		}
+	}
+}
+
+// TestPrepareSeedsEmptyASFromStableVars: a brand-new guardian's first
+// prepare writes the whole initial stable state (writing algorithm
+// step 2).
+func TestPrepareSeedsEmptyASFromStableVars(t *testing.T) {
+	f := newFixture(t)
+	acct := object.NewAtomic(2, value.Int(100), tA)
+	root := object.NewAtomic(ids.StableVarsUID,
+		value.RecordOf("account", value.Ref{Target: acct}), tA)
+	f.heap.Register(root)
+	f.heap.Register(acct)
+
+	if err := f.writer.Prepare(tA, object.MOS{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.writer.Commit(tA); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := Recover(f.log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAcct := getAtomic(t, tables.Heap, 2)
+	if !value.Equal(rAcct.Base(), value.Int(100)) {
+		t.Fatalf("account = %s", value.String(rAcct.Base()))
+	}
+	rRoot, ok := tables.Heap.StableVars()
+	if !ok {
+		t.Fatal("stable variables object not restored")
+	}
+	ref := rRoot.Base().(*value.Record).Fields["account"].(value.Ref)
+	if ref.Target != value.Obj(rAcct) {
+		t.Fatal("stable variable does not reference the restored account")
+	}
+}
+
+// TestPrepareWritesMutexInMOS: an accessible mutex in the MOS yields a
+// plain data entry with the current version.
+func TestPrepareWritesMutexInMOS(t *testing.T) {
+	f := newFixture(t)
+	m := object.NewMutex(2, value.Int(5))
+	root := object.NewAtomic(ids.StableVarsUID,
+		value.RecordOf("m", value.Ref{Target: m}), ids.NoAction)
+	f.heap.Register(root)
+	f.heap.Register(m)
+	f.as.Add(root.UID())
+	f.as.Add(m.UID())
+
+	m.Seize(tA, func(value.Value) value.Value { return value.Int(6) })
+	if err := f.writer.Prepare(tA, object.MOS{m}); err != nil {
+		t.Fatal(err)
+	}
+	entries := decodeAll(t, f.log)
+	if entries[0].Kind != logrec.KindData || entries[0].ObjType != object.KindMutex {
+		t.Fatalf("entry 0 = %v", entries[0])
+	}
+	v, _ := value.Unflatten(entries[0].Value)
+	if !value.Equal(v, value.Int(6)) {
+		t.Fatalf("mutex version = %s", value.String(v))
+	}
+}
+
+// TestPrepareNewlyAccessibleMutex: a newly accessible mutex gets a
+// plain data entry under the preparing action (§3.3.3.2), and its
+// version survives recovery even if the action aborts afterwards.
+func TestPrepareNewlyAccessibleMutex(t *testing.T) {
+	f := newFixture(t)
+	box := object.NewAtomic(2, value.Int(0), ids.NoAction)
+	root := object.NewAtomic(ids.StableVarsUID,
+		value.RecordOf("box", value.Ref{Target: box}), ids.NoAction)
+	f.heap.Register(root)
+	f.heap.Register(box)
+	f.as.Add(root.UID())
+	f.as.Add(box.UID())
+
+	m := object.NewMutex(3, value.Str("fresh"))
+	f.heap.Register(m)
+	if err := box.AcquireWrite(tA); err != nil {
+		t.Fatal(err)
+	}
+	box.Replace(tA, value.NewList(value.Ref{Target: m}))
+
+	if err := f.writer.Prepare(tA, object.MOS{box}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.writer.Abort(tA); err != nil {
+		t.Fatal(err)
+	}
+	box.Abort(tA)
+
+	tables, err := Recover(f.log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := getMutex(t, tables.Heap, 3)
+	if !value.Equal(rm.Current(), value.Str("fresh")) {
+		t.Fatalf("mutex = %s, want the prepared version", value.String(rm.Current()))
+	}
+}
+
+// TestPrepareNewlyAccessibleLockedByPreparedAction reproduces the
+// prepared_data case: action A modified object O (inaccessible at A's
+// prepare), then B makes O accessible and prepares. Both of O's
+// versions must be written — the current in case A commits, the base
+// in case A aborts.
+func TestPrepareNewlyAccessibleLockedByPreparedAction(t *testing.T) {
+	f := newFixture(t)
+	holder := object.NewAtomic(2, value.Int(0), ids.NoAction)
+	root := object.NewAtomic(ids.StableVarsUID,
+		value.RecordOf("h", value.Ref{Target: holder}), ids.NoAction)
+	f.heap.Register(root)
+	f.heap.Register(holder)
+	f.as.Add(root.UID())
+	f.as.Add(holder.UID())
+
+	// O is not accessible. A write-locks and modifies it, then prepares
+	// (nothing written for O — it's inaccessible).
+	o := object.NewAtomic(3, value.Int(1), ids.NoAction)
+	f.heap.Register(o)
+	aA := ids.ActionID{Coordinator: gP, Seq: 10}
+	aB := ids.ActionID{Coordinator: gP, Seq: 11}
+	if err := o.AcquireWrite(aA); err != nil {
+		t.Fatal(err)
+	}
+	o.Replace(aA, value.Int(2))
+	if err := f.writer.Prepare(aA, object.MOS{o}); err != nil {
+		t.Fatal(err)
+	}
+	entries := decodeAll(t, f.log)
+	if len(entries) != 1 || entries[0].Kind != logrec.KindPrepared {
+		t.Fatalf("A's prepare wrote %v, want only prepared(A)", entries)
+	}
+
+	// B makes O accessible and prepares.
+	if err := holder.AcquireWrite(aB); err != nil {
+		t.Fatal(err)
+	}
+	holder.Replace(aB, value.NewList(value.Ref{Target: o}))
+	if err := f.writer.Prepare(aB, object.MOS{holder}); err != nil {
+		t.Fatal(err)
+	}
+
+	entries = decodeAll(t, f.log)
+	// prepared(A), data(holder,B), bc(O,base), pd(O,cur,A), prepared(B)
+	kinds := make([]logrec.Kind, len(entries))
+	for i, e := range entries {
+		kinds[i] = e.Kind
+	}
+	want := []logrec.Kind{logrec.KindPrepared, logrec.KindData,
+		logrec.KindBaseCommitted, logrec.KindPreparedData, logrec.KindPrepared}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	pd := entries[3]
+	if pd.UID != 3 || pd.AID != aA {
+		t.Fatalf("prepared_data = %v, want O3 under action A", pd)
+	}
+
+	// Crash now; A must come back prepared and write-locking O.
+	tables, err := Recover(f.log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rO := getAtomic(t, tables.Heap, 3)
+	if rO.Writer() != aA {
+		t.Fatalf("O writer = %v, want A", rO.Writer())
+	}
+	if cur, ok := rO.Current(); !ok || !value.Equal(cur, value.Int(2)) {
+		t.Fatalf("O current = %v", cur)
+	}
+	if !value.Equal(rO.Base(), value.Int(1)) {
+		t.Fatalf("O base = %s", value.String(rO.Base()))
+	}
+}
+
+// TestPrepareNewlyAccessibleLockedByUnpreparedAction: if the other
+// writer has NOT prepared, only the base version is written.
+func TestPrepareNewlyAccessibleLockedByUnpreparedAction(t *testing.T) {
+	f := newFixture(t)
+	holder := object.NewAtomic(2, value.Int(0), ids.NoAction)
+	root := object.NewAtomic(ids.StableVarsUID,
+		value.RecordOf("h", value.Ref{Target: holder}), ids.NoAction)
+	f.heap.Register(root)
+	f.heap.Register(holder)
+	f.as.Add(root.UID())
+	f.as.Add(holder.UID())
+
+	o := object.NewAtomic(3, value.Int(1), ids.NoAction)
+	f.heap.Register(o)
+	aA := ids.ActionID{Coordinator: gP, Seq: 10} // modifies O, not prepared
+	aB := ids.ActionID{Coordinator: gP, Seq: 11}
+	if err := o.AcquireWrite(aA); err != nil {
+		t.Fatal(err)
+	}
+	o.Replace(aA, value.Int(2))
+
+	if err := holder.AcquireWrite(aB); err != nil {
+		t.Fatal(err)
+	}
+	holder.Replace(aB, value.NewList(value.Ref{Target: o}))
+	if err := f.writer.Prepare(aB, object.MOS{holder}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range decodeAll(t, f.log) {
+		if e.Kind == logrec.KindPreparedData {
+			t.Fatalf("prepared_data written for unprepared action: %v", e)
+		}
+		if e.Kind == logrec.KindData && e.UID == 3 {
+			t.Fatalf("current version of O written for unprepared action: %v", e)
+		}
+	}
+}
+
+// TestCommitAbortMaintainPAT checks PAT bookkeeping across the
+// participant's outcomes.
+func TestCommitAbortMaintainPAT(t *testing.T) {
+	f := newFixture(t)
+	root := object.NewAtomic(ids.StableVarsUID, value.RecordOf(), ids.NoAction)
+	f.heap.Register(root)
+	if err := f.writer.Prepare(tA, object.MOS{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.writer.Prepare(tB, object.MOS{}); err != nil {
+		t.Fatal(err)
+	}
+	if f.pat.Len() != 2 {
+		t.Fatalf("PAT len = %d", f.pat.Len())
+	}
+	f.writer.Commit(tA)
+	f.writer.Abort(tB)
+	if f.pat.Len() != 0 {
+		t.Fatalf("PAT after outcomes = %d", f.pat.Len())
+	}
+}
+
+// TestCoordinatorEntries checks committing/done encoding through the
+// writer.
+func TestCoordinatorEntries(t *testing.T) {
+	f := newFixture(t)
+	if err := f.writer.Committing(tA, []ids.GuardianID{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.writer.Done(tA); err != nil {
+		t.Fatal(err)
+	}
+	entries := decodeAll(t, f.log)
+	if entries[0].Kind != logrec.KindCommitting || len(entries[0].GIDs) != 2 {
+		t.Fatalf("entry 0 = %v", entries[0])
+	}
+	if entries[1].Kind != logrec.KindDone {
+		t.Fatalf("entry 1 = %v", entries[1])
+	}
+}
+
+func TestWriterAccessorsAndStates(t *testing.T) {
+	f := newFixture(t)
+	if f.writer.Log() != f.log || f.writer.PAT() != f.pat || f.writer.AS() != f.as {
+		t.Fatal("accessors wrong")
+	}
+	if PartPrepared.String() != "prepared" || PartCommitted.String() != "committed" ||
+		PartAborted.String() != "aborted" || PartState(9).String() == "" {
+		t.Fatal("PartState strings wrong")
+	}
+	if CoordCommitting.String() != "committing" || CoordDone.String() != "done" ||
+		CoordState(9).String() == "" {
+		t.Fatal("CoordState strings wrong")
+	}
+}
+
+func TestWriterTrimAS(t *testing.T) {
+	f := newFixture(t)
+	kept := object.NewAtomic(2, value.Int(1), ids.NoAction)
+	dropped := object.NewAtomic(3, value.Int(2), ids.NoAction)
+	root := object.NewAtomic(ids.StableVarsUID,
+		value.RecordOf("k", value.Ref{Target: kept}), ids.NoAction)
+	f.heap.Register(root)
+	f.heap.Register(kept)
+	f.heap.Register(dropped)
+	f.as.Add(root.UID())
+	f.as.Add(kept.UID())
+	f.as.Add(dropped.UID()) // stale: not reachable
+	f.writer.TrimAS()
+	if f.as.Contains(dropped.UID()) {
+		t.Fatal("unreachable UID survived trim")
+	}
+	if !f.as.Contains(kept.UID()) || !f.as.Contains(root.UID()) {
+		t.Fatal("reachable UIDs dropped")
+	}
+}

@@ -1,0 +1,116 @@
+package stable
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileDevice is a Device backed by an ordinary file, for running the
+// library against real disks rather than the in-memory simulation. Each
+// block occupies a fixed-size slot; the Store layer's per-copy
+// checksums detect torn or corrupted blocks, so the device itself makes
+// no integrity promises beyond what the filesystem gives — exactly the
+// "conventional storage devices with less desirable properties" that
+// stable storage must be built from (§1.1).
+//
+// Pair two FileDevices on independent spindles (or at least files) to
+// build a Store with the two-copy protocol.
+type FileDevice struct {
+	mu        sync.Mutex
+	f         *os.File
+	blockSize int
+	nBlocks   int
+	sync      bool
+}
+
+// OpenFileDevice opens (creating if necessary) a file-backed device.
+// If syncEveryWrite is true every block write is followed by fsync,
+// making the durability story real at the price of latency.
+func OpenFileDevice(path string, blockSize int, syncEveryWrite bool) (*FileDevice, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("stable: block size must be positive")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size()%int64(blockSize) != 0 {
+		f.Close()
+		return nil, fmt.Errorf("stable: %s size %d not a multiple of block size %d",
+			path, info.Size(), blockSize)
+	}
+	return &FileDevice{
+		f:         f,
+		blockSize: blockSize,
+		nBlocks:   int(info.Size() / int64(blockSize)),
+		sync:      syncEveryWrite,
+	}, nil
+}
+
+// BlockSize implements Device.
+func (d *FileDevice) BlockSize() int { return d.blockSize }
+
+// NumBlocks implements Device.
+func (d *FileDevice) NumBlocks() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nBlocks
+}
+
+// ReadBlock implements Device.
+func (d *FileDevice) ReadBlock(i int) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if i < 0 || i >= d.nBlocks {
+		return nil, fmt.Errorf("stable: block %d out of range [0,%d)", i, d.nBlocks)
+	}
+	buf := make([]byte, d.blockSize)
+	if _, err := d.f.ReadAt(buf, int64(i)*int64(d.blockSize)); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteBlock implements Device.
+func (d *FileDevice) WriteBlock(i int, p []byte) error {
+	if len(p) > d.blockSize {
+		return fmt.Errorf("stable: write of %d bytes exceeds block size %d", len(p), d.blockSize)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if i < 0 {
+		return fmt.Errorf("stable: negative block %d", i)
+	}
+	buf := make([]byte, d.blockSize)
+	copy(buf, p)
+	if _, err := d.f.WriteAt(buf, int64(i)*int64(d.blockSize)); err != nil {
+		return err
+	}
+	if i >= d.nBlocks {
+		d.nBlocks = i + 1
+	}
+	if d.sync {
+		return d.f.Sync()
+	}
+	return nil
+}
+
+// Sync flushes the file to disk.
+func (d *FileDevice) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Sync()
+}
+
+// Close releases the underlying file.
+func (d *FileDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Close()
+}

@@ -1,0 +1,346 @@
+package stable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newStore(t *testing.T) (*Store, *MemDevice, *MemDevice) {
+	t.Helper()
+	a := NewMemDevice(256, nil)
+	b := NewMemDevice(256, nil)
+	s, err := NewStore(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, a, b
+}
+
+func TestMemDeviceRoundTrip(t *testing.T) {
+	d := NewMemDevice(64, nil)
+	want := []byte("hello stable storage")
+	if err := d.WriteBlock(3, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadBlock(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(want)], want) {
+		t.Fatalf("read back %q, want prefix %q", got, want)
+	}
+	if d.NumBlocks() != 4 {
+		t.Fatalf("NumBlocks = %d, want 4 (grow on demand)", d.NumBlocks())
+	}
+}
+
+func TestMemDeviceOversizeWrite(t *testing.T) {
+	d := NewMemDevice(8, nil)
+	if err := d.WriteBlock(0, make([]byte, 9)); err == nil {
+		t.Fatal("oversize write succeeded")
+	}
+}
+
+func TestMemDeviceTornBlock(t *testing.T) {
+	plan := FaultFunc(func(block int) Fault {
+		if block == 1 {
+			return FaultTorn
+		}
+		return FaultNone
+	})
+	d := NewMemDevice(64, plan)
+	if err := d.WriteBlock(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadBlock(1); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("read of torn block: err = %v, want ErrBadBlock", err)
+	}
+}
+
+func TestMemDeviceCrashAndRestart(t *testing.T) {
+	d := NewMemDevice(64, CrashAfter(2))
+	if err := d.WriteBlock(0, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteBlock(1, []byte("b")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write 2 err = %v, want ErrCrashed", err)
+	}
+	if _, err := d.ReadBlock(0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read while crashed err = %v, want ErrCrashed", err)
+	}
+	d.Restart(nil)
+	got, err := d.ReadBlock(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'a' {
+		t.Fatalf("block 0 lost across restart: %q", got[0])
+	}
+	// Block 1 was torn by the crash.
+	if _, err := d.ReadBlock(1); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("torn block after restart err = %v, want ErrBadBlock", err)
+	}
+}
+
+func TestStoreReadWrite(t *testing.T) {
+	s, _, _ := newStore(t)
+	for i := 0; i < 10; i++ {
+		payload := []byte(fmt.Sprintf("page-%d", i))
+		if err := s.WritePage(i, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		got, err := s.ReadPage(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("page-%d", i); string(got) != want {
+			t.Fatalf("page %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestStoreUnwrittenPageReadsEmpty(t *testing.T) {
+	s, _, _ := newStore(t)
+	got, err := s.ReadPage(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("unwritten page = %q, want empty", got)
+	}
+}
+
+func TestStoreOverwriteTakesNewerVersion(t *testing.T) {
+	s, _, _ := newStore(t)
+	for i := 0; i < 5; i++ {
+		if err := s.WritePage(0, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.ReadPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v4" {
+		t.Fatalf("page 0 = %q, want v4", got)
+	}
+}
+
+func TestStoreSurvivesSingleDeviceDecay(t *testing.T) {
+	s, a, b := newStore(t)
+	if err := s.WritePage(0, []byte("precious")); err != nil {
+		t.Fatal(err)
+	}
+	a.Decay(0)
+	got, err := s.ReadPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "precious" {
+		t.Fatalf("after device-A decay, page = %q", got)
+	}
+	// Recover repairs the pair; then decay the *other* device.
+	if err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	b.Decay(0)
+	got, err = s.ReadPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "precious" {
+		t.Fatalf("after repair and device-B decay, page = %q", got)
+	}
+}
+
+func TestStoreDoubleFailureIsDetected(t *testing.T) {
+	s, a, b := newStore(t)
+	if err := s.WritePage(0, []byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	a.Decay(0)
+	b.Decay(0)
+	if _, err := s.ReadPage(0); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("double failure read err = %v, want ErrBadBlock", err)
+	}
+}
+
+// TestStoreAtomicWriteAcrossCrash enumerates every crash point inside
+// WritePage and checks the §1.1 contract: after restart + Recover the
+// page holds either the complete old value or the complete new value.
+func TestStoreAtomicWriteAcrossCrash(t *testing.T) {
+	for crashAt := 1; crashAt <= 2; crashAt++ {
+		crashAt := crashAt
+		t.Run(fmt.Sprintf("crash-on-write-%d", crashAt), func(t *testing.T) {
+			a := NewMemDevice(256, nil)
+			b := NewMemDevice(256, nil)
+			s, err := NewStore(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.WritePage(0, []byte("old")); err != nil {
+				t.Fatal(err)
+			}
+			// Arm the crash: device writes alternate a,b per page write,
+			// so write #1 of the update hits a, #2 hits b.
+			n := 0
+			plan := FaultFunc(func(int) Fault {
+				n++
+				if n == crashAt {
+					return FaultCrash
+				}
+				return FaultNone
+			})
+			if crashAt == 1 {
+				a.Restart(plan)
+			} else {
+				// Crash on the second copy: a's write succeeds, b tears.
+				b.Restart(FaultFunc(func(int) Fault { return FaultCrash }))
+			}
+			err = s.WritePage(0, []byte("new"))
+			if !errors.Is(err, ErrCrashed) {
+				t.Fatalf("WritePage err = %v, want ErrCrashed", err)
+			}
+			// Reboot: both devices come back, store runs cleanup.
+			a.Restart(nil)
+			b.Restart(nil)
+			s2, err := NewStore(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s2.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s2.ReadPage(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g := string(got); g != "old" && g != "new" {
+				t.Fatalf("page after crash = %q, want old or new in full", g)
+			}
+			if crashAt == 2 && string(got) != "new" {
+				// First copy completed, so cleanup must roll forward.
+				t.Fatalf("crash after first copy: page = %q, want new", got)
+			}
+			// After recovery both copies must agree (survive either decay).
+			a.Decay(0)
+			if got2, err := s2.ReadPage(0); err != nil || string(got2) != string(got) {
+				t.Fatalf("post-recover decay: got %q err %v, want %q", got2, err, got)
+			}
+		})
+	}
+}
+
+// TestStoreRandomFaults hammers the store with random torn writes and
+// decays on one device at a time and checks no acknowledged write is
+// ever lost.
+func TestStoreRandomFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var tearNext bool
+	plan := FaultFunc(func(int) Fault {
+		if tearNext {
+			tearNext = false
+			return FaultTorn
+		}
+		return FaultNone
+	})
+	a := NewMemDevice(128, plan)
+	b := NewMemDevice(128, nil)
+	s, err := NewStore(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pages = 16
+	shadow := make(map[int]string)
+	for step := 0; step < 500; step++ {
+		p := rng.Intn(pages)
+		switch rng.Intn(4) {
+		case 0: // torn write on device a
+			tearNext = true
+			fallthrough
+		case 1, 2: // normal write
+			v := fmt.Sprintf("p%d-s%d", p, step)
+			if err := s.WritePage(p, []byte(v)); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			shadow[p] = v
+		case 3: // decay one device's copy, repairing first so at most
+			// one copy is ever bad (the single-failure assumption).
+			if err := s.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			if rng.Intn(2) == 0 {
+				a.Decay(p)
+			} else {
+				b.Decay(p)
+			}
+		}
+		if v, ok := shadow[p]; ok {
+			got, err := s.ReadPage(p)
+			if err != nil {
+				t.Fatalf("step %d read page %d: %v", step, p, err)
+			}
+			if string(got) != v {
+				t.Fatalf("step %d page %d = %q, want %q", step, p, got, v)
+			}
+		}
+	}
+}
+
+// Property: encode/decode of a page is the identity on payloads, and any
+// single-bit corruption is detected.
+func TestPageCodecProperties(t *testing.T) {
+	codec := func(version uint64, payload []byte) bool {
+		if len(payload) > 240 {
+			payload = payload[:240]
+		}
+		raw := encodePage(256, version, payload)
+		v, p, ok := decodePage(raw)
+		return ok && v == version && bytes.Equal(p, payload)
+	}
+	if err := quick.Check(codec, nil); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(payload []byte, bit uint16) bool {
+		if len(payload) > 240 {
+			payload = payload[:240]
+		}
+		raw := encodePage(256, 7, payload)
+		limit := (pageHeaderSize + len(payload)) * 8
+		if limit == 0 {
+			return true
+		}
+		i := int(bit) % limit
+		raw[i/8] ^= 1 << (i % 8)
+		v, p, ok := decodePage(raw)
+		// Either detected, or the flip didn't land in live bytes
+		// (impossible here since we bound by header+payload), so it
+		// must be detected or decode to something different.
+		if !ok {
+			return true
+		}
+		return v != 7 || !bytes.Equal(p, payload)
+	}
+	if err := quick.Check(corrupt, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewStoreValidation(t *testing.T) {
+	a := NewMemDevice(64, nil)
+	b := NewMemDevice(128, nil)
+	if _, err := NewStore(a, b); err == nil {
+		t.Fatal("mismatched block sizes accepted")
+	}
+	tiny1 := NewMemDevice(8, nil)
+	tiny2 := NewMemDevice(8, nil)
+	if _, err := NewStore(tiny1, tiny2); err == nil {
+		t.Fatal("block size smaller than header accepted")
+	}
+}

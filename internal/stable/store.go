@@ -1,0 +1,236 @@
+package stable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// pageHeaderSize is the per-copy on-disk overhead: 8-byte version,
+// 4-byte payload length, 4-byte CRC32 of (version, length, payload).
+const pageHeaderSize = 8 + 4 + 4
+
+// Store is atomic stable storage: an array of pages whose writes are
+// atomic with respect to crashes and single-device failures. Each page
+// is represented by one block on each of two devices with independent
+// failure modes; WritePage updates "one and then the other" (§1.1), each
+// copy carrying a version stamp and checksum.
+//
+// Invariant maintained by the protocol: at any instant at least one copy
+// of each page is good, and a good copy holds either the old or the new
+// value in its entirety. Cleanup (run on restart after a crash) repairs
+// divergent pairs by copying the newer good copy over its sibling, which
+// completes or rolls back the interrupted write.
+type Store struct {
+	mu   sync.Mutex
+	a, b Device
+	// versions caches the current version stamp per page so writes can
+	// monotonically advance it without a read.
+	versions []uint64
+}
+
+// NewStore builds stable storage over two devices of equal block size.
+// Call Recover before first use if the devices may hold prior state
+// (i.e. after a crash); a brand-new pair needs no recovery.
+func NewStore(a, b Device) (*Store, error) {
+	if a.BlockSize() != b.BlockSize() {
+		return nil, fmt.Errorf("stable: mismatched block sizes %d and %d", a.BlockSize(), b.BlockSize())
+	}
+	if a.BlockSize() <= pageHeaderSize {
+		return nil, fmt.Errorf("stable: block size %d too small for page header", a.BlockSize())
+	}
+	return &Store{a: a, b: b}, nil
+}
+
+// PageSize returns the usable payload bytes per page.
+func (s *Store) PageSize() int { return s.a.BlockSize() - pageHeaderSize }
+
+// NumPages returns the number of pages ever written (the maximum extent
+// of either device).
+func (s *Store) NumPages() int {
+	n := s.a.NumBlocks()
+	if m := s.b.NumBlocks(); m > n {
+		n = m
+	}
+	return n
+}
+
+func encodePage(blockSize int, version uint64, payload []byte) []byte {
+	buf := make([]byte, blockSize)
+	binary.LittleEndian.PutUint64(buf[0:8], version)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(payload)))
+	copy(buf[16:], payload)
+	crc := crc32.ChecksumIEEE(buf[0:12])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	binary.LittleEndian.PutUint32(buf[12:16], crc)
+	return buf
+}
+
+// decodePage validates a raw block and returns (version, payload, ok).
+func decodePage(raw []byte) (uint64, []byte, bool) {
+	if len(raw) < pageHeaderSize {
+		return 0, nil, false
+	}
+	version := binary.LittleEndian.Uint64(raw[0:8])
+	length := binary.LittleEndian.Uint32(raw[8:12])
+	if int(length) > len(raw)-pageHeaderSize {
+		return 0, nil, false
+	}
+	payload := raw[16 : 16+int(length)]
+	crc := crc32.ChecksumIEEE(raw[0:12])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if crc != binary.LittleEndian.Uint32(raw[12:16]) {
+		return 0, nil, false
+	}
+	out := make([]byte, length)
+	copy(out, payload)
+	return version, out, true
+}
+
+// readCopy reads one copy of page i from dev; ok is false if the block
+// is missing, torn, or fails its checksum. A device error other than
+// ErrBadBlock (notably ErrCrashed) is returned as err.
+func readCopy(dev Device, i int) (version uint64, payload []byte, ok bool, err error) {
+	raw, err := dev.ReadBlock(i)
+	if err != nil {
+		if err == ErrBadBlock {
+			return 0, nil, false, nil
+		}
+		if i >= dev.NumBlocks() {
+			return 0, nil, false, nil
+		}
+		return 0, nil, false, err
+	}
+	v, p, ok := decodePage(raw)
+	return v, p, ok, nil
+}
+
+// ReadPage returns the payload of page i. It prefers the copy with the
+// higher version; if one copy is bad it falls back to the other. A page
+// never written reads as an empty payload.
+func (s *Store) ReadPage(i int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readPageLocked(i)
+}
+
+func (s *Store) readPageLocked(i int) ([]byte, error) {
+	if i < 0 {
+		return nil, fmt.Errorf("stable: negative page %d", i)
+	}
+	if i >= s.NumPages() {
+		return []byte{}, nil
+	}
+	va, pa, oka, err := readCopy(s.a, i)
+	if err != nil {
+		return nil, err
+	}
+	vb, pb, okb, err := readCopy(s.b, i)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case oka && okb:
+		if vb > va {
+			return pb, nil
+		}
+		return pa, nil
+	case oka:
+		return pa, nil
+	case okb:
+		return pb, nil
+	default:
+		// Both copies bad: the independence assumption was violated.
+		return nil, fmt.Errorf("stable: page %d lost on both devices: %w", i, ErrBadBlock)
+	}
+}
+
+// WritePage atomically replaces the payload of page i. If a crash occurs
+// between the two copy writes, Cleanup on restart resolves the pair to
+// either the old or the new payload in full — never a mixture.
+func (s *Store) WritePage(i int, payload []byte) error {
+	if len(payload) > s.PageSize() {
+		return fmt.Errorf("stable: payload %d exceeds page size %d", len(payload), s.PageSize())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	version := s.nextVersionLocked(i)
+	block := encodePage(s.a.BlockSize(), version, payload)
+	if err := s.a.WriteBlock(i, block); err != nil {
+		return err
+	}
+	return s.b.WriteBlock(i, block)
+}
+
+func (s *Store) nextVersionLocked(i int) uint64 {
+	for i >= len(s.versions) {
+		s.versions = append(s.versions, 0)
+	}
+	if s.versions[i] == 0 {
+		// Cold cache: consult the devices so the stamp keeps rising
+		// across restarts.
+		if va, _, oka, err := readCopy(s.a, i); err == nil && oka && va > s.versions[i] {
+			s.versions[i] = va
+		}
+		if vb, _, okb, err := readCopy(s.b, i); err == nil && okb && vb > s.versions[i] {
+			s.versions[i] = vb
+		}
+	}
+	s.versions[i]++
+	return s.versions[i]
+}
+
+// Recover repairs every page pair after a crash: for each page, the
+// newer good copy is written over a bad or stale sibling. After Recover
+// returns, both copies of every page agree, restoring the invariant that
+// a later single-device failure cannot lose data. It is the Lampson-
+// Sturgis cleanup pass and must run before the store is used after a
+// restart.
+func (s *Store) Recover() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.NumPages()
+	for i := 0; i < n; i++ {
+		va, pa, oka, err := readCopy(s.a, i)
+		if err != nil {
+			return err
+		}
+		vb, pb, okb, err := readCopy(s.b, i)
+		if err != nil {
+			return err
+		}
+		switch {
+		case oka && okb && va == vb:
+			// Consistent.
+		case oka && (!okb || va > vb):
+			if err := s.b.WriteBlock(i, encodePage(s.b.BlockSize(), va, pa)); err != nil {
+				return err
+			}
+		case okb:
+			if err := s.a.WriteBlock(i, encodePage(s.a.BlockSize(), vb, pb)); err != nil {
+				return err
+			}
+		default:
+			// Neither copy good. This can only happen for a page whose
+			// very first write crashed (no old value existed) or under
+			// double failure. Treat as never-written: rewrite empty.
+			empty := encodePage(s.a.BlockSize(), 1, nil)
+			if err := s.a.WriteBlock(i, empty); err != nil {
+				return err
+			}
+			if err := s.b.WriteBlock(i, empty); err != nil {
+				return err
+			}
+		}
+		for i >= len(s.versions) {
+			s.versions = append(s.versions, 0)
+		}
+		if va > vb {
+			s.versions[i] = va
+		} else {
+			s.versions[i] = vb
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package stablelog
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stable"
+)
+
+func benchLog(b *testing.B) *Log {
+	b.Helper()
+	da := stable.NewMemDevice(512, nil)
+	db := stable.NewMemDevice(512, nil)
+	store, err := stable.NewStore(da, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return New(store)
+}
+
+// BenchmarkAppendBuffered: write without forcing — the fast path of
+// §3.1's write operation.
+func BenchmarkAppendBuffered(b *testing.B) {
+	for _, size := range []int{32, 512} {
+		b.Run(fmt.Sprintf("entry=%dB", size), func(b *testing.B) {
+			l := benchLog(b)
+			payload := make([]byte, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Write(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkForceBatching is the ablation for the force barrier: writing
+// k entries then forcing once (the thesis's model — data entries are
+// written, only the prepared outcome entry is forced) versus forcing
+// every entry. The ratio is the benefit of write/force_write having
+// distinct semantics (§3.1).
+func BenchmarkForceBatching(b *testing.B) {
+	for _, batch := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("entriesPerForce=%d", batch), func(b *testing.B) {
+			l := benchLog(b)
+			payload := make([]byte, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < batch; j++ {
+					if _, err := l.Write(payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := l.Force(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*batch)/float64(b.Elapsed().Seconds()+1e-12), "entries/s")
+		})
+	}
+}
+
+// BenchmarkReadBackward measures the backward scan that dominates
+// simple-log recovery.
+func BenchmarkReadBackward(b *testing.B) {
+	l := benchLog(b)
+	for i := 0; i < 1000; i++ {
+		l.Write(make([]byte, 64))
+	}
+	l.Force()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := l.ReadBackward(l.Top(), func(LSN, []byte) bool {
+			n++
+			return true
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if n != 1000 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+}
+
+// BenchmarkRandomRead measures addressed reads (the hybrid log's data
+// fetches).
+func BenchmarkRandomRead(b *testing.B) {
+	l := benchLog(b)
+	var lsns []LSN
+	for i := 0; i < 1000; i++ {
+		lsn, _ := l.Write(make([]byte, 64))
+		lsns = append(lsns, lsn)
+	}
+	l.Force()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Read(lsns[(i*7919)%len(lsns)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpenAfterCrash measures the O(1) open enabled by the
+// superblock (vs the O(log) forward scan it replaced).
+func BenchmarkOpenAfterCrash(b *testing.B) {
+	da := stable.NewMemDevice(512, nil)
+	db := stable.NewMemDevice(512, nil)
+	store, _ := stable.NewStore(da, db)
+	l := New(store)
+	for i := 0; i < 5000; i++ {
+		l.Write(make([]byte, 64))
+	}
+	l.Force()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Open(store); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

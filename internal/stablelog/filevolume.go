@@ -1,0 +1,107 @@
+package stablelog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/stable"
+)
+
+// FileVolume is a Volume whose devices are files in a directory, for
+// running a guardian's stable storage on a real filesystem. Each store
+// is a pair of files (the two "independent" devices; place the
+// directory's halves on separate disks for real independence).
+type FileVolume struct {
+	mu        sync.Mutex
+	dir       string
+	blockSize int
+	syncAll   bool
+	root      *stable.Store
+	gens      map[uint64]*stable.Store
+	open      []*stable.FileDevice
+}
+
+// NewFileVolume returns a volume rooted at dir (created if needed).
+// syncEveryWrite selects fsync-per-block-write durability.
+func NewFileVolume(dir string, blockSize int, syncEveryWrite bool) (*FileVolume, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileVolume{
+		dir:       dir,
+		blockSize: blockSize,
+		syncAll:   syncEveryWrite,
+		gens:      make(map[uint64]*stable.Store),
+	}, nil
+}
+
+func (v *FileVolume) pair(name string) (*stable.Store, error) {
+	a, err := stable.OpenFileDevice(filepath.Join(v.dir, name+"-a"), v.blockSize, v.syncAll)
+	if err != nil {
+		return nil, err
+	}
+	b, err := stable.OpenFileDevice(filepath.Join(v.dir, name+"-b"), v.blockSize, v.syncAll)
+	if err != nil {
+		a.Close()
+		return nil, err
+	}
+	v.open = append(v.open, a, b)
+	return stable.NewStore(a, b)
+}
+
+// Root implements Volume.
+func (v *FileVolume) Root() (*stable.Store, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.root == nil {
+		s, err := v.pair("root")
+		if err != nil {
+			return nil, err
+		}
+		v.root = s
+	}
+	return v.root, nil
+}
+
+// Generation implements Volume.
+func (v *FileVolume) Generation(gen uint64) (*stable.Store, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if s, ok := v.gens[gen]; ok {
+		return s, nil
+	}
+	s, err := v.pair(fmt.Sprintf("gen%d", gen))
+	if err != nil {
+		return nil, err
+	}
+	v.gens[gen] = s
+	return s, nil
+}
+
+// Remove implements Volume.
+func (v *FileVolume) Remove(gen uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.gens, gen)
+	os.Remove(filepath.Join(v.dir, fmt.Sprintf("gen%d-a", gen)))
+	os.Remove(filepath.Join(v.dir, fmt.Sprintf("gen%d-b", gen)))
+}
+
+// Close releases every open device. A volume must not be used after
+// Close; reopen the directory with NewFileVolume (the "reboot").
+func (v *FileVolume) Close() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var first error
+	for _, d := range v.open {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	v.open = nil
+	v.root = nil
+	v.gens = make(map[uint64]*stable.Store)
+	return first
+}

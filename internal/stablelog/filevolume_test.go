@@ -1,0 +1,112 @@
+package stablelog
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFileVolumeSiteLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	vol, err := NewFileVolume(dir, 256, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := CreateSite(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lsns []LSN
+	for i := 0; i < 20; i++ {
+		lsn, err := site.Log().Write([]byte(fmt.Sprintf("entry-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if err := site.Log().Force(); err != nil {
+		t.Fatal(err)
+	}
+	// "Reboot": close every handle, reopen the directory.
+	if err := vol.Close(); err != nil {
+		t.Fatal(err)
+	}
+	vol2, err := NewFileVolume(dir, 256, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vol2.Close()
+	site2, err := OpenSite(vol2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, lsn := range lsns {
+		got, err := site2.Log().Read(lsn)
+		if err != nil {
+			t.Fatalf("Read(%v): %v", lsn, err)
+		}
+		if want := fmt.Sprintf("entry-%d", i); string(got) != want {
+			t.Fatalf("entry %d = %q", i, got)
+		}
+	}
+}
+
+func TestFileVolumeSwitchRemovesOldGeneration(t *testing.T) {
+	dir := t.TempDir()
+	vol, err := NewFileVolume(dir, 256, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vol.Close()
+	site, err := CreateSite(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site.Log().ForceWrite([]byte("old"))
+	newLog, gen, err := site.NewLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newLog.ForceWrite([]byte("new"))
+	if err := site.Switch(newLog, gen); err != nil {
+		t.Fatal(err)
+	}
+	got, err := site.Log().Read(site.Log().Top())
+	if err != nil || string(got) != "new" {
+		t.Fatalf("after switch: %q %v", got, err)
+	}
+}
+
+func TestFileVolumeUnforcedEntriesLostOnReboot(t *testing.T) {
+	dir := t.TempDir()
+	vol, err := NewFileVolume(dir, 256, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := CreateSite(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced, err := site.Log().ForceWrite([]byte("durable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := site.Log().Write([]byte("buffered")); err != nil {
+		t.Fatal(err)
+	}
+	vol.Close()
+	vol2, err := NewFileVolume(dir, 256, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vol2.Close()
+	site2, err := OpenSite(vol2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site2.Log().Top() != forced {
+		t.Fatalf("Top = %v, want %v", site2.Log().Top(), forced)
+	}
+	if site2.Log().Entries() != 1 {
+		t.Fatalf("Entries = %d, want 1", site2.Log().Entries())
+	}
+}

@@ -1,0 +1,424 @@
+// Package stablelog implements the stable log abstraction of thesis
+// §3.1: an append-only array of entries addressed by log addresses
+// (LSNs), layered on atomic stable storage (package stable).
+//
+// The abstraction's operations map to the thesis's interface as follows
+// ([Raible 83] operations in parentheses):
+//
+//	Write       (write)         — buffered append; durable only after a force
+//	ForceWrite  (force_write)   — append and force this and all older entries
+//	Read        (read)          — entry at a given log address
+//	ReadBackward(read_backward) — iterate entries backward from an address
+//	Top         (get_top)       — address of the last forced entry
+//	CreateSite / Site.Destroy (create/destroy)
+//
+// Entries are framed with a length, a back-pointer to the previous
+// frame, and a CRC; a crash can lose buffered (unforced) entries and at
+// worst leave a torn tail, which Open detects and discards. Each
+// guardian has its own log (§3.1); housekeeping (thesis ch. 5) replaces
+// the log with a new one "in one atomic step", which Site implements
+// with a generation pointer held on its own stable page.
+package stablelog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"repro/internal/stable"
+)
+
+// LSN is a log address: the byte offset of an entry's frame in the log.
+type LSN uint64
+
+// NoLSN is the nil log address (used, e.g., as the chain terminator of
+// the hybrid log's backward chain of outcome entries).
+const NoLSN LSN = ^LSN(0)
+
+func (l LSN) String() string {
+	if l == NoLSN {
+		return "L<nil>"
+	}
+	return fmt.Sprintf("L%d", uint64(l))
+}
+
+const (
+	frameMagic      = 0xA7
+	frameHeaderSize = 1 + 4 + 4 + 4 // magic, payload len, prev frame len, crc
+
+	// superPage is the store page holding the log's superblock: the
+	// durable byte count and the address of the last forced entry. It
+	// is rewritten (atomically, like any stable page) at the end of
+	// every force, which is what makes get_top O(1) — the stable log
+	// abstraction is "presumably implemented in an efficient way"
+	// (§3.1). Log bytes start at page 1.
+	superPage     = 0
+	firstDataPage = 1
+	superSize     = 8 + 8 + 4 // durable bytes, last entry LSN, last frame len
+)
+
+// ErrNoEntry is returned by Read for an address that does not hold an
+// entry.
+var ErrNoEntry = errors.New("stablelog: no entry at address")
+
+// Log is one guardian's stable log. All methods are safe for concurrent
+// use; the thesis assumes recovery-system operations are sequential
+// (§2.3), but housekeeping reads the old log while writes continue, so
+// the lock matters.
+type Log struct {
+	mu       sync.Mutex
+	store    *stable.Store
+	pageSize int
+
+	durable  uint64 // byte offset up to which the store holds the log
+	tail     uint64 // next append offset (durable + buffered)
+	buf      []byte // appended but unforced bytes [durable, tail)
+	tailImg  []byte // contents of the partially filled durable page
+	lastLSN  LSN    // address of the most recently appended entry
+	last     uint32 // frame length of the most recently appended entry
+	forced   LSN    // address of the last entry known forced
+	nEntries int    // appended entries (including buffered)
+	nForces  int    // force operations performed (statistics)
+}
+
+// New returns an empty log over a fresh store.
+func New(store *stable.Store) *Log {
+	return &Log{
+		store:    store,
+		pageSize: store.PageSize(),
+		lastLSN:  NoLSN,
+		forced:   NoLSN,
+		tailImg:  make([]byte, store.PageSize()),
+	}
+}
+
+// Open reconstructs a log from a store after a crash. Buffered entries
+// that were never forced are gone: the superblock — rewritten at the
+// end of every force — names the durable prefix, and anything beyond it
+// (including a torn tail from a crash mid-force) is discarded. The
+// store itself must already have been repaired (stable.Store.Recover).
+func Open(store *stable.Store) (*Log, error) {
+	l := New(store)
+	sb, err := store.ReadPage(superPage)
+	if err != nil {
+		return nil, err
+	}
+	if len(sb) < superSize {
+		// Never forced: the log is empty.
+		return l, nil
+	}
+	off := binary.LittleEndian.Uint64(sb[0:8])
+	lastLSN := LSN(binary.LittleEndian.Uint64(sb[8:16]))
+	last := binary.LittleEndian.Uint32(sb[16:20])
+	l.durable = off
+	l.tail = off
+	l.lastLSN = lastLSN
+	l.last = last
+	l.forced = lastLSN
+	l.nEntries = -1 // unknown without a scan; counted lazily below
+	// Rebuild the partial tail page image so the next flush preserves
+	// the bytes that precede the append point within that page.
+	pageStart := off - off%uint64(l.pageSize)
+	if off > pageStart {
+		img, err := l.readDurable(pageStart, int(off-pageStart), off)
+		if err != nil {
+			return nil, err
+		}
+		if img == nil {
+			return nil, fmt.Errorf("stablelog: superblock names %d durable bytes but tail page is short", off)
+		}
+		copy(l.tailImg, img)
+	}
+	return l, nil
+}
+
+func frameCRC(plen, prevLen uint32, payload []byte) uint32 {
+	var h [9]byte
+	h[0] = frameMagic
+	binary.LittleEndian.PutUint32(h[1:5], plen)
+	binary.LittleEndian.PutUint32(h[5:9], prevLen)
+	crc := crc32.ChecksumIEEE(h[:])
+	return crc32.Update(crc, crc32.IEEETable, payload)
+}
+
+// readDurable returns n bytes starting at byte offset off, read from the
+// store's pages, or nil if the range extends past limit.
+func (l *Log) readDurable(off uint64, n int, limit uint64) ([]byte, error) {
+	if n == 0 {
+		return []byte{}, nil
+	}
+	if off+uint64(n) > limit {
+		return nil, nil
+	}
+	out := make([]byte, 0, n)
+	ps := uint64(l.pageSize)
+	for len(out) < n {
+		page := firstDataPage + int(off/ps)
+		in := off % ps
+		data, err := l.store.ReadPage(page)
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(data)) <= in {
+			return nil, nil // page shorter than expected: past the end
+		}
+		take := uint64(n - len(out))
+		if avail := uint64(len(data)) - in; avail < take {
+			take = avail
+		}
+		out = append(out, data[in:in+take]...)
+		off += take
+	}
+	return out, nil
+}
+
+// Write appends an entry and returns its address. The entry is durable
+// only after a subsequent Force/ForceWrite ("the actual writing of the
+// data to the stable storage device may not have happened when this
+// operation returns", §3.1).
+func (l *Log) Write(payload []byte) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writeLocked(payload)
+}
+
+func (l *Log) writeLocked(payload []byte) (LSN, error) {
+	lsn := LSN(l.tail)
+	frame := make([]byte, frameHeaderSize+len(payload))
+	frame[0] = frameMagic
+	binary.LittleEndian.PutUint32(frame[1:5], uint32(len(payload)))
+	prev := uint32(0)
+	if l.lastLSN != NoLSN {
+		prev = l.last
+	}
+	binary.LittleEndian.PutUint32(frame[5:9], prev)
+	binary.LittleEndian.PutUint32(frame[9:13], frameCRC(uint32(len(payload)), prev, payload))
+	copy(frame[frameHeaderSize:], payload)
+	l.buf = append(l.buf, frame...)
+	l.tail += uint64(len(frame))
+	l.lastLSN = lsn
+	l.last = uint32(len(frame))
+	if l.nEntries >= 0 {
+		l.nEntries++
+	}
+	return lsn, nil
+}
+
+// ForceWrite appends an entry and forces it — and every older buffered
+// entry — to stable storage before returning (§3.1).
+func (l *Log) ForceWrite(payload []byte) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn, err := l.writeLocked(payload)
+	if err != nil {
+		return NoLSN, err
+	}
+	if err := l.forceLocked(); err != nil {
+		return NoLSN, err
+	}
+	return lsn, nil
+}
+
+// Force flushes all buffered entries to stable storage.
+func (l *Log) Force() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.forceLocked()
+}
+
+func (l *Log) forceLocked() error {
+	if len(l.buf) == 0 {
+		l.forced = l.lastLSN
+		return nil
+	}
+	ps := uint64(l.pageSize)
+	start := l.durable
+	partial := start % ps
+	// Assemble the byte stream from the start of the tail page.
+	data := make([]byte, 0, int(partial)+len(l.buf))
+	data = append(data, l.tailImg[:partial]...)
+	data = append(data, l.buf...)
+	page := firstDataPage + int(start/ps)
+	for off := 0; off < len(data); {
+		n := len(data) - off
+		if n > int(ps) {
+			n = int(ps)
+		}
+		if err := l.store.WritePage(page, data[off:off+n]); err != nil {
+			return err
+		}
+		off += n
+		page++
+	}
+	// Seal the force with the superblock: once this atomic page write
+	// lands, the new prefix is the durable log; if the node crashes
+	// first, Open falls back to the previous superblock and the
+	// unacknowledged entries vanish, as §2.2.3 requires.
+	var sb [superSize]byte
+	binary.LittleEndian.PutUint64(sb[0:8], l.tail)
+	binary.LittleEndian.PutUint64(sb[8:16], uint64(l.lastLSN))
+	binary.LittleEndian.PutUint32(sb[16:20], l.last)
+	if err := l.store.WritePage(superPage, sb[:]); err != nil {
+		return err
+	}
+	l.durable = l.tail
+	l.buf = l.buf[:0]
+	newPartial := l.durable % ps
+	tailStart := len(data) - int(newPartial)
+	copy(l.tailImg, data[tailStart:])
+	l.forced = l.lastLSN
+	l.nForces++
+	return nil
+}
+
+// readAt serves n bytes at off from durable pages or, past the durable
+// boundary, from the in-memory buffer.
+func (l *Log) readAt(off uint64, n int) ([]byte, error) {
+	if off+uint64(n) > l.tail {
+		return nil, nil
+	}
+	if off >= l.durable {
+		b := l.buf[off-l.durable : off-l.durable+uint64(n)]
+		out := make([]byte, n)
+		copy(out, b)
+		return out, nil
+	}
+	if off+uint64(n) <= l.durable {
+		return l.readDurable(off, n, l.durable)
+	}
+	head, err := l.readDurable(off, int(l.durable-off), l.durable)
+	if err != nil || head == nil {
+		return head, err
+	}
+	rest := n - len(head)
+	return append(head, l.buf[:rest]...), nil
+}
+
+// Read returns the entry whose frame starts at address lsn.
+func (l *Log) Read(lsn LSN) ([]byte, error) {
+	payload, _, err := l.readFrame(lsn)
+	return payload, err
+}
+
+// readFrame returns the payload at lsn and the length of the previous
+// frame (0 if lsn is the first entry).
+func (l *Log) readFrame(lsn LSN) ([]byte, uint32, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readFrameLocked(lsn)
+}
+
+func (l *Log) readFrameLocked(lsn LSN) ([]byte, uint32, error) {
+	if lsn == NoLSN || uint64(lsn) >= l.tail {
+		return nil, 0, ErrNoEntry
+	}
+	hdr, err := l.readAt(uint64(lsn), frameHeaderSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	if hdr == nil || hdr[0] != frameMagic {
+		return nil, 0, ErrNoEntry
+	}
+	plen := binary.LittleEndian.Uint32(hdr[1:5])
+	prevLen := binary.LittleEndian.Uint32(hdr[5:9])
+	crc := binary.LittleEndian.Uint32(hdr[9:13])
+	payload, err := l.readAt(uint64(lsn)+frameHeaderSize, int(plen))
+	if err != nil {
+		return nil, 0, err
+	}
+	if payload == nil || frameCRC(plen, prevLen, payload) != crc {
+		return nil, 0, ErrNoEntry
+	}
+	return payload, prevLen, nil
+}
+
+// Top returns the address of the last entry forced to the log, or NoLSN
+// if the log is empty (§3.1 get_top).
+func (l *Log) Top() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.forced
+}
+
+// LastAppended returns the address of the most recently appended entry,
+// forced or not.
+func (l *Log) LastAppended() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastLSN
+}
+
+// Prev returns the address of the entry preceding lsn, or NoLSN if lsn
+// is the first entry.
+func (l *Log) Prev(lsn LSN) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, prevLen, err := l.readFrameLocked(lsn)
+	if err != nil {
+		return NoLSN, err
+	}
+	if prevLen == 0 {
+		return NoLSN, nil
+	}
+	return LSN(uint64(lsn) - uint64(prevLen)), nil
+}
+
+// ReadBackward calls fn for each entry from lsn back to the first entry,
+// stopping early if fn returns false (§3.1 read_backward).
+func (l *Log) ReadBackward(lsn LSN, fn func(lsn LSN, payload []byte) bool) error {
+	for lsn != NoLSN {
+		payload, prevLen, err := l.readFrame(lsn)
+		if err != nil {
+			return fmt.Errorf("stablelog: backward read at %v: %w", lsn, err)
+		}
+		if !fn(lsn, payload) {
+			return nil
+		}
+		if prevLen == 0 {
+			return nil
+		}
+		lsn = LSN(uint64(lsn) - uint64(prevLen))
+	}
+	return nil
+}
+
+// Entries returns the number of entries in the log (including
+// buffered). On a log just reopened after a crash the count is
+// determined by a one-time walk of the frame back-chain; recovery
+// itself never needs it, so Open defers the walk until asked.
+func (l *Log) Entries() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.nEntries < 0 {
+		n := 0
+		for lsn := l.lastLSN; lsn != NoLSN; {
+			_, prevLen, err := l.readFrameLocked(lsn)
+			if err != nil {
+				break
+			}
+			n++
+			if prevLen == 0 {
+				break
+			}
+			lsn = LSN(uint64(lsn) - uint64(prevLen))
+		}
+		l.nEntries = n
+	}
+	return l.nEntries
+}
+
+// Forces returns how many force operations the log has performed.
+func (l *Log) Forces() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nForces
+}
+
+// Size returns the log length in bytes (including buffered entries).
+func (l *Log) Size() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tail
+}

@@ -1,0 +1,316 @@
+package stablelog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/stable"
+)
+
+// Volume supplies the stable stores backing one guardian's logs. A
+// volume outlives crashes: after a node crash the same volume is handed
+// to OpenSite, which repairs and reopens the current log generation.
+type Volume interface {
+	// Root returns the small store holding the current-generation
+	// pointer. It is created on first use.
+	Root() (*stable.Store, error)
+	// Generation returns (creating if needed) the store for log
+	// generation gen.
+	Generation(gen uint64) (*stable.Store, error)
+	// Remove discards the devices of generation gen.
+	Remove(gen uint64)
+}
+
+// MemVolume is an in-memory Volume with whole-node crash injection. All
+// devices of the volume crash and restart together, as they would on a
+// single node.
+type MemVolume struct {
+	mu        sync.Mutex
+	blockSize int
+	root      [2]*stable.MemDevice
+	rootStore *stable.Store
+	gens      map[uint64][2]*stable.MemDevice
+	genStores map[uint64]*stable.Store
+	crashed   bool
+	plan      stable.FaultPlan // applied to device A of every generation
+}
+
+// NewMemVolume returns an empty volume whose devices use the given block
+// size.
+func NewMemVolume(blockSize int) *MemVolume {
+	return &MemVolume{
+		blockSize: blockSize,
+		gens:      make(map[uint64][2]*stable.MemDevice),
+		genStores: make(map[uint64]*stable.Store),
+	}
+}
+
+// SetFaultPlan installs a fault plan applied to the primary device of
+// every generation created afterwards.
+func (v *MemVolume) SetFaultPlan(p stable.FaultPlan) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.plan = p
+}
+
+// Root implements Volume. The same Store instance is returned on every
+// call: concurrent Store wrappers over one device pair would race on
+// version stamps.
+func (v *MemVolume) Root() (*stable.Store, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.root[0] == nil {
+		v.root[0] = stable.NewMemDevice(v.blockSize, nil)
+		v.root[1] = stable.NewMemDevice(v.blockSize, nil)
+	}
+	if v.rootStore == nil {
+		s, err := stable.NewStore(v.root[0], v.root[1])
+		if err != nil {
+			return nil, err
+		}
+		v.rootStore = s
+	}
+	return v.rootStore, nil
+}
+
+// Generation implements Volume, caching the Store per generation.
+func (v *MemVolume) Generation(gen uint64) (*stable.Store, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if s, ok := v.genStores[gen]; ok {
+		return s, nil
+	}
+	pair, ok := v.gens[gen]
+	if !ok {
+		pair = [2]*stable.MemDevice{
+			stable.NewMemDevice(v.blockSize, v.plan),
+			stable.NewMemDevice(v.blockSize, nil),
+		}
+		v.gens[gen] = pair
+	}
+	s, err := stable.NewStore(pair[0], pair[1])
+	if err != nil {
+		return nil, err
+	}
+	v.genStores[gen] = s
+	return s, nil
+}
+
+// Remove implements Volume.
+func (v *MemVolume) Remove(gen uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.gens, gen)
+	delete(v.genStores, gen)
+}
+
+// ArmCrashAfterWrites installs a fault plan on the primary device of
+// every existing generation that crashes the whole node on the nth
+// subsequent block write (counting across all generations). Used by the
+// crash-injection harness to stop a guardian at an arbitrary point
+// inside a prepare or commit.
+func (v *MemVolume) ArmCrashAfterWrites(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	count := 0
+	var mu sync.Mutex
+	shared := stable.FaultFunc(func(int) stable.Fault {
+		mu.Lock()
+		defer mu.Unlock()
+		if n <= 0 {
+			return stable.FaultNone
+		}
+		count++
+		if count == n {
+			// The device crash propagates an ErrCrashed to the caller,
+			// which the harness turns into a full node crash.
+			return stable.FaultCrash
+		}
+		return stable.FaultNone
+	})
+	for _, pair := range v.gens {
+		pair[0].Restart(shared)
+	}
+	v.plan = shared
+}
+
+// Crash takes every device of the volume down, losing all volatile
+// state layered above. Stable contents persist.
+func (v *MemVolume) Crash() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.crashed = true
+	if v.root[0] != nil {
+		v.root[0].Crash()
+		v.root[1].Crash()
+	}
+	for _, pair := range v.gens {
+		pair[0].Crash()
+		pair[1].Crash()
+	}
+}
+
+// Restart brings all devices back up (with no fault plans).
+func (v *MemVolume) Restart() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.crashed = false
+	if v.root[0] != nil {
+		v.root[0].Restart(nil)
+		v.root[1].Restart(nil)
+	}
+	for _, pair := range v.gens {
+		pair[0].Restart(nil)
+		pair[1].Restart(nil)
+	}
+	v.plan = nil
+	// Drop cached Store wrappers: a reboot starts from the devices.
+	v.rootStore = nil
+	v.genStores = make(map[uint64]*stable.Store)
+}
+
+// Site is one guardian's stable-log facility: the current log plus the
+// machinery to replace it with a new one in a single atomic step
+// (thesis ch. 5: "in one atomic step, the new log supplants the old
+// log"). The current generation number lives on the volume's root
+// store; switching writes one stable page.
+type Site struct {
+	mu  sync.Mutex
+	vol Volume
+	gen uint64
+	log *Log
+}
+
+// CreateSite initializes a brand-new site with an empty generation-1
+// log.
+func CreateSite(vol Volume) (*Site, error) {
+	root, err := vol.Root()
+	if err != nil {
+		return nil, err
+	}
+	store, err := vol.Generation(1)
+	if err != nil {
+		return nil, err
+	}
+	s := &Site{vol: vol, gen: 1, log: New(store)}
+	if err := writeGen(root, 1); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenSite reopens a site after a crash: repairs the root store, reads
+// the current generation pointer, repairs that generation's store, and
+// opens the log (discarding any torn tail).
+func OpenSite(vol Volume) (*Site, error) {
+	root, err := vol.Root()
+	if err != nil {
+		return nil, err
+	}
+	if err := root.Recover(); err != nil {
+		return nil, err
+	}
+	gen, err := readGen(root)
+	if err != nil {
+		return nil, err
+	}
+	store, err := vol.Generation(gen)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.Recover(); err != nil {
+		return nil, err
+	}
+	log, err := Open(store)
+	if err != nil {
+		return nil, err
+	}
+	return &Site{vol: vol, gen: gen, log: log}, nil
+}
+
+func writeGen(root *stable.Store, gen uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], gen)
+	return root.WritePage(0, buf[:])
+}
+
+func readGen(root *stable.Store) (uint64, error) {
+	p, err := root.ReadPage(0)
+	if err != nil {
+		return 0, err
+	}
+	if len(p) < 8 {
+		return 0, fmt.Errorf("stablelog: root page corrupt (len %d)", len(p))
+	}
+	return binary.LittleEndian.Uint64(p[:8]), nil
+}
+
+// Log returns the current log.
+func (s *Site) Log() *Log {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log
+}
+
+// Generation returns the current log generation number.
+func (s *Site) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// NewLog creates (but does not install) the next-generation log, for
+// housekeeping to fill.
+func (s *Site) NewLog() (*Log, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gen := s.gen + 1
+	store, err := s.vol.Generation(gen)
+	if err != nil {
+		return nil, 0, err
+	}
+	return New(store), gen, nil
+}
+
+// Destroy discards the site's log (the §3.1 destroy operation): the
+// current generation's devices are removed and the root pointer is
+// cleared, as when a guardian is itself destroyed. The site must not be
+// used afterwards.
+func (s *Site) Destroy() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	root, err := s.vol.Root()
+	if err != nil {
+		return err
+	}
+	if err := root.WritePage(0, nil); err != nil {
+		return err
+	}
+	s.vol.Remove(s.gen)
+	s.log = nil
+	return nil
+}
+
+// Switch atomically installs the log created by NewLog as the current
+// log and discards the old generation. The new log must have been
+// forced by the caller; the single atomic step is the root-page write.
+func (s *Site) Switch(newLog *Log, gen uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if gen != s.gen+1 {
+		return fmt.Errorf("stablelog: switch to generation %d, current is %d", gen, s.gen)
+	}
+	root, err := s.vol.Root()
+	if err != nil {
+		return err
+	}
+	if err := writeGen(root, gen); err != nil {
+		return err
+	}
+	old := s.gen
+	s.gen = gen
+	s.log = newLog
+	s.vol.Remove(old)
+	return nil
+}

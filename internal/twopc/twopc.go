@@ -1,0 +1,224 @@
+// Package twopc implements the standard two-phase commit protocol of
+// thesis §2.2, driving the recovery-system operations of §2.3 at the
+// coordinator and the participants.
+//
+// The protocol follows the thesis exactly:
+//
+//	Coordinator            Participant
+//	-----------            -----------
+//	prepare(A) ─────────▶  write data entries; force prepared; reply
+//	           ◀─────────  prepared | aborted
+//	force committing(A)    (the point of no return, §2.2.3)
+//	commit(A)  ─────────▶  force committed; reply committed
+//	force done(A)
+//
+// If any participant replies aborted or is unreachable, the coordinator
+// aborts unilaterally and tells the rest to abort. A participant that
+// prepared but hears nothing can query the coordinator (the action id
+// names the coordinator, §2.2.2); the coordinator answers committed iff
+// its committing record reached stable storage — otherwise the action
+// is presumed aborted.
+package twopc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+)
+
+// Vote is a participant's reply to a prepare message.
+type Vote uint8
+
+const (
+	// VotePrepared means the participant wrote its prepared record.
+	VotePrepared Vote = iota + 1
+	// VoteAborted means the action is unknown or aborted locally.
+	VoteAborted
+	// VoteReadOnly means the participant made no modifications on the
+	// action's behalf: it releases its read locks, writes nothing, and
+	// drops out of phase two (the classic read-only optimization — no
+	// outcome can affect it).
+	VoteReadOnly
+)
+
+// Outcome is the final fate of a top-level action.
+type Outcome uint8
+
+const (
+	// OutcomeUnknown: the protocol has not resolved (e.g. coordinator
+	// crashed while committing and has not finished phase two).
+	OutcomeUnknown Outcome = iota
+	// OutcomeCommitted: the committing record is on stable storage.
+	OutcomeCommitted
+	// OutcomeAborted: the action aborted (or was presumed aborted).
+	OutcomeAborted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCommitted:
+		return "committed"
+	case OutcomeAborted:
+		return "aborted"
+	default:
+		return "unknown"
+	}
+}
+
+// Participant is a guardian's participant-side interface (§2.2.2). The
+// methods are invoked through the network; each corresponds to a
+// message arrival.
+type Participant interface {
+	// GuardianID identifies the participant.
+	GuardianID() ids.GuardianID
+	// HandlePrepare processes a prepare message: write data entries and
+	// the prepared record, or vote aborted.
+	HandlePrepare(aid ids.ActionID) (Vote, error)
+	// HandleCommit processes a commit message: force the committed
+	// record and install the action's versions.
+	HandleCommit(aid ids.ActionID) error
+	// HandleAbort processes an abort message.
+	HandleAbort(aid ids.ActionID) error
+}
+
+// CoordinatorLog is the coordinator's stable-storage interface: the
+// committing and done records of §2.2.1.
+type CoordinatorLog interface {
+	Committing(aid ids.ActionID, gids []ids.GuardianID) error
+	Done(aid ids.ActionID) error
+}
+
+// Coordinator runs two-phase commits from one guardian.
+type Coordinator struct {
+	Self ids.GuardianID
+	Net  *netsim.Network
+	Log  CoordinatorLog
+}
+
+// ErrAborted is returned by Run when the action aborted.
+var ErrAborted = errors.New("twopc: action aborted")
+
+// Result reports how a run ended.
+type Result struct {
+	Outcome Outcome
+	// Done reports whether phase two completed (every participant
+	// acknowledged the commit and the done record was written). When
+	// false with OutcomeCommitted, Complete must be re-driven later.
+	Done bool
+	// Unresponsive lists participants that did not acknowledge commit.
+	Unresponsive []ids.GuardianID
+}
+
+// Run executes two-phase commit for aid over the given participants
+// (§2.2.1). The coordinator is normally also a participant and appears
+// in the list.
+func (c *Coordinator) Run(aid ids.ActionID, participants []Participant) (Result, error) {
+	// Preparing phase: send prepare to all participants and collect
+	// votes. Read-only voters drop out of phase two.
+	prepared := make([]Participant, 0, len(participants))
+	abort := false
+	for _, p := range participants {
+		var vote Vote
+		err := c.Net.Call(c.Self, p.GuardianID(), func() error {
+			v, err := p.HandlePrepare(aid)
+			vote = v
+			return err
+		})
+		if err != nil || vote == VoteAborted {
+			// A crashed or aborting participant: the coordinator aborts
+			// unilaterally (§2.2.1).
+			abort = true
+			break
+		}
+		if vote == VotePrepared {
+			prepared = append(prepared, p)
+		}
+	}
+	if abort {
+		c.sendAborts(aid, prepared)
+		return Result{Outcome: OutcomeAborted, Done: true}, ErrAborted
+	}
+	if len(prepared) == 0 {
+		// Every participant was read-only: nothing to commit or redo.
+		return Result{Outcome: OutcomeCommitted, Done: true}, nil
+	}
+
+	// Committing phase: the committing record is the point of no return.
+	// Only the participants with writes appear in it and hear phase two.
+	gids := make([]ids.GuardianID, len(prepared))
+	for i, p := range prepared {
+		gids[i] = p.GuardianID()
+	}
+	if err := c.Log.Committing(aid, gids); err != nil {
+		// Could not reach stable storage: the action never committed.
+		c.sendAborts(aid, prepared)
+		return Result{Outcome: OutcomeAborted, Done: true}, fmt.Errorf("twopc: committing record: %w", err)
+	}
+	return c.complete(aid, prepared)
+}
+
+// Complete re-drives phase two for an action whose committing record is
+// already on the log — used after the coordinator recovers from a crash
+// with a CT entry in the committing state (§2.2.3).
+func (c *Coordinator) Complete(aid ids.ActionID, participants []Participant) (Result, error) {
+	return c.complete(aid, participants)
+}
+
+func (c *Coordinator) complete(aid ids.ActionID, participants []Participant) (Result, error) {
+	res := Result{Outcome: OutcomeCommitted}
+	for _, p := range participants {
+		err := c.Net.Call(c.Self, p.GuardianID(), func() error {
+			return p.HandleCommit(aid)
+		})
+		if err != nil {
+			res.Unresponsive = append(res.Unresponsive, p.GuardianID())
+		}
+	}
+	if len(res.Unresponsive) > 0 {
+		// The coordinator must wait for the stragglers; the done record
+		// is not written and the CT keeps the action committing.
+		return res, nil
+	}
+	if err := c.Log.Done(aid); err != nil {
+		return res, err
+	}
+	res.Done = true
+	return res, nil
+}
+
+func (c *Coordinator) sendAborts(aid ids.ActionID, prepared []Participant) {
+	for _, p := range prepared {
+		// Best effort: a participant that cannot be reached will query
+		// the coordinator later and learn the abort.
+		_ = c.Net.Call(c.Self, p.GuardianID(), func() error {
+			return p.HandleAbort(aid)
+		})
+	}
+}
+
+// OutcomeSource answers participants' queries about an action's fate:
+// the coordinator's side of the §2.2.2 completion-phase query.
+type OutcomeSource interface {
+	GuardianID() ids.GuardianID
+	// OutcomeOf reports the fate of an action this guardian
+	// coordinated: committed iff a committing (or done) record is on
+	// stable storage; otherwise aborted (presumed abort, §2.2.3).
+	OutcomeOf(aid ids.ActionID) Outcome
+}
+
+// Query asks an action's coordinator for its outcome on behalf of a
+// prepared participant (§2.2.2: "if a participant has not heard from
+// its coordinator it can query the coordinator").
+func Query(net *netsim.Network, from ids.GuardianID, coord OutcomeSource, aid ids.ActionID) (Outcome, error) {
+	var out Outcome
+	err := net.Call(from, coord.GuardianID(), func() error {
+		out = coord.OutcomeOf(aid)
+		return nil
+	})
+	if err != nil {
+		return OutcomeUnknown, err
+	}
+	return out, nil
+}

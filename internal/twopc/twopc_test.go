@@ -1,0 +1,212 @@
+package twopc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+)
+
+// mockPart is a scriptable participant.
+type mockPart struct {
+	id       ids.GuardianID
+	vote     Vote
+	prepares []ids.ActionID
+	commits  []ids.ActionID
+	aborts   []ids.ActionID
+	failCmt  bool
+}
+
+func (m *mockPart) GuardianID() ids.GuardianID { return m.id }
+
+func (m *mockPart) HandlePrepare(aid ids.ActionID) (Vote, error) {
+	m.prepares = append(m.prepares, aid)
+	return m.vote, nil
+}
+
+func (m *mockPart) HandleCommit(aid ids.ActionID) error {
+	if m.failCmt {
+		return errors.New("mock: commit handler down")
+	}
+	m.commits = append(m.commits, aid)
+	return nil
+}
+
+func (m *mockPart) HandleAbort(aid ids.ActionID) error {
+	m.aborts = append(m.aborts, aid)
+	return nil
+}
+
+// mockLog is a scriptable coordinator log.
+type mockLog struct {
+	committing []ids.ActionID
+	done       []ids.ActionID
+	failCmt    bool
+}
+
+func (m *mockLog) Committing(aid ids.ActionID, gids []ids.GuardianID) error {
+	if m.failCmt {
+		return errors.New("mock: stable storage down")
+	}
+	m.committing = append(m.committing, aid)
+	return nil
+}
+
+func (m *mockLog) Done(aid ids.ActionID) error {
+	m.done = append(m.done, aid)
+	return nil
+}
+
+var aid = ids.ActionID{Coordinator: 1, Seq: 7}
+
+func fixture(votes ...Vote) (*Coordinator, *mockLog, []*mockPart, []Participant) {
+	clog := &mockLog{}
+	c := &Coordinator{Self: 1, Net: netsim.New(), Log: clog}
+	mocks := make([]*mockPart, len(votes))
+	parts := make([]Participant, len(votes))
+	for i, v := range votes {
+		mocks[i] = &mockPart{id: ids.GuardianID(i + 1), vote: v}
+		parts[i] = mocks[i]
+	}
+	return c, clog, mocks, parts
+}
+
+func TestRunAllPrepared(t *testing.T) {
+	c, clog, mocks, parts := fixture(VotePrepared, VotePrepared, VotePrepared)
+	res, err := c.Run(aid, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeCommitted || !res.Done {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(clog.committing) != 1 || len(clog.done) != 1 {
+		t.Fatalf("coordinator log: %+v", clog)
+	}
+	for i, m := range mocks {
+		if len(m.prepares) != 1 || len(m.commits) != 1 || len(m.aborts) != 0 {
+			t.Fatalf("participant %d: %+v", i, m)
+		}
+	}
+}
+
+func TestRunOneVotesAbort(t *testing.T) {
+	c, clog, mocks, parts := fixture(VotePrepared, VoteAborted, VotePrepared)
+	res, err := c.Run(aid, parts)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Outcome != OutcomeAborted {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if len(clog.committing) != 0 {
+		t.Fatal("committing record written for aborted action")
+	}
+	// The participant that prepared before the abort vote hears abort.
+	if len(mocks[0].aborts) != 1 {
+		t.Fatalf("prepared participant not told to abort: %+v", mocks[0])
+	}
+	// The third participant never even saw a prepare (vote order stops
+	// at the abort).
+	if len(mocks[2].prepares) != 0 {
+		t.Fatalf("participant after aborter was prepared: %+v", mocks[2])
+	}
+	if len(mocks[0].commits)+len(mocks[1].commits)+len(mocks[2].commits) != 0 {
+		t.Fatal("some participant committed an aborted action")
+	}
+}
+
+func TestRunParticipantUnreachable(t *testing.T) {
+	c, clog, mocks, parts := fixture(VotePrepared, VotePrepared)
+	c.Net.SetDown(2, true)
+	_, err := c.Run(aid, parts)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(clog.committing) != 0 {
+		t.Fatal("committing written despite unreachable participant")
+	}
+	if len(mocks[0].aborts) != 1 {
+		t.Fatal("reachable participant not aborted")
+	}
+}
+
+func TestRunCommittingRecordFails(t *testing.T) {
+	c, clog, mocks, parts := fixture(VotePrepared)
+	clog.failCmt = true
+	_, err := c.Run(aid, parts)
+	if err == nil {
+		t.Fatal("run succeeded without a committing record")
+	}
+	if len(mocks[0].aborts) != 1 {
+		t.Fatal("participant not aborted after committing-record failure")
+	}
+}
+
+func TestRunStragglerDefersDone(t *testing.T) {
+	c, clog, mocks, parts := fixture(VotePrepared, VotePrepared)
+	mocks[1].failCmt = true
+	res, err := c.Run(aid, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeCommitted {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if res.Done {
+		t.Fatal("done despite straggler")
+	}
+	if len(res.Unresponsive) != 1 || res.Unresponsive[0] != 2 {
+		t.Fatalf("unresponsive = %v", res.Unresponsive)
+	}
+	if len(clog.done) != 0 {
+		t.Fatal("done record written with straggler outstanding")
+	}
+	// The straggler recovers; Complete re-drives phase two.
+	mocks[1].failCmt = false
+	res2, err := c.Complete(aid, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Done {
+		t.Fatalf("complete result = %+v", res2)
+	}
+	if len(clog.done) != 1 {
+		t.Fatal("done record missing after Complete")
+	}
+	// Participant 1 heard commit twice — handlers must tolerate that,
+	// and here we just confirm the protocol delivered it.
+	if len(mocks[0].commits) != 2 {
+		t.Fatalf("participant 0 commits = %d", len(mocks[0].commits))
+	}
+}
+
+type mockSource struct {
+	id  ids.GuardianID
+	out Outcome
+}
+
+func (m *mockSource) GuardianID() ids.GuardianID     { return m.id }
+func (m *mockSource) OutcomeOf(ids.ActionID) Outcome { return m.out }
+
+func TestQuery(t *testing.T) {
+	net := netsim.New()
+	src := &mockSource{id: 1, out: OutcomeCommitted}
+	out, err := Query(net, 2, src, aid)
+	if err != nil || out != OutcomeCommitted {
+		t.Fatalf("query = %v, %v", out, err)
+	}
+	net.SetDown(1, true)
+	if _, err := Query(net, 2, src, aid); err == nil {
+		t.Fatal("query to down coordinator succeeded")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if OutcomeCommitted.String() != "committed" ||
+		OutcomeAborted.String() != "aborted" ||
+		OutcomeUnknown.String() != "unknown" {
+		t.Fatal("outcome strings wrong")
+	}
+}

@@ -1,0 +1,63 @@
+package value
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// benchValue builds a record of n fields with mixed leaves and one
+// reference, resembling a typical flattened object version.
+func benchValue(n int) Value {
+	r := NewRecord()
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			r.Fields[fmt.Sprintf("i%d", i)] = Int(int64(i))
+		case 1:
+			r.Fields[fmt.Sprintf("s%d", i)] = Str("some string payload")
+		case 2:
+			r.Fields[fmt.Sprintf("l%d", i)] = NewList(Int(1), Int(2), Int(3))
+		default:
+			r.Fields[fmt.Sprintf("r%d", i)] = UIDRef{UID: ids.UID(i)}
+		}
+	}
+	return r
+}
+
+func BenchmarkFlatten(b *testing.B) {
+	for _, n := range []int{4, 64} {
+		b.Run(fmt.Sprintf("fields=%d", n), func(b *testing.B) {
+			v := benchValue(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Flatten(v, nil)
+			}
+		})
+	}
+}
+
+func BenchmarkUnflatten(b *testing.B) {
+	for _, n := range []int{4, 64} {
+		b.Run(fmt.Sprintf("fields=%d", n), func(b *testing.B) {
+			data := Flatten(benchValue(n), nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Unflatten(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCopy(b *testing.B) {
+	v := benchValue(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Copy(v)
+	}
+}

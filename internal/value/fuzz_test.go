@@ -1,0 +1,39 @@
+package value
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnflatten checks that the decoder never panics on arbitrary
+// bytes, and that anything it accepts re-encodes to a decodable value
+// (Flatten ∘ Unflatten is total on the accepted set).
+func FuzzUnflatten(f *testing.F) {
+	f.Add(Flatten(Int(42), nil))
+	f.Add(Flatten(Str("hello"), nil))
+	f.Add(Flatten(NewList(Int(1), UIDRef{UID: 3}), nil))
+	f.Add(Flatten(RecordOf("a", Bool(true), "b", Bytes{1, 2}), nil))
+	shared := NewList(Int(9))
+	f.Add(Flatten(NewList(shared, shared), nil))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Unflatten(data)
+		if err != nil {
+			return
+		}
+		re := Flatten(v, nil)
+		v2, err := Unflatten(re)
+		if err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		if !Equal(v, v2) {
+			t.Fatalf("re-encode changed value: %s vs %s", String(v), String(v2))
+		}
+		// Canonical form: encoding is a fixed point after one round.
+		re2 := Flatten(v2, nil)
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("encoding not canonical")
+		}
+	})
+}

@@ -1,0 +1,654 @@
+// Package value models the data held by Argus objects and implements
+// the incremental copying ("flattening") algorithm of thesis §2.4.3 and
+// §3.3.3.1.
+//
+// A Value is a graph of regular data — integers, strings, booleans,
+// byte strings, lists, records — whose edges may also reference
+// recoverable objects (built-in atomic objects and mutex objects).
+// Recoverable objects are not part of the value they are referenced
+// from: when a value is flattened for writing to the log, the copy
+// includes all contained regular data but replaces each reference to a
+// recoverable object with that object's UID (Figure 2-2). Sharing of
+// regular data within a single flattened value is preserved through
+// back-references, which also makes flattening total on cyclic regular
+// structure.
+//
+// During recovery the reverse happens: Unflatten rebuilds the regular
+// structure with UIDRef placeholders (the "special object containing
+// the uid" of §3.4.3), and the recovery system's final pass calls
+// ResolveRefs to replace each placeholder with a volatile reference to
+// the restored object.
+package value
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ids"
+)
+
+// Obj is the face a recoverable object shows to the value layer: enough
+// to flatten a reference to it. Concrete implementations live in
+// package object.
+type Obj interface {
+	// UID returns the object's unique identifier.
+	UID() ids.UID
+}
+
+// Value is the interface satisfied by every node of a value graph.
+type Value interface {
+	// valueNode is a marker; it restricts the set of implementations to
+	// this package's types plus nothing else.
+	valueNode()
+}
+
+// Int is an integer leaf.
+type Int int64
+
+// Str is a string leaf.
+type Str string
+
+// Bool is a boolean leaf.
+type Bool bool
+
+// Bytes is an opaque byte-string leaf.
+type Bytes []byte
+
+// List is a mutable ordered sequence. Lists are regular objects: their
+// contents are copied whole into any flattened value that references
+// them (§2.4.3).
+type List struct {
+	Elems []Value
+}
+
+// Record is a mutable set of named fields; a regular object like List.
+type Record struct {
+	Fields map[string]Value
+}
+
+// Ref is a volatile reference to a recoverable object. Flattening stops
+// here: the target is recorded by UID only.
+type Ref struct {
+	Target Obj
+}
+
+// UIDRef is a reference to a recoverable object by UID alone. It occurs
+// inside values reconstructed from the log before the final resolution
+// pass (§3.4.3) and inside values being compared structurally.
+type UIDRef struct {
+	UID ids.UID
+}
+
+func (Int) valueNode()     {}
+func (Str) valueNode()     {}
+func (Bool) valueNode()    {}
+func (Bytes) valueNode()   {}
+func (*List) valueNode()   {}
+func (*Record) valueNode() {}
+func (Ref) valueNode()     {}
+func (UIDRef) valueNode()  {}
+
+// NewList returns a List with the given elements.
+func NewList(elems ...Value) *List { return &List{Elems: elems} }
+
+// NewRecord returns an empty Record.
+func NewRecord() *Record { return &Record{Fields: make(map[string]Value)} }
+
+// RecordOf returns a Record with the given alternating key, value pairs.
+func RecordOf(pairs ...any) *Record {
+	if len(pairs)%2 != 0 {
+		panic("value: RecordOf requires key/value pairs")
+	}
+	r := NewRecord()
+	for i := 0; i < len(pairs); i += 2 {
+		r.Fields[pairs[i].(string)] = pairs[i+1].(Value)
+	}
+	return r
+}
+
+// String renders a value for debugging and log inspection.
+func String(v Value) string {
+	var b strings.Builder
+	writeString(&b, v, make(map[Value]bool))
+	return b.String()
+}
+
+func writeString(b *strings.Builder, v Value, seen map[Value]bool) {
+	switch x := v.(type) {
+	case nil:
+		b.WriteString("<nil>")
+	case Int:
+		fmt.Fprintf(b, "%d", int64(x))
+	case Str:
+		fmt.Fprintf(b, "%q", string(x))
+	case Bool:
+		fmt.Fprintf(b, "%t", bool(x))
+	case Bytes:
+		fmt.Fprintf(b, "0x%x", []byte(x))
+	case *List:
+		if seen[v] {
+			b.WriteString("[...]")
+			return
+		}
+		seen[v] = true
+		b.WriteByte('[')
+		for i, e := range x.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeString(b, e, seen)
+		}
+		b.WriteByte(']')
+		delete(seen, v)
+	case *Record:
+		if seen[v] {
+			b.WriteString("{...}")
+			return
+		}
+		seen[v] = true
+		b.WriteByte('{')
+		for i, k := range sortedKeys(x.Fields) {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%s: ", k)
+			writeString(b, x.Fields[k], seen)
+		}
+		b.WriteByte('}')
+		delete(seen, v)
+	case Ref:
+		fmt.Fprintf(b, "&%v", x.Target.UID())
+	case UIDRef:
+		fmt.Fprintf(b, "&%v", x.UID)
+	default:
+		fmt.Fprintf(b, "<?%T>", v)
+	}
+}
+
+func sortedKeys(m map[string]Value) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Copy deep-copies the regular structure of v. References to recoverable
+// objects are shared, not copied — exactly the version-copy performed
+// when an action acquires a write lock (§2.4.1): the new version may be
+// mutated freely without disturbing the base version, while contained
+// recoverable objects remain the same objects.
+func Copy(v Value) Value {
+	return copyValue(v, make(map[Value]Value))
+}
+
+func copyValue(v Value, memo map[Value]Value) Value {
+	switch x := v.(type) {
+	case *List:
+		if c, ok := memo[v]; ok {
+			return c
+		}
+		c := &List{Elems: make([]Value, len(x.Elems))}
+		memo[v] = c
+		for i, e := range x.Elems {
+			c.Elems[i] = copyValue(e, memo)
+		}
+		return c
+	case *Record:
+		if c, ok := memo[v]; ok {
+			return c
+		}
+		c := NewRecord()
+		memo[v] = c
+		for k, e := range x.Fields {
+			c.Fields[k] = copyValue(e, memo)
+		}
+		return c
+	case Bytes:
+		out := make(Bytes, len(x))
+		copy(out, x)
+		return out
+	default:
+		// Leaves and references are immutable or shared by design.
+		return v
+	}
+}
+
+// Refs calls visit for every recoverable object referenced (directly or
+// through regular structure) by v. Each distinct composite is visited
+// once, so cyclic regular structure terminates.
+func Refs(v Value, visit func(Obj)) {
+	walkRefs(v, visit, make(map[Value]bool))
+}
+
+func walkRefs(v Value, visit func(Obj), seen map[Value]bool) {
+	switch x := v.(type) {
+	case *List:
+		if seen[v] {
+			return
+		}
+		seen[v] = true
+		for _, e := range x.Elems {
+			walkRefs(e, visit, seen)
+		}
+	case *Record:
+		if seen[v] {
+			return
+		}
+		seen[v] = true
+		for _, k := range sortedKeys(x.Fields) {
+			walkRefs(x.Fields[k], visit, seen)
+		}
+	case Ref:
+		visit(x.Target)
+	}
+}
+
+// ResolveRefs replaces every UIDRef in v, in place, with a Ref to the
+// object returned by lookup. It is the recovery system's final pass
+// over volatile memory (§3.4.3). Unresolvable UIDs are reported as an
+// error listing the first offender.
+func ResolveRefs(v Value, lookup func(ids.UID) (Obj, bool)) (Value, error) {
+	return resolve(v, lookup, make(map[Value]bool))
+}
+
+func resolve(v Value, lookup func(ids.UID) (Obj, bool), seen map[Value]bool) (Value, error) {
+	switch x := v.(type) {
+	case UIDRef:
+		obj, ok := lookup(x.UID)
+		if !ok {
+			return nil, fmt.Errorf("value: unresolvable reference to %v", x.UID)
+		}
+		return Ref{Target: obj}, nil
+	case *List:
+		if seen[v] {
+			return v, nil
+		}
+		seen[v] = true
+		for i, e := range x.Elems {
+			r, err := resolve(e, lookup, seen)
+			if err != nil {
+				return nil, err
+			}
+			x.Elems[i] = r
+		}
+		return v, nil
+	case *Record:
+		if seen[v] {
+			return v, nil
+		}
+		seen[v] = true
+		for k, e := range x.Fields {
+			r, err := resolve(e, lookup, seen)
+			if err != nil {
+				return nil, err
+			}
+			x.Fields[k] = r
+		}
+		return v, nil
+	default:
+		return v, nil
+	}
+}
+
+// Equal reports structural equality of two values. A Ref and a UIDRef
+// are equal when they name the same UID; composites are compared
+// recursively with cycle protection.
+func Equal(a, b Value) bool {
+	return equal(a, b, make(map[[2]Value]bool))
+}
+
+func refUID(v Value) (ids.UID, bool) {
+	switch x := v.(type) {
+	case Ref:
+		return x.Target.UID(), true
+	case UIDRef:
+		return x.UID, true
+	}
+	return 0, false
+}
+
+func equal(a, b Value, seen map[[2]Value]bool) bool {
+	if ua, oka := refUID(a); oka {
+		ub, okb := refUID(b)
+		return okb && ua == ub
+	}
+	switch x := a.(type) {
+	case Int:
+		y, ok := b.(Int)
+		return ok && x == y
+	case Str:
+		y, ok := b.(Str)
+		return ok && x == y
+	case Bool:
+		y, ok := b.(Bool)
+		return ok && x == y
+	case Bytes:
+		y, ok := b.(Bytes)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	case *List:
+		y, ok := b.(*List)
+		if !ok || len(x.Elems) != len(y.Elems) {
+			return false
+		}
+		key := [2]Value{a, b}
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		for i := range x.Elems {
+			if !equal(x.Elems[i], y.Elems[i], seen) {
+				return false
+			}
+		}
+		return true
+	case *Record:
+		y, ok := b.(*Record)
+		if !ok || len(x.Fields) != len(y.Fields) {
+			return false
+		}
+		key := [2]Value{a, b}
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		for k, v := range x.Fields {
+			w, ok := y.Fields[k]
+			if !ok || !equal(v, w, seen) {
+				return false
+			}
+		}
+		return true
+	case nil:
+		return b == nil
+	}
+	return false
+}
+
+// --- Flattening codec -------------------------------------------------
+
+// Encoding tags. The format is deterministic: records are encoded in
+// sorted field order, so identical values flatten to identical bytes.
+const (
+	tagInt byte = iota + 1
+	tagStr
+	tagBool
+	tagBytes
+	tagList
+	tagRecord
+	tagUIDRef
+	tagBackRef
+)
+
+// ErrCorrupt is returned by Unflatten for malformed data.
+var ErrCorrupt = errors.New("value: corrupt flattened data")
+
+// Flatten copies v into a self-contained byte string, replacing every
+// reference to a recoverable object with its UID and preserving intra-
+// value sharing of regular structure. If visit is non-nil it is called
+// once per distinct referenced recoverable object, in encounter order —
+// this is the hook through which the writing algorithm discovers newly
+// accessible objects (§3.3.3.2: "as the object version is copied, the
+// recovery system ... checks the AS for every recoverable object it
+// comes across").
+func Flatten(v Value, visit func(Obj)) []byte {
+	f := &flattener{
+		indices: make(map[Value]uint32),
+		visited: make(map[ids.UID]bool),
+		visit:   visit,
+	}
+	f.encode(v)
+	return f.buf
+}
+
+type flattener struct {
+	buf     []byte
+	indices map[Value]uint32 // composite -> back-reference index
+	next    uint32
+	visited map[ids.UID]bool
+	visit   func(Obj)
+}
+
+func (f *flattener) byte(b byte)      { f.buf = append(f.buf, b) }
+func (f *flattener) uvarint(x uint64) { f.buf = binary.AppendUvarint(f.buf, x) }
+func (f *flattener) varint(x int64)   { f.buf = binary.AppendVarint(f.buf, x) }
+
+func (f *flattener) encode(v Value) {
+	switch x := v.(type) {
+	case nil:
+		panic("value: cannot flatten nil value")
+	case Int:
+		f.byte(tagInt)
+		f.varint(int64(x))
+	case Str:
+		f.byte(tagStr)
+		f.uvarint(uint64(len(x)))
+		f.buf = append(f.buf, x...)
+	case Bool:
+		f.byte(tagBool)
+		if x {
+			f.byte(1)
+		} else {
+			f.byte(0)
+		}
+	case Bytes:
+		f.byte(tagBytes)
+		f.uvarint(uint64(len(x)))
+		f.buf = append(f.buf, x...)
+	case *List:
+		if i, ok := f.indices[v]; ok {
+			f.byte(tagBackRef)
+			f.uvarint(uint64(i))
+			return
+		}
+		f.indices[v] = f.next
+		f.next++
+		f.byte(tagList)
+		f.uvarint(uint64(len(x.Elems)))
+		for _, e := range x.Elems {
+			f.encode(e)
+		}
+	case *Record:
+		if i, ok := f.indices[v]; ok {
+			f.byte(tagBackRef)
+			f.uvarint(uint64(i))
+			return
+		}
+		f.indices[v] = f.next
+		f.next++
+		f.byte(tagRecord)
+		keys := sortedKeys(x.Fields)
+		f.uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			f.uvarint(uint64(len(k)))
+			f.buf = append(f.buf, k...)
+			f.encode(x.Fields[k])
+		}
+	case Ref:
+		uid := x.Target.UID()
+		f.byte(tagUIDRef)
+		f.uvarint(uint64(uid))
+		if f.visit != nil && !f.visited[uid] {
+			f.visited[uid] = true
+			f.visit(x.Target)
+		}
+	case UIDRef:
+		f.byte(tagUIDRef)
+		f.uvarint(uint64(x.UID))
+	default:
+		panic(fmt.Sprintf("value: cannot flatten %T", v))
+	}
+}
+
+// Unflatten rebuilds a value from its flattened form. References to
+// recoverable objects come back as UIDRef placeholders; run ResolveRefs
+// once the referenced objects exist in volatile memory.
+func Unflatten(data []byte) (Value, error) {
+	u := &unflattener{data: data}
+	v, err := u.decode()
+	if err != nil {
+		return nil, err
+	}
+	if u.pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-u.pos)
+	}
+	return v, nil
+}
+
+type unflattener struct {
+	data       []byte
+	pos        int
+	composites []Value
+}
+
+func (u *unflattener) byte() (byte, error) {
+	if u.pos >= len(u.data) {
+		return 0, ErrCorrupt
+	}
+	b := u.data[u.pos]
+	u.pos++
+	return b, nil
+}
+
+func (u *unflattener) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(u.data[u.pos:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	u.pos += n
+	return x, nil
+}
+
+func (u *unflattener) varint() (int64, error) {
+	x, n := binary.Varint(u.data[u.pos:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	u.pos += n
+	return x, nil
+}
+
+func (u *unflattener) bytes(n uint64) ([]byte, error) {
+	if n > uint64(len(u.data)-u.pos) {
+		return nil, ErrCorrupt
+	}
+	b := u.data[u.pos : u.pos+int(n)]
+	u.pos += int(n)
+	return b, nil
+}
+
+func (u *unflattener) decode() (Value, error) {
+	tag, err := u.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagInt:
+		x, err := u.varint()
+		if err != nil {
+			return nil, err
+		}
+		return Int(x), nil
+	case tagStr:
+		n, err := u.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := u.bytes(n)
+		if err != nil {
+			return nil, err
+		}
+		return Str(b), nil
+	case tagBool:
+		b, err := u.byte()
+		if err != nil {
+			return nil, err
+		}
+		return Bool(b != 0), nil
+	case tagBytes:
+		n, err := u.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := u.bytes(n)
+		if err != nil {
+			return nil, err
+		}
+		out := make(Bytes, n)
+		copy(out, b)
+		return out, nil
+	case tagList:
+		n, err := u.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(u.data)) { // each element takes ≥1 byte
+			return nil, ErrCorrupt
+		}
+		l := &List{Elems: make([]Value, n)}
+		u.composites = append(u.composites, l)
+		for i := range l.Elems {
+			e, err := u.decode()
+			if err != nil {
+				return nil, err
+			}
+			l.Elems[i] = e
+		}
+		return l, nil
+	case tagRecord:
+		n, err := u.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(u.data)) {
+			return nil, ErrCorrupt
+		}
+		r := NewRecord()
+		u.composites = append(u.composites, r)
+		for i := uint64(0); i < n; i++ {
+			klen, err := u.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			k, err := u.bytes(klen)
+			if err != nil {
+				return nil, err
+			}
+			v, err := u.decode()
+			if err != nil {
+				return nil, err
+			}
+			r.Fields[string(k)] = v
+		}
+		return r, nil
+	case tagUIDRef:
+		uid, err := u.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return UIDRef{UID: ids.UID(uid)}, nil
+	case tagBackRef:
+		i, err := u.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if i >= uint64(len(u.composites)) {
+			return nil, fmt.Errorf("%w: back-reference %d of %d", ErrCorrupt, i, len(u.composites))
+		}
+		return u.composites[i], nil
+	default:
+		return nil, fmt.Errorf("%w: unknown tag %d", ErrCorrupt, tag)
+	}
+}

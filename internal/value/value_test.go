@@ -1,0 +1,349 @@
+package value
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+// fakeObj stands in for a recoverable object in value-layer tests.
+type fakeObj struct{ uid ids.UID }
+
+func (f fakeObj) UID() ids.UID { return f.uid }
+
+func TestStringRendering(t *testing.T) {
+	v := RecordOf(
+		"name", Str("alice"),
+		"balance", Int(100),
+		"flags", NewList(Bool(true), Bytes{0xde, 0xad}),
+		"acct", Ref{Target: fakeObj{7}},
+	)
+	got := String(v)
+	want := `{acct: &O7, balance: 100, flags: [true, 0xdead], name: "alice"}`
+	if got != want {
+		t.Fatalf("String = %s, want %s", got, want)
+	}
+}
+
+func TestStringCyclic(t *testing.T) {
+	l := NewList(Int(1))
+	l.Elems = append(l.Elems, l)
+	got := String(l)
+	if got != "[1, [...]]" {
+		t.Fatalf("cyclic String = %s", got)
+	}
+}
+
+func TestFlattenUnflattenLeaves(t *testing.T) {
+	cases := []Value{
+		Int(0), Int(-5), Int(1 << 40), Str(""), Str("héllo"),
+		Bool(true), Bool(false), Bytes{}, Bytes{1, 2, 3},
+	}
+	for _, v := range cases {
+		data := Flatten(v, nil)
+		got, err := Unflatten(data)
+		if err != nil {
+			t.Fatalf("Unflatten(%s): %v", String(v), err)
+		}
+		if !Equal(v, got) {
+			t.Fatalf("round trip of %s gave %s", String(v), String(got))
+		}
+	}
+}
+
+func TestFlattenReplacesRefsWithUIDs(t *testing.T) {
+	// Figure 2-2: z = atomic record [x: int, y: atomic array]. Copying z
+	// copies x but places a stable-storage reference (UID) for y.
+	z := RecordOf("x", Int(3), "y", Ref{Target: fakeObj{9}})
+	var visited []ids.UID
+	data := Flatten(z, func(o Obj) { visited = append(visited, o.UID()) })
+	if len(visited) != 1 || visited[0] != 9 {
+		t.Fatalf("visit callbacks = %v, want [O9]", visited)
+	}
+	got, err := Unflatten(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got.(*Record)
+	if !ok {
+		t.Fatalf("decoded %T", got)
+	}
+	if _, ok := r.Fields["y"].(UIDRef); !ok {
+		t.Fatalf("y decoded as %T, want UIDRef", r.Fields["y"])
+	}
+	if !Equal(z, got) {
+		t.Fatalf("Equal(z, round-trip) = false: %s vs %s", String(z), String(got))
+	}
+}
+
+func TestFlattenVisitsEachObjectOnce(t *testing.T) {
+	shared := Ref{Target: fakeObj{4}}
+	v := NewList(shared, shared, RecordOf("again", shared))
+	count := 0
+	Flatten(v, func(Obj) { count++ })
+	if count != 1 {
+		t.Fatalf("visit count = %d, want 1", count)
+	}
+}
+
+func TestFlattenFollowsRegularObjects(t *testing.T) {
+	// Figure 3-3/3-4: O1's data references a mutex object (by uid), a
+	// regular object that itself references an atomic object, and a
+	// directly referenced atomic object. Flattening O1 must visit all
+	// three recoverable objects and copy the regular object inline.
+	regular := NewList(Str("regular"), Ref{Target: fakeObj{4}})
+	o1data := NewList(Ref{Target: fakeObj{2}}, regular, Ref{Target: fakeObj{3}})
+	var visited []ids.UID
+	data := Flatten(o1data, func(o Obj) { visited = append(visited, o.UID()) })
+	if len(visited) != 3 {
+		t.Fatalf("visited %v, want 3 objects", visited)
+	}
+	got, err := Unflatten(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewList(UIDRef{2}, NewList(Str("regular"), UIDRef{4}), UIDRef{3})
+	if !Equal(got, want) {
+		t.Fatalf("flattened O1 = %s, want %s", String(got), String(want))
+	}
+}
+
+func TestSharingPreservedWithinOneFlatten(t *testing.T) {
+	shared := NewList(Int(1), Int(2))
+	v := NewList(shared, shared)
+	got, err := Unflatten(Flatten(v, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := got.(*List)
+	if l.Elems[0] != l.Elems[1] {
+		t.Fatal("sharing of regular object lost across flatten/unflatten")
+	}
+}
+
+func TestCyclicRegularStructure(t *testing.T) {
+	l := NewList(Int(7))
+	l.Elems = append(l.Elems, l) // cycle through regular structure
+	got, err := Unflatten(Flatten(l, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl := got.(*List)
+	if len(gl.Elems) != 2 {
+		t.Fatalf("len = %d", len(gl.Elems))
+	}
+	if gl.Elems[1] != Value(gl) {
+		t.Fatal("cycle not reconstructed")
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	mk := func() Value {
+		return RecordOf("b", Int(2), "a", Int(1), "c", NewList(Str("x")))
+	}
+	d1 := Flatten(mk(), nil)
+	d2 := Flatten(mk(), nil)
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestCopySemantics(t *testing.T) {
+	inner := NewList(Int(1))
+	ref := Ref{Target: fakeObj{5}}
+	orig := RecordOf("l", inner, "r", ref)
+	cp := Copy(orig).(*Record)
+	// Mutating the copy's regular structure must not affect the original.
+	cp.Fields["l"].(*List).Elems[0] = Int(99)
+	if inner.Elems[0] != Int(1) {
+		t.Fatal("Copy shares regular structure")
+	}
+	// References to recoverable objects are shared.
+	if cp.Fields["r"].(Ref).Target != ref.Target {
+		t.Fatal("Copy did not share recoverable reference")
+	}
+}
+
+func TestCopyPreservesSharingAndCycles(t *testing.T) {
+	shared := NewList(Int(1))
+	v := NewList(shared, shared)
+	cp := Copy(v).(*List)
+	if cp.Elems[0] != cp.Elems[1] {
+		t.Fatal("copy broke sharing")
+	}
+	cyc := NewList()
+	cyc.Elems = append(cyc.Elems, cyc)
+	ccp := Copy(cyc).(*List)
+	if ccp.Elems[0] != Value(ccp) {
+		t.Fatal("copy broke cycle")
+	}
+}
+
+func TestResolveRefs(t *testing.T) {
+	v := NewList(UIDRef{3}, RecordOf("x", UIDRef{4}))
+	objs := map[ids.UID]Obj{3: fakeObj{3}, 4: fakeObj{4}}
+	got, err := ResolveRefs(v, func(u ids.UID) (Obj, bool) {
+		o, ok := objs[u]
+		return o, ok
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := got.(*List)
+	if r, ok := l.Elems[0].(Ref); !ok || r.Target.UID() != 3 {
+		t.Fatalf("elem 0 = %s", String(l.Elems[0]))
+	}
+	inner := l.Elems[1].(*Record)
+	if r, ok := inner.Fields["x"].(Ref); !ok || r.Target.UID() != 4 {
+		t.Fatalf("x = %s", String(inner.Fields["x"]))
+	}
+}
+
+func TestResolveRefsMissing(t *testing.T) {
+	v := NewList(UIDRef{42})
+	_, err := ResolveRefs(v, func(ids.UID) (Obj, bool) { return nil, false })
+	if err == nil {
+		t.Fatal("unresolvable reference not reported")
+	}
+}
+
+func TestEqualMixedRefKinds(t *testing.T) {
+	a := NewList(Ref{Target: fakeObj{8}})
+	b := NewList(UIDRef{8})
+	if !Equal(a, b) {
+		t.Fatal("Ref{O8} != UIDRef{O8}")
+	}
+	c := NewList(UIDRef{9})
+	if Equal(a, c) {
+		t.Fatal("refs to different UIDs compared equal")
+	}
+}
+
+func TestEqualNegativeCases(t *testing.T) {
+	cases := [][2]Value{
+		{Int(1), Int(2)},
+		{Int(1), Str("1")},
+		{Str("a"), Str("b")},
+		{Bool(true), Bool(false)},
+		{Bytes{1}, Bytes{1, 2}},
+		{NewList(Int(1)), NewList(Int(2))},
+		{NewList(Int(1)), NewList(Int(1), Int(1))},
+		{RecordOf("a", Int(1)), RecordOf("b", Int(1))},
+		{RecordOf("a", Int(1)), RecordOf("a", Int(2))},
+		{NewList(), RecordOf()},
+	}
+	for _, c := range cases {
+		if Equal(c[0], c[1]) {
+			t.Errorf("Equal(%s, %s) = true", String(c[0]), String(c[1]))
+		}
+	}
+}
+
+func TestUnflattenCorrupt(t *testing.T) {
+	good := Flatten(NewList(Int(1), Str("hi"), UIDRef{3}), nil)
+	// Truncations.
+	for i := 0; i < len(good); i++ {
+		if _, err := Unflatten(good[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+	// Trailing garbage.
+	if _, err := Unflatten(append(append([]byte{}, good...), 0x00)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	// Unknown tag.
+	if _, err := Unflatten([]byte{0xFF}); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+	// Dangling back-reference.
+	if _, err := Unflatten([]byte{tagBackRef, 0}); err == nil {
+		t.Fatal("dangling back-reference accepted")
+	}
+}
+
+// arbValue builds a pseudo-random value from quick-generated fuel.
+func arbValue(fuel []byte, depth int) Value {
+	if len(fuel) == 0 || depth > 4 {
+		return Int(int64(depth))
+	}
+	switch fuel[0] % 7 {
+	case 0:
+		return Int(int64(int8(fuel[0])))
+	case 1:
+		n := int(fuel[0]) % 8
+		if n > len(fuel) {
+			n = len(fuel)
+		}
+		return Str(fuel[:n])
+	case 2:
+		return Bool(fuel[0]%2 == 0)
+	case 3:
+		n := int(fuel[0]) % 8
+		if n > len(fuel) {
+			n = len(fuel)
+		}
+		return Bytes(fuel[:n])
+	case 4:
+		l := NewList()
+		rest := fuel[1:]
+		for i := 0; i < int(fuel[0]%4); i++ {
+			l.Elems = append(l.Elems, arbValue(rest, depth+1))
+			if len(rest) > 3 {
+				rest = rest[3:]
+			}
+		}
+		return l
+	case 5:
+		r := NewRecord()
+		rest := fuel[1:]
+		names := []string{"a", "bb", "ccc", "dddd"}
+		for i := 0; i < int(fuel[0]%4); i++ {
+			r.Fields[names[i%len(names)]] = arbValue(rest, depth+1)
+			if len(rest) > 3 {
+				rest = rest[3:]
+			}
+		}
+		return r
+	default:
+		return UIDRef{ids.UID(fuel[0])}
+	}
+}
+
+// Property: Unflatten(Flatten(v)) is structurally equal to v for
+// arbitrary values.
+func TestFlattenRoundTripProperty(t *testing.T) {
+	f := func(fuel []byte) bool {
+		v := arbValue(fuel, 0)
+		got, err := Unflatten(Flatten(v, nil))
+		return err == nil && Equal(v, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Copy is structurally equal and mutation-isolated.
+func TestCopyProperty(t *testing.T) {
+	f := func(fuel []byte) bool {
+		v := arbValue(fuel, 0)
+		return Equal(v, Copy(v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefsEnumeration(t *testing.T) {
+	v := NewList(
+		Ref{Target: fakeObj{1}},
+		RecordOf("x", Ref{Target: fakeObj{2}}),
+		NewList(Ref{Target: fakeObj{1}}), // duplicate target
+	)
+	var got []ids.UID
+	Refs(v, func(o Obj) { got = append(got, o.UID()) })
+	if len(got) != 3 { // Refs reports each reference edge
+		t.Fatalf("Refs visited %v", got)
+	}
+}

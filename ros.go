@@ -1,0 +1,313 @@
+// Package ros (reliable object storage) is the public API of this
+// reproduction of Brian M. Oki's thesis "Reliable Object Storage to
+// Support Atomic Actions" (MIT/LCS, 1983) — the stable-storage
+// organization and recovery algorithms designed for the Argus system.
+//
+// The library provides:
+//
+//   - Guardians: logical nodes with crash-surviving stable state
+//     (thesis §2.1), backed by simulated atomic stable storage
+//     (Lampson–Sturgis two-copy pages).
+//   - Atomic actions with read/write-locked atomic objects and
+//     seize-locked mutex objects (§2.4), begun at one guardian and
+//     joined at others.
+//   - Three interchangeable stable-storage organizations (§1.2): the
+//     pure/simple log (ch. 3), the hybrid log (ch. 4, the thesis's
+//     contribution), and the shadowing baseline.
+//   - Two-phase commit (§2.2) over a simulated network, with crash
+//     recovery and in-doubt resolution.
+//   - Housekeeping for the hybrid log (ch. 5): log compaction and the
+//     stable-state snapshot.
+//
+// # Quick start
+//
+//	g, _ := ros.NewGuardian(1)
+//	a := g.Begin()
+//	acct, _ := a.NewAtomic(ros.Int(100))
+//	_ = a.SetVar("account", acct)
+//	_ = a.Commit()
+//
+//	g.Crash()
+//	g, _ = ros.Recover(g)
+//	acct2, _ := g.VarAtomic("account") // Int(100) again
+//
+// See the examples directory for distributed transfers, early prepare,
+// and housekeeping under load.
+package ros
+
+import (
+	"repro/internal/core"
+	"repro/internal/guardian"
+	"repro/internal/hybridlog"
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/object"
+	"repro/internal/stablelog"
+	"repro/internal/twopc"
+	"repro/internal/value"
+)
+
+// --- identifiers --------------------------------------------------------
+
+// GuardianID identifies a guardian (a logical node).
+type GuardianID = ids.GuardianID
+
+// ActionID identifies a top-level atomic action; it embeds the
+// coordinator's guardian id (§2.2.2).
+type ActionID = ids.ActionID
+
+// UID uniquely identifies a recoverable object within its guardian.
+type UID = ids.UID
+
+// --- values --------------------------------------------------------------
+
+// Value is a node of an object's data graph: leaves (Int, Str, Bool,
+// Bytes), regular composites (*List, *Record), and references to
+// recoverable objects (Ref).
+type Value = value.Value
+
+// Int is an integer leaf value.
+type Int = value.Int
+
+// Str is a string leaf value.
+type Str = value.Str
+
+// Bool is a boolean leaf value.
+type Bool = value.Bool
+
+// Bytes is an opaque byte-string leaf value.
+type Bytes = value.Bytes
+
+// List is a mutable ordered sequence (a regular object: copied whole
+// when a referencing recoverable object is written to the log, §2.4.3).
+type List = value.List
+
+// Record is a mutable set of named fields (a regular object).
+type Record = value.Record
+
+// Ref is a reference to a recoverable object; flattening replaces it
+// with the object's UID (§3.3.3.1).
+type Ref = value.Ref
+
+// NewList returns a List with the given elements.
+func NewList(elems ...Value) *List { return value.NewList(elems...) }
+
+// NewRecord returns an empty Record.
+func NewRecord() *Record { return value.NewRecord() }
+
+// RecordOf returns a Record from alternating key, value pairs.
+func RecordOf(pairs ...any) *Record { return value.RecordOf(pairs...) }
+
+// RefTo returns a reference to a recoverable object.
+func RefTo(obj Recoverable) Ref { return value.Ref{Target: obj} }
+
+// ValueString renders a value for debugging.
+func ValueString(v Value) string { return value.String(v) }
+
+// ValueEqual reports structural equality of two values.
+func ValueEqual(a, b Value) bool { return value.Equal(a, b) }
+
+// --- objects --------------------------------------------------------------
+
+// Recoverable is a unit written to stable storage: an atomic or mutex
+// object (§2.4).
+type Recoverable = object.Recoverable
+
+// Atomic is a built-in atomic object: read/write locks and versions
+// provide atomicity for the actions that use it (§2.4.1).
+type Atomic = object.Atomic
+
+// Mutex is a mutex object: a container with a seize lock whose prepared
+// versions survive even aborts (§2.4.2).
+type Mutex = object.Mutex
+
+// --- guardians and actions -------------------------------------------------
+
+// Guardian is a logical node with stable state that survives crashes.
+type Guardian = guardian.Guardian
+
+// Action is an atomic action's footprint at one guardian.
+type Action = guardian.Action
+
+// Sub is a subaction (§2.1): its modifications can be undone without
+// aborting the enclosing top-level action, and its locks are acquired
+// on the top-level action's behalf.
+type Sub = guardian.Sub
+
+// Backend selects the stable-storage organization of a guardian.
+type Backend = core.Backend
+
+// The available stable-storage organizations (§1.2).
+const (
+	// SimpleLog is the chapter 3 pure log: fast writing, slow recovery.
+	SimpleLog = core.BackendSimple
+	// HybridLog is the chapter 4 hybrid log: fast writing and
+	// reasonably fast recovery. The default.
+	HybridLog = core.BackendHybrid
+	// Shadowing is the §1.2.1 baseline: slow writing, fast recovery.
+	Shadowing = core.BackendShadow
+)
+
+// HousekeepKind selects a chapter 5 housekeeping algorithm.
+type HousekeepKind = core.HousekeepKind
+
+// The housekeeping algorithms (hybrid log only).
+const (
+	// Compact reads the old log backward and rewrites the survivors
+	// (§5.1).
+	Compact = core.HousekeepCompact
+	// Snapshot copies the stable state out of volatile memory (§5.2) —
+	// the technique the thesis concludes is strictly better.
+	Snapshot = core.HousekeepSnapshot
+)
+
+// HousekeepStats reports the work done by one housekeeping run.
+type HousekeepStats = hybridlog.Stats
+
+// Option configures guardian creation.
+type Option = guardian.Option
+
+// WithBackend selects the stable-storage organization (default
+// HybridLog).
+func WithBackend(b Backend) Option { return guardian.WithBackend(b) }
+
+// WithBlockSize sets the simulated stable-device block size.
+func WithBlockSize(n int) Option { return guardian.WithBlockSize(n) }
+
+// Volume supplies the stable stores backing a guardian's logs.
+type Volume = stablelog.Volume
+
+// FileVolume is a Volume on a real filesystem directory.
+type FileVolume = stablelog.FileVolume
+
+// NewFileVolume opens (creating if needed) a file-backed volume. Pass
+// it to NewGuardian via WithVolume for on-disk persistence, and reopen
+// it after a shutdown with OpenGuardian.
+func NewFileVolume(dir string, blockSize int, syncEveryWrite bool) (*FileVolume, error) {
+	return stablelog.NewFileVolume(dir, blockSize, syncEveryWrite)
+}
+
+// WithVolume runs the guardian's stable storage on the given volume
+// (e.g. a FileVolume) instead of the in-memory simulation.
+func WithVolume(vol Volume) Option { return guardian.WithVolume(vol) }
+
+// NewGuardian creates a guardian with empty stable state.
+func NewGuardian(id GuardianID, opts ...Option) (*Guardian, error) {
+	return guardian.New(id, opts...)
+}
+
+// OpenGuardian recovers a guardian from an existing volume — typically
+// a FileVolume reopened after a process restart.
+func OpenGuardian(id GuardianID, vol Volume, backend Backend) (*Guardian, error) {
+	return guardian.Open(id, vol, backend)
+}
+
+// RunAtomic runs fn inside a fresh top-level action, committing on
+// success and aborting on error; lock conflicts and timeouts (the
+// possible-deadlock signal) are retried with backoff, the standard
+// Argus usage loop.
+func RunAtomic(g *Guardian, attempts int, fn func(a *Action) error) error {
+	return guardian.RunAtomic(g, attempts, fn)
+}
+
+// Recover restarts a crashed guardian from its stable storage,
+// rebuilding its heap, accessibility set, and prepared-actions table
+// from the log (§3.4/§4.3). Prepared actions come back holding their
+// locks; resolve them with ResolveInDoubt.
+func Recover(g *Guardian) (*Guardian, error) {
+	return guardian.Restart(g)
+}
+
+// --- two-phase commit -------------------------------------------------------
+
+// Network is a simulated network between guardians with node-down and
+// link-cut fault injection.
+type Network = netsim.Network
+
+// NewNetwork returns a fully connected network.
+func NewNetwork() *Network { return netsim.New() }
+
+// Outcome is the fate of a top-level action.
+type Outcome = twopc.Outcome
+
+// Action outcomes.
+const (
+	Committed = twopc.OutcomeCommitted
+	Aborted   = twopc.OutcomeAborted
+	Unknown   = twopc.OutcomeUnknown
+)
+
+// CommitResult reports how a distributed commit ended.
+type CommitResult = twopc.Result
+
+// HandlerFunc is the body of a guardian handler (§2.1): it runs inside
+// a subaction of the calling action at the target guardian.
+type HandlerFunc = guardian.HandlerFunc
+
+// Call invokes a handler at the target guardian on behalf of action a
+// over the network. The target becomes a participant in the action's
+// two-phase commit; a handler error aborts only the handler's
+// subaction.
+func Call(net *Network, a *Action, target *Guardian, name string, arg Value) (Value, error) {
+	return guardian.Call(net, a, target, name, arg)
+}
+
+// CommitSpread commits an action that spread through Call: the
+// participant list is assembled automatically from the handler calls.
+func CommitSpread(net *Network, a *Action) (CommitResult, error) {
+	return guardian.CommitSpread(net, a)
+}
+
+// CommitDistributed runs two-phase commit (§2.2) for an action begun at
+// coordinator and joined at the other guardians. All guardians —
+// including the coordinator — act as participants. On success the
+// action's effects are installed at every guardian.
+func CommitDistributed(net *Network, coordinator *Guardian, a *Action, others ...*Guardian) (CommitResult, error) {
+	parts := make([]twopc.Participant, 0, len(others)+1)
+	parts = append(parts, coordinator)
+	for _, g := range others {
+		parts = append(parts, g)
+	}
+	c := &twopc.Coordinator{Self: coordinator.ID(), Net: net, Log: coordinator}
+	return c.Run(a.ID(), parts)
+}
+
+// CompleteDistributed re-drives phase two of an action whose committing
+// record is already on the coordinator's log — used after the
+// coordinator recovers with the action in Unfinished() (§2.2.3).
+func CompleteDistributed(net *Network, coordinator *Guardian, aid ActionID, participants ...*Guardian) (CommitResult, error) {
+	parts := make([]twopc.Participant, 0, len(participants))
+	for _, g := range participants {
+		parts = append(parts, g)
+	}
+	c := &twopc.Coordinator{Self: coordinator.ID(), Net: net, Log: coordinator}
+	return c.Complete(aid, parts)
+}
+
+// ResolveInDoubt settles every action that had prepared at g before a
+// crash by querying its coordinator (§2.2.2: the participant "can query
+// the coordinator to find out the outcome"). coordinators maps guardian
+// ids to the (possibly restarted) coordinator guardians.
+func ResolveInDoubt(net *Network, g *Guardian, coordinators map[GuardianID]*Guardian) error {
+	for _, aid := range g.InDoubt() {
+		coord, ok := coordinators[aid.Coordinator]
+		if !ok {
+			continue // coordinator still down; stay in doubt
+		}
+		out, err := twopc.Query(net, g.ID(), coord, aid)
+		if err != nil {
+			continue // unreachable; stay in doubt
+		}
+		switch out {
+		case twopc.OutcomeCommitted:
+			if err := g.HandleCommit(aid); err != nil {
+				return err
+			}
+		case twopc.OutcomeAborted:
+			if err := g.HandleAbort(aid); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package ros
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHandlersAndCommitSpread exercises the handler-based API surface:
+// RegisterHandler, Call, CommitSpread, RunAtomic.
+func TestHandlersAndCommitSpread(t *testing.T) {
+	net := NewNetwork()
+	mk := func(id GuardianID) *Guardian {
+		g, err := NewGuardian(id, WithBlockSize(256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RunAtomic(g, 1, func(a *Action) error {
+			c, err := a.NewAtomic(Int(100))
+			if err != nil {
+				return err
+			}
+			return a.SetVar("stock", c)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		g.RegisterHandler("take", func(sub *Sub, arg Value) (Value, error) {
+			c, _ := g.VarAtomic("stock")
+			n := int64(arg.(Int))
+			if err := sub.Update(c, func(v Value) Value {
+				return Int(int64(v.(Int)) - n)
+			}); err != nil {
+				return nil, err
+			}
+			return sub.Read(c)
+		})
+		return g
+	}
+	g1 := mk(1)
+	g2 := mk(2)
+
+	a := g1.Begin()
+	left, err := Call(net, a, g2, "take", Int(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValueEqual(left, Int(70)) {
+		t.Fatalf("take returned %s", ValueString(left))
+	}
+	res, err := CommitSpread(net, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Committed || !res.Done {
+		t.Fatalf("result %+v", res)
+	}
+	c2, _ := g2.VarAtomic("stock")
+	if !ValueEqual(c2.Base(), Int(70)) {
+		t.Fatalf("g2 stock = %s", ValueString(c2.Base()))
+	}
+}
+
+// TestCompleteDistributedAfterCoordinatorCrash: the public phase-two
+// re-drive.
+func TestCompleteDistributedAfterCoordinatorCrash(t *testing.T) {
+	net := NewNetwork()
+	coord, _ := NewGuardian(1)
+	part, _ := NewGuardian(2)
+	for _, g := range []*Guardian{coord, part} {
+		if err := RunAtomic(g, 1, func(a *Action) error {
+			c, err := a.NewAtomic(Int(0))
+			if err != nil {
+				return err
+			}
+			return a.SetVar("c", c)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	act := coord.Begin()
+	br := part.Join(act.ID())
+	cc, _ := coord.VarAtomic("c")
+	pc, _ := part.VarAtomic("c")
+	if err := act.Set(cc, Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := br.Set(pc, Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.HandlePrepare(act.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := part.HandlePrepare(act.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Committing(act.ID(), []GuardianID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Coordinator crashes before any commit message.
+	coord.Crash()
+	coord2, err := Recover(coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfinished := coord2.Unfinished()
+	if len(unfinished) != 1 {
+		t.Fatalf("unfinished = %v", unfinished)
+	}
+	res, err := CompleteDistributed(net, coord2, unfinished[0], coord2, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatalf("result %+v", res)
+	}
+	gotP, _ := part.VarAtomic("c")
+	if !ValueEqual(gotP.Base(), Int(1)) {
+		t.Fatalf("participant c = %s", ValueString(gotP.Base()))
+	}
+	coord2.Crash()
+	coord3, err := Recover(coord2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotC, _ := coord3.VarAtomic("c")
+	if !ValueEqual(gotC.Base(), Int(1)) {
+		t.Fatalf("coordinator c = %s", ValueString(gotC.Base()))
+	}
+}
+
+// TestRunAtomicWithWaitingLocks: the retry loop with contention through
+// the public API.
+func TestRunAtomicWithWaitingLocks(t *testing.T) {
+	g, _ := NewGuardian(1)
+	if err := RunAtomic(g, 1, func(a *Action) error {
+		c, err := a.NewAtomic(Int(0))
+		if err != nil {
+			return err
+		}
+		return a.SetVar("n", c)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := g.VarAtomic("n")
+	done := make(chan error, 2)
+	for w := 0; w < 2; w++ {
+		go func() {
+			var err error
+			for i := 0; i < 5 && err == nil; i++ {
+				err = RunAtomic(g, 30, func(a *Action) error {
+					return a.UpdateWait(c, 10*time.Millisecond, func(v Value) Value {
+						return Int(int64(v.(Int)) + 1)
+					})
+				})
+			}
+			done <- err
+		}()
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !ValueEqual(c.Base(), Int(10)) {
+		t.Fatalf("n = %s, want 10", ValueString(c.Base()))
+	}
+}
+
+// TestValueConstructors covers the remaining helpers.
+func TestValueConstructors(t *testing.T) {
+	g, _ := NewGuardian(1)
+	a := g.Begin()
+	obj, err := a.NewAtomic(Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecord()
+	r.Fields["ref"] = RefTo(obj)
+	if ValueString(r.Fields["ref"]) != "&O2" {
+		t.Fatalf("RefTo = %s", ValueString(r.Fields["ref"]))
+	}
+	if err := a.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}

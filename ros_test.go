@@ -1,0 +1,281 @@
+package ros
+
+import (
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g, err := NewGuardian(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g.Begin()
+	acct, err := a.NewAtomic(Int(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetVar("account", acct); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	g.Crash()
+	g, err = Recover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := g.VarAtomic("account")
+	if !ok {
+		t.Fatal("account lost")
+	}
+	if !ValueEqual(got.Base(), Int(100)) {
+		t.Fatalf("account = %s", ValueString(got.Base()))
+	}
+}
+
+func TestAllBackendsThroughPublicAPI(t *testing.T) {
+	for _, b := range []Backend{SimpleLog, HybridLog, Shadowing} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			g, err := NewGuardian(1, WithBackend(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := g.Begin()
+			c, err := a.NewAtomic(NewList(Int(1), Str("x")))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.SetVar("v", c); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			g.Crash()
+			g, err = Recover(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := g.VarAtomic("v")
+			if !ok || !ValueEqual(got.Base(), NewList(Int(1), Str("x"))) {
+				t.Fatalf("recovered %v", got)
+			}
+		})
+	}
+}
+
+func TestDistributedTransferWithRecovery(t *testing.T) {
+	net := NewNetwork()
+	bank1, err := NewGuardian(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank2, err := NewGuardian(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := func(g *Guardian, balance int64) *Atomic {
+		a := g.Begin()
+		acct, err := a.NewAtomic(Int(balance))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.SetVar("acct", acct); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		return acct
+	}
+	a1 := setup(bank1, 500)
+	a2 := setup(bank2, 100)
+
+	// Transfer 200 from bank1 to bank2 under one top-level action.
+	act := bank1.Begin()
+	br := bank2.Join(act.ID())
+	if err := act.Update(a1, func(v Value) Value { return Int(int64(v.(Int)) - 200) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := br.Update(a2, func(v Value) Value { return Int(int64(v.(Int)) + 200) }); err != nil {
+		t.Fatal(err)
+	}
+	res, err := CommitDistributed(net, bank1, act, bank2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Committed || !res.Done {
+		t.Fatalf("result = %+v", res)
+	}
+
+	// Both survive independent crashes.
+	bank1.Crash()
+	bank2.Crash()
+	bank1, err = Recover(bank1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank2, err = Recover(bank2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := bank1.VarAtomic("acct")
+	g2, _ := bank2.VarAtomic("acct")
+	if !ValueEqual(g1.Base(), Int(300)) || !ValueEqual(g2.Base(), Int(300)) {
+		t.Fatalf("balances %s / %s, want 300 / 300", ValueString(g1.Base()), ValueString(g2.Base()))
+	}
+}
+
+func TestResolveInDoubtCommit(t *testing.T) {
+	net := NewNetwork()
+	coord, _ := NewGuardian(1)
+	part, _ := NewGuardian(2)
+	setup := func(g *Guardian) *Atomic {
+		a := g.Begin()
+		c, _ := a.NewAtomic(Int(0))
+		if err := a.SetVar("c", c); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c1 := setup(coord)
+	c2 := setup(part)
+
+	act := coord.Begin()
+	br := part.Join(act.ID())
+	if err := act.Set(c1, Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := br.Set(c2, Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Drive phase one by hand, write the committing record, then crash
+	// the participant before the commit message arrives.
+	if v, err := coord.HandlePrepare(act.ID()); err != nil || v != 1 {
+		t.Fatalf("coord prepare: %v %v", v, err)
+	}
+	if v, err := part.HandlePrepare(act.ID()); err != nil || v != 1 {
+		t.Fatalf("part prepare: %v %v", v, err)
+	}
+	if err := coord.Committing(act.ID(), []GuardianID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	part.Crash()
+	// The participant recovers in doubt and queries the coordinator.
+	part, err := Recover(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.InDoubt()) != 1 {
+		t.Fatalf("InDoubt = %v", part.InDoubt())
+	}
+	if err := ResolveInDoubt(net, part, map[GuardianID]*Guardian{1: coord}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := part.VarAtomic("c")
+	if !ValueEqual(got.Base(), Int(1)) {
+		t.Fatalf("participant c = %s, want committed 1", ValueString(got.Base()))
+	}
+	if len(part.InDoubt()) != 0 {
+		t.Fatalf("still in doubt: %v", part.InDoubt())
+	}
+}
+
+func TestResolveInDoubtAbort(t *testing.T) {
+	net := NewNetwork()
+	coord, _ := NewGuardian(1)
+	part, _ := NewGuardian(2)
+	a := part.Begin() // never reaches the coordinator's committing record
+	c, _ := a.NewAtomic(Int(5))
+	if err := a.SetVar("c", c); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	act := coord.Begin()
+	br := part.Join(act.ID())
+	if err := br.Set(c, Int(9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := part.HandlePrepare(act.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// Coordinator crashes before committing: presumed abort (§2.2.3).
+	coord.Crash()
+	coord2, err := Recover(coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part.Crash()
+	part, err = Recover(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ResolveInDoubt(net, part, map[GuardianID]*Guardian{1: coord2}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := part.VarAtomic("c")
+	if !ValueEqual(got.Base(), Int(5)) {
+		t.Fatalf("c = %s, want aborted back to 5", ValueString(got.Base()))
+	}
+}
+
+func TestHousekeepingThroughPublicAPI(t *testing.T) {
+	g, _ := NewGuardian(1, WithBackend(HybridLog))
+	a := g.Begin()
+	c, _ := a.NewAtomic(Int(0))
+	if err := a.SetVar("c", c); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		act := g.Begin()
+		if err := act.Set(c, Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := act.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, kind := range []HousekeepKind{Compact, Snapshot} {
+		stats, err := g.Housekeep(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.ObjectsCopied == 0 {
+			t.Fatalf("housekeeping %v copied nothing", kind)
+		}
+	}
+	g.Crash()
+	g, err := Recover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := g.VarAtomic("c")
+	if !ValueEqual(got.Base(), Int(39)) {
+		t.Fatalf("c = %s", ValueString(got.Base()))
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	r := RecordOf("a", Int(1), "b", Str("x"))
+	if !ValueEqual(r.Fields["a"], Int(1)) {
+		t.Fatal("RecordOf broken")
+	}
+	l := NewList(Bool(true), Bytes{1, 2})
+	if len(l.Elems) != 2 {
+		t.Fatal("NewList broken")
+	}
+	if ValueString(Int(3)) != "3" {
+		t.Fatal("ValueString broken")
+	}
+}
