@@ -31,10 +31,15 @@ bench-save:
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzUnflatten -fuzztime 30s ./internal/value/
 	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime 30s ./internal/logrec/
+	$(GO) test -run xxx -fuzz FuzzDecodePage -fuzztime 30s ./internal/stable/
+	$(GO) test -run xxx -fuzz FuzzPageCodec -fuzztime 30s ./internal/stable/
 
-# Crash-injection soak across all backends, single-node + distributed.
+# Crash-injection soak across all backends: randomized histories
+# (single-node + distributed), then the exhaustive crash-point sweep
+# with read-path decay.
 soak:
 	$(GO) run ./cmd/roscrash -steps 2000 -seeds 5
+	$(GO) run ./cmd/roscrash -sweep -seeds 5 -sweep-steps 4
 
 examples:
 	$(GO) run ./examples/quickstart

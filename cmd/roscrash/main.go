@@ -5,10 +5,19 @@
 // mode where guardians exchange funds under two-phase commit while
 // nodes crash (money conservation).
 //
+// With -sweep it instead runs the exhaustive crash-point sweep: for a
+// scripted history it crashes at every device write, every write of the
+// recovery that follows, and once more inside the second recovery
+// (triple crash), with single-copy decay injected between crash and
+// recovery, and verifies the chapter 6 invariant at every point. On
+// failure it prints the exact (backend, seed, crash schedule) triple
+// and exits non-zero.
+//
 // Usage:
 //
 //	roscrash [-mode single|distributed|both] [-backend simple|hybrid|shadow|all]
 //	         [-steps 500] [-seeds 10] [-crash-every 5] [-housekeep-every 20]
+//	roscrash -sweep [-backend ...] [-seeds 10] [-sweep-steps 4]
 package main
 
 import (
@@ -29,6 +38,8 @@ var (
 	crashEvery = flag.Int("crash-every", 5, "~1/n actions interrupted by a crash")
 	hkEvery    = flag.Int("housekeep-every", 20, "housekeeping interval (hybrid only; 0 disables)")
 	guardians  = flag.Int("guardians", 4, "guardians in distributed mode")
+	sweep      = flag.Bool("sweep", false, "run the exhaustive crash-point sweep instead of the randomized soak")
+	sweepSteps = flag.Int("sweep-steps", 4, "scripted actions per sweep history")
 )
 
 func main() {
@@ -45,6 +56,10 @@ func main() {
 	}
 	failed := false
 	for _, b := range backends {
+		if *sweep {
+			failed = runSweep(b) || failed
+			continue
+		}
 		if *mode == "single" || *mode == "both" {
 			failed = runSingle(b) || failed
 		}
@@ -81,6 +96,40 @@ func runSingle(b core.Backend) (failed bool) {
 		fmt.Printf("ok   single %-7v seed=%-3d committed=%d aborted=%d crashes=%d recoveries=%d (%.2fs)\n",
 			b, seed, res.Committed, res.Aborted, res.Crashes, res.Recoveries,
 			time.Since(start).Seconds())
+	}
+	return failed
+}
+
+// runSweep exhausts every crash point of a scripted history per seed
+// and decay mode. A failure prints the exact replay coordinates —
+// backend, seed, decay mode, and the crash schedule (history write,
+// then nested recovery writes) — so the scenario can be rerun alone.
+func runSweep(b core.Backend) (failed bool) {
+	decays := []crashtest.DecayMode{
+		crashtest.DecayNone, crashtest.DecayDeviceA,
+		crashtest.DecayDeviceB, crashtest.DecayAlternate,
+	}
+	for seed := int64(1); seed <= int64(*seeds); seed++ {
+		for _, d := range decays {
+			cfg := crashtest.SweepConfig{
+				Backend:   b,
+				Seed:      seed,
+				Steps:     *sweepSteps,
+				Mutex:     true,
+				Decay:     d,
+				Housekeep: b == core.BackendHybrid,
+			}
+			start := time.Now()
+			res, err := crashtest.Sweep(cfg)
+			if err != nil {
+				fmt.Printf("FAIL sweep  %-7v seed=%-3d decay=%-9v %v\n", b, seed, d, err)
+				failed = true
+				continue
+			}
+			fmt.Printf("ok   sweep  %-7v seed=%-3d decay=%-9v writes=%d points=%d recoveries=%d deepest=%d (%.2fs)\n",
+				b, seed, d, res.Writes, res.Points, res.Recoveries, res.Deepest,
+				time.Since(start).Seconds())
+		}
 	}
 	return failed
 }

@@ -1,0 +1,37 @@
+package crashtest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSweepWithDecay is the read-fault crash matrix: for every backend
+// and every single-copy decay pattern, the full crash-point sweep must
+// hold the chapter 6 invariant — decay injected between each crash and
+// its first recovery forces every recovery read through the fallback
+// copy and every repair through read-repair/scrub.
+func TestSweepWithDecay(t *testing.T) {
+	backends := []core.Backend{core.BackendSimple, core.BackendHybrid, core.BackendShadow}
+	modes := []DecayMode{DecayDeviceA, DecayDeviceB, DecayAlternate}
+	for _, b := range backends {
+		for _, mode := range modes {
+			b, mode := b, mode
+			t.Run(b.String()+"/"+mode.String(), func(t *testing.T) {
+				if testing.Short() && mode == DecayAlternate {
+					t.Skip("alternate mode skipped in -short mode")
+				}
+				res, err := Sweep(SweepConfig{
+					Backend: b, Seed: 2, Steps: 3, Mutex: true, Decay: mode,
+					Housekeep: b == core.BackendHybrid,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Recoveries == 0 {
+					t.Fatalf("degenerate decay sweep: %+v", res)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,684 @@
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/guardian"
+	"repro/internal/stable"
+	"repro/internal/stablelog"
+	"repro/internal/value"
+)
+
+// The sweep mode is the exhaustive counterpart of Run: instead of
+// crashing at random writes of a random history, it fixes one scripted
+// history, counts every device block write W it performs, and replays
+// it W times, crashing at write k for each k in 1..W. Each crash point
+// is then deepened: the recovery that follows is itself crashed at
+// every one of its writes (double crash), and each of those recoveries
+// is crashed once more at its first write (triple crash), before a
+// final undisturbed recovery runs. After every terminal recovery the
+// chapter 6 invariant is checked: the recovered state equals the serial
+// run of the actions that committed — the pre- or post-state of the
+// interrupted action, never a mixture — and structural invariants hold
+// (guardian.CheckRecovered).
+
+// DecayMode selects which device copies decay between every crash and
+// the recovery that follows. All modes decay at most one copy of any
+// block, which two-copy read-repair must survive; loss of both copies
+// is exercised separately (it is a detected failure, not a recoverable
+// one).
+type DecayMode uint8
+
+const (
+	// DecayNone injects no read-path faults.
+	DecayNone DecayMode = iota
+	// DecayDeviceA decays every block of the primary device of every
+	// pair before each recovery.
+	DecayDeviceA
+	// DecayDeviceB decays every block of the secondary device.
+	DecayDeviceB
+	// DecayAlternate decays even blocks on the primary and odd blocks
+	// on the secondary, exercising per-device divergence.
+	DecayAlternate
+)
+
+func (m DecayMode) String() string {
+	switch m {
+	case DecayNone:
+		return "none"
+	case DecayDeviceA:
+		return "device-a"
+	case DecayDeviceB:
+		return "device-b"
+	case DecayAlternate:
+		return "alternate"
+	default:
+		return fmt.Sprintf("decay(%d)", uint8(m))
+	}
+}
+
+// SweepConfig parameterizes an exhaustive crash-point sweep.
+type SweepConfig struct {
+	Backend core.Backend
+	Seed    int64
+	// Steps is the number of scripted actions after the setup action.
+	Steps int
+	// Mutex adds a §2.4.2 mutex object to the script.
+	Mutex bool
+	// Housekeep interleaves housekeeping passes (hybrid backend only).
+	Housekeep bool
+	// Decay selects read-path fault injection before every recovery.
+	Decay DecayMode
+	// BlockSize is the simulated device block size (default 512).
+	BlockSize int
+}
+
+// SweepResult summarizes one sweep.
+type SweepResult struct {
+	// Writes is W, the device write count of the undisturbed history.
+	Writes int
+	// Points is the number of distinct crash scenarios exercised (one
+	// per terminal verification: single, double, and triple crashes).
+	Points int
+	// Recoveries counts recovery attempts, including interrupted ones.
+	Recoveries int
+	// Deepest is the largest number of stacked crashes any point hit.
+	Deepest int
+}
+
+// SweepError identifies the exact failing scenario so it can be
+// replayed: the backend, the seed, and the crash schedule (history
+// write k, then recovery writes for the nested crashes).
+type SweepError struct {
+	Backend core.Backend
+	Seed    int64
+	Decay   DecayMode
+	// Crashes is the crash schedule, outermost first: Crashes[0] is the
+	// history write the first crash hit, Crashes[1] the write of the
+	// first recovery the second crash hit, and so on.
+	Crashes []int
+	// Step is the script step the first crash interrupted (-1 for the
+	// setup phase, len(script) if the history completed).
+	Step int
+	Err  error
+}
+
+func (e *SweepError) Error() string {
+	return fmt.Sprintf("sweep %v seed=%d decay=%v crashes=%v step=%d: %v",
+		e.Backend, e.Seed, e.Decay, e.Crashes, e.Step, e.Err)
+}
+
+func (e *SweepError) Unwrap() error { return e.Err }
+
+// --- the scripted history ----------------------------------------------
+
+const sweepCounters = 3
+
+type stepKind uint8
+
+const (
+	stepCommit stepKind = iota
+	stepAbort
+	stepHousekeep
+)
+
+type update struct {
+	name  string
+	delta int64
+}
+
+type scriptStep struct {
+	kind     stepKind
+	updates  []update
+	mutexVal int64 // 0 = no mutex write this step
+	early    bool  // early-prepare before committing (hybrid)
+	hkKind   core.HousekeepKind
+}
+
+func counterName(i int) string { return fmt.Sprintf("c%d", i) }
+
+// buildScript derives the deterministic history from the seed. The
+// script, not the runner, holds all randomness: every replay performs
+// the same operations in the same order, so the device write sequence
+// is identical across replays and write k always lands in the same
+// operation.
+func buildScript(cfg SweepConfig) []scriptStep {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var script []scriptStep
+	for i := 0; i < cfg.Steps; i++ {
+		st := scriptStep{kind: stepCommit}
+		if rng.Intn(4) == 0 {
+			st.kind = stepAbort
+		}
+		k := 1 + rng.Intn(sweepCounters)
+		for _, idx := range rng.Perm(sweepCounters)[:k] {
+			st.updates = append(st.updates, update{counterName(idx), int64(rng.Intn(20) - 10)})
+		}
+		// Seize only on committing steps: mutex modifications are not
+		// undone by abort (Argus §2.4.2 — seize is in-place), so a
+		// seize on an aborting step would leave the volatile value
+		// ahead of every recoverable state and no serial oracle could
+		// predict it.
+		if cfg.Mutex && st.kind == stepCommit && rng.Intn(2) == 0 {
+			st.mutexVal = int64(i + 1)
+		}
+		if cfg.Backend == core.BackendHybrid && st.kind == stepCommit && rng.Intn(4) == 0 {
+			st.early = true
+		}
+		script = append(script, st)
+		if cfg.Housekeep && cfg.Backend == core.BackendHybrid && (i+1)%3 == 0 {
+			hk := scriptStep{kind: stepHousekeep, hkKind: core.HousekeepCompact}
+			if rng.Intn(2) == 0 {
+				hk.hkKind = core.HousekeepSnapshot
+			}
+			script = append(script, hk)
+		}
+	}
+	return script
+}
+
+// counterState is one point of the serial oracle.
+type counterState map[string]int64
+
+// oracle precomputes, for each script step i, the committed state
+// before and after it, plus the stable mutex value before it. The
+// runner never computes state — a crash can interrupt it anywhere, and
+// the allowed outcomes must be known independently of how far it got.
+type oracle struct {
+	pre, post  []counterState
+	preMutex   []int64
+	finalMutex int64
+	zero       counterState
+}
+
+func buildOracle(script []scriptStep) *oracle {
+	o := &oracle{zero: make(counterState)}
+	for i := 0; i < sweepCounters; i++ {
+		o.zero[counterName(i)] = 0
+	}
+	cur := o.zero
+	var mutex int64
+	for _, st := range script {
+		o.pre = append(o.pre, cur)
+		o.preMutex = append(o.preMutex, mutex)
+		if st.kind == stepCommit {
+			next := make(counterState, len(cur))
+			for k, v := range cur {
+				next[k] = v
+			}
+			for _, u := range st.updates {
+				next[u.name] += u.delta
+			}
+			cur = next
+			if st.mutexVal != 0 {
+				mutex = st.mutexVal
+			}
+		}
+		o.post = append(o.post, cur)
+	}
+	o.finalMutex = mutex
+	return o
+}
+
+// --- executing the history ---------------------------------------------
+
+// executeScript runs the scripted history on vol until it completes or
+// the armed crash fires. It returns the interrupted step index (-1 for
+// the setup phase, len(script) on completion) and the guardian (nil
+// once crashed). A non-crash error is a harness failure.
+func executeScript(vol *stablelog.MemVolume, cfg SweepConfig, script []scriptStep) (int, *guardian.Guardian, error) {
+	crashed := func(err error) (bool, error) {
+		if err == nil {
+			return false, nil
+		}
+		if vol.GlobalCrashFired() {
+			return true, nil
+		}
+		return false, err
+	}
+	g, err := guardian.New(1, guardian.WithBackend(cfg.Backend), guardian.WithVolume(vol))
+	if c, err := crashed(err); err != nil {
+		return -1, nil, err
+	} else if c {
+		return -1, nil, nil
+	}
+	init := g.Begin()
+	var initErr error
+	for i := 0; i < sweepCounters && initErr == nil; i++ {
+		c, err := init.NewAtomic(value.Int(0))
+		if err == nil {
+			err = init.SetVar(counterName(i), c)
+		}
+		initErr = err
+	}
+	if cfg.Mutex && initErr == nil {
+		m, err := init.NewMutex(value.Int(0))
+		if err == nil {
+			err = init.SetVar("journal", m)
+		}
+		initErr = err
+	}
+	if initErr == nil {
+		initErr = init.Commit()
+	}
+	if c, err := crashed(initErr); err != nil {
+		return -1, nil, err
+	} else if c {
+		return -1, nil, nil
+	}
+	for i, st := range script {
+		if c, err := crashed(runStep(g, st)); err != nil {
+			return i, nil, fmt.Errorf("step %d: %w", i, err)
+		} else if c {
+			return i, nil, nil
+		}
+	}
+	return len(script), g, nil
+}
+
+func runStep(g *guardian.Guardian, st scriptStep) error {
+	if st.kind == stepHousekeep {
+		_, err := g.Housekeep(st.hkKind)
+		return err
+	}
+	a := g.Begin()
+	for _, u := range st.updates {
+		c, ok := g.VarAtomic(u.name)
+		if !ok {
+			return fmt.Errorf("crashtest: counter %s lost", u.name)
+		}
+		delta := u.delta
+		if err := a.Update(c, func(v value.Value) value.Value {
+			return value.Int(int64(v.(value.Int)) + delta)
+		}); err != nil {
+			return err
+		}
+	}
+	if st.mutexVal != 0 {
+		m, ok := g.VarMutex("journal")
+		if !ok {
+			return fmt.Errorf("crashtest: journal lost")
+		}
+		v := st.mutexVal
+		if err := a.Seize(m, func(value.Value) value.Value { return value.Int(v) }); err != nil {
+			return err
+		}
+	}
+	if st.early {
+		if err := a.EarlyPrepare(); err != nil {
+			return err
+		}
+	}
+	if st.kind == stepAbort {
+		return a.Abort()
+	}
+	return a.Commit()
+}
+
+func applyDecay(vol *stablelog.MemVolume, mode DecayMode) {
+	if mode == DecayNone {
+		return
+	}
+	vol.EachDevicePair(func(label string, a, b *stable.MemDevice) {
+		// Never decay a copy whose sibling is already bad: the crash
+		// being recovered from tore the block it interrupted, and a
+		// second failure of that page before repair would violate the
+		// single-failure assumption (it is genuine data loss, exercised
+		// separately as a detected failure).
+		decay := func(dev, sib *stable.MemDevice, i int) {
+			if !sib.Bad(i) {
+				dev.Decay(i)
+			}
+		}
+		n := a.NumBlocks()
+		if m := b.NumBlocks(); m > n {
+			n = m
+		}
+		for i := 0; i < n; i++ {
+			switch mode {
+			case DecayDeviceA:
+				decay(a, b, i)
+			case DecayDeviceB:
+				decay(b, a, i)
+			case DecayAlternate:
+				if i%2 == 0 {
+					decay(a, b, i)
+				} else {
+					decay(b, a, i)
+				}
+			}
+		}
+	})
+}
+
+// recoverOnce crashes the volume, optionally applies decay, optionally
+// arms a crash at recovery write armAt (0 = unarmed), and attempts a
+// full recovery including in-doubt resolution. It returns the recovered
+// guardian (nil if the armed crash fired or the site was never durably
+// created), whether the armed crash fired, and whether the volume holds
+// no site at all.
+//
+// Decay is injected only before the FIRST recovery after the history
+// crash, never before the deeper recoveries of a double/triple-crash
+// probe: a crash interrupts repair mid-write, leaving one copy torn,
+// and decaying the surviving copy before repair resumes would be a
+// second independent failure of the same page — outside the
+// single-failure assumption the two-copy protocol (and the thesis)
+// makes.
+func recoverOnce(vol *stablelog.MemVolume, cfg SweepConfig, armAt int, withDecay bool) (g *guardian.Guardian, fired, noSite bool, err error) {
+	vol.Crash()
+	vol.Restart()
+	if withDecay {
+		applyDecay(vol, cfg.Decay)
+	}
+	if armAt > 0 {
+		vol.ArmGlobalCrashAtWrite(armAt)
+	}
+	g, err = guardian.Open(1, vol, cfg.Backend)
+	if err == nil {
+		err = guardian.CheckRecovered(g)
+	}
+	if err == nil {
+		err = resolveInDoubt(g)
+	}
+	if err != nil {
+		if vol.GlobalCrashFired() {
+			return nil, true, false, nil
+		}
+		if isNoSite(err) {
+			return nil, false, true, nil
+		}
+		return nil, false, false, err
+	}
+	return g, false, false, nil
+}
+
+func isNoSite(err error) bool {
+	return errors.Is(err, stablelog.ErrNoSite)
+}
+
+// --- verification ------------------------------------------------------
+
+// verifyRecovered checks the chapter 6 invariant for a recovery whose
+// first crash interrupted script step s: the counters equal the serial
+// pre- or post-state of that step, in full. noSite (the guardian was
+// never durably created) is legal only for a setup-phase crash.
+func verifyRecovered(g *guardian.Guardian, cfg SweepConfig, script []scriptStep, o *oracle, s int, noSite bool) error {
+	if noSite {
+		if s != -1 {
+			return fmt.Errorf("site vanished though creation had committed")
+		}
+		return nil
+	}
+	read := func() (counterState, error) {
+		got := make(counterState, sweepCounters)
+		for i := 0; i < sweepCounters; i++ {
+			n := counterName(i)
+			c, ok := g.VarAtomic(n)
+			if !ok {
+				return nil, nil // counters absent
+			}
+			v, ok := c.Base().(value.Int)
+			if !ok {
+				return nil, fmt.Errorf("%s holds %s, not an int", n, value.String(c.Base()))
+			}
+			got[n] = int64(v)
+		}
+		return got, nil
+	}
+	got, err := read()
+	if err != nil {
+		return err
+	}
+	if s == -1 {
+		// Crash during setup: either the init action never committed
+		// (no counters) or it committed in full (all zeros).
+		if got == nil {
+			return nil
+		}
+		if !statesEqual(got, o.zero) {
+			return fmt.Errorf("setup crash recovered to %v, want absent or all-zero", got)
+		}
+		return nil
+	}
+	if got == nil {
+		return fmt.Errorf("counters lost after step-%d crash", s)
+	}
+	var allowed []counterState
+	var label string
+	switch {
+	case s == len(script):
+		allowed = []counterState{finalState(o, script)}
+		label = "completed history"
+	case script[s].kind == stepCommit:
+		allowed = []counterState{o.pre[s], o.post[s]}
+		label = "interrupted commit"
+	default: // abort or housekeeping: committed state must not move
+		allowed = []counterState{o.pre[s]}
+		label = "interrupted " + stepLabel(script[s].kind)
+	}
+	idx := -1
+	for i, w := range allowed {
+		if statesEqual(got, w) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%s: recovered %v, allowed %v (neither pre- nor post-state in full)", label, got, allowed)
+	}
+	return verifyMutex(g, cfg, script, o, s, idx == 1)
+}
+
+// verifyMutex checks the §2.4.2 mutex rules: a seize is durable iff the
+// writing action prepared, so after a crash the stable value is either
+// the pre-crash stable value or the interrupted step's write — and if
+// the interrupted action's counters committed, its seize necessarily
+// reached stable storage with them.
+func verifyMutex(g *guardian.Guardian, cfg SweepConfig, script []scriptStep, o *oracle, s int, tookPost bool) error {
+	if !cfg.Mutex {
+		return nil
+	}
+	m, ok := g.VarMutex("journal")
+	if !ok {
+		return fmt.Errorf("journal lost")
+	}
+	v, isInt := m.Current().(value.Int)
+	if !isInt {
+		return fmt.Errorf("journal holds %s", value.String(m.Current()))
+	}
+	got := int64(v)
+	switch {
+	case s == len(script):
+		if got != o.finalMutex {
+			return fmt.Errorf("journal = %d after completed history, want %d", got, o.finalMutex)
+		}
+	case script[s].kind == stepCommit && script[s].mutexVal != 0:
+		if tookPost {
+			// The action committed, so its seize is durable with it.
+			if got != script[s].mutexVal {
+				return fmt.Errorf("action committed but journal = %d, want %d", got, script[s].mutexVal)
+			}
+		} else if got != o.preMutex[s] && got != script[s].mutexVal {
+			// Aborted counters, but the seize survives iff the prepare
+			// completed before the crash; both values are legal.
+			return fmt.Errorf("journal = %d, want %d or %d", got, o.preMutex[s], script[s].mutexVal)
+		}
+	default:
+		if got != o.preMutex[min(s, len(o.preMutex)-1)] {
+			return fmt.Errorf("journal = %d, want %d", got, o.preMutex[min(s, len(o.preMutex)-1)])
+		}
+	}
+	return nil
+}
+
+func stepLabel(k stepKind) string {
+	switch k {
+	case stepAbort:
+		return "abort"
+	case stepHousekeep:
+		return "housekeeping"
+	default:
+		return "commit"
+	}
+}
+
+func statesEqual(a, b counterState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func finalState(o *oracle, script []scriptStep) counterState {
+	if len(script) == 0 {
+		return o.zero
+	}
+	return o.post[len(script)-1]
+}
+
+// --- the sweep ---------------------------------------------------------
+
+// maxRecoveryProbe bounds the double-crash probe loop per crash point;
+// recoveries of these small scripted histories perform far fewer writes
+// than this, so hitting the cap means the probe failed to terminate and
+// is itself a bug.
+const maxRecoveryProbe = 400
+
+// Sweep runs the exhaustive crash-point sweep described in the package
+// comment for one configuration. It returns a *SweepError naming the
+// failing (backend, seed, crash schedule) triple on the first property
+// violation.
+func Sweep(cfg SweepConfig) (SweepResult, error) {
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 512
+	}
+	var res SweepResult
+	script := buildScript(cfg)
+	o := buildOracle(script)
+
+	fail := func(crashes []int, step int, err error) error {
+		return &SweepError{
+			Backend: cfg.Backend, Seed: cfg.Seed, Decay: cfg.Decay,
+			Crashes: append([]int(nil), crashes...), Step: step, Err: err,
+		}
+	}
+
+	// Counting run: no crash, just tally W device writes.
+	countVol := stablelog.NewMemVolume(cfg.BlockSize)
+	countVol.ArmGlobalCrashAtWrite(0)
+	s, g, err := executeScript(countVol, cfg, script)
+	if err != nil {
+		return res, fail(nil, s, err)
+	}
+	if s != len(script) || g == nil {
+		return res, fail(nil, s, fmt.Errorf("unarmed history did not complete (stopped at step %d)", s))
+	}
+	if err := verifyRecovered(g, cfg, script, o, s, false); err != nil {
+		return res, fail(nil, s, err)
+	}
+	res.Writes = countVol.GlobalWrites()
+
+	// replay runs the history on a fresh volume with a crash armed at
+	// write k, returning the volume and the interrupted step.
+	replay := func(k int) (*stablelog.MemVolume, int, error) {
+		vol := stablelog.NewMemVolume(cfg.BlockSize)
+		vol.ArmGlobalCrashAtWrite(k)
+		s, _, err := executeScript(vol, cfg, script)
+		return vol, s, err
+	}
+
+	for k := 1; k <= res.Writes; k++ {
+		// Depth 1: crash at history write k, recover undisturbed.
+		vol, s, err := replay(k)
+		if err != nil {
+			return res, fail([]int{k}, s, err)
+		}
+		if s == len(script) {
+			// The crash never fired (k beyond this replay's writes —
+			// possible only if replays diverge; still verify).
+			res.Points++
+			continue
+		}
+		g, fired, noSite, err := recoverOnce(vol, cfg, 0, true)
+		res.Recoveries++
+		if err != nil {
+			return res, fail([]int{k}, s, err)
+		}
+		if fired {
+			return res, fail([]int{k}, s, fmt.Errorf("unarmed recovery reported a crash"))
+		}
+		if err := verifyRecovered(g, cfg, script, o, s, noSite); err != nil {
+			return res, fail([]int{k}, s, err)
+		}
+		res.Points++
+		if res.Deepest < 1 {
+			res.Deepest = 1
+		}
+
+		// Depth 2 and 3: crash the recovery at each of its writes m;
+		// when that fires, crash the next recovery at its first write,
+		// then recover undisturbed and verify.
+		for m := 1; ; m++ {
+			if m > maxRecoveryProbe {
+				return res, fail([]int{k, m}, s, fmt.Errorf("recovery crash probe did not terminate"))
+			}
+			vol, s2, err := replay(k)
+			if err != nil {
+				return res, fail([]int{k}, s2, err)
+			}
+			if s2 == len(script) {
+				break
+			}
+			g, fired, noSite, err := recoverOnce(vol, cfg, m, true)
+			res.Recoveries++
+			if err != nil {
+				return res, fail([]int{k, m}, s2, err)
+			}
+			if !fired {
+				// Recovery finished before reaching write m: the probe
+				// has covered every recovery write. Verify and stop.
+				if err := verifyRecovered(g, cfg, script, o, s2, noSite); err != nil {
+					return res, fail([]int{k, m}, s2, err)
+				}
+				res.Points++
+				break
+			}
+			// Triple crash: interrupt the second recovery at its first
+			// write, then let a final recovery run to completion.
+			depth := 2
+			g, fired, noSite, err = recoverOnce(vol, cfg, 1, false)
+			res.Recoveries++
+			if err != nil {
+				return res, fail([]int{k, m, 1}, s2, err)
+			}
+			if fired {
+				depth = 3
+				g, fired, noSite, err = recoverOnce(vol, cfg, 0, false)
+				res.Recoveries++
+				if err != nil {
+					return res, fail([]int{k, m, 1}, s2, err)
+				}
+				if fired {
+					return res, fail([]int{k, m, 1}, s2, fmt.Errorf("unarmed recovery reported a crash"))
+				}
+			}
+			if err := verifyRecovered(g, cfg, script, o, s2, noSite); err != nil {
+				return res, fail([]int{k, m, 1}, s2, err)
+			}
+			res.Points++
+			if res.Deepest < depth {
+				res.Deepest = depth
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package crashtest
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSweepAllBackends runs the exhaustive crash-point sweep — every
+// device write of the scripted history, every write of the recovery
+// that follows (double crash), and a triple-crash probe at each of
+// those — for all three backends.
+func TestSweepAllBackends(t *testing.T) {
+	for _, b := range []core.Backend{core.BackendSimple, core.BackendHybrid, core.BackendShadow} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			res, err := Sweep(SweepConfig{Backend: b, Seed: 1, Steps: 3, Mutex: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Writes == 0 || res.Points <= res.Writes {
+				t.Fatalf("degenerate sweep: %+v", res)
+			}
+			if res.Deepest < 3 {
+				t.Fatalf("no triple crash exercised: %+v", res)
+			}
+		})
+	}
+}
+
+// TestSweepHousekeeping sweeps a hybrid history that interleaves
+// compaction and snapshot passes, so crash points land inside
+// housekeeping (including the atomic log switch) too.
+func TestSweepHousekeeping(t *testing.T) {
+	res, err := Sweep(SweepConfig{
+		Backend: core.BackendHybrid, Seed: 3, Steps: 4, Mutex: true, Housekeep: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes == 0 {
+		t.Fatalf("degenerate sweep: %+v", res)
+	}
+}
+
+// TestSweepMultipleSeeds varies the scripted history.
+func TestSweepMultipleSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep skipped in -short mode")
+	}
+	for _, b := range []core.Backend{core.BackendSimple, core.BackendHybrid, core.BackendShadow} {
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := SweepConfig{Backend: b, Seed: seed, Steps: 4, Mutex: true, Housekeep: seed == 2}
+			if _, err := Sweep(cfg); err != nil {
+				t.Fatalf("%v seed %d: %v", b, seed, err)
+			}
+		}
+	}
+}
+
+// TestSweepErrorIdentifiesScenario: a SweepError must carry the full
+// replay coordinates (backend, seed, crash schedule) for roscrash to
+// print.
+func TestSweepErrorIdentifiesScenario(t *testing.T) {
+	e := &SweepError{
+		Backend: core.BackendHybrid, Seed: 42, Decay: DecayAlternate,
+		Crashes: []int{17, 3, 1}, Step: 2, Err: errors.New("boom"),
+	}
+	got := e.Error()
+	for _, want := range []string{"hybrid", "seed=42", "crashes=[17 3 1]", "alternate", "step=2", "boom"} {
+		if !contains(got, want) {
+			t.Fatalf("SweepError %q missing %q", got, want)
+		}
+	}
+	if !errors.Is(e, e.Err) {
+		t.Fatal("SweepError does not unwrap")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

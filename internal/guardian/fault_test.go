@@ -1,0 +1,163 @@
+package guardian
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stable"
+	"repro/internal/stablelog"
+	"repro/internal/value"
+)
+
+// commitTwice builds a guardian with a counter at 10, commits an
+// increment to 11, and crashes it.
+func commitTwice(t *testing.T, b core.Backend) *Guardian {
+	t.Helper()
+	g := mustGuardian(t, 1, b)
+	c := initCounter(t, g, 10)
+	a := g.Begin()
+	if err := a.Update(c, func(v value.Value) value.Value {
+		return v.(value.Int) + 1
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	g.Crash()
+	return g
+}
+
+// TestRecoveryWithWholeDeviceDecay decays every block of one device —
+// first side A, then side B — between a crash and the restart. Every
+// page still has its sibling copy, so recovery must succeed through
+// two-copy read-repair and restore the exact committed state. This is
+// the strongest single-failure read fault: it subsumes the decay of any
+// one copy of any single page.
+func TestRecoveryWithWholeDeviceDecay(t *testing.T) {
+	forBackends(t, func(t *testing.T, b core.Backend) {
+		for side := 0; side < 2; side++ {
+			g := commitTwice(t, b)
+			vol := g.Volume()
+			vol.Restart()
+			vol.EachDevicePair(func(label string, da, db *stable.MemDevice) {
+				dev := da
+				if side == 1 {
+					dev = db
+				}
+				for i := 0; i < dev.NumBlocks(); i++ {
+					dev.Decay(i)
+				}
+			})
+			g2, err := Open(g.ID(), vol, b)
+			if err != nil {
+				t.Fatalf("side %d: recovery under whole-device decay: %v", side, err)
+			}
+			if err := CheckRecovered(g2); err != nil {
+				t.Fatalf("side %d: %v", side, err)
+			}
+			if got := counterValue(t, g2); got != 11 {
+				t.Fatalf("side %d: counter = %d after decayed recovery, want 11", side, got)
+			}
+			// Recovery repaired the pairs: the same decay on the *other*
+			// side must now also be survivable.
+			g2.Crash()
+			vol.Restart()
+			vol.EachDevicePair(func(label string, da, db *stable.MemDevice) {
+				dev := db
+				if side == 1 {
+					dev = da
+				}
+				for i := 0; i < dev.NumBlocks(); i++ {
+					dev.Decay(i)
+				}
+			})
+			g3, err := Open(g.ID(), vol, b)
+			if err != nil {
+				t.Fatalf("side %d: second recovery after repair: %v", side, err)
+			}
+			if got := counterValue(t, g3); got != 11 {
+				t.Fatalf("side %d: counter = %d after second decayed recovery, want 11", side, got)
+			}
+		}
+	})
+}
+
+// TestRecoveryDetectsDoubleDecay decays BOTH copies of a live data page
+// of the current generation: committed state is genuinely gone, and
+// recovery must fail loudly with the data-loss classification — never
+// come up with silently wrong state.
+func TestRecoveryDetectsDoubleDecay(t *testing.T) {
+	forBackends(t, func(t *testing.T, b core.Backend) {
+		g := commitTwice(t, b)
+		vol := g.Volume()
+		vol.Restart()
+		vol.EachDevicePair(func(label string, da, db *stable.MemDevice) {
+			if label == "root" {
+				return
+			}
+			// Page 1 is the first data page of a log generation; with a
+			// two-commit history it holds live entries on every backend.
+			da.Decay(1)
+			db.Decay(1)
+		})
+		g2, err := Open(g.ID(), vol, b)
+		if err == nil {
+			// Permitted only if recovery still restored the exact
+			// committed state (e.g. the lost page was superseded).
+			if got := counterValue(t, g2); got != 11 {
+				t.Fatalf("silent corruption: counter = %d, want 11 or a loud failure", got)
+			}
+			return
+		}
+		if !errors.Is(err, stable.ErrDataLoss) {
+			t.Fatalf("double decay error = %v, want ErrDataLoss in the chain", err)
+		}
+	})
+}
+
+// TestRecoveryAfterRootEpochTear crashes the node on the epoch-page
+// write issued by Open itself, then recovers again: the root store must
+// be repaired before the epoch read-modify-write, and the second
+// recovery must both succeed and bump past the torn epoch.
+func TestRecoveryAfterRootEpochTear(t *testing.T) {
+	forBackends(t, func(t *testing.T, b core.Backend) {
+		g := commitTwice(t, b)
+		vol := g.Volume()
+		vol.Restart()
+		// Crash on the first device write of the restart: that is the
+		// epoch page's first copy (Open's root recovery reads only).
+		vol.ArmGlobalCrashAtWrite(1)
+		if _, err := Open(g.ID(), vol, b); !errors.Is(err, stable.ErrCrashed) {
+			t.Fatalf("armed open: err = %v, want ErrCrashed", err)
+		}
+		vol.Crash()
+		vol.Restart()
+		g2, err := Open(g.ID(), vol, b)
+		if err != nil {
+			t.Fatalf("recovery after epoch tear: %v", err)
+		}
+		if err := CheckRecovered(g2); err != nil {
+			t.Fatal(err)
+		}
+		if got := counterValue(t, g2); got != 11 {
+			t.Fatalf("counter = %d after epoch-tear recovery, want 11", got)
+		}
+	})
+}
+
+// TestOpenSiteErrNoSiteSurfaces: the sentinel for "no site was ever
+// durably created" must pass through guardian recovery unobscured, so a
+// crash harness can classify it.
+func TestOpenSiteErrNoSiteSurfaces(t *testing.T) {
+	vol := stablelog.NewMemVolume(512)
+	if _, err := vol.Root(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []core.Backend{core.BackendSimple, core.BackendHybrid} {
+		if _, err := Open(7, vol, b); !errors.Is(err, stablelog.ErrNoSite) {
+			t.Fatalf("%v: err = %v, want ErrNoSite", b, err)
+		}
+	}
+}

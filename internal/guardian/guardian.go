@@ -39,6 +39,11 @@ type Guardian struct {
 	uids    *ids.UIDGenerator
 	aids    *ids.ActionIDGenerator
 
+	// freshVars records that recovery found nothing on stable storage
+	// and registered the stable-variables object afresh, as New does; it
+	// is then legitimately absent from the AS until first logged.
+	freshVars bool
+
 	mu      sync.Mutex
 	live    map[ids.ActionID]*actionState
 	ct      map[ids.ActionID]simplelog.CoordInfo
@@ -237,9 +242,21 @@ func Restart(g *Guardian) (*Guardian, error) {
 // in-memory simulation or a reopened file volume. It is the §2.3
 // recovery operation at guardian granularity.
 func Open(id ids.GuardianID, vol stablelog.Volume, backend core.Backend) (*Guardian, error) {
-	epoch, err0 := bumpEpoch(vol)
+	// Repair the root store before anything reads or writes it: the
+	// crash may have interrupted a root-page write (generation pointer,
+	// epoch), leaving the pair divergent. bumpEpoch below does a
+	// read-modify-write of the epoch page and must see the repaired
+	// state, not race the torn copy.
+	root, err0 := vol.Root()
 	if err0 != nil {
 		return nil, err0
+	}
+	if err := root.Recover(); err != nil {
+		return nil, fmt.Errorf("guardian: root store unrecoverable: %w", err)
+	}
+	epoch, err0 := bumpEpoch(vol)
+	if err0 != nil {
+		return nil, fmt.Errorf("guardian: epoch bump failed: %w", err0)
 	}
 	ng := &Guardian{
 		id:      id,
@@ -269,7 +286,7 @@ func Open(id ids.GuardianID, vol stablelog.Volume, backend core.Backend) (*Guard
 		}
 	}
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("guardian: %v recovery: %w", backend, err)
 	}
 	ng.heap = rec.Heap
 	ng.pt = rec.PT
@@ -283,8 +300,12 @@ func Open(id ids.GuardianID, vol stablelog.Volume, backend core.Backend) (*Guard
 	ng.uids = ids.NewUIDGenerator(maxUID)
 	// A freshly created guardian that crashed before its first prepare
 	// has nothing on the log, not even the stable-variables object.
+	// Register it in volatile memory only, exactly as New does; it
+	// enters the AS with the first prepare that writes it, so it is
+	// legitimately absent from the AS until then (see CheckRecovered).
 	if _, ok := ng.heap.StableVars(); !ok {
 		ng.heap.Register(object.NewAtomic(ids.StableVarsUID, value.NewRecord(), ids.NoAction))
+		ng.freshVars = true
 	}
 	return ng, nil
 }
@@ -339,6 +360,13 @@ func CheckRecovered(g *Guardian) error {
 	as := g.rs.AS()
 	for _, uid := range reachable.UIDs() {
 		if !as.Contains(uid) {
+			// The stable-variables object exists from creation but is
+			// logged (and enters the AS) only with the first prepare; a
+			// guardian recovered from an empty log re-registers it
+			// volatile-only, as New does.
+			if g.freshVars && uid == ids.StableVarsUID {
+				continue
+			}
 			return fmt.Errorf("guardian: reachable %v missing from AS", uid)
 		}
 	}

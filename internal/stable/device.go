@@ -65,6 +65,56 @@ type FaultFunc func(block int) Fault
 // Next implements FaultPlan.
 func (f FaultFunc) Next(block int) Fault { return f(block) }
 
+// ReadFault is a fault-injection verdict for a single block read.
+type ReadFault uint8
+
+const (
+	// ReadFaultNone lets the read proceed normally.
+	ReadFaultNone ReadFault = iota
+	// ReadFaultTransient fails this read with ErrBadBlock while leaving
+	// the block intact: a soft read error that a retry (or the sibling
+	// copy) survives.
+	ReadFaultTransient
+	// ReadFaultDecay marks the block decayed: this and every later read
+	// return ErrBadBlock until the block is rewritten. It models media
+	// failure discovered on read.
+	ReadFaultDecay
+)
+
+// ReadFaultPlan extends a FaultPlan to the read path. A FaultPlan that
+// also implements ReadFaultPlan has NextRead called once per ReadBlock;
+// plans that do not implement it never fault reads. Keeping the read
+// plan per device lets tests diverge the two copies of a stable store
+// independently, which is what the two-copy protocol must survive.
+type ReadFaultPlan interface {
+	NextRead(block int) ReadFault
+}
+
+// ReadFaultFunc adapts a function to a write-silent ReadFaultPlan.
+type ReadFaultFunc func(block int) ReadFault
+
+// Next implements FaultPlan (never faults writes).
+func (f ReadFaultFunc) Next(int) Fault { return FaultNone }
+
+// NextRead implements ReadFaultPlan.
+func (f ReadFaultFunc) NextRead(block int) ReadFault { return f(block) }
+
+// ReadFaultAfter returns a plan that injects rf on the nth read
+// (1-based) and never faults writes. n <= 0 never faults.
+func ReadFaultAfter(n int, rf ReadFault) FaultPlan {
+	count := 0
+	return ReadFaultFunc(func(int) ReadFault {
+		if n <= 0 {
+			return ReadFaultNone
+		}
+		count++
+		if count == n {
+			return rf
+		}
+		return ReadFaultNone
+	})
+}
+
 // CrashAfter returns a FaultPlan that crashes the node on the nth write
 // (1-based) and never otherwise faults. n <= 0 never crashes.
 func CrashAfter(n int) FaultPlan {
@@ -107,6 +157,7 @@ type MemDevice struct {
 	crashed   bool
 	plan      FaultPlan
 	writes    int // total successful or torn writes, for statistics
+	reads     int // total read attempts, for statistics
 }
 
 // NewMemDevice returns an empty in-memory device with the given block
@@ -139,6 +190,29 @@ func (d *MemDevice) Writes() int {
 	return d.writes
 }
 
+// Reads returns how many block reads the device has served.
+func (d *MemDevice) Reads() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads
+}
+
+// SetPlan replaces the device's fault plan without touching the crashed
+// flag or block contents (unlike Restart). Harnesses use it to arm a
+// fault plan on a running device.
+func (d *MemDevice) SetPlan(plan FaultPlan) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.plan = plan
+}
+
+// Bad reports whether block i is currently torn or decayed.
+func (d *MemDevice) Bad(i int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bad[i]
+}
+
 // ReadBlock implements Device.
 func (d *MemDevice) ReadBlock(i int) ([]byte, error) {
 	d.mu.Lock()
@@ -148,6 +222,15 @@ func (d *MemDevice) ReadBlock(i int) ([]byte, error) {
 	}
 	if i < 0 || i >= len(d.blocks) {
 		return nil, fmt.Errorf("stable: block %d out of range [0,%d)", i, len(d.blocks))
+	}
+	d.reads++
+	if rp, ok := d.plan.(ReadFaultPlan); ok {
+		switch rp.NextRead(i) {
+		case ReadFaultTransient:
+			return nil, ErrBadBlock
+		case ReadFaultDecay:
+			d.bad[i] = true
+		}
 	}
 	if d.bad[i] {
 		return nil, ErrBadBlock

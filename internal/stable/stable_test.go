@@ -169,6 +169,21 @@ func TestStoreDoubleFailureIsDetected(t *testing.T) {
 	if _, err := s.ReadPage(0); !errors.Is(err, ErrBadBlock) {
 		t.Fatalf("double failure read err = %v, want ErrBadBlock", err)
 	}
+	// The loss is classified precisely, not as a generic bad block.
+	if _, err := s.ReadPage(0); !errors.Is(err, ErrDataLoss) {
+		t.Fatalf("double failure read err = %v, want ErrDataLoss", err)
+	}
+	// Scrub reports the loss and must not fabricate an empty page.
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Lost) != 1 || rep.Lost[0] != 0 {
+		t.Fatalf("scrub report = %+v, want page 0 lost", rep)
+	}
+	if _, err := s.ReadPage(0); !errors.Is(err, ErrDataLoss) {
+		t.Fatalf("read after scrub err = %v, want ErrDataLoss (loss must persist)", err)
+	}
 }
 
 // TestStoreAtomicWriteAcrossCrash enumerates every crash point inside

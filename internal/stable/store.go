@@ -2,10 +2,19 @@ package stable
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sync"
 )
+
+// ErrDataLoss is returned when both copies of a page are explicitly bad
+// (torn or decayed): the independence assumption of the two-copy
+// protocol was violated and the page's contents are gone. Callers must
+// surface this loudly — it is never acceptable to paper over it with an
+// empty page, which would silently corrupt committed state. It wraps
+// ErrBadBlock, so existing bad-block handling still matches.
+var ErrDataLoss = fmt.Errorf("stable: page lost on both devices: %w", ErrBadBlock)
 
 // pageHeaderSize is the per-copy on-disk overhead: 8-byte version,
 // 4-byte payload length, 4-byte CRC32 of (version, length, payload).
@@ -88,22 +97,40 @@ func decodePage(raw []byte) (uint64, []byte, bool) {
 	return version, out, true
 }
 
-// readCopy reads one copy of page i from dev; ok is false if the block
-// is missing, torn, or fails its checksum. A device error other than
-// ErrBadBlock (notably ErrCrashed) is returned as err.
-func readCopy(dev Device, i int) (version uint64, payload []byte, ok bool, err error) {
+// copyState classifies one device copy of a page.
+type copyState uint8
+
+const (
+	// copyGood: the block read back and passed its checksum.
+	copyGood copyState = iota
+	// copyBad: the device reported ErrBadBlock — the block was written
+	// but is torn or decayed.
+	copyBad
+	// copyBlank: the block is missing or holds no validly written page
+	// (all zeroes on a fresh device, or scribble that never carried a
+	// checksum). Distinct from copyBad: nothing was ever lost here.
+	copyBlank
+)
+
+// readCopy reads one copy of page i from dev and classifies it. A
+// device error other than ErrBadBlock (notably ErrCrashed) is returned
+// as err.
+func readCopy(dev Device, i int) (version uint64, payload []byte, st copyState, err error) {
 	raw, err := dev.ReadBlock(i)
 	if err != nil {
-		if err == ErrBadBlock {
-			return 0, nil, false, nil
+		if errors.Is(err, ErrBadBlock) {
+			return 0, nil, copyBad, nil
 		}
 		if i >= dev.NumBlocks() {
-			return 0, nil, false, nil
+			return 0, nil, copyBlank, nil
 		}
-		return 0, nil, false, err
+		return 0, nil, copyBlank, err
 	}
 	v, p, ok := decodePage(raw)
-	return v, p, ok, nil
+	if !ok {
+		return 0, nil, copyBlank, nil
+	}
+	return v, p, copyGood, nil
 }
 
 // ReadPage returns the payload of page i. It prefers the copy with the
@@ -122,27 +149,43 @@ func (s *Store) readPageLocked(i int) ([]byte, error) {
 	if i >= s.NumPages() {
 		return []byte{}, nil
 	}
-	va, pa, oka, err := readCopy(s.a, i)
+	va, pa, sa, err := readCopy(s.a, i)
 	if err != nil {
 		return nil, err
 	}
-	vb, pb, okb, err := readCopy(s.b, i)
+	vb, pb, sb, err := readCopy(s.b, i)
 	if err != nil {
 		return nil, err
 	}
 	switch {
-	case oka && okb:
+	case sa == copyGood && sb == copyGood:
 		if vb > va {
 			return pb, nil
 		}
 		return pa, nil
-	case oka:
+	case sa == copyGood:
+		// Read-repair: the read succeeded from one copy only. If the
+		// sibling is explicitly bad (torn or decayed), rewrite it from
+		// the survivor so a later failure of this copy cannot lose the
+		// page. Best-effort: the data in hand is returned regardless.
+		if sb == copyBad {
+			_ = s.b.WriteBlock(i, encodePage(s.b.BlockSize(), va, pa))
+		}
 		return pa, nil
-	case okb:
+	case sb == copyGood:
+		if sa == copyBad {
+			_ = s.a.WriteBlock(i, encodePage(s.a.BlockSize(), vb, pb))
+		}
 		return pb, nil
+	case sa == copyBad && sb == copyBad:
+		// Both copies were written and both are bad: the independence
+		// assumption was violated and the page is gone.
+		return nil, fmt.Errorf("stable: page %d: %w", i, ErrDataLoss)
 	default:
-		// Both copies bad: the independence assumption was violated.
-		return nil, fmt.Errorf("stable: page %d lost on both devices: %w", i, ErrBadBlock)
+		// No good copy but nothing durable was lost (a first write that
+		// never completed on either device, or a never-written page
+		// inside the extent).
+		return nil, fmt.Errorf("stable: page %d unreadable (never completely written): %w", i, ErrBadBlock)
 	}
 }
 
@@ -170,10 +213,10 @@ func (s *Store) nextVersionLocked(i int) uint64 {
 	if s.versions[i] == 0 {
 		// Cold cache: consult the devices so the stamp keeps rising
 		// across restarts.
-		if va, _, oka, err := readCopy(s.a, i); err == nil && oka && va > s.versions[i] {
+		if va, _, sa, err := readCopy(s.a, i); err == nil && sa == copyGood && va > s.versions[i] {
 			s.versions[i] = va
 		}
-		if vb, _, okb, err := readCopy(s.b, i); err == nil && okb && vb > s.versions[i] {
+		if vb, _, sb, err := readCopy(s.b, i); err == nil && sb == copyGood && vb > s.versions[i] {
 			s.versions[i] = vb
 		}
 	}
@@ -181,47 +224,89 @@ func (s *Store) nextVersionLocked(i int) uint64 {
 	return s.versions[i]
 }
 
-// Recover repairs every page pair after a crash: for each page, the
-// newer good copy is written over a bad or stale sibling. After Recover
-// returns, both copies of every page agree, restoring the invariant that
-// a later single-device failure cannot lose data. It is the Lampson-
-// Sturgis cleanup pass and must run before the store is used after a
-// restart.
-func (s *Store) Recover() error {
+// ScrubReport summarizes one scrub (read-repair) pass over a store.
+type ScrubReport struct {
+	// Pages is the number of page pairs examined.
+	Pages int
+	// Repaired lists pages where one copy was rewritten from its good
+	// sibling (bad, stale, or blank sibling healed).
+	Repaired []int
+	// Reset lists pages with no good copy and no evidence of durable
+	// data (a first write that crashed before either copy completed);
+	// they were reinitialized as never-written.
+	Reset []int
+	// Lost lists pages where both copies were explicitly bad: committed
+	// data is gone. The blocks are left bad so every later read fails
+	// with ErrDataLoss rather than serving fabricated contents.
+	Lost []int
+}
+
+// Scrub is the read-repair/salvager pass: every page pair is read and
+// divergent pairs are repaired by copying the newer good copy over its
+// sibling, which completes or rolls back an interrupted write and heals
+// single-copy decay. It is the Lampson-Sturgis cleanup pass; recovery
+// runs it before a store is used after a restart, and it is safe to run
+// at any quiescent point (an online salvager).
+//
+// Pages whose both copies are explicitly bad are reported in
+// ScrubReport.Lost and deliberately left bad: data loss must surface on
+// read, not be papered over. The error return is reserved for device
+// failures (notably ErrCrashed).
+func (s *Store) Scrub() (ScrubReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var rep ScrubReport
 	n := s.NumPages()
+	rep.Pages = n
 	for i := 0; i < n; i++ {
-		va, pa, oka, err := readCopy(s.a, i)
+		va, pa, sa, err := readCopy(s.a, i)
 		if err != nil {
-			return err
+			return rep, err
 		}
-		vb, pb, okb, err := readCopy(s.b, i)
+		vb, pb, sb, err := readCopy(s.b, i)
 		if err != nil {
-			return err
+			return rep, err
 		}
 		switch {
-		case oka && okb && va == vb:
+		case sa == copyGood && sb == copyGood && va == vb:
 			// Consistent.
-		case oka && (!okb || va > vb):
+		case sa == copyGood && (sb != copyGood || va > vb):
 			if err := s.b.WriteBlock(i, encodePage(s.b.BlockSize(), va, pa)); err != nil {
-				return err
+				return rep, err
 			}
-		case okb:
+			rep.Repaired = append(rep.Repaired, i)
+		case sb == copyGood:
 			if err := s.a.WriteBlock(i, encodePage(s.a.BlockSize(), vb, pb)); err != nil {
-				return err
+				return rep, err
 			}
+			rep.Repaired = append(rep.Repaired, i)
+		case sa == copyBad && sb == copyBad:
+			// Both copies written, both bad: double failure. Committed
+			// data is gone; leave the pair bad and report the loss.
+			rep.Lost = append(rep.Lost, i)
+			continue
 		default:
-			// Neither copy good. This can only happen for a page whose
-			// very first write crashed (no old value existed) or under
-			// double failure. Treat as never-written: rewrite empty.
+			// Neither copy good, at most one ever written (a first
+			// write that crashed mid-block, or single decay of a
+			// never-written page). No committed value existed:
+			// reinitialize as never-written. Order matters — rewrite
+			// the bad copy first. A crash during that write leaves the
+			// pair (bad, blank) again, and a crash during the second
+			// leaves one good copy (the ordinary repair case); writing
+			// the blank copy first could tear it and leave both copies
+			// bad, indistinguishable from genuine double loss.
 			empty := encodePage(s.a.BlockSize(), 1, nil)
-			if err := s.a.WriteBlock(i, empty); err != nil {
-				return err
+			first, second := s.a, s.b
+			if sb == copyBad {
+				first, second = s.b, s.a
 			}
-			if err := s.b.WriteBlock(i, empty); err != nil {
-				return err
+			if err := first.WriteBlock(i, empty); err != nil {
+				return rep, err
 			}
+			if err := second.WriteBlock(i, empty); err != nil {
+				return rep, err
+			}
+			rep.Reset = append(rep.Reset, i)
 		}
 		for i >= len(s.versions) {
 			s.versions = append(s.versions, 0)
@@ -232,5 +317,15 @@ func (s *Store) Recover() error {
 			s.versions[i] = vb
 		}
 	}
-	return nil
+	return rep, nil
+}
+
+// Recover repairs every page pair after a crash by running Scrub. After
+// Recover returns, both copies of every repairable page agree, restoring
+// the invariant that a later single-device failure cannot lose data.
+// Pages lost on both devices are left bad (reads return ErrDataLoss);
+// recovery above this layer decides whether such a page held live state.
+func (s *Store) Recover() error {
+	_, err := s.Scrub()
+	return err
 }

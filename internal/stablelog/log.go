@@ -99,10 +99,19 @@ func New(store *stable.Store) *Log {
 // end of every force — names the durable prefix, and anything beyond it
 // (including a torn tail from a crash mid-force) is discarded. The
 // store itself must already have been repaired (stable.Store.Recover).
+//
+// If the superblock itself is lost on both devices (double decay), the
+// log is salvaged instead: the superblock is redundant with the frame
+// chain, so a forward scan over the data pages rebuilds the durable
+// prefix frame by frame, stopping at the first torn or unreadable
+// frame, and rewrites the superblock.
 func Open(store *stable.Store) (*Log, error) {
 	l := New(store)
 	sb, err := store.ReadPage(superPage)
 	if err != nil {
+		if errors.Is(err, stable.ErrDataLoss) {
+			return salvageOpen(store)
+		}
 		return nil, err
 	}
 	if len(sb) < superSize {
@@ -130,6 +139,71 @@ func Open(store *stable.Store) (*Log, error) {
 			return nil, fmt.Errorf("stablelog: superblock names %d durable bytes but tail page is short", off)
 		}
 		copy(l.tailImg, img)
+	}
+	return l, nil
+}
+
+// salvageOpen rebuilds a log whose superblock is lost on both devices.
+// Frames are laid down contiguously from byte 0 of the first data page,
+// each self-describing (magic, lengths, CRC) and back-chained by the
+// previous frame's length, so the durable prefix is reconstructible by
+// a forward scan: accept frames while they validate, stop at the first
+// hole. A complete suffix whose superblock write was interrupted is
+// thereby resurrected — the crash-during-force ambiguity is resolved as
+// "the force happened", which is always safe (forces are not
+// acknowledged to clients until the superblock lands, and replaying a
+// complete unacknowledged suffix only adds entries the upper layer
+// wrote itself). The scan then heals the superblock.
+func salvageOpen(store *stable.Store) (*Log, error) {
+	l := New(store)
+	ps := uint64(l.pageSize)
+	limit := uint64(0)
+	if n := store.NumPages(); n > firstDataPage {
+		limit = uint64(n-firstDataPage) * ps
+	}
+	var (
+		off     uint64
+		prevLen uint32
+	)
+	l.nEntries = 0
+	for {
+		hdr, err := l.readDurable(off, frameHeaderSize, limit)
+		if err != nil || hdr == nil || hdr[0] != frameMagic {
+			break // hole, lost page, or end of extent: durable prefix ends here
+		}
+		plen := binary.LittleEndian.Uint32(hdr[1:5])
+		pl := binary.LittleEndian.Uint32(hdr[5:9])
+		crc := binary.LittleEndian.Uint32(hdr[9:13])
+		if pl != prevLen {
+			break // back-chain mismatch: stale bytes, not a live frame
+		}
+		payload, err := l.readDurable(off+frameHeaderSize, int(plen), limit)
+		if err != nil || payload == nil || frameCRC(plen, pl, payload) != crc {
+			break
+		}
+		l.lastLSN = LSN(off)
+		l.last = uint32(frameHeaderSize) + plen
+		prevLen = l.last
+		off += uint64(l.last)
+		l.nEntries++
+	}
+	l.durable = off
+	l.tail = off
+	l.forced = l.lastLSN
+	pageStart := off - off%ps
+	if off > pageStart {
+		img, err := l.readDurable(pageStart, int(off-pageStart), off)
+		if err != nil || img == nil {
+			return nil, fmt.Errorf("stablelog: salvage cannot reread tail page at %d: %v", pageStart, err)
+		}
+		copy(l.tailImg, img)
+	}
+	var sb [superSize]byte
+	binary.LittleEndian.PutUint64(sb[0:8], l.tail)
+	binary.LittleEndian.PutUint64(sb[8:16], uint64(l.lastLSN))
+	binary.LittleEndian.PutUint32(sb[16:20], l.last)
+	if err := store.WritePage(superPage, sb[:]); err != nil {
+		return nil, fmt.Errorf("stablelog: salvage cannot heal superblock: %w", err)
 	}
 	return l, nil
 }

@@ -1,0 +1,225 @@
+package stablelog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/stable"
+)
+
+// TestSalvageLostSuperblock: both copies of the superblock decay; Open
+// rebuilds the durable prefix from the frame chain and heals the
+// superblock, losing nothing.
+func TestSalvageLostSuperblock(t *testing.T) {
+	l, a, b := freshLog(t, 128)
+	var lsns []LSN
+	for i := 0; i < 10; i++ {
+		lsn, err := l.ForceWrite([]byte(fmt.Sprintf("entry-%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	top := l.Top()
+	a.Decay(superPage)
+	b.Decay(superPage)
+	l2 := reopen(t, a, b)
+	if l2.Top() != top {
+		t.Fatalf("salvaged Top = %v, want %v", l2.Top(), top)
+	}
+	if n := l2.Entries(); n != 10 {
+		t.Fatalf("salvaged log has %d entries, want 10", n)
+	}
+	for i, lsn := range lsns {
+		got, err := l2.Read(lsn)
+		if err != nil {
+			t.Fatalf("read %v after salvage: %v", lsn, err)
+		}
+		if want := fmt.Sprintf("entry-%02d", i); string(got) != want {
+			t.Fatalf("entry %d = %q, want %q", i, got, want)
+		}
+	}
+	// The superblock is healed: a third open must not need salvage.
+	if _, err := l2.store.ReadPage(superPage); err != nil {
+		t.Fatalf("superblock not healed: %v", err)
+	}
+	// And the log accepts appends whose bytes land after the prefix.
+	lsn, err := l2.ForceWrite([]byte("post-salvage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l3 := reopen(t, a, b)
+	got, err := l3.Read(lsn)
+	if err != nil || string(got) != "post-salvage" {
+		t.Fatalf("post-salvage entry = %q, %v", got, err)
+	}
+}
+
+// TestSalvageEmptyLog: superblock loss on a log that was never forced
+// salvages to an empty log.
+func TestSalvageEmptyLog(t *testing.T) {
+	l, a, b := freshLog(t, 128)
+	if err := l.Force(); err != nil { // empty force writes nothing
+		t.Fatal(err)
+	}
+	a.Decay(superPage)
+	b.Decay(superPage)
+	// Force the store to know about page 0 on both devices.
+	l2 := reopen(t, a, b)
+	if l2.Top() != NoLSN || l2.Entries() != 0 {
+		t.Fatalf("salvaged empty log: top %v entries %d", l2.Top(), l2.Entries())
+	}
+}
+
+// TestSalvageStopsAtLostDataPage: when a data page inside the durable
+// region is lost on both devices, salvage keeps the intact prefix and
+// truncates there rather than failing or fabricating entries.
+func TestSalvageStopsAtLostDataPage(t *testing.T) {
+	l, a, b := freshLog(t, 64)
+	// Enough entries to span several data pages (page payload 64-16=48).
+	var lsns []LSN
+	for i := 0; i < 12; i++ {
+		lsn, err := l.ForceWrite(bytes.Repeat([]byte{byte('a' + i)}, 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	a.Decay(superPage)
+	b.Decay(superPage)
+	const lostPage = firstDataPage + 2
+	a.Decay(lostPage)
+	b.Decay(lostPage)
+	l2 := reopen(t, a, b)
+	// Every salvaged entry must precede the lost page.
+	cut := uint64(lostPage-firstDataPage) * uint64(l2.pageSize)
+	if l2.tail > cut {
+		t.Fatalf("salvage kept %d bytes past lost page boundary %d", l2.tail, cut)
+	}
+	n := l2.Entries()
+	if n == 0 || n >= 12 {
+		t.Fatalf("salvage kept %d entries, want a proper nonempty prefix of 12", n)
+	}
+	for i := 0; i < n; i++ {
+		got, err := l2.Read(lsns[i])
+		if err != nil {
+			t.Fatalf("prefix entry %d unreadable after salvage: %v", i, err)
+		}
+		if !bytes.Equal(got, bytes.Repeat([]byte{byte('a' + i)}, 20)) {
+			t.Fatalf("prefix entry %d corrupted", i)
+		}
+	}
+}
+
+// TestOpenSiteNoSite: a volume that never completed CreateSite reports
+// ErrNoSite, distinguishable from corruption.
+func TestOpenSiteNoSite(t *testing.T) {
+	vol := NewMemVolume(128)
+	if _, err := vol.Root(); err != nil { // allocate the root pair only
+		t.Fatal(err)
+	}
+	if _, err := OpenSite(vol); !errors.Is(err, ErrNoSite) {
+		t.Fatalf("OpenSite on siteless volume: err = %v, want ErrNoSite", err)
+	}
+}
+
+// TestGlobalCrashArming: the volume-wide counter sees every device
+// write (two per page) and an armed crash stops the node at exactly
+// that write.
+func TestGlobalCrashArming(t *testing.T) {
+	vol := NewMemVolume(128)
+	vol.ArmGlobalCrashAtWrite(0) // count only
+	site, err := CreateSite(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := site.Log().ForceWrite([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	w := vol.GlobalWrites()
+	// CreateSite writes the root gen pointer (2 device writes); the
+	// force writes one data page and the superblock (4 device writes).
+	if w != 6 {
+		t.Fatalf("GlobalWrites = %d, want 6", w)
+	}
+	if vol.GlobalCrashFired() {
+		t.Fatal("counter-only plan fired a crash")
+	}
+	// Replay on a fresh volume, crashing at the very last write.
+	vol2 := NewMemVolume(128)
+	vol2.ArmGlobalCrashAtWrite(w)
+	site2, err := CreateSite(vol2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = site2.Log().ForceWrite([]byte("x"))
+	if !errors.Is(err, stable.ErrCrashed) {
+		t.Fatalf("armed write: err = %v, want ErrCrashed", err)
+	}
+	if !vol2.GlobalCrashFired() {
+		t.Fatal("armed crash did not report fired")
+	}
+	// Write w is the superblock's second copy: the first completed, so
+	// recovery rolls the force forward and the entry survives.
+	vol2.Crash()
+	vol2.Restart()
+	site3, err := OpenSite(vol2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site3.Log().Top() != LSN(0) {
+		t.Fatalf("crash on second superblock copy: top %v, want L0 (roll forward)", site3.Log().Top())
+	}
+	if got, err := site3.Log().Read(LSN(0)); err != nil || string(got) != "x" {
+		t.Fatalf("rolled-forward entry = %q, %v", got, err)
+	}
+
+	// Crash one write earlier — the superblock's first copy tears, no
+	// copy completed — and recovery rolls the force back: entry gone.
+	vol3 := NewMemVolume(128)
+	vol3.ArmGlobalCrashAtWrite(w - 1)
+	site4, err := CreateSite(vol3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := site4.Log().ForceWrite([]byte("x")); !errors.Is(err, stable.ErrCrashed) {
+		t.Fatalf("armed write: err = %v, want ErrCrashed", err)
+	}
+	vol3.Crash()
+	vol3.Restart()
+	site5, err := OpenSite(vol3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site5.Log().Top() != NoLSN {
+		t.Fatalf("crash before any superblock copy: top %v, want none (roll back)", site5.Log().Top())
+	}
+}
+
+// TestEachDevicePairOrder: deterministic enumeration, root first then
+// generations ascending.
+func TestEachDevicePairOrder(t *testing.T) {
+	vol := NewMemVolume(128)
+	if _, err := CreateSite(vol); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vol.Generation(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vol.Generation(2); err != nil {
+		t.Fatal(err)
+	}
+	var labels []string
+	vol.EachDevicePair(func(label string, a, b *stable.MemDevice) {
+		if a == nil || b == nil {
+			t.Fatalf("nil device for %s", label)
+		}
+		labels = append(labels, label)
+	})
+	want := []string{"root", "gen1", "gen2", "gen3"}
+	if fmt.Sprint(labels) != fmt.Sprint(want) {
+		t.Fatalf("EachDevicePair order = %v, want %v", labels, want)
+	}
+}

@@ -2,11 +2,20 @@ package stablelog
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/stable"
 )
+
+// ErrNoSite is returned by OpenSite when the volume's root generation
+// pointer is empty: no site was ever durably created here (or it was
+// destroyed). A crash between allocating a volume and CreateSite's root
+// write lands in this state; callers treat it as "start from scratch",
+// not as corruption.
+var ErrNoSite = errors.New("stablelog: no site on volume")
 
 // Volume supplies the stable stores backing one guardian's logs. A
 // volume outlives crashes: after a node crash the same volume is handed
@@ -34,6 +43,36 @@ type MemVolume struct {
 	genStores map[uint64]*stable.Store
 	crashed   bool
 	plan      stable.FaultPlan // applied to device A of every generation
+	global    *globalPlan      // volume-wide write counter / crash trigger
+}
+
+// globalPlan is a FaultPlan shared by every device of a volume: it
+// counts block writes across the whole node (root pair plus both copies
+// of every generation) and crashes the node at an armed write number.
+// With crashAt 0 it only counts, which is how a sweep measures the
+// total write count of a scripted history before replaying it.
+type globalPlan struct {
+	mu      sync.Mutex
+	writes  int
+	crashAt int
+	fired   bool
+}
+
+func (g *globalPlan) Next(int) stable.Fault {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.writes++
+	if g.crashAt > 0 && g.writes >= g.crashAt {
+		g.fired = true
+		return stable.FaultCrash
+	}
+	return stable.FaultNone
+}
+
+func (g *globalPlan) snapshot() (writes int, fired bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.writes, g.fired
 }
 
 // NewMemVolume returns an empty volume whose devices use the given block
@@ -63,6 +102,10 @@ func (v *MemVolume) Root() (*stable.Store, error) {
 	if v.root[0] == nil {
 		v.root[0] = stable.NewMemDevice(v.blockSize, nil)
 		v.root[1] = stable.NewMemDevice(v.blockSize, nil)
+		if v.global != nil {
+			v.root[0].SetPlan(v.global)
+			v.root[1].SetPlan(v.global)
+		}
 	}
 	if v.rootStore == nil {
 		s, err := stable.NewStore(v.root[0], v.root[1])
@@ -86,6 +129,10 @@ func (v *MemVolume) Generation(gen uint64) (*stable.Store, error) {
 		pair = [2]*stable.MemDevice{
 			stable.NewMemDevice(v.blockSize, v.plan),
 			stable.NewMemDevice(v.blockSize, nil),
+		}
+		if v.global != nil {
+			pair[0].SetPlan(v.global)
+			pair[1].SetPlan(v.global)
 		}
 		v.gens[gen] = pair
 	}
@@ -135,6 +182,78 @@ func (v *MemVolume) ArmCrashAfterWrites(n int) {
 	v.plan = shared
 }
 
+// ArmGlobalCrashAtWrite installs a node-wide fault plan on every device
+// of the volume — the root pair and both copies of every generation,
+// existing and created later — that counts block writes and crashes the
+// node on write number n (and every write after, so nothing slips out
+// between the trigger and the harness noticing). n == 0 arms a pure
+// counter: the sweep runs the scripted history once with n == 0 to
+// learn the total write count W, then replays it W times crashing at
+// each k in 1..W.
+func (v *MemVolume) ArmGlobalCrashAtWrite(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.global = &globalPlan{crashAt: n}
+	if v.root[0] != nil {
+		v.root[0].SetPlan(v.global)
+		v.root[1].SetPlan(v.global)
+	}
+	for _, pair := range v.gens {
+		pair[0].SetPlan(v.global)
+		pair[1].SetPlan(v.global)
+	}
+}
+
+// GlobalWrites returns the number of device block writes counted by the
+// plan installed with ArmGlobalCrashAtWrite (0 if never armed).
+func (v *MemVolume) GlobalWrites() int {
+	v.mu.Lock()
+	g := v.global
+	v.mu.Unlock()
+	if g == nil {
+		return 0
+	}
+	w, _ := g.snapshot()
+	return w
+}
+
+// GlobalCrashFired reports whether the armed global crash triggered.
+func (v *MemVolume) GlobalCrashFired() bool {
+	v.mu.Lock()
+	g := v.global
+	v.mu.Unlock()
+	if g == nil {
+		return false
+	}
+	_, fired := g.snapshot()
+	return fired
+}
+
+// EachDevicePair calls f for every device pair of the volume in a
+// deterministic order (root first, then generations ascending). Fault
+// sweeps use it to inject decay on chosen copies between a crash and
+// the subsequent recovery.
+func (v *MemVolume) EachDevicePair(f func(label string, a, b *stable.MemDevice)) {
+	v.mu.Lock()
+	root := v.root
+	gens := make([]uint64, 0, len(v.gens))
+	for g := range v.gens {
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	pairs := make([][2]*stable.MemDevice, len(gens))
+	for i, g := range gens {
+		pairs[i] = v.gens[g]
+	}
+	v.mu.Unlock()
+	if root[0] != nil {
+		f("root", root[0], root[1])
+	}
+	for i, g := range gens {
+		f(fmt.Sprintf("gen%d", g), pairs[i][0], pairs[i][1])
+	}
+}
+
 // Crash takes every device of the volume down, losing all volatile
 // state layered above. Stable contents persist.
 func (v *MemVolume) Crash() {
@@ -165,6 +284,7 @@ func (v *MemVolume) Restart() {
 		pair[1].Restart(nil)
 	}
 	v.plan = nil
+	v.global = nil
 	// Drop cached Store wrappers: a reboot starts from the devices.
 	v.rootStore = nil
 	v.genStores = make(map[uint64]*stable.Store)
@@ -239,6 +359,9 @@ func readGen(root *stable.Store) (uint64, error) {
 	p, err := root.ReadPage(0)
 	if err != nil {
 		return 0, err
+	}
+	if len(p) == 0 {
+		return 0, ErrNoSite
 	}
 	if len(p) < 8 {
 		return 0, fmt.Errorf("stablelog: root page corrupt (len %d)", len(p))
