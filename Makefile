@@ -1,14 +1,25 @@
 # Reliable Object Storage — development targets.
 
 GO ?= go
+# Extra flags for the soak runs, e.g. `make soak RACE=1` or
+# `make soak GOFLAGS=-count=1`.
+RACE ?=
+SOAKFLAGS := $(GOFLAGS) $(if $(RACE),-race)
 
-.PHONY: all build test race cover bench bench-save fuzz soak examples tables figures clean
+.PHONY: all build test race cover bench bench-save fuzz lint soak examples tables figures clean
 
-all: build test
+all: lint build test
 
 build:
 	$(GO) build ./...
+
+# Static checks: go vet plus the repository's own analyzers
+# (cmd/roslint), which enforce the thesis's recovery invariants —
+# forced outcome entries, observed I/O errors, sweep determinism,
+# wrap-safe sentinel comparisons, and mutex discipline.
+lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/roslint ./...
 
 test:
 	$(GO) test ./...
@@ -38,8 +49,8 @@ fuzz:
 # (single-node + distributed), then the exhaustive crash-point sweep
 # with read-path decay.
 soak:
-	$(GO) run ./cmd/roscrash -steps 2000 -seeds 5
-	$(GO) run ./cmd/roscrash -sweep -seeds 5 -sweep-steps 4
+	$(GO) run $(SOAKFLAGS) ./cmd/roscrash -steps 2000 -seeds 5
+	$(GO) run $(SOAKFLAGS) ./cmd/roscrash -sweep -seeds 5 -sweep-steps 4
 
 examples:
 	$(GO) run ./examples/quickstart

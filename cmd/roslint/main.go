@@ -1,0 +1,87 @@
+// Command roslint runs the repository's custom static checks — the
+// thesis's recovery invariants, enforced at build time:
+//
+//	forcebarrier    outcome log entries are forced, never buffered (§3.1/§4.1)
+//	ioerrcheck      stable-storage / log / network / 2PC errors are observed
+//	determinism     the crash-sweep's packages stay replayable per seed
+//	errsentinel     wrapped sentinels compared with errors.Is/As, not ==
+//	lockdiscipline  mutexes released on every path; no reentrant self-calls;
+//	                no raw device I/O under the log mutex
+//
+// Usage:
+//
+//	roslint [packages]
+//
+// with go-style package patterns (default ./...). Findings print as
+//
+//	path:line:col: [analyzer] message
+//
+// and a deliberate exception is annotated in the source with
+//
+//	//roslint:<directive> <justification>
+//
+// on the flagged line or the line above. Justifications are mandatory,
+// unused exemptions are themselves findings, and unknown directive
+// names are rejected, so annotations cannot rot. Exits 1 if anything
+// is found.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/errsentinel"
+	"repro/internal/analysis/forcebarrier"
+	"repro/internal/analysis/ioerrcheck"
+	"repro/internal/analysis/lockdiscipline"
+)
+
+// analyzers is the multichecker's fixed suite.
+var analyzers = []*analysis.Analyzer{
+	forcebarrier.Analyzer,
+	ioerrcheck.Analyzer,
+	determinism.Analyzer,
+	errsentinel.Analyzer,
+	lockdiscipline.Analyzer,
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "roslint: %v\n", err)
+		os.Exit(2)
+	}
+
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Directive] = true
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		diags = append(diags, analysis.UnknownDirectives(pkg, known)...)
+		for _, a := range analyzers {
+			ds, err := analysis.RunPass(a, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "roslint: %v\n", err)
+				os.Exit(2)
+			}
+			diags = append(diags, ds...)
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "roslint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}

@@ -79,6 +79,7 @@ func die(err error) {
 func dumpDir(path, format string) {
 	vol, err := stablelog.NewFileVolume(path, 512, false)
 	die(err)
+	//roslint:besteffort read-only dump tool exiting right after; Close releases descriptors only
 	defer vol.Close()
 	site, err := stablelog.OpenSite(vol)
 	die(err)

@@ -25,6 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//roslint:besteffort every durable write was already fsynced by ForceWrite; Close releases descriptors only
 	defer vol.Close()
 
 	var g *ros.Guardian

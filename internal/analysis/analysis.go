@@ -1,0 +1,286 @@
+// Package analysis is a self-contained reimplementation of the core of
+// golang.org/x/tools/go/analysis, built only on the standard library so
+// the repository carries no external dependencies. It exists to host
+// the roslint analyzers (cmd/roslint): custom static checks that
+// enforce the thesis's recovery invariants — rules like "outcome
+// entries are forced, never buffered" (§3.1/§4.1) and "stable-storage
+// errors are never silently dropped" (the Lampson–Sturgis fail-stop
+// model only holds if every bad read/write is observed) — at compile
+// time rather than in reviewers' heads.
+//
+// The shape mirrors go/analysis deliberately: an Analyzer holds a Run
+// function over a Pass, the Pass exposes the package's syntax and type
+// information and a Report sink, and testdata packages are checked with
+// "// want" comments (package analysistest). What is intentionally
+// simpler: analyzers run over non-test files of whole packages (no
+// SSA, no facts, no modular analysis), and packages are loaded with
+// export data produced by `go list -export` (package load.go) instead
+// of go/packages.
+//
+// # Exemption directives
+//
+// Every analyzer names a directive; a finding is suppressed by a
+// comment of the form
+//
+//	//roslint:<directive> <justification>
+//
+// placed on the flagged line or alone on the line immediately above.
+// The justification is mandatory — the analyzers verify it — and an
+// exemption that suppresses nothing is itself reported, so stale
+// annotations cannot accumulate. The directive names in use:
+//
+//	forcebarrier   //roslint:unforced
+//	ioerrcheck     //roslint:besteffort
+//	determinism    //roslint:nondet
+//	errsentinel    //roslint:exacterr
+//	lockdiscipline //roslint:lockorder
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (lowercase, one word).
+	Name string
+	// Doc is the analyzer's help text; the first line is a summary.
+	Doc string
+	// Directive is the //roslint:<Directive> annotation that exempts a
+	// finding of this analyzer (with a mandatory justification).
+	Directive string
+	// Run applies the check to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags      []Diagnostic
+	directives []*directive
+}
+
+// directive is one parsed //roslint:<name> comment.
+type directive struct {
+	pos    token.Pos
+	line   int    // line the comment appears on
+	file   string // file name
+	name   string
+	reason string
+	used   bool
+}
+
+var directiveRE = regexp.MustCompile(`^//roslint:([a-z]+)(?:[ \t]+(.*))?$`)
+
+// newPass builds a pass and scans the package's comments for this
+// analyzer's directives.
+func newPass(a *Analyzer, pkg *Package) *Pass {
+	p := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil || m[1] != a.Directive {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				p.directives = append(p.directives, &directive{
+					pos:    c.Pos(),
+					line:   pos.Line,
+					file:   pos.Filename,
+					name:   m[1],
+					reason: strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return p
+}
+
+// Reportf records a finding at pos unless an exemption directive covers
+// it. An exemption covers a finding when it sits on the same line or
+// alone on the line immediately above.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	for _, d := range p.directives {
+		if d.file != position.Filename {
+			continue
+		}
+		if d.line == position.Line || d.line == position.Line-1 {
+			d.used = true
+			return
+		}
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// finish appends the directive-hygiene findings: an exemption with no
+// justification, and an exemption that suppressed nothing.
+func (p *Pass) finish() {
+	for _, d := range p.directives {
+		if d.used && d.reason == "" {
+			p.diags = append(p.diags, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: p.Analyzer.Name,
+				Message:  fmt.Sprintf("//roslint:%s needs a justification (say why the exemption is safe)", d.name),
+			})
+		}
+		if !d.used {
+			p.diags = append(p.diags, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: p.Analyzer.Name,
+				Message:  fmt.Sprintf("unused //roslint:%s exemption (nothing here triggers %s)", d.name, p.Analyzer.Name),
+			})
+		}
+	}
+}
+
+// RunPass applies one analyzer to one loaded package and returns its
+// findings sorted by position.
+func RunPass(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	p := newPass(a, pkg)
+	if err := a.Run(p); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	p.finish()
+	sort.Slice(p.diags, func(i, j int) bool { return p.diags[i].Pos < p.diags[j].Pos })
+	return p.diags, nil
+}
+
+// UnknownDirectives scans a package for //roslint: comments whose name
+// is not in known — typos would otherwise silently exempt nothing (or
+// worse, be believed to). The driver calls this once per package.
+func UnknownDirectives(pkg *Package, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//roslint:") {
+					continue
+				}
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					out = append(out, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "roslint",
+						Message:  fmt.Sprintf("malformed roslint directive %q", c.Text),
+					})
+					continue
+				}
+				if !known[m[1]] {
+					out = append(out, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "roslint",
+						Message:  fmt.Sprintf("unknown roslint directive %q (known: %s)", m[1], knownNames(known)),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func knownNames(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// TypeByName resolves a named type (package path + name) against the
+// imports visible to pkg, returning nil if the package or name is not
+// in the dependency graph. Analyzers use it to recognize, e.g.,
+// repro/internal/stable.Device without importing it.
+func TypeByName(pkg *types.Package, path, name string) types.Object {
+	if pkg.Path() == path {
+		return pkg.Scope().Lookup(name)
+	}
+	for _, imp := range allImports(pkg, map[*types.Package]bool{}) {
+		if imp.Path() == path {
+			return imp.Scope().Lookup(name)
+		}
+	}
+	return nil
+}
+
+func allImports(pkg *types.Package, seen map[*types.Package]bool) []*types.Package {
+	var out []*types.Package
+	for _, imp := range pkg.Imports() {
+		if seen[imp] {
+			continue
+		}
+		seen[imp] = true
+		out = append(out, imp)
+		out = append(out, allImports(imp, seen)...)
+	}
+	return out
+}
+
+// ReceiverNamed unwraps pointers and returns the named type of t, or
+// nil.
+func ReceiverNamed(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// IsMethodOf reports whether fn is a method whose receiver is the named
+// type pkgPath.typeName (pointer or value receiver).
+func IsMethodOf(fn *types.Func, pkgPath, typeName string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := ReceiverNamed(sig.Recv().Type())
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == typeName
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes (method
+// or package function), or nil for indirect calls.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

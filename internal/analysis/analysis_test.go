@@ -1,0 +1,78 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// testAnalyzer flags every call to a function literally named "flagme".
+var testAnalyzer = &analysis.Analyzer{
+	Name:      "testcheck",
+	Doc:       "flags calls to flagme",
+	Directive: "testdir",
+	Run: func(p *analysis.Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+						p.Reportf(call.Pos(), "flagme called")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func loadHygiene(t *testing.T) *analysis.Package {
+	t.Helper()
+	pkgs, err := analysis.Load(".", "./testdata/src/hygiene")
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	return pkgs[0]
+}
+
+func TestDirectiveHygiene(t *testing.T) {
+	pkg := loadHygiene(t)
+	diags, err := analysis.RunPass(testAnalyzer, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In position order: the unsuppressed call in flagged(), the
+	// missing justification in bare(), the unused exemption in stale().
+	// The call in typoed() is NOT suppressed by the misspelled
+	// directive, so it is reported too.
+	want := []string{
+		"flagme called",
+		"needs a justification",
+		"unused //roslint:testdir exemption",
+		"flagme called",
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d: %+v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		if !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diag %d = %q, want it to contain %q", i, diags[i].Message, w)
+		}
+	}
+}
+
+func TestUnknownDirectives(t *testing.T) {
+	pkg := loadHygiene(t)
+	diags := analysis.UnknownDirectives(pkg, map[string]bool{"testdir": true})
+	if len(diags) != 1 {
+		t.Fatalf("got %d unknown-directive diagnostics, want 1: %+v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, `unknown roslint directive "tpyo"`) {
+		t.Errorf("unexpected message %q", diags[0].Message)
+	}
+}

@@ -1,0 +1,133 @@
+// Package analysistest runs an analyzer over testdata packages and
+// checks its findings against "// want" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repository's own
+// loader.
+//
+// A test package lives in testdata/src/<name>/ next to the analyzer's
+// test. Lines expected to be flagged carry a comment of the form
+//
+//	x() // want `regexp`
+//
+// with one quoted Go string (backquoted or double-quoted) per expected
+// diagnostic on that line. Every diagnostic must match a want on its
+// line and every want must be matched — so each testdata package proves
+// both the true positives and the exemptions (a //roslint:-annotated
+// line with no want demonstrates suppression).
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// expectation is one "// want" entry.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+	raw  string
+}
+
+// Run loads each testdata/src/<pkg> package (resolved relative to the
+// calling test's directory), applies the analyzer, and reports
+// mismatches against the packages' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	_, callerFile, _, ok := runtime.Caller(1)
+	if !ok {
+		t.Fatal("analysistest: cannot locate caller")
+	}
+	dir := filepath.Dir(callerFile)
+	for _, name := range pkgs {
+		runOne(t, a, dir, name)
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, dir, name string) {
+	t.Helper()
+	pattern := "./" + filepath.ToSlash(filepath.Join("testdata", "src", name))
+	loaded, err := analysis.Load(dir, pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	for _, pkg := range loaded {
+		wants := collectWants(t, pkg)
+		diags, err := analysis.RunPass(a, pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if !claim(wants, pos, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.hit {
+				t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// pattern matches the message.
+func claim(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if w.hit || w.file != pos.Filename || w.line != pos.Line {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the "// want" comments of every file in pkg.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for rest := strings.TrimSpace(text); rest != ""; rest = strings.TrimSpace(rest) {
+					quoted, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+					}
+					pat, err := strconv.Unquote(quoted)
+					if err != nil {
+						t.Fatalf("%s: unquoting %q: %v", pos, quoted, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   re,
+						raw:  quoted,
+					})
+					rest = rest[len(quoted):]
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,145 @@
+// Package determinism forbids nondeterminism sources in the packages
+// the exhaustive crash-point sweep depends on.
+//
+// The sweep (internal/crashtest, PR 1) replays one scripted history,
+// counts its device writes, and crashes at every write index — a crash
+// *matrix* that is exhaustive only if the same seed always produces the
+// same write sequence. Wall-clock reads, the global (unseeded)
+// math/rand source, spawned goroutines, and map iteration feeding
+// output all break that: the same history would lay down different
+// bytes, or the same write index would land at a different protocol
+// point, and a failing scenario could not be replayed from its
+// reported schedule.
+//
+// The analyzer checks a fixed set of packages (the sweep, the guardian
+// and both log organizations it drives) for:
+//
+//   - calls to time.Now / Since / Until / Sleep / After / Tick /
+//     NewTimer / NewTicker,
+//   - calls to math/rand package-level functions other than the
+//     explicitly seeded constructors (New, NewSource, NewZipf),
+//   - go statements, and
+//   - range over a map.
+//
+// A map range whose effect is provably order-independent (installing
+// into another keyed structure, draining for membership) carries
+// //roslint:nondet with the justification; everything that feeds log
+// writes, message order, or reported lists is expected to be sorted
+// instead. The intentionally randomized soak driver (cmd/roscrash) is
+// allowlisted as a package.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the determinism analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "determinism",
+	Doc:       "the crash-sweep's packages must be deterministic: no wall clock, global rand, goroutines, or map-order dependence",
+	Directive: "nondet",
+	Run:       run,
+}
+
+// ScopedPackages are the packages the invariant covers: the crash
+// harness itself and every layer whose writes it counts and replays.
+var ScopedPackages = map[string]bool{
+	"repro/internal/crashtest": true,
+	"repro/internal/guardian":  true,
+	"repro/internal/simplelog": true,
+	"repro/internal/hybridlog": true,
+	"repro/cmd/roscrash":       true,
+}
+
+// AllowedPackages are scoped packages exempted wholesale: the soak
+// driver is *intentionally* randomized (it seeds from the flag-provided
+// seed but times its own progress output).
+var AllowedPackages = map[string]string{
+	"repro/cmd/roscrash": "intentionally randomized soak driver; determinism holds per -seed, wall clock only times progress output",
+}
+
+// seededConstructors are the math/rand entry points that take an
+// explicit source and are therefore reproducible.
+var seededConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// clockFuncs are the time package functions that read or depend on the
+// wall clock.
+var clockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !ScopedPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	if _, ok := AllowedPackages[pass.Pkg.Path()]; ok {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, node)
+			case *ast.GoStmt:
+				pass.Reportf(node.Pos(),
+					"goroutine spawned in a sweep-deterministic package; concurrent scheduling reorders device writes and breaks crash-point replay")
+			case *ast.RangeStmt:
+				checkRange(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	switch fn.Pkg().Path() {
+	case "time":
+		if sig.Recv() == nil && clockFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock in a sweep-deterministic package; the crash matrix requires identical runs per seed",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Methods on a *rand.Rand are fine — the source was seeded
+		// explicitly. Package-level functions use the shared global
+		// source.
+		if sig.Recv() == nil && !seededConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"rand.%s uses the global rand source in a sweep-deterministic package; use rand.New(rand.NewSource(seed))",
+				fn.Name())
+		}
+	}
+}
+
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order is nondeterministic; sort the keys if this feeds log writes, messages, or reported lists (or justify with //roslint:nondet)")
+}

@@ -1,0 +1,31 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+)
+
+const testdataPrefix = "repro/internal/analysis/determinism/testdata/src/"
+
+func TestDeterminism(t *testing.T) {
+	// The invariant is scoped by import path; put the testdata packages
+	// in scope the same way the real sweep packages are.
+	determinism.ScopedPackages[testdataPrefix+"a"] = true
+	determinism.ScopedPackages[testdataPrefix+"b"] = true
+	determinism.AllowedPackages[testdataPrefix+"b"] = "allowlisted like the soak driver"
+	defer func() {
+		delete(determinism.ScopedPackages, testdataPrefix+"a")
+		delete(determinism.ScopedPackages, testdataPrefix+"b")
+		delete(determinism.AllowedPackages, testdataPrefix+"b")
+	}()
+	analysistest.Run(t, determinism.Analyzer, "a", "b")
+}
+
+// TestOutOfScope checks that an unscoped package is ignored entirely:
+// package b reads the clock and the global rand, and nothing may be
+// reported when it is not in ScopedPackages.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "b")
+}

@@ -1,0 +1,65 @@
+// Package a exercises determinism: wall-clock reads, the global rand
+// source, goroutines, and map ranges are flagged in scoped packages;
+// seeded sources and justified order-independent ranges are not.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+}
+
+func global() int {
+	return rand.Int() // want `rand.Int uses the global rand source`
+}
+
+// Explicitly seeded sources are reproducible: not flagged.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int()
+}
+
+func spawn(ch chan int) {
+	go func() { ch <- 1 }() // want `goroutine spawned in a sweep-deterministic package`
+}
+
+func mapOrder(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `map iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Order-independent drain with a justification: suppressed.
+func count(m map[int]bool) int {
+	n := 0
+	//roslint:nondet order-independent: commutative count over values
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Ranging a slice is always ordered: not flagged.
+func slices(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// Durations are constants, not clock reads: not flagged.
+func budget(d time.Duration) bool {
+	return d > time.Second
+}

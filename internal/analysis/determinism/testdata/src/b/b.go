@@ -1,0 +1,12 @@
+// Package b is allowlisted wholesale (the soak-driver case): nothing
+// here is flagged even though it reads the clock and the global rand.
+package b
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() time.Duration {
+	return time.Duration(rand.Int63n(int64(time.Second))) + time.Since(time.Now())
+}

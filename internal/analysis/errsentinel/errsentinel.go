@@ -1,0 +1,155 @@
+// Package errsentinel flags sentinel-error comparisons that break under
+// wrapping.
+//
+// The repository's sentinels are routinely wrapped: stable.ErrDataLoss
+// itself wraps stable.ErrBadBlock, and every layer adds context with
+// %w (fmt.Errorf("stable: page %d: %w", ...)). Comparing such errors
+// with == or a type assertion silently stops matching the moment a
+// wrap is added in one cold path — exactly the class of "everyone
+// knows" recovery bug the suite exists to prevent. errors.Is and
+// errors.As follow the Unwrap chain and are the only comparisons that
+// stay correct.
+//
+// Flagged:
+//
+//   - err == ErrSentinel / err != ErrSentinel where one operand is a
+//     package-level error variable (nil comparisons are fine),
+//   - x.(SomeErrorType) type assertions and type switches on a value of
+//     type error.
+//
+// The rare site that must compare identity exactly (e.g. a test of the
+// sentinel's own identity) carries //roslint:exacterr.
+package errsentinel
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errsentinel analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "errsentinel",
+	Doc:       "compare wrapped sentinel errors with errors.Is/errors.As, not == or type assertions",
+	Directive: "exacterr",
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.BinaryExpr:
+				checkCompare(pass, node)
+			case *ast.TypeAssertExpr:
+				checkAssert(pass, node)
+			case *ast.TypeSwitchStmt:
+				checkTypeSwitch(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCompare flags ==/!= between an error value and a package-level
+// error sentinel.
+func checkCompare(pass *analysis.Pass, expr *ast.BinaryExpr) {
+	if expr.Op != token.EQL && expr.Op != token.NEQ {
+		return
+	}
+	xErr, yErr := isError(pass, expr.X), isError(pass, expr.Y)
+	if !xErr && !yErr {
+		return
+	}
+	var sentinel types.Object
+	if s := sentinelOf(pass, expr.X); s != nil {
+		sentinel = s
+	} else if s := sentinelOf(pass, expr.Y); s != nil {
+		sentinel = s
+	}
+	if sentinel == nil {
+		return
+	}
+	fix := "errors.Is"
+	if expr.Op == token.NEQ {
+		fix = "!errors.Is"
+	}
+	pass.Reportf(expr.Pos(),
+		"%s compared with %s; sentinels are wrapped (%%w), use %s(err, %s)",
+		sentinel.Name(), expr.Op, fix, sentinel.Name())
+}
+
+// sentinelOf returns the package-level error variable an expression
+// names, or nil.
+func sentinelOf(pass *analysis.Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	// Package level: declared directly in the package scope.
+	if v.Pkg().Scope().Lookup(v.Name()) != v {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func isError(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Type != nil && isErrorType(tv.Type)
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorType)
+}
+
+// checkAssert flags err.(SomeType) on an error operand.
+func checkAssert(pass *analysis.Pass, assert *ast.TypeAssertExpr) {
+	if assert.Type == nil { // type switch guard; handled separately
+		return
+	}
+	if !isError(pass, assert.X) {
+		return
+	}
+	pass.Reportf(assert.Pos(),
+		"type assertion on an error; wrapped errors will not match — use errors.As")
+}
+
+// checkTypeSwitch flags `switch err.(type)` on an error operand.
+func checkTypeSwitch(pass *analysis.Pass, sw *ast.TypeSwitchStmt) {
+	var x ast.Expr
+	switch s := sw.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := s.X.(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if ta, ok := s.Rhs[0].(*ast.TypeAssertExpr); ok {
+				x = ta.X
+			}
+		}
+	}
+	if x == nil || !isError(pass, x) {
+		return
+	}
+	pass.Reportf(sw.Pos(),
+		"type switch on an error; wrapped errors will not match — use errors.As")
+}

@@ -1,0 +1,59 @@
+// Package a exercises errsentinel: == / != against package-level error
+// sentinels and type assertions on errors are flagged; errors.Is,
+// errors.As, nil checks, and justified identity tests are not.
+package a
+
+import (
+	"errors"
+
+	"repro/internal/stable"
+)
+
+var errLocal = errors.New("local sentinel")
+
+func eq(err error) bool {
+	return err == stable.ErrDataLoss // want `ErrDataLoss compared with ==`
+}
+
+func neq(err error) bool {
+	return err != errLocal // want `errLocal compared with !=`
+}
+
+// nil comparisons are the normal control flow: not flagged.
+func nilCheck(err error) bool {
+	return err == nil
+}
+
+// errors.Is follows the wrap chain: not flagged.
+func is(err error) bool {
+	return errors.Is(err, stable.ErrDataLoss)
+}
+
+type parseError struct{ msg string }
+
+func (e *parseError) Error() string { return e.msg }
+
+func assert(err error) bool {
+	_, ok := err.(*parseError) // want `type assertion on an error`
+	return ok
+}
+
+func typeSwitch(err error) string {
+	switch err.(type) { // want `type switch on an error`
+	case *parseError:
+		return "parse"
+	}
+	return ""
+}
+
+// errors.As is the wrap-safe form: not flagged.
+func as(err error) bool {
+	var pe *parseError
+	return errors.As(err, &pe)
+}
+
+// A justified exact-identity test: suppressed.
+func identity(err error) bool {
+	//roslint:exacterr asserting the unwrapped base error's own identity
+	return err == stable.ErrBadBlock
+}

@@ -1,0 +1,184 @@
+// Package forcebarrier flags outcome log entries written with the
+// buffered Write instead of ForceWrite.
+//
+// Thesis §3.1/§4.1: an action's outcome entries (prepared, committed,
+// aborted, committing, done — and housekeeping's committed_ss) must be
+// *forced* to the stable log before the action is acknowledged; a
+// buffered write can vanish in a crash, acknowledging a commit that
+// recovery will then undo. The analyzer finds calls to
+// (*stablelog.Log).Write whose payload is a logrec.Encode of an entry
+// whose Kind is an outcome kind, following the entry through simple
+// local assignments.
+//
+// Deliberately unforced outcome writes (e.g. housekeeping's
+// committed_ss, which the generation switch forces later) carry
+// //roslint:unforced with a justification naming the force that covers
+// them.
+package forcebarrier
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the forcebarrier analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "forcebarrier",
+	Doc:       "outcome log entries must be forced (ForceWrite), not buffered (Write)",
+	Directive: "unforced",
+	Run:       run,
+}
+
+// forcedKinds are the logrec.Kind constants naming outcome entries that
+// must hit stable storage before the action acknowledges.
+var forcedKinds = map[string]bool{
+	"KindPrepared":    true,
+	"KindCommitted":   true,
+	"KindAborted":     true,
+	"KindCommitting":  true,
+	"KindDone":        true,
+	"KindCommittedSS": true,
+}
+
+const (
+	logrecPath    = "repro/internal/logrec"
+	stablelogPath = "repro/internal/stablelog"
+)
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFunc(pass, fn)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.CalleeFunc(pass.TypesInfo, call)
+		if callee == nil || callee.Name() != "Write" ||
+			!analysis.IsMethodOf(callee, stablelogPath, "Log") || len(call.Args) != 1 {
+			return true
+		}
+		kind := payloadKind(pass, fn, call.Args[0])
+		if forcedKinds[kind] {
+			pass.Reportf(call.Pos(),
+				"%s entry written with buffered Write; outcome entries must be forced before the action acknowledges (use ForceWrite or a covering Force, thesis §3.1/§4.1)",
+				kind)
+		}
+		return true
+	})
+}
+
+// payloadKind resolves the logrec.Kind constant name of the entry a
+// Write payload encodes, or "" if it cannot be determined statically.
+func payloadKind(pass *analysis.Pass, fn *ast.FuncDecl, payload ast.Expr) string {
+	call, ok := ast.Unparen(payload).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	callee := analysis.CalleeFunc(pass.TypesInfo, call)
+	if callee == nil || callee.Name() != "Encode" || callee.Pkg() == nil ||
+		callee.Pkg().Path() != logrecPath || len(call.Args) != 2 {
+		return ""
+	}
+	return entryKind(pass, fn, call.Args[1])
+}
+
+// entryKind resolves the Kind field of an entry expression: a
+// (&-wrapped) logrec.Entry composite literal, or an identifier assigned
+// one within the same function.
+func entryKind(pass *analysis.Pass, fn *ast.FuncDecl, entry ast.Expr) string {
+	entry = ast.Unparen(entry)
+	if u, ok := entry.(*ast.UnaryExpr); ok {
+		entry = ast.Unparen(u.X)
+	}
+	switch e := entry.(type) {
+	case *ast.CompositeLit:
+		return litKind(pass, e)
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return ""
+		}
+		return identKind(pass, fn, obj)
+	}
+	return ""
+}
+
+// identKind scans fn for the single assignment of a composite Entry
+// literal to obj; multiple or non-literal assignments yield "".
+func identKind(pass *analysis.Pass, fn *ast.FuncDecl, obj types.Object) string {
+	kind, n := "", 0
+	ast.Inspect(fn.Body, func(node ast.Node) bool {
+		assign, ok := node.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if pass.TypesInfo.Defs[id] != obj && pass.TypesInfo.Uses[id] != obj {
+				continue
+			}
+			n++
+			rhs := ast.Unparen(assign.Rhs[i])
+			if u, ok := rhs.(*ast.UnaryExpr); ok {
+				rhs = ast.Unparen(u.X)
+			}
+			if lit, ok := rhs.(*ast.CompositeLit); ok {
+				kind = litKind(pass, lit)
+			}
+		}
+		return true
+	})
+	if n != 1 {
+		return ""
+	}
+	return kind
+}
+
+// litKind returns the Kind constant name from a logrec.Entry composite
+// literal, or "".
+func litKind(pass *analysis.Pass, lit *ast.CompositeLit) string {
+	named := analysis.ReceiverNamed(pass.TypesInfo.Types[lit].Type)
+	if named == nil || named.Obj().Pkg() == nil ||
+		named.Obj().Pkg().Path() != logrecPath || named.Obj().Name() != "Entry" {
+		return ""
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Kind" {
+			continue
+		}
+		switch v := ast.Unparen(kv.Value).(type) {
+		case *ast.SelectorExpr:
+			if c, ok := pass.TypesInfo.Uses[v.Sel].(*types.Const); ok && c.Pkg().Path() == logrecPath {
+				return c.Name()
+			}
+		case *ast.Ident:
+			if c, ok := pass.TypesInfo.Uses[v].(*types.Const); ok && c.Pkg() != nil && c.Pkg().Path() == logrecPath {
+				return c.Name()
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package forcebarrier_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/forcebarrier"
+)
+
+func TestForceBarrier(t *testing.T) {
+	analysistest.Run(t, forcebarrier.Analyzer, "a")
+}

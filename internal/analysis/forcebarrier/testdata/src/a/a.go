@@ -1,0 +1,41 @@
+// Package a exercises forcebarrier: outcome entries written with the
+// buffered Write are flagged; forced writes, data entries, and
+// justified exemptions are not.
+package a
+
+import (
+	"repro/internal/logrec"
+	"repro/internal/stablelog"
+)
+
+// An outcome entry buffered directly: flagged.
+func commitBuffered(l *stablelog.Log, f logrec.Format) error {
+	_, err := l.Write(logrec.Encode(f, &logrec.Entry{Kind: logrec.KindCommitted})) // want `KindCommitted entry written with buffered Write`
+	return err
+}
+
+// The entry traced through a local variable: still flagged.
+func prepareBuffered(l *stablelog.Log, f logrec.Format) error {
+	e := &logrec.Entry{Kind: logrec.KindPrepared}
+	_, err := l.Write(logrec.Encode(f, e)) // want `KindPrepared entry written with buffered Write`
+	return err
+}
+
+// Data entries may buffer; the force happens at the outcome write.
+func dataBuffered(l *stablelog.Log, f logrec.Format) error {
+	_, err := l.Write(logrec.Encode(f, &logrec.Entry{Kind: logrec.KindData, Value: []byte("x")}))
+	return err
+}
+
+// ForceWrite is the correct call for an outcome: not flagged.
+func commitForced(l *stablelog.Log, f logrec.Format) error {
+	_, err := l.ForceWrite(logrec.Encode(f, &logrec.Entry{Kind: logrec.KindCommitted}))
+	return err
+}
+
+// A deliberate buffered outcome with a justification: suppressed.
+func committingCovered(l *stablelog.Log, f logrec.Format) error {
+	//roslint:unforced the generation switch forces the whole log before this entry matters
+	_, err := l.Write(logrec.Encode(f, &logrec.Entry{Kind: logrec.KindCommitting}))
+	return err
+}

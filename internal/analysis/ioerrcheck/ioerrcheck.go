@@ -1,0 +1,159 @@
+// Package ioerrcheck flags silently dropped errors from stable-storage
+// and recovery-protocol operations.
+//
+// The Lampson–Sturgis model the thesis builds on (§1.1) assumes every
+// bad read or write is *observed*: stable storage stays stable only
+// because failed operations are detected and retried or repaired. An
+// error from a Device, Store, Log, network call, or two-phase-commit
+// driver that is assigned to the blank identifier or discarded in an
+// expression statement breaks that assumption in exactly the cold
+// paths where recovery bugs live.
+//
+// Genuine best-effort operations (read-repair of a sibling copy whose
+// data is already safely in hand; abort messages a participant can
+// re-derive by querying the coordinator) carry //roslint:besteffort
+// with a justification saying why losing the error is safe.
+package ioerrcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ioerrcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "ioerrcheck",
+	Doc:       "errors from stable storage, the log, the network, and 2PC must be observed",
+	Directive: "besteffort",
+	Run:       run,
+}
+
+// checkedTypes lists the types whose methods' error results must not be
+// dropped: the stable-storage stack, the log, the simulated network,
+// and the two-phase-commit driver.
+var checkedTypes = map[string][]string{
+	"repro/internal/stable":    {"Device", "MemDevice", "FileDevice", "Store"},
+	"repro/internal/stablelog": {"Log", "Site", "FileVolume", "MemVolume", "Volume"},
+	"repro/internal/netsim":    {"Network"},
+	"repro/internal/twopc":     {"Coordinator"},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					checkDiscarded(pass, call)
+				}
+			case *ast.AssignStmt:
+				checkBlank(pass, stmt)
+			case *ast.GoStmt:
+				checkDiscarded(pass, stmt.Call)
+			case *ast.DeferStmt:
+				checkDiscarded(pass, stmt.Call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscarded flags a checked call used as a bare statement when it
+// returns an error.
+func checkDiscarded(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := checkedCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	if errResultIndex(fn) < 0 {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error from %s discarded; stable-storage and protocol errors must be observed (propagate it, or justify with //roslint:besteffort)",
+		fullName(fn))
+}
+
+// checkBlank flags `_ = call` / `x, _ = call` where the blank position
+// is the checked call's error result.
+func checkBlank(pass *analysis.Pass, assign *ast.AssignStmt) {
+	// Multi-value form: lhs... = f(...).
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := checkedCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	errIdx := errResultIndex(fn)
+	if errIdx < 0 {
+		return
+	}
+	// Single-result call assigned to one lhs, or tuple assignment: the
+	// error result lines up positionally.
+	if len(assign.Lhs) <= errIdx {
+		return
+	}
+	if id, ok := assign.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(assign.Pos(),
+			"error from %s assigned to blank identifier; stable-storage and protocol errors must be observed (propagate it, or justify with //roslint:besteffort)",
+			fullName(fn))
+	}
+}
+
+// checkedCallee returns the called *types.Func if it is a method of one
+// of the checked types (including interface methods), else nil.
+func checkedCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	recv := sig.Recv().Type()
+	// Interface methods: receiver is the interface type; resolve the
+	// named type behind it.
+	named := analysis.ReceiverNamed(recv)
+	if named == nil {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil
+	}
+	for _, name := range checkedTypes[obj.Pkg().Path()] {
+		if obj.Name() == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// errResultIndex returns the index of fn's trailing error result, or
+// -1.
+func errResultIndex(fn *types.Func) int {
+	sig := fn.Type().(*types.Signature)
+	res := sig.Results()
+	if res.Len() == 0 {
+		return -1
+	}
+	last := res.At(res.Len() - 1)
+	if named, ok := last.Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+		return res.Len() - 1
+	}
+	return -1
+}
+
+func fullName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	named := analysis.ReceiverNamed(sig.Recv().Type())
+	return named.Obj().Name() + "." + fn.Name()
+}

@@ -1,0 +1,12 @@
+package ioerrcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ioerrcheck"
+)
+
+func TestIOErrCheck(t *testing.T) {
+	analysistest.Run(t, ioerrcheck.Analyzer, "a")
+}

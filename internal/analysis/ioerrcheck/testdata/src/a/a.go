@@ -1,0 +1,51 @@
+// Package a exercises ioerrcheck: discarded and blanked errors from
+// the stable-storage stack are flagged; propagated errors and justified
+// best-effort sites are not.
+package a
+
+import "repro/internal/stable"
+
+// A bare statement dropping a Device error: flagged.
+func drop(d stable.Device, buf []byte) {
+	d.WriteBlock(3, buf) // want `error from Device.WriteBlock discarded`
+}
+
+// Blank identifier on a single error result: flagged.
+func blank(s *stable.Store, buf []byte) {
+	_ = s.WritePage(1, buf) // want `error from Store.WritePage assigned to blank identifier`
+}
+
+// Blank in the error slot of a tuple: flagged.
+func tupleBlank(s *stable.Store) []byte {
+	data, _ := s.ReadPage(0) // want `error from Store.ReadPage assigned to blank identifier`
+	return data
+}
+
+// Propagating is the norm: not flagged.
+func checked(d stable.Device, buf []byte) error {
+	return d.WriteBlock(5, buf)
+}
+
+// Capturing into a named variable is fine even if only logged.
+func captured(s *stable.Store) int {
+	_, err := s.ReadPage(2)
+	if err != nil {
+		return 1
+	}
+	return 0
+}
+
+// A justified best-effort rewrite: suppressed.
+func repair(d stable.Device, buf []byte) {
+	//roslint:besteffort read-repair of a sibling copy; the data is already safely in hand
+	_ = d.WriteBlock(4, buf)
+}
+
+// Methods of unrelated types are out of scope.
+type sink struct{}
+
+func (sink) WriteBlock(i int, p []byte) error { return nil }
+
+func unrelated(s sink, buf []byte) {
+	s.WriteBlock(0, buf)
+}

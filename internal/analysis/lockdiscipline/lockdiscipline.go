@@ -1,0 +1,557 @@
+// Package lockdiscipline checks mutex hygiene in the guardian/object
+// and log layers.
+//
+// The recovery system is "assumed to be called sequentially" by the
+// thesis (§2.3), but the implementation is concurrent: guardians,
+// objects, the stable log, and housekeeping all share mutexes, and the
+// crash matrix cannot exercise lock bugs (it crashes nodes, not
+// schedules). Three rules keep the locking auditable:
+//
+//  1. Release discipline. Every Lock/RLock must be released on every
+//     path: either by an immediately dominating defer Unlock, or by
+//     explicit Unlocks that a conservative walk of the enclosing
+//     statement tree can see on each branch. Returning (or falling off
+//     the function) while holding the lock is flagged.
+//
+//  2. Self-deadlock. While a mutex is held, calling a method on the
+//     same receiver that acquires the same mutex field deadlocks
+//     (sync.Mutex is not reentrant). The analyzer builds a per-package
+//     "acquires" table of methods that lock their receiver's mutex
+//     fields and flags held-lock calls to them.
+//
+//  3. Raw device I/O under the log mutex. In package stablelog, code
+//     holding a mutex must not call stable.Device methods directly:
+//     all I/O goes through stable.Store, whose own mutex serializes
+//     the two-copy protocol. A direct device call under the log lock
+//     bypasses the pairing invariant (one copy good at all times) and
+//     freezes the lock hierarchy Log → Store → Device.
+//
+// Intentional departures (lock handoff, conditionally held locks)
+// carry //roslint:lockorder with a justification.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockdiscipline analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockdiscipline",
+	Doc:       "mutexes: release on every path, no reentrant self-calls, no raw device I/O under the log lock",
+	Directive: "lockorder",
+	Run:       run,
+}
+
+const stablePath = "repro/internal/stable"
+
+// LogPackages are the packages rule 3 applies to: code in them must not
+// perform raw stable.Device I/O while holding a mutex. A map so the
+// analyzer's tests can put their testdata package in scope.
+var LogPackages = map[string]bool{
+	"repro/internal/stablelog": true,
+}
+
+// lockState tracks one held mutex inside a function walk.
+type lockState struct {
+	key      string    // canonical owner chain + field, e.g. "a.g.mu"
+	root     types.Object // root object of the chain (variable `a`)
+	field    types.Object // the mutex field (or package-level var)
+	chain    string    // owner chain without the mutex field, e.g. "a.g"
+	read     bool      // RLock (released by RUnlock)
+	deferred bool      // a defer covers the release
+	pos      ast.Node  // the Lock call, for reporting
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// acquires maps a method (*types.Func) to the mutex field objects
+	// it locks on its own receiver.
+	acquires map[*types.Func][]types.Object
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, acquires: map[*types.Func][]types.Object{}}
+	// Pass 1: which methods acquire which receiver mutex fields?
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if kind, st := c.lockCall(call); kind == "Lock" || kind == "RLock" {
+					if st != nil && st.field != nil {
+						c.acquires[obj] = append(c.acquires[obj], st.field)
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Pass 2: walk every function body.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c.checkBody(fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkBody analyzes one function (or function literal) body.
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	held := map[string]*lockState{}
+	if c.scan(body.List, held) {
+		// Every path returns or loops forever; there is no fall-through.
+		return
+	}
+	for _, st := range held {
+		if !st.deferred {
+			c.pass.Reportf(st.pos.Pos(),
+				"%s locked here but not released on the fall-through path (add defer %s, or justify a handoff with //roslint:lockorder)",
+				st.key, unlockName(st))
+		}
+	}
+}
+
+func unlockName(st *lockState) string {
+	if st.read {
+		return st.key + ".RUnlock()"
+	}
+	return st.key + ".Unlock()"
+}
+
+// scan walks a statement list updating held in place. It returns true
+// if the list terminates (every path returns/branches out).
+func (c *checker) scan(stmts []ast.Stmt, held map[string]*lockState) bool {
+	for _, stmt := range stmts {
+		if c.scanStmt(stmt, held) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanStmt processes one statement; true means control does not fall
+// through.
+func (c *checker) scanStmt(stmt ast.Stmt, held map[string]*lockState) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		c.scanExpr(s.X, held)
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scanExpr(e, held)
+		}
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						c.scanExpr(e, held)
+					}
+				}
+			}
+		}
+
+	case *ast.DeferStmt:
+		if kind, st := c.lockCall(s.Call); kind == "Unlock" || kind == "RUnlock" {
+			if h, ok := held[st.key]; ok && h.read == (kind == "RUnlock") {
+				h.deferred = true
+			}
+		} else {
+			c.scanCalls(s.Call, held)
+		}
+
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scanExpr(e, held)
+		}
+		for _, st := range held {
+			if !st.deferred {
+				c.pass.Reportf(s.Pos(),
+					"return while holding %s with no defer on this path (unlock first, or justify with //roslint:lockorder)",
+					st.key)
+			}
+		}
+		return true
+
+	case *ast.BranchStmt:
+		// break/continue/goto: the lock may be released after the loop;
+		// treat as a path end without a verdict.
+		return true
+
+	case *ast.BlockStmt:
+		return c.scan(s.List, held)
+
+	case *ast.LabeledStmt:
+		return c.scanStmt(s.Stmt, held)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, held)
+		}
+		c.scanExpr(s.Cond, held)
+		thenHeld := copyHeld(held)
+		thenTerm := c.scan(s.Body.List, thenHeld)
+		elseHeld := copyHeld(held)
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = c.scanStmt(s.Else, elseHeld)
+		}
+		return c.merge(s, held, thenHeld, thenTerm, elseHeld, elseTerm)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, held)
+		}
+		bodyHeld := copyHeld(held)
+		c.scan(s.Body.List, bodyHeld)
+		// A lock whose state differs between loop entry and iteration
+		// end would double-lock or double-unlock on the next pass.
+		c.compareLoop(s, held, bodyHeld)
+		// `for { ... }` with no break never falls through (the wait
+		// loops in internal/object exit only by returning).
+		if s.Cond == nil && !hasBreak(s.Body) {
+			return true
+		}
+
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, held)
+		bodyHeld := copyHeld(held)
+		c.scan(s.Body.List, bodyHeld)
+		c.compareLoop(s, held, bodyHeld)
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.scanBranches(stmt, held)
+
+	case *ast.GoStmt:
+		c.scanCalls(s.Call, held)
+	}
+	return false
+}
+
+// scanBranches handles switch/select: each clause is a branch from the
+// same entry state; fall-through clauses must agree.
+func (c *checker) scanBranches(stmt ast.Stmt, held map[string]*lockState) bool {
+	var body *ast.BlockStmt
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, held)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	type out struct {
+		held map[string]*lockState
+		term bool
+	}
+	var outs []out
+	hasDefault := false
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			stmts = cl.Body
+			if cl.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = cl.Body
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+		}
+		h := copyHeld(held)
+		term := c.scan(stmts, h)
+		outs = append(outs, out{h, term})
+	}
+	_, isSelect := stmt.(*ast.SelectStmt)
+	exhaustive := hasDefault || (isSelect && len(outs) > 0)
+	// Merge the fall-through branches; without a default the entry
+	// state itself falls through too.
+	var fall []map[string]*lockState
+	if !exhaustive {
+		fall = append(fall, copyHeld(held))
+	}
+	allTerm := exhaustive
+	for _, o := range outs {
+		if !o.term {
+			fall = append(fall, o.held)
+		}
+		allTerm = allTerm && o.term
+	}
+	if allTerm && len(fall) == 0 {
+		return true
+	}
+	c.mergeInto(stmt, held, fall)
+	return false
+}
+
+// merge reconciles the two branches of an if.
+func (c *checker) merge(at ast.Node, held map[string]*lockState, thenHeld map[string]*lockState, thenTerm bool, elseHeld map[string]*lockState, elseTerm bool) bool {
+	var fall []map[string]*lockState
+	if !thenTerm {
+		fall = append(fall, thenHeld)
+	}
+	if !elseTerm {
+		fall = append(fall, elseHeld)
+	}
+	if len(fall) == 0 {
+		return true
+	}
+	c.mergeInto(at, held, fall)
+	return false
+}
+
+// hasBreak reports whether body contains a break binding to the
+// enclosing loop (not one captured by a nested loop, switch, or
+// select, and not inside a function literal).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			_ = s
+			return false
+		}
+		return true
+	}
+	for _, stmt := range body.List {
+		ast.Inspect(stmt, walk)
+	}
+	return found
+}
+
+// mergeInto writes the merged fall-through state into held, reporting
+// branches that disagree about a lock.
+func (c *checker) mergeInto(at ast.Node, held map[string]*lockState, fall []map[string]*lockState) {
+	keys := map[string]bool{}
+	for _, h := range fall {
+		for k := range h {
+			keys[k] = true
+		}
+	}
+	for k := range held {
+		delete(held, k)
+	}
+	for k := range keys {
+		inAll := true
+		var st *lockState
+		for _, h := range fall {
+			if s, ok := h[k]; ok {
+				if st == nil {
+					st = s
+				}
+			} else {
+				inAll = false
+			}
+		}
+		if inAll {
+			held[k] = st
+		} else {
+			c.pass.Reportf(at.Pos(),
+				"%s is held on some paths but not others after this statement (unlock consistently, or justify with //roslint:lockorder)", k)
+		}
+	}
+}
+
+// compareLoop reports locks whose held-state at the end of a loop body
+// differs from loop entry.
+func (c *checker) compareLoop(at ast.Node, entry, exit map[string]*lockState) {
+	for k := range entry {
+		if _, ok := exit[k]; !ok {
+			c.pass.Reportf(at.Pos(),
+				"%s is released inside this loop but held on entry; the next iteration would unlock an unlocked mutex or deadlock", k)
+		}
+	}
+	for k, st := range exit {
+		if _, ok := entry[k]; !ok && !st.deferred {
+			c.pass.Reportf(st.pos.Pos(),
+				"%s locked inside a loop but still held at the end of the iteration", k)
+		}
+	}
+}
+
+// scanExpr looks inside an expression for lock transitions, held-lock
+// self-calls, and raw device I/O; function literals are analyzed as
+// separate bodies.
+func (c *checker) scanExpr(expr ast.Expr, held map[string]*lockState) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.checkBody(lit.Body)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, st := c.lockCall(call)
+		switch kind {
+		case "Lock", "RLock":
+			if _, ok := held[st.key]; ok {
+				c.pass.Reportf(call.Pos(), "%s locked while already held: self-deadlock (sync mutexes are not reentrant)", st.key)
+			}
+			st.read = kind == "RLock"
+			st.pos = call
+			held[st.key] = st
+		case "Unlock", "RUnlock":
+			delete(held, st.key)
+		default:
+			c.checkHeldCall(call, held)
+		}
+		return true
+	})
+}
+
+// scanCalls applies held-call checks to a call used in go/defer.
+func (c *checker) scanCalls(call *ast.CallExpr, held map[string]*lockState) {
+	c.checkHeldCall(call, held)
+	for _, arg := range call.Args {
+		c.scanExpr(arg, held)
+	}
+}
+
+// checkHeldCall reports self-deadlocks and raw device I/O made while a
+// lock is held.
+func (c *checker) checkHeldCall(call *ast.CallExpr, held map[string]*lockState) {
+	if len(held) == 0 {
+		return
+	}
+	fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	// Rule 2: method on the same chain that acquires a held mutex field.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		chain, _, ok := c.chainOf(sel.X)
+		if ok {
+			for _, field := range c.acquires[fn] {
+				for _, st := range held {
+					if st.field == field && st.chain == chain {
+						c.pass.Reportf(call.Pos(),
+							"%s() acquires %s which is already held here: self-deadlock", fn.Name(), st.key)
+					}
+				}
+			}
+		}
+	}
+	// Rule 3: raw device I/O under a lock in the log packages.
+	if LogPackages[c.pass.Pkg.Path()] && analysis.IsMethodOf(fn, stablePath, "Device") {
+		for range held {
+			c.pass.Reportf(call.Pos(),
+				"raw stable.Device.%s under a held mutex; the log must do I/O through stable.Store (lock order Log → Store → Device)", fn.Name())
+			break
+		}
+	}
+}
+
+// lockCall classifies a call as Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex and returns the canonical lock state.
+func (c *checker) lockCall(call *ast.CallExpr) (string, *lockState) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", nil
+	}
+	fn, _ := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil
+	}
+	recv := analysis.ReceiverNamed(fn.Type().(*types.Signature).Recv().Type())
+	if recv == nil || (recv.Obj().Name() != "Mutex" && recv.Obj().Name() != "RWMutex") {
+		return "", nil
+	}
+	chain, root, ok := c.chainOf(sel.X)
+	if !ok {
+		return "", nil
+	}
+	st := &lockState{key: chain, root: root}
+	// Split the chain: the mutex field is the last selector component.
+	if s, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+		st.field = c.pass.TypesInfo.Uses[s.Sel]
+		ownerChain, _, ok := c.chainOf(s.X)
+		if ok {
+			st.chain = ownerChain
+		}
+	} else if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		// Package-level or local mutex variable.
+		st.field = c.pass.TypesInfo.Uses[id]
+	}
+	return name, st
+}
+
+// chainOf canonicalizes a selector chain (a.g.mu) into a string keyed
+// by the root object's identity; non-trivial expressions (calls,
+// indexes) are rejected.
+func (c *checker) chainOf(e ast.Expr) (string, types.Object, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[x]
+		if obj == nil {
+			obj = c.pass.TypesInfo.Defs[x]
+		}
+		if obj == nil {
+			return "", nil, false
+		}
+		return x.Name, obj, true
+	case *ast.SelectorExpr:
+		prefix, root, ok := c.chainOf(x.X)
+		if !ok {
+			return "", nil, false
+		}
+		return prefix + "." + x.Sel.Name, root, true
+	}
+	return "", nil, false
+}
+
+func copyHeld(held map[string]*lockState) map[string]*lockState {
+	out := make(map[string]*lockState, len(held))
+	for k, v := range held {
+		cp := *v
+		out[k] = &cp
+	}
+	return out
+}

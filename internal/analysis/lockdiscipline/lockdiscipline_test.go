@@ -1,0 +1,21 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, lockdiscipline.Analyzer, "a")
+}
+
+func TestDeviceUnderLock(t *testing.T) {
+	// Rule 3 is scoped by import path; scope the testdata package the
+	// way internal/stablelog is.
+	const pkg = "repro/internal/analysis/lockdiscipline/testdata/src/b"
+	lockdiscipline.LogPackages[pkg] = true
+	defer delete(lockdiscipline.LogPackages, pkg)
+	analysistest.Run(t, lockdiscipline.Analyzer, "b")
+}

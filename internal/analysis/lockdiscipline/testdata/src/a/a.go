@@ -1,0 +1,129 @@
+// Package a exercises lockdiscipline rules 1 and 2: release on every
+// path and no reentrant self-calls. Hand-unlock straight-line code,
+// branch-aware unlock-then-return, deferred RWMutex releases, and a
+// justified lock handoff are all accepted.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// defer is the canonical pattern: not flagged.
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Hand unlock on the single path: not flagged.
+func (c *counter) handUnlock() int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// Unlock-then-return inside a branch, unlock on the fall-through: the
+// pattern guardian handlers use. Not flagged.
+func (c *counter) branched(limit int) int {
+	c.mu.Lock()
+	if c.n > limit {
+		c.mu.Unlock()
+		return limit
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// Returning while the lock is held: flagged.
+func (c *counter) leakReturn() int {
+	c.mu.Lock()
+	if c.n > 0 {
+		return c.n // want `return while holding c.mu`
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// Falling off the end while the lock is held: flagged at the Lock.
+func (c *counter) leakFallthrough() {
+	c.mu.Lock() // want `c.mu locked here but not released on the fall-through path`
+	c.n++
+}
+
+// Branches that disagree about the lock: flagged at the merge.
+func (c *counter) inconsistent(b bool) {
+	c.mu.Lock()
+	if b { // want `c.mu is held on some paths but not others`
+		c.mu.Unlock()
+	}
+}
+
+// Double acquisition self-deadlocks (sync.Mutex is not reentrant).
+func (c *counter) relock() {
+	c.mu.Lock()
+	c.mu.Lock() // want `c.mu locked while already held: self-deadlock`
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// Incr acquires c.mu; calling it with c.mu held self-deadlocks.
+func (c *counter) Incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) deadlock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Incr() // want `Incr\(\) acquires c.mu which is already held`
+}
+
+// Calling the locking method after releasing is fine.
+func (c *counter) sequential() {
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+	c.Incr()
+}
+
+// A deliberate lock handoff with a justification: suppressed.
+func (c *counter) lockForCaller() {
+	//roslint:lockorder lock handoff: the paired releaseForCaller unlocks
+	c.mu.Lock()
+}
+
+func (c *counter) releaseForCaller() {
+	c.mu.Unlock()
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[int]int
+}
+
+// RWMutex read path with a matching deferred release: not flagged.
+func (t *table) get(k int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// An infinite wait loop that only exits by returning (the
+// internal/object pattern): not flagged.
+func (t *table) wait(k int) int {
+	t.mu.RLock()
+	for {
+		if v, ok := t.m[k]; ok {
+			t.mu.RUnlock()
+			return v
+		}
+		t.mu.RUnlock()
+		t.mu.RLock()
+	}
+}

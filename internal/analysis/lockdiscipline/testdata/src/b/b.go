@@ -1,0 +1,35 @@
+// Package b exercises lockdiscipline rule 3: in a log package, raw
+// stable.Device I/O under a held mutex is flagged — device access must
+// go through stable.Store (lock order Log → Store → Device).
+package b
+
+import (
+	"sync"
+
+	"repro/internal/stable"
+)
+
+type journal struct {
+	mu  sync.Mutex
+	dev stable.Device
+	st  *stable.Store
+}
+
+func (j *journal) rawUnderLock(buf []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dev.WriteBlock(0, buf) // want `raw stable.Device.WriteBlock under a held mutex`
+}
+
+// Store methods serialize their own device access: not flagged.
+func (j *journal) throughStore(buf []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st.WritePage(0, buf)
+}
+
+// Raw device access without the lock held is the store's own business:
+// not flagged by rule 3.
+func (j *journal) unlocked(buf []byte) error {
+	return j.dev.WriteBlock(1, buf)
+}

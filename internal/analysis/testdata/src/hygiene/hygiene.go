@@ -1,0 +1,31 @@
+// Package hygiene exercises the framework's directive handling: a
+// justified exemption suppresses, a bare exemption suppresses but is
+// reported for its missing justification, a stale exemption is
+// reported as unused, and a misspelled directive name is caught by the
+// driver's unknown-directive scan.
+package hygiene
+
+func flagme() {}
+
+func flagged() {
+	flagme()
+}
+
+func suppressed() {
+	//roslint:testdir justified: exercised by the framework test
+	flagme()
+}
+
+func bare() {
+	//roslint:testdir
+	flagme()
+}
+
+func stale() {
+	//roslint:testdir this exemption suppresses nothing
+}
+
+//roslint:tpyo a misspelled directive name must not silently exempt
+func typoed() {
+	flagme()
+}

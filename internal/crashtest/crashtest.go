@@ -107,7 +107,8 @@ func Run(cfg Config) (Result, error) {
 		if err != nil {
 			return err
 		}
-		for n, c := range cs {
+		for _, n := range names {
+			c := cs[n]
 			got, ok := c.Base().(value.Int)
 			if !ok || int64(got) != want[n] {
 				return fmt.Errorf("crashtest: %s: %s = %s, want %d",
@@ -122,7 +123,8 @@ func Run(cfg Config) (Result, error) {
 		if err != nil {
 			return false, err
 		}
-		for n, c := range cs {
+		for _, n := range names {
+			c := cs[n]
 			got, ok := c.Base().(value.Int)
 			if !ok || int64(got) != want[n] {
 				return false, nil
@@ -155,8 +157,8 @@ func Run(cfg Config) (Result, error) {
 		}
 		// Build a candidate action touching 1..3 counters.
 		candidate := make(map[string]int64, len(oracle))
-		for k, v := range oracle {
-			candidate[k] = v
+		for _, n := range names {
+			candidate[n] = oracle[n]
 		}
 		a := g.Begin()
 		k := 1 + rng.Intn(3)

@@ -200,6 +200,7 @@ func RunDistributed(cfg DistributedConfig) (DistributedResult, error) {
 			}
 			victim.Volume().ArmCrashAfterWrites(1 + rng.Intn(8))
 			c := &twopc.Coordinator{Self: coord.ID(), Net: net, Log: coord}
+			//roslint:besteffort crash-injected run is expected to fail; settle/conservation checks judge the outcome
 			_, _ = c.Run(a.ID(), []twopc.Participant{coord, part})
 			victim.Crash()
 			net.SetDown(victim.ID(), true)

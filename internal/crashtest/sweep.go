@@ -206,6 +206,7 @@ func buildOracle(script []scriptStep) *oracle {
 		o.preMutex = append(o.preMutex, mutex)
 		if st.kind == stepCommit {
 			next := make(counterState, len(cur))
+			//roslint:nondet order-independent: whole-map copy into a keyed map
 			for k, v := range cur {
 				next[k] = v
 			}
@@ -530,6 +531,7 @@ func statesEqual(a, b counterState) bool {
 	if len(a) != len(b) {
 		return false
 	}
+	//roslint:nondet order-independent: commutative equality conjunction
 	for k, v := range a {
 		if b[k] != v {
 			return false

@@ -3,6 +3,7 @@ package guardian
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/ids"
@@ -204,16 +205,24 @@ func (a *Action) SetVar(name string, obj object.Recoverable) error {
 }
 
 // mosList snapshots the action's modified objects, excluding those
-// early-prepared and unmodified since.
+// early-prepared and unmodified since. The list is sorted by UID: it
+// becomes the prepared entry's object order in the log, which must be
+// identical across runs for the crash sweep to replay a schedule.
 func (a *Action) mosList(st *actionState, includeEarly bool) object.MOS {
 	a.g.mu.Lock()
 	defer a.g.mu.Unlock()
-	mos := make(object.MOS, 0, len(st.mos))
-	for uid, obj := range st.mos {
+	uids := make([]ids.UID, 0, len(st.mos))
+	//roslint:nondet keys collected here are sorted below before use
+	for uid := range st.mos {
 		if !includeEarly && st.early[uid] {
 			continue
 		}
-		mos = append(mos, obj)
+		uids = append(uids, uid)
+	}
+	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
+	mos := make(object.MOS, 0, len(uids))
+	for _, uid := range uids {
+		mos = append(mos, st.mos[uid])
 	}
 	return mos
 }
@@ -345,6 +354,7 @@ func (g *Guardian) applyVerdict(aid ids.ActionID, commit bool) {
 		}
 	}
 	if ok {
+		//roslint:nondet order-independent: commit/abort is applied per object, no cross-object effects
 		for _, obj := range st.locked {
 			apply(obj)
 		}

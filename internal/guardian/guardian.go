@@ -14,6 +14,7 @@ package guardian
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -390,9 +391,11 @@ func (g *Guardian) LiveActions() []ids.ActionID {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	out := make([]ids.ActionID, 0, len(g.live))
+	//roslint:nondet keys collected here are sorted below before use
 	for aid := range g.live {
 		out = append(out, aid)
 	}
+	sortActionIDs(out)
 	return out
 }
 
@@ -402,11 +405,13 @@ func (g *Guardian) InDoubt() []ids.ActionID {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	var out []ids.ActionID
+	//roslint:nondet keys collected here are sorted below before use
 	for aid, st := range g.pt {
 		if st == simplelog.PartPrepared {
 			out = append(out, aid)
 		}
 	}
+	sortActionIDs(out)
 	return out
 }
 
@@ -417,12 +422,25 @@ func (g *Guardian) Unfinished() []ids.ActionID {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	var out []ids.ActionID
+	//roslint:nondet keys collected here are sorted below before use
 	for aid, ci := range g.ct {
 		if ci.State == simplelog.CoordCommitting {
 			out = append(out, aid)
 		}
 	}
+	sortActionIDs(out)
 	return out
+}
+
+// sortActionIDs orders ids by (coordinator, sequence) so the lists the
+// recovery driver walks are identical across runs.
+func sortActionIDs(ids []ids.ActionID) {
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Coordinator != ids[j].Coordinator {
+			return ids[i].Coordinator < ids[j].Coordinator
+		}
+		return ids[i].Seq < ids[j].Seq
+	})
 }
 
 // OutcomeOf implements twopc.OutcomeSource: committed iff the

@@ -12,6 +12,7 @@ package guardian
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/ids"
@@ -99,9 +100,17 @@ func CommitSpread(net *netsim.Network, a *Action) (twopc.Result, error) {
 		a.g.mu.Unlock()
 		return twopc.Result{}, fmt.Errorf("%w: %v", ErrUnknownAction, a.id)
 	}
+	// Sort the spread-to guardians so prepare/commit messages go out in
+	// the same order every run (the sweep replays message schedules).
+	gids := make([]ids.GuardianID, 0, len(st.remote))
+	//roslint:nondet keys collected here are sorted below before use
+	for gid := range st.remote {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
 	parts := []twopc.Participant{a.g}
-	for _, r := range st.remote {
-		parts = append(parts, r)
+	for _, gid := range gids {
+		parts = append(parts, st.remote[gid])
 	}
 	a.g.mu.Unlock()
 	c := &twopc.Coordinator{Self: a.g.id, Net: net, Log: a.g}

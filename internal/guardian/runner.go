@@ -43,6 +43,7 @@ func RunAtomic(g *Guardian, attempts int, fn func(a *Action) error) error {
 		}
 		last = err
 		// Jittered backoff so colliding retriers desynchronize.
+		//roslint:nondet live-contention retry path, never reached by the single-threaded sweep; jitter is the point
 		time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff))))
 		if backoff < 50*time.Millisecond {
 			backoff *= 2

@@ -28,6 +28,7 @@ package hybridlog
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/ids"
 	"repro/internal/logrec"
@@ -132,6 +133,7 @@ func (w *Writer) begin(site *stablelog.Site, snapshot bool) (*Housekeeper, error
 		newChain: stablelog.NoLSN,
 		newAS:    object.NewAccessSet(),
 	}
+	//roslint:nondet order-independent: whole-map copy into a keyed map
 	for k, v := range w.mt {
 		h.oldMT[k] = v
 	}
@@ -198,10 +200,19 @@ func (h *Housekeeper) Stage1() error {
 	}
 	// Write the committed_ss entry: "like a combined prepare and commit
 	// for some special action whose name does not matter" (§5.1.1).
-	pairs := make([]logrec.UIDLSN, 0, len(h.cssl))
-	for uid, addr := range h.cssl {
-		pairs = append(pairs, logrec.UIDLSN{UID: uid, Addr: addr})
+	// Sorted by UID: the pair list is log bytes, and the crash sweep
+	// requires byte-identical logs per seed.
+	uids := make([]ids.UID, 0, len(h.cssl))
+	//roslint:nondet keys collected here are sorted below before use
+	for uid := range h.cssl {
+		uids = append(uids, uid)
 	}
+	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
+	pairs := make([]logrec.UIDLSN, 0, len(uids))
+	for _, uid := range uids {
+		pairs = append(pairs, logrec.UIDLSN{UID: uid, Addr: h.cssl[uid]})
+	}
+	//roslint:unforced Finish forces the whole new generation before Site.Switch publishes it; a crash before that reuses the old generation
 	lsn, err := h.newLog.Write(logrec.Encode(logrec.Hybrid, &logrec.Entry{
 		Kind:  logrec.KindCommittedSS,
 		Pairs: pairs,
@@ -645,8 +656,21 @@ func (h *Housekeeper) Finish() error {
 	// Data entries for actions that had not yet prepared were not
 	// copied; re-write them to the new log from volatile memory
 	// (§5.1.1: "the recovery system ... restarts the writing of the
-	// data entries for those actions to the new log").
-	for aid, pend := range w.pending {
+	// data entries for those actions to the new log"). Sorted by action
+	// id: these are log writes, and the sweep replays them by index.
+	aids := make([]ids.ActionID, 0, len(w.pending))
+	//roslint:nondet keys collected here are sorted below before use
+	for aid := range w.pending {
+		aids = append(aids, aid)
+	}
+	sort.Slice(aids, func(i, j int) bool {
+		if aids[i].Coordinator != aids[j].Coordinator {
+			return aids[i].Coordinator < aids[j].Coordinator
+		}
+		return aids[i].Seq < aids[j].Seq
+	})
+	for _, aid := range aids {
+		pend := w.pending[aid]
 		objs := make([]object.Recoverable, len(pend))
 		for i, p := range pend {
 			objs[i] = p.obj

@@ -413,6 +413,7 @@ func (r *recovery) finish() (*Tables, error) {
 	atomics := make(map[ids.UID]*object.Atomic)
 	mutexes := make(map[ids.UID]*object.Mutex)
 	var maxUID ids.UID
+	//roslint:nondet order-independent: installs into keyed maps and the heap, whose readers sort (Heap.UIDs)
 	for uid, row := range r.ot {
 		if uid > maxUID {
 			maxUID = uid
@@ -436,6 +437,7 @@ func (r *recovery) finish() (*Tables, error) {
 		}
 		return o, true
 	}
+	//roslint:nondet order-independent: per-object reference resolution, no cross-object effects
 	for uid, row := range r.ot {
 		switch row.kind {
 		case object.KindAtomic:
@@ -470,6 +472,7 @@ func (r *recovery) finish() (*Tables, error) {
 	r.t.Heap = heap
 	r.t.AS = heap.AccessibleSet()
 	r.t.PAT = object.NewPAT()
+	//roslint:nondet order-independent: installs into the PAT set, whose readers sort (PAT.Actions)
 	for aid, st := range r.t.PT {
 		if st == simplelog.PartPrepared {
 			r.t.PAT.Add(aid)

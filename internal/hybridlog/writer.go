@@ -103,6 +103,7 @@ func (w *Writer) MT() map[ids.UID]stablelog.LSN {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	out := make(map[ids.UID]stablelog.LSN, len(w.mt))
+	//roslint:nondet order-independent: whole-map copy into a keyed map
 	for k, v := range w.mt {
 		out[k] = v
 	}

@@ -169,11 +169,13 @@ func (s *Store) readPageLocked(i int) ([]byte, error) {
 		// the survivor so a later failure of this copy cannot lose the
 		// page. Best-effort: the data in hand is returned regardless.
 		if sb == copyBad {
+			//roslint:besteffort read-repair; the page is already safely in hand and the next WritePage retries the sibling
 			_ = s.b.WriteBlock(i, encodePage(s.b.BlockSize(), va, pa))
 		}
 		return pa, nil
 	case sb == copyGood:
 		if sa == copyBad {
+			//roslint:besteffort read-repair; the page is already safely in hand and the next WritePage retries the sibling
 			_ = s.a.WriteBlock(i, encodePage(s.a.BlockSize(), vb, pb))
 		}
 		return pb, nil

@@ -44,6 +44,7 @@ func (v *FileVolume) pair(name string) (*stable.Store, error) {
 	}
 	b, err := stable.OpenFileDevice(filepath.Join(v.dir, name+"-b"), v.blockSize, v.syncAll)
 	if err != nil {
+		//roslint:besteffort cleanup on a path already failing; the open error is what the caller needs
 		a.Close()
 		return nil, err
 	}

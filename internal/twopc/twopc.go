@@ -192,6 +192,7 @@ func (c *Coordinator) sendAborts(aid ids.ActionID, prepared []Participant) {
 	for _, p := range prepared {
 		// Best effort: a participant that cannot be reached will query
 		// the coordinator later and learn the abort.
+		//roslint:besteffort abort notifications are advisory; an unreached participant learns the verdict by querying the coordinator (§2.2.3)
 		_ = c.Net.Call(c.Self, p.GuardianID(), func() error {
 			return p.HandleAbort(aid)
 		})
