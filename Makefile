@@ -34,10 +34,12 @@ bench:
 	$(GO) test -bench . -benchmem -benchtime 50x .
 	$(GO) test -bench . -benchtime 100x ./internal/stablelog/ ./internal/value/
 
-# Regenerate the committed outputs (test_output.txt, bench_output.txt).
+# Regenerate the committed outputs (test_output.txt, bench_output.txt,
+# BENCH_commit.json — the machine-readable E11 group-commit rows).
 bench-save:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+	$(GO) run ./cmd/rosbench -experiment e11 -commitjson BENCH_commit.json
 
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzUnflatten -fuzztime 30s ./internal/value/

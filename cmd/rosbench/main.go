@@ -2,18 +2,20 @@
 // (see DESIGN.md's experiment index and EXPERIMENTS.md): the write-cost
 // and recovery-cost comparison of the three stable-storage
 // organizations (E1/E2/E3), the early-prepare effect (E4), the
-// compaction-vs-snapshot comparison (E5), and the effect of
-// housekeeping on recovery (E6).
+// compaction-vs-snapshot comparison (E5), the effect of housekeeping on
+// recovery (E6), and the group-commit force-sharing curve (E11).
 //
 // Usage:
 //
-//	rosbench [-experiment all|e1|e2|e3|e4|e5|e6] [-quick]
+//	rosbench [-experiment all|e1|e2|e3|e4|e5|e6|e11] [-quick] [-commitjson FILE]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"text/tabwriter"
 	"time"
 
@@ -24,8 +26,9 @@ import (
 )
 
 var (
-	experiment = flag.String("experiment", "all", "which experiment to run: all, e1..e6")
+	experiment = flag.String("experiment", "all", "which experiment to run: all, e1..e6, e11")
 	quick      = flag.Bool("quick", false, "smaller workloads for a fast smoke run")
+	commitJSON = flag.String("commitjson", "", "write the E11 rows as JSON to this file (e.g. BENCH_commit.json)")
 )
 
 func main() {
@@ -41,6 +44,7 @@ func main() {
 	run("e4", e4EarlyPrepare)
 	run("e5", e5Housekeeping)
 	run("e6", e6RecoveryAfterHousekeeping)
+	run("e11", e11GroupCommit)
 }
 
 func backends() []core.Backend {
@@ -226,6 +230,96 @@ func e5Housekeeping() {
 	}
 	w.Flush()
 	fmt.Println()
+}
+
+// commitRow is one E11 measurement, serialized to -commitjson.
+type commitRow struct {
+	Organization    string  `json:"organization"`
+	Goroutines      int     `json:"goroutines"`
+	Commits         int     `json:"commits"`
+	NsPerCommit     float64 `json:"ns_per_commit"`
+	CommitsPerSec   float64 `json:"commits_per_sec"`
+	ForcesPerCommit float64 `json:"forces_per_commit"`
+	BytesPerCommit  float64 `json:"bytes_per_commit"`
+}
+
+// e11WriteDelay mirrors the bench_test.go constant: the simulated
+// per-block device latency that makes a force expensive enough for
+// concurrent committers to overlap inside one.
+const e11WriteDelay = 50 * time.Microsecond
+
+func e11GroupCommit() {
+	fmt.Println("E11 — group commit: forces shared across concurrent committers (§1.2, §4.1)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "organization\tgoroutines\tcommits/s\tforces/commit\tlog bytes/commit")
+	perWorker := 25
+	workerCounts := []int{1, 2, 4, 8, 16}
+	if *quick {
+		perWorker = 8
+		workerCounts = []int{1, 4, 8}
+	}
+	var rows []commitRow
+	for _, b := range []core.Backend{core.BackendSimple, core.BackendHybrid} {
+		for _, workers := range workerCounts {
+			g := commitHistory(b, workers, 0, 0)
+			g.Volume().SetWriteDelay(e11WriteDelay)
+			forces0 := g.RS().Forces()
+			bytes0 := g.RS().LogBytes()
+			commits := workers * perWorker
+			errs := make([]error, workers)
+			start := time.Now()
+			var wg sync.WaitGroup
+			for id := 0; id < workers; id++ {
+				id := id
+				o, ok := g.VarAtomic(fmt.Sprintf("c%d", id))
+				if !ok {
+					die(fmt.Errorf("counter c%d missing", id))
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						a := g.Begin()
+						if err := a.Update(o, func(v value.Value) value.Value {
+							return value.Int(int64(v.(value.Int)) + 1)
+						}); err != nil {
+							errs[id] = err
+							return
+						}
+						if err := a.Commit(); err != nil {
+							errs[id] = err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			el := time.Since(start)
+			for _, err := range errs {
+				die(err)
+			}
+			row := commitRow{
+				Organization:    b.String(),
+				Goroutines:      workers,
+				Commits:         commits,
+				NsPerCommit:     float64(el.Nanoseconds()) / float64(commits),
+				CommitsPerSec:   float64(commits) / el.Seconds(),
+				ForcesPerCommit: float64(g.RS().Forces()-forces0) / float64(commits),
+				BytesPerCommit:  float64(g.RS().LogBytes()-bytes0) / float64(commits),
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "%v\t%d\t%.0f\t%.3f\t%.0f\n",
+				b, workers, row.CommitsPerSec, row.ForcesPerCommit, row.BytesPerCommit)
+		}
+	}
+	w.Flush()
+	fmt.Println()
+	if *commitJSON != "" {
+		out, err := json.MarshalIndent(rows, "", "  ")
+		die(err)
+		die(os.WriteFile(*commitJSON, append(out, '\n'), 0o644))
+		fmt.Printf("wrote %s (%d rows)\n\n", *commitJSON, len(rows))
+	}
 }
 
 func e6RecoveryAfterHousekeeping() {

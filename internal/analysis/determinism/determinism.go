@@ -11,8 +11,11 @@
 // point, and a failing scenario could not be replayed from its
 // reported schedule.
 //
-// The analyzer checks a fixed set of packages (the sweep, the guardian
-// and both log organizations it drives) for:
+// The analyzer checks a fixed set of packages (the sweep, the guardian,
+// both log organizations it drives, and the stable log itself — whose
+// group-commit force scheduler must stay purely reactive: no spawned
+// goroutines or timers, so a single-threaded call sequence produces
+// one device-write sequence) for:
 //
 //   - calls to time.Now / Since / Until / Sleep / After / Tick /
 //     NewTimer / NewTicker,
@@ -51,6 +54,7 @@ var ScopedPackages = map[string]bool{
 	"repro/internal/guardian":  true,
 	"repro/internal/simplelog": true,
 	"repro/internal/hybridlog": true,
+	"repro/internal/stablelog": true,
 	"repro/cmd/roscrash":       true,
 }
 

@@ -10,6 +10,14 @@
 // whose Kind is an outcome kind, following the entry through simple
 // local assignments.
 //
+// Two force paths are legal. ForceWrite forces the entry itself. The
+// group-commit split — `lsn, err := log.Write(...)` followed by
+// `log.ForceTo(lsn)` in the same function — appends the entry and then
+// blocks until a (possibly shared) force covers it; the analyzer
+// recognizes the ForceTo on the Write's own bound LSN variable and
+// accepts it. A ForceTo on some other LSN does not cover the entry and
+// is still flagged.
+//
 // Deliberately unforced outcome writes (e.g. housekeeping's
 // committed_ss, which the generation switch forces later) carry
 // //roslint:unforced with a justification naming the force that covers
@@ -73,13 +81,57 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 			return true
 		}
 		kind := payloadKind(pass, fn, call.Args[0])
-		if forcedKinds[kind] {
+		if forcedKinds[kind] && !forcedViaForceTo(pass, fn, call) {
 			pass.Reportf(call.Pos(),
-				"%s entry written with buffered Write; outcome entries must be forced before the action acknowledges (use ForceWrite or a covering Force, thesis §3.1/§4.1)",
+				"%s entry written with buffered Write and never awaited; outcome entries must be forced before the action acknowledges (use ForceWrite, or ForceTo on the Write's LSN, thesis §3.1/§4.1)",
 				kind)
 		}
 		return true
 	})
+}
+
+// forcedViaForceTo reports whether the Write call's LSN result is bound
+// to a variable that the same function later passes to
+// (*stablelog.Log).ForceTo — the group-commit append/await split, which
+// guarantees the entry is durable before the function acknowledges.
+func forcedViaForceTo(pass *analysis.Pass, fn *ast.FuncDecl, write *ast.CallExpr) bool {
+	// Find the `lsn, err := log.Write(...)` assignment binding the LSN.
+	var lsnObj types.Object
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || ast.Unparen(assign.Rhs[0]) != write || len(assign.Lhs) != 2 {
+			return true
+		}
+		if id, ok := assign.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				lsnObj = obj
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				lsnObj = obj
+			}
+		}
+		return false
+	})
+	if lsnObj == nil {
+		return false
+	}
+	// Find a ForceTo call on that exact LSN variable.
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		callee := analysis.CalleeFunc(pass.TypesInfo, call)
+		if callee == nil || callee.Name() != "ForceTo" ||
+			!analysis.IsMethodOf(callee, stablelogPath, "Log") || len(call.Args) != 1 {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == lsnObj {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // payloadKind resolves the logrec.Kind constant name of the entry a

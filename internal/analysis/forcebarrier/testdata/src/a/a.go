@@ -39,3 +39,44 @@ func committingCovered(l *stablelog.Log, f logrec.Format) error {
 	_, err := l.Write(logrec.Encode(f, &logrec.Entry{Kind: logrec.KindCommitting}))
 	return err
 }
+
+// The group-commit split — Write then ForceTo on the bound LSN — is a
+// legal force path: not flagged.
+func commitGroup(l *stablelog.Log, f logrec.Format) error {
+	lsn, err := l.Write(logrec.Encode(f, &logrec.Entry{Kind: logrec.KindCommitted}))
+	if err != nil {
+		return err
+	}
+	return l.ForceTo(lsn)
+}
+
+// The split with table work between append and await, as the writers
+// do: still recognized.
+func prepareGroup(l *stablelog.Log, f logrec.Format, note func()) error {
+	e := &logrec.Entry{Kind: logrec.KindPrepared}
+	lsn, err := l.Write(logrec.Encode(f, e))
+	if err != nil {
+		return err
+	}
+	note()
+	return l.ForceTo(lsn)
+}
+
+// Discarding the LSN leaves nothing to await: flagged.
+func commitDiscarded(l *stablelog.Log, f logrec.Format) error {
+	_, err := l.Write(logrec.Encode(f, &logrec.Entry{Kind: logrec.KindCommitted})) // want `KindCommitted entry written with buffered Write`
+	if err != nil {
+		return err
+	}
+	return l.Force()
+}
+
+// ForceTo on a different LSN does not cover this entry: flagged.
+func abortWrongLSN(l *stablelog.Log, f logrec.Format, other stablelog.LSN) error {
+	lsn, err := l.Write(logrec.Encode(f, &logrec.Entry{Kind: logrec.KindAborted})) // want `KindAborted entry written with buffered Write`
+	if err != nil {
+		return err
+	}
+	_ = lsn
+	return l.ForceTo(other)
+}

@@ -5,7 +5,7 @@
 // thesis (§2.3), but the implementation is concurrent: guardians,
 // objects, the stable log, and housekeeping all share mutexes, and the
 // crash matrix cannot exercise lock bugs (it crashes nodes, not
-// schedules). Three rules keep the locking auditable:
+// schedules). Four rules keep the locking auditable:
 //
 //  1. Release discipline. Every Lock/RLock must be released on every
 //     path: either by an immediately dominating defer Unlock, or by
@@ -25,6 +25,17 @@
 //     the two-copy protocol. A direct device call under the log lock
 //     bypasses the pairing invariant (one copy good at all times) and
 //     freezes the lock hierarchy Log → Store → Device.
+//
+//  4. Force waits under a lock. In the guardian and writer packages,
+//     code holding a mutex must not call a stablelog.Log force method
+//     (Force, ForceWrite, ForceTo) or a core.RecoverySystem operation:
+//     outcome forces are the commit path's only device waits, and group
+//     commit amortizes them only if independent actions can reach the
+//     force scheduler concurrently. A force wait under the guardian
+//     table lock or a writer mutex re-serializes every action behind
+//     one device write — the exact contention the scheduler exists to
+//     remove. Appending (Log.Write) under a writer mutex is fine; the
+//     await must happen after the unlock.
 //
 // Intentional departures (lock handoff, conditionally held locks)
 // carry //roslint:lockorder with a justification.
@@ -55,15 +66,51 @@ var LogPackages = map[string]bool{
 	"repro/internal/stablelog": true,
 }
 
+const (
+	stablelogPath = "repro/internal/stablelog"
+	corePath      = "repro/internal/core"
+)
+
+// ForcePathPackages are the packages rule 4 applies to: code in them
+// must not wait on a log force (or enter a recovery-system operation,
+// which forces internally) while holding any mutex, or group commit
+// degenerates to serial commits. A map so the analyzer's tests can put
+// their testdata package in scope.
+var ForcePathPackages = map[string]bool{
+	"repro/internal/guardian":  true,
+	"repro/internal/simplelog": true,
+	"repro/internal/hybridlog": true,
+}
+
+// forceMethods are the (*stablelog.Log) methods that block on device
+// forces.
+var forceMethods = map[string]bool{
+	"Force":      true,
+	"ForceWrite": true,
+	"ForceTo":    true,
+}
+
+// rsMethods are the core.RecoverySystem operations; every one of them
+// may append and force outcome entries.
+var rsMethods = map[string]bool{
+	"Prepare":    true,
+	"Commit":     true,
+	"Abort":      true,
+	"Committing": true,
+	"Done":       true,
+	"WriteEntry": true,
+	"Housekeep":  true,
+}
+
 // lockState tracks one held mutex inside a function walk.
 type lockState struct {
-	key      string    // canonical owner chain + field, e.g. "a.g.mu"
+	key      string       // canonical owner chain + field, e.g. "a.g.mu"
 	root     types.Object // root object of the chain (variable `a`)
 	field    types.Object // the mutex field (or package-level var)
-	chain    string    // owner chain without the mutex field, e.g. "a.g"
-	read     bool      // RLock (released by RUnlock)
-	deferred bool      // a defer covers the release
-	pos      ast.Node  // the Lock call, for reporting
+	chain    string       // owner chain without the mutex field, e.g. "a.g"
+	read     bool         // RLock (released by RUnlock)
+	deferred bool         // a defer covers the release
+	pos      ast.Node     // the Lock call, for reporting
 }
 
 type checker struct {
@@ -479,6 +526,20 @@ func (c *checker) checkHeldCall(call *ast.CallExpr, held map[string]*lockState) 
 			c.pass.Reportf(call.Pos(),
 				"raw stable.Device.%s under a held mutex; the log must do I/O through stable.Store (lock order Log → Store → Device)", fn.Name())
 			break
+		}
+	}
+	// Rule 4: force waits (or recovery-system operations, which force
+	// internally) under a lock in the guardian/writer packages.
+	if ForcePathPackages[c.pass.Pkg.Path()] {
+		blocked := (forceMethods[fn.Name()] && analysis.IsMethodOf(fn, stablelogPath, "Log")) ||
+			(rsMethods[fn.Name()] && analysis.IsMethodOf(fn, corePath, "RecoverySystem"))
+		if blocked {
+			for _, st := range held {
+				c.pass.Reportf(call.Pos(),
+					"%s() waits on a log force while %s is held; release the lock before awaiting durability or concurrent commits serialize (group commit, thesis §4.1)",
+					fn.Name(), st.key)
+				break
+			}
 		}
 	}
 }

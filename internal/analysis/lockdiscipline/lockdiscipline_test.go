@@ -11,6 +11,15 @@ func TestLockDiscipline(t *testing.T) {
 	analysistest.Run(t, lockdiscipline.Analyzer, "a")
 }
 
+func TestForceUnderLock(t *testing.T) {
+	// Rule 4 is scoped by import path; scope the testdata package the
+	// way internal/guardian and the writer packages are.
+	const pkg = "repro/internal/analysis/lockdiscipline/testdata/src/c"
+	lockdiscipline.ForcePathPackages[pkg] = true
+	defer delete(lockdiscipline.ForcePathPackages, pkg)
+	analysistest.Run(t, lockdiscipline.Analyzer, "c")
+}
+
 func TestDeviceUnderLock(t *testing.T) {
 	// Rule 3 is scoped by import path; scope the testdata package the
 	// way internal/stablelog is.

@@ -1,0 +1,79 @@
+// Package c exercises lockdiscipline rule 4: force waits and
+// recovery-system operations under a held mutex are flagged in the
+// force-path packages; buffered appends and unlocked waits are not.
+package c
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/stablelog"
+)
+
+type writer struct {
+	mu  sync.Mutex
+	log *stablelog.Log
+}
+
+// A force wait under the writer mutex: flagged.
+func (w *writer) commitSerial(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.log.ForceWrite(payload) // want `ForceWrite\(\) waits on a log force while w.mu is held`
+	return err
+}
+
+// ForceTo under the lock is just as bad: flagged.
+func (w *writer) awaitSerial(lsn stablelog.LSN) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.log.ForceTo(lsn) // want `ForceTo\(\) waits on a log force while w.mu is held`
+}
+
+// A bare Force under the lock: flagged.
+func (w *writer) flushSerial() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.log.Force() // want `Force\(\) waits on a log force while w.mu is held`
+}
+
+// The group-commit split: append under the lock, await after the
+// unlock. Not flagged.
+func (w *writer) commitGroup(payload []byte) error {
+	w.mu.Lock()
+	lsn, err := w.log.Write(payload)
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return w.log.ForceTo(lsn)
+}
+
+type guardianLike struct {
+	mu sync.Mutex
+	rs core.RecoverySystem
+}
+
+// A recovery-system operation (which forces internally) under the
+// table lock: flagged.
+func (g *guardianLike) prepareSerial(aid ids.ActionID, mos object.MOS) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rs.Prepare(aid, mos) // want `Prepare\(\) waits on a log force while g.mu is held`
+}
+
+// The same operation outside the lock: not flagged.
+func (g *guardianLike) prepareConcurrent(aid ids.ActionID, mos object.MOS) error {
+	g.mu.Lock()
+	g.mu.Unlock()
+	return g.rs.Prepare(aid, mos)
+}
+
+// Non-forcing recovery-system accessors are fine under the lock.
+func (g *guardianLike) patUnderLock() *object.PAT {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rs.PAT()
+}

@@ -97,6 +97,15 @@ type RecoverySystem interface {
 	AS() *object.AccessSet
 	// Backend identifies the storage organization.
 	Backend() Backend
+	// SetSynchronousForces pins (on=true) or lifts (on=false) fully
+	// synchronous forcing on the backend's log. The default is group
+	// commit: outcome forces coalesce across concurrent actions.
+	// Synchronous mode makes the device-write sequence a pure function
+	// of the operation sequence, which the crash sweep depends on. The
+	// shadow backend ignores it — shadowing is inherently synchronous
+	// (every operation rewrites the installed map in place; there is no
+	// append-only suffix for concurrent committers to share).
+	SetSynchronousForces(on bool)
 	// LogBytes returns the current stable-log size, and Forces the
 	// number of force operations — the write-cost measures of §1.2.
 	LogBytes() uint64
@@ -168,12 +177,13 @@ func (r *hybridRS) Housekeep(kind HousekeepKind) (hybridlog.Stats, error) {
 		return hybridlog.Stats{}, fmt.Errorf("core: unknown housekeeping kind %d", kind)
 	}
 }
-func (r *hybridRS) TrimAS()               { r.w.TrimAS() }
-func (r *hybridRS) PAT() *object.PAT      { return r.w.PAT() }
-func (r *hybridRS) AS() *object.AccessSet { return r.w.AS() }
-func (r *hybridRS) Backend() Backend      { return BackendHybrid }
-func (r *hybridRS) LogBytes() uint64      { return r.w.Log().Size() }
-func (r *hybridRS) Forces() int           { return r.w.Log().Forces() }
+func (r *hybridRS) TrimAS()                      { r.w.TrimAS() }
+func (r *hybridRS) PAT() *object.PAT             { return r.w.PAT() }
+func (r *hybridRS) AS() *object.AccessSet        { return r.w.AS() }
+func (r *hybridRS) Backend() Backend             { return BackendHybrid }
+func (r *hybridRS) LogBytes() uint64             { return r.w.Log().Size() }
+func (r *hybridRS) Forces() int                  { return r.w.Log().Forces() }
+func (r *hybridRS) SetSynchronousForces(on bool) { r.site.SetSynchronousForces(on) }
 
 // --- simple backend ----------------------------------------------------
 
@@ -219,12 +229,13 @@ func (r *simpleRS) WriteEntry(ids.ActionID, object.MOS) (object.MOS, error) {
 func (r *simpleRS) Housekeep(HousekeepKind) (hybridlog.Stats, error) {
 	return hybridlog.Stats{}, ErrUnsupported
 }
-func (r *simpleRS) TrimAS()               { r.w.TrimAS() }
-func (r *simpleRS) PAT() *object.PAT      { return r.w.PAT() }
-func (r *simpleRS) AS() *object.AccessSet { return r.w.AS() }
-func (r *simpleRS) Backend() Backend      { return BackendSimple }
-func (r *simpleRS) LogBytes() uint64      { return r.w.Log().Size() }
-func (r *simpleRS) Forces() int           { return r.w.Log().Forces() }
+func (r *simpleRS) TrimAS()                      { r.w.TrimAS() }
+func (r *simpleRS) PAT() *object.PAT             { return r.w.PAT() }
+func (r *simpleRS) AS() *object.AccessSet        { return r.w.AS() }
+func (r *simpleRS) Backend() Backend             { return BackendSimple }
+func (r *simpleRS) LogBytes() uint64             { return r.w.Log().Size() }
+func (r *simpleRS) Forces() int                  { return r.w.Log().Forces() }
+func (r *simpleRS) SetSynchronousForces(on bool) { r.site.SetSynchronousForces(on) }
 
 // --- shadow backend ----------------------------------------------------
 
@@ -307,3 +318,9 @@ func (r *shadowRS) AS() *object.AccessSet { return r.s.AS() }
 func (r *shadowRS) Backend() Backend      { return BackendShadow }
 func (r *shadowRS) LogBytes() uint64      { return r.s.Log().Size() }
 func (r *shadowRS) Forces() int           { return r.s.Log().Forces() }
+
+// SetSynchronousForces is a no-op for shadowing: every operation
+// rewrites the installed map synchronously (§1.2.1) — there is no
+// append-only log suffix for concurrent committers to share, so the
+// shadow write path is the same in both modes.
+func (r *shadowRS) SetSynchronousForces(bool) {}

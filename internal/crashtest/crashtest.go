@@ -60,6 +60,9 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return res, err
 	}
+	// Scripted histories replay by device-write index: synchronous
+	// forces keep the write sequence deterministic.
+	g.SetSynchronousForces(true)
 
 	names := make([]string, cfg.Counters)
 	oracle := make(map[string]int64, cfg.Counters)
@@ -330,6 +333,7 @@ func restart(g *guardian.Guardian) (*guardian.Guardian, error) {
 	if err != nil {
 		return nil, err
 	}
+	ng.SetSynchronousForces(true)
 	if err := guardian.CheckRecovered(ng); err != nil {
 		return nil, err
 	}

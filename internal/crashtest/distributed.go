@@ -53,6 +53,7 @@ func RunDistributed(cfg DistributedConfig) (DistributedResult, error) {
 		if err != nil {
 			return res, err
 		}
+		g.SetSynchronousForces(true)
 		boot := g.Begin()
 		vault, err := boot.NewAtomic(value.Int(cfg.InitialBalance))
 		if err != nil {
@@ -90,6 +91,7 @@ func RunDistributed(cfg DistributedConfig) (DistributedResult, error) {
 				if err != nil {
 					return err
 				}
+				ng.SetSynchronousForces(true)
 				if err := guardian.CheckRecovered(ng); err != nil {
 					return err
 				}
@@ -247,6 +249,7 @@ func RunDistributed(cfg DistributedConfig) (DistributedResult, error) {
 		if err != nil {
 			return res, err
 		}
+		ng.SetSynchronousForces(true)
 		gs[i] = ng
 		res.Crashes++
 	}

@@ -246,6 +246,10 @@ func executeScript(vol *stablelog.MemVolume, cfg SweepConfig, script []scriptSte
 	} else if c {
 		return -1, nil, nil
 	}
+	// The sweep counts device writes to place crash points; pin
+	// synchronous forces so the counts are a pure function of the
+	// schedule, independent of group-commit coalescing.
+	g.SetSynchronousForces(true)
 	init := g.Begin()
 	var initErr error
 	for i := 0; i < sweepCounters && initErr == nil; i++ {
@@ -380,6 +384,7 @@ func recoverOnce(vol *stablelog.MemVolume, cfg SweepConfig, armAt int, withDecay
 	}
 	g, err = guardian.Open(1, vol, cfg.Backend)
 	if err == nil {
+		g.SetSynchronousForces(true)
 		err = guardian.CheckRecovered(g)
 	}
 	if err == nil {

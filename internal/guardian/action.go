@@ -74,9 +74,9 @@ func (a *Action) NewAtomic(initial value.Value) (*object.Atomic, error) {
 	}
 	obj := object.NewAtomic(a.g.uids.Next(), initial, a.id)
 	a.g.heap.Register(obj)
-	a.g.mu.Lock()
+	st.mu.Lock()
 	st.locked[obj.UID()] = obj
-	a.g.mu.Unlock()
+	st.mu.Unlock()
 	return obj, nil
 }
 
@@ -100,9 +100,9 @@ func (a *Action) Read(obj *object.Atomic) (value.Value, error) {
 	if err := obj.AcquireRead(a.id); err != nil {
 		return nil, err
 	}
-	a.g.mu.Lock()
+	st.mu.Lock()
 	st.locked[obj.UID()] = obj
-	a.g.mu.Unlock()
+	st.mu.Unlock()
 	return obj.Value(a.id), nil
 }
 
@@ -119,11 +119,11 @@ func (a *Action) Update(obj *object.Atomic, fn func(value.Value) value.Value) er
 	if err := obj.Replace(a.id, fn(obj.Value(a.id))); err != nil {
 		return err
 	}
-	a.g.mu.Lock()
+	st.mu.Lock()
 	st.locked[obj.UID()] = obj
 	st.mos[obj.UID()] = obj
 	delete(st.early, obj.UID()) // modified since any early prepare
-	a.g.mu.Unlock()
+	st.mu.Unlock()
 	return nil
 }
 
@@ -143,9 +143,9 @@ func (a *Action) ReadWait(obj *object.Atomic, timeout time.Duration) (value.Valu
 	if err := obj.AcquireReadWait(a.id, timeout); err != nil {
 		return nil, err
 	}
-	a.g.mu.Lock()
+	st.mu.Lock()
 	st.locked[obj.UID()] = obj
-	a.g.mu.Unlock()
+	st.mu.Unlock()
 	return obj.Value(a.id), nil
 }
 
@@ -163,11 +163,11 @@ func (a *Action) UpdateWait(obj *object.Atomic, timeout time.Duration, fn func(v
 	if err := obj.Replace(a.id, fn(obj.Value(a.id))); err != nil {
 		return err
 	}
-	a.g.mu.Lock()
+	st.mu.Lock()
 	st.locked[obj.UID()] = obj
 	st.mos[obj.UID()] = obj
 	delete(st.early, obj.UID())
-	a.g.mu.Unlock()
+	st.mu.Unlock()
 	return nil
 }
 
@@ -179,10 +179,10 @@ func (a *Action) Seize(m *object.Mutex, fn func(value.Value) value.Value) error 
 		return err
 	}
 	m.Seize(a.id, fn)
-	a.g.mu.Lock()
+	st.mu.Lock()
 	st.mos[m.UID()] = m
 	delete(st.early, m.UID())
-	a.g.mu.Unlock()
+	st.mu.Unlock()
 	return nil
 }
 
@@ -209,8 +209,8 @@ func (a *Action) SetVar(name string, obj object.Recoverable) error {
 // becomes the prepared entry's object order in the log, which must be
 // identical across runs for the crash sweep to replay a schedule.
 func (a *Action) mosList(st *actionState, includeEarly bool) object.MOS {
-	a.g.mu.Lock()
-	defer a.g.mu.Unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	uids := make([]ids.UID, 0, len(st.mos))
 	//roslint:nondet keys collected here are sorted below before use
 	for uid := range st.mos {
@@ -244,13 +244,13 @@ func (a *Action) EarlyPrepare() error {
 	for _, obj := range rest {
 		notWritten[obj.UID()] = true
 	}
-	a.g.mu.Lock()
+	st.mu.Lock()
 	for _, obj := range mos {
 		if !notWritten[obj.UID()] {
 			st.early[obj.UID()] = true
 		}
 	}
-	a.g.mu.Unlock()
+	st.mu.Unlock()
 	return nil
 }
 
@@ -282,19 +282,25 @@ func (g *Guardian) HandlePrepare(aid ids.ActionID) (twopc.Vote, error) {
 	if len(fullMOS) == 0 {
 		g.mu.Lock()
 		_, stillLive := g.live[aid]
-		onlyReads := stillLive && len(st.mos) == 0
 		g.mu.Unlock()
+		st.mu.Lock()
+		onlyReads := stillLive && len(st.mos) == 0
+		st.mu.Unlock()
 		if onlyReads {
 			g.applyVerdict(aid, false) // releases read locks; no records
 			return twopc.VoteReadOnly, nil
 		}
 	}
 	mos := (&Action{g: g, id: aid}).mosList(st, false)
+	// No lock across Prepare: it flattens objects, appends to the log
+	// and waits for a (possibly shared) force.
 	if err := g.rs.Prepare(aid, mos); err != nil {
 		return twopc.VoteAborted, err
 	}
-	g.mu.Lock()
+	st.mu.Lock()
 	st.prepared = true
+	st.mu.Unlock()
+	g.mu.Lock()
 	g.pt[aid] = simplelog.PartPrepared
 	g.mu.Unlock()
 	return twopc.VotePrepared, nil
@@ -354,8 +360,14 @@ func (g *Guardian) applyVerdict(aid ids.ActionID, commit bool) {
 		}
 	}
 	if ok {
+		st.mu.Lock()
+		locked := make([]*object.Atomic, 0, len(st.locked))
 		//roslint:nondet order-independent: commit/abort is applied per object, no cross-object effects
 		for _, obj := range st.locked {
+			locked = append(locked, obj)
+		}
+		st.mu.Unlock()
+		for _, obj := range locked {
 			apply(obj)
 		}
 		return

@@ -45,17 +45,36 @@ type Guardian struct {
 	// is then legitimately absent from the AS until first logged.
 	freshVars bool
 
+	// mu is the guardian table lock: it guards only the action tables
+	// (live, ct, pt) and the crashed flag, with short critical sections —
+	// a table lookup or update, never log I/O, object flattening, or a
+	// force wait. Per-action footprints live behind each actionState's
+	// own mutex, so actions touching disjoint objects proceed in
+	// parallel and their outcome forces coalesce in the log's group
+	// scheduler. Lock order: g.mu → actionState.mu → writer → log
+	// (see DESIGN.md "Concurrency architecture"); no code acquires g.mu
+	// while holding a later lock.
 	mu      sync.Mutex
 	live    map[ids.ActionID]*actionState
 	ct      map[ids.ActionID]simplelog.CoordInfo
 	pt      map[ids.ActionID]simplelog.PartState
 	crashed bool
 
-	// handlers is the guardian's external interface (§2.1).
-	handlers map[string]HandlerFunc
+	// handlers is the guardian's external interface (§2.1), guarded by
+	// its own mutex: handler registration must not contend with the
+	// action tables, and registries of different guardians are
+	// independent.
+	handlersMu sync.Mutex
+	handlers   map[string]HandlerFunc
 }
 
+// actionState is one action's volatile footprint at this guardian. Its
+// mutex guards all fields; it is ordered after g.mu (the table lock
+// locates the state, then the state locks itself) and before any writer
+// or log mutex. Holding it across a recovery-system call or force wait
+// is forbidden — that would serialize independent actions again.
 type actionState struct {
+	mu       sync.Mutex
 	mos      map[ids.UID]object.Recoverable // modified objects
 	locked   map[ids.UID]*object.Atomic     // atomics holding locks for this action
 	early    map[ids.UID]bool               // early-prepared and unmodified since
@@ -152,16 +171,17 @@ func New(id ids.GuardianID, opts ...Option) (*Guardian, error) {
 		return nil, err
 	}
 	g := &Guardian{
-		id:      id,
-		backend: cfg.backend,
-		vol:     vol,
-		memVol:  memVol,
-		heap:    object.NewHeap(),
-		uids:    ids.NewUIDGenerator(ids.StableVarsUID),
-		aids:    ids.NewActionIDGenerator(id),
-		live:    make(map[ids.ActionID]*actionState),
-		ct:      make(map[ids.ActionID]simplelog.CoordInfo),
-		pt:      make(map[ids.ActionID]simplelog.PartState),
+		id:       id,
+		backend:  cfg.backend,
+		vol:      vol,
+		memVol:   memVol,
+		heap:     object.NewHeap(),
+		uids:     ids.NewUIDGenerator(ids.StableVarsUID),
+		aids:     ids.NewActionIDGenerator(id),
+		live:     make(map[ids.ActionID]*actionState),
+		ct:       make(map[ids.ActionID]simplelog.CoordInfo),
+		pt:       make(map[ids.ActionID]simplelog.PartState),
+		handlers: make(map[string]HandlerFunc),
 	}
 	g.aids.SetEpoch(epoch << epochShift)
 	// The stable-variables object exists from the guardian's creation
@@ -193,8 +213,16 @@ func New(id ids.GuardianID, opts ...Option) (*Guardian, error) {
 // ID returns the guardian's identifier.
 func (g *Guardian) ID() ids.GuardianID { return g.id }
 
-// GuardianID implements twopc.Participant and twopc.OutcomeSource.
-func (g *Guardian) GuardianID() ids.GuardianID { return g.id }
+// GuardianID is a thin alias for ID, required because the
+// twopc.Participant, twopc.CoordinatorLog and twopc.OutcomeSource
+// interfaces name the method GuardianID. Use ID everywhere else.
+func (g *Guardian) GuardianID() ids.GuardianID { return g.ID() }
+
+// SetSynchronousForces pins (on) or lifts (off) fully synchronous
+// outcome forcing on the guardian's recovery system. The default is
+// group commit; the crash harnesses pin synchronous mode so device
+// write counts are a pure function of the operation sequence.
+func (g *Guardian) SetSynchronousForces(on bool) { g.rs.SetSynchronousForces(on) }
 
 // Heap returns the guardian's volatile heap.
 func (g *Guardian) Heap() *object.Heap { return g.heap }
@@ -260,11 +288,12 @@ func Open(id ids.GuardianID, vol stablelog.Volume, backend core.Backend) (*Guard
 		return nil, fmt.Errorf("guardian: epoch bump failed: %w", err0)
 	}
 	ng := &Guardian{
-		id:      id,
-		backend: backend,
-		vol:     vol,
-		aids:    ids.NewActionIDGenerator(id),
-		live:    make(map[ids.ActionID]*actionState),
+		id:       id,
+		backend:  backend,
+		vol:      vol,
+		aids:     ids.NewActionIDGenerator(id),
+		live:     make(map[ids.ActionID]*actionState),
+		handlers: make(map[string]HandlerFunc),
 	}
 	ng.aids.SetEpoch(epoch << epochShift)
 	if mv, ok := vol.(*stablelog.MemVolume); ok {

@@ -13,7 +13,6 @@ package guardian
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/ids"
 	"repro/internal/netsim"
@@ -26,22 +25,19 @@ import (
 // guardian's objects through it.
 type HandlerFunc func(sub *Sub, arg value.Value) (value.Value, error)
 
-var handlerMu sync.Mutex
-
-// RegisterHandler installs a handler under the given name.
+// RegisterHandler installs a handler under the given name. The registry
+// is per-guardian (guarded by g.handlersMu), so registration at one
+// guardian never contends with calls at another.
 func (g *Guardian) RegisterHandler(name string, fn HandlerFunc) {
-	handlerMu.Lock()
-	defer handlerMu.Unlock()
-	if g.handlers == nil {
-		g.handlers = make(map[string]HandlerFunc)
-	}
+	g.handlersMu.Lock()
+	defer g.handlersMu.Unlock()
 	g.handlers[name] = fn
 }
 
 // lookupHandler fetches a handler by name.
 func (g *Guardian) lookupHandler(name string) (HandlerFunc, bool) {
-	handlerMu.Lock()
-	defer handlerMu.Unlock()
+	g.handlersMu.Lock()
+	defer g.handlersMu.Unlock()
 	fn, ok := g.handlers[name]
 	return fn, ok
 }
@@ -79,13 +75,16 @@ func Call(net *netsim.Network, a *Action, target *Guardian, name string, arg val
 	}
 	// Remember the participant for CommitSpread.
 	a.g.mu.Lock()
-	if st, ok := a.g.live[a.id]; ok {
+	st, ok := a.g.live[a.id]
+	a.g.mu.Unlock()
+	if ok {
+		st.mu.Lock()
 		if st.remote == nil {
 			st.remote = make(map[ids.GuardianID]*Guardian)
 		}
 		st.remote[target.id] = target
+		st.mu.Unlock()
 	}
-	a.g.mu.Unlock()
 	return result, nil
 }
 
@@ -96,12 +95,13 @@ func Call(net *netsim.Network, a *Action, target *Guardian, name string, arg val
 func CommitSpread(net *netsim.Network, a *Action) (twopc.Result, error) {
 	a.g.mu.Lock()
 	st, ok := a.g.live[a.id]
+	a.g.mu.Unlock()
 	if !ok {
-		a.g.mu.Unlock()
 		return twopc.Result{}, fmt.Errorf("%w: %v", ErrUnknownAction, a.id)
 	}
 	// Sort the spread-to guardians so prepare/commit messages go out in
 	// the same order every run (the sweep replays message schedules).
+	st.mu.Lock()
 	gids := make([]ids.GuardianID, 0, len(st.remote))
 	//roslint:nondet keys collected here are sorted below before use
 	for gid := range st.remote {
@@ -112,7 +112,7 @@ func CommitSpread(net *netsim.Network, a *Action) (twopc.Result, error) {
 	for _, gid := range gids {
 		parts = append(parts, st.remote[gid])
 	}
-	a.g.mu.Unlock()
+	st.mu.Unlock()
 	c := &twopc.Coordinator{Self: a.g.id, Net: net, Log: a.g}
 	return c.Run(a.id, parts)
 }

@@ -148,11 +148,14 @@ func (s *Sub) Abort() error {
 		// lock, and remove the object from the top action's MOS.
 		u.obj.Abort(a.id)
 		a.g.mu.Lock()
-		if st, ok := a.g.live[a.id]; ok {
+		st, live := a.g.live[a.id]
+		a.g.mu.Unlock()
+		if live {
+			st.mu.Lock()
 			delete(st.mos, u.obj.UID())
 			delete(st.locked, u.obj.UID())
+			st.mu.Unlock()
 		}
-		a.g.mu.Unlock()
 	}
 	s.undo = nil
 	return nil

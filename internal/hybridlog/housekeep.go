@@ -611,13 +611,18 @@ func (h *Housekeeper) Finish() error {
 		return fmt.Errorf("hybridlog: Finish before successful Stage1")
 	}
 	w := h.w
-	// Copy OEL entries without the lock until we catch up, then freeze.
+	// Copy OEL entries and force the new log without the lock until we
+	// catch up with the new log forced, then freeze. The force runs
+	// outside w.mu (force waits never happen under a writer lock); if
+	// outcome entries land between the force and the re-check, the next
+	// iteration copies and re-forces.
 	done := 0
+	forcedAt := -1
 	for {
 		w.mu.Lock()
 		pendingOEL := h.hk.oel[done:]
-		if len(pendingOEL) == 0 {
-			// Caught up: keep the lock, switch below.
+		if len(pendingOEL) == 0 && forcedAt == done {
+			// Caught up and durable: keep the lock, switch below.
 			break
 		}
 		batch := make([]stablelog.LSN, len(pendingOEL))
@@ -629,13 +634,14 @@ func (h *Housekeeper) Finish() error {
 			}
 		}
 		done += len(batch)
+		if err := h.newLog.Force(); err != nil {
+			return err
+		}
+		forcedAt = done
 	}
 	defer w.mu.Unlock()
 
-	// Force the new log and switch generations: the one atomic step.
-	if err := h.newLog.Force(); err != nil {
-		return err
-	}
+	// Switch generations: the one atomic step.
 	if err := h.site.Switch(h.newLog, h.gen); err != nil {
 		return err
 	}

@@ -159,13 +159,20 @@ func (w *Writer) writeMOSLocked(aid ids.ActionID, mos object.MOS) (object.MOS, e
 }
 
 // Prepare writes data entries for any objects in mos not yet early-
-// prepared, then forces the prepared outcome entry carrying the
-// ⟨uid, log address⟩ pairs for every data entry written on behalf of
-// aid, linked to the previous outcome entry (§4.2).
+// prepared, then appends and forces the prepared outcome entry carrying
+// the ⟨uid, log address⟩ pairs for every data entry written on behalf
+// of aid, linked to the previous outcome entry (§4.2).
+//
+// The PAT and mutex-table updates happen at append time, before the
+// force: a concurrent prepare that sees an object write-locked by aid
+// must write aid's current version as prepared_data, which is correct
+// because its own force covers aid's already-appended prepared entry
+// (durability is a log-prefix property). On a force error the PAT entry
+// is rolled back.
 func (w *Writer) Prepare(aid ids.ActionID, mos object.MOS) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if _, err := w.writeMOSLocked(aid, mos); err != nil {
+		w.mu.Unlock()
 		return err
 	}
 	pend := w.pending[aid]
@@ -173,13 +180,18 @@ func (w *Writer) Prepare(aid ids.ActionID, mos object.MOS) error {
 	for i, p := range pend {
 		pairs[i] = logrec.UIDLSN{UID: p.obj.UID(), Addr: p.addr}
 	}
-	if _, err := w.forceOutcomeLocked(&logrec.Entry{
+	e := &logrec.Entry{
 		Kind:  logrec.KindPrepared,
 		AID:   aid,
 		Pairs: pairs,
-	}); err != nil {
+		Prev:  w.lastOutcome,
+	}
+	lsn, err := w.log.Write(logrec.Encode(logrec.Hybrid, e))
+	if err != nil {
+		w.mu.Unlock()
 		return err
 	}
+	w.noteOutcomeLocked(lsn)
 	// The action's mutex versions are now prepared: enter them in the
 	// mutex table (§5.2).
 	for _, p := range pend {
@@ -189,82 +201,112 @@ func (w *Writer) Prepare(aid ids.ActionID, mos object.MOS) error {
 	}
 	delete(w.pending, aid)
 	w.pat.Add(aid)
+	w.mu.Unlock()
+
+	if err := w.log.ForceTo(lsn); err != nil {
+		w.mu.Lock()
+		w.pat.Remove(aid)
+		w.mu.Unlock()
+		return err
+	}
 	return nil
 }
 
-// Commit forces the committed outcome entry for aid (§3.3.2, hybrid
-// format).
+// Commit appends and forces the committed outcome entry for aid
+// (§3.3.2, hybrid format). The force runs outside the writer mutex so
+// concurrent committers share one force barrier.
 func (w *Writer) Commit(aid ids.ActionID) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	_, err := w.forceOutcomeLocked(&logrec.Entry{Kind: logrec.KindCommitted, AID: aid})
+	e := &logrec.Entry{Kind: logrec.KindCommitted, AID: aid, Prev: w.lastOutcome}
+	lsn, err := w.log.Write(logrec.Encode(logrec.Hybrid, e))
 	if err != nil {
+		w.mu.Unlock()
 		return err
 	}
+	w.noteOutcomeLocked(lsn)
+	w.mu.Unlock()
+	if err := w.log.ForceTo(lsn); err != nil {
+		return err
+	}
+	w.mu.Lock()
 	w.pat.Remove(aid)
 	delete(w.pending, aid)
+	w.mu.Unlock()
 	return nil
 }
 
-// Abort forces the aborted outcome entry for aid. Any early-prepared
-// data entries become garbage ("extra work has been done, but that is
-// not a problem", §4.4).
+// Abort appends and forces the aborted outcome entry for aid. Any
+// early-prepared data entries become garbage ("extra work has been
+// done, but that is not a problem", §4.4).
 func (w *Writer) Abort(aid ids.ActionID) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	_, err := w.forceOutcomeLocked(&logrec.Entry{Kind: logrec.KindAborted, AID: aid})
+	e := &logrec.Entry{Kind: logrec.KindAborted, AID: aid, Prev: w.lastOutcome}
+	lsn, err := w.log.Write(logrec.Encode(logrec.Hybrid, e))
 	if err != nil {
+		w.mu.Unlock()
 		return err
 	}
+	w.noteOutcomeLocked(lsn)
+	w.mu.Unlock()
+	if err := w.log.ForceTo(lsn); err != nil {
+		return err
+	}
+	w.mu.Lock()
 	w.pat.Remove(aid)
 	delete(w.pending, aid)
+	w.mu.Unlock()
 	return nil
 }
 
-// Committing forces the coordinator's committing entry.
+// Committing appends and forces the coordinator's committing entry.
 func (w *Writer) Committing(aid ids.ActionID, gids []ids.GuardianID) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	_, err := w.forceOutcomeLocked(&logrec.Entry{Kind: logrec.KindCommitting, AID: aid, GIDs: gids})
-	return err
+	e := &logrec.Entry{Kind: logrec.KindCommitting, AID: aid, GIDs: gids, Prev: w.lastOutcome}
+	lsn, err := w.log.Write(logrec.Encode(logrec.Hybrid, e))
+	if err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	w.noteOutcomeLocked(lsn)
+	w.mu.Unlock()
+	return w.log.ForceTo(lsn)
 }
 
-// Done forces the coordinator's done entry.
+// Done appends and forces the coordinator's done entry.
 func (w *Writer) Done(aid ids.ActionID) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	_, err := w.forceOutcomeLocked(&logrec.Entry{Kind: logrec.KindDone, AID: aid})
-	return err
+	e := &logrec.Entry{Kind: logrec.KindDone, AID: aid, Prev: w.lastOutcome}
+	lsn, err := w.log.Write(logrec.Encode(logrec.Hybrid, e))
+	if err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	w.noteOutcomeLocked(lsn)
+	w.mu.Unlock()
+	return w.log.ForceTo(lsn)
 }
 
-// forceOutcomeLocked links e into the backward chain, forces it, and
-// advances the chain head, notifying any housekeeping run in progress.
-func (w *Writer) forceOutcomeLocked(e *logrec.Entry) (stablelog.LSN, error) {
-	e.Prev = w.lastOutcome
-	lsn, err := w.log.ForceWrite(logrec.Encode(logrec.Hybrid, e))
-	if err != nil {
-		return stablelog.NoLSN, err
-	}
+// noteOutcomeLocked advances the backward-chain head to lsn and tells
+// any housekeeping run in progress. The caller holds w.mu and has set
+// the entry's Prev to the previous chain head.
+func (w *Writer) noteOutcomeLocked(lsn stablelog.LSN) {
 	w.lastOutcome = lsn
 	if w.hk != nil {
 		w.hk.noteOutcome(lsn)
 	}
-	return lsn, nil
 }
 
-// writeOutcomeLocked is forceOutcomeLocked without the force, for the
-// combined data/outcome entries (base_committed, prepared_data) that
-// need not hit the disk until the prepared entry is forced.
+// writeOutcomeLocked appends a combined data/outcome entry
+// (base_committed, prepared_data) into the backward chain without
+// forcing: these need not hit the disk until the prepared entry that
+// follows them is forced.
 func (w *Writer) writeOutcomeLocked(e *logrec.Entry) (stablelog.LSN, error) {
 	e.Prev = w.lastOutcome
 	lsn, err := w.log.Write(logrec.Encode(logrec.Hybrid, e))
 	if err != nil {
 		return stablelog.NoLSN, err
 	}
-	w.lastOutcome = lsn
-	if w.hk != nil {
-		w.hk.noteOutcome(lsn)
-	}
+	w.noteOutcomeLocked(lsn)
 	return lsn, nil
 }
 

@@ -19,6 +19,13 @@
 // address to the root page. Mutex objects follow Argus semantics: their
 // prepared versions are installed at the next map write and restored
 // from the intentions suffix meanwhile.
+//
+// Shadowing does not participate in group commit: each outcome rewrites
+// and installs the whole map, and the root-page switch serializes with
+// the map write, so there is no append-only suffix that concurrent
+// committers could cover with one shared force. All forces here stay
+// synchronous — which is exactly the §1.2.1 write cost the log
+// organizations are measured against.
 package shadow
 
 import (

@@ -20,9 +20,15 @@ import (
 )
 
 // Writer runs the participant- and coordinator-side writing algorithms
-// against one guardian's simple log. The thesis assumes recovery-system
-// operations are called sequentially (§2.3); Writer serializes them
-// with a mutex so callers need not.
+// against one guardian's simple log. The mutex serializes mutation of
+// the writer's volatile tables (AS, PAT) and the log appends; the force
+// that makes an outcome durable happens *outside* the mutex via
+// ForceTo, so concurrent actions share force barriers (group commit)
+// instead of queueing behind each other's device writes. Durability is
+// a log-prefix property: once an outcome entry is appended under the
+// mutex, any force that covers it — whoever ran it — makes it durable,
+// and the tables may be updated at append time because every later
+// prepare's force also covers every earlier append.
 type Writer struct {
 	mu   sync.Mutex
 	log  *stablelog.Log
@@ -51,10 +57,45 @@ func (w *Writer) AS() *object.AccessSet { return w.as }
 // modified-objects set mos, then forces the prepared outcome entry.
 // After Prepare returns the participant may reply "prepared" to the
 // coordinator.
+//
+// The PAT entry is added at append time, before the force: a concurrent
+// prepare that sees an object write-locked by aid must then write aid's
+// current version as prepared_data, and that is correct because the
+// concurrent prepare's own force covers aid's already-appended prepared
+// entry. If the force fails the entry is rolled back.
 func (w *Writer) Prepare(aid ids.ActionID, mos object.MOS) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	// Steps 2–4: data, base_committed and prepared_data entries.
+	if err := w.writeDataEntries(aid, mos); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	// Step 5: append the prepared outcome entry and enter the PAT; the
+	// force happens after the unlock so concurrent prepares coalesce.
+	lsn, err := w.log.Write(logrec.Encode(logrec.Simple, &logrec.Entry{
+		Kind: logrec.KindPrepared,
+		AID:  aid,
+	}))
+	if err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	w.pat.Add(aid)
+	w.mu.Unlock()
 
+	if err := w.log.ForceTo(lsn); err != nil {
+		w.mu.Lock()
+		w.pat.Remove(aid)
+		w.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// writeDataEntries runs steps 2–4 of §3.3.3.3, appending the data,
+// base_committed and prepared_data entries for aid's MOS. The caller
+// holds w.mu.
+func (w *Writer) writeDataEntries(aid ids.ActionID, mos object.MOS) error {
 	naos := newNAOS()
 	// Step 2: a just-created guardian has an empty AS; seed the NAOS
 	// with the stable-variables object so the whole initial stable
@@ -89,16 +130,6 @@ func (w *Writer) Prepare(aid ids.ActionID, mos object.MOS) error {
 		}
 		w.as.Add(obj.UID())
 	}
-
-	// Step 5: force the prepared outcome entry.
-	_, err := w.log.ForceWrite(logrec.Encode(logrec.Simple, &logrec.Entry{
-		Kind: logrec.KindPrepared,
-		AID:  aid,
-	}))
-	if err != nil {
-		return err
-	}
-	w.pat.Add(aid)
 	return nil
 }
 
@@ -190,62 +221,79 @@ func (w *Writer) writeBaseCommitted(o *object.Atomic, naos *naos) error {
 	return err
 }
 
-// Commit forces the committed outcome entry for aid and drops it from
-// the PAT (§3.3.2).
+// Commit appends and forces the committed outcome entry for aid and
+// drops it from the PAT (§3.3.2). The force runs outside the writer
+// mutex so concurrent committers share one force barrier.
 func (w *Writer) Commit(aid ids.ActionID) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	_, err := w.log.ForceWrite(logrec.Encode(logrec.Simple, &logrec.Entry{
+	lsn, err := w.log.Write(logrec.Encode(logrec.Simple, &logrec.Entry{
 		Kind: logrec.KindCommitted,
 		AID:  aid,
 	}))
+	w.mu.Unlock()
 	if err != nil {
 		return err
 	}
+	if err := w.log.ForceTo(lsn); err != nil {
+		return err
+	}
+	w.mu.Lock()
 	w.pat.Remove(aid)
+	w.mu.Unlock()
 	return nil
 }
 
-// Abort forces the aborted outcome entry for aid and drops it from the
-// PAT (§3.3.2).
+// Abort appends and forces the aborted outcome entry for aid and drops
+// it from the PAT (§3.3.2).
 func (w *Writer) Abort(aid ids.ActionID) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	_, err := w.log.ForceWrite(logrec.Encode(logrec.Simple, &logrec.Entry{
+	lsn, err := w.log.Write(logrec.Encode(logrec.Simple, &logrec.Entry{
 		Kind: logrec.KindAborted,
 		AID:  aid,
 	}))
+	w.mu.Unlock()
 	if err != nil {
 		return err
 	}
+	if err := w.log.ForceTo(lsn); err != nil {
+		return err
+	}
+	w.mu.Lock()
 	w.pat.Remove(aid)
+	w.mu.Unlock()
 	return nil
 }
 
-// Committing forces the coordinator's committing outcome entry naming
-// the participant guardians; once it is on the log the action is
-// committed (§3.3.1).
+// Committing appends and forces the coordinator's committing outcome
+// entry naming the participant guardians; once it is on the log the
+// action is committed (§3.3.1).
 func (w *Writer) Committing(aid ids.ActionID, gids []ids.GuardianID) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	_, err := w.log.ForceWrite(logrec.Encode(logrec.Simple, &logrec.Entry{
+	lsn, err := w.log.Write(logrec.Encode(logrec.Simple, &logrec.Entry{
 		Kind: logrec.KindCommitting,
 		AID:  aid,
 		GIDs: gids,
 	}))
-	return err
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return w.log.ForceTo(lsn)
 }
 
-// Done forces the coordinator's done outcome entry; two-phase commit is
-// complete (§3.3.1).
+// Done appends and forces the coordinator's done outcome entry;
+// two-phase commit is complete (§3.3.1).
 func (w *Writer) Done(aid ids.ActionID) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	_, err := w.log.ForceWrite(logrec.Encode(logrec.Simple, &logrec.Entry{
+	lsn, err := w.log.Write(logrec.Encode(logrec.Simple, &logrec.Entry{
 		Kind: logrec.KindDone,
 		AID:  aid,
 	}))
-	return err
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return w.log.ForceTo(lsn)
 }
 
 // TrimAS trims the accessibility set (§3.3.3.2): actions that make

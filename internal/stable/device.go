@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrCrashed is returned by every operation on a device (or a store
@@ -156,8 +157,9 @@ type MemDevice struct {
 	bad       map[int]bool
 	crashed   bool
 	plan      FaultPlan
-	writes    int // total successful or torn writes, for statistics
-	reads     int // total read attempts, for statistics
+	writes    int           // total successful or torn writes, for statistics
+	reads     int           // total read attempts, for statistics
+	delay     time.Duration // simulated latency per block write
 }
 
 // NewMemDevice returns an empty in-memory device with the given block
@@ -206,6 +208,21 @@ func (d *MemDevice) SetPlan(plan FaultPlan) {
 	d.plan = plan
 }
 
+// SetWriteDelay makes every subsequent block write take at least d of
+// wall-clock time, simulating the device latency that makes a log force
+// expensive. The default MemDevice write is a memcpy, so concurrent
+// committers never overlap inside a force and group commit has nothing
+// to coalesce; benchmarks set a realistic delay to recover the disk
+// economics the thesis assumes (§1.2: forces are the write-cost
+// measure). The delay changes only timing, never outcomes or write
+// counts, so the deterministic crash harnesses are unaffected (they
+// leave it zero).
+func (d *MemDevice) SetWriteDelay(delay time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.delay = delay
+}
+
 // Bad reports whether block i is currently torn or decayed.
 func (d *MemDevice) Bad(i int) bool {
 	d.mu.Lock()
@@ -244,6 +261,20 @@ func (d *MemDevice) ReadBlock(i int) ([]byte, error) {
 func (d *MemDevice) WriteBlock(i int, p []byte) error {
 	if len(p) > d.blockSize {
 		return fmt.Errorf("stable: write of %d bytes exceeds block size %d", len(p), d.blockSize)
+	}
+	d.mu.Lock()
+	delay := d.delay
+	d.mu.Unlock()
+	if delay > 0 {
+		// Outside d.mu: a slow write models device latency, not a lock
+		// on the block map; reads and the crash injector stay live.
+		// Sleep, not a spin — a disk write leaves the CPU free for the
+		// committers whose overlap group commit exists to exploit (a
+		// spin would serialize them on small machines). The sleep
+		// timer's granularity may round the delay up; that only makes
+		// the simulated disk slower, which the relative measurements
+		// tolerate.
+		time.Sleep(delay)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()

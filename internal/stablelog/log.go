@@ -65,9 +65,15 @@ var ErrNoEntry = errors.New("stablelog: no entry at address")
 
 // Log is one guardian's stable log. All methods are safe for concurrent
 // use; the thesis assumes recovery-system operations are sequential
-// (§2.3), but housekeeping reads the old log while writes continue, so
-// the lock matters.
+// (§2.3), but housekeeping reads the old log while writes continue, and
+// independent actions append and await forces concurrently.
 type Log struct {
+	// forceMu serializes force rounds. A force snapshots the buffered
+	// suffix under mu, performs the store I/O with mu released — so
+	// appends and reads proceed while the device writes run — and then
+	// publishes the new durable boundary under mu. Lock order:
+	// forceMu → mu → Store → Device; never the reverse.
+	forceMu  sync.Mutex
 	mu       sync.Mutex
 	store    *stable.Store
 	pageSize int
@@ -81,17 +87,23 @@ type Log struct {
 	forced   LSN    // address of the last entry known forced
 	nEntries int    // appended entries (including buffered)
 	nForces  int    // force operations performed (statistics)
+
+	// sched coalesces concurrent ForceTo waiters into shared force
+	// rounds (see scheduler.go).
+	sched forceScheduler
 }
 
 // New returns an empty log over a fresh store.
 func New(store *stable.Store) *Log {
-	return &Log{
+	l := &Log{
 		store:    store,
 		pageSize: store.PageSize(),
 		lastLSN:  NoLSN,
 		forced:   NoLSN,
 		tailImg:  make([]byte, store.PageSize()),
 	}
+	l.sched.cond = sync.NewCond(&l.sched.mu)
+	return l
 }
 
 // Open reconstructs a log from a store after a crash. Buffered entries
@@ -281,15 +293,15 @@ func (l *Log) writeLocked(payload []byte) (LSN, error) {
 }
 
 // ForceWrite appends an entry and forces it — and every older buffered
-// entry — to stable storage before returning (§3.1).
+// entry — to stable storage before returning (§3.1). It is Write
+// followed by ForceTo, so concurrent ForceWrite callers share force
+// rounds through the scheduler.
 func (l *Log) ForceWrite(payload []byte) (LSN, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	lsn, err := l.writeLocked(payload)
+	lsn, err := l.Write(payload)
 	if err != nil {
 		return NoLSN, err
 	}
-	if err := l.forceLocked(); err != nil {
+	if err := l.ForceTo(lsn); err != nil {
 		return NoLSN, err
 	}
 	return lsn, nil
@@ -297,23 +309,39 @@ func (l *Log) ForceWrite(payload []byte) (LSN, error) {
 
 // Force flushes all buffered entries to stable storage.
 func (l *Log) Force() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.forceLocked()
+	l.forceMu.Lock()
+	defer l.forceMu.Unlock()
+	return l.forceRound()
 }
 
-func (l *Log) forceLocked() error {
+// forceRound performs one device force: it snapshots the buffered
+// suffix under mu, writes it to the store with mu released (appends and
+// reads continue meanwhile; readAt never serves past the unchanged
+// durable boundary, and the flushed prefix of the tail page keeps its
+// byte values), seals the force with the superblock, and publishes the
+// new durable boundary. Entries appended after the snapshot stay
+// buffered for the next round. Callers hold forceMu, which serializes
+// rounds, so the snapshot's prefix of buf is stable throughout.
+func (l *Log) forceRound() error {
+	l.mu.Lock()
 	if len(l.buf) == 0 {
 		l.forced = l.lastLSN
+		l.mu.Unlock()
 		return nil
 	}
+	snapBuf := l.buf
+	snapTail := l.tail
+	snapLastLSN := l.lastLSN
+	snapLast := l.last
 	ps := uint64(l.pageSize)
 	start := l.durable
 	partial := start % ps
 	// Assemble the byte stream from the start of the tail page.
-	data := make([]byte, 0, int(partial)+len(l.buf))
+	data := make([]byte, 0, int(partial)+len(snapBuf))
 	data = append(data, l.tailImg[:partial]...)
-	data = append(data, l.buf...)
+	data = append(data, snapBuf...)
+	l.mu.Unlock()
+
 	page := firstDataPage + int(start/ps)
 	for off := 0; off < len(data); {
 		n := len(data) - off
@@ -331,19 +359,23 @@ func (l *Log) forceLocked() error {
 	// first, Open falls back to the previous superblock and the
 	// unacknowledged entries vanish, as §2.2.3 requires.
 	var sb [superSize]byte
-	binary.LittleEndian.PutUint64(sb[0:8], l.tail)
-	binary.LittleEndian.PutUint64(sb[8:16], uint64(l.lastLSN))
-	binary.LittleEndian.PutUint32(sb[16:20], l.last)
+	binary.LittleEndian.PutUint64(sb[0:8], snapTail)
+	binary.LittleEndian.PutUint64(sb[8:16], uint64(snapLastLSN))
+	binary.LittleEndian.PutUint32(sb[16:20], snapLast)
 	if err := l.store.WritePage(superPage, sb[:]); err != nil {
 		return err
 	}
-	l.durable = l.tail
-	l.buf = l.buf[:0]
+
+	l.mu.Lock()
+	l.durable = snapTail
+	// Drop the flushed prefix; entries appended during the round remain.
+	l.buf = append(l.buf[:0], l.buf[len(snapBuf):]...)
 	newPartial := l.durable % ps
 	tailStart := len(data) - int(newPartial)
 	copy(l.tailImg, data[tailStart:])
-	l.forced = l.lastLSN
+	l.forced = snapLastLSN
 	l.nForces++
+	l.mu.Unlock()
 	return nil
 }
 

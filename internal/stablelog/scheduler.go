@@ -1,0 +1,146 @@
+package stablelog
+
+// Group-commit force scheduling.
+//
+// The thesis counts force operations as *the* write-cost measure of a
+// stable-storage organization (§1.2, §4.1): every outcome entry must be
+// forced before the action acknowledges, and on the simple and hybrid
+// logs the force is the only synchronous device work on the commit
+// path. When actions commit one at a time each pays a full force; when
+// they commit concurrently the forces can be shared, because a force
+// flushes the whole buffered suffix — durability of a log is always a
+// prefix property, so one device force covers every entry appended
+// before its snapshot (group commit, as in log-structured stores).
+//
+// ForceTo(lsn) is the await-durable half of the split write path:
+// append with Write (returns the LSN immediately), then ForceTo blocks
+// until some force — not necessarily one this caller started — covers
+// the entry. Concurrent waiters elect a leader; the leader runs one
+// device force while the others wait for the round to complete and then
+// re-check coverage. The scheduler is purely reactive: it spawns no
+// goroutines and uses no timers (the determinism analyzer forbids both
+// in the crash sweep's packages), so a force happens only inside some
+// caller's ForceTo, and a single-threaded caller sequence produces
+// exactly the same device-write sequence as the pre-scheduler code.
+//
+// Synchronous mode (SetSynchronousForces) bypasses the leader election:
+// every uncovered ForceTo runs its own force immediately. The crash
+// harness pins its guardians to this mode so the exhaustive sweep's
+// write counting never depends on scheduler state.
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forceScheduler coalesces concurrent ForceTo calls on one Log into
+// shared force rounds. Its mu orders before Log.mu (coverage checks
+// acquire Log.mu while holding sched.mu); nothing acquires sched.mu
+// while holding a Log mutex.
+type forceScheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast at the end of every force round
+
+	inFlight bool   // a leader is running a device force
+	round    uint64 // completed force rounds
+	err      error  // outcome of the most recent round
+	syncMode bool   // bypass coalescing: every ForceTo forces directly
+
+	leads int // ForceTo calls that ran a device force themselves
+	rides int // ForceTo calls that waited on another caller's force
+}
+
+// SetSynchronousForces switches the log between group-commit force
+// scheduling (off, the default) and fully synchronous forcing (on):
+// with it on, every uncovered ForceTo performs its own device force
+// before returning. The crash-injection harness uses synchronous mode
+// so a scripted history's device-write sequence is a pure function of
+// the call sequence.
+func (l *Log) SetSynchronousForces(on bool) {
+	l.sched.mu.Lock()
+	l.sched.syncMode = on
+	l.sched.mu.Unlock()
+}
+
+// SchedulerStats returns how many ForceTo calls led a force round
+// themselves and how many rode a round led by another caller (after a
+// ride a caller may still lead a later round; it then counts in both).
+func (l *Log) SchedulerStats() (leads, rides int) {
+	l.sched.mu.Lock()
+	defer l.sched.mu.Unlock()
+	return l.sched.leads, l.sched.rides
+}
+
+// covered reports whether the entry at lsn is already durable: forces
+// advance the durable boundary to a frame boundary, so an entry is
+// durable exactly when its frame starts below it.
+func (l *Log) covered(lsn LSN) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return uint64(lsn) < l.durable
+}
+
+// ForceTo blocks until the entry written at lsn is on stable storage,
+// forcing the log if no other caller's force covers it first (§3.1
+// force_write semantics, split from the append). ForceTo(NoLSN) is a
+// no-op. On a force error every waiter of that round receives the
+// error; the entry is then not durable and the caller must not
+// acknowledge its outcome.
+func (l *Log) ForceTo(lsn LSN) error {
+	if lsn == NoLSN {
+		return nil
+	}
+	s := &l.sched
+	s.mu.Lock()
+	if s.syncMode {
+		s.mu.Unlock()
+		if l.covered(lsn) {
+			return nil
+		}
+		return l.Force()
+	}
+	for {
+		if l.covered(lsn) {
+			s.mu.Unlock()
+			return nil
+		}
+		if !s.inFlight {
+			// Become the leader: run one device force for every entry
+			// appended so far, then wake the riders.
+			s.inFlight = true
+			s.leads++
+			s.mu.Unlock()
+			// Let the group assemble before the snapshot. When a round
+			// ends, the riders it covered need a slice of CPU to run
+			// their commit protocol and append their next outcome entry;
+			// if the new leader snapshots first, those entries miss this
+			// round and every entry waits two rounds instead of one.
+			// One cooperative yield — not a timer, which the
+			// determinism contract forbids — is enough for runnable
+			// committers to reach their appends, and is a no-op for a
+			// single-threaded caller, so the device-write sequence of a
+			// sequential history is unchanged.
+			runtime.Gosched()
+			err := l.Force()
+			s.mu.Lock()
+			s.inFlight = false
+			s.round++
+			s.err = err
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return err
+		}
+		// A force is in flight but its snapshot may predate our entry:
+		// wait for the round to end, then re-check coverage.
+		s.rides++
+		round := s.round
+		for s.round == round {
+			s.cond.Wait()
+		}
+		if s.err != nil {
+			err := s.err
+			s.mu.Unlock()
+			return err
+		}
+	}
+}

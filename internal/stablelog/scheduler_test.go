@@ -1,0 +1,252 @@
+package stablelog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/stable"
+)
+
+// Entries appended before any waiter arrives are covered by a single
+// shared force: the first ForceTo leads one device force whose snapshot
+// includes every entry, so the others either ride its round or find
+// their entry already durable. Exactly one force happens.
+func TestForceToCoalescesAppendedPrefix(t *testing.T) {
+	l, _, _ := freshLog(t, 128)
+	const n = 16
+	lsns := make([]LSN, n)
+	for i := range lsns {
+		lsn, err := l.Write([]byte(fmt.Sprintf("entry-%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns[i] = lsn
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = l.ForceTo(lsns[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("ForceTo(%v): %v", lsns[i], err)
+		}
+	}
+	if got := l.Forces(); got != 1 {
+		t.Fatalf("Forces() = %d, want 1 (one shared round covers the whole prefix)", got)
+	}
+	if top := l.Top(); top != lsns[n-1] {
+		t.Fatalf("Top() = %v, want %v", top, lsns[n-1])
+	}
+	leads, _ := l.SchedulerStats()
+	if leads != 1 {
+		t.Fatalf("leads = %d, want 1", leads)
+	}
+}
+
+// ForceTo on an entry that is already durable performs no device work.
+func TestForceToAlreadyDurable(t *testing.T) {
+	l, _, _ := freshLog(t, 128)
+	lsn, err := l.ForceWrite([]byte("outcome"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := l.Forces()
+	for i := 0; i < 3; i++ {
+		if err := l.ForceTo(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Forces(); got != before {
+		t.Fatalf("Forces() = %d after covered ForceTo, want %d", got, before)
+	}
+	if err := l.ForceTo(NoLSN); err != nil {
+		t.Fatalf("ForceTo(NoLSN) = %v, want nil", err)
+	}
+}
+
+// Synchronous mode bypasses coalescing: every uncovered ForceTo runs
+// its own force, and the scheduler counters stay untouched — the mode
+// the crash sweep pins so write counts are a pure function of the call
+// sequence.
+func TestForceToSynchronousMode(t *testing.T) {
+	l, _, _ := freshLog(t, 128)
+	l.SetSynchronousForces(true)
+	for i := 0; i < 3; i++ {
+		lsn, err := l.Write([]byte(fmt.Sprintf("sync-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.ForceTo(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Forces(); got != 3 {
+		t.Fatalf("Forces() = %d in synchronous mode, want 3", got)
+	}
+	leads, rides := l.SchedulerStats()
+	if leads != 0 || rides != 0 {
+		t.Fatalf("scheduler stats = (%d, %d) in synchronous mode, want (0, 0)", leads, rides)
+	}
+}
+
+// A force error reaches the ForceTo caller; the entry is not durable.
+func TestForceToPropagatesError(t *testing.T) {
+	a := stable.NewMemDevice(128, nil)
+	b := stable.NewMemDevice(128, nil)
+	store, err := stable.NewStore(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(store)
+	lsn, err := l.Write([]byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := stable.FaultFunc(func(int) stable.Fault { return stable.FaultCrash })
+	a.SetPlan(crash)
+	b.SetPlan(crash)
+	if err := l.ForceTo(lsn); err == nil {
+		t.Fatal("ForceTo succeeded with both devices crashing")
+	}
+	a.Restart(nil)
+	b.Restart(nil)
+	if err := l.ForceTo(lsn); err != nil {
+		t.Fatalf("ForceTo after devices restarted: %v", err)
+	}
+}
+
+// Concurrent writers each appending and awaiting their own entry: all
+// entries become durable, the log stays structurally intact across a
+// reopen, and the shared rounds do no more forces than writers (and
+// with contention, typically far fewer).
+func TestConcurrentForceWriteStress(t *testing.T) {
+	l, a, b := freshLog(t, 128)
+	const writers, perWriter = 8, 20
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				lsn, err := l.Write([]byte(fmt.Sprintf("w%02d-%03d", w, i)))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := l.ForceTo(lsn); err != nil {
+					errCh <- err
+					return
+				}
+				if !l.covered(lsn) {
+					errCh <- fmt.Errorf("entry %v not durable after ForceTo", lsn)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	total := writers * perWriter
+	if got := l.Entries(); got != total {
+		t.Fatalf("Entries() = %d, want %d", got, total)
+	}
+	if got := l.Forces(); got > total {
+		t.Fatalf("Forces() = %d > %d entries: scheduler forced more than once per wait", got, total)
+	}
+	// Every entry survives a crash (reopen reads the forced prefix).
+	re := reopen(t, a, b)
+	if got := re.Entries(); got != total {
+		t.Fatalf("reopened Entries() = %d, want %d", got, total)
+	}
+	if re.Top() != l.Top() {
+		t.Fatalf("reopened Top() = %v, want %v", re.Top(), l.Top())
+	}
+}
+
+// The site's synchronous-force pin survives the housekeeping generation
+// switch: logs created through NewLog inherit it.
+func TestSiteSyncForceSurvivesSwitch(t *testing.T) {
+	vol := NewMemVolume(128)
+	site, err := CreateSite(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site.SetSynchronousForces(true)
+	newLog, gen, err := site.NewLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newLog.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if err := site.Switch(newLog, gen); err != nil {
+		t.Fatal(err)
+	}
+	cur := site.Log()
+	lsn, err := cur.Write([]byte("post-switch outcome"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.ForceTo(lsn); err != nil {
+		t.Fatal(err)
+	}
+	leads, rides := cur.SchedulerStats()
+	if leads != 0 || rides != 0 {
+		t.Fatalf("post-switch log ran in group mode (stats %d, %d); syncForce not inherited", leads, rides)
+	}
+}
+
+// Reads and backward iteration proceed while a force is publishing: the
+// race detector covers the interleavings; the assertions check that a
+// reader never observes a torn frame.
+func TestReadDuringForce(t *testing.T) {
+	l, _, _ := freshLog(t, 128)
+	lsns := make([]LSN, 0, 64)
+	for i := 0; i < 64; i++ {
+		lsn, err := l.Write([]byte(fmt.Sprintf("frame-%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	readErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		for _, lsn := range lsns {
+			payload, err := l.Read(lsn)
+			if err != nil {
+				readErr <- fmt.Errorf("read %v during force: %w", lsn, err)
+				return
+			}
+			if len(payload) == 0 {
+				readErr <- errors.New("empty payload during force")
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if err := l.ForceTo(lsns[len(lsns)-1]); err != nil {
+			readErr <- err
+		}
+	}()
+	wg.Wait()
+	close(readErr)
+	for err := range readErr {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/stable"
 )
@@ -44,6 +45,7 @@ type MemVolume struct {
 	crashed   bool
 	plan      stable.FaultPlan // applied to device A of every generation
 	global    *globalPlan      // volume-wide write counter / crash trigger
+	delay     time.Duration    // write latency applied to every device
 }
 
 // globalPlan is a FaultPlan shared by every device of a volume: it
@@ -93,6 +95,26 @@ func (v *MemVolume) SetFaultPlan(p stable.FaultPlan) {
 	v.plan = p
 }
 
+// SetWriteDelay applies a simulated per-block-write latency to every
+// device of the volume, existing and future (see
+// stable.MemDevice.SetWriteDelay). Benchmarks use it to model the disk
+// forces the thesis costs out; the crash harnesses leave it zero.
+func (v *MemVolume) SetWriteDelay(d time.Duration) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.delay = d
+	for i := range v.root {
+		if v.root[i] != nil {
+			v.root[i].SetWriteDelay(d)
+		}
+	}
+	//roslint:nondet applies one setting to every device; order has no observable effect
+	for _, pair := range v.gens {
+		pair[0].SetWriteDelay(d)
+		pair[1].SetWriteDelay(d)
+	}
+}
+
 // Root implements Volume. The same Store instance is returned on every
 // call: concurrent Store wrappers over one device pair would race on
 // version stamps.
@@ -106,6 +128,8 @@ func (v *MemVolume) Root() (*stable.Store, error) {
 			v.root[0].SetPlan(v.global)
 			v.root[1].SetPlan(v.global)
 		}
+		v.root[0].SetWriteDelay(v.delay)
+		v.root[1].SetWriteDelay(v.delay)
 	}
 	if v.rootStore == nil {
 		s, err := stable.NewStore(v.root[0], v.root[1])
@@ -134,6 +158,8 @@ func (v *MemVolume) Generation(gen uint64) (*stable.Store, error) {
 			pair[0].SetPlan(v.global)
 			pair[1].SetPlan(v.global)
 		}
+		pair[0].SetWriteDelay(v.delay)
+		pair[1].SetWriteDelay(v.delay)
 		v.gens[gen] = pair
 	}
 	s, err := stable.NewStore(pair[0], pair[1])
@@ -176,6 +202,7 @@ func (v *MemVolume) ArmCrashAfterWrites(n int) {
 		}
 		return stable.FaultNone
 	})
+	//roslint:nondet order-independent: installs the same shared plan on every pair
 	for _, pair := range v.gens {
 		pair[0].Restart(shared)
 	}
@@ -198,6 +225,7 @@ func (v *MemVolume) ArmGlobalCrashAtWrite(n int) {
 		v.root[0].SetPlan(v.global)
 		v.root[1].SetPlan(v.global)
 	}
+	//roslint:nondet order-independent: installs the same global plan on every pair
 	for _, pair := range v.gens {
 		pair[0].SetPlan(v.global)
 		pair[1].SetPlan(v.global)
@@ -237,6 +265,7 @@ func (v *MemVolume) EachDevicePair(f func(label string, a, b *stable.MemDevice))
 	v.mu.Lock()
 	root := v.root
 	gens := make([]uint64, 0, len(v.gens))
+	//roslint:nondet keys collected here are sorted below before use
 	for g := range v.gens {
 		gens = append(gens, g)
 	}
@@ -264,6 +293,7 @@ func (v *MemVolume) Crash() {
 		v.root[0].Crash()
 		v.root[1].Crash()
 	}
+	//roslint:nondet order-independent: every pair crashes, no cross-pair effects
 	for _, pair := range v.gens {
 		pair[0].Crash()
 		pair[1].Crash()
@@ -279,6 +309,7 @@ func (v *MemVolume) Restart() {
 		v.root[0].Restart(nil)
 		v.root[1].Restart(nil)
 	}
+	//roslint:nondet order-independent: every pair restarts, no cross-pair effects
 	for _, pair := range v.gens {
 		pair[0].Restart(nil)
 		pair[1].Restart(nil)
@@ -300,6 +331,24 @@ type Site struct {
 	vol Volume
 	gen uint64
 	log *Log
+	// syncForce pins every log of this site — current and future
+	// generations alike — to synchronous forcing (no group-commit
+	// coalescing); see Log.SetSynchronousForces. It must survive the
+	// housekeeping generation switch, which installs a brand-new Log.
+	syncForce bool
+}
+
+// SetSynchronousForces switches the site's current log (and every log
+// later created through NewLog) between group-commit scheduling and
+// fully synchronous forces. The crash harness pins its sites to
+// synchronous mode for deterministic device-write counting.
+func (s *Site) SetSynchronousForces(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncForce = on
+	if s.log != nil {
+		s.log.SetSynchronousForces(on)
+	}
 }
 
 // CreateSite initializes a brand-new site with an empty generation-1
@@ -393,7 +442,11 @@ func (s *Site) NewLog() (*Log, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	return New(store), gen, nil
+	log := New(store)
+	if s.syncForce {
+		log.SetSynchronousForces(true)
+	}
+	return log, gen, nil
 }
 
 // Destroy discards the site's log (the §3.1 destroy operation): the
