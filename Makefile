@@ -39,13 +39,14 @@ bench:
 bench-save:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
-	$(GO) run ./cmd/rosbench -experiment e11 -commitjson BENCH_commit.json
+	$(GO) run ./cmd/rosbench -experiment e11 -trace -commitjson BENCH_commit.json
 
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzUnflatten -fuzztime 30s ./internal/value/
 	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime 30s ./internal/logrec/
 	$(GO) test -run xxx -fuzz FuzzDecodePage -fuzztime 30s ./internal/stable/
 	$(GO) test -run xxx -fuzz FuzzPageCodec -fuzztime 30s ./internal/stable/
+	$(GO) test -run xxx -fuzz FuzzReadBackward -fuzztime 30s ./internal/stablelog/
 
 # Crash-injection soak across all backends: randomized histories
 # (single-node + distributed), then the exhaustive crash-point sweep

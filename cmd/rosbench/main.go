@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/guardian"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -29,6 +30,7 @@ var (
 	experiment = flag.String("experiment", "all", "which experiment to run: all, e1..e6, e11")
 	quick      = flag.Bool("quick", false, "smaller workloads for a fast smoke run")
 	commitJSON = flag.String("commitjson", "", "write the E11 rows as JSON to this file (e.g. BENCH_commit.json)")
+	trace      = flag.Bool("trace", false, "derive the E11 per-commit numbers from the event stream and cross-check them against the counters")
 )
 
 func main() {
@@ -232,7 +234,11 @@ func e5Housekeeping() {
 	fmt.Println()
 }
 
-// commitRow is one E11 measurement, serialized to -commitjson.
+// commitRow is one E11 measurement, serialized to -commitjson. With
+// -trace the forces/bytes numbers come from the event stream (an
+// obs.Stats tracer) rather than the storage counters; the two are
+// cross-checked against each other first, so the JSON is the same
+// either way apart from the source field.
 type commitRow struct {
 	Organization    string  `json:"organization"`
 	Goroutines      int     `json:"goroutines"`
@@ -241,6 +247,7 @@ type commitRow struct {
 	CommitsPerSec   float64 `json:"commits_per_sec"`
 	ForcesPerCommit float64 `json:"forces_per_commit"`
 	BytesPerCommit  float64 `json:"bytes_per_commit"`
+	Source          string  `json:"source,omitempty"`
 }
 
 // e11WriteDelay mirrors the bench_test.go constant: the simulated
@@ -263,6 +270,11 @@ func e11GroupCommit() {
 		for _, workers := range workerCounts {
 			g := commitHistory(b, workers, 0, 0)
 			g.Volume().SetWriteDelay(e11WriteDelay)
+			var st *obs.Stats
+			if *trace {
+				st = new(obs.Stats)
+				g.SetTracer(st)
+			}
 			forces0 := g.RS().Forces()
 			bytes0 := g.RS().LogBytes()
 			commits := workers * perWorker
@@ -298,14 +310,30 @@ func e11GroupCommit() {
 			for _, err := range errs {
 				die(err)
 			}
+			forces := uint64(g.RS().Forces() - forces0)
+			bytes := g.RS().LogBytes() - bytes0
+			source := "counters"
+			if st != nil {
+				// The event stream must agree exactly with the storage
+				// counters; a divergence means a layer emits events it
+				// doesn't count (or vice versa) and the trace-derived
+				// experiment numbers can't be trusted.
+				tf, tb := st.Count(obs.KindForceDone), st.AppendedBytes()
+				if tf != forces || tb != bytes {
+					die(fmt.Errorf("e11 %v/%d: trace disagrees with counters: forces %d vs %d, bytes %d vs %d",
+						b, workers, tf, forces, tb, bytes))
+				}
+				forces, bytes, source = tf, tb, "trace"
+			}
 			row := commitRow{
 				Organization:    b.String(),
 				Goroutines:      workers,
 				Commits:         commits,
 				NsPerCommit:     float64(el.Nanoseconds()) / float64(commits),
 				CommitsPerSec:   float64(commits) / el.Seconds(),
-				ForcesPerCommit: float64(g.RS().Forces()-forces0) / float64(commits),
-				BytesPerCommit:  float64(g.RS().LogBytes()-bytes0) / float64(commits),
+				ForcesPerCommit: float64(forces) / float64(commits),
+				BytesPerCommit:  float64(bytes) / float64(commits),
+				Source:          source,
 			}
 			rows = append(rows, row)
 			fmt.Fprintf(w, "%v\t%d\t%.0f\t%.3f\t%.0f\n",

@@ -1,0 +1,51 @@
+// Command rostrace prints the event trace of the canonical storage
+// scenarios (see internal/obs/scenario): the same byte-for-byte
+// deterministic streams the golden-trace tests pin down, made readable
+// for debugging and for the EXPERIMENTS.md narratives.
+//
+// Usage:
+//
+//	rostrace                 # every scenario
+//	rostrace -scenario commit
+//	rostrace -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/obs/scenario"
+)
+
+func main() {
+	name := flag.String("scenario", "", "run a single scenario by name (default: all)")
+	list := flag.Bool("list", false, "list scenario names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, sc := range scenario.All {
+			fmt.Println(sc.Name)
+		}
+		return
+	}
+	ran := false
+	for _, sc := range scenario.All {
+		if *name != "" && sc.Name != *name {
+			continue
+		}
+		ran = true
+		var rec obs.Recorder
+		if err := sc.Run(&rec); err != nil {
+			fmt.Fprintf(os.Stderr, "rostrace: %s: %v\n", sc.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (%d events)\n", sc.Name, rec.Len())
+		os.Stdout.Write(rec.Text())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "rostrace: unknown scenario %q (use -list)\n", *name)
+		os.Exit(1)
+	}
+}

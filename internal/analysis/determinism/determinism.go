@@ -55,6 +55,7 @@ var ScopedPackages = map[string]bool{
 	"repro/internal/simplelog": true,
 	"repro/internal/hybridlog": true,
 	"repro/internal/stablelog": true,
+	"repro/internal/obs":       true,
 	"repro/cmd/roscrash":       true,
 }
 

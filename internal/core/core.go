@@ -24,6 +24,7 @@ import (
 	"repro/internal/hybridlog"
 	"repro/internal/ids"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/shadow"
 	"repro/internal/simplelog"
 	"repro/internal/stablelog"
@@ -110,6 +111,10 @@ type RecoverySystem interface {
 	// number of force operations — the write-cost measures of §1.2.
 	LogBytes() uint64
 	Forces() int
+	// SetTracer installs (or, with nil, removes) the event tracer on
+	// the backend's writer and current log. The guardian layer wraps
+	// the caller's tracer with its guardian id before installing it.
+	SetTracer(tr obs.Tracer)
 }
 
 // Recovered is what the recovery operation returns to the Argus system
@@ -184,6 +189,10 @@ func (r *hybridRS) Backend() Backend             { return BackendHybrid }
 func (r *hybridRS) LogBytes() uint64             { return r.w.Log().Size() }
 func (r *hybridRS) Forces() int                  { return r.w.Log().Forces() }
 func (r *hybridRS) SetSynchronousForces(on bool) { r.site.SetSynchronousForces(on) }
+func (r *hybridRS) SetTracer(tr obs.Tracer) {
+	r.w.SetTracer(tr)
+	r.site.SetTracer(tr)
+}
 
 // --- simple backend ----------------------------------------------------
 
@@ -236,6 +245,10 @@ func (r *simpleRS) Backend() Backend             { return BackendSimple }
 func (r *simpleRS) LogBytes() uint64             { return r.w.Log().Size() }
 func (r *simpleRS) Forces() int                  { return r.w.Log().Forces() }
 func (r *simpleRS) SetSynchronousForces(on bool) { r.site.SetSynchronousForces(on) }
+func (r *simpleRS) SetTracer(tr obs.Tracer) {
+	r.w.SetTracer(tr)
+	r.site.SetTracer(tr)
+}
 
 // --- shadow backend ----------------------------------------------------
 
@@ -324,3 +337,5 @@ func (r *shadowRS) Forces() int           { return r.s.Log().Forces() }
 // append-only log suffix for concurrent committers to share, so the
 // shadow write path is the same in both modes.
 func (r *shadowRS) SetSynchronousForces(bool) {}
+
+func (r *shadowRS) SetTracer(tr obs.Tracer) { r.s.SetTracer(tr) }

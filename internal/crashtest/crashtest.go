@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/guardian"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/twopc"
 	"repro/internal/value"
 )
@@ -56,7 +57,11 @@ type Result struct {
 func Run(cfg Config) (Result, error) {
 	var res Result
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	g, err := guardian.New(1, guardian.WithBackend(cfg.Backend))
+	// The whole history, crashes and recoveries included, runs under a
+	// runtime invariant checker fed by the event stream; the tracer
+	// survives Restart with the rest of the guardian configuration.
+	chk := obs.NewChecker(nil)
+	g, err := guardian.New(1, guardian.WithBackend(cfg.Backend), guardian.WithTracer(chk))
 	if err != nil {
 		return res, err
 	}
@@ -324,6 +329,9 @@ func Run(cfg Config) (Result, error) {
 				return res, err
 			}
 		}
+	}
+	if err := chk.Err(); err != nil {
+		return res, err
 	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/guardian"
+	"repro/internal/obs"
 	"repro/internal/stable"
 	"repro/internal/stablelog"
 	"repro/internal/value"
@@ -230,7 +231,7 @@ func buildOracle(script []scriptStep) *oracle {
 // the armed crash fires. It returns the interrupted step index (-1 for
 // the setup phase, len(script) on completion) and the guardian (nil
 // once crashed). A non-crash error is a harness failure.
-func executeScript(vol *stablelog.MemVolume, cfg SweepConfig, script []scriptStep) (int, *guardian.Guardian, error) {
+func executeScript(vol *stablelog.MemVolume, cfg SweepConfig, script []scriptStep, tr obs.Tracer) (int, *guardian.Guardian, error) {
 	crashed := func(err error) (bool, error) {
 		if err == nil {
 			return false, nil
@@ -240,7 +241,7 @@ func executeScript(vol *stablelog.MemVolume, cfg SweepConfig, script []scriptSte
 		}
 		return false, err
 	}
-	g, err := guardian.New(1, guardian.WithBackend(cfg.Backend), guardian.WithVolume(vol))
+	g, err := guardian.New(1, guardian.WithBackend(cfg.Backend), guardian.WithVolume(vol), guardian.WithTracer(tr))
 	if c, err := crashed(err); err != nil {
 		return -1, nil, err
 	} else if c {
@@ -373,7 +374,7 @@ func applyDecay(vol *stablelog.MemVolume, mode DecayMode) {
 // second independent failure of the same page — outside the
 // single-failure assumption the two-copy protocol (and the thesis)
 // makes.
-func recoverOnce(vol *stablelog.MemVolume, cfg SweepConfig, armAt int, withDecay bool) (g *guardian.Guardian, fired, noSite bool, err error) {
+func recoverOnce(vol *stablelog.MemVolume, cfg SweepConfig, armAt int, withDecay bool, tr obs.Tracer) (g *guardian.Guardian, fired, noSite bool, err error) {
 	vol.Crash()
 	vol.Restart()
 	if withDecay {
@@ -382,7 +383,7 @@ func recoverOnce(vol *stablelog.MemVolume, cfg SweepConfig, armAt int, withDecay
 	if armAt > 0 {
 		vol.ArmGlobalCrashAtWrite(armAt)
 	}
-	g, err = guardian.Open(1, vol, cfg.Backend)
+	g, err = guardian.Open(1, vol, cfg.Backend, guardian.WithTracer(tr))
 	if err == nil {
 		g.SetSynchronousForces(true)
 		err = guardian.CheckRecovered(g)
@@ -579,10 +580,13 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 		}
 	}
 
-	// Counting run: no crash, just tally W device writes.
+	// Counting run: no crash, just tally W device writes. Like every
+	// scenario below, it runs under a runtime invariant checker fed by
+	// the event stream.
+	chk := obs.NewChecker(nil)
 	countVol := stablelog.NewMemVolume(cfg.BlockSize)
 	countVol.ArmGlobalCrashAtWrite(0)
-	s, g, err := executeScript(countVol, cfg, script)
+	s, g, err := executeScript(countVol, cfg, script, chk)
 	if err != nil {
 		return res, fail(nil, s, err)
 	}
@@ -592,20 +596,27 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 	if err := verifyRecovered(g, cfg, script, o, s, false); err != nil {
 		return res, fail(nil, s, err)
 	}
+	if err := chk.Err(); err != nil {
+		return res, fail(nil, s, err)
+	}
 	res.Writes = countVol.GlobalWrites()
 
 	// replay runs the history on a fresh volume with a crash armed at
-	// write k, returning the volume and the interrupted step.
-	replay := func(k int) (*stablelog.MemVolume, int, error) {
+	// write k, returning the volume and the interrupted step. The
+	// checker spans the replay and every recovery of its crash point:
+	// each recovery's log-open event resets the force boundary, so the
+	// rules hold across the crashes.
+	replay := func(k int, chk *obs.Checker) (*stablelog.MemVolume, int, error) {
 		vol := stablelog.NewMemVolume(cfg.BlockSize)
 		vol.ArmGlobalCrashAtWrite(k)
-		s, _, err := executeScript(vol, cfg, script)
+		s, _, err := executeScript(vol, cfg, script, chk)
 		return vol, s, err
 	}
 
 	for k := 1; k <= res.Writes; k++ {
 		// Depth 1: crash at history write k, recover undisturbed.
-		vol, s, err := replay(k)
+		chk := obs.NewChecker(nil)
+		vol, s, err := replay(k, chk)
 		if err != nil {
 			return res, fail([]int{k}, s, err)
 		}
@@ -615,7 +626,7 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 			res.Points++
 			continue
 		}
-		g, fired, noSite, err := recoverOnce(vol, cfg, 0, true)
+		g, fired, noSite, err := recoverOnce(vol, cfg, 0, true, chk)
 		res.Recoveries++
 		if err != nil {
 			return res, fail([]int{k}, s, err)
@@ -624,6 +635,9 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 			return res, fail([]int{k}, s, fmt.Errorf("unarmed recovery reported a crash"))
 		}
 		if err := verifyRecovered(g, cfg, script, o, s, noSite); err != nil {
+			return res, fail([]int{k}, s, err)
+		}
+		if err := chk.Err(); err != nil {
 			return res, fail([]int{k}, s, err)
 		}
 		res.Points++
@@ -638,14 +652,15 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 			if m > maxRecoveryProbe {
 				return res, fail([]int{k, m}, s, fmt.Errorf("recovery crash probe did not terminate"))
 			}
-			vol, s2, err := replay(k)
+			chk := obs.NewChecker(nil)
+			vol, s2, err := replay(k, chk)
 			if err != nil {
 				return res, fail([]int{k}, s2, err)
 			}
 			if s2 == len(script) {
 				break
 			}
-			g, fired, noSite, err := recoverOnce(vol, cfg, m, true)
+			g, fired, noSite, err := recoverOnce(vol, cfg, m, true, chk)
 			res.Recoveries++
 			if err != nil {
 				return res, fail([]int{k, m}, s2, err)
@@ -656,20 +671,23 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 				if err := verifyRecovered(g, cfg, script, o, s2, noSite); err != nil {
 					return res, fail([]int{k, m}, s2, err)
 				}
+				if err := chk.Err(); err != nil {
+					return res, fail([]int{k, m}, s2, err)
+				}
 				res.Points++
 				break
 			}
 			// Triple crash: interrupt the second recovery at its first
 			// write, then let a final recovery run to completion.
 			depth := 2
-			g, fired, noSite, err = recoverOnce(vol, cfg, 1, false)
+			g, fired, noSite, err = recoverOnce(vol, cfg, 1, false, chk)
 			res.Recoveries++
 			if err != nil {
 				return res, fail([]int{k, m, 1}, s2, err)
 			}
 			if fired {
 				depth = 3
-				g, fired, noSite, err = recoverOnce(vol, cfg, 0, false)
+				g, fired, noSite, err = recoverOnce(vol, cfg, 0, false, chk)
 				res.Recoveries++
 				if err != nil {
 					return res, fail([]int{k, m, 1}, s2, err)
@@ -679,6 +697,9 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 				}
 			}
 			if err := verifyRecovered(g, cfg, script, o, s2, noSite); err != nil {
+				return res, fail([]int{k, m, 1}, s2, err)
+			}
+			if err := chk.Err(); err != nil {
 				return res, fail([]int{k, m, 1}, s2, err)
 			}
 			res.Points++

@@ -21,6 +21,7 @@ import (
 	"repro/internal/hybridlog"
 	"repro/internal/ids"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/simplelog"
 	"repro/internal/stablelog"
 	"repro/internal/twopc"
@@ -39,6 +40,7 @@ type Guardian struct {
 	heap    *object.Heap
 	uids    *ids.UIDGenerator
 	aids    *ids.ActionIDGenerator
+	tr      obs.Tracer // raw (unwrapped) tracer, propagated across Restart
 
 	// freshVars records that recovery found nothing on stable storage
 	// and registered the stable-variables object afresh, as New does; it
@@ -97,6 +99,7 @@ type config struct {
 	backend   core.Backend
 	blockSize int
 	vol       stablelog.Volume
+	tracer    obs.Tracer
 }
 
 // WithBackend selects the stable-storage organization (default hybrid).
@@ -107,6 +110,14 @@ func WithBackend(b core.Backend) Option {
 // WithBlockSize sets the simulated device block size (default 512).
 func WithBlockSize(n int) Option {
 	return func(c *config) { c.blockSize = n }
+}
+
+// WithTracer installs an event tracer on the guardian's storage stack.
+// Every event is stamped with the guardian's id before it reaches tr.
+// The tracer survives Restart: the recovered guardian re-installs it
+// and emits the recovery-phase events through it.
+func WithTracer(tr obs.Tracer) Option {
+	return func(c *config) { c.tracer = tr }
 }
 
 // WithVolume runs the guardian's stable storage on the given volume —
@@ -207,7 +218,23 @@ func New(id ids.GuardianID, opts ...Option) (*Guardian, error) {
 			g.rs = core.NewHybrid(site, g.heap)
 		}
 	}
+	if cfg.tracer != nil {
+		g.SetTracer(cfg.tracer)
+	}
 	return g, nil
+}
+
+// SetTracer installs (or, with nil, removes) an event tracer on the
+// guardian's storage stack: the recovery system's writer, the current
+// log, and (on the in-memory simulation) the volume's devices for
+// fault-injection events. Events carry the guardian's id.
+func (g *Guardian) SetTracer(tr obs.Tracer) {
+	g.tr = tr
+	wrapped := obs.WithGuardian(tr, uint64(g.id))
+	g.rs.SetTracer(wrapped)
+	if g.memVol != nil {
+		g.memVol.SetTracer(wrapped)
+	}
 }
 
 // ID returns the guardian's identifier.
@@ -264,13 +291,30 @@ func Restart(g *Guardian) (*Guardian, error) {
 	if g.memVol != nil {
 		g.memVol.Restart()
 	}
-	return Open(g.id, g.vol, g.backend)
+	return Open(g.id, g.vol, g.backend, WithTracer(g.tr))
 }
 
 // Open recovers a guardian from an existing volume — either a restarted
 // in-memory simulation or a reopened file volume. It is the §2.3
-// recovery operation at guardian granularity.
-func Open(id ids.GuardianID, vol stablelog.Volume, backend core.Backend) (*Guardian, error) {
+// recovery operation at guardian granularity. Of the options only
+// WithTracer is meaningful here (the volume and backend are explicit
+// parameters); with a tracer installed, Open emits recovery.start and
+// the recovery.phase sequence repair → open-log → scan → materialize →
+// rebuild → resume in thesis order.
+func Open(id ids.GuardianID, vol stablelog.Volume, backend core.Backend, opts ...Option) (*Guardian, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	wrapped := obs.WithGuardian(cfg.tracer, uint64(id))
+	phase := func(p obs.Phase) {
+		if wrapped != nil {
+			wrapped.Emit(obs.Event{Kind: obs.KindRecoveryPhase, Code: uint8(p)})
+		}
+	}
+	if wrapped != nil {
+		wrapped.Emit(obs.Event{Kind: obs.KindRecoveryStart})
+	}
 	// Repair the root store before anything reads or writes it: the
 	// crash may have interrupted a root-page write (generation pointer,
 	// epoch), leaving the pair divergent. bumpEpoch below does a
@@ -280,6 +324,7 @@ func Open(id ids.GuardianID, vol stablelog.Volume, backend core.Backend) (*Guard
 	if err0 != nil {
 		return nil, err0
 	}
+	phase(obs.PhaseRepair)
 	if err := root.Recover(); err != nil {
 		return nil, fmt.Errorf("guardian: root store unrecoverable: %w", err)
 	}
@@ -301,23 +346,31 @@ func Open(id ids.GuardianID, vol stablelog.Volume, backend core.Backend) (*Guard
 	}
 	var rec *core.Recovered
 	var err error
+	phase(obs.PhaseOpenLog)
 	switch backend {
 	case core.BackendShadow:
+		phase(obs.PhaseScan)
 		rec, ng.rs, err = core.RecoverShadow(vol)
 	case core.BackendSimple:
 		ng.site, err = stablelog.OpenSite(vol)
 		if err == nil {
+			phase(obs.PhaseScan)
 			rec, ng.rs, err = core.RecoverSimple(ng.site)
 		}
 	default:
 		ng.site, err = stablelog.OpenSite(vol)
 		if err == nil {
+			phase(obs.PhaseScan)
 			rec, ng.rs, err = core.RecoverHybrid(ng.site)
 		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("guardian: %v recovery: %w", backend, err)
 	}
+	// The backward scan, version materialization, and table rebuild run
+	// inside Recover*; at guardian granularity they complete together.
+	phase(obs.PhaseMaterialize)
+	phase(obs.PhaseRebuild)
 	ng.heap = rec.Heap
 	ng.pt = rec.PT
 	ng.ct = rec.CT
@@ -337,6 +390,10 @@ func Open(id ids.GuardianID, vol stablelog.Volume, backend core.Backend) (*Guard
 		ng.heap.Register(object.NewAtomic(ids.StableVarsUID, value.NewRecord(), ids.NoAction))
 		ng.freshVars = true
 	}
+	if cfg.tracer != nil {
+		ng.SetTracer(cfg.tracer)
+	}
+	phase(obs.PhaseResume)
 	return ng, nil
 }
 

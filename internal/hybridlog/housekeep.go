@@ -33,6 +33,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/logrec"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/simplelog"
 	"repro/internal/stablelog"
 	"repro/internal/value"
@@ -154,20 +155,41 @@ func (w *Writer) BeginSnapshot(site *stablelog.Site) (*Housekeeper, error) {
 
 // CompactLog runs a complete compaction: Begin, Stage1, Finish.
 func (w *Writer) CompactLog(site *stablelog.Site) (Stats, error) {
-	h, err := w.BeginCompaction(site)
-	if err != nil {
-		return Stats{}, err
-	}
-	if err := h.Stage1(); err != nil {
-		h.abandon()
-		return Stats{}, err
-	}
-	return h.stats, h.Finish()
+	return w.housekeepRun(site, false)
 }
 
 // SnapshotLog runs a complete snapshot: Begin, Stage1, Finish.
 func (w *Writer) SnapshotLog(site *stablelog.Site) (Stats, error) {
-	h, err := w.BeginSnapshot(site)
+	return w.housekeepRun(site, true)
+}
+
+func (w *Writer) housekeepRun(site *stablelog.Site, snapshot bool) (Stats, error) {
+	code := obs.HousekeepCompact
+	if snapshot {
+		code = obs.HousekeepSnapshot
+	}
+	w.mu.Lock()
+	tr := w.tr
+	w.mu.Unlock()
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindHousekeepStart, Code: code})
+	}
+	stats, err := w.housekeepOnce(site, snapshot)
+	if tr != nil {
+		done := obs.Event{Kind: obs.KindHousekeepDone, Code: code}
+		if err != nil {
+			done.Note = err.Error()
+		} else {
+			done.OK = true
+			done.Bytes = int(stats.NewLogSize)
+		}
+		tr.Emit(done)
+	}
+	return stats, err
+}
+
+func (w *Writer) housekeepOnce(site *stablelog.Site, snapshot bool) (Stats, error) {
+	h, err := w.begin(site, snapshot)
 	if err != nil {
 		return Stats{}, err
 	}

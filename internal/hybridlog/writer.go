@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/logrec"
+	"repro/internal/obs"
 	"repro/internal/object"
 	"repro/internal/stablelog"
 	"repro/internal/value"
@@ -56,6 +57,40 @@ type Writer struct {
 	// hk, when non-nil, is the housekeeping run in progress; outcome
 	// entries written to the old log are appended to its OEL.
 	hk *housekeeping
+	// tr receives outcome, crit-section and housekeeping events; nil
+	// (the default) traces nothing. Guarded by mu.
+	tr obs.Tracer
+}
+
+// SetTracer installs the writer's event tracer: outcome appends and
+// acknowledgments, crit.enter/crit.exit brackets around the writer
+// mutex, and housekeep.start/housekeep.done around housekeeping runs.
+func (w *Writer) SetTracer(tr obs.Tracer) {
+	w.mu.Lock()
+	w.tr = tr
+	w.mu.Unlock()
+}
+
+// enterCrit / exitCrit emit the critical-section brackets; callers
+// hold w.mu.
+func (w *Writer) enterCrit() {
+	if w.tr != nil {
+		w.tr.Emit(obs.Event{Kind: obs.KindCritEnter})
+	}
+}
+
+func (w *Writer) exitCrit() {
+	if w.tr != nil {
+		w.tr.Emit(obs.Event{Kind: obs.KindCritExit})
+	}
+}
+
+// emitOutcome reports an outcome entry appended (under w.mu) or
+// acknowledged durable (after the force, outside w.mu).
+func emitOutcome(tr obs.Tracer, kind obs.Kind, code obs.OutcomeKind, aid ids.ActionID, lsn stablelog.LSN) {
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: kind, Code: uint8(code), AID: aid, LSN: uint64(lsn)})
+	}
 }
 
 // NewWriter returns a hybrid-log writer over an empty (or freshly
@@ -119,6 +154,8 @@ func (w *Writer) MT() map[ids.UID]stablelog.LSN {
 func (w *Writer) WriteEntry(aid ids.ActionID, mos object.MOS) (object.MOS, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.enterCrit()
+	defer w.exitCrit()
 	return w.writeMOSLocked(aid, mos)
 }
 
@@ -171,7 +208,9 @@ func (w *Writer) writeMOSLocked(aid ids.ActionID, mos object.MOS) (object.MOS, e
 // is rolled back.
 func (w *Writer) Prepare(aid ids.ActionID, mos object.MOS) error {
 	w.mu.Lock()
+	w.enterCrit()
 	if _, err := w.writeMOSLocked(aid, mos); err != nil {
+		w.exitCrit()
 		w.mu.Unlock()
 		return err
 	}
@@ -188,6 +227,7 @@ func (w *Writer) Prepare(aid ids.ActionID, mos object.MOS) error {
 	}
 	lsn, err := w.log.Write(logrec.Encode(logrec.Hybrid, e))
 	if err != nil {
+		w.exitCrit()
 		w.mu.Unlock()
 		return err
 	}
@@ -201,6 +241,9 @@ func (w *Writer) Prepare(aid ids.ActionID, mos object.MOS) error {
 	}
 	delete(w.pending, aid)
 	w.pat.Add(aid)
+	emitOutcome(w.tr, obs.KindOutcomeAppend, obs.OutcomePrepared, aid, lsn)
+	w.exitCrit()
+	tr := w.tr
 	w.mu.Unlock()
 
 	if err := w.log.ForceTo(lsn); err != nil {
@@ -209,6 +252,7 @@ func (w *Writer) Prepare(aid ids.ActionID, mos object.MOS) error {
 		w.mu.Unlock()
 		return err
 	}
+	emitOutcome(tr, obs.KindOutcomeDurable, obs.OutcomePrepared, aid, lsn)
 	return nil
 }
 
@@ -217,17 +261,23 @@ func (w *Writer) Prepare(aid ids.ActionID, mos object.MOS) error {
 // concurrent committers share one force barrier.
 func (w *Writer) Commit(aid ids.ActionID) error {
 	w.mu.Lock()
+	w.enterCrit()
 	e := &logrec.Entry{Kind: logrec.KindCommitted, AID: aid, Prev: w.lastOutcome}
 	lsn, err := w.log.Write(logrec.Encode(logrec.Hybrid, e))
 	if err != nil {
+		w.exitCrit()
 		w.mu.Unlock()
 		return err
 	}
 	w.noteOutcomeLocked(lsn)
+	emitOutcome(w.tr, obs.KindOutcomeAppend, obs.OutcomeCommitted, aid, lsn)
+	w.exitCrit()
+	tr := w.tr
 	w.mu.Unlock()
 	if err := w.log.ForceTo(lsn); err != nil {
 		return err
 	}
+	emitOutcome(tr, obs.KindOutcomeDurable, obs.OutcomeCommitted, aid, lsn)
 	w.mu.Lock()
 	w.pat.Remove(aid)
 	delete(w.pending, aid)
@@ -240,17 +290,23 @@ func (w *Writer) Commit(aid ids.ActionID) error {
 // done, but that is not a problem", §4.4).
 func (w *Writer) Abort(aid ids.ActionID) error {
 	w.mu.Lock()
+	w.enterCrit()
 	e := &logrec.Entry{Kind: logrec.KindAborted, AID: aid, Prev: w.lastOutcome}
 	lsn, err := w.log.Write(logrec.Encode(logrec.Hybrid, e))
 	if err != nil {
+		w.exitCrit()
 		w.mu.Unlock()
 		return err
 	}
 	w.noteOutcomeLocked(lsn)
+	emitOutcome(w.tr, obs.KindOutcomeAppend, obs.OutcomeAborted, aid, lsn)
+	w.exitCrit()
+	tr := w.tr
 	w.mu.Unlock()
 	if err := w.log.ForceTo(lsn); err != nil {
 		return err
 	}
+	emitOutcome(tr, obs.KindOutcomeDurable, obs.OutcomeAborted, aid, lsn)
 	w.mu.Lock()
 	w.pat.Remove(aid)
 	delete(w.pending, aid)
@@ -261,29 +317,47 @@ func (w *Writer) Abort(aid ids.ActionID) error {
 // Committing appends and forces the coordinator's committing entry.
 func (w *Writer) Committing(aid ids.ActionID, gids []ids.GuardianID) error {
 	w.mu.Lock()
+	w.enterCrit()
 	e := &logrec.Entry{Kind: logrec.KindCommitting, AID: aid, GIDs: gids, Prev: w.lastOutcome}
 	lsn, err := w.log.Write(logrec.Encode(logrec.Hybrid, e))
 	if err != nil {
+		w.exitCrit()
 		w.mu.Unlock()
 		return err
 	}
 	w.noteOutcomeLocked(lsn)
+	emitOutcome(w.tr, obs.KindOutcomeAppend, obs.OutcomeCommitting, aid, lsn)
+	w.exitCrit()
+	tr := w.tr
 	w.mu.Unlock()
-	return w.log.ForceTo(lsn)
+	if err := w.log.ForceTo(lsn); err != nil {
+		return err
+	}
+	emitOutcome(tr, obs.KindOutcomeDurable, obs.OutcomeCommitting, aid, lsn)
+	return nil
 }
 
 // Done appends and forces the coordinator's done entry.
 func (w *Writer) Done(aid ids.ActionID) error {
 	w.mu.Lock()
+	w.enterCrit()
 	e := &logrec.Entry{Kind: logrec.KindDone, AID: aid, Prev: w.lastOutcome}
 	lsn, err := w.log.Write(logrec.Encode(logrec.Hybrid, e))
 	if err != nil {
+		w.exitCrit()
 		w.mu.Unlock()
 		return err
 	}
 	w.noteOutcomeLocked(lsn)
+	emitOutcome(w.tr, obs.KindOutcomeAppend, obs.OutcomeDone, aid, lsn)
+	w.exitCrit()
+	tr := w.tr
 	w.mu.Unlock()
-	return w.log.ForceTo(lsn)
+	if err := w.log.ForceTo(lsn); err != nil {
+		return err
+	}
+	emitOutcome(tr, obs.KindOutcomeDurable, obs.OutcomeDone, aid, lsn)
+	return nil
 }
 
 // noteOutcomeLocked advances the backward-chain head to lsn and tells

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 )
 
 // ErrUnreachable is returned when a call cannot be delivered: an
@@ -31,6 +32,16 @@ type Network struct {
 	cut       map[[2]ids.GuardianID]bool
 	delivered int
 	refused   int
+	tr        obs.Tracer
+}
+
+// SetTracer installs (or, with nil, removes) the network's event
+// tracer: every Call emits one net.call event, OK for a delivered
+// message and !err for a refused one.
+func (n *Network) SetTracer(tr obs.Tracer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tr = tr
 }
 
 // New returns a network where every guardian is up and connected.
@@ -86,13 +97,22 @@ func (n *Network) reachableLocked(a, b ids.GuardianID) bool {
 // that the node is up.
 func (n *Network) Call(a, b ids.GuardianID, fn func() error) error {
 	n.mu.Lock()
+	tr := n.tr
 	if !n.reachableLocked(a, b) {
 		n.refused++
 		n.mu.Unlock()
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindNetCall, From: uint64(a), To: uint64(b)})
+		}
 		return fmt.Errorf("%w: %v -> %v", ErrUnreachable, a, b)
 	}
 	n.delivered++
 	n.mu.Unlock()
+	// Emitted before fn so the delivery precedes the events fn's work
+	// produces, matching the message's causal order in the trace.
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindNetCall, From: uint64(a), To: uint64(b), OK: true})
+	}
 	return fn()
 }
 

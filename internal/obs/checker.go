@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Checker is a Tracer that verifies thesis invariants over the event
+// stream at runtime — the dynamic counterpart of the cmd/roslint
+// static analyzers. It checks, per guardian:
+//
+//   - R1 (force barrier, the forcebarrier analyzer's contract): every
+//     outcome acknowledged durable (KindOutcomeDurable) must be
+//     covered by the traced durable boundary, i.e. a successful force
+//     round (or the boundary recorded at log open) must already have
+//     advanced past the entry's address. Sound under concurrency
+//     because a force round's ForceDone is emitted before the round's
+//     completion is broadcast to riders, so it always precedes any
+//     OutcomeDurable it covers in the stream.
+//   - R2 (lock discipline rule 4, the lockdiscipline analyzer's
+//     contract): no force round starts, and no ForceTo caller waits,
+//     while the emitting guardian holds a writer critical section.
+//     The shadow store is exempt by construction — it emits no Crit
+//     events, mirroring the analyzer's ForcePathPackages scope — and
+//     the rule is meaningful under serial schedules (the sweep),
+//     where one goroutine's crit bracket cannot interleave another's
+//     force.
+//   - R3 (recovery phase order): within one recovery session
+//     (KindRecoveryStart), phases are nondecreasing in thesis order.
+//
+// A Checker may forward the stream to a next Tracer (e.g. a Recorder),
+// so checking and recording compose in one pass.
+type Checker struct {
+	mu   sync.Mutex
+	next Tracer
+	seen uint64 // events observed, for violation messages
+
+	state map[uint64]*gstate // per-guardian rule state
+	viol  []string
+}
+
+// maxViolations caps the retained violation messages; the count keeps
+// rising but a runaway scenario cannot hoard memory.
+const maxViolations = 16
+
+type gstate struct {
+	boundary   uint64 // durable boundary from LogOpen / ForceDone
+	haveBound  bool
+	crit       int // writer critical-section depth
+	inRecovery bool
+	phase      Phase // last recovery phase seen this session
+	violations int
+}
+
+// NewChecker returns a Checker forwarding to next (nil for none).
+func NewChecker(next Tracer) *Checker {
+	return &Checker{next: next, state: make(map[uint64]*gstate)}
+}
+
+func (c *Checker) g(gid uint64) *gstate {
+	s, ok := c.state[gid]
+	if !ok {
+		s = &gstate{}
+		c.state[gid] = s
+	}
+	return s
+}
+
+func (c *Checker) violate(s *gstate, format string, args ...any) {
+	s.violations++
+	if len(c.viol) < maxViolations {
+		c.viol = append(c.viol, fmt.Sprintf(format, args...))
+	}
+}
+
+// Emit implements Tracer.
+func (c *Checker) Emit(e Event) {
+	c.mu.Lock()
+	c.seen++
+	n := c.seen
+	switch e.Kind {
+	case KindLogOpen:
+		s := c.g(e.Gid)
+		s.boundary = e.Durable
+		s.haveBound = true
+
+	case KindForceDone:
+		if e.OK {
+			s := c.g(e.Gid)
+			s.boundary = e.Durable
+			s.haveBound = true
+		}
+
+	case KindForceStart, KindForceWait:
+		s := c.g(e.Gid)
+		if s.crit > 0 {
+			c.violate(s, "event %d: R2 lock discipline: %v for gid %d inside a writer critical section (depth %d)",
+				n, e.Kind, e.Gid, s.crit)
+		}
+
+	case KindCritEnter:
+		c.g(e.Gid).crit++
+
+	case KindCritExit:
+		s := c.g(e.Gid)
+		s.crit--
+		if s.crit < 0 {
+			c.violate(s, "event %d: R2 lock discipline: crit.exit for gid %d without a matching crit.enter", n, e.Gid)
+			s.crit = 0
+		}
+
+	case KindOutcomeDurable:
+		s := c.g(e.Gid)
+		switch {
+		case !s.haveBound:
+			c.violate(s, "event %d: R1 force barrier: %s outcome for %v (gid %d) acknowledged with no traced log boundary",
+				n, OutcomeKind(e.Code), e.AID, e.Gid)
+		case e.LSN >= s.boundary:
+			c.violate(s, "event %d: R1 force barrier: %s outcome for %v (gid %d) acknowledged at lsn %d, durable boundary %d",
+				n, OutcomeKind(e.Code), e.AID, e.Gid, e.LSN, s.boundary)
+		}
+
+	case KindRecoveryStart:
+		s := c.g(e.Gid)
+		s.inRecovery = true
+		s.phase = 0
+
+	case KindRecoveryPhase:
+		s := c.g(e.Gid)
+		p := Phase(e.Code)
+		switch {
+		case !s.inRecovery:
+			c.violate(s, "event %d: R3 recovery order: phase %v for gid %d outside a recovery session", n, p, e.Gid)
+		case p < s.phase:
+			c.violate(s, "event %d: R3 recovery order: phase %v for gid %d after phase %v", n, p, e.Gid, s.phase)
+		default:
+			s.phase = p
+			if p == PhaseResume {
+				s.inRecovery = false
+			}
+		}
+	}
+	next := c.next
+	c.mu.Unlock()
+	if next != nil {
+		next.Emit(e)
+	}
+}
+
+// Violations returns the retained violation messages (at most
+// maxViolations; the total is in Err's message if it overflowed).
+func (c *Checker) Violations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.viol))
+	copy(out, c.viol)
+	return out
+}
+
+// Err returns nil if no invariant was violated, or an error describing
+// the first violations.
+func (c *Checker) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.viol) == 0 {
+		return nil
+	}
+	total := 0
+	//roslint:nondet order-independent: sums per-guardian counts
+	for _, s := range c.state {
+		total += s.violations
+	}
+	msg := fmt.Sprintf("obs: %d invariant violation(s); first: %s", total, c.viol[0])
+	if len(c.viol) > 1 {
+		msg += fmt.Sprintf(" (+%d more retained)", len(c.viol)-1)
+	}
+	return errors.New(msg)
+}

@@ -1,0 +1,473 @@
+// Package obs is the observability layer of the reproduction: a
+// zero-dependency, allocation-light event stream threaded through every
+// storage subsystem (stable devices, the stable log and its force
+// scheduler, both log organizations, shadowing, guardians, two-phase
+// commit, and the simulated network).
+//
+// The thesis argues its organizations entirely in terms of observable
+// event sequences — forces paid per commit (§1.2, §4.1), recovery
+// phases walking the PT/CT/OT, 2PC message rounds (§2.2). This package
+// makes those sequences first-class: each subsystem emits typed Events
+// into a Tracer, and consumers either record them (Recorder), aggregate
+// them (Stats), or verify thesis invariants over them at runtime
+// (Checker), complementing the static enforcement of cmd/roslint.
+//
+// Determinism contract: events carry no wall-clock timestamps — only a
+// logical sequence number assigned by the consuming sink — and every
+// field of an Event is a pure function of the emitting operation, so a
+// deterministic schedule (the crash sweep's serial, synchronous-force
+// schedule) produces a byte-for-byte reproducible trace, diffable as a
+// golden file. The package is in the determinism analyzer's scope.
+//
+// Nil-tracer fast path: subsystems hold a Tracer field that is nil by
+// default and guard every emission with a nil check, so an untraced run
+// pays one predictable branch and zero allocations per would-be event
+// (see BenchmarkTraceOff).
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/ids"
+)
+
+// Kind identifies the type of an Event.
+type Kind uint8
+
+// Event kinds. The zero Kind is invalid, so an accidentally
+// zero-valued Event is detectable.
+const (
+	// KindLogOpen marks a tracer being attached to a stable log: its
+	// Durable field snapshots the log's current durable boundary.
+	// Emitted on initial attach, after crash-recovery reopens a log,
+	// and when housekeeping switches to a new log generation; the
+	// Checker resets its per-guardian durable boundary here.
+	KindLogOpen Kind = iota + 1
+	// KindLogAppend is one buffered entry append (stablelog.Write).
+	// LSN is the entry address; Bytes is the full frame length, so the
+	// per-guardian sum of Bytes matches Log.Size.
+	KindLogAppend
+	// KindForceStart opens a non-empty force round: Durable is the
+	// boundary before the round, LSN the last appended entry the
+	// round's snapshot covers, Bytes the buffered byte count to flush.
+	KindForceStart
+	// KindForceDone closes a force round. On success (OK) Durable is
+	// the new boundary and LSN the covered entry; exactly one OK
+	// ForceDone is emitted per counted force (Log.Forces), so event
+	// counts and the ad-hoc counters agree. On device error OK is
+	// false and Durable names the unchanged boundary.
+	KindForceDone
+	// KindForceWait is a ForceTo caller riding a force round led by
+	// another caller (group commit). Never emitted under the sweep's
+	// serial schedule, where every force is synchronous.
+	KindForceWait
+	// KindOutcomeAppend is an outcome entry (prepared, committed,
+	// aborted, committing, done) appended to a recovery system's log;
+	// Code is the OutcomeKind, LSN the entry address.
+	KindOutcomeAppend
+	// KindOutcomeDurable is an outcome acknowledged durable: emitted
+	// only after the force covering the entry at LSN returned
+	// successfully. The Checker's force barrier rule fires if the
+	// traced durable boundary does not cover LSN.
+	KindOutcomeDurable
+	// KindCritEnter / KindCritExit bracket a recovery-system writer
+	// critical section (the writer mutex). The simple and hybrid log
+	// writers emit them; the shadow store does not — it holds its lock
+	// across forces by design (§1.2.1), exactly mirroring roslint's
+	// lockdiscipline scope.
+	KindCritEnter
+	KindCritExit
+	// KindRecoveryStart opens a crash-recovery session for a guardian.
+	KindRecoveryStart
+	// KindRecoveryPhase marks entry to a recovery phase; Code is the
+	// Phase. Phases must be nondecreasing within a session (thesis
+	// order: repair, open-log, scan, materialize, rebuild, resume).
+	KindRecoveryPhase
+	// KindTwoPCPrepare is the coordinator sending a prepare request;
+	// From is the coordinator guardian, To the participant.
+	KindTwoPCPrepare
+	// KindTwoPCVote is a participant's vote as received by the
+	// coordinator; Code is the Vote.
+	KindTwoPCVote
+	// KindTwoPCOutcome is the coordinator's decision; Code is
+	// TwoPCCommitted or TwoPCAborted.
+	KindTwoPCOutcome
+	// KindNetCall is one simulated network call; From and To are
+	// guardian ids, OK is false when the destination was unreachable.
+	// Emitted before the handler runs, so a participant's nested
+	// events follow their triggering call in the stream.
+	KindNetCall
+	// KindFaultInjected is a stable-device fault taking effect; Code
+	// is the FaultCode and LSN carries the block number.
+	KindFaultInjected
+	// KindHousekeepStart / KindHousekeepDone bracket a housekeeping
+	// run (§5.1/§5.2); Code is HousekeepCompact or HousekeepSnapshot.
+	// Bytes on Done is the new log's size.
+	KindHousekeepStart
+	KindHousekeepDone
+
+	kindMax
+)
+
+var kindNames = [...]string{
+	KindLogOpen:        "log.open",
+	KindLogAppend:      "log.append",
+	KindForceStart:     "force.start",
+	KindForceDone:      "force.done",
+	KindForceWait:      "force.wait",
+	KindOutcomeAppend:  "outcome.append",
+	KindOutcomeDurable: "outcome.durable",
+	KindCritEnter:      "crit.enter",
+	KindCritExit:       "crit.exit",
+	KindRecoveryStart:  "recovery.start",
+	KindRecoveryPhase:  "recovery.phase",
+	KindTwoPCPrepare:   "twopc.prepare",
+	KindTwoPCVote:      "twopc.vote",
+	KindTwoPCOutcome:   "twopc.outcome",
+	KindNetCall:        "net.call",
+	KindFaultInjected:  "fault.injected",
+	KindHousekeepStart: "housekeep.start",
+	KindHousekeepDone:  "housekeep.done",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Phase is a recovery phase, in thesis order (§3.4.4): repair the
+// stable stores, open the log (discarding any torn tail), scan the log
+// entries, materialize the object table into a heap, rebuild the
+// derived tables (AS, PAT, PT/CT), resume service.
+type Phase uint8
+
+const (
+	PhaseRepair Phase = iota + 1
+	PhaseOpenLog
+	PhaseScan
+	PhaseMaterialize
+	PhaseRebuild
+	PhaseResume
+)
+
+var phaseNames = [...]string{
+	PhaseRepair:      "repair",
+	PhaseOpenLog:     "open-log",
+	PhaseScan:        "scan",
+	PhaseMaterialize: "materialize",
+	PhaseRebuild:     "rebuild",
+	PhaseResume:      "resume",
+}
+
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) && phaseNames[p] != "" {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// OutcomeKind classifies an outcome entry. It mirrors the outcome
+// entry kinds of package logrec without importing it (logrec sits
+// above stablelog, which emits into this package).
+type OutcomeKind uint8
+
+const (
+	OutcomePrepared OutcomeKind = iota + 1
+	OutcomeCommitted
+	OutcomeAborted
+	OutcomeCommitting
+	OutcomeDone
+)
+
+var outcomeNames = [...]string{
+	OutcomePrepared:   "prepared",
+	OutcomeCommitted:  "committed",
+	OutcomeAborted:    "aborted",
+	OutcomeCommitting: "committing",
+	OutcomeDone:       "done",
+}
+
+func (o OutcomeKind) String() string {
+	if int(o) < len(outcomeNames) && outcomeNames[o] != "" {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// Vote codes for KindTwoPCVote events (Code field).
+const (
+	VotePrepared uint8 = iota + 1
+	VoteAborted
+	VoteReadOnly
+)
+
+// Decision codes for KindTwoPCOutcome events (Code field).
+const (
+	TwoPCCommitted uint8 = iota + 1
+	TwoPCAborted
+)
+
+// FaultCode values for KindFaultInjected events (Code field).
+const (
+	FaultTorn uint8 = iota + 1
+	FaultCrash
+	FaultReadTransient
+	FaultReadDecay
+	FaultDecay
+)
+
+// HousekeepKind codes for housekeeping events (Code field).
+const (
+	HousekeepCompact uint8 = iota + 1
+	HousekeepSnapshot
+)
+
+// NoLSN is the nil log address in an Event (stablelog.NoLSN as a raw
+// uint64).
+const NoLSN = ^uint64(0)
+
+// Event is one observation. It is a flat value — no pointers beyond
+// the optional Note — so emitting into a recording sink costs one
+// slice append and no per-field allocation. Field use varies by Kind;
+// unused fields are zero and omitted from the text rendering.
+type Event struct {
+	// Seq is the logical sequence number, assigned by the consuming
+	// sink (Recorder), not the emitter. Never a timestamp.
+	Seq uint64
+	// Kind is the event type.
+	Kind Kind
+	// Gid is the emitting guardian (0 when not guardian-scoped, e.g.
+	// device faults on a shared volume). Stamped by WithGuardian.
+	Gid uint64
+	// AID is the acting action, for outcome and 2PC events.
+	AID ids.ActionID
+	// From and To are guardian ids for network and 2PC events.
+	From, To uint64
+	// LSN is a log address (or a block number for FaultInjected).
+	LSN uint64
+	// Durable is a log durable-boundary byte offset.
+	Durable uint64
+	// Bytes is a byte count (frame length, forced bytes, log size).
+	Bytes int
+	// Code is a Kind-dependent enum: OutcomeKind, Phase, Vote,
+	// decision, FaultCode, or HousekeepKind.
+	Code uint8
+	// OK is false when the traced operation failed (force error,
+	// refused network call).
+	OK bool
+	// Note is optional free-form detail; empty on hot-path events.
+	Note string
+}
+
+// codeWord renders the Code field as the word its Kind gives it.
+func (e Event) codeWord() string {
+	switch e.Kind {
+	case KindOutcomeAppend, KindOutcomeDurable:
+		return OutcomeKind(e.Code).String()
+	case KindRecoveryPhase:
+		return Phase(e.Code).String()
+	case KindTwoPCVote:
+		switch e.Code {
+		case VotePrepared:
+			return "prepared"
+		case VoteAborted:
+			return "aborted"
+		case VoteReadOnly:
+			return "read-only"
+		}
+	case KindTwoPCOutcome:
+		switch e.Code {
+		case TwoPCCommitted:
+			return "committed"
+		case TwoPCAborted:
+			return "aborted"
+		}
+	case KindFaultInjected:
+		switch e.Code {
+		case FaultTorn:
+			return "torn"
+		case FaultCrash:
+			return "crash"
+		case FaultReadTransient:
+			return "read-transient"
+		case FaultReadDecay:
+			return "read-decay"
+		case FaultDecay:
+			return "decay"
+		}
+	case KindHousekeepStart, KindHousekeepDone:
+		switch e.Code {
+		case HousekeepCompact:
+			return "compact"
+		case HousekeepSnapshot:
+			return "snapshot"
+		}
+	}
+	return strconv.Itoa(int(e.Code))
+}
+
+// appendText renders the event as one deterministic text line (no
+// trailing newline): the sequence number, the kind, then only the
+// fields the event uses, in a fixed order. This is the golden-file
+// format.
+func (e Event) appendText(b []byte) []byte {
+	b = append(b, fmt.Sprintf("%4d ", e.Seq)...)
+	b = append(b, e.Kind.String()...)
+	if e.Gid != 0 {
+		b = append(b, " gid="...)
+		b = strconv.AppendUint(b, e.Gid, 10)
+	}
+	if !e.AID.IsZero() {
+		b = append(b, " aid="...)
+		b = append(b, e.AID.String()...)
+	}
+	if e.From != 0 || e.To != 0 {
+		b = append(b, " from="...)
+		b = strconv.AppendUint(b, e.From, 10)
+		b = append(b, " to="...)
+		b = strconv.AppendUint(b, e.To, 10)
+	}
+	switch e.Kind {
+	case KindLogAppend, KindForceStart, KindForceDone, KindForceWait,
+		KindOutcomeAppend, KindOutcomeDurable, KindFaultInjected:
+		b = append(b, " lsn="...)
+		if e.LSN == NoLSN {
+			b = append(b, "nil"...)
+		} else {
+			b = strconv.AppendUint(b, e.LSN, 10)
+		}
+	}
+	switch e.Kind {
+	case KindLogOpen, KindForceStart, KindForceDone:
+		b = append(b, " durable="...)
+		b = strconv.AppendUint(b, e.Durable, 10)
+	}
+	if e.Bytes != 0 {
+		b = append(b, " bytes="...)
+		b = strconv.AppendInt(b, int64(e.Bytes), 10)
+	}
+	switch e.Kind {
+	case KindOutcomeAppend, KindOutcomeDurable, KindRecoveryPhase,
+		KindTwoPCVote, KindTwoPCOutcome, KindFaultInjected,
+		KindHousekeepStart, KindHousekeepDone:
+		b = append(b, ' ')
+		b = append(b, e.codeWord()...)
+	}
+	// Only the kinds that report success carry the OK bit; on the rest
+	// it is always false and says nothing.
+	switch e.Kind {
+	case KindForceDone, KindNetCall, KindTwoPCVote, KindHousekeepDone:
+		if !e.OK {
+			b = append(b, " !err"...)
+		}
+	}
+	if e.Note != "" {
+		b = append(b, " ("...)
+		b = append(b, e.Note...)
+		b = append(b, ')')
+	}
+	return b
+}
+
+// String renders the event as its one-line text form.
+func (e Event) String() string { return string(e.appendText(nil)) }
+
+// Tracer consumes events. Implementations must be safe for concurrent
+// use; emitters may call Emit while holding subsystem locks, so a
+// Tracer must never call back into the storage stack.
+type Tracer interface {
+	Emit(Event)
+}
+
+// guardianTracer stamps every event with a guardian id before
+// forwarding.
+type guardianTracer struct {
+	tr  Tracer
+	gid uint64
+}
+
+func (g guardianTracer) Emit(e Event) {
+	if e.Gid == 0 {
+		e.Gid = g.gid
+	}
+	g.tr.Emit(e)
+}
+
+// WithGuardian returns a Tracer that stamps gid on events whose Gid is
+// unset, then forwards to tr. A nil tr yields nil, preserving the
+// nil-tracer fast path.
+func WithGuardian(tr Tracer, gid uint64) Tracer {
+	if tr == nil {
+		return nil
+	}
+	return guardianTracer{tr: tr, gid: gid}
+}
+
+// Stats is a Tracer that aggregates the stream into per-kind counters
+// and byte gauges — the trace-derived equivalents of the storage
+// stack's ad-hoc counters (Log.Forces, Log.Size, netsim.Stats).
+type Stats struct {
+	mu       sync.Mutex
+	counts   [kindMax]uint64
+	appended uint64 // sum of LogAppend bytes (frame lengths)
+	forced   uint64 // sum of successful ForceDone bytes
+	failed   uint64 // ForceDone events with OK == false
+}
+
+// Emit implements Tracer.
+func (s *Stats) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(e.Kind) < len(s.counts) {
+		s.counts[e.Kind]++
+	}
+	switch e.Kind {
+	case KindLogAppend:
+		s.appended += uint64(e.Bytes)
+	case KindForceDone:
+		if e.OK {
+			s.forced += uint64(e.Bytes)
+		} else {
+			s.counts[e.Kind]--
+			s.failed++
+		}
+	}
+}
+
+// Count returns how many events of kind k were observed. For
+// KindForceDone only successful rounds count, matching Log.Forces.
+func (s *Stats) Count(k Kind) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(k) >= len(s.counts) {
+		return 0
+	}
+	return s.counts[k]
+}
+
+// AppendedBytes returns the total bytes appended (frame lengths), the
+// trace-derived equivalent of summing Log.Size deltas.
+func (s *Stats) AppendedBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appended
+}
+
+// ForcedBytes returns the total bytes flushed by successful force
+// rounds.
+func (s *Stats) ForcedBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.forced
+}
+
+// FailedForces returns how many force rounds ended in a device error.
+func (s *Stats) FailedForces() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}

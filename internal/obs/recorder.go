@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+)
+
+// Recorder is a Tracer that retains every event and assigns the
+// logical sequence numbers. Under a deterministic schedule (the crash
+// sweep's serial, synchronous-force schedule) the recorded stream —
+// and therefore Text — is byte-for-byte reproducible, which is what
+// the golden-trace tests and the sweep determinism check rely on.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Tracer: it stamps the next sequence number on the
+// event and retains it.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	e.Seq = uint64(len(r.events)) + 1
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the recorded stream in emission order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Reset discards the recorded events and restarts sequence numbering.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = r.events[:0]
+	r.mu.Unlock()
+}
+
+// Text renders the stream as newline-terminated event lines — the
+// golden-file format.
+func (r *Recorder) Text() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b bytes.Buffer
+	for _, e := range r.events {
+		b.Write(e.appendText(nil))
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}

@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace files")
+
+// TestGolden replays each canonical scenario and compares its trace
+// byte-for-byte against testdata/<name>.golden. Regenerate with
+//
+//	go test ./internal/obs/scenario -run Golden -update
+func TestGolden(t *testing.T) {
+	for _, sc := range All {
+		t.Run(sc.Name, func(t *testing.T) {
+			var rec obs.Recorder
+			if err := sc.Run(&rec); err != nil {
+				t.Fatalf("scenario %s: %v", sc.Name, err)
+			}
+			got := rec.Text()
+			path := filepath.Join("testdata", sc.Name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("trace diverged from %s:\n%s", path, diffLines(want, got))
+			}
+		})
+	}
+}
+
+// TestTraceDeterministic runs every scenario twice and requires the two
+// traces to be identical — the determinism contract the golden files
+// rest on.
+func TestTraceDeterministic(t *testing.T) {
+	for _, sc := range All {
+		t.Run(sc.Name, func(t *testing.T) {
+			var a, b obs.Recorder
+			if err := sc.Run(&a); err != nil {
+				t.Fatal(err)
+			}
+			if err := sc.Run(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Text(), b.Text()) {
+				t.Errorf("two runs diverged:\n%s", diffLines(a.Text(), b.Text()))
+			}
+		})
+	}
+}
+
+// TestCheckerClean runs every scenario under the runtime invariant
+// checker: the canonical histories must produce zero violations.
+func TestCheckerClean(t *testing.T) {
+	for _, sc := range All {
+		t.Run(sc.Name, func(t *testing.T) {
+			chk := obs.NewChecker(nil)
+			if err := sc.Run(chk); err != nil {
+				t.Fatal(err)
+			}
+			if err := chk.Err(); err != nil {
+				t.Errorf("checker: %v\n%s", err, joinViolations(chk))
+			}
+		})
+	}
+}
+
+func joinViolations(chk *obs.Checker) string {
+	var buf bytes.Buffer
+	for _, v := range chk.Violations() {
+		fmt.Fprintf(&buf, "  %s\n", v)
+	}
+	return buf.String()
+}
+
+// diffLines shows the first divergence between two traces with a little
+// context, which beats dumping both traces whole.
+func diffLines(want, got []byte) string {
+	w := bytes.Split(want, []byte("\n"))
+	g := bytes.Split(got, []byte("\n"))
+	n := len(w)
+	if len(g) < n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(w[i], g[i]) {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, w[i], g[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: want %d lines, got %d", len(w), len(g))
+}

@@ -1,0 +1,174 @@
+// Package scenario holds small canonical storage-stack histories used
+// to pin down the event stream: each scenario drives one guardian
+// through a fixed serial schedule with synchronous forces, so the trace
+// it emits is byte-for-byte reproducible. The golden-trace tests
+// compare these traces against checked-in files, and cmd/rostrace
+// prints them for inspection.
+//
+// Determinism contract: scenarios run single-threaded, pin synchronous
+// forces, and derive nothing from clocks or map order, so every event —
+// and therefore every sequence number the recorder assigns — is a pure
+// function of the scenario definition.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/guardian"
+	"repro/internal/obs"
+	"repro/internal/twopc"
+	"repro/internal/value"
+)
+
+// A Scenario is a named deterministic history emitting to a tracer.
+type Scenario struct {
+	Name string
+	Run  func(tr obs.Tracer) error
+}
+
+// All lists the canonical scenarios in a fixed order.
+var All = []Scenario{
+	{Name: "commit", Run: Commit},
+	{Name: "abort", Run: Abort},
+	{Name: "crash-recover", Run: CrashRecover},
+	{Name: "housekeep", Run: Housekeep},
+}
+
+// setup creates a hybrid-backend guardian with one counter committed to
+// stable storage and the tracer installed from the start.
+func setup(tr obs.Tracer) (*guardian.Guardian, error) {
+	g, err := guardian.New(1, guardian.WithBackend(core.BackendHybrid), guardian.WithTracer(tr))
+	if err != nil {
+		return nil, err
+	}
+	g.SetSynchronousForces(true)
+	init := g.Begin()
+	c, err := init.NewAtomic(value.Int(0))
+	if err != nil {
+		return nil, err
+	}
+	if err := init.SetVar("c", c); err != nil {
+		return nil, err
+	}
+	return g, init.Commit()
+}
+
+func bump(g *guardian.Guardian, delta int64) error {
+	c, ok := g.VarAtomic("c")
+	if !ok {
+		return fmt.Errorf("scenario: counter lost")
+	}
+	a := g.Begin()
+	if err := a.Update(c, func(v value.Value) value.Value {
+		return value.Int(int64(v.(value.Int)) + delta)
+	}); err != nil {
+		return err
+	}
+	return a.Commit()
+}
+
+// Commit is the minimal commit history: setup plus one committed
+// update.
+func Commit(tr obs.Tracer) error {
+	g, err := setup(tr)
+	if err != nil {
+		return err
+	}
+	return bump(g, 1)
+}
+
+// Abort is the minimal abort history: setup, then an update that
+// aborts.
+func Abort(tr obs.Tracer) error {
+	g, err := setup(tr)
+	if err != nil {
+		return err
+	}
+	c, ok := g.VarAtomic("c")
+	if !ok {
+		return fmt.Errorf("scenario: counter lost")
+	}
+	a := g.Begin()
+	if err := a.Update(c, func(v value.Value) value.Value {
+		return value.Int(int64(v.(value.Int)) + 1)
+	}); err != nil {
+		return err
+	}
+	return a.Abort()
+}
+
+// CrashRecover crashes the guardian partway through a commit's device
+// writes, restarts it, and resolves the in-doubt action, tracing the
+// whole recovery-phase sequence.
+func CrashRecover(tr obs.Tracer) error {
+	g, err := setup(tr)
+	if err != nil {
+		return err
+	}
+	c, ok := g.VarAtomic("c")
+	if !ok {
+		return fmt.Errorf("scenario: counter lost")
+	}
+	a := g.Begin()
+	if err := a.Update(c, func(v value.Value) value.Value {
+		return value.Int(int64(v.(value.Int)) + 1)
+	}); err != nil {
+		return err
+	}
+	// The commit is interrupted by a device crash after three more
+	// writes; whether the action survives is recovery's call, and the
+	// trace records it either way.
+	g.Volume().ArmCrashAfterWrites(3)
+	if err := a.Commit(); err == nil {
+		return fmt.Errorf("scenario: commit survived the armed crash")
+	}
+	g.Crash()
+	ng, err := guardian.Restart(g)
+	if err != nil {
+		return err
+	}
+	ng.SetSynchronousForces(true)
+	for _, aid := range ng.InDoubt() {
+		if ng.OutcomeOf(aid) == twopc.OutcomeCommitted {
+			err = ng.HandleCommit(aid)
+		} else {
+			err = ng.HandleAbort(aid)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	for _, aid := range ng.Unfinished() {
+		if err := ng.Done(aid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Housekeep commits a few updates, compacts the log, commits more, and
+// snapshots, tracing the housekeeping runs and the generation switches.
+func Housekeep(tr obs.Tracer) error {
+	g, err := setup(tr)
+	if err != nil {
+		return err
+	}
+	for i := int64(1); i <= 3; i++ {
+		if err := bump(g, i); err != nil {
+			return err
+		}
+	}
+	if _, err := g.Housekeep(core.HousekeepCompact); err != nil {
+		return err
+	}
+	for i := int64(4); i <= 5; i++ {
+		if err := bump(g, i); err != nil {
+			return err
+		}
+	}
+	if _, err := g.Housekeep(core.HousekeepSnapshot); err != nil {
+		return err
+	}
+	return bump(g, 6)
+}

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/stable"
 	"repro/internal/stablelog"
 	"repro/internal/value"
@@ -80,6 +81,8 @@ type Store struct {
 	// slow, §1.2.1: "rewriting the map at every action commit ... could
 	// be expensive").
 	MapWrites int
+
+	tr obs.Tracer // guarded by mu
 }
 
 // New creates a shadow store over a fresh version-area log and root
@@ -94,6 +97,31 @@ func New(vs *stablelog.Log, root *stable.Store, heap *object.Heap) *Store {
 		table:   make(map[ids.UID]mapEntry),
 		pending: make(map[ids.ActionID][]install),
 	}
+}
+
+// SetTracer installs (or, with nil, removes) the store's event tracer
+// and forwards it to the version-area log. Shadowing holds the store
+// lock across its forces by design — each outcome rewrites and installs
+// the whole map, so there is no split append/await path to bracket —
+// and therefore emits no crit.enter/crit.exit events: the checker's
+// lock-discipline rule deliberately does not apply here.
+func (s *Store) SetTracer(tr obs.Tracer) {
+	s.mu.Lock()
+	s.tr = tr
+	s.mu.Unlock()
+	s.vs.SetTracer(tr)
+}
+
+// emitOutcome reports one outcome record that has already been forced;
+// callers hold s.mu. Append and durable are emitted back to back
+// because shadowing has no window between them: ForceWrite returns only
+// after the force covers the record.
+func (s *Store) emitOutcome(code obs.OutcomeKind, aid ids.ActionID, lsn stablelog.LSN) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Emit(obs.Event{Kind: obs.KindOutcomeAppend, Code: uint8(code), AID: aid, LSN: uint64(lsn)})
+	s.tr.Emit(obs.Event{Kind: obs.KindOutcomeDurable, Code: uint8(code), AID: aid, LSN: uint64(lsn)})
 }
 
 // Heap returns the volatile heap the store serves.
@@ -163,11 +191,13 @@ func (s *Store) Prepare(aid ids.ActionID, mos object.MOS) error {
 		installs = append(installs, install{uid: obj.UID(), addr: addr, kind: kind})
 		s.as.Add(obj.UID())
 	}
-	if _, err := s.vs.ForceWrite(encodePrepared(aid, installs)); err != nil {
+	lsn, err := s.vs.ForceWrite(encodePrepared(aid, installs))
+	if err != nil {
 		return err
 	}
 	s.pending[aid] = installs
 	s.pat.Add(aid)
+	s.emitOutcome(obs.OutcomePrepared, aid, lsn)
 	return nil
 }
 
@@ -184,7 +214,12 @@ func (s *Store) Commit(aid ids.ActionID) error {
 	}
 	delete(s.pending, aid)
 	s.pat.Remove(aid)
-	return s.writeMapLocked()
+	lsn, err := s.writeMapLocked()
+	if err != nil {
+		return err
+	}
+	s.emitOutcome(obs.OutcomeCommitted, aid, lsn)
+	return nil
 }
 
 // Abort discards the shadowed versions; atomic versions die, but mutex
@@ -202,43 +237,59 @@ func (s *Store) Abort(aid ids.ActionID) error {
 	}
 	delete(s.pending, aid)
 	s.pat.Remove(aid)
+	var lsn stablelog.LSN
+	var err error
 	if mutexInstalled {
-		return s.writeMapLocked()
+		lsn, err = s.writeMapLocked()
+	} else {
+		lsn, err = s.vs.ForceWrite(encodeOutcome(recAborted, aid, nil))
 	}
-	_, err := s.vs.ForceWrite(encodeOutcome(recAborted, aid, nil))
-	return err
+	if err != nil {
+		return err
+	}
+	s.emitOutcome(obs.OutcomeAborted, aid, lsn)
+	return nil
 }
 
 // Committing records the coordinator's commit decision.
 func (s *Store) Committing(aid ids.ActionID, gids []ids.GuardianID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, err := s.vs.ForceWrite(encodeOutcome(recCommitting, aid, gids))
-	return err
+	lsn, err := s.vs.ForceWrite(encodeOutcome(recCommitting, aid, gids))
+	if err != nil {
+		return err
+	}
+	s.emitOutcome(obs.OutcomeCommitting, aid, lsn)
+	return nil
 }
 
 // Done records the end of two-phase commit.
 func (s *Store) Done(aid ids.ActionID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, err := s.vs.ForceWrite(encodeOutcome(recDone, aid, nil))
-	return err
+	lsn, err := s.vs.ForceWrite(encodeOutcome(recDone, aid, nil))
+	if err != nil {
+		return err
+	}
+	s.emitOutcome(obs.OutcomeDone, aid, lsn)
+	return nil
 }
 
 // writeMapLocked serializes the whole map, appends it to the version
-// area, forces it, and atomically installs it via the root page.
-func (s *Store) writeMapLocked() error {
+// area, forces it, and atomically installs it via the root page. It
+// returns the map record's address.
+func (s *Store) writeMapLocked() (stablelog.LSN, error) {
 	lsn, err := s.vs.ForceWrite(encodeMap(s.table))
 	if err != nil {
-		return err
+		return stablelog.NoLSN, err
 	}
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(lsn))
 	if err := s.root.WritePage(0, buf[:]); err != nil {
-		return err
+		return stablelog.NoLSN, err
 	}
 	s.MapWrites++
-	return nil
+	return lsn, nil
 }
 
 // TrimAS trims the accessibility set (§3.3.3.2), as in the log

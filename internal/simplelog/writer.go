@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/logrec"
+	"repro/internal/obs"
 	"repro/internal/object"
 	"repro/internal/stablelog"
 	"repro/internal/value"
@@ -35,6 +36,39 @@ type Writer struct {
 	heap *object.Heap
 	as   *object.AccessSet
 	pat  *object.PAT
+	tr   obs.Tracer // guarded by mu; nil traces nothing
+}
+
+// SetTracer installs the writer's event tracer: outcome appends and
+// acknowledgments plus crit.enter/crit.exit brackets around the writer
+// mutex, which obs.Checker's lock-discipline rule consumes.
+func (w *Writer) SetTracer(tr obs.Tracer) {
+	w.mu.Lock()
+	w.tr = tr
+	w.mu.Unlock()
+}
+
+// enterCrit / exitCrit emit the critical-section brackets; callers
+// hold w.mu.
+func (w *Writer) enterCrit() {
+	if w.tr != nil {
+		w.tr.Emit(obs.Event{Kind: obs.KindCritEnter})
+	}
+}
+
+func (w *Writer) exitCrit() {
+	if w.tr != nil {
+		w.tr.Emit(obs.Event{Kind: obs.KindCritExit})
+	}
+}
+
+// emitOutcome reports an outcome entry appended (and, with
+// KindOutcomeDurable, acknowledged durable). appended emissions run
+// under w.mu; durable emissions run after the force, outside it.
+func emitOutcome(tr obs.Tracer, kind obs.Kind, code obs.OutcomeKind, aid ids.ActionID, lsn stablelog.LSN) {
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: kind, Code: uint8(code), AID: aid, LSN: uint64(lsn)})
+	}
 }
 
 // NewWriter returns a writer over log for a guardian whose volatile
@@ -65,8 +99,10 @@ func (w *Writer) AS() *object.AccessSet { return w.as }
 // entry. If the force fails the entry is rolled back.
 func (w *Writer) Prepare(aid ids.ActionID, mos object.MOS) error {
 	w.mu.Lock()
+	w.enterCrit()
 	// Steps 2–4: data, base_committed and prepared_data entries.
 	if err := w.writeDataEntries(aid, mos); err != nil {
+		w.exitCrit()
 		w.mu.Unlock()
 		return err
 	}
@@ -77,10 +113,14 @@ func (w *Writer) Prepare(aid ids.ActionID, mos object.MOS) error {
 		AID:  aid,
 	}))
 	if err != nil {
+		w.exitCrit()
 		w.mu.Unlock()
 		return err
 	}
 	w.pat.Add(aid)
+	emitOutcome(w.tr, obs.KindOutcomeAppend, obs.OutcomePrepared, aid, lsn)
+	w.exitCrit()
+	tr := w.tr
 	w.mu.Unlock()
 
 	if err := w.log.ForceTo(lsn); err != nil {
@@ -89,6 +129,7 @@ func (w *Writer) Prepare(aid ids.ActionID, mos object.MOS) error {
 		w.mu.Unlock()
 		return err
 	}
+	emitOutcome(tr, obs.KindOutcomeDurable, obs.OutcomePrepared, aid, lsn)
 	return nil
 }
 
@@ -226,10 +267,16 @@ func (w *Writer) writeBaseCommitted(o *object.Atomic, naos *naos) error {
 // mutex so concurrent committers share one force barrier.
 func (w *Writer) Commit(aid ids.ActionID) error {
 	w.mu.Lock()
+	w.enterCrit()
 	lsn, err := w.log.Write(logrec.Encode(logrec.Simple, &logrec.Entry{
 		Kind: logrec.KindCommitted,
 		AID:  aid,
 	}))
+	if err == nil {
+		emitOutcome(w.tr, obs.KindOutcomeAppend, obs.OutcomeCommitted, aid, lsn)
+	}
+	w.exitCrit()
+	tr := w.tr
 	w.mu.Unlock()
 	if err != nil {
 		return err
@@ -237,6 +284,7 @@ func (w *Writer) Commit(aid ids.ActionID) error {
 	if err := w.log.ForceTo(lsn); err != nil {
 		return err
 	}
+	emitOutcome(tr, obs.KindOutcomeDurable, obs.OutcomeCommitted, aid, lsn)
 	w.mu.Lock()
 	w.pat.Remove(aid)
 	w.mu.Unlock()
@@ -247,10 +295,16 @@ func (w *Writer) Commit(aid ids.ActionID) error {
 // it from the PAT (§3.3.2).
 func (w *Writer) Abort(aid ids.ActionID) error {
 	w.mu.Lock()
+	w.enterCrit()
 	lsn, err := w.log.Write(logrec.Encode(logrec.Simple, &logrec.Entry{
 		Kind: logrec.KindAborted,
 		AID:  aid,
 	}))
+	if err == nil {
+		emitOutcome(w.tr, obs.KindOutcomeAppend, obs.OutcomeAborted, aid, lsn)
+	}
+	w.exitCrit()
+	tr := w.tr
 	w.mu.Unlock()
 	if err != nil {
 		return err
@@ -258,6 +312,7 @@ func (w *Writer) Abort(aid ids.ActionID) error {
 	if err := w.log.ForceTo(lsn); err != nil {
 		return err
 	}
+	emitOutcome(tr, obs.KindOutcomeDurable, obs.OutcomeAborted, aid, lsn)
 	w.mu.Lock()
 	w.pat.Remove(aid)
 	w.mu.Unlock()
@@ -269,31 +324,51 @@ func (w *Writer) Abort(aid ids.ActionID) error {
 // action is committed (§3.3.1).
 func (w *Writer) Committing(aid ids.ActionID, gids []ids.GuardianID) error {
 	w.mu.Lock()
+	w.enterCrit()
 	lsn, err := w.log.Write(logrec.Encode(logrec.Simple, &logrec.Entry{
 		Kind: logrec.KindCommitting,
 		AID:  aid,
 		GIDs: gids,
 	}))
+	if err == nil {
+		emitOutcome(w.tr, obs.KindOutcomeAppend, obs.OutcomeCommitting, aid, lsn)
+	}
+	w.exitCrit()
+	tr := w.tr
 	w.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	return w.log.ForceTo(lsn)
+	if err := w.log.ForceTo(lsn); err != nil {
+		return err
+	}
+	emitOutcome(tr, obs.KindOutcomeDurable, obs.OutcomeCommitting, aid, lsn)
+	return nil
 }
 
 // Done appends and forces the coordinator's done outcome entry;
 // two-phase commit is complete (§3.3.1).
 func (w *Writer) Done(aid ids.ActionID) error {
 	w.mu.Lock()
+	w.enterCrit()
 	lsn, err := w.log.Write(logrec.Encode(logrec.Simple, &logrec.Entry{
 		Kind: logrec.KindDone,
 		AID:  aid,
 	}))
+	if err == nil {
+		emitOutcome(w.tr, obs.KindOutcomeAppend, obs.OutcomeDone, aid, lsn)
+	}
+	w.exitCrit()
+	tr := w.tr
 	w.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	return w.log.ForceTo(lsn)
+	if err := w.log.ForceTo(lsn); err != nil {
+		return err
+	}
+	emitOutcome(tr, obs.KindOutcomeDurable, obs.OutcomeDone, aid, lsn)
+	return nil
 }
 
 // TrimAS trims the accessibility set (§3.3.3.2): actions that make

@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrCrashed is returned by every operation on a device (or a store
@@ -160,6 +162,24 @@ type MemDevice struct {
 	writes    int           // total successful or torn writes, for statistics
 	reads     int           // total read attempts, for statistics
 	delay     time.Duration // simulated latency per block write
+	tr        obs.Tracer    // emits fault.injected when a fault takes effect
+}
+
+// SetTracer installs (or, with nil, removes) the device's event
+// tracer: each injected fault that takes effect — torn write, node
+// crash, read decay, transient read error, spontaneous Decay — emits a
+// fault.injected event whose LSN field carries the block number.
+func (d *MemDevice) SetTracer(tr obs.Tracer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tr = tr
+}
+
+// emitFault reports one injected fault; callers hold d.mu.
+func (d *MemDevice) emitFault(code uint8, block int) {
+	if d.tr != nil {
+		d.tr.Emit(obs.Event{Kind: obs.KindFaultInjected, Code: code, LSN: uint64(block)})
+	}
 }
 
 // NewMemDevice returns an empty in-memory device with the given block
@@ -244,8 +264,10 @@ func (d *MemDevice) ReadBlock(i int) ([]byte, error) {
 	if rp, ok := d.plan.(ReadFaultPlan); ok {
 		switch rp.NextRead(i) {
 		case ReadFaultTransient:
+			d.emitFault(obs.FaultReadTransient, i)
 			return nil, ErrBadBlock
 		case ReadFaultDecay:
+			d.emitFault(obs.FaultReadDecay, i)
 			d.bad[i] = true
 		}
 	}
@@ -295,9 +317,11 @@ func (d *MemDevice) WriteBlock(i int, p []byte) error {
 	switch fault {
 	case FaultTorn:
 		// Half-applied write: block contents are garbage.
+		d.emitFault(obs.FaultTorn, i)
 		d.bad[i] = true
 		return nil
 	case FaultCrash:
+		d.emitFault(obs.FaultCrash, i)
 		d.bad[i] = true
 		d.crashed = true
 		return ErrCrashed
@@ -317,6 +341,7 @@ func (d *MemDevice) Decay(i int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if i >= 0 && i < len(d.blocks) {
+		d.emitFault(obs.FaultDecay, i)
 		d.bad[i] = true
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"hash/crc32"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/stable"
 )
 
@@ -91,6 +92,35 @@ type Log struct {
 	// sched coalesces concurrent ForceTo waiters into shared force
 	// rounds (see scheduler.go).
 	sched forceScheduler
+
+	// tr receives append and force events; nil (the default) traces
+	// nothing. Guarded by mu; emission sites capture it under mu and
+	// emit after unlocking where practical, so a sink never runs
+	// inside the log's locks except on the append path.
+	tr obs.Tracer
+}
+
+// SetTracer installs (or, with nil, removes) the log's event tracer
+// and emits a log.open event carrying the current durable boundary, so
+// a stream consumer — in particular obs.Checker's force-barrier rule —
+// learns the boundary that subsequent appends and forces start from.
+// It is called on a fresh log, on a log reopened after a crash, and on
+// the new generation installed by a housekeeping switch.
+func (l *Log) SetTracer(tr obs.Tracer) {
+	l.mu.Lock()
+	l.tr = tr
+	durable := l.durable
+	l.mu.Unlock()
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindLogOpen, Durable: durable})
+	}
+}
+
+// tracer returns the installed tracer (nil for none).
+func (l *Log) tracer() obs.Tracer {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tr
 }
 
 // New returns an empty log over a fresh store.
@@ -289,6 +319,9 @@ func (l *Log) writeLocked(payload []byte) (LSN, error) {
 	if l.nEntries >= 0 {
 		l.nEntries++
 	}
+	if l.tr != nil {
+		l.tr.Emit(obs.Event{Kind: obs.KindLogAppend, LSN: uint64(lsn), Bytes: len(frame)})
+	}
 	return lsn, nil
 }
 
@@ -336,12 +369,24 @@ func (l *Log) forceRound() error {
 	ps := uint64(l.pageSize)
 	start := l.durable
 	partial := start % ps
+	tr := l.tr
 	// Assemble the byte stream from the start of the tail page.
 	data := make([]byte, 0, int(partial)+len(snapBuf))
 	data = append(data, l.tailImg[:partial]...)
 	data = append(data, snapBuf...)
 	l.mu.Unlock()
 
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindForceStart, LSN: uint64(snapLastLSN),
+			Durable: start, Bytes: len(snapBuf)})
+	}
+	fail := func(err error) error {
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindForceDone, LSN: uint64(snapLastLSN),
+				Durable: start, Bytes: len(snapBuf), Note: err.Error()})
+		}
+		return err
+	}
 	page := firstDataPage + int(start/ps)
 	for off := 0; off < len(data); {
 		n := len(data) - off
@@ -349,7 +394,7 @@ func (l *Log) forceRound() error {
 			n = int(ps)
 		}
 		if err := l.store.WritePage(page, data[off:off+n]); err != nil {
-			return err
+			return fail(err)
 		}
 		off += n
 		page++
@@ -363,7 +408,7 @@ func (l *Log) forceRound() error {
 	binary.LittleEndian.PutUint64(sb[8:16], uint64(snapLastLSN))
 	binary.LittleEndian.PutUint32(sb[16:20], snapLast)
 	if err := l.store.WritePage(superPage, sb[:]); err != nil {
-		return err
+		return fail(err)
 	}
 
 	l.mu.Lock()
@@ -376,6 +421,13 @@ func (l *Log) forceRound() error {
 	l.forced = snapLastLSN
 	l.nForces++
 	l.mu.Unlock()
+	if tr != nil {
+		// Emitted before the scheduler broadcasts the round's
+		// completion, so this force.done precedes every outcome it
+		// covers in the stream (obs.Checker's R1 relies on that).
+		tr.Emit(obs.Event{Kind: obs.KindForceDone, LSN: uint64(snapLastLSN),
+			Durable: snapTail, Bytes: len(snapBuf), OK: true})
+	}
 	return nil
 }
 

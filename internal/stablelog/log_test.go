@@ -10,7 +10,7 @@ import (
 	"repro/internal/stable"
 )
 
-func freshLog(t *testing.T, blockSize int) (*Log, *stable.MemDevice, *stable.MemDevice) {
+func freshLog(t testing.TB, blockSize int) (*Log, *stable.MemDevice, *stable.MemDevice) {
 	t.Helper()
 	a := stable.NewMemDevice(blockSize, nil)
 	b := stable.NewMemDevice(blockSize, nil)

@@ -31,6 +31,8 @@ package stablelog
 import (
 	"runtime"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // forceScheduler coalesces concurrent ForceTo calls on one Log into
@@ -133,6 +135,9 @@ func (l *Log) ForceTo(lsn LSN) error {
 		// A force is in flight but its snapshot may predate our entry:
 		// wait for the round to end, then re-check coverage.
 		s.rides++
+		if tr := l.tracer(); tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindForceWait, LSN: uint64(lsn)})
+		}
 		round := s.round
 		for s.round == round {
 			s.cond.Wait()

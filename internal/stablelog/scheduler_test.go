@@ -3,6 +3,7 @@ package stablelog
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -205,6 +206,111 @@ func TestSiteSyncForceSurvivesSwitch(t *testing.T) {
 	leads, rides := cur.SchedulerStats()
 	if leads != 0 || rides != 0 {
 		t.Fatalf("post-switch log ran in group mode (stats %d, %d); syncForce not inherited", leads, rides)
+	}
+}
+
+// TestForceScheduleProperty drives the log through seeded random
+// Write / ForceTo / crash interleavings and checks every state against
+// a model log: a force round covers the whole buffered suffix (the
+// covered-LSN snapshot), a crash erases exactly the unforced entries,
+// survivors read back byte-identical in order, and — under a serial
+// schedule — the device does exactly one force per uncovered ForceTo.
+// Even seeds run the group-commit scheduler, odd seeds pin synchronous
+// forces; the durable behavior must be identical.
+func TestForceScheduleProperty(t *testing.T) {
+	type entry struct {
+		lsn     LSN
+		payload string
+	}
+	for seed := int64(0); seed < 24; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			l, a, b := freshLog(t, 128)
+			sync := seed%2 == 1
+			l.SetSynchronousForces(sync)
+
+			var model []entry // every live entry; model[:durable] survives a crash
+			durable := 0      // model watermark advanced by force rounds
+			forces := 0       // uncovered ForceTo calls on the current log instance
+
+			verify := func(what string) {
+				t.Helper()
+				if got := l.Entries(); got != len(model) {
+					t.Fatalf("%s: Entries() = %d, want %d", what, got, len(model))
+				}
+				for i, e := range model {
+					got, err := l.Read(e.lsn)
+					if err != nil {
+						t.Fatalf("%s: Read(entry %d @ %v): %v", what, i, e.lsn, err)
+					}
+					if string(got) != e.payload {
+						t.Fatalf("%s: entry %d = %q, want %q", what, i, got, e.payload)
+					}
+				}
+			}
+			crash := func() {
+				t.Helper()
+				if got := l.Forces(); got != forces {
+					t.Fatalf("Forces() = %d, want %d (one device force per uncovered ForceTo)", got, forces)
+				}
+				l = reopen(t, a, b)
+				l.SetSynchronousForces(sync)
+				model = model[:durable]
+				forces = 0
+				verify("after crash")
+			}
+
+			for step := 0; step < 400; step++ {
+				switch op := rng.Intn(10); {
+				case op < 6:
+					p := fmt.Sprintf("s%d-e%d-%x", seed, len(model), rng.Int63())
+					lsn, err := l.Write([]byte(p))
+					if err != nil {
+						t.Fatalf("Write: %v", err)
+					}
+					model = append(model, entry{lsn, p})
+				case op < 9:
+					if len(model) == 0 {
+						continue
+					}
+					i := rng.Intn(len(model))
+					if err := l.ForceTo(model[i].lsn); err != nil {
+						t.Fatalf("ForceTo: %v", err)
+					}
+					if i >= durable {
+						// The round snapshots the whole buffer, so every
+						// entry written so far is now durable.
+						forces++
+						durable = len(model)
+					}
+				default:
+					crash()
+				}
+			}
+			crash()
+			verify("final")
+			// Backward iteration sees exactly the surviving entries,
+			// newest first.
+			i := len(model)
+			err := l.ReadBackward(l.Top(), func(lsn LSN, payload []byte) bool {
+				i--
+				if i < 0 {
+					t.Fatal("ReadBackward yielded more entries than the model holds")
+				}
+				if lsn != model[i].lsn || string(payload) != model[i].payload {
+					t.Fatalf("ReadBackward entry %d = (%v, %q), want (%v, %q)",
+						i, lsn, payload, model[i].lsn, model[i].payload)
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatalf("ReadBackward: %v", err)
+			}
+			if i != 0 {
+				t.Fatalf("ReadBackward stopped with %d entries unseen", i)
+			}
+		})
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stable"
 )
 
@@ -46,6 +47,7 @@ type MemVolume struct {
 	plan      stable.FaultPlan // applied to device A of every generation
 	global    *globalPlan      // volume-wide write counter / crash trigger
 	delay     time.Duration    // write latency applied to every device
+	tr        obs.Tracer       // fault-event tracer applied to every device
 }
 
 // globalPlan is a FaultPlan shared by every device of a volume: it
@@ -115,6 +117,25 @@ func (v *MemVolume) SetWriteDelay(d time.Duration) {
 	}
 }
 
+// SetTracer installs an event tracer on every device of the volume,
+// existing and future; devices emit fault.injected events when an
+// injected fault (torn write, crash, read decay) takes effect.
+func (v *MemVolume) SetTracer(tr obs.Tracer) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.tr = tr
+	for i := range v.root {
+		if v.root[i] != nil {
+			v.root[i].SetTracer(tr)
+		}
+	}
+	//roslint:nondet applies one setting to every device; order has no observable effect
+	for _, pair := range v.gens {
+		pair[0].SetTracer(tr)
+		pair[1].SetTracer(tr)
+	}
+}
+
 // Root implements Volume. The same Store instance is returned on every
 // call: concurrent Store wrappers over one device pair would race on
 // version stamps.
@@ -130,6 +151,8 @@ func (v *MemVolume) Root() (*stable.Store, error) {
 		}
 		v.root[0].SetWriteDelay(v.delay)
 		v.root[1].SetWriteDelay(v.delay)
+		v.root[0].SetTracer(v.tr)
+		v.root[1].SetTracer(v.tr)
 	}
 	if v.rootStore == nil {
 		s, err := stable.NewStore(v.root[0], v.root[1])
@@ -160,6 +183,8 @@ func (v *MemVolume) Generation(gen uint64) (*stable.Store, error) {
 		}
 		pair[0].SetWriteDelay(v.delay)
 		pair[1].SetWriteDelay(v.delay)
+		pair[0].SetTracer(v.tr)
+		pair[1].SetTracer(v.tr)
 		v.gens[gen] = pair
 	}
 	s, err := stable.NewStore(pair[0], pair[1])
@@ -336,6 +361,26 @@ type Site struct {
 	// coalescing); see Log.SetSynchronousForces. It must survive the
 	// housekeeping generation switch, which installs a brand-new Log.
 	syncForce bool
+	// tr is the event tracer applied to the current log and, at the
+	// moment of the housekeeping switch, to its replacement. The
+	// not-yet-installed log that housekeeping fills via NewLog is
+	// deliberately untraced: only one log per guardian carries the
+	// tracer at a time, so the stream's durable boundary is always
+	// unambiguous (stage-one copy work is summarized by the
+	// housekeep.done event instead).
+	tr obs.Tracer
+}
+
+// SetTracer installs the site's event tracer on the current log (which
+// emits a log.open event, see Log.SetTracer) and arranges for the log
+// installed by a future housekeeping Switch to inherit it.
+func (s *Site) SetTracer(tr obs.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tr = tr
+	if s.log != nil {
+		s.log.SetTracer(tr)
+	}
 }
 
 // SetSynchronousForces switches the site's current log (and every log
@@ -488,5 +533,11 @@ func (s *Site) Switch(newLog *Log, gen uint64) error {
 	s.gen = gen
 	s.log = newLog
 	s.vol.Remove(old)
+	if s.tr != nil {
+		// The new generation becomes the traced log from this point on;
+		// its log.open event carries the durable boundary housekeeping
+		// already forced, resetting the stream's view of the log.
+		newLog.SetTracer(s.tr)
+	}
 	return nil
 }

@@ -1,0 +1,35 @@
+package stablelog
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// benchAppendForce measures the log's append + synchronous-force path
+// with the given tracer installed. BenchmarkTraceOff is the CI overhead
+// guard for the nil-tracer fast path: its ns/op and allocs/op are the
+// baseline that BenchmarkTraceOn (a live Stats sink) is compared
+// against — tracing must stay a per-event branch, not a tax on
+// untraced runs.
+func benchAppendForce(b *testing.B, tr obs.Tracer) {
+	l, _, _ := freshLog(b, 4096)
+	l.SetSynchronousForces(true)
+	l.SetTracer(tr)
+	payload := make([]byte, 48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lsn, err := l.Write(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := l.ForceTo(lsn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceOff(b *testing.B) { benchAppendForce(b, nil) }
+
+func BenchmarkTraceOn(b *testing.B) { benchAppendForce(b, &obs.Stats{}) }

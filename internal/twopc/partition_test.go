@@ -1,0 +1,283 @@
+package twopc
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+)
+
+// hookLog is a mockLog that runs a hook when the committing record is
+// written — the only coordinator-local step between the two phases, so
+// it is where a test injects "the network changed after every vote was
+// gathered".
+type hookLog struct {
+	mockLog
+	atCommitting func()
+}
+
+func (h *hookLog) Committing(aid ids.ActionID, gids []ids.GuardianID) error {
+	if h.atCommitting != nil {
+		h.atCommitting()
+	}
+	return h.mockLog.Committing(aid, gids)
+}
+
+// sig renders one protocol event as a compact signature line, so a test
+// can assert the exact message sequence without depending on the full
+// trace text format.
+func sig(e obs.Event) string {
+	voteName := map[uint8]string{
+		obs.VotePrepared: "prepared",
+		obs.VoteAborted:  "aborted",
+		obs.VoteReadOnly: "read-only",
+	}
+	outcomeName := map[uint8]string{
+		obs.TwoPCCommitted: "committed",
+		obs.TwoPCAborted:   "aborted",
+	}
+	switch e.Kind {
+	case obs.KindNetCall:
+		if e.OK {
+			return fmt.Sprintf("call %d->%d", e.From, e.To)
+		}
+		return fmt.Sprintf("call %d->%d refused", e.From, e.To)
+	case obs.KindTwoPCPrepare:
+		return fmt.Sprintf("prepare %d->%d", e.From, e.To)
+	case obs.KindTwoPCVote:
+		if !e.OK {
+			return fmt.Sprintf("vote %d->%d lost", e.From, e.To)
+		}
+		return fmt.Sprintf("vote %d->%d %s", e.From, e.To, voteName[e.Code])
+	case obs.KindTwoPCOutcome:
+		return fmt.Sprintf("outcome %s", outcomeName[e.Code])
+	default:
+		return fmt.Sprintf("unexpected %v", e.Kind)
+	}
+}
+
+func sigs(rec *obs.Recorder) []string {
+	events := rec.Events()
+	out := make([]string, len(events))
+	for i, e := range events {
+		out[i] = sig(e)
+	}
+	return out
+}
+
+func assertSeq(t *testing.T, rec *obs.Recorder, want []string) {
+	t.Helper()
+	got := sigs(rec)
+	n := len(got)
+	if len(want) > n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		var g, w string
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(want) {
+			w = want[i]
+		}
+		if g != w {
+			t.Fatalf("message %d = %q, want %q\nfull sequence: %q", i, g, w, got)
+		}
+	}
+}
+
+// partitionFixture wires a coordinator (guardian 1) and two prepared
+// participants (guardians 2 and 3) to one network and one recorder that
+// sees both the protocol events and the per-message net.call events.
+func partitionFixture() (*Coordinator, *hookLog, []*mockPart, []Participant, *obs.Recorder) {
+	clog := &hookLog{}
+	rec := &obs.Recorder{}
+	net := netsim.New()
+	net.SetTracer(rec)
+	c := &Coordinator{Self: 1, Net: net, Log: clog, Tracer: rec}
+	mocks := []*mockPart{
+		{id: 2, vote: VotePrepared},
+		{id: 3, vote: VotePrepared},
+	}
+	return c, clog, mocks, []Participant{mocks[0], mocks[1]}, rec
+}
+
+// The coordinator's node is down before phase one: its very first
+// prepare is refused by the network, the vote is recorded lost, and the
+// action aborts with no committing record and no abort messages (no one
+// prepared).
+func TestPartitionCoordinatorDownPrePrepare(t *testing.T) {
+	c, clog, mocks, parts, rec := partitionFixture()
+	c.Net.SetDown(1, true)
+	_, err := c.Run(aid, parts)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	assertSeq(t, rec, []string{
+		"prepare 1->2",
+		"call 1->2 refused",
+		"vote 2->1 lost",
+		"outcome aborted",
+	})
+	if len(clog.committing) != 0 {
+		t.Fatal("committing record written by a down coordinator")
+	}
+	if len(mocks[0].prepares)+len(mocks[1].prepares) != 0 {
+		t.Fatal("a prepare was delivered through a down coordinator")
+	}
+}
+
+// The coordinator's node goes down after every vote is in but the
+// committing record is written: the action is committed, both commit
+// messages are refused, and the coordinator must re-drive phase two
+// after restart — the §2.2.3 "committing but not done" state.
+func TestPartitionCoordinatorDownPostPrepare(t *testing.T) {
+	c, clog, mocks, parts, rec := partitionFixture()
+	clog.atCommitting = func() { c.Net.SetDown(1, true) }
+	res, err := c.Run(aid, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeCommitted || res.Done {
+		t.Fatalf("result = %+v, want committed and not done", res)
+	}
+	if len(res.Unresponsive) != 2 {
+		t.Fatalf("unresponsive = %v, want both participants", res.Unresponsive)
+	}
+	assertSeq(t, rec, []string{
+		"prepare 1->2",
+		"call 1->2",
+		"vote 2->1 prepared",
+		"prepare 1->3",
+		"call 1->3",
+		"vote 3->1 prepared",
+		"outcome committed",
+		"call 1->2 refused",
+		"call 1->3 refused",
+	})
+	if len(clog.done) != 0 {
+		t.Fatal("done record written with both participants unreached")
+	}
+	// The coordinator restarts; Complete re-drives phase two to the end.
+	c.Net.SetDown(1, false)
+	rec.Reset()
+	res2, err := c.Complete(aid, parts)
+	if err != nil || !res2.Done {
+		t.Fatalf("complete = %+v, %v", res2, err)
+	}
+	assertSeq(t, rec, []string{"call 1->2", "call 1->3"})
+	if len(mocks[0].commits) != 1 || len(mocks[1].commits) != 1 {
+		t.Fatalf("commits = %d, %d after re-drive", len(mocks[0].commits), len(mocks[1].commits))
+	}
+	if len(clog.done) != 1 {
+		t.Fatal("done record missing after re-drive")
+	}
+}
+
+// A participant's node is down: its prepare is refused, the coordinator
+// aborts unilaterally, and the participant that did prepare hears the
+// abort.
+func TestPartitionParticipantDown(t *testing.T) {
+	c, clog, mocks, parts, rec := partitionFixture()
+	c.Net.SetDown(3, true)
+	_, err := c.Run(aid, parts)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	assertSeq(t, rec, []string{
+		"prepare 1->2",
+		"call 1->2",
+		"vote 2->1 prepared",
+		"prepare 1->3",
+		"call 1->3 refused",
+		"vote 3->1 lost",
+		"outcome aborted",
+		"call 1->2", // abort notification to the prepared participant
+	})
+	if len(clog.committing) != 0 {
+		t.Fatal("committing record written despite a down participant")
+	}
+	if len(mocks[0].aborts) != 1 {
+		t.Fatalf("prepared participant aborts = %d, want 1", len(mocks[0].aborts))
+	}
+	if len(mocks[1].prepares)+len(mocks[1].aborts)+len(mocks[1].commits) != 0 {
+		t.Fatalf("down participant handled messages: %+v", mocks[1])
+	}
+}
+
+// The coordinator–participant link is cut before phase one: the prepare
+// is refused exactly as if the participant were down, and the action
+// aborts before any other guardian is contacted.
+func TestPartitionLinkCutPrePrepare(t *testing.T) {
+	c, clog, mocks, parts, rec := partitionFixture()
+	c.Net.Cut(1, 2, true)
+	_, err := c.Run(aid, parts)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	assertSeq(t, rec, []string{
+		"prepare 1->2",
+		"call 1->2 refused",
+		"vote 2->1 lost",
+		"outcome aborted",
+	})
+	if len(clog.committing) != 0 {
+		t.Fatal("committing record written across a cut link")
+	}
+	if len(mocks[1].prepares) != 0 {
+		t.Fatal("second participant contacted after the abort decision")
+	}
+}
+
+// The link is cut in the other protocol direction — after the votes,
+// before the commits: the cut-off participant misses phase two and is
+// reported unresponsive while the reachable one commits; healing the
+// link and re-driving completes the action.
+func TestPartitionLinkCutPostPrepare(t *testing.T) {
+	c, clog, mocks, parts, rec := partitionFixture()
+	clog.atCommitting = func() { c.Net.Cut(1, 2, true) }
+	res, err := c.Run(aid, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeCommitted || res.Done {
+		t.Fatalf("result = %+v, want committed and not done", res)
+	}
+	if len(res.Unresponsive) != 1 || res.Unresponsive[0] != 2 {
+		t.Fatalf("unresponsive = %v, want [2]", res.Unresponsive)
+	}
+	assertSeq(t, rec, []string{
+		"prepare 1->2",
+		"call 1->2",
+		"vote 2->1 prepared",
+		"prepare 1->3",
+		"call 1->3",
+		"vote 3->1 prepared",
+		"outcome committed",
+		"call 1->2 refused",
+		"call 1->3",
+	})
+	if len(mocks[1].commits) != 1 {
+		t.Fatal("reachable participant did not commit")
+	}
+	if len(mocks[0].commits) != 0 {
+		t.Fatal("cut-off participant committed")
+	}
+	// The partition heals; re-driving phase two reaches the straggler.
+	c.Net.Cut(1, 2, false)
+	rec.Reset()
+	res2, err := c.Complete(aid, parts)
+	if err != nil || !res2.Done {
+		t.Fatalf("complete = %+v, %v", res2, err)
+	}
+	assertSeq(t, rec, []string{"call 1->2", "call 1->3"})
+	if len(mocks[0].commits) != 1 {
+		t.Fatal("straggler still missing its commit after the link healed")
+	}
+	if len(clog.done) != 1 {
+		t.Fatal("done record missing after completion")
+	}
+}

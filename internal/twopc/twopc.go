@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // Vote is a participant's reply to a prepare message.
@@ -95,6 +96,27 @@ type Coordinator struct {
 	Self ids.GuardianID
 	Net  *netsim.Network
 	Log  CoordinatorLog
+	// Tracer, when non-nil, receives the protocol's message-level
+	// events: twopc.prepare per prepare sent, twopc.vote per reply (or
+	// failed call), twopc.outcome at the commit/abort decision point.
+	Tracer obs.Tracer
+}
+
+func (c *Coordinator) emit(e obs.Event) {
+	if c.Tracer != nil {
+		c.Tracer.Emit(e)
+	}
+}
+
+func voteCode(v Vote) uint8 {
+	switch v {
+	case VotePrepared:
+		return obs.VotePrepared
+	case VoteReadOnly:
+		return obs.VoteReadOnly
+	default:
+		return obs.VoteAborted
+	}
 }
 
 // ErrAborted is returned by Run when the action aborted.
@@ -120,12 +142,18 @@ func (c *Coordinator) Run(aid ids.ActionID, participants []Participant) (Result,
 	prepared := make([]Participant, 0, len(participants))
 	abort := false
 	for _, p := range participants {
+		c.emit(obs.Event{Kind: obs.KindTwoPCPrepare, AID: aid, From: uint64(c.Self), To: uint64(p.GuardianID())})
 		var vote Vote
 		err := c.Net.Call(c.Self, p.GuardianID(), func() error {
 			v, err := p.HandlePrepare(aid)
 			vote = v
 			return err
 		})
+		if err != nil {
+			c.emit(obs.Event{Kind: obs.KindTwoPCVote, AID: aid, From: uint64(p.GuardianID()), To: uint64(c.Self), Note: err.Error()})
+		} else {
+			c.emit(obs.Event{Kind: obs.KindTwoPCVote, AID: aid, From: uint64(p.GuardianID()), To: uint64(c.Self), Code: voteCode(vote), OK: true})
+		}
 		if err != nil || vote == VoteAborted {
 			// A crashed or aborting participant: the coordinator aborts
 			// unilaterally (§2.2.1).
@@ -137,11 +165,13 @@ func (c *Coordinator) Run(aid ids.ActionID, participants []Participant) (Result,
 		}
 	}
 	if abort {
+		c.emit(obs.Event{Kind: obs.KindTwoPCOutcome, AID: aid, From: uint64(c.Self), Code: obs.TwoPCAborted, OK: true})
 		c.sendAborts(aid, prepared)
 		return Result{Outcome: OutcomeAborted, Done: true}, ErrAborted
 	}
 	if len(prepared) == 0 {
 		// Every participant was read-only: nothing to commit or redo.
+		c.emit(obs.Event{Kind: obs.KindTwoPCOutcome, AID: aid, From: uint64(c.Self), Code: obs.TwoPCCommitted, OK: true})
 		return Result{Outcome: OutcomeCommitted, Done: true}, nil
 	}
 
@@ -153,9 +183,11 @@ func (c *Coordinator) Run(aid ids.ActionID, participants []Participant) (Result,
 	}
 	if err := c.Log.Committing(aid, gids); err != nil {
 		// Could not reach stable storage: the action never committed.
+		c.emit(obs.Event{Kind: obs.KindTwoPCOutcome, AID: aid, From: uint64(c.Self), Code: obs.TwoPCAborted, OK: true})
 		c.sendAborts(aid, prepared)
 		return Result{Outcome: OutcomeAborted, Done: true}, fmt.Errorf("twopc: committing record: %w", err)
 	}
+	c.emit(obs.Event{Kind: obs.KindTwoPCOutcome, AID: aid, From: uint64(c.Self), Code: obs.TwoPCCommitted, OK: true})
 	return c.complete(aid, prepared)
 }
 
