@@ -3,33 +3,41 @@
 // and recovery-cost comparison of the three stable-storage
 // organizations (E1/E2/E3), the early-prepare effect (E4), the
 // compaction-vs-snapshot comparison (E5), the effect of housekeeping on
-// recovery (E6), and the group-commit force-sharing curve (E11).
+// recovery (E6), the group-commit force-sharing curve (E11), and the
+// served-guardian throughput scaling curve over loopback TCP (E12).
 //
 // Usage:
 //
-//	rosbench [-experiment all|e1|e2|e3|e4|e5|e6|e11] [-quick] [-commitjson FILE]
+//	rosbench [-experiment all|e1|e2|e3|e4|e5|e6|e11|e12] [-quick]
+//	         [-commitjson FILE] [-serverjson FILE]
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"sort"
 	"sync"
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/guardian"
 	"repro/internal/object"
 	"repro/internal/obs"
+	"repro/internal/server"
 	"repro/internal/value"
 )
 
 var (
-	experiment = flag.String("experiment", "all", "which experiment to run: all, e1..e6, e11")
+	experiment = flag.String("experiment", "all", "which experiment to run: all, e1..e6, e11, e12")
 	quick      = flag.Bool("quick", false, "smaller workloads for a fast smoke run")
 	commitJSON = flag.String("commitjson", "", "write the E11 rows as JSON to this file (e.g. BENCH_commit.json)")
+	serverJSON = flag.String("serverjson", "", "write the E12 rows as JSON to this file (e.g. BENCH_server.json)")
 	trace      = flag.Bool("trace", false, "derive the E11 per-commit numbers from the event stream and cross-check them against the counters")
 )
 
@@ -47,6 +55,7 @@ func main() {
 	run("e5", e5Housekeeping)
 	run("e6", e6RecoveryAfterHousekeeping)
 	run("e11", e11GroupCommit)
+	run("e12", e12ServerThroughput)
 }
 
 func backends() []core.Backend {
@@ -347,6 +356,153 @@ func e11GroupCommit() {
 		die(err)
 		die(os.WriteFile(*commitJSON, append(out, '\n'), 0o644))
 		fmt.Printf("wrote %s (%d rows)\n\n", *commitJSON, len(rows))
+	}
+}
+
+// serverRow is one E12 measurement, serialized to -serverjson.
+type serverRow struct {
+	Clients         int     `json:"clients"`
+	Commits         int     `json:"commits"`
+	Seconds         float64 `json:"seconds"`
+	CommitsPerSec   float64 `json:"commits_per_sec"`
+	P50Us           float64 `json:"p50_us"`
+	P99Us           float64 `json:"p99_us"`
+	ForcesPerCommit float64 `json:"forces_per_commit"`
+	Speedup         float64 `json:"speedup_vs_one_client"`
+}
+
+// e12WriteDelay is the simulated device latency behind the served
+// guardian's log. It is deliberately larger than e11's: every E12
+// commit also pays a wire round trip, so the force has to dominate for
+// the group-commit effect to be the thing measured.
+const e12WriteDelay = 200 * time.Microsecond
+
+// e12ServerThroughput measures a real rosd-style server over loopback
+// TCP: N concurrent clients each driving complete atomic increments of
+// their own counter. Throughput should scale superlinearly past the
+// single-client line because concurrent committers share log forces
+// (E11's effect, now visible through the serving layer).
+func e12ServerThroughput() {
+	fmt.Println("E12 — served-guardian throughput over loopback TCP (group commit on)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "clients\tcommits\tcommits/s\tp50 µs\tp99 µs\tforces/commit\tspeedup")
+	perClient := 300
+	clientCounts := []int{1, 2, 4, 8, 16}
+	if *quick {
+		perClient = 40
+		clientCounts = []int{1, 4}
+	}
+	var rows []serverRow
+	for _, clients := range clientCounts {
+		row := e12Run(clients, perClient)
+		if len(rows) > 0 {
+			row.Speedup = row.CommitsPerSec / rows[0].CommitsPerSec
+		} else {
+			row.Speedup = 1
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%d\t%d\t%.0f\t%.0f\t%.0f\t%.3f\t%.2fx\n",
+			row.Clients, row.Commits, row.CommitsPerSec, row.P50Us, row.P99Us, row.ForcesPerCommit, row.Speedup)
+	}
+	w.Flush()
+	fmt.Println()
+	if *serverJSON != "" {
+		out, err := json.MarshalIndent(rows, "", "  ")
+		die(err)
+		die(os.WriteFile(*serverJSON, append(out, '\n'), 0o644))
+		fmt.Printf("wrote %s (%d rows)\n\n", *serverJSON, len(rows))
+	}
+}
+
+// e12Run measures one point on the curve: a fresh hybrid guardian
+// served over a fresh loopback listener, `clients` concurrent clients,
+// one counter each (so actions never conflict and every commit is a
+// separate top-level action).
+func e12Run(clients, perClient int) serverRow {
+	g := commitHistory(core.BackendHybrid, clients, 0, 0)
+	g.RegisterHandler("incr", func(sub *guardian.Sub, arg value.Value) (value.Value, error) {
+		o, ok := g.VarAtomic(fmt.Sprintf("c%d", int64(arg.(value.Int))))
+		if !ok {
+			return nil, fmt.Errorf("no such counter")
+		}
+		if err := sub.Update(o, func(v value.Value) value.Value {
+			return value.Int(int64(v.(value.Int)) + 1)
+		}); err != nil {
+			return nil, err
+		}
+		return sub.Read(o)
+	})
+	g.Volume().SetWriteDelay(e12WriteDelay)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	die(err)
+	s := server.New(g, server.Config{Workers: 2 * clients, MaxConns: 2 * clients})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	forces0 := g.RS().Forces()
+	commits := clients * perClient
+	lats := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for id := 0; id < clients; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := client.New(addr, client.Options{PoolSize: 1})
+			//roslint:besteffort teardown after the measured ops all succeeded; nothing left to lose
+			defer c.Close()
+			lats[id] = make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				opStart := time.Now()
+				if _, err := c.Invoke("incr", value.Int(id)); err != nil {
+					errs[id] = err
+					return
+				}
+				lats[id] = append(lats[id], time.Since(opStart))
+			}
+		}()
+	}
+	wg.Wait()
+	el := time.Since(start)
+	for _, err := range errs {
+		die(err)
+	}
+	forces := g.RS().Forces() - forces0
+
+	// Every acked increment must be in the committed state: each
+	// client's counter reads exactly perClient.
+	check := g.Begin()
+	for id := 0; id < clients; id++ {
+		o, _ := g.VarAtomic(fmt.Sprintf("c%d", id))
+		v, err := check.Read(o)
+		die(err)
+		if int(v.(value.Int)) != perClient {
+			die(fmt.Errorf("e12 %d clients: counter c%d = %v, want %d", clients, id, v, perClient))
+		}
+	}
+	die(check.Abort())
+	die(s.Close())
+	if err := <-serveDone; !errors.Is(err, server.ErrClosed) {
+		die(err)
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return serverRow{
+		Clients:         clients,
+		Commits:         commits,
+		Seconds:         el.Seconds(),
+		CommitsPerSec:   float64(commits) / el.Seconds(),
+		P50Us:           float64(all[len(all)/2].Microseconds()),
+		P99Us:           float64(all[len(all)*99/100].Microseconds()),
+		ForcesPerCommit: float64(forces) / float64(commits),
 	}
 }
 

@@ -1,0 +1,109 @@
+// Command rosctl talks to a running rosd over its wire protocol: a
+// small operator CLI for poking the served guardian.
+//
+// Usage:
+//
+//	rosctl [-addr 127.0.0.1:4146] [-timeout 5s] <command> [args]
+//
+// Commands:
+//
+//	ping                  round-trip a frame
+//	get <key>             read a key's committed value
+//	put <key> <value>     store a value (int if it parses, else string)
+//	incr <key> [delta]    add delta (default 1) and print the new total
+//
+// Every command runs as one complete atomic action at the server: put
+// and incr are committed (and durable) before rosctl prints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/value"
+)
+
+var (
+	addr    = flag.String("addr", "127.0.0.1:4146", "rosd address")
+	timeout = flag.Duration("timeout", 5*time.Second, "per-request timeout")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "rosctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: rosctl [flags] ping|get|put|incr ...")
+	}
+	c := client.New(*addr, client.Options{CallTimeout: *timeout})
+	//roslint:besteffort process exit follows immediately; the command's own error is what matters
+	defer c.Close()
+
+	switch cmd := args[0]; cmd {
+	case "ping":
+		start := time.Now()
+		if err := c.Ping(); err != nil {
+			return err
+		}
+		fmt.Printf("pong (%v)\n", time.Since(start).Round(time.Microsecond))
+		return nil
+	case "get":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: rosctl get <key>")
+		}
+		v, err := c.Invoke("get", value.Str(args[1]))
+		if err != nil {
+			return err
+		}
+		fmt.Println(value.String(v))
+		return nil
+	case "put":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: rosctl put <key> <value>")
+		}
+		v, err := c.Invoke("put", value.NewList(value.Str(args[1]), parseValue(args[2])))
+		if err != nil {
+			return err
+		}
+		fmt.Println(value.String(v))
+		return nil
+	case "incr":
+		if len(args) != 2 && len(args) != 3 {
+			return fmt.Errorf("usage: rosctl incr <key> [delta]")
+		}
+		delta := int64(1)
+		if len(args) == 3 {
+			n, err := strconv.ParseInt(args[2], 10, 64)
+			if err != nil {
+				return fmt.Errorf("delta %q: %v", args[2], err)
+			}
+			delta = n
+		}
+		v, err := c.Invoke("incr", value.NewList(value.Str(args[1]), value.Int(delta)))
+		if err != nil {
+			return err
+		}
+		fmt.Println(value.String(v))
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (want ping, get, put, or incr)", cmd)
+	}
+}
+
+// parseValue reads an argument as an Int when it parses as one, a Str
+// otherwise.
+func parseValue(s string) value.Value {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return value.Int(n)
+	}
+	return value.Str(s)
+}

@@ -1,0 +1,189 @@
+// Command rosd serves one guardian over TCP: the reliable object
+// store as a daemon. It registers a small durable key/value interface
+// (get, put, incr — each a complete atomic action, or a subaction of
+// a caller-coordinated one) and serves it through internal/server.
+//
+// Usage:
+//
+//	rosd [-addr 127.0.0.1:4146] [-id 1] [-backend hybrid]
+//	     [-workers 8] [-maxconns 64] [-trace]
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests finish, then
+// connections close. With -trace every rpc.* event streams to stderr
+// in the golden-trace text format.
+//
+// The handlers:
+//
+//	get  (Str key)           -> stored value, or error
+//	put  (List[Str key, V])  -> V
+//	incr (List[Str key, Int delta]) -> Int new total (missing key
+//	     starts at 0)
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/guardian"
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/value"
+)
+
+var (
+	addr     = flag.String("addr", "127.0.0.1:4146", "listen address")
+	id       = flag.Uint("id", 1, "guardian id")
+	backend  = flag.String("backend", "hybrid", "recovery organization: simple, hybrid, shadow")
+	workers  = flag.Int("workers", 8, "request worker pool size")
+	maxconns = flag.Int("maxconns", 64, "concurrent connection limit")
+	trace    = flag.Bool("trace", false, "stream rpc.* events to stderr")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rosd:", err)
+		os.Exit(1)
+	}
+}
+
+// stderrTracer streams each event as one text line.
+type stderrTracer struct{}
+
+func (stderrTracer) Emit(e obs.Event) { fmt.Fprintln(os.Stderr, e.Text()) }
+
+func run() error {
+	var b core.Backend
+	switch *backend {
+	case "simple":
+		b = core.BackendSimple
+	case "hybrid":
+		b = core.BackendHybrid
+	case "shadow":
+		b = core.BackendShadow
+	default:
+		return fmt.Errorf("unknown backend %q", *backend)
+	}
+	g, err := guardian.New(ids.GuardianID(*id), guardian.WithBackend(b))
+	if err != nil {
+		return err
+	}
+	registerKV(g)
+
+	cfg := server.Config{Workers: *workers, MaxConns: *maxconns}
+	if *trace {
+		cfg.Tracer = stderrTracer{}
+	}
+	s := server.New(g, cfg)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "rosd: draining")
+		done <- s.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "rosd: guardian %d (%v) serving on %s\n", *id, b, *addr)
+	if err := s.ListenAndServe(*addr); !errors.Is(err, server.ErrClosed) {
+		return err
+	}
+	return <-done
+}
+
+// registerKV installs the key/value handlers. Keys are stable
+// variables holding atomic objects, so every committed put/incr
+// survives a crash and every action sees a consistent version (§2.1).
+func registerKV(g *guardian.Guardian) {
+	// keyObj fetches (or, when create is set, makes and registers) the
+	// atomic behind a key.
+	keyObj := func(sub *guardian.Sub, key string, create bool) (*object.Atomic, error) {
+		if o, ok := g.VarAtomic(key); ok {
+			return o, nil
+		}
+		if !create {
+			return nil, fmt.Errorf("no such key %q", key)
+		}
+		o, err := sub.NewAtomic(value.Int(0))
+		if err != nil {
+			return nil, err
+		}
+		if err := sub.SetVar(key, o); err != nil {
+			return nil, err
+		}
+		return o, nil
+	}
+
+	g.RegisterHandler("get", func(sub *guardian.Sub, arg value.Value) (value.Value, error) {
+		key, ok := arg.(value.Str)
+		if !ok {
+			return nil, fmt.Errorf("get wants a Str key")
+		}
+		o, err := keyObj(sub, string(key), false)
+		if err != nil {
+			return nil, err
+		}
+		return sub.Read(o)
+	})
+
+	g.RegisterHandler("put", func(sub *guardian.Sub, arg value.Value) (value.Value, error) {
+		l, ok := arg.(*value.List)
+		if !ok || len(l.Elems) != 2 {
+			return nil, fmt.Errorf("put wants List[key, value]")
+		}
+		key, ok := l.Elems[0].(value.Str)
+		if !ok {
+			return nil, fmt.Errorf("put wants a Str key")
+		}
+		o, err := keyObj(sub, string(key), true)
+		if err != nil {
+			return nil, err
+		}
+		if err := sub.Set(o, l.Elems[1]); err != nil {
+			return nil, err
+		}
+		return sub.Read(o)
+	})
+
+	g.RegisterHandler("incr", func(sub *guardian.Sub, arg value.Value) (value.Value, error) {
+		key, delta, err := incrArgs(arg)
+		if err != nil {
+			return nil, err
+		}
+		o, err := keyObj(sub, key, true)
+		if err != nil {
+			return nil, err
+		}
+		if err := sub.Update(o, func(cur value.Value) value.Value {
+			n, _ := cur.(value.Int)
+			return n + delta
+		}); err != nil {
+			return nil, err
+		}
+		return sub.Read(o)
+	})
+}
+
+func incrArgs(arg value.Value) (string, value.Int, error) {
+	switch a := arg.(type) {
+	case value.Str:
+		return string(a), 1, nil
+	case *value.List:
+		if len(a.Elems) == 2 {
+			key, kok := a.Elems[0].(value.Str)
+			delta, dok := a.Elems[1].(value.Int)
+			if kok && dok {
+				return string(key), delta, nil
+			}
+		}
+	}
+	return "", 0, fmt.Errorf("incr wants a Str key or List[key, delta]")
+}

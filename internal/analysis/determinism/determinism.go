@@ -12,10 +12,12 @@
 // reported schedule.
 //
 // The analyzer checks a fixed set of packages (the sweep, the guardian,
-// both log organizations it drives, and the stable log itself — whose
+// both log organizations it drives, the stable log itself — whose
 // group-commit force scheduler must stay purely reactive: no spawned
 // goroutines or timers, so a single-threaded call sequence produces
-// one device-write sequence) for:
+// one device-write sequence — and the serving-layer client, whose
+// retry backoff must draw time and jitter only from its injected
+// Clock/Rand so tests can script the exact schedule) for:
 //
 //   - calls to time.Now / Since / Until / Sleep / After / Tick /
 //     NewTimer / NewTicker,
@@ -56,6 +58,7 @@ var ScopedPackages = map[string]bool{
 	"repro/internal/hybridlog": true,
 	"repro/internal/stablelog": true,
 	"repro/internal/obs":       true,
+	"repro/internal/client":    true,
 	"repro/cmd/roscrash":       true,
 }
 

@@ -23,6 +23,16 @@ func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, determinism.Analyzer, "a", "b")
 }
 
+// TestServingClientInScope pins the serving-layer client into the
+// deterministic set: its retry backoff must draw time and jitter only
+// from its injected Clock and Rand, so tests can script the exact
+// retry schedule.
+func TestServingClientInScope(t *testing.T) {
+	if !determinism.ScopedPackages["repro/internal/client"] {
+		t.Fatal("repro/internal/client must stay in determinism's ScopedPackages")
+	}
+}
+
 // TestOutOfScope checks that an unscoped package is ignored entirely:
 // package b reads the clock and the global rand, and nothing may be
 // reported when it is not in ScopedPackages.

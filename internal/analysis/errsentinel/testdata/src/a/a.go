@@ -7,6 +7,7 @@ import (
 	"errors"
 
 	"repro/internal/stable"
+	"repro/internal/wire"
 )
 
 var errLocal = errors.New("local sentinel")
@@ -17,6 +18,16 @@ func eq(err error) bool {
 
 func neq(err error) bool {
 	return err != errLocal // want `errLocal compared with !=`
+}
+
+// The wire sentinels are wrapped by every layer above them (the frame
+// reader, the client, the transport): identity comparison breaks.
+func wireEq(err error) bool {
+	return err == wire.ErrBadCRC // want `ErrBadCRC compared with ==`
+}
+
+func wireIs(err error) bool {
+	return errors.Is(err, wire.ErrRemote)
 }
 
 // nil comparisons are the normal control flow: not flagged.

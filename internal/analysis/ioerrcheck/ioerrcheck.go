@@ -31,14 +31,23 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // checkedTypes lists the types whose methods' error results must not be
-// dropped: the stable-storage stack, the log, the simulated network,
-// and the two-phase-commit driver.
+// dropped: the stable-storage stack, the log, the network (both the
+// simulation and the real serving layer, down to the sockets and
+// deadlines it rides on), and the two-phase-commit driver.
 var checkedTypes = map[string][]string{
 	"repro/internal/stable":    {"Device", "MemDevice", "FileDevice", "Store"},
 	"repro/internal/stablelog": {"Log", "Site", "FileVolume", "MemVolume", "Volume"},
 	"repro/internal/netsim":    {"Network"},
 	"repro/internal/twopc":     {"Coordinator"},
+	"repro/internal/transport": {"Transport", "Loopback"},
+	"repro/internal/server":    {"Server"},
+	"repro/internal/client":    {"Client", "Transport"},
+	"net":                      {"Conn", "TCPConn", "UnixConn", "Listener", "TCPListener"},
 }
+
+// CheckedTypes exposes the checked set for tests that pin its
+// coverage.
+func CheckedTypes() map[string][]string { return checkedTypes }
 
 func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {

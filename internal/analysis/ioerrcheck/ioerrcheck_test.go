@@ -10,3 +10,25 @@ import (
 func TestIOErrCheck(t *testing.T) {
 	analysistest.Run(t, ioerrcheck.Analyzer, "a")
 }
+
+// TestServingLayerInScope pins the serving layer's types into the
+// checked set: a dropped socket or transport error is an
+// acked-but-undelivered reply waiting to happen.
+func TestServingLayerInScope(t *testing.T) {
+	for pkg, want := range map[string]string{
+		"net":                      "Conn",
+		"repro/internal/transport": "Transport",
+		"repro/internal/server":    "Server",
+		"repro/internal/client":    "Client",
+	} {
+		found := false
+		for _, name := range ioerrcheck.CheckedTypes()[pkg] {
+			if name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("checkedTypes[%q] must include %s", pkg, want)
+		}
+	}
+}

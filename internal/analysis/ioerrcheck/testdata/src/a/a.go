@@ -3,7 +3,12 @@
 // best-effort sites are not.
 package a
 
-import "repro/internal/stable"
+import (
+	"net"
+	"time"
+
+	"repro/internal/stable"
+)
 
 // A bare statement dropping a Device error: flagged.
 func drop(d stable.Device, buf []byte) {
@@ -39,6 +44,24 @@ func captured(s *stable.Store) int {
 func repair(d stable.Device, buf []byte) {
 	//roslint:besteffort read-repair of a sibling copy; the data is already safely in hand
 	_ = d.WriteBlock(4, buf)
+}
+
+// Socket errors are in scope: the serving layer's correctness rests on
+// write and deadline failures being observed (a lost error here is an
+// acked-but-undelivered reply).
+func netDrop(c net.Conn) {
+	c.Close() // want `error from Conn.Close discarded`
+}
+
+func netBlank(c net.Conn, t time.Time) {
+	_ = c.SetReadDeadline(t) // want `error from Conn.SetReadDeadline assigned to blank identifier`
+}
+
+// Tearing down a connection that is already being abandoned is the
+// canonical justified case.
+func netTeardown(c net.Conn) {
+	//roslint:besteffort the conn is being abandoned; no reply is owed on it
+	_ = c.Close()
 }
 
 // Methods of unrelated types are out of scope.

@@ -1,0 +1,370 @@
+// Package client is the rosd client: a connection-pooled, retrying
+// caller of one server over the internal/wire protocol.
+//
+// Retry policy follows the transport contract (internal/transport):
+// a failure below the reply — dial refused, connection reset, deadline
+// missed, stream desynchronized — means the request MAY have executed,
+// so only requests that are safe to repeat should ride the retry loop;
+// every rosd operation is (ping and outcome are reads, invoke commits
+// a complete atomic action whose repeat is a new action, and the 2PC
+// messages are idempotent by protocol design, §2.2.2). Transient
+// server verdicts (StatusRetry: lock conflicts, drain) retry the same
+// way. Backoff is capped exponential with jitter in [d/2, d], and all
+// time and randomness flow through the injected Clock and Rand — the
+// determinism analyzer enforces that this package never reads the wall
+// clock or the global rand source directly, so backoff schedules are
+// replayable in tests.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/twopc"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// ErrClosed is returned by calls on a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// ErrUnreachable wraps transport.ErrUnreachable for every
+// below-the-reply failure: dial, write, read, deadline, or a
+// desynchronized stream. errors.Is(err, transport.ErrUnreachable)
+// matches it alongside netsim's refusals.
+var ErrUnreachable = fmt.Errorf("client: %w", transport.ErrUnreachable)
+
+// ErrBusy is returned when every attempt drew StatusRetry: the server
+// was reachable but transiently unable (lock conflicts, drain) for the
+// whole retry budget.
+var ErrBusy = errors.New("client: server busy through all retries")
+
+// Options tunes a Client. The zero value picks the defaults.
+type Options struct {
+	// PoolSize bounds idle connections kept for reuse. Default 2.
+	PoolSize int
+	// DialTimeout bounds connection establishment. Default 2s.
+	DialTimeout time.Duration
+	// CallTimeout is the per-attempt deadline covering write and read.
+	// Default 5s.
+	CallTimeout time.Duration
+	// MaxAttempts is the total number of tries per Do (first attempt
+	// included). Default 4.
+	MaxAttempts int
+	// BaseBackoff is the backoff before the second attempt; it doubles
+	// per failure up to MaxBackoff. Defaults 10ms / 500ms.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Clock and Rand supply all time and jitter. Defaults: SystemClock,
+	// a fresh SystemRand.
+	Clock Clock
+	Rand  Rand
+	// Dial opens connections; tests inject scripted ones. Default:
+	// net.DialTimeout over TCP.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// Tracer, when non-nil, receives rpc.retry and rpc.timeout events.
+	Tracer obs.Tracer
+}
+
+func (o Options) withDefaults() Options {
+	if o.PoolSize <= 0 {
+		o.PoolSize = 2
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 5 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 10 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 500 * time.Millisecond
+	}
+	if o.Clock == nil {
+		o.Clock = SystemClock{}
+	}
+	if o.Rand == nil {
+		o.Rand = NewSystemRand()
+	}
+	if o.Dial == nil {
+		o.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return o
+}
+
+// Client calls one server. It is safe for concurrent use; each
+// in-flight request owns one connection.
+type Client struct {
+	addr string
+	opt  Options
+
+	corr atomic.Uint64
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// New returns a client for the server at addr.
+func New(addr string, opt Options) *Client {
+	return &Client{addr: addr, opt: opt.withDefaults()}
+}
+
+// Addr returns the server address this client calls.
+func (c *Client) Addr() string { return c.addr }
+
+// Close releases the pooled connections and fails future calls.
+// In-flight calls finish on their own connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, nc := range idle {
+		//roslint:besteffort pool teardown; an idle connection carries no outstanding request
+		_ = nc.Close()
+	}
+	return nil
+}
+
+func (c *Client) emit(e obs.Event) {
+	if c.opt.Tracer != nil {
+		c.opt.Tracer.Emit(e)
+	}
+}
+
+// conn returns a pooled idle connection or dials a fresh one.
+func (c *Client) conn() (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		nc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return nc, nil
+	}
+	c.mu.Unlock()
+	nc, err := c.opt.Dial(c.addr, c.opt.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, c.addr, err)
+	}
+	return nc, nil
+}
+
+// release returns a healthy connection to the pool.
+func (c *Client) release(nc net.Conn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.opt.PoolSize {
+		c.idle = append(c.idle, nc)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	//roslint:besteffort surplus connection; nothing is in flight on it
+	_ = nc.Close()
+}
+
+// attempt runs one request/response exchange on one connection.
+func (c *Client) attempt(req wire.Request) (wire.Response, error) {
+	nc, err := c.conn()
+	if err != nil {
+		return wire.Response{}, err
+	}
+	resp, err := c.exchange(nc, req)
+	if err != nil {
+		// The stream's state is unknown: never pool it.
+		//roslint:besteffort the connection is already being discarded for the observed exchange error
+		_ = nc.Close()
+		return wire.Response{}, err
+	}
+	c.release(nc)
+	return resp, nil
+}
+
+func (c *Client) exchange(nc net.Conn, req wire.Request) (wire.Response, error) {
+	corr := c.corr.Add(1)
+	if err := nc.SetDeadline(c.opt.Clock.Now().Add(c.opt.CallTimeout)); err != nil {
+		return wire.Response{}, fmt.Errorf("%w: deadline: %v", ErrUnreachable, err)
+	}
+	if err := wire.WriteFrame(nc, wire.Frame{Type: wire.TypeRequest, CorrID: corr, Payload: wire.EncodeRequest(req)}); err != nil {
+		return wire.Response{}, c.connErr("write", err)
+	}
+	f, err := wire.ReadFrame(nc)
+	if err != nil {
+		return wire.Response{}, c.connErr("read", err)
+	}
+	if f.Type != wire.TypeResponse || f.CorrID != corr {
+		return wire.Response{}, fmt.Errorf("%w: %s: stream desynchronized (frame type %d, corr %d != %d)",
+			ErrUnreachable, c.addr, f.Type, f.CorrID, corr)
+	}
+	resp, err := wire.DecodeResponse(f.Payload)
+	if err != nil {
+		return wire.Response{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, c.addr, err)
+	}
+	return resp, nil
+}
+
+// connErr classifies an I/O failure, emitting rpc.timeout for a
+// missed deadline.
+func (c *Client) connErr(op string, err error) error {
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		c.emit(obs.Event{Kind: obs.KindRPCTimeout, Note: op + " " + c.addr})
+	}
+	return fmt.Errorf("%w: %s %s: %v", ErrUnreachable, op, c.addr, err)
+}
+
+// Do sends one request, retrying transient failures (connection-level
+// errors and StatusRetry verdicts) with capped exponential backoff and
+// jitter. The returned response never has StatusRetry; exhausting the
+// budget on transient failures yields an error wrapping ErrBusy (all
+// verdicts were StatusRetry) or transport.ErrUnreachable (the last
+// failure was below the reply).
+func (c *Client) Do(req wire.Request) (wire.Response, error) {
+	var last error
+	for attempt := 1; ; attempt++ {
+		resp, err := c.attempt(req)
+		if err == nil && resp.Status != wire.StatusRetry {
+			return resp, nil
+		}
+		if err != nil {
+			last = err
+		} else {
+			last = fmt.Errorf("%w: %s", ErrBusy, resp.Err)
+		}
+		if attempt >= c.opt.MaxAttempts {
+			return wire.Response{}, last
+		}
+		c.emit(obs.Event{Kind: obs.KindRPCRetry, Code: uint8(attempt), Note: last.Error()})
+		c.opt.Clock.Sleep(c.backoff(attempt))
+	}
+}
+
+// backoff returns the pause after the n-th failed attempt (n ≥ 1):
+// BaseBackoff doubling per failure, capped at MaxBackoff, jittered
+// uniformly into [d/2, d] so synchronized clients spread out without
+// ever retrying immediately.
+func (c *Client) backoff(n int) time.Duration {
+	d := c.opt.BaseBackoff
+	for i := 1; i < n && d < c.opt.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.opt.MaxBackoff {
+		d = c.opt.MaxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(c.opt.Rand.Int63n(int64(half)+1))
+}
+
+// remoteErr maps a non-OK verdict to an error wrapping wire.ErrRemote.
+func remoteErr(resp wire.Response) error {
+	if resp.Status == wire.StatusOK {
+		return nil
+	}
+	return fmt.Errorf("%w: %s: %s", wire.ErrRemote, resp.Status, resp.Err)
+}
+
+// Ping checks the server is reachable and serving.
+func (c *Client) Ping() error {
+	resp, err := c.Do(wire.Request{Op: wire.OpPing})
+	if err != nil {
+		return err
+	}
+	return remoteErr(resp)
+}
+
+// Invoke calls a handler as a complete server-side atomic action and
+// returns its result.
+func (c *Client) Invoke(handler string, arg value.Value) (value.Value, error) {
+	return c.invoke(ids.ActionID{}, handler, arg)
+}
+
+// InvokeJoin calls a handler as a subaction of the caller's action
+// aid; the server's guardian joins the action and stays a participant
+// for its two-phase commit.
+func (c *Client) InvokeJoin(aid ids.ActionID, handler string, arg value.Value) (value.Value, error) {
+	return c.invoke(aid, handler, arg)
+}
+
+func (c *Client) invoke(aid ids.ActionID, handler string, arg value.Value) (value.Value, error) {
+	req := wire.Request{Op: wire.OpInvoke, AID: aid, Handler: handler}
+	if arg != nil {
+		req.Arg = value.Flatten(arg, func(value.Obj) {})
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := remoteErr(resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Result) == 0 {
+		return nil, nil
+	}
+	v, err := value.Unflatten(resp.Result)
+	if err != nil {
+		return nil, fmt.Errorf("client: result: %w", err)
+	}
+	return v, nil
+}
+
+// Prepare delivers a prepare message for aid and returns the vote.
+func (c *Client) Prepare(aid ids.ActionID) (twopc.Vote, error) {
+	resp, err := c.Do(wire.Request{Op: wire.OpPrepare, AID: aid})
+	if err != nil {
+		return 0, err
+	}
+	if err := remoteErr(resp); err != nil {
+		return 0, err
+	}
+	return twopc.Vote(resp.Vote), nil
+}
+
+// Commit delivers a commit message for aid.
+func (c *Client) Commit(aid ids.ActionID) error {
+	resp, err := c.Do(wire.Request{Op: wire.OpCommit, AID: aid})
+	if err != nil {
+		return err
+	}
+	return remoteErr(resp)
+}
+
+// Abort delivers an abort message for aid.
+func (c *Client) Abort(aid ids.ActionID) error {
+	resp, err := c.Do(wire.Request{Op: wire.OpAbort, AID: aid})
+	if err != nil {
+		return err
+	}
+	return remoteErr(resp)
+}
+
+// Outcome asks the server's guardian, as coordinator of aid, for the
+// action's fate.
+func (c *Client) Outcome(aid ids.ActionID) (twopc.Outcome, error) {
+	resp, err := c.Do(wire.Request{Op: wire.OpOutcome, AID: aid})
+	if err != nil {
+		return twopc.OutcomeUnknown, err
+	}
+	if err := remoteErr(resp); err != nil {
+		return twopc.OutcomeUnknown, err
+	}
+	return twopc.Outcome(resp.Outcome), nil
+}

@@ -1,0 +1,59 @@
+package client
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Clock is the client's only source of time: retry backoff sleeps and
+// per-attempt I/O deadlines both go through it. The crash sweeps and
+// the backoff unit tests inject a fake; production uses SystemClock.
+type Clock interface {
+	// Now returns the current time (the base for I/O deadlines).
+	Now() time.Time
+	// Sleep pauses the calling goroutine for d.
+	Sleep(d time.Duration)
+}
+
+// Rand is the client's only source of randomness: it supplies the
+// backoff jitter. Tests inject a fixed sequence; production uses
+// SystemRand.
+type Rand interface {
+	// Int63n returns a uniform value in [0, n). n must be > 0.
+	Int63n(n int64) int64
+}
+
+// SystemClock is the production Clock.
+type SystemClock struct{}
+
+// Now returns the wall-clock time.
+//
+//roslint:nondet serving real traffic runs on the wall clock; determinism-sensitive callers inject a fake Clock
+func (SystemClock) Now() time.Time { return time.Now() }
+
+// Sleep pauses on the wall clock.
+//
+//roslint:nondet serving real traffic runs on the wall clock; determinism-sensitive callers inject a fake Clock
+func (SystemClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// SystemRand is the production Rand: an explicitly seeded source
+// behind a mutex (Do may be called from many goroutines).
+type SystemRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+// NewSystemRand returns a SystemRand seeded from the wall clock, so
+// concurrent clients do not jitter in lockstep.
+func NewSystemRand() *SystemRand {
+	//roslint:nondet jitter seeding wants cross-process spread; backoff determinism tests inject a fake Rand
+	return &SystemRand{r: rand.New(rand.NewSource(time.Now().UnixNano()))}
+}
+
+// Int63n implements Rand.
+func (s *SystemRand) Int63n(n int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Int63n(n)
+}

@@ -1,0 +1,167 @@
+package client
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// Transport implements transport.Transport over TCP clients: the real
+// counterpart of the simulated netsim.Network, so the two-phase-commit
+// coordinator runs the identical protocol over loopback sockets that
+// it runs over the deterministic simulation.
+//
+// Delivery semantics differ from netsim in exactly one way. netsim
+// decides reachability before running fn, so a refused call provably
+// did nothing. Real TCP can also fail *after* delivery — the request
+// may have executed even though the call errored — and the protocol
+// already tolerates that: every 2PC message is idempotent and a lost
+// reply is re-driven (§2.2.2). For tests that need netsim's exact
+// refusal sequencing, SetDown and Cut mark nodes and links down
+// client-side: a marked call is refused before any I/O, emitting the
+// same net.call events in the same order as the simulation.
+type Transport struct {
+	mu    sync.Mutex
+	peers map[ids.GuardianID]*Client
+	down  map[ids.GuardianID]bool
+	cut   map[[2]ids.GuardianID]bool
+	tr    obs.Tracer
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// NewTransport returns a transport with no peers.
+func NewTransport() *Transport {
+	return &Transport{
+		peers: make(map[ids.GuardianID]*Client),
+		down:  make(map[ids.GuardianID]bool),
+		cut:   make(map[[2]ids.GuardianID]bool),
+	}
+}
+
+// SetTracer installs (or, with nil, removes) the transport's event
+// tracer; every Call emits one net.call event, mirroring netsim.
+func (t *Transport) SetTracer(tr obs.Tracer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tr = tr
+}
+
+// Register associates a guardian id with the client that reaches its
+// server. The transport owns registered clients: Close closes them.
+func (t *Transport) Register(gid ids.GuardianID, c *Client) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[gid] = c
+}
+
+// Peer returns the registered client for gid, or nil.
+func (t *Transport) Peer(gid ids.GuardianID) *Client {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.peers[gid]
+}
+
+// SetDown marks a guardian as unreachable (true) or reachable (false)
+// client-side, mirroring netsim.Network.SetDown for partition tests.
+func (t *Transport) SetDown(g ids.GuardianID, down bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.down[g] = down
+}
+
+// Cut severs (true) or restores (false) a link client-side, mirroring
+// netsim.Network.Cut.
+func (t *Transport) Cut(a, b ids.GuardianID, cut bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if a > b {
+		a, b = b, a
+	}
+	t.cut[[2]ids.GuardianID{a, b}] = cut
+}
+
+// Reachable reports whether a call from a to b would be attempted.
+func (t *Transport) Reachable(a, b ids.GuardianID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reachableLocked(a, b)
+}
+
+func (t *Transport) reachableLocked(a, b ids.GuardianID) bool {
+	if t.down[a] || t.down[b] {
+		return false
+	}
+	if a != b {
+		key := [2]ids.GuardianID{a, b}
+		if a > b {
+			key = [2]ids.GuardianID{b, a}
+		}
+		if t.cut[key] {
+			return false
+		}
+	}
+	return true
+}
+
+// Call implements transport.Transport: refuse if a down/cut marker
+// blocks the pair (before any I/O, like netsim), otherwise run fn —
+// whose closure performs the real wire exchange — and pass through its
+// error. Connection-level failures already wrap
+// transport.ErrUnreachable via the Client.
+func (t *Transport) Call(a, b ids.GuardianID, fn func() error) error {
+	t.mu.Lock()
+	tr := t.tr
+	if !t.reachableLocked(a, b) {
+		t.mu.Unlock()
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindNetCall, From: uint64(a), To: uint64(b)})
+		}
+		return fmt.Errorf("%w: %v -> %v", ErrUnreachable, a, b)
+	}
+	t.mu.Unlock()
+	// Emitted before fn so the delivery precedes the events fn's work
+	// produces, matching netsim's causal ordering.
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindNetCall, From: uint64(a), To: uint64(b), OK: true})
+	}
+	return fn()
+}
+
+// Close closes every registered client.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	gids := make([]ids.GuardianID, 0, len(t.peers))
+	//roslint:nondet draining the peer set for teardown; the collected ids are sorted before use
+	for gid := range t.peers {
+		gids = append(gids, gid)
+	}
+	clients := make([]*Client, 0, len(gids))
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		clients = append(clients, t.peers[gid])
+	}
+	t.peers = make(map[ids.GuardianID]*Client)
+	t.mu.Unlock()
+	var first error
+	for _, c := range clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Participant returns a twopc.Participant that delivers its messages
+// to gid's server through this transport's registered client.
+func (t *Transport) Participant(gid ids.GuardianID) (*RemoteParticipant, error) {
+	c := t.Peer(gid)
+	if c == nil {
+		return nil, fmt.Errorf("client: no peer registered for %v", gid)
+	}
+	return &RemoteParticipant{ID: gid, C: c}, nil
+}

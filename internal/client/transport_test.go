@@ -1,0 +1,477 @@
+package client
+
+// The TCP partition matrix: the same five scenarios the netsim-backed
+// matrix runs in internal/twopc/partition_test.go, executed over real
+// loopback servers through the client Transport — asserting the SAME
+// message sequences. This is the Transport unification's proof: the
+// two-phase-commit engine cannot tell the simulated network from TCP.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/guardian"
+	"repro/internal/ids"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/twopc"
+	"repro/internal/value"
+)
+
+// mockLog records the coordinator's stable records; atCommitting runs
+// a hook at the only coordinator-local step between the phases (where
+// the netsim matrix injects its mid-protocol partitions).
+type mockLog struct {
+	committing   []ids.ActionID
+	done         []ids.ActionID
+	atCommitting func()
+}
+
+func (m *mockLog) Committing(aid ids.ActionID, gids []ids.GuardianID) error {
+	if m.atCommitting != nil {
+		m.atCommitting()
+	}
+	m.committing = append(m.committing, aid)
+	return nil
+}
+
+func (m *mockLog) Done(aid ids.ActionID) error {
+	m.done = append(m.done, aid)
+	return nil
+}
+
+// sig renders one event as the same compact signature the netsim
+// matrix asserts, plus "retry" for the client's rpc.retry events
+// (which the simulation has no counterpart for).
+func sig(e obs.Event) string {
+	voteName := map[uint8]string{
+		obs.VotePrepared: "prepared",
+		obs.VoteAborted:  "aborted",
+		obs.VoteReadOnly: "read-only",
+	}
+	outcomeName := map[uint8]string{
+		obs.TwoPCCommitted: "committed",
+		obs.TwoPCAborted:   "aborted",
+	}
+	switch e.Kind {
+	case obs.KindNetCall:
+		if e.OK {
+			return fmt.Sprintf("call %d->%d", e.From, e.To)
+		}
+		return fmt.Sprintf("call %d->%d refused", e.From, e.To)
+	case obs.KindTwoPCPrepare:
+		return fmt.Sprintf("prepare %d->%d", e.From, e.To)
+	case obs.KindTwoPCVote:
+		if !e.OK {
+			return fmt.Sprintf("vote %d->%d lost", e.From, e.To)
+		}
+		return fmt.Sprintf("vote %d->%d %s", e.From, e.To, voteName[e.Code])
+	case obs.KindTwoPCOutcome:
+		return fmt.Sprintf("outcome %s", outcomeName[e.Code])
+	case obs.KindRPCRetry:
+		return "retry"
+	default:
+		return fmt.Sprintf("unexpected %v", e.Kind)
+	}
+}
+
+func assertSeq(t *testing.T, rec *obs.Recorder, want []string) {
+	t.Helper()
+	events := rec.Events()
+	got := make([]string, len(events))
+	for i, e := range events {
+		got[i] = sig(e)
+	}
+	n := len(got)
+	if len(want) > n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		var g, w string
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(want) {
+			w = want[i]
+		}
+		if g != w {
+			t.Fatalf("message %d = %q, want %q\nfull sequence: %q", i, g, w, got)
+		}
+	}
+}
+
+// participantServer is one real served guardian with an incr/get
+// counter, plus the client reaching it.
+type participantServer struct {
+	g *guardian.Guardian
+	s *server.Server
+	c *Client
+}
+
+func startParticipant(t *testing.T, id ids.GuardianID) *participantServer {
+	t.Helper()
+	g, err := guardian.New(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := g.Begin()
+	counter, err := boot.NewAtomic(value.Int(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := boot.SetVar("counter", counter); err != nil {
+		t.Fatal(err)
+	}
+	if err := boot.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	g.RegisterHandler("incr", func(sub *guardian.Sub, arg value.Value) (value.Value, error) {
+		c, _ := g.VarAtomic("counter")
+		if err := sub.Update(c, func(cur value.Value) value.Value {
+			return value.Int(int64(cur.(value.Int)) + int64(arg.(value.Int)))
+		}); err != nil {
+			return nil, err
+		}
+		return sub.Read(c)
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(g, server.Config{})
+	go func() {
+		if err := s.Serve(ln); !errors.Is(err, server.ErrClosed) {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	c := New(ln.Addr().String(), Options{
+		MaxAttempts: 2,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+	})
+	t.Cleanup(func() {
+		if err := c.Close(); err != nil {
+			t.Errorf("client close: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	return &participantServer{g: g, s: s, c: c}
+}
+
+// tcpFixture assembles the matrix fixture: coordinator guardian 1
+// (mock log, no server needed) and served participants 2 and 3, with
+// the action already joined at both so they vote prepared.
+func tcpFixture(t *testing.T) (*twopc.Coordinator, *mockLog, *Transport, []*participantServer, []twopc.Participant, *obs.Recorder, ids.ActionID) {
+	t.Helper()
+	p2 := startParticipant(t, 2)
+	p3 := startParticipant(t, 3)
+	tp := NewTransport()
+	tp.Register(2, p2.c)
+	tp.Register(3, p3.c)
+	rec := &obs.Recorder{}
+	clog := &mockLog{}
+	c := &twopc.Coordinator{Self: 1, Net: tp, Log: clog, Tracer: rec}
+	aid := ids.ActionID{Coordinator: 1, Seq: 7}
+	// The work phase: both participants join the action over the wire.
+	if _, err := p2.c.InvokeJoin(aid, "incr", value.Int(20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p3.c.InvokeJoin(aid, "incr", value.Int(30)); err != nil {
+		t.Fatal(err)
+	}
+	tp.SetTracer(rec)
+	parts := []twopc.Participant{
+		&RemoteParticipant{ID: 2, C: p2.c},
+		&RemoteParticipant{ID: 3, C: p3.c},
+	}
+	return c, clog, tp, []*participantServer{p2, p3}, parts, rec, aid
+}
+
+func counterOf(t *testing.T, g *guardian.Guardian) int64 {
+	t.Helper()
+	c, ok := g.VarAtomic("counter")
+	if !ok {
+		t.Fatal("no counter var")
+	}
+	return int64(c.Base().(value.Int))
+}
+
+// The committed baseline: no partition, full protocol, both servers
+// install their versions.
+func TestTCPCommitBaseline(t *testing.T) {
+	c, clog, _, ps, parts, rec, aid := tcpFixture(t)
+	res, err := c.Run(aid, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != twopc.OutcomeCommitted || !res.Done {
+		t.Fatalf("result = %+v", res)
+	}
+	assertSeq(t, rec, []string{
+		"prepare 1->2",
+		"call 1->2",
+		"vote 2->1 prepared",
+		"prepare 1->3",
+		"call 1->3",
+		"vote 3->1 prepared",
+		"outcome committed",
+		"call 1->2",
+		"call 1->3",
+	})
+	if len(clog.committing) != 1 || len(clog.done) != 1 {
+		t.Fatalf("coordinator records: %d committing, %d done", len(clog.committing), len(clog.done))
+	}
+	if got := counterOf(t, ps[0].g); got != 20 {
+		t.Fatalf("participant 2 counter %d, want 20", got)
+	}
+	if got := counterOf(t, ps[1].g); got != 30 {
+		t.Fatalf("participant 3 counter %d, want 30", got)
+	}
+	for _, p := range ps {
+		if live := p.g.LiveActions(); len(live) != 0 {
+			t.Fatalf("live actions after commit: %v", live)
+		}
+	}
+}
+
+// Coordinator down before phase one (netsim twin:
+// TestPartitionCoordinatorDownPrePrepare).
+func TestTCPCoordinatorDownPrePrepare(t *testing.T) {
+	c, clog, tp, ps, parts, rec, aid := tcpFixture(t)
+	tp.SetDown(1, true)
+	_, err := c.Run(aid, parts)
+	if !errors.Is(err, twopc.ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	assertSeq(t, rec, []string{
+		"prepare 1->2",
+		"call 1->2 refused",
+		"vote 2->1 lost",
+		"outcome aborted",
+	})
+	if len(clog.committing) != 0 {
+		t.Fatal("committing record written by a down coordinator")
+	}
+	// Neither server heard anything: the joined actions are still live.
+	for _, p := range ps {
+		if live := p.g.LiveActions(); len(live) != 1 {
+			t.Fatalf("live = %v, want the joined action", live)
+		}
+	}
+}
+
+// Coordinator down after the votes (netsim twin:
+// TestPartitionCoordinatorDownPostPrepare): committed but not done;
+// restart and Complete re-drives phase two.
+func TestTCPCoordinatorDownPostPrepare(t *testing.T) {
+	c, clog, tp, ps, parts, rec, aid := tcpFixture(t)
+	clog.atCommitting = func() { tp.SetDown(1, true) }
+	res, err := c.Run(aid, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != twopc.OutcomeCommitted || res.Done {
+		t.Fatalf("result = %+v, want committed and not done", res)
+	}
+	if len(res.Unresponsive) != 2 {
+		t.Fatalf("unresponsive = %v, want both participants", res.Unresponsive)
+	}
+	assertSeq(t, rec, []string{
+		"prepare 1->2",
+		"call 1->2",
+		"vote 2->1 prepared",
+		"prepare 1->3",
+		"call 1->3",
+		"vote 3->1 prepared",
+		"outcome committed",
+		"call 1->2 refused",
+		"call 1->3 refused",
+	})
+	if len(clog.done) != 0 {
+		t.Fatal("done record written with both participants unreached")
+	}
+	// Neither participant installed: the counters still read 0.
+	if counterOf(t, ps[0].g) != 0 || counterOf(t, ps[1].g) != 0 {
+		t.Fatal("a participant installed before its commit message")
+	}
+	// The coordinator restarts; Complete re-drives phase two.
+	tp.SetDown(1, false)
+	rec.Reset()
+	res2, err := c.Complete(aid, parts)
+	if err != nil || !res2.Done {
+		t.Fatalf("complete = %+v, %v", res2, err)
+	}
+	assertSeq(t, rec, []string{"call 1->2", "call 1->3"})
+	if counterOf(t, ps[0].g) != 20 || counterOf(t, ps[1].g) != 30 {
+		t.Fatalf("counters %d/%d after re-drive, want 20/30",
+			counterOf(t, ps[0].g), counterOf(t, ps[1].g))
+	}
+	if len(clog.done) != 1 {
+		t.Fatal("done record missing after re-drive")
+	}
+}
+
+// A participant marked down (netsim twin: TestPartitionParticipantDown):
+// unilateral abort, and the prepared participant hears it.
+func TestTCPParticipantDown(t *testing.T) {
+	c, clog, tp, ps, parts, rec, aid := tcpFixture(t)
+	tp.SetDown(3, true)
+	_, err := c.Run(aid, parts)
+	if !errors.Is(err, twopc.ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	assertSeq(t, rec, []string{
+		"prepare 1->2",
+		"call 1->2",
+		"vote 2->1 prepared",
+		"prepare 1->3",
+		"call 1->3 refused",
+		"vote 3->1 lost",
+		"outcome aborted",
+		"call 1->2", // abort notification to the prepared participant
+	})
+	if len(clog.committing) != 0 {
+		t.Fatal("committing record written despite a down participant")
+	}
+	// Participant 2 heard the abort: action gone, counter untouched.
+	if live := ps[0].g.LiveActions(); len(live) != 0 {
+		t.Fatalf("participant 2 live = %v after abort", live)
+	}
+	if counterOf(t, ps[0].g) != 0 {
+		t.Fatal("aborted work visible at participant 2")
+	}
+	// Participant 3 heard nothing: its joined action is still live.
+	if live := ps[1].g.LiveActions(); len(live) != 1 {
+		t.Fatalf("participant 3 live = %v, want the joined action", live)
+	}
+}
+
+// Link cut before phase one (netsim twin:
+// TestPartitionLinkCutPrePrepare).
+func TestTCPLinkCutPrePrepare(t *testing.T) {
+	c, clog, tp, ps, parts, rec, aid := tcpFixture(t)
+	tp.Cut(1, 2, true)
+	_, err := c.Run(aid, parts)
+	if !errors.Is(err, twopc.ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	assertSeq(t, rec, []string{
+		"prepare 1->2",
+		"call 1->2 refused",
+		"vote 2->1 lost",
+		"outcome aborted",
+	})
+	if len(clog.committing) != 0 {
+		t.Fatal("committing record written across a cut link")
+	}
+	// Participant 3 was never contacted after the abort decision.
+	if live := ps[1].g.LiveActions(); len(live) != 1 {
+		t.Fatalf("participant 3 live = %v, want untouched join", live)
+	}
+}
+
+// Link cut after the votes (netsim twin:
+// TestPartitionLinkCutPostPrepare): the cut-off participant misses
+// phase two; healing and re-driving completes the action everywhere.
+func TestTCPLinkCutPostPrepare(t *testing.T) {
+	c, clog, tp, ps, parts, rec, aid := tcpFixture(t)
+	clog.atCommitting = func() { tp.Cut(1, 2, true) }
+	res, err := c.Run(aid, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != twopc.OutcomeCommitted || res.Done {
+		t.Fatalf("result = %+v, want committed and not done", res)
+	}
+	if len(res.Unresponsive) != 1 || res.Unresponsive[0] != 2 {
+		t.Fatalf("unresponsive = %v, want [2]", res.Unresponsive)
+	}
+	assertSeq(t, rec, []string{
+		"prepare 1->2",
+		"call 1->2",
+		"vote 2->1 prepared",
+		"prepare 1->3",
+		"call 1->3",
+		"vote 3->1 prepared",
+		"outcome committed",
+		"call 1->2 refused",
+		"call 1->3",
+	})
+	if counterOf(t, ps[1].g) != 30 {
+		t.Fatal("reachable participant did not install its commit")
+	}
+	if counterOf(t, ps[0].g) != 0 {
+		t.Fatal("cut-off participant installed without its commit message")
+	}
+	// The partition heals; re-driving phase two reaches the straggler.
+	tp.Cut(1, 2, false)
+	rec.Reset()
+	res2, err := c.Complete(aid, parts)
+	if err != nil || !res2.Done {
+		t.Fatalf("complete = %+v, %v", res2, err)
+	}
+	assertSeq(t, rec, []string{"call 1->2", "call 1->3"})
+	if counterOf(t, ps[0].g) != 20 {
+		t.Fatal("straggler still missing its commit after the link healed")
+	}
+	if len(clog.done) != 1 {
+		t.Fatal("done record missing after completion")
+	}
+}
+
+// The failure mode netsim cannot model: the server really is gone, so
+// the call is delivered to the transport but dies below the reply. The
+// client retries, exhausts its budget, and the coordinator records a
+// lost vote — same protocol outcome, one extra "retry" in the trace.
+func TestTCPRealServerDownVoteLost(t *testing.T) {
+	c, clog, tp, ps, parts, rec, aid := tcpFixture(t)
+	// Route the client's retry events into the same recorder, then
+	// actually stop server 3.
+	ps[1].c.opt.Tracer = rec
+	if err := ps[1].s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Run(aid, parts)
+	if !errors.Is(err, twopc.ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	assertSeq(t, rec, []string{
+		"prepare 1->2",
+		"call 1->2",
+		"vote 2->1 prepared",
+		"prepare 1->3",
+		"call 1->3",      // delivered to the transport...
+		"retry",          // ...but the exchange dies; the client retries...
+		"vote 3->1 lost", // ...and exhausts its budget
+		"outcome aborted",
+		"call 1->2",
+	})
+	if len(clog.committing) != 0 {
+		t.Fatal("committing record written with a dead participant")
+	}
+	if live := ps[0].g.LiveActions(); len(live) != 0 {
+		t.Fatalf("participant 2 live = %v after abort", live)
+	}
+	_ = tp
+}
+
+// TestTCPOutcomeQuery: a prepared participant's completion query
+// through the RemoteCoordinator stub (here aimed at participant 2's
+// own server, acting as coordinator of an action it never saw:
+// presumed abort).
+func TestTCPOutcomeQuery(t *testing.T) {
+	_, _, tp, ps, _, _, _ := tcpFixture(t)
+	rc := &RemoteCoordinator{ID: 2, C: ps[0].c}
+	out, err := twopc.Query(tp, 3, rc, ids.ActionID{Coordinator: 2, Seq: 424242})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != twopc.OutcomeAborted {
+		t.Fatalf("outcome %v, want aborted (presumed)", out)
+	}
+}

@@ -15,7 +15,7 @@ import (
 	"sort"
 
 	"repro/internal/ids"
-	"repro/internal/netsim"
+	"repro/internal/transport"
 	"repro/internal/twopc"
 	"repro/internal/value"
 )
@@ -48,7 +48,7 @@ func (g *Guardian) lookupHandler(name string) (HandlerFunc, bool) {
 // runs in a subaction, so a handler error undoes its effects at the
 // target and is returned to the caller, leaving the top-level action
 // free to try something else (§2.1).
-func Call(net *netsim.Network, a *Action, target *Guardian, name string, arg value.Value) (value.Value, error) {
+func Call(net transport.Transport, a *Action, target *Guardian, name string, arg value.Value) (value.Value, error) {
 	var result value.Value
 	err := net.Call(a.g.id, target.id, func() error {
 		fn, ok := target.lookupHandler(name)
@@ -92,7 +92,7 @@ func Call(net *netsim.Network, a *Action, target *Guardian, name string, arg val
 // guardians through Call: the coordinator assembles the participant
 // list automatically (itself plus every guardian a handler call
 // reached) and runs two-phase commit (§2.2).
-func CommitSpread(net *netsim.Network, a *Action) (twopc.Result, error) {
+func CommitSpread(net transport.Transport, a *Action) (twopc.Result, error) {
 	a.g.mu.Lock()
 	st, ok := a.g.live[a.id]
 	a.g.mu.Unlock()

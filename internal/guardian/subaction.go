@@ -105,6 +105,28 @@ func (s *Sub) NewAtomic(initial value.Value) (*object.Atomic, error) {
 	return s.parent.NewAtomic(initial)
 }
 
+// SetVar binds a stable variable within the subaction's scope. The
+// binding rides the stable-variables root object through the sub's own
+// Update, so aborting the subaction undoes it (Action.SetVar is only
+// undone by a top-level abort).
+func (s *Sub) SetVar(name string, obj object.Recoverable) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	root, ok := s.parent.g.heap.StableVars()
+	if !ok {
+		return fmt.Errorf("guardian: no stable variables object")
+	}
+	return s.Update(root, func(v value.Value) value.Value {
+		rec, ok := v.(*value.Record)
+		if !ok {
+			rec = value.NewRecord()
+		}
+		rec.Fields[name] = value.Ref{Target: obj}
+		return rec
+	})
+}
+
 // Seize runs fn in possession of the mutex on the top action's behalf.
 // Mutex modifications are not undone by subaction abort, mirroring
 // top-level abort semantics (§2.4.2).

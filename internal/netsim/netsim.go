@@ -12,17 +12,24 @@
 package netsim
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/ids"
 	"repro/internal/obs"
+	"repro/internal/transport"
 )
 
 // ErrUnreachable is returned when a call cannot be delivered: an
-// endpoint is down or the link is cut.
-var ErrUnreachable = errors.New("netsim: unreachable")
+// endpoint is down or the link is cut. It wraps
+// transport.ErrUnreachable (keeping its historical text), so protocol
+// code written against the Transport interface matches it with a
+// single errors.Is over either implementation.
+var ErrUnreachable = fmt.Errorf("netsim: %w", transport.ErrUnreachable)
+
+// Network implements the delivery contract the protocol layers are
+// written against.
+var _ transport.Transport = (*Network)(nil)
 
 // Network is a simulated network. The zero value is not usable; call
 // New.

@@ -107,6 +107,27 @@ const (
 	// Bytes on Done is the new log's size.
 	KindHousekeepStart
 	KindHousekeepDone
+	// KindRPCAccept is the rosd server accepting (OK) or refusing
+	// (!err, at the connection limit) a TCP connection; From is the
+	// connection's serial number.
+	KindRPCAccept
+	// KindRPCDispatch is a decoded request entering the worker pool;
+	// From is the connection serial, Code the RPCOp, Bytes the frame
+	// payload length.
+	KindRPCDispatch
+	// KindRPCReply is a response leaving the server; From is the
+	// connection serial, Code the RPCStatus, OK is Code==RPCOK.
+	KindRPCReply
+	// KindRPCTimeout is a connection read/write missing its deadline;
+	// From is the connection serial.
+	KindRPCTimeout
+	// KindRPCRetry is a client retrying a request after a transient
+	// failure; Code is the attempt number just failed (1-based).
+	KindRPCRetry
+	// KindRPCDrain brackets server shutdown: emitted once when the
+	// drain begins (Bytes = connections open at that moment) and once
+	// when it completes (Bytes = 0, OK set).
+	KindRPCDrain
 
 	kindMax
 )
@@ -130,6 +151,12 @@ var kindNames = [...]string{
 	KindFaultInjected:  "fault.injected",
 	KindHousekeepStart: "housekeep.start",
 	KindHousekeepDone:  "housekeep.done",
+	KindRPCAccept:      "rpc.accept",
+	KindRPCDispatch:    "rpc.dispatch",
+	KindRPCReply:       "rpc.reply",
+	KindRPCTimeout:     "rpc.timeout",
+	KindRPCRetry:       "rpc.retry",
+	KindRPCDrain:       "rpc.drain",
 }
 
 func (k Kind) String() string {
@@ -226,6 +253,43 @@ const (
 	HousekeepSnapshot
 )
 
+// RPCOp codes for KindRPCDispatch events (Code field). They mirror
+// the wire.Op values without importing the package (obs sits below
+// the serving layer, as it does below logrec).
+const (
+	RPCPing uint8 = iota + 1
+	RPCInvoke
+	RPCPrepare
+	RPCCommit
+	RPCAbort
+	RPCOutcome
+)
+
+var rpcOpNames = [...]string{
+	RPCPing:    "ping",
+	RPCInvoke:  "invoke",
+	RPCPrepare: "prepare",
+	RPCCommit:  "commit",
+	RPCAbort:   "abort",
+	RPCOutcome: "outcome",
+}
+
+// RPCStatus codes for KindRPCReply events (Code field), mirroring
+// wire.Status.
+const (
+	RPCOK uint8 = iota + 1
+	RPCRetryable
+	RPCError
+	RPCBadRequest
+)
+
+var rpcStatusNames = [...]string{
+	RPCOK:         "ok",
+	RPCRetryable:  "retry",
+	RPCError:      "error",
+	RPCBadRequest: "bad-request",
+}
+
 // NoLSN is the nil log address in an Event (stablelog.NoLSN as a raw
 // uint64).
 const NoLSN = ^uint64(0)
@@ -306,9 +370,22 @@ func (e Event) codeWord() string {
 		case HousekeepSnapshot:
 			return "snapshot"
 		}
+	case KindRPCDispatch:
+		if int(e.Code) < len(rpcOpNames) && rpcOpNames[e.Code] != "" {
+			return rpcOpNames[e.Code]
+		}
+	case KindRPCReply:
+		if int(e.Code) < len(rpcStatusNames) && rpcStatusNames[e.Code] != "" {
+			return rpcStatusNames[e.Code]
+		}
 	}
 	return strconv.Itoa(int(e.Code))
 }
+
+// Text renders the event as its deterministic text line (no trailing
+// newline) — one line of the golden-file format, for streaming sinks
+// like rosd's -trace flag.
+func (e Event) Text() string { return string(e.appendText(nil)) }
 
 // appendText renders the event as one deterministic text line (no
 // trailing newline): the sequence number, the kind, then only the
@@ -353,14 +430,16 @@ func (e Event) appendText(b []byte) []byte {
 	switch e.Kind {
 	case KindOutcomeAppend, KindOutcomeDurable, KindRecoveryPhase,
 		KindTwoPCVote, KindTwoPCOutcome, KindFaultInjected,
-		KindHousekeepStart, KindHousekeepDone:
+		KindHousekeepStart, KindHousekeepDone,
+		KindRPCDispatch, KindRPCReply, KindRPCRetry:
 		b = append(b, ' ')
 		b = append(b, e.codeWord()...)
 	}
 	// Only the kinds that report success carry the OK bit; on the rest
 	// it is always false and says nothing.
 	switch e.Kind {
-	case KindForceDone, KindNetCall, KindTwoPCVote, KindHousekeepDone:
+	case KindForceDone, KindNetCall, KindTwoPCVote, KindHousekeepDone,
+		KindRPCAccept, KindRPCReply, KindRPCDrain:
 		if !e.OK {
 			b = append(b, " !err"...)
 		}

@@ -1,0 +1,443 @@
+// Package server implements rosd, the networked serving layer: a TCP
+// front door over one guardian and its recovery system, speaking the
+// internal/wire protocol.
+//
+// The ROADMAP's north star is a store "serving heavy traffic from
+// millions of users"; until this package, nothing could reach a
+// guardian except in-process callers and the simulated network. The
+// runtime is deliberately boring: one reader goroutine per accepted
+// connection decodes frames and feeds a bounded worker pool; workers
+// execute guardian operations (handler invocations, two-phase-commit
+// messages) and write responses back under a per-connection write
+// lock, so responses from concurrent workers never interleave
+// mid-frame. Group commit (PR 3) is what makes this compose: N
+// concurrent client commits coalesce into a fraction of N log forces,
+// so the serving layer rides the force scheduler instead of defeating
+// it (experiment E12).
+//
+// Failure handling follows the transport contract: a request the
+// server cannot run safely is answered StatusRetry (lock conflicts,
+// drain) for the client's backoff loop, StatusError for application
+// failures, and a connection that loses framing (bad magic/CRC) is
+// dropped — the client re-dials and retries.
+//
+// Shutdown is a drain, not an axe: Close stops accepting, kicks the
+// readers, lets queued work finish (bounded by DrainTimeout), then
+// closes connections. The drain test proves no goroutine and no
+// in-flight action survives a mid-load Close.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/guardian"
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// ErrClosed is returned by Serve after Close stops the server.
+var ErrClosed = errors.New("server: closed")
+
+// Config tunes a Server. The zero value picks the defaults.
+type Config struct {
+	// MaxConns bounds concurrently open connections; excess accepts
+	// are closed immediately (the client's dial succeeds, its first
+	// read fails, its retry loop backs off). Default 64.
+	MaxConns int
+	// Workers is the size of the request-execution pool. Default 8.
+	Workers int
+	// QueueDepth bounds requests decoded but not yet executing; a
+	// full queue blocks the connection's reader (backpressure on that
+	// client) without stalling other connections. Default 2×Workers.
+	QueueDepth int
+	// IdleTimeout is the per-connection read deadline between
+	// requests; an idle connection is closed when it expires.
+	// Default 2m.
+	IdleTimeout time.Duration
+	// WriteTimeout is the per-response write deadline. Default 10s.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds how long Close waits for queued requests to
+	// finish before closing connections under them. Default 5s.
+	DrainTimeout time.Duration
+	// Tracer, when non-nil, receives the RPC lifecycle events:
+	// rpc.accept, rpc.dispatch, rpc.reply, rpc.timeout, rpc.drain.
+	Tracer obs.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Server serves one guardian over TCP.
+type Server struct {
+	g   *guardian.Guardian
+	cfg Config
+	tr  obs.Tracer
+
+	work chan task
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[*conn]bool
+	serial  uint64
+	closing bool
+
+	closed    chan struct{} // closed once when Close begins
+	closeOnce sync.Once
+	closeErr  error
+
+	readers sync.WaitGroup
+	workers sync.WaitGroup
+}
+
+// task is one dispatched request.
+type task struct {
+	c      *conn
+	corrID uint64
+	req    wire.Request
+}
+
+// conn is one accepted connection.
+type conn struct {
+	nc     net.Conn
+	serial uint64
+
+	wmu sync.Mutex // serializes response frames
+
+	closeOnce sync.Once
+}
+
+func (c *conn) close() {
+	//roslint:besteffort double-close and teardown races are expected; the reader observes the first error
+	c.closeOnce.Do(func() { _ = c.nc.Close() })
+}
+
+// New returns a Server over g. The guardian's handlers (registered
+// with RegisterHandler) are its external interface; the server adds
+// only the network in front of them.
+func New(g *guardian.Guardian, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		g:      g,
+		cfg:    cfg,
+		tr:     obs.WithGuardian(cfg.Tracer, uint64(g.ID())),
+		work:   make(chan task, cfg.QueueDepth),
+		conns:  make(map[*conn]bool),
+		closed: make(chan struct{}),
+	}
+	return s
+}
+
+func (s *Server) emit(e obs.Event) {
+	if s.tr != nil {
+		s.tr.Emit(e)
+	}
+}
+
+// Serve accepts connections on ln until Close. It blocks; run it in
+// its own goroutine. After Close it returns ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.workers.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return ErrClosed
+			default:
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.mu.Lock()
+		s.serial++
+		c := &conn{nc: nc, serial: s.serial}
+		if s.closing || len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.emit(obs.Event{Kind: obs.KindRPCAccept, From: c.serial})
+			c.close()
+			continue
+		}
+		s.conns[c] = true
+		s.mu.Unlock()
+		s.emit(obs.Event{Kind: obs.KindRPCAccept, From: c.serial, OK: true})
+		s.readers.Add(1)
+		go s.readLoop(c)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Close drains and stops the server: stop accepting, unblock the
+// connection readers, finish dispatched requests (up to
+// DrainTimeout), then close every connection. It is idempotent;
+// every call returns the first drain's result.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.drain() })
+	return s.closeErr
+}
+
+func (s *Server) drain() error {
+	s.mu.Lock()
+	s.closing = true
+	ln := s.ln
+	open := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		open = append(open, c)
+	}
+	s.mu.Unlock()
+	close(s.closed)
+	s.emit(obs.Event{Kind: obs.KindRPCDrain, Bytes: len(open)})
+	if ln != nil {
+		//roslint:besteffort listener teardown; Serve observes the accept error and exits via the closed channel
+		_ = ln.Close()
+	}
+	// Kick every reader out of its blocking read. In-flight responses
+	// still need the connections writable, so this only expires the
+	// read side.
+	for _, c := range open {
+		//roslint:besteffort a connection torn down concurrently is already kicked
+		_ = c.nc.SetReadDeadline(time.Unix(0, 1))
+	}
+	s.readers.Wait()
+	// No reader is left to enqueue: close the pool's feed and let the
+	// workers finish what was dispatched.
+	close(s.work)
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		err = fmt.Errorf("server: drain timed out after %v", s.cfg.DrainTimeout)
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.close()
+		delete(s.conns, c)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		// The conns are gone; stragglers fail their writes and exit.
+		<-done
+	}
+	s.emit(obs.Event{Kind: obs.KindRPCDrain, OK: true})
+	return err
+}
+
+// readLoop is the per-connection reader: decode frames, answer
+// malformed ones, dispatch the rest to the worker pool.
+func (s *Server) readLoop(c *conn) {
+	defer s.readers.Done()
+	defer s.forget(c)
+	for {
+		//roslint:besteffort a dead connection surfaces in the following read
+		_ = c.nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		f, err := wire.ReadFrame(c.nc)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				select {
+				case <-s.closed: // drain kick, not a real timeout
+				default:
+					s.emit(obs.Event{Kind: obs.KindRPCTimeout, From: c.serial})
+				}
+			}
+			// EOF, timeout, teardown, or lost framing (bad magic/CRC):
+			// all terminal for the connection.
+			return
+		}
+		if f.Type != wire.TypeRequest {
+			s.reply(c, f.CorrID, wire.Response{Status: wire.StatusBadRequest, Err: "not a request frame"})
+			return
+		}
+		req, err := wire.DecodeRequest(f.Payload)
+		if err != nil {
+			// The frame passed its CRC, so this is a malformed message,
+			// not line noise: answer and keep the connection.
+			s.reply(c, f.CorrID, wire.Response{Status: wire.StatusBadRequest, Err: err.Error()})
+			continue
+		}
+		s.emit(obs.Event{Kind: obs.KindRPCDispatch, From: c.serial, Code: uint8(req.Op), Bytes: len(f.Payload)})
+		select {
+		case s.work <- task{c: c, corrID: f.CorrID, req: req}:
+		case <-s.closed:
+			s.reply(c, f.CorrID, wire.Response{Status: wire.StatusRetry, Err: "server draining"})
+			return
+		}
+	}
+}
+
+// forget unregisters and closes a connection.
+func (s *Server) forget(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.close()
+}
+
+// worker executes dispatched requests until the feed closes.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for t := range s.work {
+		s.reply(t.c, t.corrID, s.execute(t.req))
+	}
+}
+
+// reply writes one response frame under the connection's write lock.
+func (s *Server) reply(c *conn, corrID uint64, resp wire.Response) {
+	payload := wire.EncodeResponse(resp)
+	c.wmu.Lock()
+	//roslint:besteffort a dead connection surfaces in the following write
+	_ = c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	err := wire.WriteFrame(c.nc, wire.Frame{Type: wire.TypeResponse, CorrID: corrID, Payload: payload})
+	c.wmu.Unlock()
+	if err != nil {
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			s.emit(obs.Event{Kind: obs.KindRPCTimeout, From: c.serial})
+		}
+		// A connection that cannot carry the response is dead; the
+		// client sees the drop and retries idempotently.
+		c.close()
+		return
+	}
+	s.emit(obs.Event{Kind: obs.KindRPCReply, From: c.serial, Code: uint8(resp.Status), OK: resp.Status == wire.StatusOK})
+}
+
+// execute runs one request against the guardian.
+func (s *Server) execute(req wire.Request) wire.Response {
+	switch req.Op {
+	case wire.OpPing:
+		return wire.Response{Status: wire.StatusOK}
+	case wire.OpInvoke:
+		return s.invoke(req)
+	case wire.OpPrepare:
+		vote, err := s.g.HandlePrepare(req.AID)
+		if err != nil {
+			return failure(err)
+		}
+		return wire.Response{Status: wire.StatusOK, Vote: uint8(vote)}
+	case wire.OpCommit:
+		if err := s.g.HandleCommit(req.AID); err != nil {
+			return failure(err)
+		}
+		return wire.Response{Status: wire.StatusOK}
+	case wire.OpAbort:
+		if err := s.g.HandleAbort(req.AID); err != nil {
+			return failure(err)
+		}
+		return wire.Response{Status: wire.StatusOK}
+	case wire.OpOutcome:
+		return wire.Response{Status: wire.StatusOK, Outcome: uint8(s.g.OutcomeOf(req.AID))}
+	default:
+		return wire.Response{Status: wire.StatusBadRequest, Err: fmt.Sprintf("unknown op %d", req.Op)}
+	}
+}
+
+// invoke runs a handler call. With a zero AID the call is a complete
+// client-owned atomic action (begin, handler, commit); with a caller
+// AID the guardian joins that action and runs the handler as a
+// subaction, staying live as a participant for the caller's eventual
+// prepare/commit/abort.
+func (s *Server) invoke(req wire.Request) wire.Response {
+	var argv value.Value
+	if len(req.Arg) > 0 {
+		v, err := value.Unflatten(req.Arg)
+		if err != nil {
+			return wire.Response{Status: wire.StatusBadRequest, Err: fmt.Sprintf("argument: %v", err)}
+		}
+		argv = v
+	}
+	owned := req.AID.IsZero()
+	var a *guardian.Action
+	if owned {
+		a = s.g.Begin()
+	} else {
+		a = s.g.Join(req.AID)
+	}
+	// The network hop already happened; the in-process delivery is a
+	// loopback.
+	result, err := guardian.Call(transport.Loopback{}, a, s.g, req.Handler, argv)
+	if err != nil {
+		if owned {
+			if aerr := a.Abort(); aerr != nil {
+				return failure(fmt.Errorf("%v; abort: %w", err, aerr))
+			}
+		}
+		return failure(err)
+	}
+	if owned {
+		if err := a.Commit(); err != nil {
+			return failure(err)
+		}
+	}
+	var flat []byte
+	if result != nil {
+		flat = value.Flatten(result, func(value.Obj) {})
+	}
+	return wire.Response{Status: wire.StatusOK, Result: flat}
+}
+
+// failure classifies an execution error: lock conflicts and timeouts
+// left no effects and are safe to retry; everything else is an
+// application-level no.
+func failure(err error) wire.Response {
+	if errors.Is(err, object.ErrLockConflict) || errors.Is(err, object.ErrLockTimeout) {
+		return wire.Response{Status: wire.StatusRetry, Err: err.Error()}
+	}
+	return wire.Response{Status: wire.StatusError, Err: err.Error()}
+}
+
+// Guardian returns the served guardian.
+func (s *Server) Guardian() *guardian.Guardian { return s.g }
+
+// ID returns the served guardian's id.
+func (s *Server) ID() ids.GuardianID { return s.g.ID() }

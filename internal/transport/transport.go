@@ -1,0 +1,56 @@
+// Package transport defines the message-delivery contract shared by
+// the simulated network (internal/netsim) and the real TCP serving
+// layer (internal/client, internal/server).
+//
+// Argus guardians communicate only by messages (thesis §2.1), and the
+// two-phase commit engine (internal/twopc) issues every message
+// through this interface. Which implementation is behind it decides
+// the execution regime:
+//
+//   - netsim.Network delivers calls in-process with deterministic,
+//     injectable failures — the crash-point sweeps and partition
+//     matrices replay exact message schedules over it;
+//   - client.Transport delivers calls over real TCP connections to
+//     rosd servers, where the same unreachability branches are taken
+//     when connections fail or peers are marked down.
+//
+// The protocol code is identical over both: a Call either delivers
+// (fn runs, its error is the callee's answer) or fails with an error
+// wrapping ErrUnreachable (fn's effects never happened, or could not
+// be observed — the caller must treat the callee's state as unknown).
+package transport
+
+import (
+	"errors"
+
+	"repro/internal/ids"
+)
+
+// ErrUnreachable is the base sentinel for undeliverable calls. Both
+// netsim and the TCP transport wrap it (with their own context), so
+// protocol code tests errors.Is(err, transport.ErrUnreachable) and
+// works over either.
+var ErrUnreachable = errors.New("unreachable")
+
+// Transport delivers synchronous invocations between guardians.
+//
+// Call runs fn if and only if the invocation can be delivered from
+// guardian a to guardian b, and returns an error wrapping
+// ErrUnreachable otherwise. fn's own error is returned as-is: it is
+// the callee's answer, not a delivery failure. Implementations that
+// cannot distinguish "not delivered" from "delivered but the reply was
+// lost" (real networks, after a connection drops mid-call) still
+// return ErrUnreachable; two-phase commit is exactly the protocol that
+// makes that ambiguity safe (§2.2).
+type Transport interface {
+	Call(a, b ids.GuardianID, fn func() error) error
+}
+
+// Loopback is the degenerate Transport for a guardian calling into
+// itself in-process: every call is delivered. The rosd server uses it
+// to drive handler invocations that arrived over TCP — the real
+// network hop already happened by the time fn runs.
+type Loopback struct{}
+
+// Call implements Transport by running fn unconditionally.
+func (Loopback) Call(a, b ids.GuardianID, fn func() error) error { return fn() }

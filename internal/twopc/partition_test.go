@@ -111,7 +111,7 @@ func partitionFixture() (*Coordinator, *hookLog, []*mockPart, []Participant, *ob
 // prepared).
 func TestPartitionCoordinatorDownPrePrepare(t *testing.T) {
 	c, clog, mocks, parts, rec := partitionFixture()
-	c.Net.SetDown(1, true)
+	simnet(c).SetDown(1, true)
 	_, err := c.Run(aid, parts)
 	if !errors.Is(err, ErrAborted) {
 		t.Fatalf("err = %v, want ErrAborted", err)
@@ -136,7 +136,7 @@ func TestPartitionCoordinatorDownPrePrepare(t *testing.T) {
 // after restart — the §2.2.3 "committing but not done" state.
 func TestPartitionCoordinatorDownPostPrepare(t *testing.T) {
 	c, clog, mocks, parts, rec := partitionFixture()
-	clog.atCommitting = func() { c.Net.SetDown(1, true) }
+	clog.atCommitting = func() { simnet(c).SetDown(1, true) }
 	res, err := c.Run(aid, parts)
 	if err != nil {
 		t.Fatal(err)
@@ -162,7 +162,7 @@ func TestPartitionCoordinatorDownPostPrepare(t *testing.T) {
 		t.Fatal("done record written with both participants unreached")
 	}
 	// The coordinator restarts; Complete re-drives phase two to the end.
-	c.Net.SetDown(1, false)
+	simnet(c).SetDown(1, false)
 	rec.Reset()
 	res2, err := c.Complete(aid, parts)
 	if err != nil || !res2.Done {
@@ -182,7 +182,7 @@ func TestPartitionCoordinatorDownPostPrepare(t *testing.T) {
 // abort.
 func TestPartitionParticipantDown(t *testing.T) {
 	c, clog, mocks, parts, rec := partitionFixture()
-	c.Net.SetDown(3, true)
+	simnet(c).SetDown(3, true)
 	_, err := c.Run(aid, parts)
 	if !errors.Is(err, ErrAborted) {
 		t.Fatalf("err = %v, want ErrAborted", err)
@@ -213,7 +213,7 @@ func TestPartitionParticipantDown(t *testing.T) {
 // aborts before any other guardian is contacted.
 func TestPartitionLinkCutPrePrepare(t *testing.T) {
 	c, clog, mocks, parts, rec := partitionFixture()
-	c.Net.Cut(1, 2, true)
+	simnet(c).Cut(1, 2, true)
 	_, err := c.Run(aid, parts)
 	if !errors.Is(err, ErrAborted) {
 		t.Fatalf("err = %v, want ErrAborted", err)
@@ -238,7 +238,7 @@ func TestPartitionLinkCutPrePrepare(t *testing.T) {
 // link and re-driving completes the action.
 func TestPartitionLinkCutPostPrepare(t *testing.T) {
 	c, clog, mocks, parts, rec := partitionFixture()
-	clog.atCommitting = func() { c.Net.Cut(1, 2, true) }
+	clog.atCommitting = func() { simnet(c).Cut(1, 2, true) }
 	res, err := c.Run(aid, parts)
 	if err != nil {
 		t.Fatal(err)
@@ -267,7 +267,7 @@ func TestPartitionLinkCutPostPrepare(t *testing.T) {
 		t.Fatal("cut-off participant committed")
 	}
 	// The partition heals; re-driving phase two reaches the straggler.
-	c.Net.Cut(1, 2, false)
+	simnet(c).Cut(1, 2, false)
 	rec.Reset()
 	res2, err := c.Complete(aid, parts)
 	if err != nil || !res2.Done {

@@ -25,8 +25,8 @@ import (
 	"fmt"
 
 	"repro/internal/ids"
-	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/transport"
 )
 
 // Vote is a participant's reply to a prepare message.
@@ -94,8 +94,12 @@ type CoordinatorLog interface {
 // Coordinator runs two-phase commits from one guardian.
 type Coordinator struct {
 	Self ids.GuardianID
-	Net  *netsim.Network
-	Log  CoordinatorLog
+	// Net delivers the protocol's messages: the deterministic simulated
+	// network (netsim.Network) for the crash sweeps and partition
+	// matrices, or the TCP transport (client.Transport) when serving
+	// real traffic. The protocol is identical over either.
+	Net transport.Transport
+	Log CoordinatorLog
 	// Tracer, when non-nil, receives the protocol's message-level
 	// events: twopc.prepare per prepare sent, twopc.vote per reply (or
 	// failed call), twopc.outcome at the commit/abort decision point.
@@ -244,7 +248,7 @@ type OutcomeSource interface {
 // Query asks an action's coordinator for its outcome on behalf of a
 // prepared participant (§2.2.2: "if a participant has not heard from
 // its coordinator it can query the coordinator").
-func Query(net *netsim.Network, from ids.GuardianID, coord OutcomeSource, aid ids.ActionID) (Outcome, error) {
+func Query(net transport.Transport, from ids.GuardianID, coord OutcomeSource, aid ids.ActionID) (Outcome, error) {
 	var out Outcome
 	err := net.Call(from, coord.GuardianID(), func() error {
 		out = coord.OutcomeOf(aid)

@@ -60,6 +60,11 @@ func (m *mockLog) Done(aid ids.ActionID) error {
 
 var aid = ids.ActionID{Coordinator: 1, Seq: 7}
 
+// simnet returns the coordinator's Net as the simulated network the
+// fixtures install — the partition knobs (SetDown, Cut) live on the
+// concrete netsim type, not the Transport interface.
+func simnet(c *Coordinator) *netsim.Network { return c.Net.(*netsim.Network) }
+
 func fixture(votes ...Vote) (*Coordinator, *mockLog, []*mockPart, []Participant) {
 	clog := &mockLog{}
 	c := &Coordinator{Self: 1, Net: netsim.New(), Log: clog}
@@ -119,7 +124,7 @@ func TestRunOneVotesAbort(t *testing.T) {
 
 func TestRunParticipantUnreachable(t *testing.T) {
 	c, clog, mocks, parts := fixture(VotePrepared, VotePrepared)
-	c.Net.SetDown(2, true)
+	simnet(c).SetDown(2, true)
 	_, err := c.Run(aid, parts)
 	if !errors.Is(err, ErrAborted) {
 		t.Fatalf("err = %v", err)

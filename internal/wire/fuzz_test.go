@@ -1,0 +1,90 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame feeds arbitrary bytes to both frame decoders: no
+// input may panic, allocate beyond the frame bound, or decode to a
+// frame that does not re-encode to the same bytes.
+func FuzzDecodeFrame(f *testing.F) {
+	seed := func(fr Frame) []byte {
+		b, err := AppendFrame(nil, fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	valid := seed(Frame{Type: TypeRequest, CorrID: 7, Payload: EncodeRequest(Request{Op: OpInvoke, Handler: "h", Arg: []byte{1}})})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])                           // truncated trailer
+	f.Add(valid[:HeaderSize-2])                           // truncated header
+	f.Add(append([]byte(nil), bytes.Repeat(valid, 3)...)) // several frames
+	corrupt := append([]byte(nil), valid...)
+	corrupt[HeaderSize] ^= 0xFF
+	f.Add(corrupt)
+	oversize := append([]byte(nil), valid...)
+	oversize[14], oversize[15], oversize[16], oversize[17] = 0xFF, 0xFF, 0xFF, 0xFF
+	f.Add(oversize)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Slice decoder: on success the consumed prefix must re-encode
+		// byte-for-byte (the codec has one canonical form).
+		fr, n, err := DecodeFrame(data)
+		if err == nil {
+			if n < HeaderSize+TrailerSize || n > len(data) {
+				t.Fatalf("consumed %d of %d", n, len(data))
+			}
+			if len(fr.Payload) > MaxPayload {
+				t.Fatalf("payload %d escaped the MaxPayload bound", len(fr.Payload))
+			}
+			re, err := AppendFrame(nil, fr)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(re, data[:n]) {
+				t.Fatal("decode/encode not canonical")
+			}
+		}
+		// Stream decoder must agree with the slice decoder on validity.
+		sfr, serr := ReadFrame(bytes.NewReader(data))
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("slice err %v, stream err %v", err, serr)
+		}
+		if err == nil && (sfr.CorrID != fr.CorrID || !bytes.Equal(sfr.Payload, fr.Payload)) {
+			t.Fatal("slice and stream decoders disagree")
+		}
+		// Message decoders over the payload: must not panic; bounds are
+		// checked before any slicing.
+		if err == nil {
+			//roslint:besteffort fuzz probes: decode errors are the interesting outcome, not a failure
+			_, _ = DecodeRequest(fr.Payload)
+			//roslint:besteffort fuzz probes: decode errors are the interesting outcome, not a failure
+			_, _ = DecodeResponse(fr.Payload)
+		}
+	})
+}
+
+// FuzzDecodeRequest hits the message codec directly, without the CRC
+// gate in front of it: the server decodes requests only from valid
+// frames, but the codec itself must hold against anything.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(EncodeRequest(Request{Op: OpPing}))
+	f.Add(EncodeRequest(Request{Op: OpInvoke, Handler: "transfer", Arg: bytes.Repeat([]byte{9}, 100)}))
+	f.Add(EncodeResponse(Response{Status: StatusOK, Result: []byte("r")}))
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := DecodeRequest(data); err == nil {
+			if !bytes.Equal(EncodeRequest(req), data) {
+				t.Fatal("request decode/encode not canonical")
+			}
+		}
+		if resp, err := DecodeResponse(data); err == nil {
+			if !bytes.Equal(EncodeResponse(resp), data) {
+				t.Fatal("response decode/encode not canonical")
+			}
+		}
+	})
+}

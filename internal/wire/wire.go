@@ -1,0 +1,205 @@
+// Package wire is the binary framing protocol of the rosd serving
+// layer: length-prefixed frames with a CRC trailer and correlation
+// ids, carrying the request/response messages of message.go.
+//
+// A frame on the wire:
+//
+//	offset  size  field
+//	0       4     magic "ROS" + version byte (0x01)
+//	4       1     frame type (TypeRequest | TypeResponse)
+//	5       1     reserved, must be zero
+//	6       8     correlation id, little-endian
+//	14      4     payload length, little-endian
+//	18      n     payload (a message, see message.go)
+//	18+n    4     CRC-32 (IEEE) over bytes [0, 18+n)
+//
+// The correlation id ties a response to its request on a connection
+// that may carry many in flight; the client assigns it, the server
+// echoes it. The CRC covers header and payload so a frame corrupted
+// anywhere — including its claimed length — is rejected rather than
+// half-believed; a reader that sees ErrBadMagic, ErrBadCRC, or a
+// reserved-byte violation cannot resynchronize and must drop the
+// connection (stream framing has no record boundaries to skip to,
+// unlike the self-identifying log frames of internal/logrec).
+//
+// Decoding is allocation-bounded: the payload length is validated
+// against MaxPayload before any buffer is sized from it, so a hostile
+// 4-byte length field cannot make the server allocate gigabytes.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Protocol limits.
+const (
+	// HeaderSize is the fixed frame header length.
+	HeaderSize = 18
+	// TrailerSize is the CRC trailer length.
+	TrailerSize = 4
+	// MaxPayload bounds a frame's payload: nothing the protocol
+	// carries (handler arguments, flattened values, error strings)
+	// legitimately exceeds it, and every decoder checks it before
+	// allocating.
+	MaxPayload = 1 << 20
+)
+
+// magic identifies the protocol and its version in one comparison.
+var magic = [4]byte{'R', 'O', 'S', 0x01}
+
+// Frame types.
+const (
+	// TypeRequest frames carry a Request payload, client to server.
+	TypeRequest byte = 1
+	// TypeResponse frames carry a Response payload, server to client.
+	TypeResponse byte = 2
+)
+
+// Frame decode errors. All are terminal for the connection: a stream
+// that produced one has lost framing and cannot be resynchronized.
+var (
+	// ErrBadMagic: the frame does not start with the protocol magic
+	// (wrong protocol, wrong version, or lost framing).
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrBadType: the frame type byte is neither request nor response,
+	// or the reserved byte is nonzero.
+	ErrBadType = errors.New("wire: bad frame type")
+	// ErrBadCRC: the CRC trailer does not match the received bytes.
+	ErrBadCRC = errors.New("wire: checksum mismatch")
+	// ErrOversize: the claimed payload length exceeds MaxPayload.
+	ErrOversize = errors.New("wire: oversized frame")
+	// ErrTruncated: the input ended inside a frame.
+	ErrTruncated = errors.New("wire: truncated frame")
+)
+
+// Frame is one protocol frame.
+type Frame struct {
+	// Type is TypeRequest or TypeResponse.
+	Type byte
+	// CorrID correlates a response with its request; the client
+	// assigns it, the server echoes it.
+	CorrID uint64
+	// Payload is the encoded message (message.go).
+	Payload []byte
+}
+
+// AppendFrame appends f's wire encoding to dst and returns the
+// extended slice. It fails only on an oversized payload.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return dst, fmt.Errorf("%w: payload %d > %d", ErrOversize, len(f.Payload), MaxPayload)
+	}
+	start := len(dst)
+	dst = append(dst, magic[:]...)
+	dst = append(dst, f.Type, 0)
+	dst = binary.LittleEndian.AppendUint64(dst, f.CorrID)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Payload)))
+	dst = append(dst, f.Payload...)
+	sum := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, sum), nil
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the
+// frame and the number of bytes consumed. The returned payload
+// aliases b. Errors classify the failure: ErrTruncated means more
+// bytes may complete the frame; everything else is terminal.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	if len(b) < HeaderSize {
+		return Frame{}, 0, fmt.Errorf("%w: %d header bytes of %d", ErrTruncated, len(b), HeaderSize)
+	}
+	if [4]byte(b[:4]) != magic {
+		return Frame{}, 0, fmt.Errorf("%w: % x", ErrBadMagic, b[:4])
+	}
+	typ := b[4]
+	if typ != TypeRequest && typ != TypeResponse {
+		return Frame{}, 0, fmt.Errorf("%w: type %d", ErrBadType, typ)
+	}
+	if b[5] != 0 {
+		return Frame{}, 0, fmt.Errorf("%w: reserved byte %d", ErrBadType, b[5])
+	}
+	plen := binary.LittleEndian.Uint32(b[14:18])
+	if plen > MaxPayload {
+		return Frame{}, 0, fmt.Errorf("%w: payload %d > %d", ErrOversize, plen, MaxPayload)
+	}
+	total := HeaderSize + int(plen) + TrailerSize
+	if len(b) < total {
+		return Frame{}, 0, fmt.Errorf("%w: %d bytes of %d", ErrTruncated, len(b), total)
+	}
+	body := b[:HeaderSize+int(plen)]
+	sum := binary.LittleEndian.Uint32(b[HeaderSize+int(plen) : total])
+	if crc32.ChecksumIEEE(body) != sum {
+		return Frame{}, 0, ErrBadCRC
+	}
+	return Frame{
+		Type:    typ,
+		CorrID:  binary.LittleEndian.Uint64(b[6:14]),
+		Payload: body[HeaderSize:],
+	}, total, nil
+}
+
+// WriteFrame writes f to w as one Write call, so concurrent writers
+// serialized by a mutex never interleave partial frames.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf, err := AppendFrame(make([]byte, 0, HeaderSize+len(f.Payload)+TrailerSize), f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads exactly one frame from r. The header is read and
+// validated before the payload buffer is sized, so a corrupt length
+// cannot force an oversized allocation. io.EOF is returned unwrapped
+// only at a clean frame boundary (no bytes read); a stream ending
+// mid-frame yields ErrTruncated.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Frame{}, fmt.Errorf("%w: stream ended inside header", ErrTruncated)
+		}
+		return Frame{}, err
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return Frame{}, fmt.Errorf("%w: % x", ErrBadMagic, hdr[:4])
+	}
+	typ := hdr[4]
+	if typ != TypeRequest && typ != TypeResponse {
+		return Frame{}, fmt.Errorf("%w: type %d", ErrBadType, typ)
+	}
+	if hdr[5] != 0 {
+		return Frame{}, fmt.Errorf("%w: reserved byte %d", ErrBadType, hdr[5])
+	}
+	plen := binary.LittleEndian.Uint32(hdr[14:18])
+	if plen > MaxPayload {
+		return Frame{}, fmt.Errorf("%w: payload %d > %d", ErrOversize, plen, MaxPayload)
+	}
+	rest := make([]byte, int(plen)+TrailerSize)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Frame{}, fmt.Errorf("%w: stream ended inside frame", ErrTruncated)
+		}
+		return Frame{}, err
+	}
+	payload := rest[:plen]
+	sum := binary.LittleEndian.Uint32(rest[plen:])
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(payload)
+	if crc.Sum32() != sum {
+		return Frame{}, ErrBadCRC
+	}
+	return Frame{
+		Type:    typ,
+		CorrID:  binary.LittleEndian.Uint64(hdr[6:14]),
+		Payload: payload,
+	}, nil
+}

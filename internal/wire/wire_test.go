@@ -1,0 +1,214 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: TypeRequest, CorrID: 0, Payload: nil},
+		{Type: TypeResponse, CorrID: 1, Payload: []byte{}},
+		{Type: TypeRequest, CorrID: ^uint64(0), Payload: []byte("hello")},
+		{Type: TypeResponse, CorrID: 42, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stream decode.
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range frames {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.CorrID != want.CorrID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(r); !errors.Is(err, io.EOF) {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+	// Slice decode consumes the same bytes.
+	rest := buf.Bytes()
+	for i, want := range frames {
+		got, n, err := DecodeFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) || got.CorrID != want.CorrID {
+			t.Fatalf("frame %d mismatch", i)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d undecoded bytes", len(rest))
+	}
+}
+
+func encode(t *testing.T, f Frame) []byte {
+	t.Helper()
+	b, err := AppendFrame(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFrameErrors(t *testing.T) {
+	good := encode(t, Frame{Type: TypeRequest, CorrID: 7, Payload: []byte("payload")})
+
+	t.Run("truncated", func(t *testing.T) {
+		for n := 0; n < len(good); n++ {
+			if _, _, err := DecodeFrame(good[:n]); !errors.Is(err, ErrTruncated) {
+				t.Fatalf("prefix %d: %v, want ErrTruncated", n, err)
+			}
+			_, err := ReadFrame(bytes.NewReader(good[:n]))
+			if n == 0 {
+				if !errors.Is(err, io.EOF) {
+					t.Fatalf("empty stream: %v, want io.EOF", err)
+				}
+			} else if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("stream prefix %d: %v, want ErrTruncated", n, err)
+			}
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[0] ^= 0xFF
+		if _, _, err := DecodeFrame(b); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("%v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[3] = 0x02
+		if _, _, err := DecodeFrame(b); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("%v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("bad type", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[4] = 9
+		if _, _, err := DecodeFrame(b); !errors.Is(err, ErrBadType) {
+			t.Fatalf("%v, want ErrBadType", err)
+		}
+		b = append([]byte(nil), good...)
+		b[5] = 1 // reserved byte
+		if _, _, err := DecodeFrame(b); !errors.Is(err, ErrBadType) {
+			t.Fatalf("%v, want ErrBadType", err)
+		}
+	})
+	t.Run("corrupt payload", func(t *testing.T) {
+		for i := range good {
+			b := append([]byte(nil), good...)
+			b[i] ^= 0x40
+			if _, _, err := DecodeFrame(b); err == nil {
+				t.Fatalf("bit flip at %d decoded cleanly", i)
+			}
+		}
+	})
+	t.Run("oversize claim", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(b[14:18], MaxPayload+1)
+		if _, _, err := DecodeFrame(b); !errors.Is(err, ErrOversize) {
+			t.Fatalf("%v, want ErrOversize", err)
+		}
+		if _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrOversize) {
+			t.Fatalf("stream: %v, want ErrOversize", err)
+		}
+	})
+	t.Run("oversize encode", func(t *testing.T) {
+		if _, err := AppendFrame(nil, Frame{Type: TypeRequest, Payload: make([]byte, MaxPayload+1)}); !errors.Is(err, ErrOversize) {
+			t.Fatalf("%v, want ErrOversize", err)
+		}
+	})
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpPing},
+		{Op: OpInvoke, Handler: "transfer", Arg: []byte{1, 2, 3}},
+		{Op: OpInvoke, AID: ids.ActionID{Coordinator: 9, Seq: 77}, Handler: "deposit"},
+		{Op: OpPrepare, AID: ids.ActionID{Coordinator: 1, Seq: 1 << 41}},
+		{Op: OpCommit, AID: ids.ActionID{Coordinator: 3, Seq: 5}},
+		{Op: OpAbort, AID: ids.ActionID{Coordinator: 3, Seq: 5}},
+		{Op: OpOutcome, AID: ids.ActionID{Coordinator: 2, Seq: 8}},
+	}
+	for _, want := range reqs {
+		got, err := DecodeRequest(EncodeRequest(want))
+		if err != nil {
+			t.Fatalf("%+v: %v", want, err)
+		}
+		if got.Op != want.Op || got.AID != want.AID || got.Handler != want.Handler || !bytes.Equal(got.Arg, want.Arg) {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{Status: StatusOK},
+		{Status: StatusOK, Vote: 1},
+		{Status: StatusOK, Outcome: 2, Result: []byte("flattened")},
+		{Status: StatusRetry, Err: "lock conflict"},
+		{Status: StatusError, Err: strings.Repeat("x", 300)},
+		{Status: StatusBadRequest, Err: "unknown op 99"},
+	}
+	for _, want := range resps {
+		got, err := DecodeResponse(EncodeResponse(want))
+		if err != nil {
+			t.Fatalf("%+v: %v", want, err)
+		}
+		if got.Status != want.Status || got.Vote != want.Vote || got.Outcome != want.Outcome ||
+			!bytes.Equal(got.Result, want.Result) || got.Err != want.Err {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestMessageErrors(t *testing.T) {
+	if _, err := DecodeRequest(nil); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("empty request: %v", err)
+	}
+	if _, err := DecodeRequest([]byte{99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("unknown op: %v", err)
+	}
+	// Length prefix pointing past the end.
+	b := EncodeRequest(Request{Op: OpInvoke, Handler: "h"})
+	b[13] = 0xFF // handler length prefix
+	if _, err := DecodeRequest(b); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("overlong prefix: %v", err)
+	}
+	// Trailing garbage.
+	if _, err := DecodeRequest(append(EncodeRequest(Request{Op: OpPing}), 0)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+	if _, err := DecodeResponse(nil); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("empty response: %v", err)
+	}
+	if _, err := DecodeResponse(append(EncodeResponse(Response{Status: StatusOK}), 1, 2)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+}
+
+func TestOpStatusStrings(t *testing.T) {
+	if OpInvoke.String() != "invoke" || OpPrepare.String() != "prepare" {
+		t.Fatal("op names wrong")
+	}
+	if Op(99).String() != "op(99)" {
+		t.Fatalf("unknown op renders %q", Op(99).String())
+	}
+	if StatusRetry.String() != "retry" || Status(99).String() != "status(99)" {
+		t.Fatal("status names wrong")
+	}
+}

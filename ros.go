@@ -43,6 +43,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/object"
 	"repro/internal/stablelog"
+	"repro/internal/transport"
 	"repro/internal/twopc"
 	"repro/internal/value"
 )
@@ -220,6 +221,12 @@ func Recover(g *Guardian) (*Guardian, error) {
 
 // --- two-phase commit -------------------------------------------------------
 
+// Transport delivers messages between guardians: the simulated
+// Network below, or the TCP transport of the serving layer
+// (internal/client). The two-phase commit protocol runs unchanged
+// over either.
+type Transport = transport.Transport
+
 // Network is a simulated network between guardians with node-down and
 // link-cut fault injection.
 type Network = netsim.Network
@@ -248,13 +255,13 @@ type HandlerFunc = guardian.HandlerFunc
 // over the network. The target becomes a participant in the action's
 // two-phase commit; a handler error aborts only the handler's
 // subaction.
-func Call(net *Network, a *Action, target *Guardian, name string, arg Value) (Value, error) {
+func Call(net Transport, a *Action, target *Guardian, name string, arg Value) (Value, error) {
 	return guardian.Call(net, a, target, name, arg)
 }
 
 // CommitSpread commits an action that spread through Call: the
 // participant list is assembled automatically from the handler calls.
-func CommitSpread(net *Network, a *Action) (CommitResult, error) {
+func CommitSpread(net Transport, a *Action) (CommitResult, error) {
 	return guardian.CommitSpread(net, a)
 }
 
@@ -262,7 +269,7 @@ func CommitSpread(net *Network, a *Action) (CommitResult, error) {
 // coordinator and joined at the other guardians. All guardians —
 // including the coordinator — act as participants. On success the
 // action's effects are installed at every guardian.
-func CommitDistributed(net *Network, coordinator *Guardian, a *Action, others ...*Guardian) (CommitResult, error) {
+func CommitDistributed(net Transport, coordinator *Guardian, a *Action, others ...*Guardian) (CommitResult, error) {
 	parts := make([]twopc.Participant, 0, len(others)+1)
 	parts = append(parts, coordinator)
 	for _, g := range others {
@@ -275,7 +282,7 @@ func CommitDistributed(net *Network, coordinator *Guardian, a *Action, others ..
 // CompleteDistributed re-drives phase two of an action whose committing
 // record is already on the coordinator's log — used after the
 // coordinator recovers with the action in Unfinished() (§2.2.3).
-func CompleteDistributed(net *Network, coordinator *Guardian, aid ActionID, participants ...*Guardian) (CommitResult, error) {
+func CompleteDistributed(net Transport, coordinator *Guardian, aid ActionID, participants ...*Guardian) (CommitResult, error) {
 	parts := make([]twopc.Participant, 0, len(participants))
 	for _, g := range participants {
 		parts = append(parts, g)
@@ -288,7 +295,7 @@ func CompleteDistributed(net *Network, coordinator *Guardian, aid ActionID, part
 // crash by querying its coordinator (§2.2.2: the participant "can query
 // the coordinator to find out the outcome"). coordinators maps guardian
 // ids to the (possibly restarted) coordinator guardians.
-func ResolveInDoubt(net *Network, g *Guardian, coordinators map[GuardianID]*Guardian) error {
+func ResolveInDoubt(net Transport, g *Guardian, coordinators map[GuardianID]*Guardian) error {
 	for _, aid := range g.InDoubt() {
 		coord, ok := coordinators[aid.Coordinator]
 		if !ok {
