@@ -36,12 +36,14 @@ bench:
 
 # Regenerate the committed outputs (test_output.txt, bench_output.txt,
 # BENCH_commit.json — the machine-readable E11 group-commit rows —
-# and BENCH_server.json — the E12 served-throughput curve).
+# BENCH_server.json — the E12 served-throughput curve — and
+# BENCH_rep.json — the E13 replication cost and failover rows).
 bench-save:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 	$(GO) run ./cmd/rosbench -experiment e11 -trace -commitjson BENCH_commit.json
 	$(GO) run ./cmd/rosbench -experiment e12 -serverjson BENCH_server.json
+	$(GO) run ./cmd/rosbench -experiment e13 -repjson BENCH_rep.json
 
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzUnflatten -fuzztime 30s ./internal/value/
@@ -49,8 +51,10 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodePage -fuzztime 30s ./internal/stable/
 	$(GO) test -run xxx -fuzz FuzzPageCodec -fuzztime 30s ./internal/stable/
 	$(GO) test -run xxx -fuzz FuzzReadBackward -fuzztime 30s ./internal/stablelog/
+	$(GO) test -run xxx -fuzz FuzzDecodeRepFrame -fuzztime 30s ./internal/stablelog/
 	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime 30s ./internal/wire/
 	$(GO) test -run xxx -fuzz FuzzDecodeRequest -fuzztime 30s ./internal/wire/
+	$(GO) test -run xxx -fuzz FuzzDecodeRepMessage -fuzztime 30s ./internal/wire/
 
 # Crash-injection soak across all backends: randomized histories
 # (single-node + distributed), then the exhaustive crash-point sweep

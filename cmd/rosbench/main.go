@@ -3,13 +3,14 @@
 // and recovery-cost comparison of the three stable-storage
 // organizations (E1/E2/E3), the early-prepare effect (E4), the
 // compaction-vs-snapshot comparison (E5), the effect of housekeeping on
-// recovery (E6), the group-commit force-sharing curve (E11), and the
-// served-guardian throughput scaling curve over loopback TCP (E12).
+// recovery (E6), the group-commit force-sharing curve (E11), the
+// served-guardian throughput scaling curve over loopback TCP (E12), and
+// the replication cost and failover-time comparison (E13).
 //
 // Usage:
 //
-//	rosbench [-experiment all|e1|e2|e3|e4|e5|e6|e11|e12] [-quick]
-//	         [-commitjson FILE] [-serverjson FILE]
+//	rosbench [-experiment all|e1|e2|e3|e4|e5|e6|e11|e12|e13] [-quick]
+//	         [-commitjson FILE] [-serverjson FILE] [-repjson FILE]
 package main
 
 import (
@@ -27,17 +28,22 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/guardian"
+	"repro/internal/ids"
+	"repro/internal/netsim"
 	"repro/internal/object"
 	"repro/internal/obs"
+	"repro/internal/replog"
 	"repro/internal/server"
+	"repro/internal/stablelog"
 	"repro/internal/value"
 )
 
 var (
-	experiment = flag.String("experiment", "all", "which experiment to run: all, e1..e6, e11, e12")
+	experiment = flag.String("experiment", "all", "which experiment to run: all, e1..e6, e11, e12, e13")
 	quick      = flag.Bool("quick", false, "smaller workloads for a fast smoke run")
 	commitJSON = flag.String("commitjson", "", "write the E11 rows as JSON to this file (e.g. BENCH_commit.json)")
 	serverJSON = flag.String("serverjson", "", "write the E12 rows as JSON to this file (e.g. BENCH_server.json)")
+	repJSON    = flag.String("repjson", "", "write the E13 rows as JSON to this file (e.g. BENCH_rep.json)")
 	trace      = flag.Bool("trace", false, "derive the E11 per-commit numbers from the event stream and cross-check them against the counters")
 )
 
@@ -56,6 +62,7 @@ func main() {
 	run("e6", e6RecoveryAfterHousekeeping)
 	run("e11", e11GroupCommit)
 	run("e12", e12ServerThroughput)
+	run("e13", e13Replication)
 }
 
 func backends() []core.Backend {
@@ -503,6 +510,136 @@ func e12Run(clients, perClient int) serverRow {
 		P50Us:           float64(all[len(all)/2].Microseconds()),
 		P99Us:           float64(all[len(all)*99/100].Microseconds()),
 		ForcesPerCommit: float64(forces) / float64(commits),
+	}
+}
+
+// repRow is one E13 measurement, serialized to -repjson.
+type repRow struct {
+	Mode          string  `json:"mode"`
+	Replicas      int     `json:"replicas"`
+	Quorum        int     `json:"quorum"`
+	Commits       int     `json:"commits"`
+	NsPerCommit   float64 `json:"ns_per_commit"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	// FailoverUs is the time to bring a recovered guardian back up after
+	// the history: a crash-restart on the single device, a backup
+	// promotion (takeover recovery included) when replicated.
+	FailoverUs float64 `json:"failover_us"`
+}
+
+// e13WriteDelay is the simulated per-block device latency for E13; the
+// same delay applies to the primary's device and every backup's, so the
+// replicated rows pay the honest cost of the extra durable copies.
+const e13WriteDelay = 50 * time.Microsecond
+
+// e13Replication compares commit latency and failover time across
+// replication modes: a single device (failover = crash-restart
+// recovery), a 2-of-3 quorum (the commit waits for the faster backup),
+// and a 3-of-3 all-ack round. Replication runs over the in-process
+// deterministic transport — the wire costs are E12's subject; here the
+// device and round structure are what's measured.
+func e13Replication() {
+	fmt.Println("E13 — replicated forces: commit cost and failover time vs a single device")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "mode\treplicas\tquorum\tcommits/s\tµs/commit\tfailover µs")
+	commits := 300
+	if *quick {
+		commits = 60
+	}
+	modes := []struct {
+		name              string
+		replicas, quorumN int
+	}{
+		{"single-device", 0, 0},
+		{"replicated", 2, 2},
+		{"replicated-all", 2, 3},
+	}
+	var rows []repRow
+	for _, m := range modes {
+		row := e13Run(m.name, m.replicas, m.quorumN, commits)
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%.1f\t%.0f\n",
+			row.Mode, row.Replicas, row.Quorum, row.CommitsPerSec, row.NsPerCommit/1e3, row.FailoverUs)
+	}
+	w.Flush()
+	fmt.Println()
+	if *repJSON != "" {
+		out, err := json.MarshalIndent(rows, "", "  ")
+		die(err)
+		die(os.WriteFile(*repJSON, append(out, '\n'), 0o644))
+		fmt.Printf("wrote %s (%d rows)\n\n", *repJSON, len(rows))
+	}
+}
+
+// e13Run measures one replication mode: a serial commit loop on one
+// counter, then the mode's failover path, verifying the recovered
+// counter saw every commit.
+func e13Run(mode string, replicas, quorumN, commits int) repRow {
+	g := commitHistory(core.BackendHybrid, 1, 0, 0)
+	g.Volume().SetWriteDelay(e13WriteDelay)
+	var bks []*replog.Backup
+	if replicas > 0 {
+		net := netsim.New()
+		reps := make([]replog.Replica, 0, replicas)
+		for i := 0; i < replicas; i++ {
+			bvol := stablelog.NewMemVolume(512)
+			bvol.SetWriteDelay(e13WriteDelay)
+			b, err := replog.NewBackup(replog.BackupConfig{
+				ID: ids.GuardianID(101 + i), Primary: 1, Backend: core.BackendHybrid, Volume: bvol,
+			})
+			die(err)
+			bks = append(bks, b)
+			reps = append(reps, b)
+		}
+		p, err := replog.NewPrimary(replog.Config{
+			Self: 1, Site: g.Site(), Quorum: quorumN, Net: net, Replicas: reps,
+		})
+		die(err)
+		g.SetReplicator(p)
+	}
+
+	o, ok := g.VarAtomic("c0")
+	if !ok {
+		die(fmt.Errorf("e13: counter c0 missing"))
+	}
+	start := time.Now()
+	for i := 0; i < commits; i++ {
+		a := g.Begin()
+		die(a.Update(o, func(v value.Value) value.Value {
+			return value.Int(int64(v.(value.Int)) + 1)
+		}))
+		die(a.Commit())
+	}
+	el := time.Since(start)
+
+	var ng *guardian.Guardian
+	foStart := time.Now()
+	if replicas > 0 {
+		var err error
+		ng, err = bks[0].Promote()
+		die(err)
+	} else {
+		g.Crash()
+		var err error
+		ng, err = guardian.Restart(g)
+		die(err)
+	}
+	fo := time.Since(foStart)
+	no, ok := ng.VarAtomic("c0")
+	if !ok {
+		die(fmt.Errorf("e13 %s: counter lost across failover", mode))
+	}
+	if got := int(no.Base().(value.Int)); got != commits {
+		die(fmt.Errorf("e13 %s: recovered counter = %d, want %d", mode, got, commits))
+	}
+	return repRow{
+		Mode:          mode,
+		Replicas:      replicas,
+		Quorum:        quorumN,
+		Commits:       commits,
+		NsPerCommit:   float64(el.Nanoseconds()) / float64(commits),
+		CommitsPerSec: float64(commits) / el.Seconds(),
+		FailoverUs:    float64(fo.Microseconds()),
 	}
 }
 

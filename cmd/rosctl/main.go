@@ -11,6 +11,10 @@
 //	get <key>             read a key's committed value
 //	put <key> <value>     store a value (int if it parses, else string)
 //	incr <key> [delta]    add delta (default 1) and print the new total
+//	status                report replication role, epoch, durable and
+//	                      quorum-acked log bytes, and replica health
+//	promote               make the server's hosted backup take over as
+//	                      the guardian (explicit failover; idempotent)
 //
 // Every command runs as one complete atomic action at the server: put
 // and incr are committed (and durable) before rosctl prints.
@@ -25,6 +29,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/value"
+	"repro/internal/wire"
 )
 
 var (
@@ -42,7 +47,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: rosctl [flags] ping|get|put|incr ...")
+		return fmt.Errorf("usage: rosctl [flags] ping|get|put|incr|status|promote ...")
 	}
 	c := client.New(*addr, client.Options{CallTimeout: *timeout})
 	//roslint:besteffort process exit follows immediately; the command's own error is what matters
@@ -94,8 +99,35 @@ func run(args []string) error {
 		}
 		fmt.Println(value.String(v))
 		return nil
+	case "status":
+		st, err := c.Status()
+		if err != nil {
+			return err
+		}
+		printStatus(st)
+		return nil
+	case "promote":
+		st, err := c.Promote()
+		if err != nil {
+			return err
+		}
+		printStatus(st)
+		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want ping, get, put, or incr)", cmd)
+		return fmt.Errorf("unknown command %q (want ping, get, put, incr, status, or promote)", cmd)
+	}
+}
+
+// printStatus renders a RepStatus one field per line; the quorum lines
+// only apply to a primary that is actually shipping to backups (a
+// freshly promoted backup is a primary with no replica set yet).
+func printStatus(st wire.RepStatus) {
+	fmt.Printf("role:    %v\n", st.Role)
+	fmt.Printf("epoch:   %d\n", st.Epoch)
+	fmt.Printf("durable: %d bytes\n", st.Durable)
+	if st.Role == wire.RolePrimary && st.Replicas > 0 {
+		fmt.Printf("quorum:  %d bytes acked by %d of %d copies\n", st.QuorumBytes, st.Quorum, st.Replicas+1)
+		fmt.Printf("backups: %d of %d answering\n", st.Alive, st.Replicas)
 	}
 }
 

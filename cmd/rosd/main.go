@@ -7,10 +7,24 @@
 //
 //	rosd [-addr 127.0.0.1:4146] [-id 1] [-backend hybrid]
 //	     [-workers 8] [-maxconns 64] [-trace]
+//	     [-role standalone|primary|backup] [-backups id=addr,...]
+//	     [-quorum 2] [-primary-id 1]
+//
+// Replication (-role):
+//
+//	standalone   the default: one unreplicated guardian.
+//	primary      ships every forced log prefix to the -backups list
+//	             and acknowledges commits only at -quorum durable
+//	             copies (counting itself). Each -backups entry is
+//	             id=host:port naming a rosd running -role backup.
+//	backup       hosts a replog.Backup: receives, persists, and acks
+//	             the primary's frames, serving no application traffic
+//	             until `rosctl promote` makes it the guardian.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight requests finish, then
 // connections close. With -trace every rpc.* event streams to stderr
-// in the golden-trace text format.
+// in the golden-trace text format (rep.* events included when
+// replicating).
 //
 // The handlers:
 //
@@ -26,24 +40,32 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/guardian"
 	"repro/internal/ids"
 	"repro/internal/object"
 	"repro/internal/obs"
+	"repro/internal/replog"
 	"repro/internal/server"
 	"repro/internal/value"
 )
 
 var (
-	addr     = flag.String("addr", "127.0.0.1:4146", "listen address")
-	id       = flag.Uint("id", 1, "guardian id")
-	backend  = flag.String("backend", "hybrid", "recovery organization: simple, hybrid, shadow")
-	workers  = flag.Int("workers", 8, "request worker pool size")
-	maxconns = flag.Int("maxconns", 64, "concurrent connection limit")
-	trace    = flag.Bool("trace", false, "stream rpc.* events to stderr")
+	addr      = flag.String("addr", "127.0.0.1:4146", "listen address")
+	id        = flag.Uint("id", 1, "guardian id")
+	backend   = flag.String("backend", "hybrid", "recovery organization: simple, hybrid, shadow")
+	workers   = flag.Int("workers", 8, "request worker pool size")
+	maxconns  = flag.Int("maxconns", 64, "concurrent connection limit")
+	trace     = flag.Bool("trace", false, "stream rpc.* events to stderr")
+	role      = flag.String("role", "standalone", "replication role: standalone, primary, backup")
+	backups   = flag.String("backups", "", "primary: comma-separated id=host:port backup list")
+	quorum    = flag.Int("quorum", 2, "primary: durable copies a force needs, counting the primary")
+	primaryID = flag.Uint("primary-id", 1, "backup: the replicated guardian's id")
 )
 
 func main() {
@@ -71,17 +93,16 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown backend %q", *backend)
 	}
-	g, err := guardian.New(ids.GuardianID(*id), guardian.WithBackend(b))
+	var tr obs.Tracer
+	if *trace {
+		tr = stderrTracer{}
+	}
+	cfg := server.Config{Workers: *workers, MaxConns: *maxconns, Tracer: tr}
+
+	s, err := buildServer(b, tr, cfg)
 	if err != nil {
 		return err
 	}
-	registerKV(g)
-
-	cfg := server.Config{Workers: *workers, MaxConns: *maxconns}
-	if *trace {
-		cfg.Tracer = stderrTracer{}
-	}
-	s := server.New(g, cfg)
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -92,11 +113,102 @@ func run() error {
 		done <- s.Close()
 	}()
 
-	fmt.Fprintf(os.Stderr, "rosd: guardian %d (%v) serving on %s\n", *id, b, *addr)
+	fmt.Fprintf(os.Stderr, "rosd: %s %d (%v) serving on %s\n", *role, *id, b, *addr)
 	if err := s.ListenAndServe(*addr); !errors.Is(err, server.ErrClosed) {
 		return err
 	}
 	return <-done
+}
+
+// buildServer assembles the server for the configured -role.
+func buildServer(b core.Backend, tr obs.Tracer, cfg server.Config) (*server.Server, error) {
+	switch *role {
+	case "standalone":
+		g, err := guardian.New(ids.GuardianID(*id), guardian.WithBackend(b), guardian.WithTracer(tr))
+		if err != nil {
+			return nil, err
+		}
+		registerKV(g)
+		return server.New(g, cfg), nil
+
+	case "primary":
+		g, err := guardian.New(ids.GuardianID(*id), guardian.WithBackend(b), guardian.WithTracer(tr))
+		if err != nil {
+			return nil, err
+		}
+		registerKV(g)
+		peers, err := parseBackups(*backups)
+		if err != nil {
+			return nil, err
+		}
+		tp := client.NewTransport()
+		tp.SetTracer(tr)
+		reps := make([]replog.Replica, 0, len(peers))
+		for _, pe := range peers {
+			tp.Register(pe.id, client.New(pe.addr, client.Options{Tracer: tr}))
+			r, err := tp.Replica(pe.id)
+			if err != nil {
+				return nil, err
+			}
+			reps = append(reps, r)
+		}
+		p, err := replog.NewPrimary(replog.Config{
+			Self: ids.GuardianID(*id), Site: g.Site(), Quorum: *quorum,
+			Net: tp, Replicas: reps, Tracer: tr,
+		})
+		if err != nil {
+			return nil, err
+		}
+		g.SetReplicator(p)
+		cfg.Status = p.Status
+		return server.New(g, cfg), nil
+
+	case "backup":
+		bk, err := replog.NewBackup(replog.BackupConfig{
+			ID: ids.GuardianID(*id), Primary: ids.GuardianID(*primaryID),
+			Backend: b, Tracer: tr,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Backup = bk
+		// A promoted backup is the guardian from then on: install the
+		// same handlers a standalone rosd serves.
+		cfg.OnPromote = registerKV
+		return server.New(nil, cfg), nil
+
+	default:
+		return nil, fmt.Errorf("unknown role %q (want standalone, primary, or backup)", *role)
+	}
+}
+
+// backupPeer is one -backups entry.
+type backupPeer struct {
+	id   ids.GuardianID
+	addr string
+}
+
+// parseBackups reads the -backups list: comma-separated id=host:port.
+func parseBackups(s string) ([]backupPeer, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("-role primary needs a -backups list (id=host:port,...)")
+	}
+	var peers []backupPeer
+	for _, part := range strings.Split(s, ",") {
+		gid, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("backup entry %q: want id=host:port", part)
+		}
+		n, err := strconv.ParseUint(gid, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("backup entry %q: id: %v", part, err)
+		}
+		if addr == "" {
+			return nil, fmt.Errorf("backup entry %q: empty address", part)
+		}
+		peers = append(peers, backupPeer{id: ids.GuardianID(n), addr: addr})
+	}
+	return peers, nil
 }
 
 // registerKV installs the key/value handlers. Keys are stable

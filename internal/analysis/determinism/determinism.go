@@ -15,9 +15,11 @@
 // both log organizations it drives, the stable log itself — whose
 // group-commit force scheduler must stay purely reactive: no spawned
 // goroutines or timers, so a single-threaded call sequence produces
-// one device-write sequence — and the serving-layer client, whose
+// one device-write sequence — the serving-layer client, whose
 // retry backoff must draw time and jitter only from its injected
-// Clock/Rand so tests can script the exact schedule) for:
+// Clock/Rand so tests can script the exact schedule, and the log
+// replicator, whose shipping rounds run inline in the force path and
+// whose partition matrix is replayed byte-for-byte) for:
 //
 //   - calls to time.Now / Since / Until / Sleep / After / Tick /
 //     NewTimer / NewTicker,
@@ -59,6 +61,7 @@ var ScopedPackages = map[string]bool{
 	"repro/internal/stablelog": true,
 	"repro/internal/obs":       true,
 	"repro/internal/client":    true,
+	"repro/internal/replog":    true,
 	"repro/cmd/roscrash":       true,
 }
 

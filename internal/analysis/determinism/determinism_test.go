@@ -33,6 +33,17 @@ func TestServingClientInScope(t *testing.T) {
 	}
 }
 
+// TestReplicatorInScope pins the log replicator into the deterministic
+// set: its shipping rounds run inline in the force path (no goroutines,
+// no clocks, no randomness), which is what lets the crash sweep replay
+// replicated histories and the partition matrix compare traces
+// byte-for-byte across transports.
+func TestReplicatorInScope(t *testing.T) {
+	if !determinism.ScopedPackages["repro/internal/replog"] {
+		t.Fatal("repro/internal/replog must stay in determinism's ScopedPackages")
+	}
+}
+
 // TestOutOfScope checks that an unscoped package is ignored entirely:
 // package b reads the clock and the global rand, and nothing may be
 // reported when it is not in ScopedPackages.

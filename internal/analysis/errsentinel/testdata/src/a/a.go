@@ -6,6 +6,7 @@ package a
 import (
 	"errors"
 
+	"repro/internal/replog"
 	"repro/internal/stable"
 	"repro/internal/wire"
 )
@@ -28,6 +29,21 @@ func wireEq(err error) bool {
 
 func wireIs(err error) bool {
 	return errors.Is(err, wire.ErrRemote)
+}
+
+// The replication sentinels surface through the force path wrapped in
+// commit-failure context; a writer branching on them with == would
+// misread a lost quorum as an ordinary abort.
+func quorumEq(err error) bool {
+	return err == replog.ErrQuorumLost // want `ErrQuorumLost compared with ==`
+}
+
+func staleNeq(err error) bool {
+	return err != replog.ErrStaleReplica // want `ErrStaleReplica compared with !=`
+}
+
+func quorumIs(err error) bool {
+	return errors.Is(err, replog.ErrQuorumLost)
 }
 
 // nil comparisons are the normal control flow: not flagged.

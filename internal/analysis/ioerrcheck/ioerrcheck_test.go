@@ -32,3 +32,26 @@ func TestServingLayerInScope(t *testing.T) {
 		}
 	}
 }
+
+// TestReplicationInScope pins the replication layer's types into the
+// checked set: a dropped shipping or takeover error is a quorum that
+// silently shrank — exactly the failure the replicated log exists to
+// observe.
+func TestReplicationInScope(t *testing.T) {
+	for pkg, wants := range map[string][]string{
+		"repro/internal/replog": {"Primary", "Backup", "Replica"},
+		"repro/internal/client": {"RemoteReplica"},
+	} {
+		for _, want := range wants {
+			found := false
+			for _, name := range ioerrcheck.CheckedTypes()[pkg] {
+				if name == want {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("checkedTypes[%q] must include %s", pkg, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package client
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/replog"
+	"repro/internal/wire"
+)
+
+// Replication and introspection calls. The rep.* requests are
+// idempotent by construction — a re-sent append whose first delivery
+// was applied is refused in-band (the ack's durable offset names the
+// actual tail) and the primary adjusts its cursor — so the client's
+// ordinary retry loop is safe for them.
+
+// repCall sends one rep.* request and decodes the ack.
+func (c *Client) repCall(op wire.Op, arg []byte) (wire.RepAck, error) {
+	resp, err := c.Do(wire.Request{Op: op, Arg: arg})
+	if err != nil {
+		return wire.RepAck{}, err
+	}
+	if err := remoteErr(resp); err != nil {
+		return wire.RepAck{}, err
+	}
+	ack, err := wire.DecodeRepAck(resp.Result)
+	if err != nil {
+		return wire.RepAck{}, fmt.Errorf("client: rep ack: %w", err)
+	}
+	return ack, nil
+}
+
+// RepAppend ships a frame run to the server's hosted backup.
+func (c *Client) RepAppend(app wire.RepAppend) (wire.RepAck, error) {
+	return c.repCall(wire.OpRepAppend, wire.EncodeRepAppend(app))
+}
+
+// RepHeartbeat probes the server's hosted backup.
+func (c *Client) RepHeartbeat(hb wire.RepHeartbeat) (wire.RepAck, error) {
+	return c.repCall(wire.OpRepHeartbeat, wire.EncodeRepHeartbeat(hb))
+}
+
+// RepSnapshot offers the server's hosted backup a snapshot reset.
+func (c *Client) RepSnapshot(snap wire.RepSnapshot) (wire.RepAck, error) {
+	return c.repCall(wire.OpRepSnapshot, wire.EncodeRepSnapshot(snap))
+}
+
+// Status reports the server's replication role and health.
+func (c *Client) Status() (wire.RepStatus, error) {
+	resp, err := c.Do(wire.Request{Op: wire.OpStatus})
+	if err != nil {
+		return wire.RepStatus{}, err
+	}
+	if err := remoteErr(resp); err != nil {
+		return wire.RepStatus{}, err
+	}
+	st, err := wire.DecodeRepStatus(resp.Result)
+	if err != nil {
+		return wire.RepStatus{}, fmt.Errorf("client: status: %w", err)
+	}
+	return st, nil
+}
+
+// Promote tells the server's hosted backup to take over as the
+// guardian and returns the post-takeover status. Idempotent.
+func (c *Client) Promote() (wire.RepStatus, error) {
+	resp, err := c.Do(wire.Request{Op: wire.OpPromote})
+	if err != nil {
+		return wire.RepStatus{}, err
+	}
+	if err := remoteErr(resp); err != nil {
+		return wire.RepStatus{}, err
+	}
+	st, err := wire.DecodeRepStatus(resp.Result)
+	if err != nil {
+		return wire.RepStatus{}, fmt.Errorf("client: promote: %w", err)
+	}
+	return st, nil
+}
+
+// RemoteReplica is a client-side stub presenting a rosd server's
+// hosted backup as a replog.Replica: the primary's shipping calls
+// become wire requests, exactly as RemoteParticipant does for 2PC.
+// Wired together with the client Transport, a replog.Primary runs the
+// identical replication protocol over loopback TCP that it runs over
+// the deterministic simulation.
+type RemoteReplica struct {
+	// ID is the remote backup's id.
+	ReplicaID ids.GuardianID
+	// C is the client reaching the backup's server.
+	C *Client
+}
+
+var _ replog.Replica = (*RemoteReplica)(nil)
+
+// ID implements replog.Replica.
+func (r *RemoteReplica) ID() ids.GuardianID { return r.ReplicaID }
+
+// Append implements replog.Replica over the wire.
+func (r *RemoteReplica) Append(app wire.RepAppend) (wire.RepAck, error) {
+	return r.C.RepAppend(app)
+}
+
+// Heartbeat implements replog.Replica over the wire.
+func (r *RemoteReplica) Heartbeat(hb wire.RepHeartbeat) (wire.RepAck, error) {
+	return r.C.RepHeartbeat(hb)
+}
+
+// Snapshot implements replog.Replica over the wire.
+func (r *RemoteReplica) Snapshot(snap wire.RepSnapshot) (wire.RepAck, error) {
+	return r.C.RepSnapshot(snap)
+}
+
+// Replica returns a replog.Replica that ships to gid's server through
+// this transport's registered client.
+func (t *Transport) Replica(gid ids.GuardianID) (*RemoteReplica, error) {
+	c := t.Peer(gid)
+	if c == nil {
+		return nil, fmt.Errorf("client: no peer registered for %v", gid)
+	}
+	return &RemoteReplica{ReplicaID: gid, C: c}, nil
+}

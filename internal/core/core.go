@@ -115,6 +115,17 @@ type RecoverySystem interface {
 	// the backend's writer and current log. The guardian layer wraps
 	// the caller's tracer with its guardian id before installing it.
 	SetTracer(tr obs.Tracer)
+	// SetReplicator installs (or, with nil, removes) the replication
+	// hook on the backend's log site: with it set, every outcome force
+	// additionally waits for a replica quorum (internal/replog). The
+	// shadow backend ignores it — shadowing ships no log and is out of
+	// replication's scope, exactly as it is out of the group-commit
+	// scheduler's.
+	SetReplicator(r stablelog.Replicator)
+	// Site returns the backend's log site, or nil for backends that
+	// have none (shadow). Replication primaries read the durable
+	// boundary and raw frames through it.
+	Site() *stablelog.Site
 }
 
 // Recovered is what the recovery operation returns to the Argus system
@@ -193,6 +204,8 @@ func (r *hybridRS) SetTracer(tr obs.Tracer) {
 	r.w.SetTracer(tr)
 	r.site.SetTracer(tr)
 }
+func (r *hybridRS) SetReplicator(rep stablelog.Replicator) { r.site.SetReplicator(rep) }
+func (r *hybridRS) Site() *stablelog.Site                  { return r.site }
 
 // --- simple backend ----------------------------------------------------
 
@@ -249,6 +262,8 @@ func (r *simpleRS) SetTracer(tr obs.Tracer) {
 	r.w.SetTracer(tr)
 	r.site.SetTracer(tr)
 }
+func (r *simpleRS) SetReplicator(rep stablelog.Replicator) { r.site.SetReplicator(rep) }
+func (r *simpleRS) Site() *stablelog.Site                  { return r.site }
 
 // --- shadow backend ----------------------------------------------------
 
@@ -339,3 +354,11 @@ func (r *shadowRS) Forces() int           { return r.s.Log().Forces() }
 func (r *shadowRS) SetSynchronousForces(bool) {}
 
 func (r *shadowRS) SetTracer(tr obs.Tracer) { r.s.SetTracer(tr) }
+
+// SetReplicator is a no-op for shadowing: there is no stable log to
+// ship, so the shadow backend sits outside replication's scope (as it
+// sits outside group commit's).
+func (r *shadowRS) SetReplicator(stablelog.Replicator) {}
+
+// Site returns nil: the shadow backend keeps no log site.
+func (r *shadowRS) Site() *stablelog.Site { return nil }

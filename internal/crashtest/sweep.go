@@ -230,8 +230,10 @@ func buildOracle(script []scriptStep) *oracle {
 // executeScript runs the scripted history on vol until it completes or
 // the armed crash fires. It returns the interrupted step index (-1 for
 // the setup phase, len(script) on completion) and the guardian (nil
-// once crashed). A non-crash error is a harness failure.
-func executeScript(vol *stablelog.MemVolume, cfg SweepConfig, script []scriptStep, tr obs.Tracer) (int, *guardian.Guardian, error) {
+// once crashed). A non-crash error is a harness failure. install, when
+// non-nil, runs on the fresh guardian before the setup action — the
+// replicated sweep hooks the log replicator in there.
+func executeScript(vol *stablelog.MemVolume, cfg SweepConfig, script []scriptStep, tr obs.Tracer, install func(*guardian.Guardian) error) (int, *guardian.Guardian, error) {
 	crashed := func(err error) (bool, error) {
 		if err == nil {
 			return false, nil
@@ -251,6 +253,11 @@ func executeScript(vol *stablelog.MemVolume, cfg SweepConfig, script []scriptSte
 	// synchronous forces so the counts are a pure function of the
 	// schedule, independent of group-commit coalescing.
 	g.SetSynchronousForces(true)
+	if install != nil {
+		if err := install(g); err != nil {
+			return -1, nil, err
+		}
+	}
 	init := g.Begin()
 	var initErr error
 	for i := 0; i < sweepCounters && initErr == nil; i++ {
@@ -586,7 +593,7 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 	chk := obs.NewChecker(nil)
 	countVol := stablelog.NewMemVolume(cfg.BlockSize)
 	countVol.ArmGlobalCrashAtWrite(0)
-	s, g, err := executeScript(countVol, cfg, script, chk)
+	s, g, err := executeScript(countVol, cfg, script, chk, nil)
 	if err != nil {
 		return res, fail(nil, s, err)
 	}
@@ -609,7 +616,7 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 	replay := func(k int, chk *obs.Checker) (*stablelog.MemVolume, int, error) {
 		vol := stablelog.NewMemVolume(cfg.BlockSize)
 		vol.ArmGlobalCrashAtWrite(k)
-		s, _, err := executeScript(vol, cfg, script, chk)
+		s, _, err := executeScript(vol, cfg, script, chk, nil)
 		return vol, s, err
 	}
 

@@ -29,7 +29,7 @@ func runTraced(t *testing.T, cfg SweepConfig, script []scriptStep, k int) []byte
 	rec := &obs.Recorder{}
 	vol := stablelog.NewMemVolume(cfg.BlockSize)
 	vol.ArmGlobalCrashAtWrite(k)
-	s, _, err := executeScript(vol, cfg, script, rec)
+	s, _, err := executeScript(vol, cfg, script, rec, nil)
 	if err != nil {
 		t.Fatalf("history (crash at %d): %v", k, err)
 	}
@@ -63,7 +63,7 @@ func TestReplayTraceDeterministic(t *testing.T) {
 			}
 			vol := stablelog.NewMemVolume(cfg.BlockSize)
 			vol.ArmGlobalCrashAtWrite(0)
-			if _, _, err := executeScript(vol, cfg, script, nil); err != nil {
+			if _, _, err := executeScript(vol, cfg, script, nil, nil); err != nil {
 				t.Fatal(err)
 			}
 			w := vol.GlobalWrites()

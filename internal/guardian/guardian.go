@@ -251,6 +251,17 @@ func (g *Guardian) GuardianID() ids.GuardianID { return g.ID() }
 // write counts are a pure function of the operation sequence.
 func (g *Guardian) SetSynchronousForces(on bool) { g.rs.SetSynchronousForces(on) }
 
+// SetReplicator installs (or, with nil, removes) a replication hook on
+// the guardian's log site: every outcome force then additionally waits
+// for a replica quorum (internal/replog). A no-op on the shadow
+// backend, which keeps no log.
+func (g *Guardian) SetReplicator(r stablelog.Replicator) { g.rs.SetReplicator(r) }
+
+// Site returns the guardian's log site (nil on the shadow backend). A
+// replication primary reads the durable boundary and raw frame runs it
+// ships through this.
+func (g *Guardian) Site() *stablelog.Site { return g.rs.Site() }
+
 // Heap returns the guardian's volatile heap.
 func (g *Guardian) Heap() *object.Heap { return g.heap }
 

@@ -28,6 +28,15 @@ import (
 //     force.
 //   - R3 (recovery phase order): within one recovery session
 //     (KindRecoveryStart), phases are nondecreasing in thesis order.
+//   - R4 (quorum barrier, the replicated-log analogue of R1): once a
+//     guardian is replicated — it has emitted any rep.quorum event —
+//     every outcome acknowledged durable must be covered by a quorum
+//     boundary some rep.quorum already reported. Sound under
+//     concurrency because the quorum wait runs inside ForceTo (its
+//     rep.quorum is emitted before the wait returns), and the
+//     OutcomeDurable is emitted only after ForceTo returns. A log.open
+//     clears the replicated bit: a promoted backup or recovered node
+//     starts unreplicated until a replicator speaks again.
 //
 // A Checker may forward the stream to a next Tracer (e.g. a Recorder),
 // so checking and recording compose in one pass.
@@ -50,6 +59,8 @@ type gstate struct {
 	crit       int // writer critical-section depth
 	inRecovery bool
 	phase      Phase // last recovery phase seen this session
+	replicated bool   // a rep.quorum was seen since the last log.open
+	repBound   uint64 // largest quorum-acked boundary reported
 	violations int
 }
 
@@ -84,6 +95,10 @@ func (c *Checker) Emit(e Event) {
 		s := c.g(e.Gid)
 		s.boundary = e.Durable
 		s.haveBound = true
+		// The guardian restarts unreplicated: a reopened or promoted
+		// log is quorum-gated only once a replicator speaks again.
+		s.replicated = false
+		s.repBound = 0
 
 	case KindForceDone:
 		if e.OK {
@@ -119,6 +134,17 @@ func (c *Checker) Emit(e Event) {
 		case e.LSN >= s.boundary:
 			c.violate(s, "event %d: R1 force barrier: %s outcome for %v (gid %d) acknowledged at lsn %d, durable boundary %d",
 				n, OutcomeKind(e.Code), e.AID, e.Gid, e.LSN, s.boundary)
+		}
+		if s.replicated && e.LSN >= s.repBound {
+			c.violate(s, "event %d: R4 quorum barrier: %s outcome for %v (gid %d) acknowledged at lsn %d, quorum boundary %d",
+				n, OutcomeKind(e.Code), e.AID, e.Gid, e.LSN, s.repBound)
+		}
+
+	case KindRepQuorum:
+		s := c.g(e.Gid)
+		s.replicated = true
+		if e.Durable > s.repBound {
+			s.repBound = e.Durable
 		}
 
 	case KindRecoveryStart:

@@ -128,6 +128,33 @@ const (
 	// drain begins (Bytes = connections open at that moment) and once
 	// when it completes (Bytes = 0, OK set).
 	KindRPCDrain
+	// KindRepSend is a primary shipping a run of log frames to one
+	// backup; From/To are the primary and replica ids, Durable the
+	// offset the run starts at, Bytes its length.
+	KindRepSend
+	// KindRepRecv is a backup having validated, applied, and forced a
+	// shipped run; Durable is its new durable boundary, Bytes the run
+	// length.
+	KindRepRecv
+	// KindRepAck is the primary processing one replica's durability
+	// acknowledgment; From/To as on the send, Durable the replica's
+	// acked boundary.
+	KindRepAck
+	// KindRepQuorum closes a replication round: Durable is the largest
+	// prefix a quorum has durably acked, OK whether that covers the
+	// round's target (the primary's durable boundary when the round
+	// began). The Checker's R4 requires one of these, covering the
+	// LSN, before any outcome.durable on a replicated guardian.
+	KindRepQuorum
+	// KindRepPromote is a backup taking over as primary: Durable is
+	// the received prefix it recovers from (the recovery.* events of
+	// the takeover follow it in the stream).
+	KindRepPromote
+	// KindRepCatchup is a lagging or rejoining replica being brought
+	// current: on the primary, Durable is the replica's boundary after
+	// catch-up and Bytes the gap shipped; on a backup it marks the
+	// log reset of an accepted snapshot offer (Durable 0).
+	KindRepCatchup
 
 	kindMax
 )
@@ -157,6 +184,12 @@ var kindNames = [...]string{
 	KindRPCTimeout:     "rpc.timeout",
 	KindRPCRetry:       "rpc.retry",
 	KindRPCDrain:       "rpc.drain",
+	KindRepSend:        "rep.send",
+	KindRepRecv:        "rep.recv",
+	KindRepAck:         "rep.ack",
+	KindRepQuorum:      "rep.quorum",
+	KindRepPromote:     "rep.promote",
+	KindRepCatchup:     "rep.catchup",
 }
 
 func (k Kind) String() string {
@@ -263,15 +296,25 @@ const (
 	RPCCommit
 	RPCAbort
 	RPCOutcome
+	RPCRepAppend
+	RPCRepHeartbeat
+	RPCRepSnapshot
+	RPCStatus
+	RPCPromote
 )
 
 var rpcOpNames = [...]string{
-	RPCPing:    "ping",
-	RPCInvoke:  "invoke",
-	RPCPrepare: "prepare",
-	RPCCommit:  "commit",
-	RPCAbort:   "abort",
-	RPCOutcome: "outcome",
+	RPCPing:         "ping",
+	RPCInvoke:       "invoke",
+	RPCPrepare:      "prepare",
+	RPCCommit:       "commit",
+	RPCAbort:        "abort",
+	RPCOutcome:      "outcome",
+	RPCRepAppend:    "rep.append",
+	RPCRepHeartbeat: "rep.heartbeat",
+	RPCRepSnapshot:  "rep.snapshot",
+	RPCStatus:       "status",
+	RPCPromote:      "promote",
 }
 
 // RPCStatus codes for KindRPCReply events (Code field), mirroring
@@ -419,7 +462,9 @@ func (e Event) appendText(b []byte) []byte {
 		}
 	}
 	switch e.Kind {
-	case KindLogOpen, KindForceStart, KindForceDone:
+	case KindLogOpen, KindForceStart, KindForceDone,
+		KindRepSend, KindRepRecv, KindRepAck, KindRepQuorum,
+		KindRepPromote, KindRepCatchup:
 		b = append(b, " durable="...)
 		b = strconv.AppendUint(b, e.Durable, 10)
 	}
@@ -439,7 +484,7 @@ func (e Event) appendText(b []byte) []byte {
 	// it is always false and says nothing.
 	switch e.Kind {
 	case KindForceDone, KindNetCall, KindTwoPCVote, KindHousekeepDone,
-		KindRPCAccept, KindRPCReply, KindRPCDrain:
+		KindRPCAccept, KindRPCReply, KindRPCDrain, KindRepQuorum:
 		if !e.OK {
 			b = append(b, " !err"...)
 		}

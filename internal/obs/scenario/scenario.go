@@ -12,11 +12,15 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/guardian"
+	"repro/internal/ids"
+	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/replog"
 	"repro/internal/twopc"
 	"repro/internal/value"
 )
@@ -33,6 +37,7 @@ var All = []Scenario{
 	{Name: "abort", Run: Abort},
 	{Name: "crash-recover", Run: CrashRecover},
 	{Name: "housekeep", Run: Housekeep},
+	{Name: "replicate", Run: Replicate},
 }
 
 // setup creates a hybrid-backend guardian with one counter committed to
@@ -171,4 +176,78 @@ func Housekeep(tr obs.Tracer) error {
 		return err
 	}
 	return bump(g, 6)
+}
+
+// Replicate runs the canonical replication history: a primary shipping
+// its log to two backups over the simulated network, a commit under
+// full membership, one under a partition (the quorum completes on the
+// survivor), one after the heal (backlog catch-up), then a backup
+// takeover whose bumped epoch fences the deposed primary's next
+// commit. The trace pins the whole rep.* vocabulary: send, recv, ack,
+// quorum, catchup, promote, and the fenced round that makes no quorum
+// claim.
+func Replicate(tr obs.Tracer) error {
+	net := netsim.New()
+	net.SetTracer(tr)
+	var backups []*replog.Backup
+	var reps []replog.Replica
+	for _, id := range []ids.GuardianID{101, 102} {
+		b, err := replog.NewBackup(replog.BackupConfig{
+			ID: id, Primary: 1, Backend: core.BackendHybrid, Tracer: tr,
+		})
+		if err != nil {
+			return err
+		}
+		backups = append(backups, b)
+		reps = append(reps, b)
+	}
+	g, err := guardian.New(1, guardian.WithBackend(core.BackendHybrid), guardian.WithTracer(tr))
+	if err != nil {
+		return err
+	}
+	g.SetSynchronousForces(true)
+	p, err := replog.NewPrimary(replog.Config{
+		Self: 1, Site: g.Site(), Quorum: 2, Net: net, Replicas: reps, Tracer: tr,
+	})
+	if err != nil {
+		return err
+	}
+	g.SetReplicator(p)
+	init := g.Begin()
+	c, err := init.NewAtomic(value.Int(0))
+	if err != nil {
+		return err
+	}
+	if err := init.SetVar("c", c); err != nil {
+		return err
+	}
+	if err := init.Commit(); err != nil {
+		return err
+	}
+	if err := bump(g, 1); err != nil {
+		return err
+	}
+	net.SetDown(101, true)
+	if err := bump(g, 2); err != nil {
+		return err
+	}
+	net.SetDown(101, false)
+	if err := bump(g, 3); err != nil {
+		return err
+	}
+	ng, err := backups[1].Promote()
+	if err != nil {
+		return err
+	}
+	nc, ok := ng.VarAtomic("c")
+	if !ok {
+		return fmt.Errorf("scenario: counter lost in takeover")
+	}
+	if got := int64(nc.Base().(value.Int)); got != 6 {
+		return fmt.Errorf("scenario: takeover recovered c=%d, want 6", got)
+	}
+	if err := bump(g, 4); !errors.Is(err, replog.ErrStaleReplica) {
+		return fmt.Errorf("scenario: deposed commit err = %v, want ErrStaleReplica", err)
+	}
+	return nil
 }

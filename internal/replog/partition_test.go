@@ -1,0 +1,322 @@
+package replog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/stablelog"
+)
+
+// The partition matrix asserts the exact rep.* message sequence of
+// every network condition, in the style of the twopc partition tests:
+// each event renders as a compact signature line and the whole exchange
+// is compared. The tests drive a bare log site (payloads are opaque to
+// replication), so frame addresses are simple arithmetic: every
+// three-byte payload makes a 16-byte frame.
+
+// repSig renders one replication or network event; other kinds render
+// empty and are dropped, so guardian-internal events never disturb the
+// message-sequence assertions.
+func repSig(e obs.Event) string {
+	switch e.Kind {
+	case obs.KindNetCall:
+		if e.OK {
+			return fmt.Sprintf("call %d->%d", e.From, e.To)
+		}
+		return fmt.Sprintf("call %d->%d refused", e.From, e.To)
+	case obs.KindRepSend:
+		return fmt.Sprintf("send %d->%d @%d", e.From, e.To, e.Durable)
+	case obs.KindRepAck:
+		return fmt.Sprintf("ack %d->%d =%d", e.From, e.To, e.Durable)
+	case obs.KindRepRecv:
+		return fmt.Sprintf("recv[%d] =%d", e.Gid, e.Durable)
+	case obs.KindRepQuorum:
+		word := "short"
+		if e.OK {
+			word = "ok"
+		}
+		return fmt.Sprintf("quorum =%d %s", e.Durable, word)
+	case obs.KindRepCatchup:
+		if e.From != 0 {
+			return fmt.Sprintf("catchup %d->%d =%d", e.From, e.To, e.Durable)
+		}
+		return fmt.Sprintf("reset[%d]", e.Gid)
+	case obs.KindRepPromote:
+		return fmt.Sprintf("promote[%d] =%d", e.Gid, e.Durable)
+	default:
+		return ""
+	}
+}
+
+func repSigs(rec *obs.Recorder) []string {
+	var out []string
+	for _, e := range rec.Events() {
+		if s := repSig(e); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func assertRepSeq(t *testing.T, rec *obs.Recorder, want []string) {
+	t.Helper()
+	got := repSigs(rec)
+	n := len(got)
+	if len(want) > n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		var g, w string
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(want) {
+			w = want[i]
+		}
+		if g != w {
+			t.Fatalf("message %d = %q, want %q\nfull sequence: %q", i, g, w, got)
+		}
+	}
+}
+
+// logFixture wires a bare primary log site to two backups over netsim.
+type logFixture struct {
+	site    *stablelog.Site
+	log     *stablelog.Log
+	p       *Primary
+	backups []*Backup
+	net     *netsim.Network
+	rec     *obs.Recorder
+}
+
+func newLogFixture(t *testing.T, quorum int) *logFixture {
+	t.Helper()
+	f := &logFixture{rec: &obs.Recorder{}, net: netsim.New()}
+	f.net.SetTracer(f.rec)
+	site, err := stablelog.CreateSite(stablelog.NewMemVolume(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.site = site
+	f.log = site.Log()
+	var reps []Replica
+	for _, id := range backupIDs {
+		b := newBackup(t, id, f.rec, nil)
+		f.backups = append(f.backups, b)
+		reps = append(reps, b)
+	}
+	p, err := NewPrimary(Config{
+		Self: primaryID, Site: site, Quorum: quorum,
+		Net: f.net, Replicas: reps, Tracer: f.rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.p = p
+	site.SetReplicator(p)
+	return f
+}
+
+// write appends one three-byte payload (a 16-byte frame) and returns
+// its LSN.
+func (f *logFixture) write(t *testing.T, s string) stablelog.LSN {
+	t.Helper()
+	if len(s) != 3 {
+		t.Fatalf("payload %q: partition fixtures use 3-byte payloads", s)
+	}
+	lsn, err := f.log.Write([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lsn
+}
+
+// Steady state: one force replicates to both backups in id order, then
+// an already-covered force moves no messages at all.
+func TestRepSequenceSteadyState(t *testing.T) {
+	f := newLogFixture(t, 2)
+	lsn := f.write(t, "p-0")
+	if err := f.log.ForceTo(lsn); err != nil {
+		t.Fatal(err)
+	}
+	assertRepSeq(t, f.rec, []string{
+		"send 1->101 @0",
+		"call 1->101",
+		"recv[101] =16",
+		"ack 1->101 =16",
+		"send 1->102 @0",
+		"call 1->102",
+		"recv[102] =16",
+		"ack 1->102 =16",
+		"quorum =16 ok",
+	})
+	f.rec.Reset()
+	if err := f.log.ForceTo(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if got := repSigs(f.rec); len(got) != 0 {
+		t.Fatalf("covered force moved messages: %q", got)
+	}
+}
+
+// One backup down: its send is refused, the quorum completes on the
+// survivor. After the node returns, one append ships the whole backlog
+// and the catch-up is announced.
+func TestRepSequenceBackupDownAndCatchup(t *testing.T) {
+	f := newLogFixture(t, 2)
+	f.net.SetDown(101, true)
+	lsn := f.write(t, "p-0")
+	if err := f.log.ForceTo(lsn); err != nil {
+		t.Fatal(err)
+	}
+	assertRepSeq(t, f.rec, []string{
+		"send 1->101 @0",
+		"call 1->101 refused",
+		"send 1->102 @0",
+		"call 1->102",
+		"recv[102] =16",
+		"ack 1->102 =16",
+		"quorum =16 ok",
+	})
+
+	f.net.SetDown(101, false)
+	lsn2 := f.write(t, "p-1")
+	f.rec.Reset()
+	if err := f.log.ForceTo(lsn2); err != nil {
+		t.Fatal(err)
+	}
+	assertRepSeq(t, f.rec, []string{
+		"send 1->101 @0", // the healed replica's backlog, one run
+		"call 1->101",
+		"recv[101] =32",
+		"ack 1->101 =32",
+		"catchup 1->101 =32",
+		"send 1->102 @16",
+		"call 1->102",
+		"recv[102] =32",
+		"ack 1->102 =32",
+		"quorum =32 ok",
+	})
+}
+
+// Both backups down: no copy beyond the primary's own, the force fails
+// with ErrQuorumLost, and the round honestly reports a zero quorum
+// boundary.
+func TestRepSequenceQuorumLost(t *testing.T) {
+	f := newLogFixture(t, 2)
+	f.net.SetDown(101, true)
+	f.net.SetDown(102, true)
+	lsn := f.write(t, "p-0")
+	if err := f.log.ForceTo(lsn); !errors.Is(err, ErrQuorumLost) {
+		t.Fatalf("ForceTo = %v, want ErrQuorumLost", err)
+	}
+	assertRepSeq(t, f.rec, []string{
+		"send 1->101 @0",
+		"call 1->101 refused",
+		"send 1->102 @0",
+		"call 1->102 refused",
+		"quorum =0 short",
+	})
+}
+
+// A cut link is indistinguishable from a down node for that pair: the
+// quorum completes on the reachable backup.
+func TestRepSequenceLinkCut(t *testing.T) {
+	f := newLogFixture(t, 2)
+	f.net.Cut(ids.GuardianID(1), ids.GuardianID(102), true)
+	lsn := f.write(t, "p-0")
+	if err := f.log.ForceTo(lsn); err != nil {
+		t.Fatal(err)
+	}
+	assertRepSeq(t, f.rec, []string{
+		"send 1->101 @0",
+		"call 1->101",
+		"recv[101] =16",
+		"ack 1->101 =16",
+		"send 1->102 @0",
+		"call 1->102 refused",
+		"quorum =16 ok",
+	})
+}
+
+// A promoted backup answers with its bumped epoch: the deposed primary
+// sees the higher epoch in the ack, emits no quorum claim, fails the
+// force with ErrStaleReplica, and every later force is fenced without
+// moving a single message.
+func TestRepSequenceStaleEpoch(t *testing.T) {
+	f := newLogFixture(t, 2)
+	lsn := f.write(t, "p-0")
+	if err := f.log.ForceTo(lsn); err != nil {
+		t.Fatal(err)
+	}
+	// Promote 101. The received bytes are opaque test payloads, so the
+	// takeover state is uninteresting here — the scenario needs only the
+	// epoch fence, which latches before the takeover recovery runs.
+	if _, err := f.backups[0].Promote(); err != nil {
+		t.Logf("takeover recovery over opaque payloads: %v", err)
+	}
+	if !f.backups[0].Promoted() {
+		t.Fatal("epoch fence did not latch")
+	}
+	lsn2 := f.write(t, "p-1")
+	f.rec.Reset()
+	if err := f.log.ForceTo(lsn2); !errors.Is(err, ErrStaleReplica) {
+		t.Fatalf("ForceTo = %v, want ErrStaleReplica", err)
+	}
+	assertRepSeq(t, f.rec, []string{
+		"send 1->101 @16",
+		"call 1->101",
+		"ack 1->101 =16", // refused in-band: durable unmoved, epoch 2
+		"send 1->102 @16",
+		"call 1->102",
+		"recv[102] =32",
+		"ack 1->102 =32",
+		// no quorum line: a deposed primary makes no quorum claims
+	})
+	f.rec.Reset()
+	if err := f.log.ForceTo(lsn2); !errors.Is(err, ErrStaleReplica) {
+		t.Fatalf("fenced ForceTo = %v, want ErrStaleReplica", err)
+	}
+	if got := repSigs(f.rec); len(got) != 0 {
+		t.Fatalf("fenced primary moved messages: %q", got)
+	}
+}
+
+// The whole matrix is sweep-deterministic: the same scripted history —
+// writes, forces, crashes, heals, a cut, a failed force — produces a
+// byte-identical event stream on every run.
+func TestRepPartitionMatrixDeterministic(t *testing.T) {
+	script := func() []byte {
+		f := newLogFixture(t, 2)
+		force := func(lsn stablelog.LSN, wantErr error) {
+			t.Helper()
+			if err := f.log.ForceTo(lsn); !errors.Is(err, wantErr) {
+				t.Fatalf("ForceTo = %v, want %v", err, wantErr)
+			}
+		}
+		force(f.write(t, "s-0"), nil)
+		f.net.SetDown(101, true)
+		force(f.write(t, "s-1"), nil)
+		f.net.SetDown(102, true)
+		force(f.write(t, "s-2"), ErrQuorumLost)
+		f.net.SetDown(101, false)
+		force(f.write(t, "s-3"), nil)
+		f.net.SetDown(102, false)
+		f.net.Cut(ids.GuardianID(1), ids.GuardianID(101), true)
+		force(f.write(t, "s-4"), nil)
+		f.net.Cut(ids.GuardianID(1), ids.GuardianID(101), false)
+		force(f.write(t, "s-5"), nil)
+		return f.rec.Text()
+	}
+	first := script()
+	for i := 0; i < 3; i++ {
+		if again := script(); !bytes.Equal(first, again) {
+			t.Fatalf("run %d diverged from the first run:\n--- first\n%s\n--- run %d\n%s", i+2, first, i+2, again)
+		}
+	}
+}

@@ -1,0 +1,506 @@
+package replog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/obs"
+	"repro/internal/stablelog"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// defaultMaxShip bounds one append's frame run, comfortably inside the
+// wire layer's MaxPayload once the message and frame headers are added.
+const defaultMaxShip = 256 << 10
+
+// Config configures a Primary.
+type Config struct {
+	// Self is the primary's guardian id (the transport source address
+	// and the obs guardian stamp).
+	Self ids.GuardianID
+	// Site is the primary guardian's log site (guardian.Site()).
+	Site *stablelog.Site
+	// Quorum is how many durable copies a force needs, counting the
+	// primary's own — 2 with two backups is the 2-of-3 configuration.
+	// 1 disables the force gate (shipping still happens on probes and
+	// later rounds).
+	Quorum int
+	// Net delivers replica calls; netsim for simulation, the client
+	// transport for TCP.
+	Net transport.Transport
+	// Replicas are the backups, contacted in ascending id order.
+	Replicas []Replica
+	// Tracer receives rep.* events (nil traces nothing).
+	Tracer obs.Tracer
+	// Epoch is the starting replication epoch (default 1). A promoted
+	// backup's successor primary would start at its bumped epoch.
+	Epoch uint64
+	// MaxShip bounds the frame bytes of one append (default 256 KiB).
+	MaxShip int
+}
+
+// repState is the primary's book-keeping for one replica.
+type repState struct {
+	r  Replica
+	id ids.GuardianID
+	// acked is the replica's durably acknowledged prefix — its
+	// replication cursor. Meaningful only while !diverged.
+	acked uint64
+	// alive is whether the replica answered its most recent contact.
+	// A down replica keeps its acked bytes (they are on its disk); it
+	// stops contributing only new acks, not old ones.
+	alive bool
+	// diverged marks the cursor as naming bytes of a discarded log
+	// generation: the next contact opens with a snapshot offer, and
+	// the stale cursor is excluded from quorum arithmetic.
+	diverged bool
+}
+
+// Primary replicates one guardian's stable log. Install it with
+// guardian.SetReplicator; from then on every ForceTo on the guardian's
+// log blocks in WaitQuorum until the quorum holds the forced prefix.
+type Primary struct {
+	cfg     Config
+	tr      obs.Tracer
+	maxShip int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	epoch uint64
+	gen   uint64 // log generation the cursors refer to
+	reps  []repState
+	// deposed latches once any replica reports a higher epoch: a backup
+	// was promoted, and this primary must never acknowledge a commit
+	// again — even one that low-epoch replicas would still cover —
+	// because the promoted log is the history now (epochs only grow).
+	deposed bool
+	// quorumBytes is the largest prefix durably held by Quorum copies;
+	// monotone, so a round that loses replicas never un-acknowledges.
+	quorumBytes uint64
+
+	inFlight bool   // a leader is running a replication round
+	round    uint64 // completed rounds (for rider wakeups)
+	roundErr error  // outcome of the most recent round
+
+	rounds int // successful and failed rounds, for statistics
+	leads  int // WaitQuorum calls that led a round
+	rides  int // WaitQuorum calls that rode another caller's round
+}
+
+// NewPrimary validates cfg and returns a Primary ready to install.
+func NewPrimary(cfg Config) (*Primary, error) {
+	if cfg.Site == nil {
+		return nil, fmt.Errorf("replog: primary needs a log site")
+	}
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("replog: primary needs a transport")
+	}
+	if cfg.Quorum < 1 || cfg.Quorum > 1+len(cfg.Replicas) {
+		return nil, fmt.Errorf("replog: quorum %d out of range [1, %d]", cfg.Quorum, 1+len(cfg.Replicas))
+	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 1
+	}
+	if cfg.MaxShip <= 0 {
+		cfg.MaxShip = defaultMaxShip
+	}
+	p := &Primary{
+		cfg:     cfg,
+		tr:      obs.WithGuardian(cfg.Tracer, uint64(cfg.Self)),
+		maxShip: cfg.MaxShip,
+		epoch:   cfg.Epoch,
+		gen:     cfg.Site.Generation(),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.reps = make([]repState, len(cfg.Replicas))
+	for i, r := range cfg.Replicas {
+		p.reps[i] = repState{r: r, id: r.ID(), alive: true}
+	}
+	sort.Slice(p.reps, func(i, j int) bool { return p.reps[i].id < p.reps[j].id })
+	for i := 1; i < len(p.reps); i++ {
+		if p.reps[i].id == p.reps[i-1].id {
+			return nil, fmt.Errorf("replog: duplicate replica id %d", p.reps[i].id)
+		}
+	}
+	return p, nil
+}
+
+// WaitQuorum implements stablelog.Replicator: it blocks until a quorum
+// of copies durably holds the prefix covering lsn, coalescing
+// concurrent waiters into shared replication rounds exactly as the
+// force scheduler coalesces device forces — the entry at lsn is
+// already durable locally, so one round shipping up to the current
+// durable boundary covers every waiter of a shared force round.
+func (p *Primary) WaitQuorum(lsn stablelog.LSN) error {
+	if lsn == stablelog.NoLSN {
+		return nil
+	}
+	target := uint64(lsn)
+	p.mu.Lock()
+	if p.cfg.Quorum <= 1 {
+		p.mu.Unlock()
+		return nil
+	}
+	for {
+		if p.deposed {
+			p.mu.Unlock()
+			return ErrStaleReplica
+		}
+		p.syncGenLocked()
+		if target < p.quorumBytes {
+			p.mu.Unlock()
+			return nil
+		}
+		if !p.inFlight {
+			p.inFlight = true
+			p.leads++
+			p.mu.Unlock()
+			err := p.replicateRound()
+			p.mu.Lock()
+			p.inFlight = false
+			p.round++
+			p.roundErr = err
+			p.cond.Broadcast()
+			// Partial progress may cover this waiter even when the round
+			// as a whole fell short of its target.
+			if target < p.quorumBytes {
+				p.mu.Unlock()
+				return nil
+			}
+			if err != nil {
+				p.mu.Unlock()
+				return err
+			}
+			continue
+		}
+		// A round is in flight but may have snapshotted the durable
+		// boundary before our entry was forced: ride it, then re-check.
+		p.rides++
+		round := p.round
+		for p.round == round {
+			p.cond.Wait()
+		}
+		if target < p.quorumBytes {
+			p.mu.Unlock()
+			return nil
+		}
+		if p.roundErr != nil {
+			err := p.roundErr
+			p.mu.Unlock()
+			return err
+		}
+	}
+}
+
+// syncGenLocked re-reads the site's log generation. A housekeeping
+// switch restarts log addresses from zero, so across it every replica
+// cursor names bytes of the discarded generation (diverged: the next
+// contact opens with a snapshot offer) and the quorum boundary — bytes
+// of the old address space — must reset rather than falsely cover new
+// offsets. Caller holds p.mu.
+func (p *Primary) syncGenLocked() {
+	gen := p.cfg.Site.Generation()
+	if gen == p.gen {
+		return
+	}
+	p.gen = gen
+	for i := range p.reps {
+		p.reps[i].diverged = true
+	}
+	p.quorumBytes = 0
+}
+
+// shipWork is one replica's slice of a round, worked on outside p.mu.
+type shipWork struct {
+	idx      int
+	id       ids.GuardianID
+	r        Replica
+	cursor   uint64
+	alive    bool
+	diverged bool
+	stale    bool // the replica reported a higher epoch
+	shipped  int  // bytes delivered this round, for the catch-up event
+}
+
+// replicateRound ships the primary's durable prefix to every replica
+// and recomputes the quorum boundary. Called with p.mu released.
+func (p *Primary) replicateRound() error {
+	log := p.cfg.Site.Log()
+	target, _ := log.TailInfo()
+
+	p.mu.Lock()
+	p.syncGenLocked()
+	epoch := p.epoch
+	ws := make([]shipWork, len(p.reps))
+	for i := range p.reps {
+		s := &p.reps[i]
+		ws[i] = shipWork{idx: i, id: s.id, r: s.r, cursor: s.acked, alive: s.alive, diverged: s.diverged}
+	}
+	p.mu.Unlock()
+
+	stale := false
+	for i := range ws {
+		wasAlive := ws[i].alive
+		p.shipTo(&ws[i], epoch, target, log)
+		if ws[i].stale {
+			stale = true
+		}
+		if ws[i].alive && !wasAlive && p.tr != nil {
+			p.tr.Emit(obs.Event{Kind: obs.KindRepCatchup, From: uint64(p.cfg.Self), To: uint64(ws[i].id),
+				Durable: ws[i].cursor, Bytes: ws[i].shipped})
+		}
+	}
+
+	p.mu.Lock()
+	for i := range ws {
+		s := &p.reps[ws[i].idx]
+		s.acked = ws[i].cursor
+		s.alive = ws[i].alive
+		s.diverged = ws[i].diverged
+	}
+	if stale {
+		// Acks gathered after deposition must not advertise coverage:
+		// low-epoch replicas can no longer make an entry durable.
+		p.deposed = true
+	} else if qb := p.quorumLocked(target); qb > p.quorumBytes {
+		p.quorumBytes = qb
+	}
+	qbNow := p.quorumBytes
+	p.rounds++
+	p.mu.Unlock()
+
+	// A stale round emits no quorum event: the primary is deposed and no
+	// longer speaks for the replication group — in the trace, the
+	// promoted guardian's log.open is the next word about this gid.
+	if p.tr != nil && !stale {
+		p.tr.Emit(obs.Event{Kind: obs.KindRepQuorum, Durable: qbNow, OK: qbNow >= target})
+	}
+	if stale {
+		return ErrStaleReplica
+	}
+	if qbNow < target {
+		return ErrQuorumLost
+	}
+	return nil
+}
+
+// quorumLocked computes the largest prefix held durably by Quorum
+// copies: the primary's own durable boundary plus every
+// non-diverged replica's acked prefix (a down replica's disk still
+// holds its acked bytes). Caller holds p.mu.
+func (p *Primary) quorumLocked(selfDurable uint64) uint64 {
+	vals := make([]uint64, 0, 1+len(p.reps))
+	vals = append(vals, selfDurable)
+	for i := range p.reps {
+		if !p.reps[i].diverged {
+			vals = append(vals, p.reps[i].acked)
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+	if p.cfg.Quorum > len(vals) {
+		return 0
+	}
+	return vals[p.cfg.Quorum-1]
+}
+
+// shipTo brings one replica's durable prefix up to target. On return
+// w.cursor is the replica's acked prefix, w.alive whether it answered.
+func (p *Primary) shipTo(w *shipWork, epoch, target uint64, log *stablelog.Log) {
+	snapshotted := false
+	rewound := false
+	if w.diverged || w.cursor > target {
+		if !p.offerSnapshot(w, epoch) {
+			return
+		}
+		snapshotted = true
+	}
+	for w.cursor < target {
+		frames, prevLen, err := log.ReadRaw(w.cursor, p.maxShip)
+		if err != nil {
+			// The cursor does not name a frame boundary of our own log —
+			// divergence the generation check did not catch. Reset once.
+			if snapshotted {
+				w.alive = false
+				return
+			}
+			if !p.offerSnapshot(w, epoch) {
+				return
+			}
+			snapshotted = true
+			continue
+		}
+		if p.tr != nil {
+			p.tr.Emit(obs.Event{Kind: obs.KindRepSend, From: uint64(p.cfg.Self), To: uint64(w.id),
+				Durable: w.cursor, Bytes: len(frames)})
+		}
+		var ack wire.RepAck
+		app := wire.RepAppend{Epoch: epoch, Start: w.cursor, PrevLen: prevLen, Frames: frames}
+		callErr := p.cfg.Net.Call(p.cfg.Self, w.id, func() error {
+			var err error
+			ack, err = w.r.Append(app)
+			return err
+		})
+		if callErr != nil {
+			w.alive = false
+			return
+		}
+		if p.tr != nil {
+			p.tr.Emit(obs.Event{Kind: obs.KindRepAck, From: uint64(p.cfg.Self), To: uint64(w.id),
+				Durable: ack.Durable})
+		}
+		if ack.Epoch > epoch {
+			w.stale = true
+			w.alive = true
+			return
+		}
+		switch {
+		case ack.Durable > w.cursor:
+			w.shipped += int(ack.Durable - w.cursor)
+			w.cursor = ack.Durable
+		case ack.Durable < w.cursor:
+			// The replica is behind where the last ack left it (it
+			// restarted): adopt its actual tail and re-ship. Once per
+			// round, so a confused replica cannot ping-pong us.
+			if rewound {
+				w.alive = false
+				return
+			}
+			rewound = true
+			w.cursor = ack.Durable
+		default:
+			// Same offset, no progress: the back-chain check refused the
+			// run — divergent content. Offer a snapshot reset once.
+			if snapshotted {
+				w.alive = false
+				return
+			}
+			if !p.offerSnapshot(w, epoch) {
+				return
+			}
+			snapshotted = true
+		}
+	}
+	w.alive = true
+}
+
+// offerSnapshot tells the replica to discard its received log and
+// restart from offset zero. Returns false when the replica is
+// unreachable or stale; on success w.cursor is its post-reset ack.
+func (p *Primary) offerSnapshot(w *shipWork, epoch uint64) bool {
+	var ack wire.RepAck
+	snap := wire.RepSnapshot{Epoch: epoch}
+	callErr := p.cfg.Net.Call(p.cfg.Self, w.id, func() error {
+		var err error
+		ack, err = w.r.Snapshot(snap)
+		return err
+	})
+	if callErr != nil {
+		w.alive = false
+		return false
+	}
+	if ack.Epoch > epoch {
+		w.stale = true
+		w.alive = true
+		return false
+	}
+	w.cursor = ack.Durable
+	w.diverged = false
+	w.shipped = 0
+	return true
+}
+
+// Heartbeat probes every replica, refreshing liveness and acked
+// offsets without shipping data. It returns ErrStaleReplica when a
+// replica reports a higher epoch; unreachable replicas are recorded,
+// not errors.
+func (p *Primary) Heartbeat() error {
+	log := p.cfg.Site.Log()
+	durable, _ := log.TailInfo()
+	p.mu.Lock()
+	p.syncGenLocked()
+	epoch := p.epoch
+	ws := make([]shipWork, len(p.reps))
+	for i := range p.reps {
+		s := &p.reps[i]
+		ws[i] = shipWork{idx: i, id: s.id, r: s.r, cursor: s.acked, alive: s.alive, diverged: s.diverged}
+	}
+	p.mu.Unlock()
+
+	stale := false
+	hb := wire.RepHeartbeat{Epoch: epoch, Durable: durable}
+	for i := range ws {
+		w := &ws[i]
+		var ack wire.RepAck
+		callErr := p.cfg.Net.Call(p.cfg.Self, w.id, func() error {
+			var err error
+			ack, err = w.r.Heartbeat(hb)
+			return err
+		})
+		if callErr != nil {
+			w.alive = false
+			continue
+		}
+		w.alive = true
+		if ack.Epoch > epoch {
+			w.stale = true
+			stale = true
+			continue
+		}
+		if !w.diverged {
+			w.cursor = ack.Durable
+		}
+	}
+
+	p.mu.Lock()
+	for i := range ws {
+		s := &p.reps[ws[i].idx]
+		s.acked = ws[i].cursor
+		s.alive = ws[i].alive
+	}
+	if stale {
+		p.deposed = true
+	} else if qb := p.quorumLocked(durable); qb > p.quorumBytes {
+		p.quorumBytes = qb
+	}
+	p.mu.Unlock()
+	if stale {
+		return ErrStaleReplica
+	}
+	return nil
+}
+
+// Status reports the primary's replication health (the OpStatus
+// answer).
+func (p *Primary) Status() wire.RepStatus {
+	durable, _ := p.cfg.Site.Log().TailInfo()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	alive := 0
+	for i := range p.reps {
+		if p.reps[i].alive {
+			alive++
+		}
+	}
+	return wire.RepStatus{
+		Role:        wire.RolePrimary,
+		Epoch:       p.epoch,
+		Durable:     durable,
+		QuorumBytes: p.quorumBytes,
+		Quorum:      uint32(p.cfg.Quorum),
+		Replicas:    uint32(len(p.reps)),
+		Alive:       uint32(alive),
+	}
+}
+
+// Stats returns how many replication rounds ran, how many WaitQuorum
+// calls led one, and how many rode a round led by another caller —
+// the replication mirror of the force scheduler's statistics.
+func (p *Primary) Stats() (rounds, leads, rides int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rounds, p.leads, p.rides
+}

@@ -1,0 +1,89 @@
+// Package replog replicates a guardian's stable log to a set of backup
+// replicas: a Primary ships raw CRC-framed log records to K Backups
+// over a Transport, and a force on the primary's log completes only
+// when a configurable quorum of copies — counting the primary's own —
+// has the forced prefix durably.
+//
+// The thesis builds durability on a two-copy stable device (§3.1,
+// after Lampson–Sturgis); this package retells that story at node
+// granularity. The unit of shipping is the log record, not the page:
+// because stable-log frames are laid down contiguously from byte 0 and
+// each frame carries its own length, back-chain link, and CRC, a
+// backup that replays the shipped payloads through its own log
+// produces a byte-identical copy with identical LSNs. A promoted
+// backup therefore recovers by running the existing backward-scan
+// recovery (guardian.Open) over its received prefix — replication adds
+// no recovery code, only a second place to recover from.
+//
+// Protocol (rep.* messages, internal/wire):
+//
+//   - append: the primary ships the frame run [cursor, durable) to a
+//     replica; the replica validates the chain (stablelog.ParseFrames),
+//     applies and forces it, and acks its new durable offset.
+//   - ack: every reply carries (epoch, durable). A durable that did
+//     not advance is an in-band refusal — wrong offset or divergent
+//     back-chain — and the primary rewinds its cursor or escalates. An
+//     epoch above the primary's own means the primary was deposed
+//     (ErrStaleReplica).
+//   - heartbeat: liveness and lag probe; no data moves.
+//   - snapshot-offer: a lagging or diverged replica discards its
+//     received log (a fresh generation via the ch. 5 switch machinery)
+//     and re-acks offset 0; the primary then ships its whole current
+//     log — compacted by housekeeping to live state, which is exactly
+//     what keeps the "snapshot" small — through the append path.
+//
+// ForceTo integration: the Primary is a stablelog.Replicator. The
+// log's ForceTo first completes the local device force (through the
+// PR 3 group-commit scheduler), then calls WaitQuorum, where
+// concurrent waiters elect a leader exactly as force rounds do — one
+// replication round covers a shared force round. A quorum failure
+// surfaces as a ForceTo error, so the committing writer never
+// acknowledges the outcome and rolls the action back from its PAT:
+// zero acked-but-lost commits by construction.
+//
+// Determinism contract: the package spawns no goroutines and reads no
+// clocks or randomness; replicas are contacted in ascending id order;
+// every state change happens inside some caller's WaitQuorum,
+// Heartbeat, or handler call. Under netsim's deterministic delivery a
+// scripted history produces a byte-identical rep.* event stream — the
+// partition matrix asserts the same stream over netsim and loopback
+// TCP.
+package replog
+
+import (
+	"errors"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// ErrQuorumLost is returned by WaitQuorum (and therefore by ForceTo on
+// a replicated log) when fewer than the configured quorum of copies
+// durably hold the forced prefix. The entry is durable locally and may
+// yet reach the quorum through a later round — the caller must treat
+// the outcome as unacknowledged, the same ambiguity as a failed device
+// force.
+var ErrQuorumLost = errors.New("replog: quorum lost")
+
+// ErrStaleReplica is returned when a peer reports a higher replication
+// epoch than the caller's own: a backup has been promoted and this
+// primary is deposed. It must stop acknowledging commits immediately —
+// even if enough low-epoch replicas still answer — or the cluster
+// would serve two histories.
+var ErrStaleReplica = errors.New("replog: stale replica epoch")
+
+// Replica is the primary's view of one backup: the three rep.*
+// requests, answered synchronously with a durability ack. The
+// in-process Backup implements it directly; client.RemoteReplica
+// implements it over TCP against a rosd server hosting a Backup.
+type Replica interface {
+	// ID is the replica's transport address.
+	ID() ids.GuardianID
+	// Append validates, persists, and acks a shipped frame run.
+	Append(app wire.RepAppend) (wire.RepAck, error)
+	// Heartbeat answers a liveness probe with the replica's state.
+	Heartbeat(hb wire.RepHeartbeat) (wire.RepAck, error)
+	// Snapshot discards the replica's received log and re-acks from
+	// offset zero (the snapshot-offer for lagging replicas).
+	Snapshot(snap wire.RepSnapshot) (wire.RepAck, error)
+}

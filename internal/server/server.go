@@ -38,6 +38,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/object"
 	"repro/internal/obs"
+	"repro/internal/replog"
 	"repro/internal/transport"
 	"repro/internal/value"
 	"repro/internal/wire"
@@ -70,6 +71,22 @@ type Config struct {
 	// Tracer, when non-nil, receives the RPC lifecycle events:
 	// rpc.accept, rpc.dispatch, rpc.reply, rpc.timeout, rpc.drain.
 	Tracer obs.Tracer
+	// Backup, when non-nil, is the hosted replication receiver: the
+	// rep.* ops (append, heartbeat, snapshot) are dispatched to it, and
+	// OpPromote makes it take over as the served guardian. A server may
+	// start with a nil guardian when it hosts a backup — guardian ops
+	// answer StatusRetry until promotion installs the recovered
+	// guardian.
+	Backup *replog.Backup
+	// Status, when non-nil, answers OpStatus — a primary's rosd wires
+	// its replog.Primary.Status here. Defaults to the hosted backup's
+	// status, or a standalone report from the served guardian's log.
+	Status func() wire.RepStatus
+	// OnPromote, when non-nil, is called with the recovered guardian
+	// after OpPromote succeeds (once per promotion; the promote is
+	// idempotent but the hook fires only on the call that installed the
+	// guardian).
+	OnPromote func(*guardian.Guardian)
 }
 
 func (c Config) withDefaults() Config {
@@ -96,9 +113,11 @@ func (c Config) withDefaults() Config {
 
 // Server serves one guardian over TCP.
 type Server struct {
-	g   *guardian.Guardian
 	cfg Config
 	tr  obs.Tracer
+
+	gmu sync.Mutex
+	g   *guardian.Guardian // swapped by OpPromote on a backup server
 
 	work chan task
 
@@ -140,18 +159,35 @@ func (c *conn) close() {
 
 // New returns a Server over g. The guardian's handlers (registered
 // with RegisterHandler) are its external interface; the server adds
-// only the network in front of them.
+// only the network in front of them. g may be nil only when cfg hosts
+// a Backup: the server then serves nothing but the rep.* ops until an
+// OpPromote recovers and installs the guardian.
 func New(g *guardian.Guardian, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	gid := uint64(0)
+	switch {
+	case g != nil:
+		gid = uint64(g.ID())
+	case cfg.Backup != nil:
+		gid = uint64(cfg.Backup.ID())
+	}
 	s := &Server{
 		g:      g,
 		cfg:    cfg,
-		tr:     obs.WithGuardian(cfg.Tracer, uint64(g.ID())),
+		tr:     obs.WithGuardian(cfg.Tracer, gid),
 		work:   make(chan task, cfg.QueueDepth),
 		conns:  make(map[*conn]bool),
 		closed: make(chan struct{}),
 	}
 	return s
+}
+
+// guardian returns the currently served guardian (nil on a backup
+// server before promotion).
+func (s *Server) guardian() *guardian.Guardian {
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	return s.g
 }
 
 func (s *Server) emit(e obs.Event) {
@@ -352,34 +388,130 @@ func (s *Server) reply(c *conn, corrID uint64, resp wire.Response) {
 	s.emit(obs.Event{Kind: obs.KindRPCReply, From: c.serial, Code: uint8(resp.Status), OK: resp.Status == wire.StatusOK})
 }
 
-// execute runs one request against the guardian.
+// execute runs one request against the guardian (or, for the rep.*
+// ops, against the hosted backup).
 func (s *Server) execute(req wire.Request) wire.Response {
 	switch req.Op {
 	case wire.OpPing:
 		return wire.Response{Status: wire.StatusOK}
+	case wire.OpRepAppend, wire.OpRepHeartbeat, wire.OpRepSnapshot:
+		return s.replicate(req)
+	case wire.OpStatus:
+		return wire.Response{Status: wire.StatusOK, Result: wire.EncodeRepStatus(s.status())}
+	case wire.OpPromote:
+		return s.promote()
+	}
+	g := s.guardian()
+	if g == nil {
+		// A backup serves nothing until promoted; the client's retry
+		// loop rides out the failover window.
+		return wire.Response{Status: wire.StatusRetry, Err: "backup not promoted"}
+	}
+	switch req.Op {
 	case wire.OpInvoke:
-		return s.invoke(req)
+		return s.invoke(g, req)
 	case wire.OpPrepare:
-		vote, err := s.g.HandlePrepare(req.AID)
+		vote, err := g.HandlePrepare(req.AID)
 		if err != nil {
 			return failure(err)
 		}
 		return wire.Response{Status: wire.StatusOK, Vote: uint8(vote)}
 	case wire.OpCommit:
-		if err := s.g.HandleCommit(req.AID); err != nil {
+		if err := g.HandleCommit(req.AID); err != nil {
 			return failure(err)
 		}
 		return wire.Response{Status: wire.StatusOK}
 	case wire.OpAbort:
-		if err := s.g.HandleAbort(req.AID); err != nil {
+		if err := g.HandleAbort(req.AID); err != nil {
 			return failure(err)
 		}
 		return wire.Response{Status: wire.StatusOK}
 	case wire.OpOutcome:
-		return wire.Response{Status: wire.StatusOK, Outcome: uint8(s.g.OutcomeOf(req.AID))}
+		return wire.Response{Status: wire.StatusOK, Outcome: uint8(g.OutcomeOf(req.AID))}
 	default:
 		return wire.Response{Status: wire.StatusBadRequest, Err: fmt.Sprintf("unknown op %d", req.Op)}
 	}
+}
+
+// replicate dispatches one rep.* op to the hosted backup. The ack —
+// including the in-band refusal, which is an ack that did not advance
+// — is a StatusOK response carrying the encoded RepAck; only an
+// apply/force failure on the backup's own log is an error.
+func (s *Server) replicate(req wire.Request) wire.Response {
+	b := s.cfg.Backup
+	if b == nil {
+		return wire.Response{Status: wire.StatusBadRequest, Err: "not a backup"}
+	}
+	var ack wire.RepAck
+	var err error
+	switch req.Op {
+	case wire.OpRepAppend:
+		var app wire.RepAppend
+		if app, err = wire.DecodeRepAppend(req.Arg); err == nil {
+			ack, err = b.Append(app)
+		}
+	case wire.OpRepHeartbeat:
+		var hb wire.RepHeartbeat
+		if hb, err = wire.DecodeRepHeartbeat(req.Arg); err == nil {
+			ack, err = b.Heartbeat(hb)
+		}
+	case wire.OpRepSnapshot:
+		var snap wire.RepSnapshot
+		if snap, err = wire.DecodeRepSnapshot(req.Arg); err == nil {
+			ack, err = b.Snapshot(snap)
+		}
+	}
+	if err != nil {
+		if errors.Is(err, wire.ErrBadMessage) {
+			return wire.Response{Status: wire.StatusBadRequest, Err: err.Error()}
+		}
+		return wire.Response{Status: wire.StatusError, Err: err.Error()}
+	}
+	return wire.Response{Status: wire.StatusOK, Result: wire.EncodeRepAck(ack)}
+}
+
+// status answers OpStatus: the Config.Status hook when set (a
+// primary's rosd wires replog.Primary.Status there), else the hosted
+// backup's report, else a standalone report from the served guardian's
+// own log.
+func (s *Server) status() wire.RepStatus {
+	if s.cfg.Status != nil {
+		return s.cfg.Status()
+	}
+	if s.cfg.Backup != nil {
+		return s.cfg.Backup.Status()
+	}
+	st := wire.RepStatus{Role: wire.RoleStandalone}
+	if g := s.guardian(); g != nil {
+		if site := g.Site(); site != nil {
+			st.Durable, _ = site.Log().TailInfo()
+			st.QuorumBytes = st.Durable
+		}
+	}
+	return st
+}
+
+// promote makes the hosted backup take over: bump its epoch (fencing
+// the deposed primary), run crash recovery over the received prefix,
+// and install the recovered guardian as the served one. Idempotent —
+// a repeated promote re-answers the post-takeover status.
+func (s *Server) promote() wire.Response {
+	b := s.cfg.Backup
+	if b == nil {
+		return wire.Response{Status: wire.StatusBadRequest, Err: "not a backup"}
+	}
+	g, err := b.Promote()
+	if err != nil {
+		return wire.Response{Status: wire.StatusError, Err: err.Error()}
+	}
+	s.gmu.Lock()
+	installed := s.g != g
+	s.g = g
+	s.gmu.Unlock()
+	if installed && s.cfg.OnPromote != nil {
+		s.cfg.OnPromote(g)
+	}
+	return wire.Response{Status: wire.StatusOK, Result: wire.EncodeRepStatus(s.status())}
 }
 
 // invoke runs a handler call. With a zero AID the call is a complete
@@ -387,7 +519,7 @@ func (s *Server) execute(req wire.Request) wire.Response {
 // AID the guardian joins that action and runs the handler as a
 // subaction, staying live as a participant for the caller's eventual
 // prepare/commit/abort.
-func (s *Server) invoke(req wire.Request) wire.Response {
+func (s *Server) invoke(g *guardian.Guardian, req wire.Request) wire.Response {
 	var argv value.Value
 	if len(req.Arg) > 0 {
 		v, err := value.Unflatten(req.Arg)
@@ -399,13 +531,13 @@ func (s *Server) invoke(req wire.Request) wire.Response {
 	owned := req.AID.IsZero()
 	var a *guardian.Action
 	if owned {
-		a = s.g.Begin()
+		a = g.Begin()
 	} else {
-		a = s.g.Join(req.AID)
+		a = g.Join(req.AID)
 	}
 	// The network hop already happened; the in-process delivery is a
 	// loopback.
-	result, err := guardian.Call(transport.Loopback{}, a, s.g, req.Handler, argv)
+	result, err := guardian.Call(transport.Loopback{}, a, g, req.Handler, argv)
 	if err != nil {
 		if owned {
 			if aerr := a.Abort(); aerr != nil {
@@ -436,8 +568,18 @@ func failure(err error) wire.Response {
 	return wire.Response{Status: wire.StatusError, Err: err.Error()}
 }
 
-// Guardian returns the served guardian.
-func (s *Server) Guardian() *guardian.Guardian { return s.g }
+// Guardian returns the served guardian (nil on a backup server before
+// promotion).
+func (s *Server) Guardian() *guardian.Guardian { return s.guardian() }
 
-// ID returns the served guardian's id.
-func (s *Server) ID() ids.GuardianID { return s.g.ID() }
+// ID returns the served guardian's id — for an unpromoted backup
+// server, the backup's own id.
+func (s *Server) ID() ids.GuardianID {
+	if g := s.guardian(); g != nil {
+		return g.ID()
+	}
+	if s.cfg.Backup != nil {
+		return s.cfg.Backup.ID()
+	}
+	return 0
+}

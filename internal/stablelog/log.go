@@ -98,6 +98,11 @@ type Log struct {
 	// emit after unlocking where practical, so a sink never runs
 	// inside the log's locks except on the append path.
 	tr obs.Tracer
+
+	// rep, when non-nil, extends ForceTo with a replica quorum wait
+	// after local durability (see rep.go). Guarded by mu; the wait
+	// itself runs with every log lock released.
+	rep Replicator
 }
 
 // SetTracer installs (or, with nil, removes) the log's event tracer

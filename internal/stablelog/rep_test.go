@@ -1,0 +1,224 @@
+package stablelog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// repTestLog builds a forced log holding the given payloads and returns
+// it with its total frame length.
+func repTestLog(t testing.TB, payloads [][]byte) (*Log, uint64) {
+	t.Helper()
+	l, _, _ := freshLog(t, 128)
+	var total uint64
+	for _, p := range payloads {
+		lsn, err := l.Write(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(lsn) != total {
+			t.Fatalf("entry landed at %v, want %d", lsn, total)
+		}
+		total += uint64(frameHeaderSize + len(p))
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	return l, total
+}
+
+func TestTailInfo(t *testing.T) {
+	l, _, _ := freshLog(t, 128)
+	if d, last := l.TailInfo(); d != 0 || last != 0 {
+		t.Fatalf("empty log TailInfo = (%d, %d), want (0, 0)", d, last)
+	}
+	payload := []byte("hello stable log")
+	l2, total := repTestLog(t, [][]byte{[]byte("first"), payload})
+	d, last := l2.TailInfo()
+	if d != total {
+		t.Fatalf("durable = %d, want %d", d, total)
+	}
+	if want := uint32(frameHeaderSize + len(payload)); last != want {
+		t.Fatalf("last frame len = %d, want %d", last, want)
+	}
+}
+
+// ReadRaw excludes appended-but-unforced bytes: only locally durable
+// frames are ever shipped.
+func TestReadRawStopsAtDurableBoundary(t *testing.T) {
+	l, total := repTestLog(t, [][]byte{[]byte("durable entry")})
+	if _, err := l.Write([]byte("buffered entry")); err != nil {
+		t.Fatal(err)
+	}
+	raw, prevLen, err := l.ReadRaw(0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(raw)) != total || prevLen != 0 {
+		t.Fatalf("ReadRaw = %d bytes, chain %d; want %d bytes, chain 0", len(raw), prevLen, total)
+	}
+	if _, _, err := l.ReadRaw(total, 1<<20); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("ReadRaw at durable boundary: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// ReadRaw chunks on frame boundaries: walking the log with a small max
+// yields whole-frame runs that reparse to the original payload
+// sequence, each run carrying the back-chain value its first frame
+// needs.
+func TestReadRawChunksReparse(t *testing.T) {
+	var payloads [][]byte
+	for i := 0; i < 9; i++ {
+		payloads = append(payloads, bytes.Repeat([]byte{byte('a' + i)}, 5+i*7))
+	}
+	l, total := repTestLog(t, payloads)
+	var got [][]byte
+	cursor := uint64(0)
+	for cursor < total {
+		raw, prevLen, err := l.ReadRaw(cursor, 64)
+		if err != nil {
+			t.Fatalf("ReadRaw(%d): %v", cursor, err)
+		}
+		frames, err := ParseFrames(cursor, prevLen, raw)
+		if err != nil {
+			t.Fatalf("ParseFrames(%d): %v", cursor, err)
+		}
+		if len(frames) == 0 {
+			t.Fatalf("ReadRaw(%d) returned no whole frame", cursor)
+		}
+		for _, f := range frames {
+			if uint64(f.LSN) != cursor {
+				t.Fatalf("frame LSN %v, want %d", f.LSN, cursor)
+			}
+			got = append(got, append([]byte(nil), f.Payload...))
+			cursor += uint64(frameHeaderSize + len(f.Payload))
+		}
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("reparsed %d payloads, want %d", len(got), len(payloads))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("payload %d = %q, want %q", i, got[i], payloads[i])
+		}
+	}
+	// An offset inside a frame is not a boundary.
+	if _, _, err := l.ReadRaw(1, 1<<20); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("mid-frame ReadRaw: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// A frame larger than max still ships alone — progress is always
+// possible.
+func TestReadRawOversizeFrame(t *testing.T) {
+	big := bytes.Repeat([]byte{0xEE}, 400)
+	l, total := repTestLog(t, [][]byte{big})
+	raw, _, err := l.ReadRaw(0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(raw)) != total {
+		t.Fatalf("oversize frame shipped %d bytes, want %d", len(raw), total)
+	}
+}
+
+func TestParseFramesRejectsCorruption(t *testing.T) {
+	l, total := repTestLog(t, [][]byte{[]byte("alpha"), []byte("beta-beta")})
+	raw, _, err := l.ReadRaw(0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := frameHeaderSize + len("alpha")
+	cases := []struct {
+		name    string
+		start   uint64
+		prevLen uint32
+		b       []byte
+	}{
+		{"torn header", 0, 0, raw[:frameHeaderSize-2]},
+		{"torn payload", 0, 0, raw[:first-2]},
+		{"bad magic", 0, 0, func() []byte {
+			c := append([]byte(nil), raw...)
+			c[0] ^= 0xFF
+			return c
+		}()},
+		{"flipped payload bit", 0, 0, func() []byte {
+			c := append([]byte(nil), raw...)
+			c[frameHeaderSize] ^= 0x01
+			return c
+		}()},
+		{"wrong start chain", uint64(first), 0, raw[first:]},
+		{"duplicated frame", 0, 0, append(append([]byte(nil), raw[:first]...), raw[:first]...)},
+		{"reordered frames", 0, 0, append(append([]byte(nil), raw[first:]...), raw[:first]...)},
+	}
+	for _, tc := range cases {
+		if _, err := ParseFrames(tc.start, tc.prevLen, tc.b); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("%s: err = %v, want ErrBadFrame", tc.name, err)
+		}
+	}
+	// The untampered run parses in full, and an empty run is no frames.
+	if frames, err := ParseFrames(0, 0, raw); err != nil || len(frames) != 2 {
+		t.Fatalf("valid run: %d frames, %v", len(frames), err)
+	}
+	if frames, err := ParseFrames(total, 42, nil); err != nil || frames != nil {
+		t.Fatalf("empty run: %v, %v; want nil, nil", frames, err)
+	}
+}
+
+// FuzzDecodeRepFrame feeds arbitrary byte runs — including torn,
+// duplicated, and reordered frames from the seed corpus — to the
+// replication frame parser: no input may panic, and any accepted run
+// must re-encode byte-for-byte from its parsed frames (the frame chain
+// has exactly one valid serialization).
+func FuzzDecodeRepFrame(f *testing.F) {
+	mk := func(prevLen uint32, payloads ...[]byte) []byte {
+		var out []byte
+		for _, p := range payloads {
+			plen := uint32(len(p))
+			var hdr [frameHeaderSize]byte
+			hdr[0] = frameMagic
+			binary.LittleEndian.PutUint32(hdr[1:5], plen)
+			binary.LittleEndian.PutUint32(hdr[5:9], prevLen)
+			binary.LittleEndian.PutUint32(hdr[9:13], frameCRC(plen, prevLen, p))
+			out = append(out, hdr[:]...)
+			out = append(out, p...)
+			prevLen = frameHeaderSize + plen
+		}
+		return out
+	}
+	valid := mk(0, []byte("one"), []byte("two-two"), []byte(""))
+	f.Add(uint64(0), uint32(0), valid)
+	f.Add(uint64(0), uint32(0), valid[:len(valid)-2])                     // torn tail
+	f.Add(uint64(0), uint32(0), append(append([]byte(nil), valid...), valid...)) // duplicated run
+	f.Add(uint64(16), uint32(13), mk(13, []byte("resumed")))             // mid-log resume
+	f.Add(uint64(0), uint32(0), []byte{})
+	corrupt := append([]byte(nil), valid...)
+	corrupt[frameHeaderSize+1] ^= 0x80
+	f.Add(uint64(0), uint32(0), corrupt)
+
+	f.Fuzz(func(t *testing.T, start uint64, prevLen uint32, data []byte) {
+		frames, err := ParseFrames(start, prevLen, data)
+		if err != nil {
+			return
+		}
+		var re []byte
+		chain := prevLen
+		addr := start
+		for _, fr := range frames {
+			if uint64(fr.LSN) != addr {
+				t.Fatalf("frame LSN %v, want %d", fr.LSN, addr)
+			}
+			if fr.PrevLen != chain {
+				t.Fatalf("frame chain %d, want %d", fr.PrevLen, chain)
+			}
+			re = append(re, mk(chain, fr.Payload)...)
+			chain = frameHeaderSize + uint32(len(fr.Payload))
+			addr += uint64(frameHeaderSize + len(fr.Payload))
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatal("parsed frames do not re-encode to the input run")
+		}
+	})
+}

@@ -82,13 +82,15 @@ func (l *Log) covered(lsn LSN) bool {
 	return uint64(lsn) < l.durable
 }
 
-// ForceTo blocks until the entry written at lsn is on stable storage,
-// forcing the log if no other caller's force covers it first (§3.1
-// force_write semantics, split from the append). ForceTo(NoLSN) is a
-// no-op. On a force error every waiter of that round receives the
-// error; the entry is then not durable and the caller must not
-// acknowledge its outcome.
-func (l *Log) ForceTo(lsn LSN) error {
+// forceToLocal blocks until the entry written at lsn is on stable
+// storage, forcing the log if no other caller's force covers it first
+// (§3.1 force_write semantics, split from the append). It is the
+// device half of ForceTo (rep.go), which follows it with the quorum
+// wait when a replicator is installed. forceToLocal(NoLSN) is a no-op.
+// On a force error every waiter of that round receives the error; the
+// entry is then not durable and the caller must not acknowledge its
+// outcome.
+func (l *Log) forceToLocal(lsn LSN) error {
 	if lsn == NoLSN {
 		return nil
 	}

@@ -369,6 +369,26 @@ type Site struct {
 	// unambiguous (stage-one copy work is summarized by the
 	// housekeep.done event instead).
 	tr obs.Tracer
+	// repl is the replication hook applied to the current log and, at
+	// the switch, to its replacement — like tr, it must survive the
+	// housekeeping generation switch, or a primary would silently stop
+	// quorum-gating forces after its first housekeeping pass. The log
+	// housekeeping fills via NewLog is deliberately unreplicated: its
+	// fill forces are local copy work, and the replication cursor
+	// resynchronizes from the generation number after the switch.
+	repl Replicator
+}
+
+// SetReplicator installs the site's replication hook on the current log
+// (see Log.SetReplicator) and arranges for the log installed by a
+// future housekeeping Switch to inherit it.
+func (s *Site) SetReplicator(r Replicator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.repl = r
+	if s.log != nil {
+		s.log.SetReplicator(r)
+	}
 }
 
 // SetTracer installs the site's event tracer on the current log (which
@@ -533,6 +553,11 @@ func (s *Site) Switch(newLog *Log, gen uint64) error {
 	s.gen = gen
 	s.log = newLog
 	s.vol.Remove(old)
+	if s.repl != nil {
+		// Installed before the tracer so the first traced event of the
+		// new generation can never be an unreplicated force completion.
+		newLog.SetReplicator(s.repl)
+	}
 	if s.tr != nil {
 		// The new generation becomes the traced log from this point on;
 		// its log.open event carries the durable boundary housekeeping

@@ -39,15 +39,40 @@ const (
 	// OpOutcome asks the server's guardian, as coordinator of AID, for
 	// the action's fate (the §2.2.2 completion-phase query).
 	OpOutcome
+	// OpRepAppend ships a run of raw stable-log frames from a primary
+	// to a backup replica (rep.go); Arg is a RepAppend, Result a
+	// RepAck.
+	OpRepAppend
+	// OpRepHeartbeat probes a replica's liveness and durable offset
+	// without shipping data; Arg is a RepHeartbeat, Result a RepAck.
+	OpRepHeartbeat
+	// OpRepSnapshot tells a lagging or diverged replica to discard its
+	// received log and restart from offset zero of the primary's
+	// current generation; Arg is a RepSnapshot, Result a RepAck.
+	OpRepSnapshot
+	// OpStatus asks a server for its replication role, durable offset,
+	// and quorum health; Result is a RepStatus. Works on primaries,
+	// backups, and standalone servers alike.
+	OpStatus
+	// OpPromote orders a backup replica to take over as primary:
+	// recover over its received log prefix and begin serving. The
+	// failover decision is explicit and external (an operator or a
+	// controller), never taken by the replica itself.
+	OpPromote
 )
 
 var opNames = [...]string{
-	OpPing:    "ping",
-	OpInvoke:  "invoke",
-	OpPrepare: "prepare",
-	OpCommit:  "commit",
-	OpAbort:   "abort",
-	OpOutcome: "outcome",
+	OpPing:         "ping",
+	OpInvoke:       "invoke",
+	OpPrepare:      "prepare",
+	OpCommit:       "commit",
+	OpAbort:        "abort",
+	OpOutcome:      "outcome",
+	OpRepAppend:    "rep.append",
+	OpRepHeartbeat: "rep.heartbeat",
+	OpRepSnapshot:  "rep.snapshot",
+	OpStatus:       "status",
+	OpPromote:      "promote",
 }
 
 func (o Op) String() string {

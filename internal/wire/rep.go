@@ -1,0 +1,233 @@
+// Replication and introspection messages (OpRepAppend, OpRepHeartbeat,
+// OpRepSnapshot, OpStatus). They travel inside Request.Arg /
+// Response.Result, so the frame layer's CRC and correlation ids apply
+// unchanged; the codecs here follow the same rules as message.go —
+// explicit little-endian fields, uvarint byte strings, exactly one
+// valid encoding, every bound checked before slicing.
+//
+// The shipped log frames themselves (RepAppend.Frames) are opaque to
+// this layer: they carry their own per-frame CRC chain, validated by
+// stablelog.ParseFrames on the receiver, so corruption is detected
+// end to end even if it slips past the transport CRC.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Role is a server's replication role, reported by OpStatus.
+type Role uint8
+
+const (
+	// RoleStandalone: an unreplicated server (no primary, no backups).
+	RoleStandalone Role = iota + 1
+	// RolePrimary: ships log frames to backups and quorum-gates forces.
+	RolePrimary
+	// RoleBackup: receives, persists, and acks shipped frames; serves
+	// nothing until promoted.
+	RoleBackup
+)
+
+var roleNames = [...]string{
+	RoleStandalone: "standalone",
+	RolePrimary:    "primary",
+	RoleBackup:     "backup",
+}
+
+func (r Role) String() string {
+	if int(r) < len(roleNames) && roleNames[r] != "" {
+		return roleNames[r]
+	}
+	return fmt.Sprintf("role(%d)", uint8(r))
+}
+
+// RepAppend ships a contiguous run of raw stable-log frames.
+type RepAppend struct {
+	// Epoch is the sender's replication epoch; it increases by one at
+	// every promotion, so a deposed primary's appends are recognizably
+	// stale (the receiver acks with its own, higher epoch and applies
+	// nothing).
+	Epoch uint64
+	// Start is the byte offset the run begins at; it must equal the
+	// receiver's durable tail or the receiver acks its actual tail and
+	// the sender rewinds.
+	Start uint64
+	// PrevLen is the frame length of the entry preceding Start (0 at
+	// offset 0), cross-checked against the receiver's own tail so a
+	// same-offset divergence is caught before any byte is applied.
+	PrevLen uint32
+	// Frames is the raw frame run (stablelog.ReadRaw output).
+	Frames []byte
+}
+
+// RepAck is a replica's durability acknowledgment, answering every
+// rep.* request. Durable not advancing past the request's Start is the
+// in-band refusal signal: the sender rewinds its cursor or escalates
+// to a snapshot; an Epoch above the sender's own means the sender has
+// been deposed.
+type RepAck struct {
+	// Epoch is the receiver's replication epoch.
+	Epoch uint64
+	// Durable is the receiver's durable log prefix in bytes.
+	Durable uint64
+}
+
+// RepHeartbeat probes a replica: no data, just the sender's epoch and
+// durable offset so the replica can report how far it lags.
+type RepHeartbeat struct {
+	// Epoch is the sender's replication epoch.
+	Epoch uint64
+	// Durable is the sender's durable log prefix in bytes.
+	Durable uint64
+}
+
+// RepSnapshot is the snapshot-offer for a lagging or diverged replica:
+// discard the received log entirely and re-ack offset 0. The primary
+// then ships its whole current log — compacted by housekeeping to live
+// state (ch. 5), which is exactly what makes the "snapshot" small —
+// through the ordinary append path.
+type RepSnapshot struct {
+	// Epoch is the sender's replication epoch.
+	Epoch uint64
+}
+
+// RepStatus answers OpStatus: the server's replication role and health.
+type RepStatus struct {
+	// Role is the server's current replication role.
+	Role Role
+	// Epoch is the server's replication epoch.
+	Epoch uint64
+	// Durable is the server's own durable log prefix in bytes.
+	Durable uint64
+	// QuorumBytes is the largest prefix durably acked by a quorum
+	// (primaries only; equals Durable elsewhere).
+	QuorumBytes uint64
+	// Quorum is the configured quorum size, counting the primary
+	// itself (primaries only).
+	Quorum uint32
+	// Replicas is the number of configured backups (primaries only).
+	Replicas uint32
+	// Alive is how many of those backups answered the most recent
+	// round or probe (primaries only).
+	Alive uint32
+}
+
+const (
+	repAckSize       = 16
+	repHeartbeatSize = 16
+	repSnapshotSize  = 8
+	repStatusSize    = 37
+)
+
+// EncodeRepAppend renders a as a request argument.
+func EncodeRepAppend(a RepAppend) []byte {
+	out := make([]byte, 0, 8+8+4+4+len(a.Frames))
+	out = binary.LittleEndian.AppendUint64(out, a.Epoch)
+	out = binary.LittleEndian.AppendUint64(out, a.Start)
+	out = binary.LittleEndian.AppendUint32(out, a.PrevLen)
+	return appendBytes(out, a.Frames)
+}
+
+// DecodeRepAppend parses a request argument as a RepAppend.
+func DecodeRepAppend(b []byte) (RepAppend, error) {
+	if len(b) < 8+8+4 {
+		return RepAppend{}, fmt.Errorf("%w: rep.append of %d bytes", ErrBadMessage, len(b))
+	}
+	var a RepAppend
+	a.Epoch = binary.LittleEndian.Uint64(b[0:8])
+	a.Start = binary.LittleEndian.Uint64(b[8:16])
+	a.PrevLen = binary.LittleEndian.Uint32(b[16:20])
+	frames, rest, err := takeBytes(b[20:])
+	if err != nil {
+		return RepAppend{}, err
+	}
+	if len(frames) > 0 {
+		a.Frames = frames
+	}
+	if len(rest) != 0 {
+		return RepAppend{}, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(rest))
+	}
+	return a, nil
+}
+
+// EncodeRepAck renders a as a response result.
+func EncodeRepAck(a RepAck) []byte {
+	out := make([]byte, 0, repAckSize)
+	out = binary.LittleEndian.AppendUint64(out, a.Epoch)
+	return binary.LittleEndian.AppendUint64(out, a.Durable)
+}
+
+// DecodeRepAck parses a response result as a RepAck.
+func DecodeRepAck(b []byte) (RepAck, error) {
+	if len(b) != repAckSize {
+		return RepAck{}, fmt.Errorf("%w: rep ack of %d bytes", ErrBadMessage, len(b))
+	}
+	return RepAck{
+		Epoch:   binary.LittleEndian.Uint64(b[0:8]),
+		Durable: binary.LittleEndian.Uint64(b[8:16]),
+	}, nil
+}
+
+// EncodeRepHeartbeat renders h as a request argument.
+func EncodeRepHeartbeat(h RepHeartbeat) []byte {
+	out := make([]byte, 0, repHeartbeatSize)
+	out = binary.LittleEndian.AppendUint64(out, h.Epoch)
+	return binary.LittleEndian.AppendUint64(out, h.Durable)
+}
+
+// DecodeRepHeartbeat parses a request argument as a RepHeartbeat.
+func DecodeRepHeartbeat(b []byte) (RepHeartbeat, error) {
+	if len(b) != repHeartbeatSize {
+		return RepHeartbeat{}, fmt.Errorf("%w: rep.heartbeat of %d bytes", ErrBadMessage, len(b))
+	}
+	return RepHeartbeat{
+		Epoch:   binary.LittleEndian.Uint64(b[0:8]),
+		Durable: binary.LittleEndian.Uint64(b[8:16]),
+	}, nil
+}
+
+// EncodeRepSnapshot renders s as a request argument.
+func EncodeRepSnapshot(s RepSnapshot) []byte {
+	out := make([]byte, 0, repSnapshotSize)
+	return binary.LittleEndian.AppendUint64(out, s.Epoch)
+}
+
+// DecodeRepSnapshot parses a request argument as a RepSnapshot.
+func DecodeRepSnapshot(b []byte) (RepSnapshot, error) {
+	if len(b) != repSnapshotSize {
+		return RepSnapshot{}, fmt.Errorf("%w: rep.snapshot of %d bytes", ErrBadMessage, len(b))
+	}
+	return RepSnapshot{Epoch: binary.LittleEndian.Uint64(b[0:8])}, nil
+}
+
+// EncodeRepStatus renders s as a response result.
+func EncodeRepStatus(s RepStatus) []byte {
+	out := make([]byte, 0, repStatusSize)
+	out = append(out, byte(s.Role))
+	out = binary.LittleEndian.AppendUint64(out, s.Epoch)
+	out = binary.LittleEndian.AppendUint64(out, s.Durable)
+	out = binary.LittleEndian.AppendUint64(out, s.QuorumBytes)
+	out = binary.LittleEndian.AppendUint32(out, s.Quorum)
+	out = binary.LittleEndian.AppendUint32(out, s.Replicas)
+	return binary.LittleEndian.AppendUint32(out, s.Alive)
+}
+
+// DecodeRepStatus parses a response result as a RepStatus.
+func DecodeRepStatus(b []byte) (RepStatus, error) {
+	if len(b) != repStatusSize {
+		return RepStatus{}, fmt.Errorf("%w: status of %d bytes", ErrBadMessage, len(b))
+	}
+	var s RepStatus
+	s.Role = Role(b[0])
+	if int(s.Role) >= len(roleNames) || roleNames[s.Role] == "" {
+		return RepStatus{}, fmt.Errorf("%w: unknown role %d", ErrBadMessage, b[0])
+	}
+	s.Epoch = binary.LittleEndian.Uint64(b[1:9])
+	s.Durable = binary.LittleEndian.Uint64(b[9:17])
+	s.QuorumBytes = binary.LittleEndian.Uint64(b[17:25])
+	s.Quorum = binary.LittleEndian.Uint32(b[25:29])
+	s.Replicas = binary.LittleEndian.Uint32(b[29:33])
+	s.Alive = binary.LittleEndian.Uint32(b[33:37])
+	return s, nil
+}

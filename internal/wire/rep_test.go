@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRepAppendRoundTrip(t *testing.T) {
+	cases := []RepAppend{
+		{},
+		{Epoch: 1, Start: 0, PrevLen: 0, Frames: []byte{0xA7, 1, 2, 3}},
+		{Epoch: 9, Start: 4096, PrevLen: 77, Frames: bytes.Repeat([]byte{0x5A}, 1000)},
+	}
+	for _, a := range cases {
+		got, err := DecodeRepAppend(EncodeRepAppend(a))
+		if err != nil {
+			t.Fatalf("DecodeRepAppend(%+v): %v", a, err)
+		}
+		if got.Epoch != a.Epoch || got.Start != a.Start || got.PrevLen != a.PrevLen || !bytes.Equal(got.Frames, a.Frames) {
+			t.Fatalf("round trip = %+v, want %+v", got, a)
+		}
+	}
+}
+
+func TestRepAppendRejectsTrailingBytes(t *testing.T) {
+	b := EncodeRepAppend(RepAppend{Epoch: 1, Frames: []byte("xyz")})
+	if _, err := DecodeRepAppend(append(b, 0)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("trailing byte: err = %v, want ErrBadMessage", err)
+	}
+	if _, err := DecodeRepAppend(b[:len(b)-1]); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("truncated frames: err = %v, want ErrBadMessage", err)
+	}
+	if _, err := DecodeRepAppend(nil); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("empty: err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestRepFixedCodecsRoundTrip(t *testing.T) {
+	ack := RepAck{Epoch: 3, Durable: 12345}
+	if got, err := DecodeRepAck(EncodeRepAck(ack)); err != nil || got != ack {
+		t.Fatalf("ack round trip = %+v, %v", got, err)
+	}
+	hb := RepHeartbeat{Epoch: 2, Durable: 512}
+	if got, err := DecodeRepHeartbeat(EncodeRepHeartbeat(hb)); err != nil || got != hb {
+		t.Fatalf("heartbeat round trip = %+v, %v", got, err)
+	}
+	snap := RepSnapshot{Epoch: 8}
+	if got, err := DecodeRepSnapshot(EncodeRepSnapshot(snap)); err != nil || got != snap {
+		t.Fatalf("snapshot round trip = %+v, %v", got, err)
+	}
+	st := RepStatus{Role: RolePrimary, Epoch: 4, Durable: 99, QuorumBytes: 88, Quorum: 2, Replicas: 2, Alive: 1}
+	if got, err := DecodeRepStatus(EncodeRepStatus(st)); err != nil || got != st {
+		t.Fatalf("status round trip = %+v, %v", got, err)
+	}
+	// Exact-size codecs reject any other length.
+	for _, n := range []int{0, 7, 15, 17, 36, 38} {
+		b := make([]byte, n)
+		if _, err := DecodeRepAck(b); err == nil && n != repAckSize {
+			t.Fatalf("ack accepted %d bytes", n)
+		}
+		if _, err := DecodeRepStatus(b); err == nil && n != repStatusSize {
+			t.Fatalf("status accepted %d bytes", n)
+		}
+	}
+}
+
+func TestRepStatusRejectsUnknownRole(t *testing.T) {
+	b := EncodeRepStatus(RepStatus{Role: RoleBackup})
+	b[0] = 0
+	if _, err := DecodeRepStatus(b); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("role 0: err = %v, want ErrBadMessage", err)
+	}
+	b[0] = 200
+	if _, err := DecodeRepStatus(b); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("role 200: err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for r, want := range map[Role]string{
+		RoleStandalone: "standalone",
+		RolePrimary:    "primary",
+		RoleBackup:     "backup",
+		Role(0):        "role(0)",
+		Role(9):        "role(9)",
+	} {
+		if got := r.String(); got != want {
+			t.Fatalf("Role(%d).String() = %q, want %q", uint8(r), got, want)
+		}
+	}
+}
+
+// FuzzDecodeRepMessage hits every replication codec with arbitrary
+// bytes: no input may panic, and any accepted input must re-encode to
+// the same bytes (one canonical form, like the other message codecs).
+func FuzzDecodeRepMessage(f *testing.F) {
+	f.Add(EncodeRepAppend(RepAppend{Epoch: 1, Start: 64, PrevLen: 13, Frames: []byte{0xA7, 0, 0}}))
+	f.Add(EncodeRepAck(RepAck{Epoch: 1, Durable: 77}))
+	f.Add(EncodeRepHeartbeat(RepHeartbeat{Epoch: 2, Durable: 13}))
+	f.Add(EncodeRepSnapshot(RepSnapshot{Epoch: 3}))
+	f.Add(EncodeRepStatus(RepStatus{Role: RoleBackup, Epoch: 2, Durable: 42}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if a, err := DecodeRepAppend(data); err == nil {
+			if !bytes.Equal(EncodeRepAppend(a), data) {
+				t.Fatal("rep.append decode/encode not canonical")
+			}
+		}
+		if a, err := DecodeRepAck(data); err == nil {
+			if !bytes.Equal(EncodeRepAck(a), data) {
+				t.Fatal("rep ack decode/encode not canonical")
+			}
+		}
+		if h, err := DecodeRepHeartbeat(data); err == nil {
+			if !bytes.Equal(EncodeRepHeartbeat(h), data) {
+				t.Fatal("rep.heartbeat decode/encode not canonical")
+			}
+		}
+		if s, err := DecodeRepSnapshot(data); err == nil {
+			if !bytes.Equal(EncodeRepSnapshot(s), data) {
+				t.Fatal("rep.snapshot decode/encode not canonical")
+			}
+		}
+		if s, err := DecodeRepStatus(data); err == nil {
+			if !bytes.Equal(EncodeRepStatus(s), data) {
+				t.Fatal("status decode/encode not canonical")
+			}
+		}
+	})
+}
