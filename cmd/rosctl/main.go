@@ -13,8 +13,15 @@
 //	incr <key> [delta]    add delta (default 1) and print the new total
 //	status                report replication role, epoch, durable and
 //	                      quorum-acked log bytes, and replica health
-//	promote               make the server's hosted backup take over as
-//	                      the guardian (explicit failover; idempotent)
+//	promote [minAcked]    make the server's hosted backup take over as
+//	                      the guardian (explicit failover; idempotent).
+//	                      With minAcked — the deposed primary's last
+//	                      quorum-acked byte count, from its final
+//	                      status report — the server refuses a backup
+//	                      whose received log is shorter: promoting it
+//	                      would silently drop an acknowledged commit
+//	                      held only by a longer, unreachable copy.
+//	                      Without minAcked the promotion is forced.
 //
 // Every command runs as one complete atomic action at the server: put
 // and incr are committed (and durable) before rosctl prints.
@@ -107,7 +114,20 @@ func run(args []string) error {
 		printStatus(st)
 		return nil
 	case "promote":
-		st, err := c.Promote()
+		if len(args) > 2 {
+			return fmt.Errorf("usage: rosctl promote [minAckedBytes]")
+		}
+		var st wire.RepStatus
+		var err error
+		if len(args) == 2 {
+			min, perr := strconv.ParseUint(args[1], 10, 64)
+			if perr != nil {
+				return fmt.Errorf("minAckedBytes %q: %v", args[1], perr)
+			}
+			st, err = c.PromoteMin(min)
+		} else {
+			st, err = c.Promote()
+		}
 		if err != nil {
 			return err
 		}

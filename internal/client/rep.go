@@ -62,9 +62,26 @@ func (c *Client) Status() (wire.RepStatus, error) {
 }
 
 // Promote tells the server's hosted backup to take over as the
-// guardian and returns the post-takeover status. Idempotent.
+// guardian unconditionally and returns the post-takeover status.
+// Idempotent. Prefer PromoteMin during a failover: it refuses a
+// candidate whose received prefix is shorter than the deposed
+// primary's last quorum-acked boundary.
 func (c *Client) Promote() (wire.RepStatus, error) {
-	resp, err := c.Do(wire.Request{Op: wire.OpPromote})
+	return c.promote(nil)
+}
+
+// PromoteMin is Promote with a safety floor: the server refuses the
+// takeover when the backup's durable log prefix is below minDurable
+// bytes. Operators pass the deposed primary's last quorum-acked
+// boundary (Status().QuorumBytes), so an acknowledged commit that
+// lives only on a longer, currently unreachable copy cannot be
+// silently dropped by promoting the wrong survivor.
+func (c *Client) PromoteMin(minDurable uint64) (wire.RepStatus, error) {
+	return c.promote(wire.EncodeRepPromote(wire.RepPromote{MinDurable: minDurable}))
+}
+
+func (c *Client) promote(arg []byte) (wire.RepStatus, error) {
+	resp, err := c.Do(wire.Request{Op: wire.OpPromote, Arg: arg})
 	if err != nil {
 		return wire.RepStatus{}, err
 	}

@@ -94,8 +94,9 @@ func NewBackup(cfg BackupConfig) (*Backup, error) {
 func (b *Backup) ID() ids.GuardianID { return b.cfg.ID }
 
 // refuseLocked acks the backup's current state without applying
-// anything: the in-band refusal (durable did not advance) or, for a
-// stale sender, the higher-epoch notice. Caller holds b.mu.
+// anything: the in-band refusal (Applied false, Durable naming the
+// unchanged tail) or, for a stale sender, the higher-epoch notice.
+// Caller holds b.mu.
 func (b *Backup) refuseLocked() wire.RepAck {
 	durable, _ := b.site.Log().TailInfo()
 	return wire.RepAck{Epoch: b.epoch, Durable: durable}
@@ -141,7 +142,7 @@ func (b *Backup) Append(app wire.RepAppend) (wire.RepAck, error) {
 	if b.tr != nil {
 		b.tr.Emit(obs.Event{Kind: obs.KindRepRecv, Durable: newDurable, Bytes: len(app.Frames)})
 	}
-	return wire.RepAck{Epoch: b.epoch, Durable: newDurable}, nil
+	return wire.RepAck{Epoch: b.epoch, Durable: newDurable, Applied: true}, nil
 }
 
 // Heartbeat implements Replica.
@@ -175,7 +176,7 @@ func (b *Backup) Snapshot(snap wire.RepSnapshot) (wire.RepAck, error) {
 	if b.tr != nil {
 		b.tr.Emit(obs.Event{Kind: obs.KindRepCatchup, Durable: 0})
 	}
-	return wire.RepAck{Epoch: b.epoch, Durable: 0}, nil
+	return wire.RepAck{Epoch: b.epoch, Durable: 0, Applied: true}, nil
 }
 
 // Promote makes the backup take over as the guardian: it bumps the

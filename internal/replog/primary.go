@@ -291,7 +291,9 @@ func (p *Primary) replicateRound() error {
 // quorumLocked computes the largest prefix held durably by Quorum
 // copies: the primary's own durable boundary plus every
 // non-diverged replica's acked prefix (a down replica's disk still
-// holds its acked bytes). Caller holds p.mu.
+// holds its acked bytes). The result is capped at selfDurable — quorum
+// coverage can never exceed the bytes the primary actually holds, no
+// matter what offsets replicas report. Caller holds p.mu.
 func (p *Primary) quorumLocked(selfDurable uint64) uint64 {
 	vals := make([]uint64, 0, 1+len(p.reps))
 	vals = append(vals, selfDurable)
@@ -304,7 +306,10 @@ func (p *Primary) quorumLocked(selfDurable uint64) uint64 {
 	if p.cfg.Quorum > len(vals) {
 		return 0
 	}
-	return vals[p.cfg.Quorum-1]
+	if q := vals[p.cfg.Quorum-1]; q < selfDurable {
+		return q
+	}
+	return selfDurable
 }
 
 // shipTo brings one replica's durable prefix up to target. On return
@@ -348,23 +353,30 @@ func (p *Primary) shipTo(w *shipWork, epoch, target uint64, log *stablelog.Log) 
 			w.alive = false
 			return
 		}
+		w.alive = true
 		if p.tr != nil {
 			p.tr.Emit(obs.Event{Kind: obs.KindRepAck, From: uint64(p.cfg.Self), To: uint64(w.id),
 				Durable: ack.Durable})
 		}
 		if ack.Epoch > epoch {
 			w.stale = true
-			w.alive = true
 			return
 		}
 		switch {
-		case ack.Durable > w.cursor:
-			w.shipped += int(ack.Durable - w.cursor)
-			w.cursor = ack.Durable
-		case ack.Durable < w.cursor:
+		case ack.Applied && ack.Durable == w.cursor+uint64(len(frames)):
+			// The run was applied: the tail advanced by exactly the
+			// shipped bytes, whose content we know. Only this advances
+			// the cursor — an offset we did not ship this tenure may
+			// name old-history bytes (a replica rejoining after a
+			// failover) and must never count as replicated coverage.
+			w.shipped += len(frames)
+			w.cursor += uint64(len(frames))
+		case !ack.Applied && ack.Durable < w.cursor:
 			// The replica is behind where the last ack left it (it
 			// restarted): adopt its actual tail and re-ship. Once per
 			// round, so a confused replica cannot ping-pong us.
+			// Rewinding only shrinks the cursor, so it can only shrink
+			// quorum coverage, never fabricate it.
 			if rewound {
 				w.alive = false
 				return
@@ -372,8 +384,11 @@ func (p *Primary) shipTo(w *shipWork, epoch, target uint64, log *stablelog.Log) 
 			rewound = true
 			w.cursor = ack.Durable
 		default:
-			// Same offset, no progress: the back-chain check refused the
-			// run — divergent content. Offer a snapshot reset once.
+			// A refusal at or beyond the cursor: same-offset divergent
+			// content (the back-chain check said no), or a longer tail
+			// from a log this primary never wrote — either way the
+			// replica's bytes are not a prefix of ours. Offer a
+			// snapshot reset once.
 			if snapshotted {
 				w.alive = false
 				return
@@ -384,12 +399,12 @@ func (p *Primary) shipTo(w *shipWork, epoch, target uint64, log *stablelog.Log) 
 			snapshotted = true
 		}
 	}
-	w.alive = true
 }
 
 // offerSnapshot tells the replica to discard its received log and
 // restart from offset zero. Returns false when the replica is
-// unreachable or stale; on success w.cursor is its post-reset ack.
+// unreachable, stale, or did not perform the reset; on success
+// w.cursor is zero, the post-reset tail.
 func (p *Primary) offerSnapshot(w *shipWork, epoch uint64) bool {
 	var ack wire.RepAck
 	snap := wire.RepSnapshot{Epoch: epoch}
@@ -402,12 +417,19 @@ func (p *Primary) offerSnapshot(w *shipWork, epoch uint64) bool {
 		w.alive = false
 		return false
 	}
+	w.alive = true
 	if ack.Epoch > epoch {
 		w.stale = true
-		w.alive = true
 		return false
 	}
-	w.cursor = ack.Durable
+	if !ack.Applied || ack.Durable != 0 {
+		// The replica answered but did not reset. Whatever its tail
+		// holds, we did not ship it: keep the cursor out of quorum
+		// arithmetic until a later offer lands.
+		w.diverged = true
+		return false
+	}
+	w.cursor = 0
 	w.diverged = false
 	w.shipped = 0
 	return true
@@ -450,7 +472,13 @@ func (p *Primary) Heartbeat() error {
 			stale = true
 			continue
 		}
-		if !w.diverged {
+		// A heartbeat proves liveness and reveals lag; it says nothing
+		// about the content behind the replica's tail. Only rewind the
+		// cursor (the replica restarted and lost bytes we had counted)
+		// — advancing it would adopt bytes this primary never shipped,
+		// e.g. a rejoined replica's old-history tail, as quorum
+		// coverage. Advancement comes solely from validated appends.
+		if !w.diverged && ack.Durable < w.cursor {
 			w.cursor = ack.Durable
 		}
 	}

@@ -20,11 +20,17 @@
 //   - append: the primary ships the frame run [cursor, durable) to a
 //     replica; the replica validates the chain (stablelog.ParseFrames),
 //     applies and forces it, and acks its new durable offset.
-//   - ack: every reply carries (epoch, durable). A durable that did
-//     not advance is an in-band refusal — wrong offset or divergent
+//   - ack: every reply carries (epoch, durable, applied). Applied
+//     false is the in-band refusal — wrong offset or divergent
 //     back-chain — and the primary rewinds its cursor or escalates. An
 //     epoch above the primary's own means the primary was deposed
-//     (ErrStaleReplica).
+//     (ErrStaleReplica). The primary counts an ack toward quorum
+//     coverage only when it acknowledges exactly the bytes shipped
+//     this tenure: a tail the primary never shipped (a replica
+//     rejoining after a failover with old-history bytes) is divergence
+//     and draws a snapshot offer, never coverage — and the quorum
+//     boundary is additionally capped at the primary's own durable
+//     boundary.
 //   - heartbeat: liveness and lag probe; no data moves.
 //   - snapshot-offer: a lagging or diverged replica discards its
 //     received log (a fresh generation via the ch. 5 switch machinery)

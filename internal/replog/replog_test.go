@@ -1,7 +1,9 @@
 package replog
 
 import (
+	"bytes"
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -503,6 +505,179 @@ func TestDiskLossRewindsAndReships(t *testing.T) {
 		t.Fatalf("re-shipped backup durable = %d, want %d", got, want)
 	}
 	checkClean(t, f)
+}
+
+// preloadDivergent fills a backup with a forced log history this
+// test's primary never wrote — the state of a replica rejoining after
+// following a different (pre-failover) primary. Returns the divergent
+// durable byte count.
+func preloadDivergent(t *testing.T, b *Backup, entries int) uint64 {
+	t.Helper()
+	vol := stablelog.NewMemVolume(512)
+	site, err := stablelog.CreateSite(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := site.Log()
+	for i := 0; i < entries; i++ {
+		payload := []byte(fmt.Sprintf("old-history-%04d-%s", i, string(bytes.Repeat([]byte{0xEE}, 96))))
+		if _, err := log.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Force(); err != nil {
+		t.Fatal(err)
+	}
+	durable, _ := log.TailInfo()
+	raw, prevLen, err := log.ReadRaw(0, int(durable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := b.Append(wire.RepAppend{Epoch: 1, Start: 0, PrevLen: prevLen, Frames: raw})
+	if err != nil || !ack.Applied || ack.Durable != durable {
+		t.Fatalf("preload ack = %+v, %v, want %d bytes applied", ack, err, durable)
+	}
+	return durable
+}
+
+// A replica rejoining after a failover can hold a longer forced prefix
+// of the old history than the new primary's entire log. Its refusal
+// acks name offsets this primary never shipped; adopting them as
+// replicated progress would acknowledge commits durable on one true
+// copy only — an acked-but-lost commit at the next crash. The primary
+// must reset the replica with a snapshot offer and re-ship, and quorum
+// coverage must never exceed its own durable boundary.
+func TestRejoinedLongerOldHistoryIsResetNotCounted(t *testing.T) {
+	b := newBackup(t, 101, nil, nil)
+	divergent := preloadDivergent(t, b, 64)
+	f := newFixtureReps(t, 2, []Replica{b})
+	initCounter(t, f.g)
+	for _, d := range []int64{5, 7} {
+		if err := addCommit(f.g, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.p.Status()
+	if st.Durable >= divergent {
+		t.Fatalf("history (%d bytes) outgrew the divergent preload (%d); raise the preload", st.Durable, divergent)
+	}
+	if st.QuorumBytes > st.Durable {
+		t.Fatalf("quorum boundary %d exceeds the primary's %d durable bytes", st.QuorumBytes, st.Durable)
+	}
+	if st.QuorumBytes != st.Durable {
+		t.Fatalf("quorum boundary %d lags durable %d after acknowledged commits", st.QuorumBytes, st.Durable)
+	}
+	if got := b.Status().Durable; got != st.Durable {
+		t.Fatalf("backup durable = %d, want the old history (%d bytes) reset and re-shipped to %d", got, divergent, st.Durable)
+	}
+	// The shipped copy is the real history: a takeover recovers it.
+	g2, err := b.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := guardian.CheckRecovered(g2); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, g2); got != 12 {
+		t.Fatalf("promoted counter = %d, want 12", got)
+	}
+	checkClean(t, f)
+}
+
+// A heartbeat ack reveals the replica's tail but proves nothing about
+// the content behind it, so it may only rewind the cursor — adopting a
+// longer tail would let a rejoined replica's old-history bytes satisfy
+// the quorum without a single shipped frame.
+func TestHeartbeatNeverAdvancesQuorumCoverage(t *testing.T) {
+	b := newBackup(t, 101, nil, nil)
+	divergent := preloadDivergent(t, b, 64)
+	vol := stablelog.NewMemVolume(512)
+	site, err := stablelog.CreateSite(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := site.Log().ForceWrite([]byte("local-only entry")); err != nil {
+		t.Fatal(err)
+	}
+	durable, _ := site.Log().TailInfo()
+	p, err := NewPrimary(Config{Self: primaryID, Site: site, Quorum: 2, Net: netsim.New(), Replicas: []Replica{b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Status()
+	if st.Alive != 1 {
+		t.Fatalf("alive = %d after heartbeat, want 1", st.Alive)
+	}
+	if st.QuorumBytes != 0 {
+		t.Fatalf("heartbeat turned the replica's %d divergent bytes into %d quorum-covered bytes (primary durable %d) without shipping anything", divergent, st.QuorumBytes, durable)
+	}
+}
+
+// A replication round that never contacts a replica must not mark it
+// alive or emit rep.catchup for it: a caught-up-but-down replica used
+// to flip back to alive whenever the round target matched its cursor.
+func TestRoundWithoutContactLeavesReplicaDead(t *testing.T) {
+	f := newFixture(t, 3) // every copy must ack: rounds always run
+	f.net.SetDown(backupIDs[1], true)
+	log := f.g.Site().Log()
+	if _, err := log.ForceWrite([]byte("entry")); !errors.Is(err, ErrQuorumLost) {
+		t.Fatalf("force with backup %d down = %v, want ErrQuorumLost", backupIDs[1], err)
+	}
+	// Backup 101 acked the whole prefix; now it goes down too.
+	f.net.SetDown(backupIDs[0], true)
+	if err := f.p.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if alive := f.p.Status().Alive; alive != 0 {
+		t.Fatalf("alive = %d after heartbeat with both backups down, want 0", alive)
+	}
+	mark := f.rec.Len()
+	// 101's cursor equals the round target: the round has nothing to
+	// ship it and must not resurrect it without a call.
+	if err := f.p.WaitQuorum(stablelog.LSN(0)); !errors.Is(err, ErrQuorumLost) {
+		t.Fatalf("WaitQuorum = %v, want ErrQuorumLost", err)
+	}
+	if alive := f.p.Status().Alive; alive != 0 {
+		t.Fatalf("alive = %d after a no-contact round, want 0", alive)
+	}
+	for _, e := range f.rec.Events()[mark:] {
+		if e.Kind == obs.KindRepCatchup {
+			t.Fatalf("no-contact round emitted rep.catchup: %+v", e)
+		}
+	}
+	checkClean(t, f)
+}
+
+// MaxEntry exists for replication: ReadRaw ships whole frames and can
+// never split one across rep.appends, so the largest possible frame
+// plus the message envelopes must fit a single wire frame. This pins
+// the arithmetic against wire.MaxPayload.
+func TestMaxEntryFrameFitsWirePayload(t *testing.T) {
+	vol := stablelog.NewMemVolume(4096)
+	site, err := stablelog.CreateSite(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := site.Log()
+	if _, err := log.ForceWrite(make([]byte, stablelog.MaxEntry)); err != nil {
+		t.Fatal(err)
+	}
+	durable, _ := log.TailInfo()
+	raw, prevLen, err := log.ReadRaw(0, 1) // at least one frame: the whole max-size frame
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(raw)) != durable {
+		t.Fatalf("ReadRaw returned %d of %d durable bytes", len(raw), durable)
+	}
+	app := wire.RepAppend{Epoch: ^uint64(0), Start: ^uint64(0), PrevLen: prevLen, Frames: raw}
+	payload := wire.EncodeRequest(wire.Request{Op: wire.OpRepAppend, Arg: wire.EncodeRepAppend(app)})
+	if len(payload) > wire.MaxPayload {
+		t.Fatalf("a max-entry rep.append request is %d bytes, over wire.MaxPayload %d: no such entry could ever replicate", len(payload), wire.MaxPayload)
+	}
 }
 
 // Housekeeping switches the log generation: every replica cursor names

@@ -310,6 +310,48 @@ func TestRepFailoverOverTCP(t *testing.T) {
 	}
 }
 
+// A promotion carrying the deposed primary's quorum-acked floor must
+// refuse a backup whose received log is shorter: somewhere a longer
+// copy holds an acknowledged commit this one would silently drop.
+func TestPromoteFloorRefusesLaggingBackup(t *testing.T) {
+	b, err := replog.NewBackup(replog.BackupConfig{ID: 101, Primary: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, nil, Config{Backup: b})
+	c := client.New(addr, client.Options{})
+	t.Cleanup(func() {
+		if err := c.Close(); err != nil {
+			t.Errorf("client close: %v", err)
+		}
+	})
+
+	// The empty backup holds 0 durable bytes; any positive floor refuses.
+	if _, err := c.PromoteMin(1); err == nil {
+		t.Fatal("PromoteMin(1) on an empty backup succeeded; an acked commit on a longer copy would be lost")
+	} else if !errors.Is(err, wire.ErrRemote) {
+		t.Fatalf("PromoteMin(1) err = %v, want a remote status error", err)
+	}
+	if b.Promoted() {
+		t.Fatal("refused promotion still promoted the backup")
+	}
+
+	// A floor the backup meets promotes it (the non-empty-arg path).
+	st, err := c.PromoteMin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != wire.RolePrimary {
+		t.Fatalf("post-promote status = %+v, want primary", st)
+	}
+
+	// The floor only gates the takeover itself: re-promoting an already
+	// promoted backup stays idempotent whatever floor rides along.
+	if _, err := c.PromoteMin(1 << 30); err != nil {
+		t.Fatalf("idempotent re-promote with a floor: %v", err)
+	}
+}
+
 // OpStatus on a plain server reports standalone with its own log
 // boundary; the Config.Status hook overrides the report wholesale.
 func TestStatusOverTCP(t *testing.T) {

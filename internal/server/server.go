@@ -399,7 +399,7 @@ func (s *Server) execute(req wire.Request) wire.Response {
 	case wire.OpStatus:
 		return wire.Response{Status: wire.StatusOK, Result: wire.EncodeRepStatus(s.status())}
 	case wire.OpPromote:
-		return s.promote()
+		return s.promote(req)
 	}
 	g := s.guardian()
 	if g == nil {
@@ -494,11 +494,26 @@ func (s *Server) status() wire.RepStatus {
 // promote makes the hosted backup take over: bump its epoch (fencing
 // the deposed primary), run crash recovery over the received prefix,
 // and install the recovered guardian as the served one. Idempotent —
-// a repeated promote re-answers the post-takeover status.
-func (s *Server) promote() wire.Response {
+// a repeated promote re-answers the post-takeover status. A request
+// carrying a RepPromote floor is refused when the backup's received
+// prefix falls short of it: the operator is naming the deposed
+// primary's last quorum-acked boundary, and promoting a shorter
+// candidate would silently discard an acknowledged commit that lives
+// only on some other copy.
+func (s *Server) promote(req wire.Request) wire.Response {
 	b := s.cfg.Backup
 	if b == nil {
 		return wire.Response{Status: wire.StatusBadRequest, Err: "not a backup"}
+	}
+	floor, err := wire.DecodeRepPromote(req.Arg)
+	if err != nil {
+		return wire.Response{Status: wire.StatusBadRequest, Err: err.Error()}
+	}
+	if !b.Promoted() {
+		if durable := b.Status().Durable; durable < floor.MinDurable {
+			return wire.Response{Status: wire.StatusError,
+				Err: fmt.Sprintf("refusing promotion: candidate holds %d durable bytes, below the required quorum-acked %d; a longer copy exists elsewhere (promote without a floor to force)", durable, floor.MinDurable)}
+		}
 	}
 	g, err := b.Promote()
 	if err != nil {

@@ -60,6 +60,20 @@ const (
 	superSize     = 8 + 8 + 4 // durable bytes, last entry LSN, last frame len
 )
 
+// MaxEntry bounds one entry's payload. Replication ships whole frames
+// and can never split one (ReadRaw always returns at least one frame),
+// so a frame must fit a single rep.append request within the wire
+// layer's 1 MiB payload bound with room for the frame header and the
+// message envelopes — otherwise the entry could be written and forced
+// locally but never replicated, wedging every subsequent quorum wait.
+// The 1 KiB of slack comfortably covers those headers; a test in
+// internal/replog pins the arithmetic against wire.MaxPayload.
+const MaxEntry = 1<<20 - 1024
+
+// ErrEntryTooLarge is returned by Write and ForceWrite for a payload
+// exceeding MaxEntry.
+var ErrEntryTooLarge = errors.New("stablelog: entry exceeds MaxEntry")
+
 // ErrNoEntry is returned by Read for an address that does not hold an
 // entry.
 var ErrNoEntry = errors.New("stablelog: no entry at address")
@@ -298,7 +312,8 @@ func (l *Log) readDurable(off uint64, n int, limit uint64) ([]byte, error) {
 // Write appends an entry and returns its address. The entry is durable
 // only after a subsequent Force/ForceWrite ("the actual writing of the
 // data to the stable storage device may not have happened when this
-// operation returns", §3.1).
+// operation returns", §3.1). Payloads above MaxEntry are refused with
+// ErrEntryTooLarge — see the constant for why the bound exists.
 func (l *Log) Write(payload []byte) (LSN, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -306,6 +321,9 @@ func (l *Log) Write(payload []byte) (LSN, error) {
 }
 
 func (l *Log) writeLocked(payload []byte) (LSN, error) {
+	if len(payload) > MaxEntry {
+		return NoLSN, fmt.Errorf("%w: %d > %d bytes", ErrEntryTooLarge, len(payload), MaxEntry)
+	}
 	lsn := LSN(l.tail)
 	frame := make([]byte, frameHeaderSize+len(payload))
 	frame[0] = frameMagic

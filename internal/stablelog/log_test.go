@@ -2,6 +2,7 @@ package stablelog
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -37,6 +38,30 @@ func reopen(t *testing.T, a, b *stable.MemDevice) *Log {
 		t.Fatal(err)
 	}
 	return l
+}
+
+// Write bounds payloads at MaxEntry: an unbounded entry could become
+// locally durable yet never fit a single replication append, wedging
+// every later quorum wait (see the MaxEntry comment).
+func TestWriteRefusesOversizeEntry(t *testing.T) {
+	l, _, _ := freshLog(t, 4096)
+	if _, err := l.Write(make([]byte, MaxEntry+1)); !errors.Is(err, ErrEntryTooLarge) {
+		t.Fatalf("Write(MaxEntry+1) err = %v, want ErrEntryTooLarge", err)
+	}
+	if _, err := l.ForceWrite(make([]byte, MaxEntry+1)); !errors.Is(err, ErrEntryTooLarge) {
+		t.Fatalf("ForceWrite(MaxEntry+1) err = %v, want ErrEntryTooLarge", err)
+	}
+	if n := l.Entries(); n != 0 {
+		t.Fatalf("refused writes left %d entries", n)
+	}
+	lsn, err := l.ForceWrite(make([]byte, MaxEntry))
+	if err != nil {
+		t.Fatalf("ForceWrite(MaxEntry) = %v", err)
+	}
+	got, err := l.Read(lsn)
+	if err != nil || len(got) != MaxEntry {
+		t.Fatalf("Read(max entry) = %d bytes, %v", len(got), err)
+	}
 }
 
 func TestWriteForceRead(t *testing.T) {

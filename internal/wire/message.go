@@ -57,7 +57,11 @@ const (
 	// OpPromote orders a backup replica to take over as primary:
 	// recover over its received log prefix and begin serving. The
 	// failover decision is explicit and external (an operator or a
-	// controller), never taken by the replica itself.
+	// controller), never taken by the replica itself. Arg optionally
+	// carries a RepPromote safety floor: the promotion is refused when
+	// the candidate's durable prefix falls short of it, so an operator
+	// cannot silently discard a quorum-acknowledged commit by
+	// promoting a lagging backup (an empty Arg imposes no floor).
 	OpPromote
 )
 

@@ -62,15 +62,25 @@ type RepAppend struct {
 }
 
 // RepAck is a replica's durability acknowledgment, answering every
-// rep.* request. Durable not advancing past the request's Start is the
-// in-band refusal signal: the sender rewinds its cursor or escalates
-// to a snapshot; an Epoch above the sender's own means the sender has
-// been deposed.
+// rep.* request. Applied distinguishes the in-band refusal explicitly,
+// so a sender never has to infer the outcome from the Durable offset
+// alone — a refusing replica's tail can coincide byte-for-byte with
+// the offset an applied run would have reached (a rejoined replica
+// holding old-history bytes), and offsets the sender never shipped
+// must never be adopted as replicated coverage. An Epoch above the
+// sender's own means the sender has been deposed.
 type RepAck struct {
 	// Epoch is the receiver's replication epoch.
 	Epoch uint64
 	// Durable is the receiver's durable log prefix in bytes.
 	Durable uint64
+	// Applied reports that the request's mutation took effect: an
+	// append's run was validated, persisted, and forced, or a snapshot
+	// offer's reset completed. False is the refusal (or, for a
+	// heartbeat, simply "nothing to apply"): Durable names the
+	// receiver's unchanged tail, whose content the sender must not
+	// assume matches its own log.
+	Applied bool
 }
 
 // RepHeartbeat probes a replica: no data, just the sender's epoch and
@@ -90,6 +100,19 @@ type RepHeartbeat struct {
 type RepSnapshot struct {
 	// Epoch is the sender's replication epoch.
 	Epoch uint64
+}
+
+// RepPromote is the optional argument of OpPromote: the operator's
+// safety floor for an explicit failover.
+type RepPromote struct {
+	// MinDurable refuses the promotion unless the candidate backup's
+	// durable log prefix is at least this many bytes. Operators pass
+	// the deposed primary's last quorum-acked boundary (the
+	// QuorumBytes line of a status report), so a reachable-but-lagging
+	// backup cannot be promoted over an acknowledged commit that lives
+	// only on an unreachable peer. Zero imposes no floor — the forced
+	// promotion, and what a bare OpPromote (empty argument) means.
+	MinDurable uint64
 }
 
 // RepStatus answers OpStatus: the server's replication role and health.
@@ -114,9 +137,10 @@ type RepStatus struct {
 }
 
 const (
-	repAckSize       = 16
+	repAckSize       = 17
 	repHeartbeatSize = 16
 	repSnapshotSize  = 8
+	repPromoteSize   = 8
 	repStatusSize    = 37
 )
 
@@ -155,7 +179,12 @@ func DecodeRepAppend(b []byte) (RepAppend, error) {
 func EncodeRepAck(a RepAck) []byte {
 	out := make([]byte, 0, repAckSize)
 	out = binary.LittleEndian.AppendUint64(out, a.Epoch)
-	return binary.LittleEndian.AppendUint64(out, a.Durable)
+	out = binary.LittleEndian.AppendUint64(out, a.Durable)
+	applied := byte(0)
+	if a.Applied {
+		applied = 1
+	}
+	return append(out, applied)
 }
 
 // DecodeRepAck parses a response result as a RepAck.
@@ -163,9 +192,13 @@ func DecodeRepAck(b []byte) (RepAck, error) {
 	if len(b) != repAckSize {
 		return RepAck{}, fmt.Errorf("%w: rep ack of %d bytes", ErrBadMessage, len(b))
 	}
+	if b[16] > 1 {
+		return RepAck{}, fmt.Errorf("%w: rep ack applied byte %d", ErrBadMessage, b[16])
+	}
 	return RepAck{
 		Epoch:   binary.LittleEndian.Uint64(b[0:8]),
 		Durable: binary.LittleEndian.Uint64(b[8:16]),
+		Applied: b[16] == 1,
 	}, nil
 }
 
@@ -199,6 +232,25 @@ func DecodeRepSnapshot(b []byte) (RepSnapshot, error) {
 		return RepSnapshot{}, fmt.Errorf("%w: rep.snapshot of %d bytes", ErrBadMessage, len(b))
 	}
 	return RepSnapshot{Epoch: binary.LittleEndian.Uint64(b[0:8])}, nil
+}
+
+// EncodeRepPromote renders p as a request argument.
+func EncodeRepPromote(p RepPromote) []byte {
+	out := make([]byte, 0, repPromoteSize)
+	return binary.LittleEndian.AppendUint64(out, p.MinDurable)
+}
+
+// DecodeRepPromote parses a request argument as a RepPromote. An empty
+// argument — what a pre-floor client sends — decodes to the zero
+// floor.
+func DecodeRepPromote(b []byte) (RepPromote, error) {
+	if len(b) == 0 {
+		return RepPromote{}, nil
+	}
+	if len(b) != repPromoteSize {
+		return RepPromote{}, fmt.Errorf("%w: promote of %d bytes", ErrBadMessage, len(b))
+	}
+	return RepPromote{MinDurable: binary.LittleEndian.Uint64(b[0:8])}, nil
 }
 
 // EncodeRepStatus renders s as a response result.

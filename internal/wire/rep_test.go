@@ -37,9 +37,19 @@ func TestRepAppendRejectsTrailingBytes(t *testing.T) {
 }
 
 func TestRepFixedCodecsRoundTrip(t *testing.T) {
-	ack := RepAck{Epoch: 3, Durable: 12345}
-	if got, err := DecodeRepAck(EncodeRepAck(ack)); err != nil || got != ack {
-		t.Fatalf("ack round trip = %+v, %v", got, err)
+	for _, ack := range []RepAck{
+		{Epoch: 3, Durable: 12345},
+		{Epoch: 3, Durable: 12345, Applied: true},
+	} {
+		if got, err := DecodeRepAck(EncodeRepAck(ack)); err != nil || got != ack {
+			t.Fatalf("ack round trip = %+v, %v", got, err)
+		}
+	}
+	// The applied byte has exactly two valid values.
+	bad := EncodeRepAck(RepAck{Epoch: 1, Durable: 2, Applied: true})
+	bad[16] = 2
+	if _, err := DecodeRepAck(bad); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("applied byte 2: err = %v, want ErrBadMessage", err)
 	}
 	hb := RepHeartbeat{Epoch: 2, Durable: 512}
 	if got, err := DecodeRepHeartbeat(EncodeRepHeartbeat(hb)); err != nil || got != hb {
@@ -48,6 +58,17 @@ func TestRepFixedCodecsRoundTrip(t *testing.T) {
 	snap := RepSnapshot{Epoch: 8}
 	if got, err := DecodeRepSnapshot(EncodeRepSnapshot(snap)); err != nil || got != snap {
 		t.Fatalf("snapshot round trip = %+v, %v", got, err)
+	}
+	pr := RepPromote{MinDurable: 4096}
+	if got, err := DecodeRepPromote(EncodeRepPromote(pr)); err != nil || got != pr {
+		t.Fatalf("promote round trip = %+v, %v", got, err)
+	}
+	// A bare OpPromote carries no argument: the zero floor.
+	if got, err := DecodeRepPromote(nil); err != nil || got != (RepPromote{}) {
+		t.Fatalf("empty promote = %+v, %v, want zero floor", got, err)
+	}
+	if _, err := DecodeRepPromote(make([]byte, 7)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("7-byte promote: err = %v, want ErrBadMessage", err)
 	}
 	st := RepStatus{Role: RolePrimary, Epoch: 4, Durable: 99, QuorumBytes: 88, Quorum: 2, Replicas: 2, Alive: 1}
 	if got, err := DecodeRepStatus(EncodeRepStatus(st)); err != nil || got != st {
@@ -96,9 +117,10 @@ func TestRoleString(t *testing.T) {
 // the same bytes (one canonical form, like the other message codecs).
 func FuzzDecodeRepMessage(f *testing.F) {
 	f.Add(EncodeRepAppend(RepAppend{Epoch: 1, Start: 64, PrevLen: 13, Frames: []byte{0xA7, 0, 0}}))
-	f.Add(EncodeRepAck(RepAck{Epoch: 1, Durable: 77}))
+	f.Add(EncodeRepAck(RepAck{Epoch: 1, Durable: 77, Applied: true}))
 	f.Add(EncodeRepHeartbeat(RepHeartbeat{Epoch: 2, Durable: 13}))
 	f.Add(EncodeRepSnapshot(RepSnapshot{Epoch: 3}))
+	f.Add(EncodeRepPromote(RepPromote{MinDurable: 512}))
 	f.Add(EncodeRepStatus(RepStatus{Role: RoleBackup, Epoch: 2, Durable: 42}))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -120,6 +142,13 @@ func FuzzDecodeRepMessage(f *testing.F) {
 		if s, err := DecodeRepSnapshot(data); err == nil {
 			if !bytes.Equal(EncodeRepSnapshot(s), data) {
 				t.Fatal("rep.snapshot decode/encode not canonical")
+			}
+		}
+		if p, err := DecodeRepPromote(data); err == nil && len(data) > 0 {
+			// The empty argument is the one sanctioned second encoding
+			// of the zero floor (pre-floor clients send it).
+			if !bytes.Equal(EncodeRepPromote(p), data) {
+				t.Fatal("promote decode/encode not canonical")
 			}
 		}
 		if s, err := DecodeRepStatus(data); err == nil {
