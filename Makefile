@@ -16,7 +16,10 @@ build:
 # Static checks: go vet plus the repository's own analyzers
 # (cmd/roslint), which enforce the thesis's recovery invariants —
 # forced outcome entries, observed I/O errors, sweep determinism,
-# wrap-safe sentinel comparisons, and mutex discipline.
+# wrap-safe sentinel comparisons, and mutex discipline, plus the
+# distributed-layer invariants (epoch-fenced replica mutations, total
+# wire codecs, deadline-guarded conn I/O). The path-sensitive checks
+# run on the internal/analysis/cfg dataflow engine.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/roslint ./...

@@ -7,6 +7,11 @@
 //	errsentinel     wrapped sentinels compared with errors.Is/As, not ==
 //	lockdiscipline  mutexes released on every path; no reentrant self-calls;
 //	                no raw device I/O under the log mutex
+//	epochfence      rep handlers mutate replica state behind an epoch fence;
+//	                higher-epoch observations latch deposition
+//	wirecodec       wire message fields round-trip through both codecs;
+//	                every op has a codec case and a fuzz target
+//	deadlinecheck   conn reads/writes are dominated by a deadline
 //
 // Usage:
 //
@@ -31,11 +36,14 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/deadlinecheck"
 	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/epochfence"
 	"repro/internal/analysis/errsentinel"
 	"repro/internal/analysis/forcebarrier"
 	"repro/internal/analysis/ioerrcheck"
 	"repro/internal/analysis/lockdiscipline"
+	"repro/internal/analysis/wirecodec"
 )
 
 // analyzers is the multichecker's fixed suite.
@@ -45,6 +53,9 @@ var analyzers = []*analysis.Analyzer{
 	determinism.Analyzer,
 	errsentinel.Analyzer,
 	lockdiscipline.Analyzer,
+	epochfence.Analyzer,
+	wirecodec.Analyzer,
+	deadlinecheck.Analyzer,
 }
 
 func main() {

@@ -34,6 +34,9 @@
 //	determinism    //roslint:nondet
 //	errsentinel    //roslint:exacterr
 //	lockdiscipline //roslint:lockorder
+//	epochfence     //roslint:unfenced
+//	wirecodec      //roslint:wiregap
+//	deadlinecheck  //roslint:nodeadline
 package analysis
 
 import (
@@ -44,6 +47,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"repro/internal/analysis/cfg"
 )
 
 // An Analyzer is one static check.
@@ -73,9 +78,22 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Dir is the package's source directory, for analyzers that need
+	// sibling files the loader excludes (wirecodec reads _test.go
+	// files to verify fuzz coverage).
+	Dir string
 
+	pkg        *Package
 	diags      []Diagnostic
 	directives []*directive
+}
+
+// CFG returns the control-flow graph of one function body, built on
+// first request and cached on the package: the graphs are pure syntax,
+// so every analyzer in a run shares one construction per function
+// instead of rebuilding its own.
+func (p *Pass) CFG(body *ast.BlockStmt) *cfg.Graph {
+	return p.pkg.cfgOf(body)
 }
 
 // directive is one parsed //roslint:<name> comment.
@@ -99,6 +117,8 @@ func newPass(a *Analyzer, pkg *Package) *Pass {
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		Dir:       pkg.Dir,
+		pkg:       pkg,
 	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {

@@ -36,9 +36,10 @@ type expectation struct {
 	raw  string
 }
 
-// Run loads each testdata/src/<pkg> package (resolved relative to the
-// calling test's directory), applies the analyzer, and reports
-// mismatches against the packages' want comments.
+// Run loads the testdata/src/<pkg> packages (resolved relative to the
+// calling test's directory) in one batched Load — a single `go list
+// -export` subprocess for the whole suite — applies the analyzer, and
+// reports mismatches against the packages' want comments.
 func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	_, callerFile, _, ok := runtime.Caller(1)
@@ -46,17 +47,13 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
 		t.Fatal("analysistest: cannot locate caller")
 	}
 	dir := filepath.Dir(callerFile)
-	for _, name := range pkgs {
-		runOne(t, a, dir, name)
+	patterns := make([]string, len(pkgs))
+	for i, name := range pkgs {
+		patterns[i] = "./" + filepath.ToSlash(filepath.Join("testdata", "src", name))
 	}
-}
-
-func runOne(t *testing.T, a *analysis.Analyzer, dir, name string) {
-	t.Helper()
-	pattern := "./" + filepath.ToSlash(filepath.Join("testdata", "src", name))
-	loaded, err := analysis.Load(dir, pattern)
+	loaded, err := analysis.Load(dir, patterns...)
 	if err != nil {
-		t.Fatalf("loading %s: %v", pattern, err)
+		t.Fatalf("loading %v: %v", patterns, err)
 	}
 	for _, pkg := range loaded {
 		wants := collectWants(t, pkg)

@@ -1,0 +1,467 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies and solves forward/backward dataflow problems on
+// them. It is the flow engine behind the roslint analyzers: the PR 2
+// analyzers walked statement trees conservatively (a branch anywhere
+// ended the analysis without a verdict), while the CFG makes every
+// path explicit — if/else arms, loop back edges, labeled break and
+// continue, goto, switch fallthrough, select clauses — so analyses
+// like "the mutex is released on every path" or "this LSN is forced
+// before every return" become dominance and reachability questions
+// instead of syntactic approximations.
+//
+// The graph is purely syntactic (no go/types dependency): each Block
+// is a maximal straight-line run of statement and condition nodes,
+// executed in full once entered. Branch conditions are recorded both
+// as ordinary nodes (so expression-level facts such as a Lock call in
+// a condition are visible) and as Block.Cond, with the true successor
+// first — edge-sensitive analyses prune on that.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is a basic block: nodes execute in order, and control
+// leaves only after the last one. Nodes holds statements plus, for
+// branch heads, the condition expression; function literals appearing
+// inside a node are a different function body and must be pruned by
+// clients walking node subtrees.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (creation order;
+	// Entry is 0).
+	Index int
+	// Nodes are the statements/conditions executed by this block.
+	Nodes []ast.Node
+	// Succs are successor blocks. When Cond is non-nil, Succs[0] is
+	// the true edge and Succs[1] (if present) the false edge.
+	Succs []*Block
+	// Preds are predecessor blocks.
+	Preds []*Block
+	// Cond, when non-nil, is the branch condition ending the block
+	// (an if or for condition). Switch/select/type-switch heads fan
+	// out without a Cond.
+	Cond ast.Expr
+	// LoopHead marks for/range headers: a Pred dominated by this
+	// block is a back edge.
+	LoopHead bool
+	// Stmt is the statement that gave rise to this block, when one
+	// did: the if/for/switch/select for join ("after") blocks and
+	// loop headers. Analyses use it to position join-point reports.
+	Stmt ast.Stmt
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the unique entry block.
+	Entry *Block
+	// Exit is the unique synthetic exit: every return, panic, and the
+	// end-of-body fall-through edge into it. It holds no nodes.
+	Exit *Block
+	// Blocks lists all blocks (including unreachable ones left behind
+	// by returns/gotos) indexed by Block.Index.
+	Blocks []*Block
+	// Defers lists the defer statements seen anywhere in the body, in
+	// source order. Deferred calls run at every exit once their defer
+	// statement has executed on the path taken.
+	Defers []*ast.DeferStmt
+	// FallBlock is the block whose edge to Exit is the end-of-body
+	// fall-through (nil when the body cannot fall off the end). For a
+	// function with results the type checker guarantees this block is
+	// unreachable; for void functions it is the implicit return.
+	FallBlock *Block
+}
+
+// labelInfo tracks one label's targets: the goto target (the labeled
+// statement itself, re-running any loop init) and, for labels on
+// loops/switches, the break/continue targets.
+type labelInfo struct {
+	target *Block // goto target; created on first reference
+	brk    *Block
+	cont   *Block
+}
+
+// frame is one enclosing breakable construct (loop, switch, select).
+// cont is nil for switch/select.
+type frame struct {
+	label     string
+	brk, cont *Block
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	labels map[string]*labelInfo
+	frames []frame
+	// pendingLabel is set between a LabeledStmt and the loop/switch it
+	// labels, so that construct can register its break/continue
+	// targets under the label.
+	pendingLabel *labelInfo
+	// fallTargets maps a switch case body's index to the next case
+	// block, consumed by fallthrough statements.
+	fallTarget *Block
+}
+
+// New builds the CFG of one function body (a FuncDecl.Body or
+// FuncLit.Body). Nested function literals are treated as opaque
+// values: their bodies contribute no blocks or edges — build a
+// separate graph for each literal.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*labelInfo{}}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		g.FallBlock = b.cur
+		b.edge(b.cur, g.Exit)
+	}
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// emit appends a node to the current block.
+func (b *builder) emit(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// terminate ends the current path: subsequent statements start in a
+// fresh block with no predecessors (dead until a label lands on it).
+func (b *builder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) label(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// findFrame returns the innermost frame matching label (any breakable
+// frame for break, loop frames for continue). Empty label matches the
+// innermost eligible frame.
+func (b *builder) findFrame(label string, needCont bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needCont && f.cont == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		li := b.label(s.Label.Name)
+		if li.target == nil {
+			li.target = b.newBlock()
+		}
+		b.edge(b.cur, li.target)
+		b.cur = li.target
+		b.pendingLabel = li
+		b.stmt(s.Stmt)
+		b.pendingLabel = nil
+
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.edge(b.cur, b.g.Exit)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		b.emit(s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.findFrame(label, false); f != nil {
+				b.edge(b.cur, f.brk)
+			}
+			b.terminate()
+		case token.CONTINUE:
+			if f := b.findFrame(label, true); f != nil {
+				b.edge(b.cur, f.cont)
+			}
+			b.terminate()
+		case token.GOTO:
+			li := b.label(label)
+			if li.target == nil {
+				li.target = b.newBlock()
+			}
+			b.edge(b.cur, li.target)
+			b.terminate()
+		case token.FALLTHROUGH:
+			if b.fallTarget != nil {
+				b.edge(b.cur, b.fallTarget)
+			}
+			b.terminate()
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s.Cond)
+		head := b.cur
+		head.Cond = s.Cond
+		thenB := b.newBlock()
+		b.edge(head, thenB)
+		join := b.newBlock()
+		join.Stmt = s
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(head, elseB)
+			b.cur = thenB
+			b.stmtList(s.Body.List)
+			if b.cur != nil {
+				b.edge(b.cur, join)
+			}
+			b.cur = elseB
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.edge(b.cur, join)
+			}
+		} else {
+			b.edge(head, join)
+			b.cur = thenB
+			b.stmtList(s.Body.List)
+			if b.cur != nil {
+				b.edge(b.cur, join)
+			}
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		pl := b.takeLabel()
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		header := b.newBlock()
+		header.LoopHead = true
+		header.Stmt = s
+		b.edge(b.cur, header)
+		after := b.newBlock()
+		after.Stmt = s
+		var post *Block
+		contTarget := header
+		if s.Post != nil {
+			post = b.newBlock()
+			contTarget = post
+		}
+		body := b.newBlock()
+		b.cur = header
+		if s.Cond != nil {
+			b.emit(s.Cond)
+			header.Cond = s.Cond
+			b.edge(header, body)
+			b.edge(header, after)
+		} else {
+			// for{}: after is reachable only through break.
+			b.edge(header, body)
+		}
+		b.pushFrame(frame{brk: after, cont: contTarget}, pl, after, contTarget)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.popFrame()
+		if b.cur != nil {
+			b.edge(b.cur, contTarget)
+		}
+		if post != nil {
+			b.cur = post
+			b.emit(s.Post)
+			b.edge(post, header)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		pl := b.takeLabel()
+		header := b.newBlock()
+		header.LoopHead = true
+		header.Stmt = s
+		b.edge(b.cur, header)
+		b.cur = header
+		b.emit(s.X)
+		after := b.newBlock()
+		after.Stmt = s
+		body := b.newBlock()
+		b.edge(header, body)
+		b.edge(header, after)
+		b.pushFrame(frame{brk: after, cont: header}, pl, after, header)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.popFrame()
+		if b.cur != nil {
+			b.edge(b.cur, header)
+		}
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		pl := b.takeLabel()
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		if s.Tag != nil {
+			b.emit(s.Tag)
+		}
+		b.switchClauses(s, s.Body.List, pl, true)
+
+	case *ast.TypeSwitchStmt:
+		pl := b.takeLabel()
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s.Assign)
+		b.switchClauses(s, s.Body.List, pl, false)
+
+	case *ast.SelectStmt:
+		pl := b.takeLabel()
+		head := b.cur
+		after := b.newBlock()
+		after.Stmt = s
+		b.pushFrame(frame{brk: after}, pl, after, nil)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.emit(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		}
+		b.popFrame()
+		// A select always executes one of its clauses (default is a
+		// clause); select{} blocks forever — no head→after edge.
+		b.cur = after
+
+	case *ast.DeferStmt:
+		b.emit(s)
+		b.g.Defers = append(b.g.Defers, s)
+
+	case *ast.ExprStmt:
+		b.emit(s)
+		if isPanic(s.X) {
+			b.edge(b.cur, b.g.Exit)
+			b.terminate()
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, IncDec, Decl, Send, Go, ... — straight-line.
+		b.emit(s)
+	}
+}
+
+// switchClauses builds the fan-out for switch and type-switch bodies.
+func (b *builder) switchClauses(s ast.Stmt, clauses []ast.Stmt, pl *labelInfo, allowFall bool) {
+	head := b.cur
+	after := b.newBlock()
+	after.Stmt = s
+	b.pushFrame(frame{brk: after}, pl, after, nil)
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		if clauses[i].(*ast.CaseClause).List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	savedFall := b.fallTarget
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		blk := blocks[i]
+		b.edge(head, blk)
+		b.cur = blk
+		for _, e := range cc.List {
+			b.emit(e)
+		}
+		if allowFall && i+1 < len(blocks) {
+			b.fallTarget = blocks[i+1]
+		} else {
+			b.fallTarget = nil
+		}
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	b.fallTarget = savedFall
+	b.popFrame()
+	b.cur = after
+}
+
+// takeLabel consumes the pending label (set when this construct is
+// the direct statement of a LabeledStmt).
+func (b *builder) takeLabel() *labelInfo {
+	pl := b.pendingLabel
+	b.pendingLabel = nil
+	return pl
+}
+
+func (b *builder) pushFrame(f frame, pl *labelInfo, brk, cont *Block) {
+	if pl != nil {
+		pl.brk = brk
+		pl.cont = cont
+		// Find the label's name for labeled break/continue matching.
+		for name, l := range b.labels {
+			if l == pl {
+				f.label = name
+			}
+		}
+	}
+	b.frames = append(b.frames, f)
+}
+
+func (b *builder) popFrame() {
+	b.frames = b.frames[:len(b.frames)-1]
+}
+
+// isPanic reports whether e is a call to the builtin panic. Purely
+// syntactic: a shadowed panic identifier would be misclassified, which
+// no code in this repository does.
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

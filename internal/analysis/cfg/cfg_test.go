@@ -1,0 +1,429 @@
+package cfg_test
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+)
+
+// buildFunc parses src (one or more decls, no package clause) and
+// builds the CFG of the first function declaration.
+func buildFunc(t *testing.T, src string) (*cfg.Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return cfg.New(fd.Body), fset
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+func nodeText(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// blockWith returns the unique block containing a node whose printed
+// source equals text exactly.
+func blockWith(t *testing.T, g *cfg.Graph, fset *token.FileSet, text string) *cfg.Block {
+	t.Helper()
+	var found *cfg.Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if nodeText(fset, n) == text {
+				if found != nil && found != b {
+					t.Fatalf("node %q appears in blocks %d and %d", text, found.Index, b.Index)
+				}
+				found = b
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block contains node %q", text)
+	}
+	return found
+}
+
+func hasEdge(from, to *cfg.Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// reaches reports whether to is reachable from from over Succs.
+func reaches(from, to *cfg.Block) bool {
+	seen := map[*cfg.Block]bool{}
+	var dfs func(*cfg.Block) bool
+	dfs = func(b *cfg.Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}
+
+func TestGotoEdges(t *testing.T) {
+	g, fset := buildFunc(t, `
+func f() int {
+	x := 0
+L:
+	x++
+	if x < 3 {
+		goto L
+	}
+	return x
+}`)
+	label := blockWith(t, g, fset, "x++")
+	gotoB := blockWith(t, g, fset, "goto L")
+	cond := blockWith(t, g, fset, "x < 3")
+	if !hasEdge(gotoB, label) {
+		t.Errorf("goto L block %d has no edge to label block %d", gotoB.Index, label.Index)
+	}
+	if cond.Cond == nil || nodeText(fset, cond.Cond) != "x < 3" {
+		t.Errorf("condition block %d lost its Cond", cond.Index)
+	}
+	// True edge of the condition leads (through the then block) to the
+	// goto, false edge to the return.
+	if !reaches(cond.Succs[0], gotoB) {
+		t.Error("true edge does not reach the goto")
+	}
+	ret := blockWith(t, g, fset, "return x")
+	if !reaches(cond.Succs[1], ret) {
+		t.Error("false edge does not reach the return")
+	}
+	if reaches(cond.Succs[1], gotoB) {
+		t.Error("false edge must not reach the goto")
+	}
+	// The label block has two predecessors: function entry and the
+	// goto block.
+	if len(label.Preds) != 2 {
+		t.Errorf("label block has %d preds, want 2 (entry + goto)", len(label.Preds))
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g, fset := buildFunc(t, `
+func f(xs [][]int) int {
+	sum := 0
+outer:
+	for i := range xs {
+		for _, v := range xs[i] {
+			if v < 0 {
+				continue outer
+			}
+			if v == 99 {
+				break outer
+			}
+			sum += v
+		}
+	}
+	return sum
+}`)
+	outerHead := blockWith(t, g, fset, "xs")
+	innerHead := blockWith(t, g, fset, "xs[i]")
+	contB := blockWith(t, g, fset, "continue outer")
+	brkB := blockWith(t, g, fset, "break outer")
+	ret := blockWith(t, g, fset, "return sum")
+	if !hasEdge(contB, outerHead) {
+		t.Error("continue outer does not edge to the outer range header")
+	}
+	if hasEdge(contB, innerHead) {
+		t.Error("continue outer must not edge to the inner header")
+	}
+	if !hasEdge(brkB, ret) {
+		t.Error("break outer does not edge to the block after the outer loop")
+	}
+	if !outerHead.LoopHead || !innerHead.LoopHead {
+		t.Error("range headers not marked LoopHead")
+	}
+	// Unlabeled fallthrough of the inner body continues at the inner
+	// header (the back edge).
+	body := blockWith(t, g, fset, "sum += v")
+	if !hasEdge(body, innerHead) {
+		t.Error("inner loop body does not edge back to the inner header")
+	}
+}
+
+func TestSelectEdges(t *testing.T) {
+	g, fset := buildFunc(t, `
+func f(a, b chan int) int {
+	select {
+	case x := <-a:
+		return x
+	case <-b:
+	}
+	return 0
+}`)
+	recvA := blockWith(t, g, fset, "x := <-a")
+	recvB := blockWith(t, g, fset, "<-b")
+	retX := blockWith(t, g, fset, "return x")
+	ret0 := blockWith(t, g, fset, "return 0")
+	if recvA != retX {
+		t.Error("clause body split from its comm statement")
+	}
+	if !hasEdge(recvA, g.Exit) {
+		t.Error("returning clause does not edge to Exit")
+	}
+	if !hasEdge(recvB, ret0) {
+		t.Error("empty clause does not fall through to the statement after select")
+	}
+	// The select head fans out to exactly the two clauses: no direct
+	// head→after edge (a select always runs a clause).
+	head := g.Entry
+	if len(head.Succs) != 2 {
+		t.Errorf("select head has %d succs, want 2", len(head.Succs))
+	}
+	if reachesDirect(head, ret0) {
+		t.Error("select head must not edge directly past the clauses")
+	}
+}
+
+func reachesDirect(from, to *cfg.Block) bool { return hasEdge(from, to) }
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f() {
+	select {}
+}`)
+	// Nothing after an empty select is reachable: Exit's only
+	// predecessor would be the fall-through block, which itself must
+	// be unreachable.
+	if g.FallBlock != nil && len(g.FallBlock.Preds) != 0 {
+		t.Errorf("fall-through after select{} is reachable (preds %d)", len(g.FallBlock.Preds))
+	}
+	if reaches(g.Entry, g.Exit) {
+		t.Error("Exit reachable across select{}")
+	}
+}
+
+func TestDeferWithRecover(t *testing.T) {
+	g, fset := buildFunc(t, `
+func f(work func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = nil
+		}
+	}()
+	work()
+	return nil
+}`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("got %d defers, want 1", len(g.Defers))
+	}
+	// The deferred literal's body contributes no blocks: recover()
+	// appears in no block node (cfg is per-function; literals are
+	// opaque).
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			txt := nodeText(fset, n)
+			if strings.Contains(txt, "recover()") && !strings.Contains(txt, "defer") {
+				t.Errorf("deferred literal body leaked into block %d: %q", b.Index, txt)
+			}
+		}
+	}
+	// The defer statement itself is a node on the straight-line path.
+	deferB := g.Entry
+	found := false
+	for _, n := range deferB.Nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("defer statement not recorded in the entry block")
+	}
+	ret := blockWith(t, g, fset, "return nil")
+	if !hasEdge(ret, g.Exit) {
+		t.Error("return does not edge to Exit")
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g, fset := buildFunc(t, `
+func f(b bool) int {
+	if b {
+		panic("boom")
+	}
+	return 1
+}`)
+	pb := blockWith(t, g, fset, `panic("boom")`)
+	if !hasEdge(pb, g.Exit) {
+		t.Error("panic does not edge to Exit")
+	}
+	ret := blockWith(t, g, fset, "return 1")
+	if reaches(pb, ret) && !hasEdge(pb, g.Exit) {
+		t.Error("panic falls through")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g, fset := buildFunc(t, `
+func f(x int) int {
+	r := 0
+	switch x {
+	case 1:
+		r = 1
+		fallthrough
+	case 2:
+		r += 2
+	default:
+		r = 9
+	}
+	return r
+}`)
+	c1 := blockWith(t, g, fset, "r = 1")
+	c2 := blockWith(t, g, fset, "r += 2")
+	def := blockWith(t, g, fset, "r = 9")
+	if !hasEdge(c1, c2) {
+		t.Error("fallthrough does not edge into the next case")
+	}
+	if hasEdge(c1, def) {
+		t.Error("case 1 must not edge to default")
+	}
+	ret := blockWith(t, g, fset, "return r")
+	if !hasEdge(c2, ret) || !hasEdge(def, ret) {
+		t.Error("cases do not rejoin after the switch")
+	}
+	// With a default present there is no head→after edge.
+	head := blockWith(t, g, fset, "x")
+	if hasEdge(head, ret) {
+		t.Error("switch with default must not edge directly to after")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	g, fset := buildFunc(t, `
+func f(c bool) int {
+	a := 1
+	if c {
+		a = 2
+	} else {
+		a = 3
+	}
+	return a
+}`)
+	dom := g.Dominators()
+	head := blockWith(t, g, fset, "c")
+	thenB := blockWith(t, g, fset, "a = 2")
+	elseB := blockWith(t, g, fset, "a = 3")
+	ret := blockWith(t, g, fset, "return a")
+	if !dom.Dominates(head, thenB) || !dom.Dominates(head, elseB) || !dom.Dominates(head, ret) {
+		t.Error("branch head must dominate both arms and the join")
+	}
+	if dom.Dominates(thenB, ret) || dom.Dominates(elseB, ret) {
+		t.Error("neither arm may dominate the join")
+	}
+	if dom.Idom(ret) != head {
+		t.Errorf("idom(join) = block %v, want the branch head", dom.Idom(ret))
+	}
+}
+
+// TestSolveEdgePruning runs a forward may-reachability analysis with
+// the true edge of the condition pruned: the then arm must be
+// reported unreached, the else arm and join reached.
+func TestSolveEdgePruning(t *testing.T) {
+	g, fset := buildFunc(t, `
+func f(c bool) {
+	if c {
+		athen()
+	} else {
+		aelse()
+	}
+	after()
+}`)
+	head := blockWith(t, g, fset, "c")
+	res := cfg.Solve(g, cfg.Analysis[bool]{
+		Dir:      cfg.Forward,
+		Boundary: true,
+		Transfer: func(b *cfg.Block, in bool) bool { return in },
+		Meet:     func(a, b bool) bool { return a || b },
+		Equal:    func(a, b bool) bool { return a == b },
+		EdgeOK: func(from, to *cfg.Block) bool {
+			return !(from == head && to == head.Succs[0])
+		},
+	})
+	thenB := blockWith(t, g, fset, "athen()")
+	elseB := blockWith(t, g, fset, "aelse()")
+	after := blockWith(t, g, fset, "after()")
+	if _, ok := res.In[thenB]; ok {
+		t.Error("pruned then arm still received a fact")
+	}
+	if _, ok := res.In[elseB]; !ok {
+		t.Error("else arm received no fact")
+	}
+	if _, ok := res.In[after]; !ok {
+		t.Error("join received no fact")
+	}
+}
+
+// TestSolveBackward: a backward may-analysis ("can this block reach
+// Exit without passing a force() call") — the shape forcebarrier
+// uses.
+func TestSolveBackward(t *testing.T) {
+	g, fset := buildFunc(t, `
+func f(c bool) {
+	write()
+	if c {
+		force()
+		return
+	}
+	return
+}`)
+	hasForce := func(b *cfg.Block) bool {
+		for _, n := range b.Nodes {
+			if strings.Contains(nodeText(token.NewFileSet(), n), "force") {
+				return true
+			}
+		}
+		return false
+	}
+	res := cfg.Solve(g, cfg.Analysis[bool]{
+		Dir:      cfg.Backward,
+		Boundary: true, // Exit reaches Exit unforced
+		Transfer: func(b *cfg.Block, in bool) bool {
+			if hasForce(b) {
+				return false
+			}
+			return in
+		},
+		Meet:  func(a, b bool) bool { return a || b },
+		Equal: func(a, b bool) bool { return a == b },
+	})
+	forceB := blockWith(t, g, fset, "force()")
+	writeB := blockWith(t, g, fset, "write()")
+	if out := res.Out[forceB]; out {
+		t.Error("forced path still counted as reaching exit unforced")
+	}
+	// The write block reaches Exit unforced via the else path.
+	if out := res.Out[writeB]; !out {
+		t.Error("unforced else path not detected from the write block")
+	}
+}

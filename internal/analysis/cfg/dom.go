@@ -1,0 +1,107 @@
+package cfg
+
+// Dominator computation: the iterative algorithm of Cooper, Harvey,
+// and Kennedy over a reverse-postorder numbering. Graphs here are the
+// size of one function body, so simplicity beats the sophisticated
+// Lengauer–Tarjan machinery.
+
+// Dom holds the dominator tree of a Graph.
+type Dom struct {
+	idom []*Block // immediate dominator by Block.Index; nil for entry and unreachable blocks
+	g    *Graph
+}
+
+// Dominators computes the dominator tree from Entry. Unreachable
+// blocks have no dominator and are reported as dominated by nothing
+// (and dominating nothing but themselves).
+func (g *Graph) Dominators() *Dom {
+	// Reverse postorder over reachable blocks.
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	rpo := make([]*Block, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		rpo = append(rpo, post[i])
+	}
+	rpoNum := make([]int, len(g.Blocks))
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range rpo {
+		rpoNum[b.Index] = i
+	}
+
+	idom := make([]*Block, len(g.Blocks))
+	idom[g.Entry.Index] = g.Entry // sentinel; cleared below
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for rpoNum[a.Index] > rpoNum[b.Index] {
+				a = idom[a.Index]
+			}
+			for rpoNum[b.Index] > rpoNum[a.Index] {
+				b = idom[b.Index]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == g.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if idom[p.Index] == nil && p != g.Entry {
+					continue // unprocessed or unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b.Index] != newIdom {
+				idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[g.Entry.Index] = nil
+	return &Dom{idom: idom, g: g}
+}
+
+// Idom returns b's immediate dominator (nil for the entry block and
+// unreachable blocks).
+func (d *Dom) Idom(b *Block) *Block { return d.idom[b.Index] }
+
+// Dominates reports whether a dominates b (reflexively: every block
+// dominates itself).
+func (d *Dom) Dominates(a, b *Block) bool {
+	for x := b; x != nil; x = d.idom[x.Index] {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// StrictlyDominates reports whether a dominates b and a != b.
+func (d *Dom) StrictlyDominates(a, b *Block) bool {
+	return a != b && d.Dominates(a, b)
+}
+
+// Reachable reports whether b is reachable from Entry.
+func (d *Dom) Reachable(b *Block) bool {
+	return b == d.g.Entry || d.idom[b.Index] != nil
+}

@@ -1,0 +1,122 @@
+package cfg
+
+// A small worklist dataflow framework. Clients describe a problem as
+// per-block transfer functions over an arbitrary fact type plus a
+// meet; the solver iterates to a fixpoint. Both may-analyses (meet =
+// union) and must-analyses (meet = intersection) fit: blocks that
+// have not been reached yet simply contribute nothing to the meet,
+// which is the optimistic ("top") initial value — exactly what a
+// must-analysis over a lattice of sets wants, and harmless for a
+// may-analysis.
+
+// Direction selects forward (facts flow Entry→Exit along Succs) or
+// backward (Exit→Entry along Preds) propagation.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Analysis describes one dataflow problem over a Graph. F is the
+// per-block fact type; facts must be treated as immutable values
+// (Transfer returns a fresh fact, it never mutates its input).
+type Analysis[F any] struct {
+	Dir Direction
+	// Boundary is the fact entering the graph: at Entry for a forward
+	// analysis, at Exit for a backward one.
+	Boundary F
+	// Transfer maps the fact at a block's input edge to the fact at
+	// its output edge, applying the block's Nodes in execution order
+	// (for a backward analysis, "input" is the end of the block).
+	Transfer func(b *Block, in F) F
+	// Meet combines facts arriving over two edges (union for may,
+	// intersection for must). It is only called with facts from edges
+	// that have actually produced one — unreached edges contribute
+	// nothing.
+	Meet func(a, b F) F
+	// Equal detects the fixpoint.
+	Equal func(a, b F) bool
+	// EdgeOK, when non-nil, prunes edges: facts do not propagate over
+	// edges it rejects. Edge-sensitive clients (forcebarrier's
+	// err-guard exclusion) use it to cut infeasible paths.
+	EdgeOK func(from, to *Block) bool
+}
+
+// Result holds the solved facts. In[b] is the fact at the block's
+// entry (its exit for a backward analysis), Out[b] at the opposite
+// edge. Blocks never reached by propagation are absent from both
+// maps — absence is the "unreachable" verdict.
+type Result[F any] struct {
+	In, Out map[*Block]F
+}
+
+// Solve runs the worklist iteration to a fixpoint and returns the
+// per-block facts.
+func Solve[F any](g *Graph, a Analysis[F]) *Result[F] {
+	res := &Result[F]{In: map[*Block]F{}, Out: map[*Block]F{}}
+	start := g.Entry
+	next := func(b *Block) []*Block { return b.Succs }
+	prev := func(b *Block) []*Block { return b.Preds }
+	edgeOK := func(from, to *Block) bool {
+		return a.EdgeOK == nil || a.EdgeOK(from, to)
+	}
+	if a.Dir == Backward {
+		start = g.Exit
+		next = func(b *Block) []*Block { return b.Preds }
+		prev = func(b *Block) []*Block { return b.Succs }
+		fwd := edgeOK
+		edgeOK = func(from, to *Block) bool { return fwd(to, from) }
+	}
+
+	res.In[start] = a.Boundary
+	res.Out[start] = a.Transfer(start, a.Boundary)
+	work := []*Block{}
+	inWork := make([]bool, len(g.Blocks))
+	push := func(b *Block) {
+		if !inWork[b.Index] {
+			inWork[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	for _, s := range next(start) {
+		push(s)
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+
+		var in F
+		have := false
+		for _, p := range prev(b) {
+			out, ok := res.Out[p]
+			if !ok || !edgeOK(p, b) {
+				continue
+			}
+			if !have {
+				in, have = out, true
+			} else {
+				in = a.Meet(in, out)
+			}
+		}
+		if !have {
+			continue // not yet reached over any live edge
+		}
+		oldIn, hadIn := res.In[b]
+		if hadIn && a.Equal(oldIn, in) {
+			continue
+		}
+		res.In[b] = in
+		out := a.Transfer(b, in)
+		oldOut, hadOut := res.Out[b]
+		if hadOut && a.Equal(oldOut, out) {
+			continue
+		}
+		res.Out[b] = out
+		for _, s := range next(b) {
+			push(s)
+		}
+	}
+	return res
+}

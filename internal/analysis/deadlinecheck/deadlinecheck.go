@@ -1,0 +1,287 @@
+// Package deadlinecheck keeps the serving layer's network I/O bounded:
+// every read or write on a net.Conn must be dominated, on the control
+// flow graph, by a deadline that covers it. The thesis's fail-stop
+// model (§1.2) turns silent peers into observed failures only if every
+// blocking call has a timeout — a single unguarded Read in the server's
+// read loop or the client's exchange turns a dead TCP peer into a
+// goroutine leak that drain can never finish.
+//
+// An operation is a Read/Write method call on a net.Conn (or any type
+// implementing it), or a call passing a net.Conn to a Read*/Write*
+// function (wire.ReadFrame, wire.WriteFrame, io.ReadFull, ...). It is
+// guarded when a SetReadDeadline (reads), SetWriteDeadline (writes),
+// or SetDeadline (either) on the same connection chain appears earlier
+// in its basic block or in a strictly dominating block — so a deadline
+// set on only one branch, or after the call, does not count.
+//
+// Connections reached through calls or index expressions have no
+// stable chain to match deadlines against and are skipped; the serving
+// layer names its conns c.nc / nc directly.
+//
+// Exempt a finding with //roslint:nodeadline and a justification
+// saying who owns the deadline covering the call.
+package deadlinecheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// Analyzer is the deadlinecheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "deadlinecheck",
+	Doc:       "net.Conn reads/writes must be dominated by a matching deadline",
+	Directive: "nodeadline",
+	Run:       run,
+}
+
+// ScopePackages are the packages the invariant covers: the two sides
+// of the TCP serving layer.
+var ScopePackages = map[string]bool{
+	"repro/internal/server": true,
+	"repro/internal/client": true,
+}
+
+// opKind is the deadline flavor an operation needs.
+type opKind int
+
+const (
+	kindRead opKind = iota
+	kindWrite
+	kindBoth // only a full SetDeadline covers it
+)
+
+// connOp is one guarded conn operation found in a block.
+type connOp struct {
+	call  *ast.CallExpr
+	chain string
+	kind  opKind
+}
+
+func run(pass *analysis.Pass) error {
+	if !ScopePackages[pass.Pkg.Path()] {
+		return nil
+	}
+	iface := connInterface(pass)
+	if iface == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBody(pass, fn.Body, iface)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, lit.Body, iface)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// connInterface resolves net.Conn against the package's imports.
+func connInterface(pass *analysis.Pass) *types.Interface {
+	obj := analysis.TypeByName(pass.Pkg, "net", "Conn")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, iface *types.Interface) {
+	g := pass.CFG(body)
+	dom := g.Dominators()
+
+	// guards[b] is the set of "chain\x00kind" deadline facts block b
+	// establishes; kind is the deadline method name.
+	guards := make([]map[string]bool, len(g.Blocks))
+	for _, b := range g.Blocks {
+		guards[b.Index] = map[string]bool{}
+		for _, n := range b.Nodes {
+			collectDeadlines(pass, n, iface, guards[b.Index])
+		}
+	}
+
+	covered := func(b *cfg.Block, upto int, op connOp) bool {
+		ok := func(set map[string]bool) bool {
+			if set[op.chain+"\x00SetDeadline"] {
+				return true
+			}
+			switch op.kind {
+			case kindRead:
+				return set[op.chain+"\x00SetReadDeadline"]
+			case kindWrite:
+				return set[op.chain+"\x00SetWriteDeadline"]
+			}
+			return false
+		}
+		early := map[string]bool{}
+		for i := 0; i < upto; i++ {
+			collectDeadlines(pass, b.Nodes[i], iface, early)
+		}
+		if ok(early) {
+			return true
+		}
+		for _, d := range g.Blocks {
+			if d != b && dom.Reachable(d) && dom.Dominates(d, b) && ok(guards[d.Index]) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, b := range g.Blocks {
+		if !dom.Reachable(b) {
+			continue
+		}
+		for i, n := range b.Nodes {
+			for _, op := range connOps(pass, n, iface) {
+				if covered(b, i, op) {
+					continue
+				}
+				verb, deadline := "read", "SetReadDeadline"
+				switch op.kind {
+				case kindWrite:
+					verb, deadline = "write", "SetWriteDeadline"
+				case kindBoth:
+					verb, deadline = "read/write", "SetDeadline"
+				}
+				pass.Reportf(op.call.Pos(), "net.Conn %s on %s is not dominated by %s/SetDeadline: a dead peer blocks this path forever", verb, op.chain, deadline)
+			}
+		}
+	}
+}
+
+// deadlineMethods are the net.Conn timeout setters.
+var deadlineMethods = map[string]bool{
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+// collectDeadlines records every deadline call in n's subtree into
+// facts as "chain\x00method".
+func collectDeadlines(pass *analysis.Pass, n ast.Node, iface *types.Interface, facts map[string]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !deadlineMethods[sel.Sel.Name] {
+			return true
+		}
+		if !implementsConn(pass, sel.X, iface) {
+			return true
+		}
+		if chain := chainString(sel.X); chain != "" {
+			facts[chain+"\x00"+sel.Sel.Name] = true
+		}
+		return true
+	})
+}
+
+// connOps returns the guarded conn operations in n's subtree: Read and
+// Write method calls on a conn, and Read*/Write* function calls passed
+// a conn.
+func connOps(pass *analysis.Pass, n ast.Node, iface *types.Interface) []connOp {
+	var out []connOp
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false // analyzed separately
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			if (fun.Sel.Name == "Read" || fun.Sel.Name == "Write") && implementsConn(pass, fun.X, iface) {
+				if chain := chainString(fun.X); chain != "" {
+					kind := kindRead
+					if fun.Sel.Name == "Write" {
+						kind = kindWrite
+					}
+					out = append(out, connOp{call: call, chain: chain, kind: kind})
+				}
+				return true
+			}
+		}
+		name := calleeName(call)
+		hasRead := strings.Contains(name, "Read")
+		hasWrite := strings.Contains(name, "Write")
+		if !hasRead && !hasWrite {
+			return true
+		}
+		for _, arg := range call.Args {
+			if !implementsConn(pass, arg, iface) {
+				continue
+			}
+			chain := chainString(arg)
+			if chain == "" {
+				continue
+			}
+			kind := kindBoth
+			switch {
+			case hasRead && !hasWrite:
+				kind = kindRead
+			case hasWrite && !hasRead:
+				kind = kindWrite
+			}
+			out = append(out, connOp{call: call, chain: chain, kind: kind})
+		}
+		return true
+	})
+	return out
+}
+
+// calleeName is the called function's bare name ("" for indirect
+// calls through non-selector expressions).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// implementsConn reports whether e's static type satisfies net.Conn.
+func implementsConn(pass *analysis.Pass, e ast.Expr, iface *types.Interface) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+// chainString renders a selector chain ("c.nc"); "" when the
+// expression routes through anything but plain selections.
+func chainString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if base := chainString(x.X); base != "" {
+			return base + "." + x.Sel.Name
+		}
+	}
+	return ""
+}

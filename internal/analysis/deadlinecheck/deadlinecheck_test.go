@@ -1,0 +1,31 @@
+package deadlinecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/deadlinecheck"
+)
+
+const testdataPrefix = "repro/internal/analysis/deadlinecheck/testdata/src/"
+
+func TestDeadlineCheck(t *testing.T) {
+	deadlinecheck.ScopePackages[testdataPrefix+"a"] = true
+	defer delete(deadlinecheck.ScopePackages, testdataPrefix+"a")
+	analysistest.Run(t, deadlinecheck.Analyzer, "a")
+}
+
+// TestOutOfScope checks that an unscoped package is ignored entirely.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, deadlinecheck.Analyzer, "b")
+}
+
+// TestServingLayerInScope pins both sides of the TCP serving layer
+// into the deadline discipline.
+func TestServingLayerInScope(t *testing.T) {
+	for _, pkg := range []string{"repro/internal/server", "repro/internal/client"} {
+		if !deadlinecheck.ScopePackages[pkg] {
+			t.Fatalf("%s must stay in deadlinecheck's ScopePackages", pkg)
+		}
+	}
+}

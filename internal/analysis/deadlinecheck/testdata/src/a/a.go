@@ -1,0 +1,89 @@
+// Package a models the serving layer's conn-handling shapes for
+// deadlinecheck.
+package a
+
+import (
+	"net"
+	"time"
+)
+
+// reply writes with no deadline anywhere: flagged.
+func reply(c net.Conn, buf []byte) error {
+	_, err := c.Write(buf) // want `net\.Conn write on c is not dominated by SetWriteDeadline/SetDeadline`
+	return err
+}
+
+// replyGuarded sets the write deadline first: covered.
+func replyGuarded(c net.Conn, buf []byte) error {
+	_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+	_, err := c.Write(buf)
+	return err
+}
+
+// readGuardedFull covers a read with the full SetDeadline.
+func readGuardedFull(c net.Conn, buf []byte) error {
+	_ = c.SetDeadline(time.Now().Add(time.Second))
+	_, err := c.Read(buf)
+	return err
+}
+
+// readWrongKind sets only the write deadline before a read: flagged.
+func readWrongKind(c net.Conn, buf []byte) error {
+	_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+	_, err := c.Read(buf) // want `net\.Conn read on c is not dominated by SetReadDeadline/SetDeadline`
+	return err
+}
+
+// maybeGuarded sets the deadline on one branch only; the write is not
+// dominated: flagged.
+func maybeGuarded(c net.Conn, slow bool, buf []byte) error {
+	if slow {
+		_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+	}
+	_, err := c.Write(buf) // want `net\.Conn write on c is not dominated by SetWriteDeadline/SetDeadline`
+	return err
+}
+
+// tooLate sets the deadline after the read: flagged.
+func tooLate(c net.Conn, buf []byte) error {
+	_, err := c.Read(buf) // want `net\.Conn read on c is not dominated by SetReadDeadline/SetDeadline`
+	_ = c.SetReadDeadline(time.Now().Add(time.Second))
+	return err
+}
+
+// wrap is the server's conn shape: the net.Conn lives behind a field.
+type wrap struct {
+	nc net.Conn
+}
+
+// loopGuarded re-arms the read deadline each iteration before the
+// framed read — the server read-loop shape: covered.
+func (w *wrap) loopGuarded(buf []byte) error {
+	for {
+		_ = w.nc.SetReadDeadline(time.Now().Add(time.Second))
+		if _, err := ReadFull(w.nc, buf); err != nil {
+			return err
+		}
+	}
+}
+
+// crossChain sets the deadline on one conn and writes another: the
+// chains differ, so the write is flagged.
+func (w *wrap) crossChain(other net.Conn, buf []byte) error {
+	_ = w.nc.SetWriteDeadline(time.Now().Add(time.Second))
+	_, err := other.Write(buf) // want `net\.Conn write on other is not dominated by SetWriteDeadline/SetDeadline`
+	return err
+}
+
+// ReadFull loops a read for callers; the exemption names the deadline
+// owner and suppresses the finding.
+func ReadFull(c net.Conn, buf []byte) (int, error) {
+	//roslint:nodeadline callers arm the deadline covering the whole framed exchange
+	return c.Read(buf)
+}
+
+// pump hands a bare conn to a reading helper with no deadline: the
+// call-with-conn-argument form is flagged too.
+func pump(c net.Conn, buf []byte) (int, error) {
+	return ReadFull(c, buf) // want `net\.Conn read on c is not dominated by SetReadDeadline/SetDeadline`
+}

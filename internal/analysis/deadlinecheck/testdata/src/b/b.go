@@ -1,0 +1,10 @@
+// Package b does unguarded conn I/O but is not in ScopePackages:
+// nothing may be reported.
+package b
+
+import "net"
+
+func reply(c net.Conn, buf []byte) error {
+	_, err := c.Write(buf)
+	return err
+}

@@ -1,0 +1,490 @@
+// Package epochfence enforces the replication layer's epoch
+// discipline (PR 6, mirroring the thesis's ch. 5 regeneration rule
+// that a representative set change must invalidate every stale copy
+// before new state is exposed): code that handles rep.* messages or
+// promotions mutates replica state only behind an epoch fence, and an
+// observation of a higher epoch latches deposition.
+//
+// Two rules, both flow-sensitive over the package CFGs:
+//
+//  1. Inside a replication handler, every assignment to replica state
+//     (an epoch-adjacent field of the receiver or of a pointer
+//     parameter: epoch, cursor, acked, durable, promoted, quorumBytes,
+//     gen, site, g, diverged, deposed, stale) must be dominated by an
+//     epoch fence — an epoch comparison, an epoch bump or adoption
+//     (itself the fence: claiming the new epoch precedes mutating
+//     state under it), a branch on the stale/deposed latch, or a call
+//     into a rep handler (whose body performs the fence, e.g.
+//     Backup.Promote bumping the epoch before the server installs the
+//     recovered guardian). This is exactly the bug shape PR 6's review
+//     fixed: a backup applying an append without first comparing the
+//     sender's epoch against its own.
+//
+//  2. A branch taken because a wire message carried a higher epoch
+//     (`ack.Epoch > epoch`, `hb.Epoch > b.epoch`, or the flipped
+//     spelling) must latch the observation before continuing: the
+//     dominated true branch has to set a stale/deposed flag or adopt
+//     the epoch. Observing deposition and dropping it on the floor is
+//     how a deposed primary keeps acknowledging commits.
+//
+// A replication handler is a function that touches the rep protocol:
+// a method named Append/Heartbeat/Snapshot/Promote on a type carrying
+// an epoch field, or any function whose signature or body mentions a
+// Rep* wire message (parameter, argument, result, or composite
+// literal). Functions outside the protocol — constructors, the force
+// scheduler, plain accessors — are not constrained.
+//
+// Known limitation: mutations reached through a local alias
+// (`s := &p.reps[i]; s.acked = ...`) are not tracked; the fields that
+// matter are mutated through the receiver or a parameter in this
+// repository.
+//
+// Exempt a finding with //roslint:unfenced and a justification saying
+// why the unfenced path is safe.
+package epochfence
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// Analyzer is the epochfence analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "epochfence",
+	Doc:       "replica state mutations in rep handlers must sit behind an epoch fence; higher-epoch observations must latch deposition",
+	Directive: "unfenced",
+	Run:       run,
+}
+
+// ScopePackages are the packages the invariant covers: the
+// replication layer itself and the server that hosts its handlers.
+var ScopePackages = map[string]bool{
+	"repro/internal/replog": true,
+	"repro/internal/server": true,
+}
+
+// fencedFields are the replica-state field names rule 1 guards.
+// Deliberately absent: liveness and statistics (alive, shipped,
+// rounds, ...), which carry no replicated history.
+var fencedFields = map[string]bool{
+	"epoch": true, "cursor": true, "acked": true, "durable": true,
+	"promoted": true, "quorumBytes": true, "gen": true, "site": true,
+	"g": true, "diverged": true, "deposed": true, "stale": true,
+}
+
+// handlerNames are the rep protocol's handler method names.
+var handlerNames = map[string]bool{
+	"Append": true, "Heartbeat": true, "Snapshot": true, "Promote": true,
+}
+
+// latchNames are the deposition-latch field/variable names rule 2
+// accepts (besides adopting the epoch itself).
+var latchNames = map[string]bool{"stale": true, "deposed": true}
+
+func run(pass *analysis.Pass) error {
+	if !ScopePackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHandler(pass, fn) {
+				continue
+			}
+			roots := paramObjects(pass, fn)
+			checkBody(pass, fn.Body, roots)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, lit.Body, roots)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isHandler reports whether fn is part of the rep protocol: a handler
+// method on an epoch-carrying type, or any function whose signature or
+// body mentions a Rep* wire message.
+func isHandler(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+		sig := obj.Type().(*types.Signature)
+		if sig.Recv() != nil && handlerNames[fn.Name.Name] && hasEpochField(sig.Recv().Type()) {
+			return true
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if isRepMessage(sig.Params().At(i).Type()) {
+				return true
+			}
+		}
+	}
+	touches := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if touches {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok && isRepMessage(tv.Type) {
+				touches = true
+			}
+		case *ast.CallExpr:
+			if repCall(pass, n) {
+				touches = true
+			}
+		}
+		return !touches
+	})
+	return touches
+}
+
+// repCall reports whether call passes or produces a Rep* wire message,
+// or invokes a handler-named method on an epoch-carrying receiver
+// (such a call is also a fence: the callee performs the epoch check or
+// bump before returning).
+func repCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && isRepMessage(tv.Type) {
+			return true
+		}
+	}
+	if tv, ok := pass.TypesInfo.Types[call]; ok && isRepMessage(tv.Type) {
+		return true
+	}
+	if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil && handlerNames[fn.Name()] {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && hasEpochField(sig.Recv().Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isRepMessage reports whether t is a rep.* wire message: a named
+// struct Rep<X> carrying an exported Epoch field. The shape, not the
+// import path, so testdata packages can model the protocol.
+func isRepMessage(t types.Type) bool {
+	named := analysis.ReceiverNamed(t)
+	if named == nil || len(named.Obj().Name()) <= 3 || named.Obj().Name()[:3] != "Rep" {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Epoch" {
+			return true
+		}
+	}
+	return false
+}
+
+// hasEpochField reports whether t (possibly a pointer) is a struct
+// with an unexported epoch field — the replication participants.
+func hasEpochField(t types.Type) bool {
+	named := analysis.ReceiverNamed(t)
+	if named == nil {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "epoch" {
+			return true
+		}
+	}
+	return false
+}
+
+// paramObjects collects the objects a guarded mutation may be rooted
+// at: the receiver and every pointer-typed parameter.
+func paramObjects(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	roots := map[types.Object]bool{}
+	if fn.Recv != nil {
+		for _, f := range fn.Recv.List {
+			for _, name := range f.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					roots[obj] = true
+				}
+			}
+		}
+	}
+	for _, f := range fn.Type.Params.List {
+		for _, name := range f.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().(*types.Pointer); ok {
+				roots[obj] = true
+			}
+		}
+	}
+	return roots
+}
+
+// checkBody applies both rules to one function (or function literal)
+// body.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, roots map[types.Object]bool) {
+	g := pass.CFG(body)
+	dom := g.Dominators()
+
+	// fenced[b] is whether block b contains a fence node (or cond).
+	fenced := make([]bool, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if fenceNode(pass, n) {
+				fenced[b.Index] = true
+				break
+			}
+		}
+		if !fenced[b.Index] && b.Cond != nil && condMentionsLatch(b.Cond) {
+			fenced[b.Index] = true
+		}
+	}
+	dominatedByFence := func(b *cfg.Block) bool {
+		for _, d := range g.Blocks {
+			if fenced[d.Index] && d != b && dom.Reachable(d) && dom.Dominates(d, b) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, b := range g.Blocks {
+		if !dom.Reachable(b) {
+			continue
+		}
+		// Rule 1: guarded mutations need a fence earlier in the block
+		// or in a dominating block.
+		covered := dominatedByFence(b)
+		for _, n := range b.Nodes {
+			for _, mut := range mutations(pass, n, roots) {
+				if !covered && !fenceNode(pass, n) {
+					pass.Reportf(mut.Pos(), "replica state %s is mutated in a rep handler without a dominating epoch fence (compare or bump the epoch, or branch on the deposed latch, first)", exprString(mut))
+				}
+			}
+			if fenceNode(pass, n) {
+				covered = true
+			}
+		}
+		// Rule 2: a higher-epoch observation must latch.
+		if b.Cond != nil && observesHigherEpoch(pass, b.Cond) && len(b.Succs) == 2 {
+			then := b.Succs[0]
+			latched := false
+			for _, d := range g.Blocks {
+				if !latched && dom.Reachable(d) && dom.Dominates(then, d) && blockLatches(pass, d) {
+					latched = true
+				}
+			}
+			if !latched {
+				pass.Reportf(b.Cond.Pos(), "a higher epoch is observed here but the taken branch never latches deposition (set the stale/deposed flag or adopt the epoch)")
+			}
+		}
+	}
+}
+
+// mutation is one guarded lvalue; mutations returns those written by
+// node n: assignments and inc/dec whose target is a selector chain
+// rooted at the receiver or a pointer parameter and ending in a fenced
+// field name.
+func mutations(pass *analysis.Pass, n ast.Node, roots map[types.Object]bool) []ast.Expr {
+	var lhs []ast.Expr
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		lhs = n.Lhs
+	case *ast.IncDecStmt:
+		lhs = []ast.Expr{n.X}
+	default:
+		return nil
+	}
+	var out []ast.Expr
+	for _, e := range lhs {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok || !fencedFields[sel.Sel.Name] {
+			continue
+		}
+		root := chainRoot(sel)
+		if root == nil {
+			continue
+		}
+		if obj := pass.TypesInfo.Uses[root]; obj != nil && roots[obj] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// chainRoot walks a selector/index chain down to its root identifier.
+func chainRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// fenceNode reports whether n performs an epoch fence: an epoch
+// comparison, an epoch write (bump or adoption), or a call into a rep
+// handler.
+func fenceNode(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.BinaryExpr:
+			switch m.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				if mentionsEpoch(m.X) || mentionsEpoch(m.Y) {
+					found = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, l := range m.Lhs {
+				if isEpochLvalue(l) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if isEpochLvalue(m.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if repCall(pass, m) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsEpoch reports whether e's subtree names an epoch (the field
+// or a local copy of it).
+func mentionsEpoch(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && (id.Name == "epoch" || id.Name == "Epoch") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isEpochLvalue(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name == "epoch"
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "epoch"
+	}
+	return false
+}
+
+// condMentionsLatch reports whether a branch condition consults the
+// deposition latch (a stale/deposed-named variable or field).
+func condMentionsLatch(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && latchNames[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// observesHigherEpoch reports whether cond, when true, proves a wire
+// message carried a strictly higher epoch than ours: a `msg.Epoch >
+// ours` (or flipped `ours < msg.Epoch`) comparison in positive
+// position — directly, or as a conjunct of &&. Disjuncts of || prove
+// nothing on the true branch and are ignored.
+func observesHigherEpoch(pass *analysis.Pass, cond ast.Expr) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch b.Op {
+	case token.LAND:
+		return observesHigherEpoch(pass, b.X) || observesHigherEpoch(pass, b.Y)
+	case token.GTR:
+		return wireEpochSelector(pass, b.X)
+	case token.LSS:
+		return wireEpochSelector(pass, b.Y)
+	}
+	return false
+}
+
+// wireEpochSelector reports whether e is the Epoch field of a Rep*
+// wire message.
+func wireEpochSelector(pass *analysis.Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Epoch" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && isRepMessage(tv.Type)
+}
+
+// blockLatches reports whether block b records a deposition: an
+// assignment to a stale/deposed-named lvalue, or an epoch write
+// (adopting the observed epoch is the other valid reaction).
+func blockLatches(pass *analysis.Pass, b *cfg.Block) bool {
+	for _, n := range b.Nodes {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if isLatchLvalue(l) || isEpochLvalue(l) {
+					return true
+				}
+			}
+		case *ast.IncDecStmt:
+			if isLatchLvalue(n.X) || isEpochLvalue(n.X) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isLatchLvalue(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return latchNames[x.Name]
+	case *ast.SelectorExpr:
+		return latchNames[x.Sel.Name]
+	}
+	return false
+}
+
+// exprString renders a (short) lvalue for diagnostics.
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if root := chainRoot(x); root != nil {
+			return root.Name + "." + x.Sel.Name
+		}
+		return x.Sel.Name
+	}
+	return "field"
+}

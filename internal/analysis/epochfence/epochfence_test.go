@@ -1,0 +1,36 @@
+package epochfence_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/epochfence"
+)
+
+const testdataPrefix = "repro/internal/analysis/epochfence/testdata/src/"
+
+func TestEpochFence(t *testing.T) {
+	// The invariant is scoped by import path; put the testdata package
+	// in scope the same way the replication packages are.
+	epochfence.ScopePackages[testdataPrefix+"a"] = true
+	defer delete(epochfence.ScopePackages, testdataPrefix+"a")
+	analysistest.Run(t, epochfence.Analyzer, "a")
+}
+
+// TestOutOfScope checks that an unscoped package is ignored entirely:
+// package b carries the same bug shapes as a and nothing may be
+// reported.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, epochfence.Analyzer, "b")
+}
+
+// TestReplicationLayerInScope pins the production packages into the
+// fence discipline: the replication layer itself and the server that
+// dispatches its handlers (and swaps the served guardian on promote).
+func TestReplicationLayerInScope(t *testing.T) {
+	for _, pkg := range []string{"repro/internal/replog", "repro/internal/server"} {
+		if !epochfence.ScopePackages[pkg] {
+			t.Fatalf("%s must stay in epochfence's ScopePackages", pkg)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package a models the rep protocol's shapes for epochfence: the wire
+// message types mirror repro/internal/wire (Rep* structs carrying an
+// Epoch), the participants mirror replog's Primary and Backup.
+package a
+
+// RepAppend ships a frame run at the sender's epoch.
+type RepAppend struct {
+	Epoch  uint64
+	Start  uint64
+	Frames []byte
+}
+
+// RepAck is the replica's durability acknowledgment.
+type RepAck struct {
+	Epoch   uint64
+	Durable uint64
+	Applied bool
+}
+
+// RepHeartbeat probes a replica.
+type RepHeartbeat struct {
+	Epoch   uint64
+	Durable uint64
+}
+
+// Guardian stands in for the recovered guardian a promotion installs.
+type Guardian struct{ n int }
+
+// Backup is a replication receiver with an epoch to fence on.
+type Backup struct {
+	epoch    uint64
+	durable  uint64
+	promoted bool
+	g        *Guardian
+}
+
+// Append applies a run without ever comparing epochs — the exact bug
+// shape PR 6's review fixed: a deposed primary's append mutates the
+// promoted backup's state.
+func (b *Backup) Append(app RepAppend) RepAck {
+	b.durable += uint64(len(app.Frames)) // want `replica state b\.durable is mutated in a rep handler without a dominating epoch fence`
+	return RepAck{Epoch: b.epoch, Durable: b.durable, Applied: true}
+}
+
+// AppendFenced refuses stale senders and adopts the epoch before
+// touching state: every mutation is dominated by the comparison.
+func (b *Backup) AppendFenced(app RepAppend) RepAck {
+	if b.promoted || app.Epoch < b.epoch {
+		return RepAck{Epoch: b.epoch, Durable: b.durable}
+	}
+	b.epoch = app.Epoch
+	b.durable += uint64(len(app.Frames))
+	return RepAck{Epoch: b.epoch, Durable: b.durable, Applied: true}
+}
+
+// Heartbeat adopts a newer epoch — the adoption is itself the latch
+// for the higher-epoch observation, and the fence for the write.
+func (b *Backup) Heartbeat(hb RepHeartbeat) RepAck {
+	if !b.promoted && hb.Epoch > b.epoch {
+		b.epoch = hb.Epoch
+	}
+	return RepAck{Epoch: b.epoch, Durable: b.durable}
+}
+
+// Promote latches the promoted flag before bumping the epoch: the
+// mutation precedes its fence. PR 6's ordering discipline wants the
+// epoch claim first.
+func (b *Backup) Promote() *Guardian {
+	if !b.promoted {
+		b.promoted = true // want `replica state b\.promoted is mutated in a rep handler without a dominating epoch fence`
+		b.epoch++
+	}
+	return b.g
+}
+
+// PromoteFenced bumps the epoch first; the latch that follows in the
+// same block is fenced by it.
+func (b *Backup) PromoteFenced() *Guardian {
+	if !b.promoted {
+		b.epoch++
+		b.promoted = true
+	}
+	return b.g
+}
+
+// Install wires the recovered guardian outside any epoch fence; the
+// exemption documents why the path is safe and suppresses the finding.
+func (b *Backup) Install(g *Guardian, ack RepAck) {
+	//roslint:unfenced the epoch bump in Promote published the takeover before this wiring
+	b.g = g
+}
+
+// Primary is a replication sender with a deposed latch.
+type Primary struct {
+	epoch   uint64
+	cursor  uint64
+	deposed bool
+}
+
+// Ship observes a higher epoch — proof a backup was promoted — and
+// drops the observation on the floor: the missing deposed latch of
+// PR 6's stale-ack bug.
+func (p *Primary) Ship(ack RepAck) {
+	if ack.Epoch > p.epoch { // want `a higher epoch is observed here but the taken branch never latches deposition`
+		return
+	}
+	p.cursor = ack.Durable
+}
+
+// ShipLatched records the deposition before returning.
+func (p *Primary) ShipLatched(ack RepAck) {
+	if ack.Epoch > p.epoch {
+		p.deposed = true
+		return
+	}
+	p.cursor = ack.Durable
+}
+
+// Server hosts a backup; installing the guardian it recovers.
+type Server struct {
+	g *Guardian
+}
+
+// Install swaps the served guardian after the promote call: the call
+// into the rep handler is the fence (Promote bumps the epoch before
+// returning), so the mutation that follows it is covered.
+func (s *Server) Install(b *Backup) {
+	g := b.PromoteFenced()
+	s.g = g
+}

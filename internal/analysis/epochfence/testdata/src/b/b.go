@@ -1,0 +1,28 @@
+// Package b carries the same bug shapes as package a but is not in
+// ScopePackages: nothing may be reported.
+package b
+
+// RepAck mirrors the wire ack.
+type RepAck struct {
+	Epoch   uint64
+	Durable uint64
+}
+
+// Primary is an unscoped replication sender.
+type Primary struct {
+	epoch  uint64
+	cursor uint64
+}
+
+// Ship would violate both rules if package b were in scope.
+func (p *Primary) Ship(ack RepAck) {
+	if ack.Epoch > p.epoch {
+		return
+	}
+	p.cursor = ack.Durable
+}
+
+// Apply mutates without any fence.
+func (p *Primary) Apply(ack RepAck) {
+	p.cursor = ack.Durable
+}

@@ -12,11 +12,17 @@
 //
 // Two force paths are legal. ForceWrite forces the entry itself. The
 // group-commit split — `lsn, err := log.Write(...)` followed by
-// `log.ForceTo(lsn)` in the same function — appends the entry and then
-// blocks until a (possibly shared) force covers it; the analyzer
-// recognizes the ForceTo on the Write's own bound LSN variable and
-// accepts it. A ForceTo on some other LSN does not cover the entry and
-// is still flagged.
+// `log.ForceTo(lsn)` — appends the entry and then blocks until a
+// (possibly shared) force covers it. The split is checked
+// path-sensitively on the function's control-flow graph
+// (internal/analysis/cfg): from the Write, *every* path to a return
+// must pass a ForceTo on the Write's own bound LSN variable before the
+// function can acknowledge. Paths entered by observing the Write's own
+// error (the `if err != nil` arm) are exempt — a failed append left
+// nothing durable to await. A ForceTo on some other LSN, or one
+// reached only on some branches, does not cover the entry and is
+// flagged. (The PR 2 version accepted a ForceTo anywhere in the
+// function, so a force hidden behind an unrelated branch slipped by.)
 //
 // Deliberately unforced outcome writes (e.g. housekeeping's
 // committed_ss, which the generation switch forces later) carry
@@ -26,9 +32,11 @@ package forcebarrier
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
 )
 
 // Analyzer is the forcebarrier analyzer.
@@ -91,47 +99,157 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 }
 
 // forcedViaForceTo reports whether the Write call's LSN result is bound
-// to a variable that the same function later passes to
-// (*stablelog.Log).ForceTo — the group-commit append/await split, which
-// guarantees the entry is durable before the function acknowledges.
+// to a variable that every subsequent path passes to
+// (*stablelog.Log).ForceTo before returning — the group-commit
+// append/await split, which guarantees the entry is durable before the
+// function acknowledges. Paths entered by observing the Write's own
+// error are exempt: a failed append left nothing durable to await.
 func forcedViaForceTo(pass *analysis.Pass, fn *ast.FuncDecl, write *ast.CallExpr) bool {
-	// Find the `lsn, err := log.Write(...)` assignment binding the LSN.
-	var lsnObj types.Object
+	// Find the `lsn, err := log.Write(...)` assignment binding the LSN
+	// (and the error, for the err-path exemption).
+	var lsnObj, errObj types.Object
+	var bind *ast.AssignStmt
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		assign, ok := n.(*ast.AssignStmt)
 		if !ok || len(assign.Rhs) != 1 || ast.Unparen(assign.Rhs[0]) != write || len(assign.Lhs) != 2 {
 			return true
 		}
-		if id, ok := assign.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
-			if obj := pass.TypesInfo.Defs[id]; obj != nil {
-				lsnObj = obj
-			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
-				lsnObj = obj
-			}
-		}
+		bind = assign
+		lsnObj = identObj(pass, assign.Lhs[0])
+		errObj = identObj(pass, assign.Lhs[1])
 		return false
 	})
 	if lsnObj == nil {
 		return false
 	}
-	// Find a ForceTo call on that exact LSN variable.
-	found := false
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok || found {
+	forces := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			callee := analysis.CalleeFunc(pass.TypesInfo, call)
+			if callee == nil || callee.Name() != "ForceTo" ||
+				!analysis.IsMethodOf(callee, stablelogPath, "Log") || len(call.Args) != 1 {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == lsnObj {
+				found = true
+			}
 			return !found
+		})
+		return found
+	}
+
+	// Locate the binding statement in the CFG. A write inside a nested
+	// function literal has no node in the enclosing graph; fall back to
+	// "a ForceTo anywhere covers it" for that rare shape.
+	g := pass.CFG(fn.Body)
+	var wb *cfg.Block
+	wi := -1
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n == ast.Node(bind) || containsNode(n, bind) {
+				wb, wi = b, i
+			}
 		}
-		callee := analysis.CalleeFunc(pass.TypesInfo, call)
-		if callee == nil || callee.Name() != "ForceTo" ||
-			!analysis.IsMethodOf(callee, stablelogPath, "Log") || len(call.Args) != 1 {
+	}
+	if wb == nil {
+		return forces(fn.Body)
+	}
+	// Forced within the rest of the Write's own block?
+	for _, n := range wb.Nodes[wi+1:] {
+		if forces(n) {
 			return true
 		}
-		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == lsnObj {
-			found = true
+	}
+	// Backward may-analysis: can the end of a block reach Exit without
+	// passing a ForceTo on this LSN? Edges taken by observing the
+	// Write's error are pruned.
+	res := cfg.Solve(g, cfg.Analysis[bool]{
+		Dir:      cfg.Backward,
+		Boundary: true,
+		Transfer: func(b *cfg.Block, in bool) bool {
+			for _, n := range b.Nodes {
+				if forces(n) {
+					return false
+				}
+			}
+			return in
+		},
+		Meet:  func(a, b bool) bool { return a || b },
+		Equal: func(a, b bool) bool { return a == b },
+		EdgeOK: func(from, to *cfg.Block) bool {
+			return !errGuardEdge(pass, from, to, errObj)
+		},
+	})
+	unforcedFromEnd, ok := res.In[wb]
+	return !(ok && unforcedFromEnd)
+}
+
+// errGuardEdge reports whether from→to is the edge taken when the
+// Write's own error is non-nil: the true edge of `err != nil` or the
+// false edge of `err == nil`.
+func errGuardEdge(pass *analysis.Pass, from, to *cfg.Block, errObj types.Object) bool {
+	if errObj == nil || from.Cond == nil {
+		return false
+	}
+	bin, ok := ast.Unparen(from.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	var id *ast.Ident
+	if x, ok := ast.Unparen(bin.X).(*ast.Ident); ok && pass.TypesInfo.Uses[x] == errObj {
+		id = x
+	} else if y, ok := ast.Unparen(bin.Y).(*ast.Ident); ok && pass.TypesInfo.Uses[y] == errObj {
+		id = y
+	}
+	if id == nil {
+		return false
+	}
+	switch bin.Op {
+	case token.NEQ: // err != nil: error path is the true edge
+		return len(from.Succs) > 0 && to == from.Succs[0]
+	case token.EQL: // err == nil: error path is the false edge
+		return len(from.Succs) > 1 && to == from.Succs[1]
+	}
+	return false
+}
+
+// containsNode reports whether node's subtree (function literals
+// pruned) contains target.
+func containsNode(node, target ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(x ast.Node) bool {
+		if found {
+			return false
 		}
-		return !found
+		if x == target {
+			found = true
+			return false
+		}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		return true
 	})
 	return found
+}
+
+// identObj resolves a (non-blank) identifier expression to its object.
+func identObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
 }
 
 // payloadKind resolves the logrec.Kind constant name of the entry a

@@ -80,3 +80,53 @@ func abortWrongLSN(l *stablelog.Log, f logrec.Format, other stablelog.LSN) error
 	_ = lsn
 	return l.ForceTo(other)
 }
+
+// ForceTo reached on only one branch: the other path acknowledges an
+// unforced outcome. Flagged — the PR 2 analyzer accepted a ForceTo
+// anywhere in the function.
+func commitHalfForced(l *stablelog.Log, f logrec.Format, noisy bool) error {
+	lsn, err := l.Write(logrec.Encode(f, &logrec.Entry{Kind: logrec.KindCommitted})) // want `KindCommitted entry written with buffered Write`
+	if err != nil {
+		return err
+	}
+	if noisy {
+		return l.ForceTo(lsn)
+	}
+	return nil
+}
+
+// ForceTo on every branch: not flagged.
+func commitBothBranches(l *stablelog.Log, f logrec.Format, slow bool) error {
+	lsn, err := l.Write(logrec.Encode(f, &logrec.Entry{Kind: logrec.KindCommitted}))
+	if err != nil {
+		return err
+	}
+	if slow {
+		return l.ForceTo(lsn)
+	}
+	return l.ForceTo(lsn)
+}
+
+// The err == nil spelling of the guard: the error path returns without
+// forcing, the success path forces. Not flagged.
+func commitErrEq(l *stablelog.Log, f logrec.Format) error {
+	lsn, err := l.Write(logrec.Encode(f, &logrec.Entry{Kind: logrec.KindCommitted}))
+	if err == nil {
+		return l.ForceTo(lsn)
+	}
+	return err
+}
+
+// A force awaited inside a retry loop still covers every exiting path:
+// not flagged.
+func commitLoop(l *stablelog.Log, f logrec.Format) error {
+	lsn, err := l.Write(logrec.Encode(f, &logrec.Entry{Kind: logrec.KindCommitted}))
+	if err != nil {
+		return err
+	}
+	for {
+		if ferr := l.ForceTo(lsn); ferr == nil {
+			return nil
+		}
+	}
+}

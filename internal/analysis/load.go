@@ -14,6 +14,9 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis/cfg"
 )
 
 // Package is one loaded, type-checked package.
@@ -24,6 +27,23 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+
+	cfgs map[*ast.BlockStmt]*cfg.Graph
+}
+
+// cfgOf builds (once) and returns the CFG for a function body of this
+// package. Not safe for concurrent use; the driver runs analyzers
+// sequentially.
+func (pkg *Package) cfgOf(body *ast.BlockStmt) *cfg.Graph {
+	if pkg.cfgs == nil {
+		pkg.cfgs = map[*ast.BlockStmt]*cfg.Graph{}
+	}
+	g := pkg.cfgs[body]
+	if g == nil {
+		g = cfg.New(body)
+		pkg.cfgs[body] = g
+	}
+	return g
 }
 
 // listedPackage is the subset of `go list -json` output the loader
@@ -53,6 +73,25 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"."}
 	}
+	key := dir + "\x00" + strings.Join(patterns, "\x00")
+	if pkgs, ok := loadMemo[key]; ok {
+		return pkgs, nil
+	}
+	pkgs, err := load(dir, patterns)
+	if err == nil {
+		loadMemo[key] = pkgs
+	}
+	return pkgs, err
+}
+
+// loadMemo caches Load results for the life of the process: one
+// `go list -export` subprocess and one type-check per distinct
+// (dir, patterns), shared by every analyzer that asks. Sources do not
+// change mid-run, so the memo is never invalidated. Not safe for
+// concurrent use, like the rest of the loader.
+var loadMemo = map[string][]*Package{}
+
+func load(dir string, patterns []string) ([]*Package, error) {
 	args := append([]string{
 		"list", "-export",
 		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,DepOnly,Error",

@@ -8,10 +8,15 @@
 // schedules). Four rules keep the locking auditable:
 //
 //  1. Release discipline. Every Lock/RLock must be released on every
-//     path: either by an immediately dominating defer Unlock, or by
-//     explicit Unlocks that a conservative walk of the enclosing
-//     statement tree can see on each branch. Returning (or falling off
-//     the function) while holding the lock is flagged.
+//     path: either by a defer Unlock executed on the path, or by
+//     explicit Unlocks. The check is a forward must-analysis over the
+//     function's control-flow graph (internal/analysis/cfg): the held
+//     set is propagated to a fixpoint along every edge — if/else arms,
+//     loop back edges, labeled break/continue, goto, switch
+//     fallthrough, select clauses — and a return (or the implicit one)
+//     reached with an uncovered lock, or a join whose incoming paths
+//     disagree about a lock, is flagged. (The PR 2 version walked the
+//     statement tree and gave up at any break/continue/goto.)
 //
 //  2. Self-deadlock. While a mutex is held, calling a method on the
 //     same receiver that acquires the same mutex field deadlocks
@@ -35,7 +40,9 @@
 //     table lock or a writer mutex re-serializes every action behind
 //     one device write — the exact contention the scheduler exists to
 //     remove. Appending (Log.Write) under a writer mutex is fine; the
-//     await must happen after the unlock.
+//     await must happen after the unlock. Rules 2–4 consult the same
+//     per-point held sets the flow analysis computes, so a lock
+//     released on one branch no longer taints calls on the other.
 //
 // Intentional departures (lock handoff, conditionally held locks)
 // carry //roslint:lockorder with a justification.
@@ -45,8 +52,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
 )
 
 // Analyzer is the lockdiscipline analyzer.
@@ -102,7 +111,7 @@ var rsMethods = map[string]bool{
 	"Housekeep":  true,
 }
 
-// lockState tracks one held mutex inside a function walk.
+// lockState tracks one held mutex.
 type lockState struct {
 	key      string       // canonical owner chain + field, e.g. "a.g.mu"
 	root     types.Object // root object of the chain (variable `a`)
@@ -112,6 +121,10 @@ type lockState struct {
 	deferred bool         // a defer covers the release
 	pos      ast.Node     // the Lock call, for reporting
 }
+
+// held is the dataflow fact: the set of locks held at a program point,
+// keyed by canonical chain. Treated immutably by the solver.
+type held map[string]*lockState
 
 type checker struct {
 	pass *analysis.Pass
@@ -150,7 +163,10 @@ func run(pass *analysis.Pass) error {
 			})
 		}
 	}
-	// Pass 2: walk every function body.
+	// Pass 2: flow analysis over every function body. Function
+	// literals are separate bodies with their own graphs (a lock held
+	// by the enclosing function at the literal's creation is not
+	// necessarily held when the literal runs).
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -158,348 +174,245 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			c.checkBody(fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					c.checkBody(lit.Body)
+				}
+				return true
+			})
 		}
 	}
 	return nil
 }
 
-// checkBody analyzes one function (or function literal) body.
+// checkBody runs the held-set must-analysis over one function body and
+// reports rule violations from the solved facts.
 func (c *checker) checkBody(body *ast.BlockStmt) {
-	held := map[string]*lockState{}
-	if c.scan(body.List, held) {
-		// Every path returns or loops forever; there is no fall-through.
-		return
-	}
-	for _, st := range held {
-		if !st.deferred {
-			c.pass.Reportf(st.pos.Pos(),
-				"%s locked here but not released on the fall-through path (add defer %s, or justify a handoff with //roslint:lockorder)",
-				st.key, unlockName(st))
+	g := c.pass.CFG(body)
+	res := cfg.Solve(g, cfg.Analysis[held]{
+		Dir:      cfg.Forward,
+		Boundary: held{},
+		Transfer: func(b *cfg.Block, in held) held {
+			out := copyHeld(in)
+			for _, n := range b.Nodes {
+				c.applyNode(n, out, false)
+			}
+			return out
+		},
+		Meet:  meetHeld,
+		Equal: equalHeld,
+	})
+	dom := g.Dominators()
+
+	// Replay each reachable block once with reporting on: rules 2–4
+	// fire against the per-point held set, returns against what is
+	// still uncovered, double-locks against what is already held.
+	for _, b := range g.Blocks {
+		in, ok := res.In[b]
+		if !ok {
+			continue
 		}
-	}
-}
-
-func unlockName(st *lockState) string {
-	if st.read {
-		return st.key + ".RUnlock()"
-	}
-	return st.key + ".Unlock()"
-}
-
-// scan walks a statement list updating held in place. It returns true
-// if the list terminates (every path returns/branches out).
-func (c *checker) scan(stmts []ast.Stmt, held map[string]*lockState) bool {
-	for _, stmt := range stmts {
-		if c.scanStmt(stmt, held) {
-			return true
+		h := copyHeld(in)
+		for _, n := range b.Nodes {
+			c.applyNode(n, h, true)
 		}
-	}
-	return false
-}
-
-// scanStmt processes one statement; true means control does not fall
-// through.
-func (c *checker) scanStmt(stmt ast.Stmt, held map[string]*lockState) bool {
-	switch s := stmt.(type) {
-	case *ast.ExprStmt:
-		c.scanExpr(s.X, held)
-
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			c.scanExpr(e, held)
-		}
-
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, e := range vs.Values {
-						c.scanExpr(e, held)
-					}
+		if b == g.FallBlock {
+			for _, st := range sortedStates(h) {
+				if !st.deferred {
+					c.pass.Reportf(st.pos.Pos(),
+						"%s locked here but not released on the fall-through path (add defer %s, or justify a handoff with //roslint:lockorder)",
+						st.key, unlockName(st))
 				}
 			}
 		}
+	}
 
-	case *ast.DeferStmt:
-		if kind, st := c.lockCall(s.Call); kind == "Unlock" || kind == "RUnlock" {
-			if h, ok := held[st.key]; ok && h.read == (kind == "RUnlock") {
-				h.deferred = true
+	// Join-point audit: paths that disagree about a lock. For loop
+	// headers the disagreement is between loop entry and the back
+	// edge; for ordinary joins, between the branch arms.
+	for _, b := range g.Blocks {
+		if _, ok := res.In[b]; !ok || b == g.Exit {
+			continue
+		}
+		var livePreds []*cfg.Block
+		for _, p := range b.Preds {
+			if _, ok := res.Out[p]; ok {
+				livePreds = append(livePreds, p)
+			}
+		}
+		if len(livePreds) < 2 {
+			continue
+		}
+		keys := map[string]bool{}
+		for _, p := range livePreds {
+			for k := range res.Out[p] {
+				keys[k] = true
+			}
+		}
+		for _, k := range sortedKeys(keys) {
+			if b.LoopHead {
+				c.reportLoopJoin(b, dom, res, livePreds, k)
+			} else {
+				c.reportJoin(b, res, livePreds, k)
+			}
+		}
+	}
+}
+
+// reportJoin flags key if the incoming paths of an ordinary join
+// disagree about it.
+func (c *checker) reportJoin(b *cfg.Block, res *cfg.Result[held], preds []*cfg.Block, key string) {
+	n := 0
+	for _, p := range preds {
+		if _, ok := res.Out[p][key]; ok {
+			n++
+		}
+	}
+	if n == 0 || n == len(preds) {
+		return
+	}
+	c.pass.Reportf(joinPos(b),
+		"%s is held on some paths but not others after this statement (unlock consistently, or justify with //roslint:lockorder)", key)
+}
+
+// reportLoopJoin flags key when its held-state differs between loop
+// entry and the end of an iteration: the next pass would double-lock
+// or double-unlock.
+func (c *checker) reportLoopJoin(b *cfg.Block, dom *cfg.Dom, res *cfg.Result[held], preds []*cfg.Block, key string) {
+	var entryHas, entryMiss, backHas, backMiss int
+	var backState *lockState
+	for _, p := range preds {
+		st, ok := res.Out[p][key]
+		if dom.Dominates(b, p) { // back edge
+			if ok {
+				backHas++
+				backState = st
+			} else {
+				backMiss++
 			}
 		} else {
-			c.scanCalls(s.Call, held)
+			if ok {
+				entryHas++
+			} else {
+				entryMiss++
+			}
+		}
+	}
+	switch {
+	case entryHas > 0 && entryMiss == 0 && backHas == 0 && backMiss > 0:
+		c.pass.Reportf(joinPos(b),
+			"%s is released inside this loop but held on entry; the next iteration would unlock an unlocked mutex or deadlock", key)
+	case entryHas == 0 && backHas > 0 && !backState.deferred:
+		c.pass.Reportf(backState.pos.Pos(),
+			"%s locked inside a loop but still held at the end of the iteration", key)
+	case entryHas > 0 && entryMiss > 0, backHas > 0 && backMiss > 0:
+		c.pass.Reportf(joinPos(b),
+			"%s is held on some paths but not others after this statement (unlock consistently, or justify with //roslint:lockorder)", key)
+	}
+}
+
+// joinPos positions a join report: the originating statement when the
+// builder recorded one, else the block's first node.
+func joinPos(b *cfg.Block) token.Pos {
+	if b.Stmt != nil {
+		return b.Stmt.Pos()
+	}
+	if len(b.Nodes) > 0 {
+		return b.Nodes[0].Pos()
+	}
+	return token.NoPos
+}
+
+// applyNode advances the held set across one CFG node. With report
+// set, rule violations are emitted (the solver calls it silently; the
+// post-fixpoint replay reports).
+func (c *checker) applyNode(n ast.Node, h held, report bool) {
+	switch s := n.(type) {
+	case *ast.DeferStmt:
+		if kind, st := c.lockCall(s.Call); kind == "Unlock" || kind == "RUnlock" {
+			if cur, ok := h[st.key]; ok && cur.read == (kind == "RUnlock") {
+				cur.deferred = true
+			}
+			return
+		}
+		if report {
+			c.checkHeldCall(s.Call, h)
+		}
+		for _, arg := range s.Call.Args {
+			c.applyExpr(arg, h, report)
+		}
+
+	case *ast.GoStmt:
+		// The call runs on another goroutine with its own schedule;
+		// only the argument evaluation happens under the current held
+		// set.
+		if report {
+			c.checkHeldCall(s.Call, h)
+		}
+		for _, arg := range s.Call.Args {
+			c.applyExpr(arg, h, report)
 		}
 
 	case *ast.ReturnStmt:
 		for _, e := range s.Results {
-			c.scanExpr(e, held)
+			c.applyExpr(e, h, report)
 		}
-		for _, st := range held {
-			if !st.deferred {
-				c.pass.Reportf(s.Pos(),
-					"return while holding %s with no defer on this path (unlock first, or justify with //roslint:lockorder)",
-					st.key)
-			}
-		}
-		return true
-
-	case *ast.BranchStmt:
-		// break/continue/goto: the lock may be released after the loop;
-		// treat as a path end without a verdict.
-		return true
-
-	case *ast.BlockStmt:
-		return c.scan(s.List, held)
-
-	case *ast.LabeledStmt:
-		return c.scanStmt(s.Stmt, held)
-
-	case *ast.IfStmt:
-		if s.Init != nil {
-			c.scanStmt(s.Init, held)
-		}
-		c.scanExpr(s.Cond, held)
-		thenHeld := copyHeld(held)
-		thenTerm := c.scan(s.Body.List, thenHeld)
-		elseHeld := copyHeld(held)
-		elseTerm := false
-		if s.Else != nil {
-			elseTerm = c.scanStmt(s.Else, elseHeld)
-		}
-		return c.merge(s, held, thenHeld, thenTerm, elseHeld, elseTerm)
-
-	case *ast.ForStmt:
-		if s.Init != nil {
-			c.scanStmt(s.Init, held)
-		}
-		if s.Cond != nil {
-			c.scanExpr(s.Cond, held)
-		}
-		bodyHeld := copyHeld(held)
-		c.scan(s.Body.List, bodyHeld)
-		// A lock whose state differs between loop entry and iteration
-		// end would double-lock or double-unlock on the next pass.
-		c.compareLoop(s, held, bodyHeld)
-		// `for { ... }` with no break never falls through (the wait
-		// loops in internal/object exit only by returning).
-		if s.Cond == nil && !hasBreak(s.Body) {
-			return true
-		}
-
-	case *ast.RangeStmt:
-		c.scanExpr(s.X, held)
-		bodyHeld := copyHeld(held)
-		c.scan(s.Body.List, bodyHeld)
-		c.compareLoop(s, held, bodyHeld)
-
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		return c.scanBranches(stmt, held)
-
-	case *ast.GoStmt:
-		c.scanCalls(s.Call, held)
-	}
-	return false
-}
-
-// scanBranches handles switch/select: each clause is a branch from the
-// same entry state; fall-through clauses must agree.
-func (c *checker) scanBranches(stmt ast.Stmt, held map[string]*lockState) bool {
-	var body *ast.BlockStmt
-	switch s := stmt.(type) {
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			c.scanStmt(s.Init, held)
-		}
-		if s.Tag != nil {
-			c.scanExpr(s.Tag, held)
-		}
-		body = s.Body
-	case *ast.TypeSwitchStmt:
-		body = s.Body
-	case *ast.SelectStmt:
-		body = s.Body
-	}
-	type out struct {
-		held map[string]*lockState
-		term bool
-	}
-	var outs []out
-	hasDefault := false
-	for _, clause := range body.List {
-		var stmts []ast.Stmt
-		switch cl := clause.(type) {
-		case *ast.CaseClause:
-			stmts = cl.Body
-			if cl.List == nil {
-				hasDefault = true
-			}
-		case *ast.CommClause:
-			stmts = cl.Body
-			if cl.Comm == nil {
-				hasDefault = true
-			}
-		}
-		h := copyHeld(held)
-		term := c.scan(stmts, h)
-		outs = append(outs, out{h, term})
-	}
-	_, isSelect := stmt.(*ast.SelectStmt)
-	exhaustive := hasDefault || (isSelect && len(outs) > 0)
-	// Merge the fall-through branches; without a default the entry
-	// state itself falls through too.
-	var fall []map[string]*lockState
-	if !exhaustive {
-		fall = append(fall, copyHeld(held))
-	}
-	allTerm := exhaustive
-	for _, o := range outs {
-		if !o.term {
-			fall = append(fall, o.held)
-		}
-		allTerm = allTerm && o.term
-	}
-	if allTerm && len(fall) == 0 {
-		return true
-	}
-	c.mergeInto(stmt, held, fall)
-	return false
-}
-
-// merge reconciles the two branches of an if.
-func (c *checker) merge(at ast.Node, held map[string]*lockState, thenHeld map[string]*lockState, thenTerm bool, elseHeld map[string]*lockState, elseTerm bool) bool {
-	var fall []map[string]*lockState
-	if !thenTerm {
-		fall = append(fall, thenHeld)
-	}
-	if !elseTerm {
-		fall = append(fall, elseHeld)
-	}
-	if len(fall) == 0 {
-		return true
-	}
-	c.mergeInto(at, held, fall)
-	return false
-}
-
-// hasBreak reports whether body contains a break binding to the
-// enclosing loop (not one captured by a nested loop, switch, or
-// select, and not inside a function literal).
-func hasBreak(body *ast.BlockStmt) bool {
-	found := false
-	var walk func(n ast.Node) bool
-	walk = func(n ast.Node) bool {
-		switch s := n.(type) {
-		case *ast.BranchStmt:
-			if s.Tok == token.BREAK {
-				found = true
-			}
-		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
-			_ = s
-			return false
-		}
-		return true
-	}
-	for _, stmt := range body.List {
-		ast.Inspect(stmt, walk)
-	}
-	return found
-}
-
-// mergeInto writes the merged fall-through state into held, reporting
-// branches that disagree about a lock.
-func (c *checker) mergeInto(at ast.Node, held map[string]*lockState, fall []map[string]*lockState) {
-	keys := map[string]bool{}
-	for _, h := range fall {
-		for k := range h {
-			keys[k] = true
-		}
-	}
-	for k := range held {
-		delete(held, k)
-	}
-	for k := range keys {
-		inAll := true
-		var st *lockState
-		for _, h := range fall {
-			if s, ok := h[k]; ok {
-				if st == nil {
-					st = s
+		if report {
+			for _, st := range sortedStates(h) {
+				if !st.deferred {
+					c.pass.Reportf(s.Pos(),
+						"return while holding %s with no defer on this path (unlock first, or justify with //roslint:lockorder)",
+						st.key)
 				}
-			} else {
-				inAll = false
 			}
 		}
-		if inAll {
-			held[k] = st
-		} else {
-			c.pass.Reportf(at.Pos(),
-				"%s is held on some paths but not others after this statement (unlock consistently, or justify with //roslint:lockorder)", k)
-		}
+
+	default:
+		c.applyExpr(n, h, report)
 	}
 }
 
-// compareLoop reports locks whose held-state at the end of a loop body
-// differs from loop entry.
-func (c *checker) compareLoop(at ast.Node, entry, exit map[string]*lockState) {
-	for k := range entry {
-		if _, ok := exit[k]; !ok {
-			c.pass.Reportf(at.Pos(),
-				"%s is released inside this loop but held on entry; the next iteration would unlock an unlocked mutex or deadlock", k)
-		}
-	}
-	for k, st := range exit {
-		if _, ok := entry[k]; !ok && !st.deferred {
-			c.pass.Reportf(st.pos.Pos(),
-				"%s locked inside a loop but still held at the end of the iteration", k)
-		}
-	}
-}
-
-// scanExpr looks inside an expression for lock transitions, held-lock
-// self-calls, and raw device I/O; function literals are analyzed as
-// separate bodies.
-func (c *checker) scanExpr(expr ast.Expr, held map[string]*lockState) {
-	if expr == nil {
+// applyExpr scans a node subtree (statement or expression) for lock
+// transitions and held-call violations, in syntactic order; function
+// literals are opaque (they have their own graphs).
+func (c *checker) applyExpr(n ast.Node, h held, report bool) {
+	if n == nil {
 		return
 	}
-	ast.Inspect(expr, func(n ast.Node) bool {
-		if lit, ok := n.(*ast.FuncLit); ok {
-			c.checkBody(lit.Body)
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
 			return false
 		}
-		call, ok := n.(*ast.CallExpr)
+		call, ok := x.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
 		kind, st := c.lockCall(call)
 		switch kind {
 		case "Lock", "RLock":
-			if _, ok := held[st.key]; ok {
-				c.pass.Reportf(call.Pos(), "%s locked while already held: self-deadlock (sync mutexes are not reentrant)", st.key)
+			if _, dup := h[st.key]; dup {
+				if report {
+					c.pass.Reportf(call.Pos(), "%s locked while already held: self-deadlock (sync mutexes are not reentrant)", st.key)
+				}
 			}
 			st.read = kind == "RLock"
 			st.pos = call
-			held[st.key] = st
+			h[st.key] = st
 		case "Unlock", "RUnlock":
-			delete(held, st.key)
+			delete(h, st.key)
 		default:
-			c.checkHeldCall(call, held)
+			if report {
+				c.checkHeldCall(call, h)
+			}
 		}
 		return true
 	})
 }
 
-// scanCalls applies held-call checks to a call used in go/defer.
-func (c *checker) scanCalls(call *ast.CallExpr, held map[string]*lockState) {
-	c.checkHeldCall(call, held)
-	for _, arg := range call.Args {
-		c.scanExpr(arg, held)
-	}
-}
-
 // checkHeldCall reports self-deadlocks and raw device I/O made while a
 // lock is held.
-func (c *checker) checkHeldCall(call *ast.CallExpr, held map[string]*lockState) {
-	if len(held) == 0 {
+func (c *checker) checkHeldCall(call *ast.CallExpr, h held) {
+	if len(h) == 0 {
 		return
 	}
 	fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
@@ -511,7 +424,7 @@ func (c *checker) checkHeldCall(call *ast.CallExpr, held map[string]*lockState) 
 		chain, _, ok := c.chainOf(sel.X)
 		if ok {
 			for _, field := range c.acquires[fn] {
-				for _, st := range held {
+				for _, st := range sortedStates(h) {
 					if st.field == field && st.chain == chain {
 						c.pass.Reportf(call.Pos(),
 							"%s() acquires %s which is already held here: self-deadlock", fn.Name(), st.key)
@@ -522,11 +435,8 @@ func (c *checker) checkHeldCall(call *ast.CallExpr, held map[string]*lockState) 
 	}
 	// Rule 3: raw device I/O under a lock in the log packages.
 	if LogPackages[c.pass.Pkg.Path()] && analysis.IsMethodOf(fn, stablePath, "Device") {
-		for range held {
-			c.pass.Reportf(call.Pos(),
-				"raw stable.Device.%s under a held mutex; the log must do I/O through stable.Store (lock order Log → Store → Device)", fn.Name())
-			break
-		}
+		c.pass.Reportf(call.Pos(),
+			"raw stable.Device.%s under a held mutex; the log must do I/O through stable.Store (lock order Log → Store → Device)", fn.Name())
 	}
 	// Rule 4: force waits (or recovery-system operations, which force
 	// internally) under a lock in the guardian/writer packages.
@@ -534,7 +444,7 @@ func (c *checker) checkHeldCall(call *ast.CallExpr, held map[string]*lockState) 
 		blocked := (forceMethods[fn.Name()] && analysis.IsMethodOf(fn, stablelogPath, "Log")) ||
 			(rsMethods[fn.Name()] && analysis.IsMethodOf(fn, corePath, "RecoverySystem"))
 		if blocked {
-			for _, st := range held {
+			for _, st := range sortedStates(h) {
 				c.pass.Reportf(call.Pos(),
 					"%s() waits on a log force while %s is held; release the lock before awaiting durability or concurrent commits serialize (group commit, thesis §4.1)",
 					fn.Name(), st.key)
@@ -542,6 +452,13 @@ func (c *checker) checkHeldCall(call *ast.CallExpr, held map[string]*lockState) 
 			}
 		}
 	}
+}
+
+func unlockName(st *lockState) string {
+	if st.read {
+		return st.key + ".RUnlock()"
+	}
+	return st.key + ".Unlock()"
 }
 
 // lockCall classifies a call as Lock/RLock/Unlock/RUnlock on a
@@ -608,11 +525,57 @@ func (c *checker) chainOf(e ast.Expr) (string, types.Object, bool) {
 	return "", nil, false
 }
 
-func copyHeld(held map[string]*lockState) map[string]*lockState {
-	out := make(map[string]*lockState, len(held))
-	for k, v := range held {
+func copyHeld(h held) held {
+	out := make(held, len(h))
+	for k, v := range h {
 		cp := *v
 		out[k] = &cp
 	}
+	return out
+}
+
+// meetHeld intersects two held sets (must-analysis): a lock counts as
+// held at a join only when every incoming path holds it, and as
+// defer-covered only when every path covers it.
+func meetHeld(a, b held) held {
+	out := held{}
+	for k, sa := range a {
+		if sb, ok := b[k]; ok {
+			cp := *sa
+			cp.deferred = sa.deferred && sb.deferred
+			out[k] = &cp
+		}
+	}
+	return out
+}
+
+func equalHeld(a, b held) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, sa := range a {
+		sb, ok := b[k]
+		if !ok || sa.read != sb.read || sa.deferred != sb.deferred {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedStates(h held) []*lockState {
+	out := make([]*lockState, 0, len(h))
+	for _, st := range h {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
 	return out
 }

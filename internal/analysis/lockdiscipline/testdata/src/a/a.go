@@ -127,3 +127,76 @@ func (t *table) wait(k int) int {
 		t.mu.RLock()
 	}
 }
+
+// --- CFG-only cases: the PR 2 statement-tree walk gave up at any
+// break/continue/goto ("path end without a verdict"); the flow
+// analysis follows them. ---
+
+// goto with the lock held reaches the label's return unreleased.
+func (c *counter) gotoLeak() int {
+	c.mu.Lock()
+	if c.n > 0 {
+		goto out
+	}
+	c.mu.Unlock()
+	return 0
+out:
+	return c.n // want `return while holding c.mu`
+}
+
+// goto on a path that released first: not flagged.
+func (c *counter) gotoClean() int {
+	c.mu.Lock()
+	if c.n > 0 {
+		c.mu.Unlock()
+		goto out
+	}
+	c.mu.Unlock()
+	return 0
+out:
+	return c.n
+}
+
+// Labeled continue with the lock released on every path: not flagged.
+func (c *counter) labeledContinue(xs [][]int) int {
+	total := 0
+outer:
+	for _, row := range xs {
+		for _, v := range row {
+			c.mu.Lock()
+			if v < 0 {
+				c.mu.Unlock()
+				continue outer
+			}
+			total += v
+			c.mu.Unlock()
+		}
+	}
+	return total
+}
+
+// Labeled break escaping both loops with the lock held disagrees with
+// the loop's normal exit: flagged at the join after the outer loop.
+func (c *counter) labeledBreakLeak(xs [][]int) int {
+search:
+	for _, row := range xs { // want `c.mu is held on some paths but not others`
+		for _, v := range row {
+			c.mu.Lock()
+			if v == 0 {
+				break search
+			}
+			c.mu.Unlock()
+		}
+	}
+	return 0
+}
+
+// A defer registered on only one branch covers only that branch; the
+// old walk believed whichever branch it merged first.
+func (c *counter) condDefer(b bool) {
+	c.mu.Lock() // want `c.mu locked here but not released on the fall-through path`
+	if b {
+		defer c.mu.Unlock()
+	}
+	c.n++
+}

@@ -1,0 +1,77 @@
+// Package a models the wire package's codec shapes for wirecodec.
+package a
+
+// Op identifies a request's operation.
+type Op uint8
+
+const (
+	OpPing Op = iota + 1
+	OpInvoke
+	OpGhost // want `OpGhost has no opNames entry` `OpGhost is not exercised by any fuzz target`
+)
+
+var opNames = [...]string{
+	OpPing:   "ping",
+	OpInvoke: "invoke",
+}
+
+// RepAck is the ack whose Applied bit PR 6's review chased: the
+// decoder below forgets it, so a refusal reads as an applied append.
+type RepAck struct {
+	Epoch   uint64
+	Durable uint64
+	Applied bool // want `field Applied of RepAck is not mentioned in DecodeRepAck`
+}
+
+// EncodeRepAck writes all three fields.
+func EncodeRepAck(a RepAck) []byte {
+	out := []byte{byte(a.Epoch), byte(a.Durable)}
+	if a.Applied {
+		return append(out, 1)
+	}
+	return append(out, 0)
+}
+
+// DecodeRepAck reassembles only two of them.
+func DecodeRepAck(b []byte) (RepAck, error) {
+	var a RepAck
+	a.Epoch = uint64(b[0])
+	a.Durable = uint64(b[1])
+	return a, nil
+}
+
+// RepHeartbeat round-trips completely: no findings.
+type RepHeartbeat struct {
+	Epoch   uint64
+	Durable uint64
+}
+
+func EncodeRepHeartbeat(h RepHeartbeat) []byte {
+	return []byte{byte(h.Epoch), byte(h.Durable)}
+}
+
+func DecodeRepHeartbeat(b []byte) (RepHeartbeat, error) {
+	return RepHeartbeat{Epoch: uint64(b[0]), Durable: uint64(b[1])}, nil
+}
+
+// RepStatus carries a reserved byte the decoder deliberately ignores;
+// the exemption documents the asymmetry.
+type RepStatus struct {
+	Epoch uint64
+	//roslint:wiregap reserved padding: encoded as zero, deliberately ignored on decode
+	Reserved uint8
+}
+
+func EncodeRepStatus(s RepStatus) []byte {
+	_ = s.Reserved
+	return []byte{byte(s.Epoch), 0}
+}
+
+func DecodeRepStatus(b []byte) (RepStatus, error) {
+	return RepStatus{Epoch: uint64(b[0])}, nil
+}
+
+// Naked has no codec pair: not constrained.
+type Naked struct {
+	Hidden int
+}

@@ -1,0 +1,16 @@
+package a
+
+import "testing"
+
+// FuzzDecodeRepAck seeds the decoder corpus; it mentions OpPing and
+// OpInvoke but not OpGhost.
+func FuzzDecodeRepAck(f *testing.F) {
+	f.Add(EncodeRepAck(RepAck{Epoch: uint64(OpPing), Applied: true}))
+	f.Add([]byte{byte(OpInvoke)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		_, _ = DecodeRepAck(data)
+	})
+}

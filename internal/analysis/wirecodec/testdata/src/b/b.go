@@ -1,0 +1,19 @@
+// Package b carries a codec gap but is not in ScopePackages: nothing
+// may be reported.
+package b
+
+type RepAck struct {
+	Epoch   uint64
+	Applied bool
+}
+
+func EncodeRepAck(a RepAck) []byte {
+	if a.Applied {
+		return []byte{byte(a.Epoch), 1}
+	}
+	return []byte{byte(a.Epoch), 0}
+}
+
+func DecodeRepAck(b []byte) (RepAck, error) {
+	return RepAck{Epoch: uint64(b[0])}, nil
+}

@@ -1,0 +1,252 @@
+// Package wirecodec keeps the wire protocol's codecs total. The wire
+// layer is the repository's only reflection-free, hand-rolled codec
+// surface, so a forgotten field or op is silent until a peer
+// misbehaves — PR 6's review found exactly that shape: an ack bit
+// (RepAck.Applied) that one side of the protocol consulted but the
+// codec path had not carried from day one, letting a refusal read as
+// an applied append. Three rules:
+//
+//  1. For every message struct T with a codec pair (Encode<T> or
+//     Append<T>, plus Decode<T>), every field of T must be mentioned
+//     in both bodies. A field the encoder writes but the decoder never
+//     reassembles (or vice versa) does not round-trip.
+//
+//  2. Every constant of an enum carrying a names table (a `xxxNames`
+//     array literal keyed by the constants) must have an entry: a
+//     nameless op or status prints as a bare number in traces and
+//     errors exactly when it is new — when operators need the name
+//     most.
+//
+//  3. Every Op constant must be exercised by a fuzz target: its name
+//     must appear in some Fuzz* function of the package's _test.go
+//     files (read syntactically; the loader itself excludes test
+//     files). New ops must land in the decoder fuzz corpus with them.
+//
+// Exempt a finding with //roslint:wiregap and a justification (e.g. a
+// reserved field deliberately absent from one side).
+package wirecodec
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the wirecodec analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "wirecodec",
+	Doc:       "wire message fields must round-trip through both codecs; every op needs a names entry and a fuzz target",
+	Directive: "wiregap",
+	Run:       run,
+}
+
+// ScopePackages is the codec surface the rules cover.
+var ScopePackages = map[string]bool{
+	"repro/internal/wire": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !ScopePackages[pass.Pkg.Path()] {
+		return nil
+	}
+	funcs := topLevelFuncs(pass)
+	checkCodecPairs(pass, funcs)
+	checkNamesTables(pass)
+	checkFuzzCoverage(pass)
+	return nil
+}
+
+// topLevelFuncs indexes the package's function declarations by name.
+func topLevelFuncs(pass *analysis.Pass) map[string]*ast.FuncDecl {
+	out := map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Recv == nil && fn.Body != nil {
+				out[fn.Name.Name] = fn
+			}
+		}
+	}
+	return out
+}
+
+// checkCodecPairs applies rule 1: each struct with an Encode/Decode
+// pair mentions every field on both sides.
+func checkCodecPairs(pass *analysis.Pass, funcs map[string]*ast.FuncDecl) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		enc := funcs["Encode"+name]
+		if enc == nil {
+			enc = funcs["Append"+name]
+		}
+		dec := funcs["Decode"+name]
+		if enc == nil || dec == nil {
+			continue
+		}
+		encNames := identNames(enc.Body)
+		decNames := identNames(dec.Body)
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			if !encNames[field.Name()] {
+				pass.Reportf(field.Pos(), "field %s of %s is not mentioned in %s: the field does not round-trip", field.Name(), name, enc.Name.Name)
+			}
+			if !decNames[field.Name()] {
+				pass.Reportf(field.Pos(), "field %s of %s is not mentioned in %s: the field does not round-trip", field.Name(), name, dec.Name.Name)
+			}
+		}
+	}
+}
+
+// identNames collects every identifier name in n's subtree (selector
+// fields and composite-literal keys included).
+func identNames(n ast.Node) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// checkNamesTables applies rule 2: for each `xxxNames` array literal
+// keyed by constants of one named type, every package-scope constant
+// of that type must be a key.
+func checkNamesTables(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 || !strings.HasSuffix(vs.Names[0].Name, "Names") {
+					continue
+				}
+				lit, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				checkOneTable(pass, vs.Names[0].Name, lit)
+			}
+		}
+	}
+}
+
+func checkOneTable(pass *analysis.Pass, table string, lit *ast.CompositeLit) {
+	keys := map[string]bool{}
+	var enum types.Type
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		id, ok := ast.Unparen(kv.Key).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+		if !ok {
+			continue
+		}
+		keys[id.Name] = true
+		if enum == nil {
+			enum = c.Type()
+		}
+	}
+	if enum == nil {
+		return
+	}
+	for _, c := range enumConsts(pass, enum) {
+		if !keys[c.Name()] {
+			pass.Reportf(c.Pos(), "%s has no %s entry: the value would print as a bare number", c.Name(), table)
+		}
+	}
+}
+
+// enumConsts returns the package-scope constants of type t, sorted by
+// declaration position.
+func enumConsts(pass *analysis.Pass, t types.Type) []*types.Const {
+	scope := pass.Pkg.Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), t) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// checkFuzzCoverage applies rule 3: every Op constant appears in some
+// Fuzz* function of the package's _test.go files.
+func checkFuzzCoverage(pass *analysis.Pass) {
+	opObj, ok := pass.Pkg.Scope().Lookup("Op").(*types.TypeName)
+	if !ok {
+		return
+	}
+	ops := enumConsts(pass, opObj.Type())
+	if len(ops) == 0 {
+		return
+	}
+	fuzzed, found := fuzzIdents(pass.Dir)
+	if !found {
+		for _, c := range ops {
+			pass.Reportf(c.Pos(), "%s has no fuzz target: this package declares ops but no _test.go defines a Fuzz* function", c.Name())
+		}
+		return
+	}
+	for _, c := range ops {
+		if !fuzzed[c.Name()] {
+			pass.Reportf(c.Pos(), "%s is not exercised by any fuzz target in this package's _test.go files: add a decoder seed for it", c.Name())
+		}
+	}
+}
+
+// fuzzIdents parses dir's _test.go files (syntax only) and collects
+// every identifier mentioned inside Fuzz* functions. found reports
+// whether any fuzz function exists at all.
+func fuzzIdents(dir string) (idents map[string]bool, found bool) {
+	idents = map[string]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return idents, false
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !strings.HasPrefix(fn.Name.Name, "Fuzz") {
+				continue
+			}
+			found = true
+			for name := range identNames(fn.Body) {
+				idents[name] = true
+			}
+		}
+	}
+	return idents, found
+}

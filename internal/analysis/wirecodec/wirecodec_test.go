@@ -1,0 +1,30 @@
+package wirecodec_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wirecodec"
+)
+
+const testdataPrefix = "repro/internal/analysis/wirecodec/testdata/src/"
+
+func TestWireCodec(t *testing.T) {
+	wirecodec.ScopePackages[testdataPrefix+"a"] = true
+	defer delete(wirecodec.ScopePackages, testdataPrefix+"a")
+	analysistest.Run(t, wirecodec.Analyzer, "a")
+}
+
+// TestOutOfScope checks that an unscoped package is ignored entirely.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, wirecodec.Analyzer, "b")
+}
+
+// TestWireInScope pins the production wire package into the codec
+// rules: every message field must round-trip and every op must stay
+// named and fuzzed.
+func TestWireInScope(t *testing.T) {
+	if !wirecodec.ScopePackages["repro/internal/wire"] {
+		t.Fatal("repro/internal/wire must stay in wirecodec's ScopePackages")
+	}
+}

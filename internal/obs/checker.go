@@ -58,7 +58,7 @@ type gstate struct {
 	haveBound  bool
 	crit       int // writer critical-section depth
 	inRecovery bool
-	phase      Phase // last recovery phase seen this session
+	phase      Phase  // last recovery phase seen this session
 	replicated bool   // a rep.quorum was seen since the last log.open
 	repBound   uint64 // largest quorum-acked boundary reported
 	violations int

@@ -193,8 +193,12 @@ func (b *Backup) Promote() (*guardian.Guardian, error) {
 		return g, nil
 	}
 	if !b.promoted {
-		b.promoted = true
+		// The epoch claim comes first: the bumped epoch is the fence
+		// every rep handler checks, so no observer may see the promoted
+		// latch without the epoch that justifies refusing the deposed
+		// primary.
 		b.epoch++
+		b.promoted = true
 	}
 	durable, _ := b.site.Log().TailInfo()
 	tr := b.tr
@@ -212,6 +216,7 @@ func (b *Backup) Promote() (*guardian.Guardian, error) {
 		return nil, fmt.Errorf("replog: promote backup %d: %w", b.cfg.ID, err)
 	}
 	b.mu.Lock()
+	//roslint:unfenced the epoch bump above published the takeover before recovery ran; this only caches the recovered guardian for the idempotent re-call
 	b.g = g
 	b.mu.Unlock()
 	return g, nil

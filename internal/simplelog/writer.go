@@ -14,8 +14,8 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/logrec"
-	"repro/internal/obs"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/stablelog"
 	"repro/internal/value"
 )

@@ -190,9 +190,9 @@ func FuzzDecodeRepFrame(f *testing.F) {
 	}
 	valid := mk(0, []byte("one"), []byte("two-two"), []byte(""))
 	f.Add(uint64(0), uint32(0), valid)
-	f.Add(uint64(0), uint32(0), valid[:len(valid)-2])                     // torn tail
+	f.Add(uint64(0), uint32(0), valid[:len(valid)-2])                            // torn tail
 	f.Add(uint64(0), uint32(0), append(append([]byte(nil), valid...), valid...)) // duplicated run
-	f.Add(uint64(16), uint32(13), mk(13, []byte("resumed")))             // mid-log resume
+	f.Add(uint64(16), uint32(13), mk(13, []byte("resumed")))                     // mid-log resume
 	f.Add(uint64(0), uint32(0), []byte{})
 	corrupt := append([]byte(nil), valid...)
 	corrupt[frameHeaderSize+1] ^= 0x80

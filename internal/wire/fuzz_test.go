@@ -2,7 +2,11 @@ package wire
 
 import (
 	"bytes"
+	"fmt"
+	"os"
 	"testing"
+
+	"repro/internal/ids"
 )
 
 // FuzzDecodeFrame feeds arbitrary bytes to both frame decoders: no
@@ -75,6 +79,19 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(EncodeRequest(Request{Op: OpInvoke, Handler: "transfer", Arg: bytes.Repeat([]byte{9}, 100)}))
 	f.Add(EncodeResponse(Response{Status: StatusOK, Result: []byte("r")}))
 	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF})
+	// One seed per remaining op, each carrying the Arg shape that op
+	// travels with, so every dispatch value and its argument codec sit
+	// in the corpus (wirecodec enforces the coverage).
+	aid := ids.ActionID{Coordinator: 3, Seq: 41}
+	f.Add(EncodeRequest(Request{Op: OpPrepare, AID: aid}))
+	f.Add(EncodeRequest(Request{Op: OpCommit, AID: aid}))
+	f.Add(EncodeRequest(Request{Op: OpAbort, AID: aid}))
+	f.Add(EncodeRequest(Request{Op: OpOutcome, AID: aid}))
+	f.Add(EncodeRequest(Request{Op: OpRepAppend, Arg: EncodeRepAppend(RepAppend{Epoch: 2, Start: 64, PrevLen: 13, Frames: []byte{0xA7, 0, 0}})}))
+	f.Add(EncodeRequest(Request{Op: OpRepHeartbeat, Arg: EncodeRepHeartbeat(RepHeartbeat{Epoch: 2, Durable: 96})}))
+	f.Add(EncodeRequest(Request{Op: OpRepSnapshot, Arg: EncodeRepSnapshot(RepSnapshot{Epoch: 2})}))
+	f.Add(EncodeRequest(Request{Op: OpStatus}))
+	f.Add(EncodeRequest(Request{Op: OpPromote, Arg: EncodeRepPromote(RepPromote{MinDurable: 128})}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if req, err := DecodeRequest(data); err == nil {
 			if !bytes.Equal(EncodeRequest(req), data) {
@@ -87,4 +104,42 @@ func FuzzDecodeRequest(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestEveryOpHasFuzzTarget is the wirecodec smoke test: every Op
+// constant must appear in some Fuzz* function of this package, so a
+// new op cannot land without a decoder seed. The roslint wirecodec
+// analyzer enforces the same rule statically; this test keeps the
+// guarantee alive even when lint is skipped.
+func TestEveryOpHasFuzzTarget(t *testing.T) {
+	ops := map[Op]string{
+		OpPing:         "OpPing",
+		OpInvoke:       "OpInvoke",
+		OpPrepare:      "OpPrepare",
+		OpCommit:       "OpCommit",
+		OpAbort:        "OpAbort",
+		OpOutcome:      "OpOutcome",
+		OpRepAppend:    "OpRepAppend",
+		OpRepHeartbeat: "OpRepHeartbeat",
+		OpRepSnapshot:  "OpRepSnapshot",
+		OpStatus:       "OpStatus",
+		OpPromote:      "OpPromote",
+	}
+	src, err := os.ReadFile("fuzz_test.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := os.ReadFile("rep_test.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := append(src, rep...)
+	for op, name := range ops {
+		if op.String() == fmt.Sprintf("op(%d)", uint8(op)) {
+			t.Errorf("%s has no opNames entry", name)
+		}
+		if !bytes.Contains(text, []byte(name)) {
+			t.Errorf("%s is not mentioned by any fuzz file; add a decoder seed for it", name)
+		}
+	}
 }
