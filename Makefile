@@ -39,14 +39,16 @@ bench:
 
 # Regenerate the committed outputs (test_output.txt, bench_output.txt,
 # BENCH_commit.json — the machine-readable E11 group-commit rows —
-# BENCH_server.json — the E12 served-throughput curve — and
-# BENCH_rep.json — the E13 replication cost and failover rows).
+# BENCH_server.json — the E12 served-throughput curve —
+# BENCH_rep.json — the E13 replication cost and failover rows — and
+# BENCH_shard.json — the E14 shard-scaling and cross-shard 2PC rows).
 bench-save:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 	$(GO) run ./cmd/rosbench -experiment e11 -trace -commitjson BENCH_commit.json
 	$(GO) run ./cmd/rosbench -experiment e12 -serverjson BENCH_server.json
 	$(GO) run ./cmd/rosbench -experiment e13 -repjson BENCH_rep.json
+	$(GO) run ./cmd/rosbench -experiment e14 -trace -shardjson BENCH_shard.json
 
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzUnflatten -fuzztime 30s ./internal/value/
@@ -58,6 +60,8 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime 30s ./internal/wire/
 	$(GO) test -run xxx -fuzz FuzzDecodeRequest -fuzztime 30s ./internal/wire/
 	$(GO) test -run xxx -fuzz FuzzDecodeRepMessage -fuzztime 30s ./internal/wire/
+	$(GO) test -run xxx -fuzz FuzzDecodeShardMessage -fuzztime 30s ./internal/wire/
+	$(GO) test -run xxx -fuzz FuzzDecodeTable -fuzztime 30s ./internal/shard/
 
 # Crash-injection soak across all backends: randomized histories
 # (single-node + distributed), then the exhaustive crash-point sweep

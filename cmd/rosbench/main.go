@@ -4,13 +4,16 @@
 // organizations (E1/E2/E3), the early-prepare effect (E4), the
 // compaction-vs-snapshot comparison (E5), the effect of housekeeping on
 // recovery (E6), the group-commit force-sharing curve (E11), the
-// served-guardian throughput scaling curve over loopback TCP (E12), and
-// the replication cost and failover-time comparison (E13).
+// served-guardian throughput scaling curve over loopback TCP (E12), the
+// replication cost and failover-time comparison (E13), and the sharded
+// keyspace's disjoint-key scaling curve plus cross-shard two-phase
+// commit overhead (E14).
 //
 // Usage:
 //
-//	rosbench [-experiment all|e1|e2|e3|e4|e5|e6|e11|e12|e13] [-quick]
+//	rosbench [-experiment all|e1|e2|e3|e4|e5|e6|e11|e12|e13|e14] [-quick]
 //	         [-commitjson FILE] [-serverjson FILE] [-repjson FILE]
+//	         [-shardjson FILE]
 package main
 
 import (
@@ -34,17 +37,20 @@ import (
 	"repro/internal/obs"
 	"repro/internal/replog"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/stablelog"
+	"repro/internal/twopc"
 	"repro/internal/value"
 )
 
 var (
-	experiment = flag.String("experiment", "all", "which experiment to run: all, e1..e6, e11, e12, e13")
+	experiment = flag.String("experiment", "all", "which experiment to run: all, e1..e6, e11, e12, e13, e14")
 	quick      = flag.Bool("quick", false, "smaller workloads for a fast smoke run")
 	commitJSON = flag.String("commitjson", "", "write the E11 rows as JSON to this file (e.g. BENCH_commit.json)")
 	serverJSON = flag.String("serverjson", "", "write the E12 rows as JSON to this file (e.g. BENCH_server.json)")
 	repJSON    = flag.String("repjson", "", "write the E13 rows as JSON to this file (e.g. BENCH_rep.json)")
-	trace      = flag.Bool("trace", false, "derive the E11 per-commit numbers from the event stream and cross-check them against the counters")
+	shardJSON  = flag.String("shardjson", "", "write the E14 rows as JSON to this file (e.g. BENCH_shard.json)")
+	trace      = flag.Bool("trace", false, "derive the E11/E14 per-commit numbers from the event stream and cross-check them against the counters")
 )
 
 func main() {
@@ -63,6 +69,7 @@ func main() {
 	run("e11", e11GroupCommit)
 	run("e12", e12ServerThroughput)
 	run("e13", e13Replication)
+	run("e14", e14ShardScaling)
 }
 
 func backends() []core.Backend {
@@ -640,6 +647,317 @@ func e13Run(mode string, replicas, quorumN, commits int) repRow {
 		NsPerCommit:   float64(el.Nanoseconds()) / float64(commits),
 		CommitsPerSec: float64(commits) / el.Seconds(),
 		FailoverUs:    float64(fo.Microseconds()),
+	}
+}
+
+// shardRow is one E14 measurement, serialized to -shardjson. Disjoint
+// rows vary the shard count under a disjoint-key workload; cross-shard
+// rows hold the cluster at the largest shard count and vary how many
+// shards one atomic action spans.
+type shardRow struct {
+	Mode            string  `json:"mode"` // "disjoint" or "cross-shard"
+	Shards          int     `json:"shards"`
+	Span            int     `json:"span"`
+	Clients         int     `json:"clients"`
+	Commits         int     `json:"commits"`
+	Seconds         float64 `json:"seconds"`
+	CommitsPerSec   float64 `json:"commits_per_sec"`
+	NsPerCommit     float64 `json:"ns_per_commit"`
+	ForcesPerCommit float64 `json:"forces_per_commit"`
+	Speedup         float64 `json:"speedup_vs_one_shard,omitempty"`
+	Source          string  `json:"source,omitempty"`
+}
+
+// e14WriteDelay is the simulated per-block device latency behind every
+// shard guardian's log; with e14ValueBytes-sized values each commit
+// keeps its shard's device busy for hundreds of microseconds, so
+// throughput is device-bound and adding shards adds devices.
+const e14WriteDelay = 50 * time.Microsecond
+
+// e14ValueBytes is the payload size of the disjoint-key workload.
+const e14ValueBytes = 4096
+
+// e14ShardScaling measures the sharded deployment: disjoint-key commit
+// throughput as the shard count grows (each shard is an independent
+// guardian with its own device — the LogBase-style near-linear curve),
+// then the cross-shard 2PC overhead as one action spans more shards.
+func e14ShardScaling() {
+	fmt.Println("E14 — sharded keyspace: disjoint-key scaling and cross-shard 2PC overhead")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "mode\tshards\tspan\tclients\tcommits/s\tµs/commit\tforces/commit\tspeedup")
+	perClient := 40
+	crossTxns := 60
+	if *quick {
+		perClient = 8
+		crossTxns = 12
+	}
+	var rows []shardRow
+	shardCounts := []int{1, 2, 4}
+	for _, s := range shardCounts {
+		row := e14Disjoint(s, perClient)
+		if len(rows) == 0 {
+			row.Speedup = 1
+		} else {
+			row.Speedup = row.CommitsPerSec / rows[0].CommitsPerSec
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.0f\t%.0f\t%.3f\t%.2fx\n",
+			row.Mode, row.Shards, row.Span, row.Clients, row.CommitsPerSec,
+			row.NsPerCommit/1e3, row.ForcesPerCommit, row.Speedup)
+	}
+	maxShards := shardCounts[len(shardCounts)-1]
+	for _, span := range []int{1, 2, 4} {
+		row := e14Cross(maxShards, span, crossTxns)
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.0f\t%.0f\t%.3f\t\n",
+			row.Mode, row.Shards, row.Span, row.Clients, row.CommitsPerSec,
+			row.NsPerCommit/1e3, row.ForcesPerCommit)
+	}
+	w.Flush()
+	if last := rows[len(shardCounts)-1]; last.Speedup < 3 {
+		fmt.Printf("WARNING: %d-shard disjoint speedup %.2fx below the 3x acceptance line\n",
+			last.Shards, last.Speedup)
+	}
+	fmt.Println()
+	if *shardJSON != "" {
+		out, err := json.MarshalIndent(rows, "", "  ")
+		die(err)
+		die(os.WriteFile(*shardJSON, append(out, '\n'), 0o644))
+		fmt.Printf("wrote %s (%d rows)\n\n", *shardJSON, len(rows))
+	}
+}
+
+// e14Cluster is one server hosting n shard guardians over loopback
+// TCP, each guardian on its own delayed device.
+type e14Cluster struct {
+	srv   *server.Server
+	addr  string
+	gs    []*guardian.Guardian
+	table shard.Table
+	done  chan error
+}
+
+func e14Start(shards int) *e14Cluster {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	die(err)
+	cl := &e14Cluster{addr: ln.Addr().String(), done: make(chan error, 1)}
+	cl.srv = server.New(nil, server.Config{Workers: 4 * shards, MaxConns: 8 * shards})
+	cl.table = shard.Table{Version: 1, Kind: shard.KindHash}
+	for i := 1; i <= shards; i++ {
+		g, err := guardian.New(ids.GuardianID(i), guardian.WithBackend(core.BackendHybrid))
+		die(err)
+		e14Register(g)
+		g.Volume().SetWriteDelay(e14WriteDelay)
+		cl.srv.AddShard(uint32(i), g)
+		cl.gs = append(cl.gs, g)
+		cl.table.Shards = append(cl.table.Shards, shard.Shard{ID: shard.ID(i), Addr: cl.addr})
+	}
+	die(cl.srv.InstallTable(cl.table))
+	go func() { cl.done <- cl.srv.Serve(ln) }()
+	return cl
+}
+
+func (cl *e14Cluster) stop() {
+	die(cl.srv.Close())
+	if err := <-cl.done; !errors.Is(err, server.ErrClosed) {
+		die(err)
+	}
+}
+
+// counters sums forces and appended log bytes across every shard's
+// guardian.
+func (cl *e14Cluster) counters() (forces uint64, bytes uint64) {
+	for _, g := range cl.gs {
+		forces += uint64(g.RS().Forces())
+		bytes += g.RS().LogBytes()
+	}
+	return forces, bytes
+}
+
+// keysFor finds perShard keys owned by each shard under the cluster's
+// hash table (the table ignores addresses, so ownership is stable).
+func (cl *e14Cluster) keysFor(perShard int) map[shard.ID][]string {
+	need := len(cl.table.Shards) * perShard
+	out := make(map[shard.ID][]string, len(cl.table.Shards))
+	for i, total := 0, 0; total < need; i++ {
+		k := fmt.Sprintf("key%06d", i)
+		id := cl.table.Owner(k).ID
+		if len(out[id]) < perShard {
+			out[id] = append(out[id], k)
+			total++
+		}
+	}
+	return out
+}
+
+// e14Register installs the benchmark handlers: put stores a value
+// under a key (creating the stable variable on first use), incr adds a
+// delta to an integer key.
+func e14Register(g *guardian.Guardian) {
+	keyObj := func(sub *guardian.Sub, key string, init value.Value) (*object.Atomic, error) {
+		if o, ok := g.VarAtomic(key); ok {
+			return o, nil
+		}
+		o, err := sub.NewAtomic(init)
+		if err != nil {
+			return nil, err
+		}
+		if err := sub.SetVar(key, o); err != nil {
+			return nil, err
+		}
+		return o, nil
+	}
+	g.RegisterHandler("put", func(sub *guardian.Sub, arg value.Value) (value.Value, error) {
+		l, ok := arg.(*value.List)
+		if !ok || len(l.Elems) != 2 {
+			return nil, fmt.Errorf("put wants List[key, value]")
+		}
+		o, err := keyObj(sub, string(l.Elems[0].(value.Str)), value.Int(0))
+		if err != nil {
+			return nil, err
+		}
+		if err := sub.Set(o, l.Elems[1]); err != nil {
+			return nil, err
+		}
+		return value.Int(1), nil
+	})
+	g.RegisterHandler("incr", func(sub *guardian.Sub, arg value.Value) (value.Value, error) {
+		l, ok := arg.(*value.List)
+		if !ok || len(l.Elems) != 2 {
+			return nil, fmt.Errorf("incr wants List[key, delta]")
+		}
+		o, err := keyObj(sub, string(l.Elems[0].(value.Str)), value.Int(0))
+		if err != nil {
+			return nil, err
+		}
+		if err := sub.Update(o, func(v value.Value) value.Value {
+			return value.Int(int64(v.(value.Int)) + int64(l.Elems[1].(value.Int)))
+		}); err != nil {
+			return nil, err
+		}
+		return sub.Read(o)
+	})
+}
+
+// e14Disjoint measures one point of the scaling curve: two routed
+// clients per shard, each repeatedly storing an e14ValueBytes payload
+// under a key its shard owns — every commit a complete single-shard
+// atomic action, shards never contending for a device.
+func e14Disjoint(shards, perClient int) shardRow {
+	const clientsPerShard = 2
+	cl := e14Start(shards)
+	var stats []*obs.Stats
+	if *trace {
+		for _, g := range cl.gs {
+			st := new(obs.Stats)
+			g.SetTracer(st)
+			stats = append(stats, st)
+		}
+	}
+	keys := cl.keysFor(clientsPerShard)
+	payload := value.Str(make([]byte, e14ValueBytes))
+	forces0, bytes0 := cl.counters()
+	clients := shards * clientsPerShard
+	commits := clients * perClient
+	errs := make([]error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	idx := 0
+	for _, sh := range cl.table.Shards {
+		for j := 0; j < clientsPerShard; j++ {
+			key := keys[sh.ID][j]
+			i := idx
+			idx++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r := client.NewRouted([]string{cl.addr}, client.Options{PoolSize: 1})
+				//roslint:besteffort teardown after the measured ops all succeeded; nothing left to lose
+				defer r.Close()
+				for n := 0; n < perClient; n++ {
+					if _, err := r.Invoke(key, "put", value.NewList(value.Str(key), payload)); err != nil {
+						errs[i] = err
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	el := time.Since(start)
+	for _, err := range errs {
+		die(err)
+	}
+	forces1, bytes1 := cl.counters()
+	forces, bytes := forces1-forces0, bytes1-bytes0
+	source := "counters"
+	if stats != nil {
+		// Trace-derived cross-check, E11's rule extended shard-wise:
+		// the union of the shard guardians' event streams must agree
+		// with the sum of their storage counters.
+		var tf, tb uint64
+		for _, st := range stats {
+			tf += st.Count(obs.KindForceDone)
+			tb += st.AppendedBytes()
+		}
+		if tf != forces || tb != bytes {
+			die(fmt.Errorf("e14 %d shards: trace disagrees with counters: forces %d vs %d, bytes %d vs %d",
+				shards, tf, forces, tb, bytes))
+		}
+		forces, source = tf, "trace"
+	}
+	cl.stop()
+	return shardRow{
+		Mode: "disjoint", Shards: shards, Span: 1, Clients: clients, Commits: commits,
+		Seconds:         el.Seconds(),
+		CommitsPerSec:   float64(commits) / el.Seconds(),
+		NsPerCommit:     float64(el.Nanoseconds()) / float64(commits),
+		ForcesPerCommit: float64(forces) / float64(commits),
+		Source:          source,
+	}
+}
+
+// e14Cross measures the cross-shard overhead curve: serial atomic
+// actions each spanning `span` distinct shards (span 1 uses the same
+// client-driven 2PC machinery, so the added legs are the only
+// variable). The starting shard rotates so every guardian takes turns
+// coordinating.
+func e14Cross(shards, span, txns int) shardRow {
+	cl := e14Start(shards)
+	keys := cl.keysFor(1)
+	r := client.NewRouted([]string{cl.addr}, client.Options{PoolSize: 2})
+	forces0, _ := cl.counters()
+	start := time.Now()
+	for i := 0; i < txns; i++ {
+		legs := make([]string, 0, span)
+		for j := 0; j < span; j++ {
+			sh := cl.table.Shards[(i+j)%len(cl.table.Shards)]
+			legs = append(legs, keys[sh.ID][0])
+		}
+		t, err := r.Begin(legs[0])
+		die(err)
+		for _, k := range legs {
+			_, err := t.Invoke(k, "incr", value.NewList(value.Str(k), value.Int(1)))
+			die(err)
+		}
+		res, err := t.Commit()
+		die(err)
+		if res.Outcome != twopc.OutcomeCommitted {
+			die(fmt.Errorf("e14 span %d txn %d: outcome %v", span, i, res.Outcome))
+		}
+	}
+	el := time.Since(start)
+	forces1, _ := cl.counters()
+	//roslint:besteffort teardown after the measured ops all succeeded; nothing left to lose
+	r.Close()
+	cl.stop()
+	return shardRow{
+		Mode: "cross-shard", Shards: shards, Span: span, Clients: 1, Commits: txns,
+		Seconds:         el.Seconds(),
+		CommitsPerSec:   float64(txns) / el.Seconds(),
+		NsPerCommit:     float64(el.Nanoseconds()) / float64(txns),
+		ForcesPerCommit: float64(forces1-forces0) / float64(txns),
+		Source:          "counters",
 	}
 }
 

@@ -12,7 +12,18 @@
 //	put <key> <value>     store a value (int if it parses, else string)
 //	incr <key> [delta]    add delta (default 1) and print the new total
 //	status                report replication role, epoch, durable and
-//	                      quorum-acked log bytes, and replica health
+//	                      quorum-acked log bytes, replica health, and
+//	                      one row per hosted shard
+//	route                 print the server's shard routing table
+//	handoff <id> <addr>   transfer a hosted shard to the node at addr
+//	                      and print the routing table the server
+//	                      published afterwards
+//	txn <key=delta> ...   run one cross-shard atomic action against a
+//	                      sharded cluster (-addr is the seed node):
+//	                      fetch the routing table, incr every key at
+//	                      its owning shard as a joined participant,
+//	                      and drive two-phase commit across them. All
+//	                      increments commit or none do.
 //	promote [minAcked]    make the server's hosted backup take over as
 //	                      the guardian (explicit failover; idempotent).
 //	                      With minAcked — the deposed primary's last
@@ -32,9 +43,11 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/shard"
 	"repro/internal/value"
 	"repro/internal/wire"
 )
@@ -111,8 +124,37 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		printStatus(st)
+		printStatus(st.Rep)
+		for _, row := range st.Shards {
+			fmt.Printf("shard %d: role=%v durable=%d bytes\n", row.ID, row.Role, row.Durable)
+		}
 		return nil
+	case "route":
+		t, err := c.Route()
+		if err != nil {
+			return err
+		}
+		printTable(t)
+		return nil
+	case "handoff":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: rosctl handoff <shardID> <targetAddr>")
+		}
+		id, perr := strconv.ParseUint(args[1], 10, 32)
+		if perr != nil {
+			return fmt.Errorf("shardID %q: %v", args[1], perr)
+		}
+		t, err := c.Handoff(uint32(id), args[2])
+		if err != nil {
+			return err
+		}
+		printTable(t)
+		return nil
+	case "txn":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: rosctl txn <key=delta> [key=delta ...]")
+		}
+		return runTxn(args[1:])
 	case "promote":
 		if len(args) > 2 {
 			return fmt.Errorf("usage: rosctl promote [minAckedBytes]")
@@ -134,7 +176,59 @@ func run(args []string) error {
 		printStatus(st)
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want ping, get, put, incr, status, or promote)", cmd)
+		return fmt.Errorf("unknown command %q (want ping, get, put, incr, status, route, handoff, txn, or promote)", cmd)
+	}
+}
+
+// runTxn drives one cross-shard atomic action: every key=delta pair
+// becomes an incr at the key's owning shard, joined to a single action
+// committed by two-phase commit across the participating shards.
+func runTxn(pairs []string) error {
+	type op struct {
+		key   string
+		delta int64
+	}
+	ops := make([]op, 0, len(pairs))
+	for _, p := range pairs {
+		key, ds, ok := strings.Cut(p, "=")
+		if !ok || key == "" {
+			return fmt.Errorf("txn argument %q: want key=delta", p)
+		}
+		d, err := strconv.ParseInt(ds, 10, 64)
+		if err != nil {
+			return fmt.Errorf("txn argument %q: delta: %v", p, err)
+		}
+		ops = append(ops, op{key: key, delta: d})
+	}
+	r := client.NewRouted([]string{*addr}, client.Options{CallTimeout: *timeout})
+	//roslint:besteffort process exit follows immediately; the transaction's own error is what matters
+	defer r.Close()
+	t, err := r.Begin(ops[0].key)
+	if err != nil {
+		return err
+	}
+	for _, o := range ops {
+		v, err := t.Invoke(o.key, "incr", value.NewList(value.Str(o.key), value.Int(o.delta)))
+		if err != nil {
+			//roslint:besteffort abort after a failed invoke is advisory; the guardians time the action out regardless
+			_ = t.Abort()
+			return fmt.Errorf("incr %s: %w", o.key, err)
+		}
+		fmt.Printf("%s = %s\n", o.key, value.String(v))
+	}
+	res, err := t.Commit()
+	if err != nil {
+		return fmt.Errorf("commit %v: %w", t.AID(), err)
+	}
+	fmt.Printf("action %v: %v\n", t.AID(), res.Outcome)
+	return nil
+}
+
+// printTable renders a routing table one shard per line.
+func printTable(t shard.Table) {
+	fmt.Printf("version: %d (%v over %d shards)\n", t.Version, t.Kind, len(t.Shards))
+	for _, s := range t.Shards {
+		fmt.Printf("shard %d: %s\n", s.ID, s.Addr)
 	}
 }
 

@@ -9,6 +9,8 @@
 //	     [-workers 8] [-maxconns 64] [-trace]
 //	     [-role standalone|primary|backup] [-backups id=addr,...]
 //	     [-quorum 2] [-primary-id 1]
+//	     [-shards 2,3] [-routemap 2=host:port,3=host:port,...]
+//	     [-routekind hash|range]
 //
 // Replication (-role):
 //
@@ -20,6 +22,19 @@
 //	backup       hosts a replog.Backup: receives, persists, and acks
 //	             the primary's frames, serving no application traffic
 //	             until `rosctl promote` makes it the guardian.
+//
+// Sharding (-shards, standalone role only):
+//
+//	-shards 2,3 hosts one guardian per listed shard id (the id doubles
+//	as the guardian id) instead of the single -id guardian; requests
+//	must carry a shard id, and a request for an unhosted shard is
+//	refused with the node's routing table in-band. -routemap names
+//	every shard in the cluster (id=host:port for -routekind hash;
+//	id=host:port=start for range, ordered by start with the first
+//	empty) and installs as table version 1; nodes and routed clients
+//	exchange newer versions as handoffs publish them. `rosctl handoff`
+//	moves a hosted shard to another node; any rosd accepts the inbound
+//	transfer and serves the shard from its shipped log.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight requests finish, then
 // connections close. With -trace every rpc.* event streams to stderr
@@ -52,7 +67,9 @@ import (
 	"repro/internal/obs"
 	"repro/internal/replog"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/value"
+	"repro/internal/wire"
 )
 
 var (
@@ -66,6 +83,9 @@ var (
 	backups   = flag.String("backups", "", "primary: comma-separated id=host:port backup list")
 	quorum    = flag.Int("quorum", 2, "primary: durable copies a force needs, counting the primary")
 	primaryID = flag.Uint("primary-id", 1, "backup: the replicated guardian's id")
+	shards    = flag.String("shards", "", "standalone: comma-separated shard ids this node hosts")
+	routemap  = flag.String("routemap", "", "cluster routing table: id=host:port[=start],...")
+	routekind = flag.String("routekind", "hash", "routing table kind: hash or range")
 )
 
 func main() {
@@ -98,6 +118,15 @@ func run() error {
 		tr = stderrTracer{}
 	}
 	cfg := server.Config{Workers: *workers, MaxConns: *maxconns, Tracer: tr}
+	// Every rosd can ship a shard out (rosctl handoff) and adopt one
+	// shipped in; the adopted guardian gets the same handlers.
+	cfg.HandoffShip = func(target string, hf wire.HandoffFrames) (wire.RepAck, error) {
+		c := client.New(target, client.Options{Tracer: tr})
+		//roslint:besteffort one-shot ship client; the HandoffInstall result carries the errors that matter
+		defer c.Close()
+		return c.HandoffInstall(hf)
+	}
+	cfg.OnAdopt = func(id uint32, g *guardian.Guardian) { registerKV(g) }
 
 	s, err := buildServer(b, tr, cfg)
 	if err != nil {
@@ -122,8 +151,14 @@ func run() error {
 
 // buildServer assembles the server for the configured -role.
 func buildServer(b core.Backend, tr obs.Tracer, cfg server.Config) (*server.Server, error) {
+	if strings.TrimSpace(*shards) != "" && *role != "standalone" {
+		return nil, fmt.Errorf("-shards combines only with -role standalone (shard guardians are unreplicated)")
+	}
 	switch *role {
 	case "standalone":
+		if strings.TrimSpace(*shards) != "" {
+			return buildSharded(b, tr, cfg)
+		}
 		g, err := guardian.New(ids.GuardianID(*id), guardian.WithBackend(b), guardian.WithTracer(tr))
 		if err != nil {
 			return nil, err
@@ -180,6 +215,75 @@ func buildServer(b core.Backend, tr obs.Tracer, cfg server.Config) (*server.Serv
 	default:
 		return nil, fmt.Errorf("unknown role %q (want standalone, primary, or backup)", *role)
 	}
+}
+
+// buildSharded assembles a registry node: one guardian per -shards
+// entry (no default -id guardian — every request must carry a shard
+// id) plus the version-1 cluster routing table from -routemap.
+func buildSharded(b core.Backend, tr obs.Tracer, cfg server.Config) (*server.Server, error) {
+	s := server.New(nil, cfg)
+	for _, part := range strings.Split(*shards, ",") {
+		n, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("-shards entry %q: want a nonzero shard id", part)
+		}
+		g, err := guardian.New(ids.GuardianID(n), guardian.WithBackend(b), guardian.WithTracer(tr))
+		if err != nil {
+			return nil, err
+		}
+		registerKV(g)
+		s.AddShard(uint32(n), g)
+	}
+	if strings.TrimSpace(*routemap) != "" {
+		t, err := parseRouteMap(*routemap, *routekind)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.InstallTable(t); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// parseRouteMap reads -routemap into a version-1 table. Entries are
+// id=host:port for a hash table, id=host:port=start for a range table
+// (in range order; the first start is the empty string).
+func parseRouteMap(m, kind string) (shard.Table, error) {
+	t := shard.Table{Version: 1}
+	switch kind {
+	case "hash":
+		t.Kind = shard.KindHash
+	case "range":
+		t.Kind = shard.KindRange
+	default:
+		return shard.Table{}, fmt.Errorf("unknown -routekind %q (want hash or range)", kind)
+	}
+	for _, part := range strings.Split(m, ",") {
+		fields := strings.SplitN(strings.TrimSpace(part), "=", 3)
+		if t.Kind == shard.KindRange && len(fields) != 3 {
+			return shard.Table{}, fmt.Errorf("-routemap entry %q: want id=host:port=start", part)
+		}
+		if len(fields) < 2 {
+			return shard.Table{}, fmt.Errorf("-routemap entry %q: want id=host:port", part)
+		}
+		n, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil || n == 0 {
+			return shard.Table{}, fmt.Errorf("-routemap entry %q: want a nonzero shard id", part)
+		}
+		if fields[1] == "" {
+			return shard.Table{}, fmt.Errorf("-routemap entry %q: empty address", part)
+		}
+		sh := shard.Shard{ID: shard.ID(n), Addr: fields[1]}
+		if t.Kind == shard.KindRange {
+			sh.Start = fields[2]
+		}
+		t.Shards = append(t.Shards, sh)
+	}
+	if err := t.Validate(); err != nil {
+		return shard.Table{}, fmt.Errorf("-routemap: %w", err)
+	}
+	return t, nil
 }
 
 // backupPeer is one -backups entry.

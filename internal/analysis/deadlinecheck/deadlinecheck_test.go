@@ -21,7 +21,9 @@ func TestOutOfScope(t *testing.T) {
 }
 
 // TestServingLayerInScope pins both sides of the TCP serving layer
-// into the deadline discipline.
+// into the deadline discipline. The shard route/handoff/2PC RPCs ride
+// the same Client.Do and server conn loop, so keeping these two
+// packages scoped keeps every routing round-trip deadline-guarded.
 func TestServingLayerInScope(t *testing.T) {
 	for _, pkg := range []string{"repro/internal/server", "repro/internal/client"} {
 		if !deadlinecheck.ScopePackages[pkg] {

@@ -60,6 +60,7 @@ var ScopedPackages = map[string]bool{
 	"repro/internal/hybridlog": true,
 	"repro/internal/stablelog": true,
 	"repro/internal/obs":       true,
+	"repro/internal/shard":     true,
 	"repro/internal/client":    true,
 	"repro/internal/replog":    true,
 	"repro/cmd/roscrash":       true,

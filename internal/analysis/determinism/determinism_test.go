@@ -44,6 +44,17 @@ func TestReplicatorInScope(t *testing.T) {
 	}
 }
 
+// TestShardTableInScope pins the routing-table package into the
+// deterministic set: Owner and the table codec must be pure functions
+// of their inputs, so every node (and the client's cached copy)
+// computes identical ownership and identical bytes for the same
+// table version.
+func TestShardTableInScope(t *testing.T) {
+	if !determinism.ScopedPackages["repro/internal/shard"] {
+		t.Fatal("repro/internal/shard must stay in determinism's ScopedPackages")
+	}
+}
+
 // TestOutOfScope checks that an unscoped package is ignored entirely:
 // package b reads the clock and the global rand, and nothing may be
 // reported when it is not in ScopedPackages.

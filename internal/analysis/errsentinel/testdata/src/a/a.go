@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/replog"
 	"repro/internal/stable"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -44,6 +45,25 @@ func staleNeq(err error) bool {
 
 func quorumIs(err error) bool {
 	return errors.Is(err, replog.ErrQuorumLost)
+}
+
+// The routing sentinels arrive wrapped by the routed client (with the
+// shard id and retry context); a caller distinguishing "key moved"
+// from "node dead" with == would misclassify every real occurrence.
+func wrongShardEq(err error) bool {
+	return err == transport.ErrWrongShard // want `ErrWrongShard compared with ==`
+}
+
+func staleRouteNeq(err error) bool {
+	return err != transport.ErrStaleRoute // want `ErrStaleRoute compared with !=`
+}
+
+func wrongShardIs(err error) bool {
+	return errors.Is(err, transport.ErrWrongShard)
+}
+
+func staleRouteIs(err error) bool {
+	return errors.Is(err, transport.ErrStaleRoute)
 }
 
 // nil comparisons are the normal control flow: not flagged.

@@ -41,7 +41,7 @@ var checkedTypes = map[string][]string{
 	"repro/internal/twopc":     {"Coordinator"},
 	"repro/internal/transport": {"Transport", "Loopback"},
 	"repro/internal/server":    {"Server"},
-	"repro/internal/client":    {"Client", "Transport", "RemoteReplica"},
+	"repro/internal/client":    {"Client", "Transport", "RemoteReplica", "Routed", "Txn"},
 	"repro/internal/replog":    {"Primary", "Backup", "Replica"},
 	"net":                      {"Conn", "TCPConn", "UnixConn", "Listener", "TCPListener"},
 }

@@ -55,3 +55,26 @@ func TestReplicationInScope(t *testing.T) {
 		}
 	}
 }
+
+// TestShardingInScope pins the sharded serving layer's types into the
+// checked set: a routed client or cross-shard transaction that drops a
+// transport error can report commit for an action a shard never heard
+// about.
+func TestShardingInScope(t *testing.T) {
+	for pkg, wants := range map[string][]string{
+		"repro/internal/client": {"Routed", "Txn"},
+		"repro/internal/server": {"Server"},
+	} {
+		for _, want := range wants {
+			found := false
+			for _, name := range ioerrcheck.CheckedTypes()[pkg] {
+				if name == want {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("checkedTypes[%q] must include %s", pkg, want)
+			}
+		}
+	}
+}

@@ -275,9 +275,15 @@ func (c *Client) backoff(n int) time.Duration {
 }
 
 // remoteErr maps a non-OK verdict to an error wrapping wire.ErrRemote.
+// A wrong-shard refusal maps to a WrongShardError (wrapping
+// transport.ErrWrongShard) carrying the refusing server's routing
+// table, so the routed layer re-routes without a second round trip.
 func remoteErr(resp wire.Response) error {
 	if resp.Status == wire.StatusOK {
 		return nil
+	}
+	if resp.Status == wire.StatusWrongShard {
+		return &WrongShardError{Msg: resp.Err, TableBytes: resp.Result}
 	}
 	return fmt.Errorf("%w: %s: %s", wire.ErrRemote, resp.Status, resp.Err)
 }
@@ -294,18 +300,18 @@ func (c *Client) Ping() error {
 // Invoke calls a handler as a complete server-side atomic action and
 // returns its result.
 func (c *Client) Invoke(handler string, arg value.Value) (value.Value, error) {
-	return c.invoke(ids.ActionID{}, handler, arg)
+	return c.invoke(0, ids.ActionID{}, handler, arg)
 }
 
 // InvokeJoin calls a handler as a subaction of the caller's action
 // aid; the server's guardian joins the action and stays a participant
 // for its two-phase commit.
 func (c *Client) InvokeJoin(aid ids.ActionID, handler string, arg value.Value) (value.Value, error) {
-	return c.invoke(aid, handler, arg)
+	return c.invoke(0, aid, handler, arg)
 }
 
-func (c *Client) invoke(aid ids.ActionID, handler string, arg value.Value) (value.Value, error) {
-	req := wire.Request{Op: wire.OpInvoke, AID: aid, Handler: handler}
+func (c *Client) invoke(sh uint32, aid ids.ActionID, handler string, arg value.Value) (value.Value, error) {
+	req := wire.Request{Op: wire.OpInvoke, AID: aid, Shard: sh, Handler: handler}
 	if arg != nil {
 		req.Arg = value.Flatten(arg, func(value.Obj) {})
 	}
@@ -328,7 +334,12 @@ func (c *Client) invoke(aid ids.ActionID, handler string, arg value.Value) (valu
 
 // Prepare delivers a prepare message for aid and returns the vote.
 func (c *Client) Prepare(aid ids.ActionID) (twopc.Vote, error) {
-	resp, err := c.Do(wire.Request{Op: wire.OpPrepare, AID: aid})
+	return c.PrepareShard(0, aid)
+}
+
+// PrepareShard is Prepare addressed to a shard's guardian.
+func (c *Client) PrepareShard(sh uint32, aid ids.ActionID) (twopc.Vote, error) {
+	resp, err := c.Do(wire.Request{Op: wire.OpPrepare, AID: aid, Shard: sh})
 	if err != nil {
 		return 0, err
 	}
@@ -340,7 +351,12 @@ func (c *Client) Prepare(aid ids.ActionID) (twopc.Vote, error) {
 
 // Commit delivers a commit message for aid.
 func (c *Client) Commit(aid ids.ActionID) error {
-	resp, err := c.Do(wire.Request{Op: wire.OpCommit, AID: aid})
+	return c.CommitShard(0, aid)
+}
+
+// CommitShard is Commit addressed to a shard's guardian.
+func (c *Client) CommitShard(sh uint32, aid ids.ActionID) error {
+	resp, err := c.Do(wire.Request{Op: wire.OpCommit, AID: aid, Shard: sh})
 	if err != nil {
 		return err
 	}
@@ -349,7 +365,12 @@ func (c *Client) Commit(aid ids.ActionID) error {
 
 // Abort delivers an abort message for aid.
 func (c *Client) Abort(aid ids.ActionID) error {
-	resp, err := c.Do(wire.Request{Op: wire.OpAbort, AID: aid})
+	return c.AbortShard(0, aid)
+}
+
+// AbortShard is Abort addressed to a shard's guardian.
+func (c *Client) AbortShard(sh uint32, aid ids.ActionID) error {
+	resp, err := c.Do(wire.Request{Op: wire.OpAbort, AID: aid, Shard: sh})
 	if err != nil {
 		return err
 	}
@@ -359,7 +380,12 @@ func (c *Client) Abort(aid ids.ActionID) error {
 // Outcome asks the server's guardian, as coordinator of aid, for the
 // action's fate.
 func (c *Client) Outcome(aid ids.ActionID) (twopc.Outcome, error) {
-	resp, err := c.Do(wire.Request{Op: wire.OpOutcome, AID: aid})
+	return c.OutcomeShard(0, aid)
+}
+
+// OutcomeShard is Outcome addressed to a shard's guardian.
+func (c *Client) OutcomeShard(sh uint32, aid ids.ActionID) (twopc.Outcome, error) {
+	resp, err := c.Do(wire.Request{Op: wire.OpOutcome, AID: aid, Shard: sh})
 	if err != nil {
 		return twopc.OutcomeUnknown, err
 	}

@@ -13,6 +13,9 @@ import (
 type RemoteParticipant struct {
 	// ID is the remote guardian's id.
 	ID ids.GuardianID
+	// Shard addresses the guardian on a node hosting several; zero is
+	// the node's default guardian (the pre-sharding contract).
+	Shard uint32
 	// C is the client reaching the guardian's server.
 	C *Client
 }
@@ -24,17 +27,17 @@ func (p *RemoteParticipant) GuardianID() ids.GuardianID { return p.ID }
 
 // HandlePrepare implements twopc.Participant over the wire.
 func (p *RemoteParticipant) HandlePrepare(aid ids.ActionID) (twopc.Vote, error) {
-	return p.C.Prepare(aid)
+	return p.C.PrepareShard(p.Shard, aid)
 }
 
 // HandleCommit implements twopc.Participant over the wire.
 func (p *RemoteParticipant) HandleCommit(aid ids.ActionID) error {
-	return p.C.Commit(aid)
+	return p.C.CommitShard(p.Shard, aid)
 }
 
 // HandleAbort implements twopc.Participant over the wire.
 func (p *RemoteParticipant) HandleAbort(aid ids.ActionID) error {
-	return p.C.Abort(aid)
+	return p.C.AbortShard(p.Shard, aid)
 }
 
 // RemoteCoordinator is a client-side stub presenting a served guardian
@@ -42,7 +45,10 @@ func (p *RemoteParticipant) HandleAbort(aid ids.ActionID) error {
 // query (§2.2.2).
 type RemoteCoordinator struct {
 	ID ids.GuardianID
-	C  *Client
+	// Shard addresses the coordinating guardian on a node hosting
+	// several; zero is the node's default guardian.
+	Shard uint32
+	C     *Client
 }
 
 var _ twopc.OutcomeSource = (*RemoteCoordinator)(nil)
@@ -54,7 +60,7 @@ func (rc *RemoteCoordinator) GuardianID() ids.GuardianID { return rc.ID }
 // query answers OutcomeUnknown — the participant stays in doubt and
 // asks again later.
 func (rc *RemoteCoordinator) OutcomeOf(aid ids.ActionID) twopc.Outcome {
-	out, err := rc.C.Outcome(aid)
+	out, err := rc.C.OutcomeShard(rc.Shard, aid)
 	if err != nil {
 		return twopc.OutcomeUnknown
 	}

@@ -45,18 +45,19 @@ func (c *Client) RepSnapshot(snap wire.RepSnapshot) (wire.RepAck, error) {
 	return c.repCall(wire.OpRepSnapshot, wire.EncodeRepSnapshot(snap))
 }
 
-// Status reports the server's replication role and health.
-func (c *Client) Status() (wire.RepStatus, error) {
+// Status reports the server's replication role and health plus one
+// row per hosted shard.
+func (c *Client) Status() (wire.StatusReport, error) {
 	resp, err := c.Do(wire.Request{Op: wire.OpStatus})
 	if err != nil {
-		return wire.RepStatus{}, err
+		return wire.StatusReport{}, err
 	}
 	if err := remoteErr(resp); err != nil {
-		return wire.RepStatus{}, err
+		return wire.StatusReport{}, err
 	}
-	st, err := wire.DecodeRepStatus(resp.Result)
+	st, err := wire.DecodeStatusReport(resp.Result)
 	if err != nil {
-		return wire.RepStatus{}, fmt.Errorf("client: status: %w", err)
+		return wire.StatusReport{}, fmt.Errorf("client: status: %w", err)
 	}
 	return st, nil
 }

@@ -1,0 +1,435 @@
+package crashtest
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/guardian"
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/stablelog"
+	"repro/internal/twopc"
+	"repro/internal/value"
+)
+
+// The cross-shard sweep is the sharded deployment's analogue of the
+// crash-point sweep: a fixed two-shard transfer history runs with the
+// coordinator shard's guardian crashed at every one of its device
+// writes — before its prepare, inside the committing record, between
+// the commit applications, inside the done record — and after every
+// crash the coordinator recovers, the cluster settles (unfinished
+// coordinators complete phase two, in-doubt participants query), and
+// the result is checked against a serial oracle. Transfer amounts are
+// distinct powers of two, so the set of committed transfers reads
+// directly off the balances; the checked properties are:
+//
+//   - conservation: the two vault balances always sum to the initial
+//     total (all-or-nothing across shards);
+//   - zero acked-but-lost: every transfer acknowledged committed
+//     before the crash is present after recovery;
+//   - serial order: the committed set is exactly the acknowledged
+//     prefix, plus at most the interrupted transfer — never a later
+//     one, never a gap.
+
+// shardSweepIDs: the coordinator shard's guardian and the participant
+// shard's guardian.
+var shardSweepIDs = [2]ids.GuardianID{2, 4}
+
+// ShardSweepConfig parameterizes a cross-shard crash-point sweep. The
+// history is fully deterministic — there is no seed; transfer i moves
+// 1<<i units from the coordinator shard to the participant shard.
+type ShardSweepConfig struct {
+	Backend core.Backend
+	// Steps is the number of cross-shard transfers (≤ 16 keeps the
+	// balances comfortably inside int64).
+	Steps int
+	// BlockSize is the simulated device block size (default 512).
+	BlockSize int
+}
+
+// ShardSweepResult summarizes one sweep.
+type ShardSweepResult struct {
+	// Writes is W, the coordinator's device write count for the
+	// undisturbed history.
+	Writes int
+	// Points is the number of verified crash scenarios.
+	Points int
+	// Recoveries counts coordinator recoveries run and verified.
+	Recoveries int
+}
+
+// ShardSweepError identifies the failing scenario.
+type ShardSweepError struct {
+	Backend core.Backend
+	// Crash is the coordinator device write the crash hit (0 = the
+	// counting run).
+	Crash int
+	// Step is the transfer the crash interrupted (-1 for the setup
+	// phase, Steps if the history completed).
+	Step int
+	Err  error
+}
+
+func (e *ShardSweepError) Error() string {
+	return fmt.Sprintf("shardsweep %v crash=%d step=%d: %v", e.Backend, e.Crash, e.Step, e.Err)
+}
+
+func (e *ShardSweepError) Unwrap() error { return e.Err }
+
+// gatedNet models the death of the node hosting the coordinator logic.
+// Once the armed crash fires, the whole node is down — no message it
+// was about to send (prepare, commit, or abort) leaves, and no message
+// reaches its guardian. The gate matters for correctness, not just
+// realism, in two ways:
+//
+//   - when the committing force errors but the record in fact survived
+//     on one device copy, the presumed-abort path would notify the
+//     participants of an abort that recovery later decides the other
+//     way — a live coordinator never sees that ambiguity (a successful
+//     force is durable) and a dead one cannot send the aborts;
+//
+//   - each post-crash device write tears another block, so letting the
+//     abort path write an abort record can destroy both copies of a
+//     page, which a fail-stop node cannot do.
+type gatedNet struct {
+	net *netsim.Network
+	vol *stablelog.MemVolume
+}
+
+// Call implements transport.Transport, delivering only before the
+// crash has fired.
+func (n *gatedNet) Call(a, b ids.GuardianID, fn func() error) error {
+	if n.vol.GlobalCrashFired() {
+		return fmt.Errorf("crashtest: node %v is down", a)
+	}
+	return n.net.Call(a, b, fn)
+}
+
+// shardReplay holds one scenario's state.
+type shardReplay struct {
+	vol   *stablelog.MemVolume
+	net   *netsim.Network
+	coord *guardian.Guardian
+	part  *guardian.Guardian
+	// step is the interrupted transfer (-1 setup, Steps completed).
+	step int
+	// acked is the bitmask of transfers acknowledged committed.
+	acked int64
+}
+
+// runShardHistory executes the transfer history on fresh guardians,
+// with the coordinator's volume already armed (or not). It stops at
+// the first fired crash.
+func runShardHistory(cfg ShardSweepConfig, vol *stablelog.MemVolume, chk *obs.Checker) (*shardReplay, error) {
+	r := &shardReplay{vol: vol, net: netsim.New(), step: -1}
+	r.net.SetTracer(chk)
+	initial := int64(1) << uint(cfg.Steps)
+
+	fired := func(err error) (bool, error) {
+		if vol.GlobalCrashFired() {
+			return true, nil
+		}
+		return false, err
+	}
+
+	coord, err := guardian.New(shardSweepIDs[0], guardian.WithBackend(cfg.Backend),
+		guardian.WithVolume(vol), guardian.WithTracer(chk))
+	if f, err := fired(err); err != nil {
+		return r, err
+	} else if f {
+		return r, nil
+	}
+	coord.SetSynchronousForces(true)
+	r.coord = coord
+
+	part, err := guardian.New(shardSweepIDs[1], guardian.WithBackend(cfg.Backend), guardian.WithTracer(chk))
+	if err != nil {
+		return r, err
+	}
+	part.SetSynchronousForces(true)
+	r.part = part
+
+	setup := func(g *guardian.Guardian) error {
+		boot := g.Begin()
+		v, err := boot.NewAtomic(value.Int(initial))
+		if err != nil {
+			return err
+		}
+		if err := boot.SetVar("vault", v); err != nil {
+			return err
+		}
+		return boot.Commit()
+	}
+	if err := setup(part); err != nil {
+		return r, err
+	}
+	if f, err := fired(setup(coord)); err != nil {
+		return r, err
+	} else if f {
+		return r, nil
+	}
+
+	for i := 0; i < cfg.Steps; i++ {
+		amount := int64(1) << uint(i)
+		a := coord.Begin()
+		branch := part.Join(a.ID())
+		cv, ok := coord.VarAtomic("vault")
+		if !ok {
+			return r, fmt.Errorf("coordinator vault lost before step %d", i)
+		}
+		pv, ok := part.VarAtomic("vault")
+		if !ok {
+			return r, fmt.Errorf("participant vault lost before step %d", i)
+		}
+		debit := func(v value.Value) value.Value {
+			return value.Int(int64(v.(value.Int)) - amount)
+		}
+		credit := func(v value.Value) value.Value {
+			return value.Int(int64(v.(value.Int)) + amount)
+		}
+		if err := a.Update(cv, debit); err != nil {
+			if f, err := fired(err); err != nil {
+				return r, fmt.Errorf("step %d debit: %w", i, err)
+			} else if f {
+				r.step = i
+				return r, nil
+			}
+		}
+		if err := branch.Update(pv, credit); err != nil {
+			return r, fmt.Errorf("step %d credit: %w", i, err)
+		}
+		co := &twopc.Coordinator{
+			Self: coord.ID(), Net: &gatedNet{net: r.net, vol: vol},
+			Log: coord, Tracer: chk,
+		}
+		res, runErr := co.Run(a.ID(), []twopc.Participant{coord, part})
+		if runErr == nil && res.Outcome == twopc.OutcomeCommitted {
+			// The commit point was reached and observed: this transfer
+			// must survive any crash from here on.
+			r.acked |= int64(1) << uint(i)
+		}
+		if vol.GlobalCrashFired() {
+			r.step = i
+			return r, nil
+		}
+		if runErr != nil {
+			return r, fmt.Errorf("step %d commit: %w", i, runErr)
+		}
+	}
+	r.step = cfg.Steps
+	return r, nil
+}
+
+// settleShards recovers the crashed coordinator from its volume and
+// settles the two-shard cluster: the coordinator's own in-doubt
+// branches resolve against its recovered CT, unfinished committing
+// actions re-drive phase two, and the participant's in-doubt branches
+// query the coordinator (§2.2.2/§2.2.3). It returns the recovered
+// coordinator (nil if the site was never durably created).
+func settleShards(cfg ShardSweepConfig, r *shardReplay, chk *obs.Checker) (*guardian.Guardian, error) {
+	r.vol.Crash()
+	r.vol.Restart()
+	ng, err := guardian.Open(shardSweepIDs[0], r.vol, cfg.Backend, guardian.WithTracer(chk))
+	if err != nil {
+		if isNoSite(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	ng.SetSynchronousForces(true)
+	if err := guardian.CheckRecovered(ng); err != nil {
+		return nil, err
+	}
+	// The coordinator's own prepared branches resolve against its CT.
+	for _, aid := range ng.InDoubt() {
+		var err error
+		if ng.OutcomeOf(aid) == twopc.OutcomeCommitted {
+			err = ng.HandleCommit(aid)
+		} else {
+			err = ng.HandleAbort(aid)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	part := r.part
+	if part == nil {
+		// The crash preceded the participant's creation; no cross-shard
+		// action can exist.
+		if n := len(ng.Unfinished()); n != 0 {
+			return nil, fmt.Errorf("%d unfinished actions with no participant guardian", n)
+		}
+		return ng, nil
+	}
+	// Re-drive phase two of actions whose committing record survived.
+	for _, aid := range ng.Unfinished() {
+		co := &twopc.Coordinator{Self: ng.ID(), Net: r.net, Log: ng, Tracer: chk}
+		if _, err := co.Complete(aid, []twopc.Participant{ng, part}); err != nil {
+			return nil, err
+		}
+	}
+	// Prepared participant branches the completion pass did not reach
+	// query the coordinator for the verdict.
+	for _, aid := range part.InDoubt() {
+		out, err := twopc.Query(r.net, part.ID(), ng, aid)
+		if err != nil {
+			return nil, err
+		}
+		if out == twopc.OutcomeCommitted {
+			err = part.HandleCommit(aid)
+		} else {
+			err = part.HandleAbort(aid)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Unprepared branches cannot belong to a committed action; abort
+	// the leftovers once the coordinator confirms.
+	for _, aid := range part.LiveActions() {
+		if ng.OutcomeOf(aid) == twopc.OutcomeCommitted {
+			continue
+		}
+		if err := part.HandleAbort(aid); err != nil {
+			return nil, err
+		}
+	}
+	return ng, nil
+}
+
+// verifyShards checks the oracle: conservation, zero acked-but-lost,
+// and the committed set being exactly the acknowledged prefix plus at
+// most the interrupted transfer.
+func verifyShards(cfg ShardSweepConfig, r *shardReplay, ng *guardian.Guardian) error {
+	initial := int64(1) << uint(cfg.Steps)
+	if ng == nil {
+		// The coordinator's site was never durably created: legal only
+		// for a setup-phase crash, and the participant must be untouched.
+		if r.step != -1 {
+			return fmt.Errorf("coordinator site vanished though setup had committed")
+		}
+		if r.part != nil {
+			if got := vaultOf(r.part); got != initial {
+				return fmt.Errorf("participant vault = %d with no coordinator site, want %d", got, initial)
+			}
+		}
+		return nil
+	}
+	cb := vaultOf(ng)
+	if r.step == -1 {
+		// Setup interrupted: the setup action either committed in full
+		// (vault holds the initial balance) or not at all (no vault).
+		if cb != initial && cb != -1 {
+			return fmt.Errorf("setup crash recovered vault %d, want %d or none", cb, initial)
+		}
+		return nil
+	}
+	if cb < 0 {
+		return fmt.Errorf("coordinator vault lost after recovery")
+	}
+	pb := vaultOf(r.part)
+	if cb+pb != 2*initial {
+		return fmt.Errorf("balances %d + %d = %d, want %d (transfer not atomic across shards)",
+			cb, pb, cb+pb, 2*initial)
+	}
+	committed := pb - initial
+	if committed&r.acked != r.acked {
+		return fmt.Errorf("committed mask %b lost acknowledged transfers %b (acked-but-lost)",
+			committed, r.acked)
+	}
+	allowed := r.acked
+	if r.step < cfg.Steps {
+		allowed |= int64(1) << uint(r.step)
+	}
+	if committed&^allowed != 0 {
+		return fmt.Errorf("committed mask %b includes transfers beyond the acknowledged prefix %b and interrupted step %d",
+			committed, r.acked, r.step)
+	}
+	return nil
+}
+
+// vaultOf reads a guardian's committed vault balance (-1 if lost).
+func vaultOf(g *guardian.Guardian) int64 {
+	v, ok := g.VarAtomic("vault")
+	if !ok {
+		return -1
+	}
+	iv, ok := v.Base().(value.Int)
+	if !ok {
+		return -1
+	}
+	return int64(iv)
+}
+
+// ShardSweep runs the cross-shard crash-point sweep for one
+// configuration, returning a *ShardSweepError naming the failing
+// (backend, crash write) pair on the first violation.
+func ShardSweep(cfg ShardSweepConfig) (ShardSweepResult, error) {
+	if cfg.Backend == 0 {
+		cfg.Backend = core.BackendHybrid
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 512
+	}
+	if cfg.Steps <= 0 || cfg.Steps > 16 {
+		return ShardSweepResult{}, fmt.Errorf("shardsweep: steps %d out of range (1..16)", cfg.Steps)
+	}
+	var res ShardSweepResult
+	fail := func(k, step int, err error) error {
+		return &ShardSweepError{Backend: cfg.Backend, Crash: k, Step: step, Err: err}
+	}
+
+	// Counting run: the undisturbed history tallies W and pins the
+	// expected final state.
+	chk := obs.NewChecker(nil)
+	vol := stablelog.NewMemVolume(cfg.BlockSize)
+	vol.ArmGlobalCrashAtWrite(0)
+	r, err := runShardHistory(cfg, vol, chk)
+	if err != nil {
+		return res, fail(0, r.step, err)
+	}
+	if r.step != cfg.Steps {
+		return res, fail(0, r.step, fmt.Errorf("unarmed history stopped at step %d", r.step))
+	}
+	if err := verifyShards(cfg, r, r.coord); err != nil {
+		return res, fail(0, r.step, err)
+	}
+	if err := chk.Err(); err != nil {
+		return res, fail(0, r.step, err)
+	}
+	res.Writes = vol.GlobalWrites()
+	res.Points++
+
+	for k := 1; k <= res.Writes; k++ {
+		chk := obs.NewChecker(nil)
+		vol := stablelog.NewMemVolume(cfg.BlockSize)
+		vol.ArmGlobalCrashAtWrite(k)
+		r, err := runShardHistory(cfg, vol, chk)
+		if err != nil {
+			return res, fail(k, r.step, err)
+		}
+		if r.step == cfg.Steps && !vol.GlobalCrashFired() {
+			// k beyond this replay's writes: possible only if replays
+			// diverge; still verify the final state.
+			if err := verifyShards(cfg, r, r.coord); err != nil {
+				return res, fail(k, r.step, err)
+			}
+			res.Points++
+			continue
+		}
+		ng, err := settleShards(cfg, r, chk)
+		res.Recoveries++
+		if err != nil {
+			return res, fail(k, r.step, err)
+		}
+		if err := verifyShards(cfg, r, ng); err != nil {
+			return res, fail(k, r.step, err)
+		}
+		if err := chk.Err(); err != nil {
+			return res, fail(k, r.step, err)
+		}
+		res.Points++
+	}
+	return res, nil
+}

@@ -1,0 +1,48 @@
+package crashtest
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestShardSweep crashes the coordinator shard's guardian at every one
+// of its device writes during a cross-shard transfer history, recovers
+// it, settles the two-shard cluster, and verifies the serial oracle:
+// conservation across shards and zero acked-but-lost.
+func TestShardSweep(t *testing.T) {
+	for _, b := range []core.Backend{core.BackendSimple, core.BackendHybrid} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			res, err := ShardSweep(ShardSweepConfig{Backend: b, Steps: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every crash write plus the counting run.
+			if res.Writes == 0 || res.Points != res.Writes+1 {
+				t.Fatalf("degenerate cross-shard sweep: %+v", res)
+			}
+			if res.Recoveries == 0 {
+				t.Fatalf("sweep never exercised recovery: %+v", res)
+			}
+		})
+	}
+}
+
+// TestShardSweepErrorIdentifiesScenario: a ShardSweepError must carry
+// the replay coordinates (backend, crash write, interrupted step).
+func TestShardSweepErrorIdentifiesScenario(t *testing.T) {
+	e := &ShardSweepError{
+		Backend: core.BackendHybrid, Crash: 17, Step: 2, Err: errors.New("boom"),
+	}
+	got := e.Error()
+	for _, want := range []string{"hybrid", "crash=17", "step=2", "boom"} {
+		if !contains(got, want) {
+			t.Fatalf("ShardSweepError %q missing %q", got, want)
+		}
+	}
+	if !errors.Is(e, e.Err) {
+		t.Fatal("ShardSweepError does not unwrap")
+	}
+}

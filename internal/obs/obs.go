@@ -155,6 +155,27 @@ const (
 	// catch-up and Bytes the gap shipped; on a backup it marks the
 	// log reset of an accepted snapshot offer (Durable 0).
 	KindRepCatchup
+	// KindShardRoute is a routing table being served (OpRoute) or
+	// offered (OpRouteInstall); Durable carries the table version, From
+	// the requesting connection serial where known.
+	KindShardRoute
+	// KindShardWrong is a request refused because the node does not
+	// host the addressed shard; From is the shard id, Durable the
+	// version of the table returned in-band. Emitted by servers on the
+	// refusal and by routed clients on receiving one (Gid tells them
+	// apart).
+	KindShardWrong
+	// KindShardInstall is a routing table actually replacing a node's
+	// or client's current one; Durable is the new version, Bytes the
+	// table's shard count. A refused stale install emits no event —
+	// the table did not change.
+	KindShardInstall
+	// KindShardHandoff brackets a shard moving between nodes: the
+	// source emits Note "begin" when the handoff starts (From = shard
+	// id, Bytes = compacted log size to ship) and Note "publish" when
+	// the rehomed table goes out (Durable = new table version); the
+	// receiver emits Note "adopt" when it recovers the guardian.
+	KindShardHandoff
 
 	kindMax
 )
@@ -190,6 +211,10 @@ var kindNames = [...]string{
 	KindRepQuorum:      "rep.quorum",
 	KindRepPromote:     "rep.promote",
 	KindRepCatchup:     "rep.catchup",
+	KindShardRoute:     "shard.route",
+	KindShardWrong:     "shard.wrong",
+	KindShardInstall:   "shard.install",
+	KindShardHandoff:   "shard.handoff",
 }
 
 func (k Kind) String() string {
@@ -301,20 +326,34 @@ const (
 	RPCRepSnapshot
 	RPCStatus
 	RPCPromote
+	RPCRoute
+	RPCRouteInstall
+	RPCBegin
+	RPCCommitting
+	RPCDone
+	RPCHandoff
+	RPCHandoffInstall
 )
 
 var rpcOpNames = [...]string{
-	RPCPing:         "ping",
-	RPCInvoke:       "invoke",
-	RPCPrepare:      "prepare",
-	RPCCommit:       "commit",
-	RPCAbort:        "abort",
-	RPCOutcome:      "outcome",
-	RPCRepAppend:    "rep.append",
-	RPCRepHeartbeat: "rep.heartbeat",
-	RPCRepSnapshot:  "rep.snapshot",
-	RPCStatus:       "status",
-	RPCPromote:      "promote",
+	RPCPing:           "ping",
+	RPCInvoke:         "invoke",
+	RPCPrepare:        "prepare",
+	RPCCommit:         "commit",
+	RPCAbort:          "abort",
+	RPCOutcome:        "outcome",
+	RPCRepAppend:      "rep.append",
+	RPCRepHeartbeat:   "rep.heartbeat",
+	RPCRepSnapshot:    "rep.snapshot",
+	RPCStatus:         "status",
+	RPCPromote:        "promote",
+	RPCRoute:          "route",
+	RPCRouteInstall:   "route.install",
+	RPCBegin:          "begin",
+	RPCCommitting:     "committing",
+	RPCDone:           "done",
+	RPCHandoff:        "handoff",
+	RPCHandoffInstall: "handoff.install",
 }
 
 // RPCStatus codes for KindRPCReply events (Code field), mirroring
@@ -324,6 +363,7 @@ const (
 	RPCRetryable
 	RPCError
 	RPCBadRequest
+	RPCWrongShard
 )
 
 var rpcStatusNames = [...]string{
@@ -331,6 +371,7 @@ var rpcStatusNames = [...]string{
 	RPCRetryable:  "retry",
 	RPCError:      "error",
 	RPCBadRequest: "bad-request",
+	RPCWrongShard: "wrong-shard",
 }
 
 // NoLSN is the nil log address in an Event (stablelog.NoLSN as a raw
@@ -466,6 +507,11 @@ func (e Event) appendText(b []byte) []byte {
 		KindRepSend, KindRepRecv, KindRepAck, KindRepQuorum,
 		KindRepPromote, KindRepCatchup:
 		b = append(b, " durable="...)
+		b = strconv.AppendUint(b, e.Durable, 10)
+	// The shard kinds reuse Durable for the routing-table version, so
+	// the rendering says what the number means.
+	case KindShardRoute, KindShardWrong, KindShardInstall, KindShardHandoff:
+		b = append(b, " version="...)
 		b = strconv.AppendUint(b, e.Durable, 10)
 	}
 	if e.Bytes != 0 {

@@ -265,7 +265,7 @@ func TestRepFailoverOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Role != wire.RoleBackup || st.Durable != durable {
+	if st.Rep.Role != wire.RoleBackup || st.Rep.Durable != durable {
 		t.Fatalf("backup status = %+v, want role backup at %d durable bytes", st, durable)
 	}
 
@@ -277,12 +277,12 @@ func TestRepFailoverOverTCP(t *testing.T) {
 	}
 
 	// Promote backup 101 and read the recovered counter over the wire.
-	st, err = c101.Promote()
+	pst, err := c101.Promote()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Role != wire.RolePrimary || st.Epoch != 2 {
-		t.Fatalf("post-promote status = %+v, want primary at epoch 2", st)
+	if pst.Role != wire.RolePrimary || pst.Epoch != 2 {
+		t.Fatalf("post-promote status = %+v, want primary at epoch 2", pst)
 	}
 	got, err := c101.Invoke("get", nil)
 	if err != nil {
@@ -305,8 +305,8 @@ func TestRepFailoverOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if again.Role != wire.RolePrimary || again.Epoch != st.Epoch {
-		t.Fatalf("second promote status = %+v, want %+v", again, st)
+	if again.Role != wire.RolePrimary || again.Epoch != pst.Epoch {
+		t.Fatalf("second promote status = %+v, want %+v", again, pst)
 	}
 }
 
@@ -364,8 +364,11 @@ func TestStatusOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	durable, _ := g.Site().Log().TailInfo()
-	if st.Role != wire.RoleStandalone || st.Durable != durable || st.QuorumBytes != durable {
+	if st.Rep.Role != wire.RoleStandalone || st.Rep.Durable != durable || st.Rep.QuorumBytes != durable {
 		t.Fatalf("standalone status = %+v, want standalone at %d durable bytes", st, durable)
+	}
+	if len(st.Shards) != 0 {
+		t.Fatalf("unsharded server reports %d shard rows, want none", len(st.Shards))
 	}
 
 	// A rep op against a server with no hosted backup is a protocol
@@ -384,7 +387,7 @@ func TestStatusOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st2 != want {
-		t.Fatalf("hooked status = %+v, want %+v", st2, want)
+	if st2.Rep != want {
+		t.Fatalf("hooked status = %+v, want %+v", st2.Rep, want)
 	}
 }

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/guardian"
+	"repro/internal/ids"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/twopc"
+	"repro/internal/value"
+)
+
+// shardedCluster is two live servers hosting three counter shards
+// under a range table: shard 2 owns ["", "m"), shard 3 ["m", "t"),
+// shard 4 ["t", ∞) — so keys "a", "n", "u" land on 2, 3, 4.
+type shardedCluster struct {
+	a, b         *Server
+	addrA, addrB string
+	table        shard.Table
+	guardians    map[uint32]*guardian.Guardian
+}
+
+func newShardedCluster(t *testing.T) *shardedCluster {
+	t.Helper()
+	cl := &shardedCluster{guardians: make(map[uint32]*guardian.Guardian)}
+	cl.a, cl.addrA = startServer(t, newCounterGuardian(t, 100), Config{HandoffShip: shipVia(t)})
+	cl.b, cl.addrB = startServer(t, newCounterGuardian(t, 101), Config{
+		HandoffShip: shipVia(t),
+		OnAdopt:     func(id uint32, g *guardian.Guardian) { registerCounter(g) },
+	})
+	for _, sh := range []uint32{2, 3} {
+		g := newCounterGuardian(t, ids.GuardianID(sh))
+		cl.a.AddShard(sh, g)
+		cl.guardians[sh] = g
+	}
+	g4 := newCounterGuardian(t, 4)
+	cl.b.AddShard(4, g4)
+	cl.guardians[4] = g4
+	cl.table = shard.Table{Version: 1, Kind: shard.KindRange, Shards: []shard.Shard{
+		{ID: 2, Addr: cl.addrA, Start: ""},
+		{ID: 3, Addr: cl.addrA, Start: "m"},
+		{ID: 4, Addr: cl.addrB, Start: "t"},
+	}}
+	if err := cl.a.InstallTable(cl.table); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.b.InstallTable(cl.table); err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// counter reads a shard's committed counter directly from its guardian.
+func (cl *shardedCluster) counter(t *testing.T, sh uint32) int64 {
+	t.Helper()
+	c, ok := cl.guardians[sh].VarAtomic("counter")
+	if !ok {
+		t.Fatalf("shard %d has no counter", sh)
+	}
+	return int64(c.Base().(value.Int))
+}
+
+func newRouted(t *testing.T, cl *shardedCluster, tr obs.Tracer) *client.Routed {
+	t.Helper()
+	opt := fastOpts()
+	opt.Tracer = tr
+	r := client.NewRouted([]string{cl.addrA, cl.addrB}, opt)
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// TestRoutedSingleKey: the routed client fetches the table from the
+// seeds and lands each key on its owning shard.
+func TestRoutedSingleKey(t *testing.T) {
+	cl := newShardedCluster(t)
+	r := newRouted(t, cl, nil)
+
+	for _, tc := range []struct {
+		key   string
+		shard uint32
+		delta int64
+	}{{"a", 2, 5}, {"n", 3, 7}, {"u", 4, 9}} {
+		got, err := r.Invoke(tc.key, "incr", value.Int(tc.delta))
+		if err != nil {
+			t.Fatalf("incr %q: %v", tc.key, err)
+		}
+		if int64(got.(value.Int)) != tc.delta {
+			t.Fatalf("incr %q = %v, want %d", tc.key, got, tc.delta)
+		}
+		if got := cl.counter(t, tc.shard); got != tc.delta {
+			t.Fatalf("shard %d counter = %d, want %d", tc.shard, got, tc.delta)
+		}
+	}
+}
+
+// TestRoutedCrossShardTxn commits one atomic action spanning three
+// shards on two nodes over real TCP, then proves all-or-nothing by
+// aborting a second spanning action.
+func TestRoutedCrossShardTxn(t *testing.T) {
+	cl := newShardedCluster(t)
+	r := newRouted(t, cl, nil)
+
+	tx, err := r.Begin("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.AID().Coordinator != 2 {
+		t.Fatalf("coordinator = %d, want shard 2 (owner of the first key)", tx.AID().Coordinator)
+	}
+	for _, tc := range []struct {
+		key   string
+		delta int64
+	}{{"a", 1}, {"n", 2}, {"u", 3}} {
+		if _, err := tx.Invoke(tc.key, "incr", value.Int(tc.delta)); err != nil {
+			t.Fatalf("txn incr %q: %v", tc.key, err)
+		}
+	}
+	res, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != twopc.OutcomeCommitted || !res.Done {
+		t.Fatalf("commit result = %+v, want committed and done", res)
+	}
+	for sh, want := range map[uint32]int64{2: 1, 3: 2, 4: 3} {
+		if got := cl.counter(t, sh); got != want {
+			t.Fatalf("shard %d counter = %d, want %d", sh, got, want)
+		}
+	}
+
+	// An aborted spanning action leaves every shard untouched.
+	tx2, err := r.Begin("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Invoke("a", "incr", value.Int(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Invoke("u", "incr", value.Int(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	for sh, want := range map[uint32]int64{2: 1, 3: 2, 4: 3} {
+		if got := cl.counter(t, sh); got != want {
+			t.Fatalf("shard %d counter = %d after abort, want %d", sh, got, want)
+		}
+	}
+	// A finished txn refuses further use.
+	if _, err := tx2.Invoke("a", "incr", value.Int(1)); err == nil {
+		t.Fatal("invoke on a finished txn succeeded")
+	}
+}
+
+// TestRoutedWrongShardRefresh: a routed client holding the pre-handoff
+// table converges through the wrong-shard refusal — one refused call
+// teaches it the rehomed table, the retry lands on the new owner.
+func TestRoutedWrongShardRefresh(t *testing.T) {
+	cl := newShardedCluster(t)
+	rec := &obs.Recorder{}
+	r := newRouted(t, cl, rec)
+
+	// Seed the table and some committed state.
+	if _, err := r.Invoke("a", "incr", value.Int(4)); err != nil {
+		t.Fatal(err)
+	}
+	if tbl, ok := r.Table(); !ok || tbl.Version != 1 {
+		t.Fatalf("routed table = %+v %v, want v1", tbl, ok)
+	}
+
+	// Move shard 2 to node B behind the routed client's back.
+	ca := client.New(cl.addrA, fastOpts())
+	t.Cleanup(func() { ca.Close() })
+	if _, err := ca.Handoff(2, cl.addrB); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stale route draws a refusal, installs v2 in-band, retries.
+	got, err := r.Invoke("a", "get", nil)
+	if err != nil {
+		t.Fatalf("post-handoff routed read: %v", err)
+	}
+	if int64(got.(value.Int)) != 4 {
+		t.Fatalf("moved counter = %v, want 4", got)
+	}
+	if tbl, _ := r.Table(); tbl.Version != 2 {
+		t.Fatalf("routed table v%d after correction, want v2", tbl.Version)
+	}
+	var sawWrong, sawInstall bool
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case obs.KindShardWrong:
+			sawWrong = true
+		case obs.KindShardInstall:
+			if e.Durable == 2 {
+				sawInstall = true
+			}
+		}
+	}
+	if !sawWrong || !sawInstall {
+		t.Fatalf("trace wrong=%v install=%v, want both", sawWrong, sawInstall)
+	}
+}
+
+// TestCrossShardPartitionMatrix: for every participant shard, a commit
+// attempted while that shard is unreachable aborts cleanly — no shard
+// applies — and after healing, a fresh action spanning the same keys
+// commits everywhere. With the committing record forced, an
+// unresponsive participant holds the action in doubt (not aborted)
+// until Complete re-delivers.
+func TestCrossShardPartitionMatrix(t *testing.T) {
+	keys := map[uint32]string{2: "a", 3: "n", 4: "u"}
+	for _, downShard := range []uint32{2, 3, 4} {
+		cl := newShardedCluster(t)
+		r := newRouted(t, cl, nil)
+		// Prime the table before partitioning.
+		if _, err := r.Invoke("a", "get", nil); err != nil {
+			t.Fatal(err)
+		}
+
+		tx, err := r.Begin("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range []string{"a", "n", "u"} {
+			if _, err := tx.Invoke(key, "incr", value.Int(10)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Partition one participant for the whole commit: its prepare is
+		// refused, the coordinator aborts, and no shard applies.
+		r.Transport().SetDown(ids.GuardianID(downShard), true)
+		res, err := tx.Commit()
+		if err == nil && res.Outcome == twopc.OutcomeCommitted {
+			t.Fatalf("down=%d: commit succeeded through a partition refusing a prepare", downShard)
+		}
+		r.Transport().SetDown(ids.GuardianID(downShard), false)
+		//roslint:besteffort the commit already aborted; this clears any prepared survivors
+		_ = tx.Abort()
+		for sh := range keys {
+			if got := cl.counter(t, sh); got != 0 {
+				t.Fatalf("down=%d: shard %d counter = %d after aborted commit, want 0", downShard, sh, got)
+			}
+		}
+
+		// Healed, the same span commits on every shard.
+		tx2, err := r.Begin("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range []string{"a", "n", "u"} {
+			if _, err := tx2.Invoke(key, "incr", value.Int(7)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err = tx2.Commit()
+		if err != nil || res.Outcome != twopc.OutcomeCommitted {
+			t.Fatalf("down=%d: healed commit = %+v, %v", downShard, res, err)
+		}
+		for sh := range keys {
+			if got := cl.counter(t, sh); got != 7 {
+				t.Fatalf("down=%d: shard %d counter = %d, want 7", downShard, sh, got)
+			}
+		}
+	}
+}
+
+// TestCrossShardInDoubtComplete drives the coordinator-crash window by
+// hand: join two shards, prepare both, force the committing record —
+// then "lose" the client before any commit message. A fresh client
+// resolves the in-doubt action through the coordinator shard's outcome
+// query and Complete delivers the commits.
+func TestCrossShardInDoubtComplete(t *testing.T) {
+	cl := newShardedCluster(t)
+	ca := client.New(cl.addrA, fastOpts())
+	cb := client.New(cl.addrB, fastOpts())
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+
+	aid, err := ca.Begin(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.InvokeJoinShard(2, aid, "incr", value.Int(6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.InvokeJoinShard(4, aid, "incr", value.Int(8)); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []struct {
+		c  *client.Client
+		sh uint32
+	}{{ca, 2}, {cb, 4}} {
+		v, err := p.c.PrepareShard(p.sh, aid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != twopc.VotePrepared {
+			t.Fatalf("shard %d vote = %v, want prepared", p.sh, v)
+		}
+	}
+	if err := ca.Committing(2, aid, []ids.GuardianID{2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	// The driving client dies here. Both shards are prepared and in
+	// doubt; the committing record decides.
+	out, err := ca.OutcomeShard(2, aid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != twopc.OutcomeCommitted {
+		t.Fatalf("in-doubt outcome = %v, want committed", out)
+	}
+	// A fresh routed client completes phase two.
+	r := newRouted(t, cl, nil)
+	if _, err := r.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	co := twopc.Coordinator{Self: 2, Net: r.Transport(), Log: r.Transport().Peer(2).CoordLog(2)}
+	parts := []twopc.Participant{
+		&client.RemoteParticipant{ID: 2, Shard: 2, C: r.Transport().Peer(2)},
+		&client.RemoteParticipant{ID: 4, Shard: 4, C: r.Transport().Peer(4)},
+	}
+	res, err := co.Complete(aid, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != twopc.OutcomeCommitted || !res.Done {
+		t.Fatalf("complete = %+v, want committed and done", res)
+	}
+	if got := cl.counter(t, 2); got != 6 {
+		t.Fatalf("shard 2 counter = %d, want 6", got)
+	}
+	if got := cl.counter(t, 4); got != 8 {
+		t.Fatalf("shard 4 counter = %d, want 8", got)
+	}
+}

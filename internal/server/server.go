@@ -39,6 +39,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/obs"
 	"repro/internal/replog"
+	"repro/internal/shard"
 	"repro/internal/transport"
 	"repro/internal/value"
 	"repro/internal/wire"
@@ -87,6 +88,16 @@ type Config struct {
 	// idempotent but the hook fires only on the call that installed the
 	// guardian).
 	OnPromote func(*guardian.Guardian)
+	// HandoffShip, when non-nil, delivers one OpHandoffInstall step to
+	// the receiving node during an outbound shard handoff (a routed
+	// client wires a TCP call here; tests wire a loopback into another
+	// server's ApplyHandoff). A nil hook refuses OpHandoff.
+	HandoffShip func(target string, hf wire.HandoffFrames) (wire.RepAck, error)
+	// OnAdopt, when non-nil, is called with a shard guardian recovered
+	// by an inbound handoff, before the shard starts serving — the hook
+	// registers the application's handlers, exactly as OnPromote does
+	// for a failover.
+	OnAdopt func(id uint32, g *guardian.Guardian)
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +129,15 @@ type Server struct {
 
 	gmu sync.Mutex
 	g   *guardian.Guardian // swapped by OpPromote on a backup server
+
+	// smu guards the shard registry and routing table. It is a leaf
+	// lock: held only to read or swap the maps below, never across a
+	// guardian call, a device write, or an emission — so it can never
+	// participate in a cycle with guardian or log locks.
+	smu      sync.Mutex
+	shards   map[uint32]*guardian.Guardian
+	table    *shard.Table
+	handoffs map[uint32]*replog.Backup // inbound handoffs, keyed by shard
 
 	work chan task
 
@@ -172,12 +192,14 @@ func New(g *guardian.Guardian, cfg Config) *Server {
 		gid = uint64(cfg.Backup.ID())
 	}
 	s := &Server{
-		g:      g,
-		cfg:    cfg,
-		tr:     obs.WithGuardian(cfg.Tracer, gid),
-		work:   make(chan task, cfg.QueueDepth),
-		conns:  make(map[*conn]bool),
-		closed: make(chan struct{}),
+		g:        g,
+		cfg:      cfg,
+		tr:       obs.WithGuardian(cfg.Tracer, gid),
+		shards:   make(map[uint32]*guardian.Guardian),
+		handoffs: make(map[uint32]*replog.Backup),
+		work:     make(chan task, cfg.QueueDepth),
+		conns:    make(map[*conn]bool),
+		closed:   make(chan struct{}),
 	}
 	return s
 }
@@ -397,11 +419,22 @@ func (s *Server) execute(req wire.Request) wire.Response {
 	case wire.OpRepAppend, wire.OpRepHeartbeat, wire.OpRepSnapshot:
 		return s.replicate(req)
 	case wire.OpStatus:
-		return wire.Response{Status: wire.StatusOK, Result: wire.EncodeRepStatus(s.status())}
+		return wire.Response{Status: wire.StatusOK, Result: wire.EncodeStatusReport(s.statusReport())}
 	case wire.OpPromote:
 		return s.promote(req)
+	case wire.OpRoute:
+		return s.route()
+	case wire.OpRouteInstall:
+		return s.routeInstall(req)
+	case wire.OpHandoff:
+		return s.handoff(req)
+	case wire.OpHandoffInstall:
+		return s.handoffInstall(req)
 	}
-	g := s.guardian()
+	g, miss := s.resolve(req.Shard)
+	if miss != nil {
+		return *miss
+	}
 	if g == nil {
 		// A backup serves nothing until promoted; the client's retry
 		// loop rides out the failover window.
@@ -428,6 +461,22 @@ func (s *Server) execute(req wire.Request) wire.Response {
 		return wire.Response{Status: wire.StatusOK}
 	case wire.OpOutcome:
 		return wire.Response{Status: wire.StatusOK, Outcome: uint8(g.OutcomeOf(req.AID))}
+	case wire.OpBegin:
+		return wire.Response{Status: wire.StatusOK, Result: wire.EncodeActionID(g.Begin().ID())}
+	case wire.OpCommitting:
+		gids, err := wire.DecodeGuardianIDs(req.Arg)
+		if err != nil {
+			return wire.Response{Status: wire.StatusBadRequest, Err: err.Error()}
+		}
+		if err := g.Committing(req.AID, gids); err != nil {
+			return failure(err)
+		}
+		return wire.Response{Status: wire.StatusOK}
+	case wire.OpDone:
+		if err := g.Done(req.AID); err != nil {
+			return failure(err)
+		}
+		return wire.Response{Status: wire.StatusOK}
 	default:
 		return wire.Response{Status: wire.StatusBadRequest, Err: fmt.Sprintf("unknown op %d", req.Op)}
 	}

@@ -38,6 +38,13 @@ func newCounterGuardian(t *testing.T, id ids.GuardianID) *guardian.Guardian {
 	if err := boot.Commit(); err != nil {
 		t.Fatal(err)
 	}
+	registerCounter(g)
+	return g
+}
+
+// registerCounter installs the counter handlers on g; split out so an
+// adopted (handoff-recovered) guardian gets the same handlers.
+func registerCounter(g *guardian.Guardian) {
 	g.RegisterHandler("incr", func(sub *guardian.Sub, arg value.Value) (value.Value, error) {
 		c, _ := g.VarAtomic("counter")
 		delta := int64(1)
@@ -58,7 +65,6 @@ func newCounterGuardian(t *testing.T, id ids.GuardianID) *guardian.Guardian {
 	g.RegisterHandler("fail", func(sub *guardian.Sub, arg value.Value) (value.Value, error) {
 		return nil, errors.New("handler says no")
 	})
-	return g
 }
 
 // startServer runs a server over g on a loopback listener and returns

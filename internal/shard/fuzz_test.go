@@ -1,0 +1,43 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeTable feeds arbitrary bytes to the routing-table decoder:
+// no input may panic or over-allocate, and every accepted input must
+// re-encode byte-for-byte (one canonical form) to a table that passes
+// Validate — a decoded table is installed directly into registries and
+// clients, so acceptance is the safety boundary.
+func FuzzDecodeTable(f *testing.F) {
+	f.Add(hashTable(1, 1).Encode())
+	f.Add(hashTable(42, 5).Encode())
+	f.Add(rangeTable(7, []string{"", "g", "p"}).Encode())
+	valid := hashTable(3, 2).Encode()
+	f.Add(valid[:len(valid)-2])                  // truncated entry
+	f.Add(append(append([]byte{}, valid...), 7)) // trailing byte
+	corrupt := append([]byte{}, valid...)
+	corrupt[8] = 0xEE // unknown kind
+	f.Add(corrupt)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tb, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := tb.Validate(); err != nil {
+			t.Fatalf("decoded table fails validation: %v", err)
+		}
+		if !bytes.Equal(tb.Encode(), data) {
+			t.Fatal("table decode/encode not canonical")
+		}
+		// Ownership must be total on whatever decoded.
+		for _, key := range []string{"", "a", "zz", "\x00\xff"} {
+			if _, ok := tb.Lookup(tb.Owner(key).ID); !ok {
+				t.Fatalf("Owner(%q) not in table", key)
+			}
+		}
+	})
+}

@@ -1,0 +1,332 @@
+// Package shard defines the cluster's routing table: the versioned,
+// wire-codable map from keys to shard ids and from shard ids to the
+// node addresses hosting them.
+//
+// The thesis's guardians were always meant to be many cooperating
+// nodes (§2.1); this package is the piece that decides *which* one a
+// key belongs to. A shard is one guardian — the shard id doubles as
+// the guardian id of the guardian holding that slice of the keyspace —
+// and a node (one rosd process) hosts a registry of several such
+// guardians. Two map kinds cover the two classic partitioning schemes:
+//
+//   - KindHash: a key hashes (FNV-1a) onto the shard list; good
+//     spread, no locality.
+//   - KindRange: contiguous key ranges, each shard owning [Start,
+//     nextStart); lexicographic locality, explicit splits.
+//
+// Tables are versioned. Every change — today only an explicit handoff
+// moving one shard to another address — installs a strictly newer
+// version, and every holder (server registries, routed clients)
+// rejects older tables with transport.ErrStaleRoute semantics. A
+// server answering a misrouted request returns its own table in-band,
+// so one wrong-shard round trip both corrects the client and carries
+// the refresh.
+//
+// Determinism: ownership is a pure function of (table, key). The
+// package is in the determinism analyzer's scope — no clocks, no
+// randomness, no map iteration — so the crash sweeps and partition
+// matrices can replay routed histories byte for byte.
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ID names one shard. It doubles as the ids.GuardianID of the guardian
+// holding the shard (the guardian moves between nodes; its id does
+// not). Shard ids are nonzero: a wire request carrying shard 0
+// addresses the server's default (unsharded) guardian.
+type ID uint32
+
+// Kind selects the keyspace partitioning scheme.
+type Kind uint8
+
+const (
+	// KindHash spreads keys over the shard list by FNV-1a hash.
+	KindHash Kind = iota + 1
+	// KindRange assigns each shard the keys in [Start, next Start).
+	KindRange
+)
+
+var kindNames = [...]string{
+	KindHash:  "hash",
+	KindRange: "range",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind reads a Kind from its flag spelling.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "hash":
+		return KindHash, nil
+	case "range":
+		return KindRange, nil
+	}
+	return 0, fmt.Errorf("unknown route kind %q (want hash or range)", s)
+}
+
+// Shard is one entry of the table: a shard id, the address of the node
+// currently hosting its guardian, and — for range tables — the first
+// key it owns.
+type Shard struct {
+	// ID is the shard (and guardian) id; nonzero.
+	ID ID
+	// Addr is the host:port of the rosd process hosting the shard.
+	Addr string
+	// Start is the inclusive lower bound of the shard's key range
+	// (KindRange only; the table's lowest Start must be "" so every key
+	// has an owner). Empty and unused under KindHash.
+	Start string
+}
+
+// Table is one version of the cluster's routing map. The zero Table is
+// invalid (no shards); tables are built whole and replaced whole.
+type Table struct {
+	// Version orders tables: holders install strictly newer versions
+	// and refuse older ones (ErrStaleTable).
+	Version uint64
+	// Kind is the partitioning scheme.
+	Kind Kind
+	// Shards lists the shard entries in canonical order: ascending ID
+	// for KindHash, ascending Start for KindRange. Validate enforces
+	// the order, so equal tables have equal encodings.
+	Shards []Shard
+}
+
+// Codec and validation errors.
+var (
+	// ErrBadTable: a routing-table encoding does not decode, or a table
+	// fails validation.
+	ErrBadTable = errors.New("shard: bad table")
+	// ErrStaleTable: an installed table's version is not newer than the
+	// holder's current one. Callers surface it wrapping
+	// transport.ErrStaleRoute.
+	ErrStaleTable = errors.New("shard: stale table version")
+)
+
+// Validate checks the structural invariants: at least one shard,
+// nonzero unique ids, nonempty addresses, canonical order, and — for
+// range tables — unique ascending starts beginning with the empty
+// string, so ownership is total (every key has exactly one owner).
+func (t Table) Validate() error {
+	if t.Version == 0 {
+		return fmt.Errorf("%w: version 0", ErrBadTable)
+	}
+	if t.Kind != KindHash && t.Kind != KindRange {
+		return fmt.Errorf("%w: unknown kind %d", ErrBadTable, uint8(t.Kind))
+	}
+	if len(t.Shards) == 0 {
+		return fmt.Errorf("%w: no shards", ErrBadTable)
+	}
+	seen := make(map[ID]bool, len(t.Shards))
+	for i, s := range t.Shards {
+		if s.ID == 0 {
+			return fmt.Errorf("%w: shard %d has id 0", ErrBadTable, i)
+		}
+		if seen[s.ID] {
+			return fmt.Errorf("%w: duplicate shard id %d", ErrBadTable, s.ID)
+		}
+		seen[s.ID] = true
+		if s.Addr == "" {
+			return fmt.Errorf("%w: shard %d has no address", ErrBadTable, s.ID)
+		}
+		switch t.Kind {
+		case KindHash:
+			if s.Start != "" {
+				return fmt.Errorf("%w: hash shard %d carries a range start", ErrBadTable, s.ID)
+			}
+			if i > 0 && t.Shards[i-1].ID >= s.ID {
+				return fmt.Errorf("%w: hash shards not in ascending id order at %d", ErrBadTable, s.ID)
+			}
+		case KindRange:
+			if i == 0 && s.Start != "" {
+				return fmt.Errorf("%w: first range start %q is not empty; keys below it would be unowned", ErrBadTable, s.Start)
+			}
+			if i > 0 && t.Shards[i-1].Start >= s.Start {
+				return fmt.Errorf("%w: range starts not strictly ascending at shard %d", ErrBadTable, s.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// fnv1a is the 64-bit FNV-1a hash of key — inlined rather than
+// hash/fnv so the routing function is one allocation-free loop whose
+// bytes are pinned here (a silent hash change would re-home every key).
+func fnv1a(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Owner returns the shard owning key. The table must be valid;
+// ownership is total — every key has exactly one owner.
+func (t Table) Owner(key string) Shard {
+	switch t.Kind {
+	case KindRange:
+		// The first shard's Start is "", so the search never misses:
+		// find the last shard whose Start <= key.
+		i := sort.Search(len(t.Shards), func(i int) bool { return t.Shards[i].Start > key }) - 1
+		if i < 0 {
+			i = 0
+		}
+		return t.Shards[i]
+	default:
+		return t.Shards[fnv1a(key)%uint64(len(t.Shards))]
+	}
+}
+
+// Lookup returns the entry for shard id.
+func (t Table) Lookup(id ID) (Shard, bool) {
+	for _, s := range t.Shards {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Shard{}, false
+}
+
+// Addrs returns the distinct node addresses of the table, in first-seen
+// (canonical shard) order.
+func (t Table) Addrs() []string {
+	var out []string
+	seen := make(map[string]bool, len(t.Shards))
+	for _, s := range t.Shards {
+		if !seen[s.Addr] {
+			seen[s.Addr] = true
+			out = append(out, s.Addr)
+		}
+	}
+	return out
+}
+
+// WithAddr returns a copy of the table, one version newer, with shard
+// id rehomed to addr — the table a completed handoff publishes.
+func (t Table) WithAddr(id ID, addr string) (Table, error) {
+	nt := Table{Version: t.Version + 1, Kind: t.Kind, Shards: make([]Shard, len(t.Shards))}
+	copy(nt.Shards, t.Shards)
+	for i := range nt.Shards {
+		if nt.Shards[i].ID == id {
+			nt.Shards[i].Addr = addr
+			return nt, nil
+		}
+	}
+	return Table{}, fmt.Errorf("%w: no shard %d to rehome", ErrBadTable, id)
+}
+
+// Encode renders the table in its single canonical wire form: explicit
+// little-endian fields and uvarint length-prefixed strings, the same
+// primitives as internal/wire. Layout:
+//
+//	[Version u64][Kind u8][uvarint count] then per shard
+//	[ID u32][uvarint len Addr][uvarint len Start]
+func (t Table) Encode() []byte {
+	out := make([]byte, 0, 10+len(t.Shards)*16)
+	out = binary.LittleEndian.AppendUint64(out, t.Version)
+	out = append(out, byte(t.Kind))
+	out = binary.AppendUvarint(out, uint64(len(t.Shards)))
+	for _, s := range t.Shards {
+		out = binary.LittleEndian.AppendUint32(out, uint32(s.ID))
+		out = appendString(out, s.Addr)
+		out = appendString(out, s.Start)
+	}
+	return out
+}
+
+// Decode parses an encoded table and validates it. Trailing bytes are
+// an error, non-minimal varints are an error, and the result always
+// passes Validate — a decoded table is usable as-is.
+func Decode(b []byte) (Table, error) {
+	if len(b) < 10 {
+		return Table{}, fmt.Errorf("%w: table of %d bytes", ErrBadTable, len(b))
+	}
+	var t Table
+	t.Version = binary.LittleEndian.Uint64(b[0:8])
+	t.Kind = Kind(b[8])
+	rest := b[9:]
+	n, used, err := takeUvarint(rest)
+	if err != nil {
+		return Table{}, err
+	}
+	rest = rest[used:]
+	// Each shard entry costs at least 6 bytes (id + two length
+	// prefixes); bound the allocation before trusting the count.
+	if n > uint64(len(rest)/6) {
+		return Table{}, fmt.Errorf("%w: %d shards claimed in %d bytes", ErrBadTable, n, len(rest))
+	}
+	t.Shards = make([]Shard, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(rest) < 4 {
+			return Table{}, fmt.Errorf("%w: truncated shard entry", ErrBadTable)
+		}
+		var s Shard
+		s.ID = ID(binary.LittleEndian.Uint32(rest[0:4]))
+		rest = rest[4:]
+		addr, r2, err := takeString(rest)
+		if err != nil {
+			return Table{}, err
+		}
+		start, r3, err := takeString(r2)
+		if err != nil {
+			return Table{}, err
+		}
+		s.Addr, s.Start = addr, start
+		rest = r3
+		t.Shards = append(t.Shards, s)
+	}
+	if len(rest) != 0 {
+		return Table{}, fmt.Errorf("%w: %d trailing bytes", ErrBadTable, len(rest))
+	}
+	if err := t.Validate(); err != nil {
+		return Table{}, err
+	}
+	return t, nil
+}
+
+// appendString appends a uvarint length prefix and the string bytes.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// takeUvarint consumes one minimally-encoded uvarint.
+func takeUvarint(b []byte) (uint64, int, error) {
+	n, used := binary.Uvarint(b)
+	if used <= 0 {
+		return 0, 0, fmt.Errorf("%w: bad length prefix", ErrBadTable)
+	}
+	if used > 1 && b[used-1] == 0 {
+		return 0, 0, fmt.Errorf("%w: non-minimal length prefix", ErrBadTable)
+	}
+	return n, used, nil
+}
+
+// takeString consumes a uvarint-prefixed string, validating the length
+// before slicing.
+func takeString(b []byte) (string, []byte, error) {
+	n, used, err := takeUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	rest := b[used:]
+	if n > uint64(len(rest)) {
+		return "", nil, fmt.Errorf("%w: string length %d beyond %d remaining", ErrBadTable, n, len(rest))
+	}
+	return string(rest[:n]), rest[n:], nil
+}

@@ -1,0 +1,232 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func hashTable(version uint64, n int) Table {
+	t := Table{Version: version, Kind: KindHash}
+	for i := 1; i <= n; i++ {
+		t.Shards = append(t.Shards, Shard{ID: ID(i), Addr: fmt.Sprintf("node%d:4146", (i-1)%3+1)})
+	}
+	return t
+}
+
+func rangeTable(version uint64, starts []string) Table {
+	t := Table{Version: version, Kind: KindRange}
+	for i, s := range starts {
+		t.Shards = append(t.Shards, Shard{ID: ID(i + 1), Addr: fmt.Sprintf("node%d:4146", i%3+1), Start: s})
+	}
+	return t
+}
+
+func TestValidate(t *testing.T) {
+	good := []Table{
+		hashTable(1, 1),
+		hashTable(7, 8),
+		rangeTable(1, []string{""}),
+		rangeTable(3, []string{"", "g", "p"}),
+	}
+	for i, tb := range good {
+		if err := tb.Validate(); err != nil {
+			t.Errorf("good table %d: %v", i, err)
+		}
+	}
+	bad := []Table{
+		{},                              // zero version, no kind, no shards
+		{Version: 1, Kind: KindHash},    // no shards
+		{Version: 1, Kind: 9, Shards: []Shard{{ID: 1, Addr: "a"}}},           // unknown kind
+		{Version: 1, Kind: KindHash, Shards: []Shard{{ID: 0, Addr: "a"}}},    // id 0
+		{Version: 1, Kind: KindHash, Shards: []Shard{{ID: 1}}},               // no addr
+		{Version: 1, Kind: KindHash, Shards: []Shard{{ID: 1, Addr: "a"}, {ID: 1, Addr: "b"}}}, // dup id
+		{Version: 1, Kind: KindHash, Shards: []Shard{{ID: 2, Addr: "a"}, {ID: 1, Addr: "b"}}}, // order
+		{Version: 1, Kind: KindHash, Shards: []Shard{{ID: 1, Addr: "a", Start: "x"}}},         // start on hash
+		{Version: 1, Kind: KindRange, Shards: []Shard{{ID: 1, Addr: "a", Start: "k"}}},        // first start not ""
+		{Version: 1, Kind: KindRange, Shards: []Shard{{ID: 1, Addr: "a"}, {ID: 2, Addr: "b"}}}, // equal starts
+	}
+	for i, tb := range bad {
+		if err := tb.Validate(); !errors.Is(err, ErrBadTable) {
+			t.Errorf("bad table %d: want ErrBadTable, got %v", i, err)
+		}
+	}
+}
+
+func TestRangeOwnership(t *testing.T) {
+	tb := rangeTable(1, []string{"", "g", "p"})
+	cases := map[string]ID{
+		"":       1,
+		"a":      1,
+		"fzzz":   1,
+		"g":      2,
+		"k":      2,
+		"ozzz":   2,
+		"p":      3,
+		"zebra":  3,
+		"\xffff": 3,
+	}
+	for key, want := range cases {
+		if got := tb.Owner(key).ID; got != want {
+			t.Errorf("Owner(%q) = %d, want %d", key, got, want)
+		}
+	}
+}
+
+// TestOwnershipTotality is the property test of the satellite: for
+// random tables of both kinds and random keys, every key is owned by
+// exactly one shard — the owner is deterministic, present in the
+// table, and (for ranges) the unique shard whose interval holds the
+// key.
+func TestOwnershipTotality(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	randKey := func() string {
+		n := rng.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 200; trial++ {
+		nShards := 1 + rng.Intn(7)
+		version := uint64(1 + rng.Intn(1000))
+		var tb Table
+		if trial%2 == 0 {
+			tb = hashTable(version, nShards)
+		} else {
+			starts := map[string]bool{"": true}
+			for len(starts) < nShards {
+				starts[randKey()] = true
+			}
+			ordered := make([]string, 0, nShards)
+			for s := range starts { //roslint:nondet draining for membership; sorted below
+				ordered = append(ordered, s)
+			}
+			sortStrings(ordered)
+			tb = rangeTable(version, ordered)
+		}
+		if err := tb.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for k := 0; k < 50; k++ {
+			key := randKey()
+			owner := tb.Owner(key)
+			if _, ok := tb.Lookup(owner.ID); !ok {
+				t.Fatalf("trial %d: Owner(%q) = %d not in table", trial, key, owner.ID)
+			}
+			if again := tb.Owner(key); again.ID != owner.ID {
+				t.Fatalf("trial %d: Owner(%q) not deterministic: %d then %d", trial, key, owner.ID, again.ID)
+			}
+			// Exactly-one: count the shards that could claim the key.
+			owners := 0
+			for i, s := range tb.Shards {
+				switch tb.Kind {
+				case KindHash:
+					if s.ID == owner.ID {
+						owners++
+					}
+				case KindRange:
+					inRange := key >= s.Start && (i == len(tb.Shards)-1 || key < tb.Shards[i+1].Start)
+					if inRange {
+						owners++
+						if s.ID != owner.ID {
+							t.Fatalf("trial %d: key %q in shard %d's interval but Owner says %d", trial, key, s.ID, owner.ID)
+						}
+					}
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("trial %d: key %q owned by %d shards", trial, key, owners)
+			}
+		}
+	}
+}
+
+// sortStrings is a tiny insertion sort, avoiding an import for the
+// test helper.
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	tables := []Table{
+		hashTable(1, 1),
+		hashTable(42, 5),
+		rangeTable(7, []string{"", "m"}),
+		rangeTable(9, []string{"", "g", "p", "x"}),
+	}
+	for i, tb := range tables {
+		enc := tb.Encode()
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("table %d: %v", i, err)
+		}
+		if !bytes.Equal(dec.Encode(), enc) {
+			t.Fatalf("table %d: decode/encode not canonical", i)
+		}
+		if dec.Version != tb.Version || dec.Kind != tb.Kind || len(dec.Shards) != len(tb.Shards) {
+			t.Fatalf("table %d: round trip changed the table: %+v -> %+v", i, tb, dec)
+		}
+		for j := range tb.Shards {
+			if dec.Shards[j] != tb.Shards[j] {
+				t.Fatalf("table %d shard %d: %+v -> %+v", i, j, tb.Shards[j], dec.Shards[j])
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	valid := hashTable(3, 2).Encode()
+	cases := [][]byte{
+		nil,
+		valid[:len(valid)-1],           // truncated
+		append(append([]byte{}, valid...), 0), // trailing byte
+	}
+	// An encoding of a structurally invalid table must not decode.
+	dup := Table{Version: 1, Kind: KindHash, Shards: []Shard{{ID: 1, Addr: "a"}, {ID: 1, Addr: "b"}}}
+	cases = append(cases, dup.Encode())
+	for i, b := range cases {
+		if _, err := Decode(b); !errors.Is(err, ErrBadTable) {
+			t.Errorf("case %d: want ErrBadTable, got %v", i, err)
+		}
+	}
+}
+
+func TestWithAddr(t *testing.T) {
+	tb := hashTable(5, 3)
+	nt, err := tb.WithAddr(2, "elsewhere:4147")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt.Version != 6 {
+		t.Fatalf("version %d, want 6", nt.Version)
+	}
+	s, ok := nt.Lookup(2)
+	if !ok || s.Addr != "elsewhere:4147" {
+		t.Fatalf("shard 2 not rehomed: %+v", s)
+	}
+	if old, _ := tb.Lookup(2); old.Addr == "elsewhere:4147" {
+		t.Fatal("WithAddr mutated the original table")
+	}
+	if _, err := tb.WithAddr(9, "x"); !errors.Is(err, ErrBadTable) {
+		t.Fatalf("rehoming an unknown shard: want ErrBadTable, got %v", err)
+	}
+}
+
+func TestAddrs(t *testing.T) {
+	tb := hashTable(1, 6) // addresses cycle node1..node3
+	addrs := tb.Addrs()
+	if len(addrs) != 3 {
+		t.Fatalf("addrs %v, want 3 distinct", addrs)
+	}
+	if addrs[0] != "node1:4146" || addrs[1] != "node2:4146" || addrs[2] != "node3:4146" {
+		t.Fatalf("addrs %v not in canonical order", addrs)
+	}
+}

@@ -89,6 +89,13 @@ func NewMemVolume(blockSize int) *MemVolume {
 	}
 }
 
+// BlockSize reports the block size the volume's devices use.
+func (v *MemVolume) BlockSize() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.blockSize
+}
+
 // SetFaultPlan installs a fault plan applied to the primary device of
 // every generation created afterwards.
 func (v *MemVolume) SetFaultPlan(p stable.FaultPlan) {

@@ -32,6 +32,24 @@ import (
 // works over either.
 var ErrUnreachable = errors.New("unreachable")
 
+// ErrWrongShard is the base sentinel for requests that reached a node
+// not hosting the addressed shard: the call was delivered and refused
+// before touching any guardian state. The server's refusal carries its
+// own routing table in-band, so the routed client installs the fresher
+// table and retries; this error surfaces only when the retry budget
+// exhausts without finding the owner (a handoff in flight, or a
+// cluster whose nodes disagree for longer than the client waits).
+// Always wrapped with context — compare with errors.Is.
+var ErrWrongShard = errors.New("wrong shard")
+
+// ErrStaleRoute is the base sentinel for routing-table installs that
+// would move a holder backwards: the offered table's version is not
+// newer than the one already installed. Registries and routed clients
+// refuse such installs so a delayed table from before a handoff can
+// never resurrect a superseded route. Always wrapped with context —
+// compare with errors.Is.
+var ErrStaleRoute = errors.New("stale route")
+
 // Transport delivers synchronous invocations between guardians.
 //
 // Call runs fn if and only if the invocation can be delivered from

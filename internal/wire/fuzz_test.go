@@ -92,6 +92,14 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(EncodeRequest(Request{Op: OpRepSnapshot, Arg: EncodeRepSnapshot(RepSnapshot{Epoch: 2})}))
 	f.Add(EncodeRequest(Request{Op: OpStatus}))
 	f.Add(EncodeRequest(Request{Op: OpPromote, Arg: EncodeRepPromote(RepPromote{MinDurable: 128})}))
+	f.Add(EncodeRequest(Request{Op: OpRoute}))
+	f.Add(EncodeRequest(Request{Op: OpRouteInstall, Arg: []byte("table")}))
+	f.Add(EncodeRequest(Request{Op: OpBegin, Shard: 2}))
+	f.Add(EncodeRequest(Request{Op: OpCommitting, AID: aid, Shard: 2, Arg: EncodeGuardianIDs([]ids.GuardianID{1, 2})}))
+	f.Add(EncodeRequest(Request{Op: OpDone, AID: aid, Shard: 2}))
+	f.Add(EncodeRequest(Request{Op: OpHandoff, Arg: EncodeHandoffReq(HandoffReq{Shard: 2, Target: "node2:4146"})}))
+	f.Add(EncodeRequest(Request{Op: OpHandoffInstall, Arg: EncodeHandoffFrames(HandoffFrames{Shard: 2, Backend: 1, BlockSize: 512, App: RepAppend{Epoch: 1}})}))
+	f.Add(EncodeRequest(Request{Op: OpInvoke, Shard: 3, Handler: "get", Arg: []byte("k")}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if req, err := DecodeRequest(data); err == nil {
 			if !bytes.Equal(EncodeRequest(req), data) {
@@ -113,27 +121,33 @@ func FuzzDecodeRequest(f *testing.F) {
 // guarantee alive even when lint is skipped.
 func TestEveryOpHasFuzzTarget(t *testing.T) {
 	ops := map[Op]string{
-		OpPing:         "OpPing",
-		OpInvoke:       "OpInvoke",
-		OpPrepare:      "OpPrepare",
-		OpCommit:       "OpCommit",
-		OpAbort:        "OpAbort",
-		OpOutcome:      "OpOutcome",
-		OpRepAppend:    "OpRepAppend",
-		OpRepHeartbeat: "OpRepHeartbeat",
-		OpRepSnapshot:  "OpRepSnapshot",
-		OpStatus:       "OpStatus",
-		OpPromote:      "OpPromote",
+		OpPing:           "OpPing",
+		OpInvoke:         "OpInvoke",
+		OpPrepare:        "OpPrepare",
+		OpCommit:         "OpCommit",
+		OpAbort:          "OpAbort",
+		OpOutcome:        "OpOutcome",
+		OpRepAppend:      "OpRepAppend",
+		OpRepHeartbeat:   "OpRepHeartbeat",
+		OpRepSnapshot:    "OpRepSnapshot",
+		OpStatus:         "OpStatus",
+		OpPromote:        "OpPromote",
+		OpRoute:          "OpRoute",
+		OpRouteInstall:   "OpRouteInstall",
+		OpBegin:          "OpBegin",
+		OpCommitting:     "OpCommitting",
+		OpDone:           "OpDone",
+		OpHandoff:        "OpHandoff",
+		OpHandoffInstall: "OpHandoffInstall",
 	}
-	src, err := os.ReadFile("fuzz_test.go")
-	if err != nil {
-		t.Fatal(err)
+	var text []byte
+	for _, name := range []string{"fuzz_test.go", "rep_test.go", "shard_test.go"} {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text = append(text, src...)
 	}
-	rep, err := os.ReadFile("rep_test.go")
-	if err != nil {
-		t.Fatal(err)
-	}
-	text := append(src, rep...)
 	for op, name := range ops {
 		if op.String() == fmt.Sprintf("op(%d)", uint8(op)) {
 			t.Errorf("%s has no opNames entry", name)

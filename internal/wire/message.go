@@ -63,20 +63,59 @@ const (
 	// cannot silently discard a quorum-acknowledged commit by
 	// promoting a lagging backup (an empty Arg imposes no floor).
 	OpPromote
+	// OpRoute asks a server for its current routing table; Result is a
+	// shard.Table encoding. Any node of a sharded cluster answers —
+	// tables are versioned, and a client merging answers keeps the
+	// newest.
+	OpRoute
+	// OpRouteInstall offers a server a routing table (Arg, a
+	// shard.Table encoding); the server installs it when strictly
+	// newer and answers its current table either way, so the install
+	// is idempotent and a stale offer teaches the offerer.
+	OpRouteInstall
+	// OpBegin mints a fresh top-level action at the addressed shard's
+	// guardian — the coordinator of a client-driven cross-shard
+	// two-phase commit. Result is the 12-byte ActionID encoding; the
+	// action stays live for later OpInvoke joins and 2PC messages.
+	OpBegin
+	// OpCommitting writes the coordinator's committing record for AID
+	// at the addressed shard's guardian — the point of no return
+	// (§2.2.3) of a client-driven cross-shard commit. Arg is the
+	// prepared participant list (a GuardianIDs encoding).
+	OpCommitting
+	// OpDone writes the coordinator's done record for AID, retiring
+	// the committing entry after every participant acknowledged.
+	OpDone
+	// OpHandoff orders the addressed node to move a shard to another
+	// node: snapshot via housekeeping, ship the compacted log, publish
+	// a new table. Arg is a HandoffReq; Result the new shard.Table
+	// encoding.
+	OpHandoff
+	// OpHandoffInstall carries one step of an inbound handoff to the
+	// receiving node: a run of log frames, or the final "done" that
+	// recovers and adopts the guardian. Arg is a HandoffFrames.
+	OpHandoffInstall
 )
 
 var opNames = [...]string{
-	OpPing:         "ping",
-	OpInvoke:       "invoke",
-	OpPrepare:      "prepare",
-	OpCommit:       "commit",
-	OpAbort:        "abort",
-	OpOutcome:      "outcome",
-	OpRepAppend:    "rep.append",
-	OpRepHeartbeat: "rep.heartbeat",
-	OpRepSnapshot:  "rep.snapshot",
-	OpStatus:       "status",
-	OpPromote:      "promote",
+	OpPing:           "ping",
+	OpInvoke:         "invoke",
+	OpPrepare:        "prepare",
+	OpCommit:         "commit",
+	OpAbort:          "abort",
+	OpOutcome:        "outcome",
+	OpRepAppend:      "rep.append",
+	OpRepHeartbeat:   "rep.heartbeat",
+	OpRepSnapshot:    "rep.snapshot",
+	OpStatus:         "status",
+	OpPromote:        "promote",
+	OpRoute:          "route",
+	OpRouteInstall:   "route.install",
+	OpBegin:          "begin",
+	OpCommitting:     "committing",
+	OpDone:           "done",
+	OpHandoff:        "handoff",
+	OpHandoffInstall: "handoff.install",
 }
 
 func (o Op) String() string {
@@ -104,6 +143,12 @@ const (
 	// StatusBadRequest: the request itself was malformed (unknown op,
 	// undecodable payload).
 	StatusBadRequest
+	// StatusWrongShard: the request named a shard this node does not
+	// host. The operation left no effects; Result carries the node's
+	// current routing table (a shard.Table encoding) so the caller can
+	// refresh and retry against the owner without a separate route
+	// fetch.
+	StatusWrongShard
 )
 
 var statusNames = [...]string{
@@ -111,6 +156,7 @@ var statusNames = [...]string{
 	StatusRetry:      "retry",
 	StatusError:      "error",
 	StatusBadRequest: "bad-request",
+	StatusWrongShard: "wrong-shard",
 }
 
 func (s Status) String() string {
@@ -140,6 +186,12 @@ type Request struct {
 	// Outcome, and optionally for OpInvoke (join instead of a fresh
 	// top-level action).
 	AID ids.ActionID
+	// Shard addresses the guardian that must execute the request on a
+	// node hosting several (a shard registry). Zero addresses the
+	// node's default guardian — the pre-sharding wire contract, which
+	// every old client still speaks. A node that does not host the
+	// named shard answers StatusWrongShard without touching state.
+	Shard uint32
 	// Handler names the invoked handler (OpInvoke only).
 	Handler string
 	// Arg is the handler argument as a flattened value (OpInvoke
@@ -190,10 +242,11 @@ func takeBytes(b []byte) ([]byte, []byte, error) {
 
 // EncodeRequest renders r as a frame payload.
 func EncodeRequest(r Request) []byte {
-	out := make([]byte, 0, 1+12+len(r.Handler)+len(r.Arg)+4)
+	out := make([]byte, 0, 1+16+len(r.Handler)+len(r.Arg)+4)
 	out = append(out, byte(r.Op))
 	out = binary.LittleEndian.AppendUint32(out, uint32(r.AID.Coordinator))
 	out = binary.LittleEndian.AppendUint64(out, r.AID.Seq)
+	out = binary.LittleEndian.AppendUint32(out, r.Shard)
 	out = appendBytes(out, []byte(r.Handler))
 	out = appendBytes(out, r.Arg)
 	return out
@@ -203,7 +256,7 @@ func EncodeRequest(r Request) []byte {
 // are an error: a request that decodes but has leftovers was framed
 // by a peer speaking something else.
 func DecodeRequest(b []byte) (Request, error) {
-	if len(b) < 1+12 {
+	if len(b) < 1+16 {
 		return Request{}, fmt.Errorf("%w: request of %d bytes", ErrBadMessage, len(b))
 	}
 	var r Request
@@ -213,7 +266,8 @@ func DecodeRequest(b []byte) (Request, error) {
 	}
 	r.AID.Coordinator = ids.GuardianID(binary.LittleEndian.Uint32(b[1:5]))
 	r.AID.Seq = binary.LittleEndian.Uint64(b[5:13])
-	handler, rest, err := takeBytes(b[13:])
+	r.Shard = binary.LittleEndian.Uint32(b[13:17])
+	handler, rest, err := takeBytes(b[17:])
 	if err != nil {
 		return Request{}, err
 	}

@@ -1,0 +1,188 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func TestHandoffReqRoundTrip(t *testing.T) {
+	cases := []HandoffReq{
+		{Shard: 1, Target: "node2:4146"},
+		{Shard: 0xFFFFFFFF, Target: ""},
+	}
+	for _, h := range cases {
+		got, err := DecodeHandoffReq(EncodeHandoffReq(h))
+		if err != nil || got != h {
+			t.Fatalf("round trip = %+v, %v, want %+v", got, err, h)
+		}
+	}
+	b := EncodeHandoffReq(HandoffReq{Shard: 2, Target: "x"})
+	if _, err := DecodeHandoffReq(append(b, 0)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("trailing byte: err = %v, want ErrBadMessage", err)
+	}
+	if _, err := DecodeHandoffReq(b[:3]); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("truncated: err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestHandoffFramesRoundTrip(t *testing.T) {
+	cases := []HandoffFrames{
+		{Shard: 3, Backend: 1, BlockSize: 512, App: RepAppend{Epoch: 1, Start: 0, Frames: []byte{0xA7, 1, 2}}},
+		{Shard: 3, Backend: 2, BlockSize: 512, App: RepAppend{Epoch: 1, Start: 64, PrevLen: 13}},
+		{Shard: 3, Backend: 1, BlockSize: 4096, Done: true, App: RepAppend{Epoch: 1, Start: 128, PrevLen: 9}, Table: []byte("tbl")},
+	}
+	for i, hf := range cases {
+		got, err := DecodeHandoffFrames(EncodeHandoffFrames(hf))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Shard != hf.Shard || got.Backend != hf.Backend || got.BlockSize != hf.BlockSize || got.Done != hf.Done {
+			t.Fatalf("case %d: round trip = %+v, want %+v", i, got, hf)
+		}
+		if got.App.Epoch != hf.App.Epoch || got.App.Start != hf.App.Start || got.App.PrevLen != hf.App.PrevLen || !bytes.Equal(got.App.Frames, hf.App.Frames) {
+			t.Fatalf("case %d: nested append = %+v, want %+v", i, got.App, hf.App)
+		}
+		if !bytes.Equal(got.Table, hf.Table) {
+			t.Fatalf("case %d: table = %q, want %q", i, got.Table, hf.Table)
+		}
+	}
+	// The done byte has exactly two valid values.
+	b := EncodeHandoffFrames(cases[0])
+	b[9] = 2
+	if _, err := DecodeHandoffFrames(b); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("done byte 2: err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestStatusReportRoundTrip(t *testing.T) {
+	cases := []StatusReport{
+		{Rep: RepStatus{Role: RoleStandalone, Durable: 42}},
+		{
+			Rep: RepStatus{Role: RolePrimary, Epoch: 2, Durable: 99, QuorumBytes: 88, Quorum: 2, Replicas: 2, Alive: 1},
+			Shards: []ShardStatus{
+				{ID: 1, Role: RoleStandalone, Durable: 100},
+				{ID: 2, Role: RoleStandalone, Durable: 250},
+				{ID: 7, Role: RolePrimary, Durable: 3},
+			},
+		},
+	}
+	for i, r := range cases {
+		got, err := DecodeStatusReport(EncodeStatusReport(r))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Rep != r.Rep || len(got.Shards) != len(r.Shards) {
+			t.Fatalf("case %d: round trip = %+v, want %+v", i, got, r)
+		}
+		for j := range r.Shards {
+			if got.Shards[j] != r.Shards[j] {
+				t.Fatalf("case %d shard %d: %+v, want %+v", i, j, got.Shards[j], r.Shards[j])
+			}
+		}
+	}
+	// Shard rows out of ascending id order are not canonical.
+	bad := EncodeStatusReport(StatusReport{Rep: RepStatus{Role: RoleStandalone}})
+	bad = bad[:len(bad)-1] // drop the zero count
+	bad = append(bad, 2)   // two rows...
+	bad = append(bad, EncodeShardStatus(ShardStatus{ID: 5, Role: RoleStandalone})...)
+	bad = append(bad, EncodeShardStatus(ShardStatus{ID: 4, Role: RoleStandalone})...)
+	if _, err := DecodeStatusReport(bad); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("out-of-order rows: err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestActionIDCodec(t *testing.T) {
+	aid := ids.ActionID{Coordinator: 7, Seq: 123456789}
+	got, err := DecodeActionID(EncodeActionID(aid))
+	if err != nil || got != aid {
+		t.Fatalf("round trip = %+v, %v", got, err)
+	}
+	if _, err := DecodeActionID(make([]byte, 11)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("11 bytes: err = %v, want ErrBadMessage", err)
+	}
+	if _, err := DecodeActionID(make([]byte, 13)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("13 bytes: err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestGuardianIDsCodec(t *testing.T) {
+	cases := [][]ids.GuardianID{
+		nil,
+		{3},
+		{1, 2, 7},
+	}
+	for i, gids := range cases {
+		got, err := DecodeGuardianIDs(EncodeGuardianIDs(gids))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(got) != len(gids) {
+			t.Fatalf("case %d: %v, want %v", i, got, gids)
+		}
+		for j := range gids {
+			if got[j] != gids[j] {
+				t.Fatalf("case %d: %v, want %v", i, got, gids)
+			}
+		}
+	}
+	// A count claiming more ids than the bytes hold must not allocate.
+	if _, err := DecodeGuardianIDs([]byte{200}); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("overlong count: err = %v, want ErrBadMessage", err)
+	}
+	b := EncodeGuardianIDs([]ids.GuardianID{1, 2})
+	if _, err := DecodeGuardianIDs(append(b, 0)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("trailing byte: err = %v, want ErrBadMessage", err)
+	}
+}
+
+// FuzzDecodeShardMessage hits every sharding codec with arbitrary
+// bytes: no input may panic or over-allocate, and any accepted input
+// must re-encode to the same bytes (one canonical form, like the rest
+// of the protocol). Seeds mention every sharding op so the wirecodec
+// totality rule sees OpRoute, OpRouteInstall, OpBegin, OpCommitting,
+// OpDone, OpHandoff, and OpHandoffInstall covered from this file too.
+func FuzzDecodeShardMessage(f *testing.F) {
+	f.Add(EncodeHandoffReq(HandoffReq{Shard: 2, Target: "node2:4146"}))
+	f.Add(EncodeHandoffFrames(HandoffFrames{Shard: 2, Backend: 1, BlockSize: 512, App: RepAppend{Epoch: 1, Frames: []byte{0xA7, 0, 0}}}))
+	f.Add(EncodeHandoffFrames(HandoffFrames{Shard: 2, Backend: 1, BlockSize: 512, Done: true, App: RepAppend{Epoch: 1, Start: 3}, Table: []byte("t")}))
+	f.Add(EncodeStatusReport(StatusReport{Rep: RepStatus{Role: RoleStandalone, Durable: 9}, Shards: []ShardStatus{{ID: 1, Role: RoleStandalone, Durable: 9}}}))
+	f.Add(EncodeShardStatus(ShardStatus{ID: 4, Role: RolePrimary, Durable: 77}))
+	f.Add(EncodeActionID(ids.ActionID{Coordinator: 3, Seq: 41}))
+	f.Add(EncodeGuardianIDs([]ids.GuardianID{1, 2, 3}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if h, err := DecodeHandoffReq(data); err == nil {
+			if !bytes.Equal(EncodeHandoffReq(h), data) {
+				t.Fatal("handoff req decode/encode not canonical")
+			}
+		}
+		if hf, err := DecodeHandoffFrames(data); err == nil {
+			if !bytes.Equal(EncodeHandoffFrames(hf), data) {
+				t.Fatal("handoff frames decode/encode not canonical")
+			}
+		}
+		if s, err := DecodeShardStatus(data); err == nil {
+			if !bytes.Equal(EncodeShardStatus(s), data) {
+				t.Fatal("shard status decode/encode not canonical")
+			}
+		}
+		if r, err := DecodeStatusReport(data); err == nil {
+			if !bytes.Equal(EncodeStatusReport(r), data) {
+				t.Fatal("status report decode/encode not canonical")
+			}
+		}
+		if aid, err := DecodeActionID(data); err == nil {
+			if !bytes.Equal(EncodeActionID(aid), data) {
+				t.Fatal("action id decode/encode not canonical")
+			}
+		}
+		if gids, err := DecodeGuardianIDs(data); err == nil {
+			if !bytes.Equal(EncodeGuardianIDs(gids), data) {
+				t.Fatal("guardian ids decode/encode not canonical")
+			}
+		}
+	})
+}

@@ -185,7 +185,7 @@ func TestMessageErrors(t *testing.T) {
 	}
 	// Length prefix pointing past the end.
 	b := EncodeRequest(Request{Op: OpInvoke, Handler: "h"})
-	b[13] = 0xFF // handler length prefix
+	b[17] = 0xFF // handler length prefix
 	if _, err := DecodeRequest(b); !errors.Is(err, ErrBadMessage) {
 		t.Fatalf("overlong prefix: %v", err)
 	}
