@@ -2,11 +2,15 @@
 
 GO ?= go
 # Extra flags for the soak runs, e.g. `make soak RACE=1` or
-# `make soak GOFLAGS=-count=1`.
+# `make soak GOFLAGS=-count=1`. Note that RACE=1 races the soak
+# *harness* (the randomized driver, its goroutines, the guardian under
+# load) — the exhaustive crash-point sweep replays each history
+# single-threaded and asserts on deterministic traces, so its
+# assertion path gains nothing from the race detector beyond runtime.
 RACE ?=
 SOAKFLAGS := $(GOFLAGS) $(if $(RACE),-race)
 
-.PHONY: all build test race cover bench bench-save fuzz lint soak examples tables figures clean
+.PHONY: all build test race cover bench bench-save fuzz lint soak chaos examples tables figures clean
 
 all: lint build test
 
@@ -62,6 +66,8 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodeRepMessage -fuzztime 30s ./internal/wire/
 	$(GO) test -run xxx -fuzz FuzzDecodeShardMessage -fuzztime 30s ./internal/wire/
 	$(GO) test -run xxx -fuzz FuzzDecodeTable -fuzztime 30s ./internal/shard/
+	$(GO) test -run xxx -fuzz FuzzDecodeEvent -fuzztime 30s ./internal/obs/
+	$(GO) test -run xxx -fuzz FuzzDecodeConfig -fuzztime 30s ./internal/chaos/workload/
 
 # Crash-injection soak across all backends: randomized histories
 # (single-node + distributed), then the exhaustive crash-point sweep
@@ -69,6 +75,13 @@ fuzz:
 soak:
 	$(GO) run $(SOAKFLAGS) ./cmd/roscrash -steps 2000 -seeds 5
 	$(GO) run $(SOAKFLAGS) ./cmd/roscrash -sweep -seeds 5 -sweep-steps 4
+
+# Bounded chaos testnet: real rosd processes, generated load, injected
+# kills/pauses/partitions/delays/disk-full, then the serial oracle and
+# the merged-trace invariant checker. CI-sized — one episode per
+# topology, well under five minutes.
+chaos:
+	$(GO) test -run TestEpisode -count=1 -timeout 5m ./internal/chaos/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,173 @@
+// Command roschaos runs one chaos episode against a freshly launched
+// multi-process testnet and reports the verdict of both authorities:
+// the external-history serial oracle and the merged-trace invariant
+// checker.
+//
+// Usage:
+//
+//	roschaos [-topology standalone|replicated|sharded] [-seed N]
+//	         [-ops N] [-qps N] [-inflight N] [-keys N] [-faults SPEC]
+//	         [-out DIR]
+//
+// The fault spec is a comma-separated list of KIND:NODE:ATOP[:DUR]
+// entries: KIND is kill, pause, partition, delay, or diskfull; NODE
+// indexes the topology's nodes in launch order (0 is the standalone
+// node, the replicated primary, or sharded node0); ATOP is the 1-based
+// issued-op count the fault fires before; DUR bounds self-healing
+// faults (pause, partition, delay — default 1s). Example:
+//
+//	roschaos -topology replicated -ops 400 \
+//	    -faults pause:1:80:500ms,partition:2:160:500ms,kill:0:300
+//
+// kills the primary at op 300 mid-traffic; the heal phase promotes the
+// backup with the longest durable log through rosctl and re-probes the
+// survivors.
+//
+// Artifacts land in -out (default: a fresh temp dir): episode.json is
+// the report, workload.bin the encoded workload config (replayable via
+// workload.DecodeConfig), plus each process incarnation's binary trace
+// and data directory. The exit status is 0 only when the episode ran
+// AND both authorities passed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/chaos/workload"
+)
+
+func main() {
+	var (
+		topology = flag.String("topology", "standalone", "cluster topology: standalone, replicated, or sharded")
+		seed     = flag.Int64("seed", 1, "workload seed; identical (seed, config) pairs generate identical op streams")
+		ops      = flag.Int("ops", 400, "total operations to issue")
+		qps      = flag.Uint("qps", 200, "target issue rate, ops/second")
+		inflight = flag.Uint("inflight", 8, "bound on concurrently outstanding ops")
+		keys     = flag.Uint("keys", 64, "keyspace size")
+		faults   = flag.String("faults", "", "fault schedule: KIND:NODE:ATOP[:DUR],... (kinds: kill pause partition delay diskfull)")
+		out      = flag.String("out", "", "artifact directory (default: fresh temp dir, printed)")
+	)
+	flag.Parse()
+	if err := run(*topology, *seed, *ops, uint32(*qps), uint32(*inflight), uint32(*keys), *faults, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "roschaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topology string, seed int64, ops int, qps, inflight, keys uint32, faultSpec, out string) error {
+	topo := chaos.Topology(topology)
+	switch topo {
+	case chaos.TopologyStandalone, chaos.TopologyReplicated, chaos.TopologySharded:
+	default:
+		return fmt.Errorf("unknown topology %q", topology)
+	}
+
+	wcfg := workload.Default()
+	wcfg.Keys = keys
+	wcfg.QPS = qps
+	wcfg.InFlight = inflight
+	if topo != chaos.TopologySharded {
+		// Cross-shard transactions need shards; fold their share into
+		// plain increments elsewhere.
+		wcfg.IncrPct += wcfg.TxnPct
+		wcfg.TxnPct = 0
+	}
+
+	schedule, err := parseFaults(faultSpec, topo)
+	if err != nil {
+		return err
+	}
+
+	if out == "" {
+		out, err = os.MkdirTemp("", "roschaos-*")
+		if err != nil {
+			return err
+		}
+	} else if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	fmt.Println("artifacts:", out)
+	if err := os.WriteFile(filepath.Join(out, "workload.bin"), workload.EncodeConfig(wcfg), 0o644); err != nil {
+		return err
+	}
+
+	rep, err := chaos.RunEpisode(chaos.EpisodeConfig{
+		Topology: topo,
+		Workload: wcfg,
+		Seed:     seed,
+		Ops:      ops,
+		Faults:   schedule,
+		Dir:      out,
+	})
+	if rep != nil {
+		if b, jerr := json.MarshalIndent(rep, "", "  "); jerr == nil {
+			// The report is also printed below; a failed artifact write
+			// must not mask the verdict.
+			_ = os.WriteFile(filepath.Join(out, "episode.json"), append(b, '\n'), 0o644)
+			fmt.Println(string(b))
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if !rep.Passed() {
+		return fmt.Errorf("episode failed: oracle=%q, %d checker violations",
+			rep.OracleErr, len(rep.CheckerViolations))
+	}
+	fmt.Println("episode passed: oracle clean, checker clean")
+	return nil
+}
+
+// parseFaults parses the -faults spec.
+func parseFaults(spec string, topo chaos.Topology) ([]chaos.FaultSpec, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	nodes := 3
+	if topo == chaos.TopologyStandalone {
+		nodes = 1
+	}
+	var out []chaos.FaultSpec
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.Split(entry, ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			return nil, fmt.Errorf("fault %q: want KIND:NODE:ATOP[:DUR]", entry)
+		}
+		f := chaos.FaultSpec{Kind: chaos.FaultKind(parts[0])}
+		switch f.Kind {
+		case chaos.FaultKill, chaos.FaultPause, chaos.FaultPartition, chaos.FaultDelay, chaos.FaultDiskFull:
+		default:
+			return nil, fmt.Errorf("fault %q: unknown kind %q", entry, parts[0])
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil || n < 0 || n >= nodes {
+			return nil, fmt.Errorf("fault %q: node index %q out of range [0, %d)", entry, parts[1], nodes)
+		}
+		f.Node = n
+		f.AtOp, err = strconv.Atoi(parts[2])
+		if err != nil || f.AtOp < 1 {
+			return nil, fmt.Errorf("fault %q: at-op %q must be a positive integer", entry, parts[2])
+		}
+		f.Duration = time.Second
+		if len(parts) == 4 {
+			f.Duration, err = time.ParseDuration(parts[3])
+			if err != nil {
+				return nil, fmt.Errorf("fault %q: duration: %v", entry, err)
+			}
+		}
+		if f.Kind == chaos.FaultDelay {
+			f.Connect = 50 * time.Millisecond
+			f.Read = 20 * time.Millisecond
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -6,11 +6,32 @@
 // Usage:
 //
 //	rosd [-addr 127.0.0.1:4146] [-id 1] [-backend hybrid]
-//	     [-workers 8] [-maxconns 64] [-trace]
+//	     [-workers 8] [-maxconns 64] [-trace] [-tracefile path]
+//	     [-data dir] [-datacap bytes] [-datasync]
 //	     [-role standalone|primary|backup] [-backups id=addr,...]
 //	     [-quorum 2] [-primary-id 1]
 //	     [-shards 2,3] [-routemap 2=host:port,3=host:port,...]
 //	     [-routekind hash|range]
+//
+// Persistence (-data):
+//
+//	With -data set, each guardian's stable storage lives in a
+//	subdirectory of that directory (g<id> for guardians, b<id> for a
+//	backup's received log) and a restarted rosd recovers it; without
+//	it, stable storage is the in-memory simulation and dies with the
+//	process. -datacap caps each subdirectory's size: writes that
+//	would grow it past the cap fail like a full disk (overwrites of
+//	existing blocks still succeed, so a full volume still recovers).
+//	-datasync fsyncs every block write; it defaults off because the
+//	chaos harness kills processes, not the machine, and the page
+//	cache survives a SIGKILL — forced state is durable across process
+//	death without paying for per-write fsync.
+//
+//	On recovery the daemon resolves its own in-doubt actions: an
+//	action this guardian coordinated is committed if its committing
+//	record survived and presumed aborted otherwise. Actions prepared
+//	here for a foreign coordinator stay in doubt until that
+//	coordinator (or an operator, via rosctl) delivers the verdict.
 //
 // Replication (-role):
 //
@@ -39,7 +60,10 @@
 // SIGINT/SIGTERM drain gracefully: in-flight requests finish, then
 // connections close. With -trace every rpc.* event streams to stderr
 // in the golden-trace text format (rep.* events included when
-// replicating).
+// replicating). With -tracefile every event is also appended to a
+// binary trace file (obs.FileSink), flushed on a periodic tick and
+// fsynced after the drain, so a chaos harness can merge per-node
+// traces and run the invariant checker over the whole cluster.
 //
 // The handlers:
 //
@@ -55,9 +79,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
@@ -68,6 +94,8 @@ import (
 	"repro/internal/replog"
 	"repro/internal/server"
 	"repro/internal/shard"
+	"repro/internal/stablelog"
+	"repro/internal/twopc"
 	"repro/internal/value"
 	"repro/internal/wire"
 )
@@ -86,7 +114,19 @@ var (
 	shards    = flag.String("shards", "", "standalone: comma-separated shard ids this node hosts")
 	routemap  = flag.String("routemap", "", "cluster routing table: id=host:port[=start],...")
 	routekind = flag.String("routekind", "hash", "routing table kind: hash or range")
+	data      = flag.String("data", "", "persistent data directory (empty: in-memory stable storage)")
+	datacap   = flag.Int64("datacap", 0, "per-guardian byte cap on the -data subdirectory (0: uncapped); growth past it fails like a full disk")
+	datasync  = flag.Bool("datasync", false, "fsync every stable-storage block write (off is sound for process-kill faults: the page cache survives SIGKILL)")
+	tracefile = flag.String("tracefile", "", "append the binary obs event stream to this file")
 )
+
+// dataBlockSize is the stable-device block size for -data volumes,
+// matching the guardian's in-memory default.
+const dataBlockSize = 512
+
+// traceFlushEvery paces the -tracefile background flush, bounding how
+// much trace a SIGKILL can cost to roughly one tick of events.
+const traceFlushEvery = 100 * time.Millisecond
 
 func main() {
 	flag.Parse()
@@ -100,6 +140,16 @@ func main() {
 type stderrTracer struct{}
 
 func (stderrTracer) Emit(e obs.Event) { fmt.Fprintln(os.Stderr, e.Text()) }
+
+// teeTracer fans one event out to several tracers (-trace and
+// -tracefile together).
+type teeTracer []obs.Tracer
+
+func (t teeTracer) Emit(e obs.Event) {
+	for _, tr := range t {
+		tr.Emit(e)
+	}
+}
 
 func run() error {
 	var b core.Backend
@@ -117,6 +167,45 @@ func run() error {
 	if *trace {
 		tr = stderrTracer{}
 	}
+	if *tracefile != "" {
+		sink, err := obs.NewFileSink(*tracefile, fmt.Sprintf("%s-%d@%s", *role, *id, *addr))
+		if err != nil {
+			return err
+		}
+		if tr != nil {
+			tr = teeTracer{sink, tr}
+		} else {
+			tr = sink
+		}
+		// The sink buffers; a background tick bounds what a SIGKILL can
+		// lose, and the deferred Flush makes the graceful-drain exit
+		// paths (SIGTERM included) leave a complete, fsynced trace.
+		stop := make(chan struct{})
+		flusherDone := make(chan struct{})
+		go func() {
+			defer close(flusherDone)
+			t := time.NewTicker(traceFlushEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := sink.Flush(); err != nil {
+						fmt.Fprintln(os.Stderr, "rosd: trace flush:", err)
+						return
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-flusherDone
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "rosd: trace close:", err)
+			}
+		}()
+	}
 	cfg := server.Config{Workers: *workers, MaxConns: *maxconns, Tracer: tr}
 	// Every rosd can ship a shard out (rosctl handoff) and adopt one
 	// shipped in; the adopted guardian gets the same handlers.
@@ -126,7 +215,12 @@ func run() error {
 		defer c.Close()
 		return c.HandoffInstall(hf)
 	}
-	cfg.OnAdopt = func(id uint32, g *guardian.Guardian) { registerKV(g) }
+	cfg.OnAdopt = func(id uint32, g *guardian.Guardian) {
+		registerKV(g)
+		if err := settleSelf(g); err != nil {
+			fmt.Fprintf(os.Stderr, "rosd: adopted shard %d: settle: %v\n", id, err)
+		}
+	}
 
 	s, err := buildServer(b, tr, cfg)
 	if err != nil {
@@ -159,7 +253,7 @@ func buildServer(b core.Backend, tr obs.Tracer, cfg server.Config) (*server.Serv
 		if strings.TrimSpace(*shards) != "" {
 			return buildSharded(b, tr, cfg)
 		}
-		g, err := guardian.New(ids.GuardianID(*id), guardian.WithBackend(b), guardian.WithTracer(tr))
+		g, err := openOrNewGuardian(ids.GuardianID(*id), b, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -167,7 +261,7 @@ func buildServer(b core.Backend, tr obs.Tracer, cfg server.Config) (*server.Serv
 		return server.New(g, cfg), nil
 
 	case "primary":
-		g, err := guardian.New(ids.GuardianID(*id), guardian.WithBackend(b), guardian.WithTracer(tr))
+		g, err := openOrNewGuardian(ids.GuardianID(*id), b, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -199,17 +293,32 @@ func buildServer(b core.Backend, tr obs.Tracer, cfg server.Config) (*server.Serv
 		return server.New(g, cfg), nil
 
 	case "backup":
-		bk, err := replog.NewBackup(replog.BackupConfig{
+		bcfg := replog.BackupConfig{
 			ID: ids.GuardianID(*id), Primary: ids.GuardianID(*primaryID),
 			Backend: b, Tracer: tr,
-		})
+		}
+		if *data != "" {
+			vol, err := dataVol(fmt.Sprintf("b%d", *id))
+			if err != nil {
+				return nil, err
+			}
+			bcfg.Volume = vol
+		}
+		bk, err := replog.NewBackup(bcfg)
 		if err != nil {
 			return nil, err
 		}
 		cfg.Backup = bk
 		// A promoted backup is the guardian from then on: install the
-		// same handlers a standalone rosd serves.
-		cfg.OnPromote = registerKV
+		// same handlers a standalone rosd serves, and settle the
+		// actions the dead primary coordinated — their verdicts are in
+		// the replicated log the promotion just recovered.
+		cfg.OnPromote = func(g *guardian.Guardian) {
+			registerKV(g)
+			if err := settleSelf(g); err != nil {
+				fmt.Fprintln(os.Stderr, "rosd: promote: settle:", err)
+			}
+		}
 		return server.New(nil, cfg), nil
 
 	default:
@@ -227,7 +336,7 @@ func buildSharded(b core.Backend, tr obs.Tracer, cfg server.Config) (*server.Ser
 		if err != nil || n == 0 {
 			return nil, fmt.Errorf("-shards entry %q: want a nonzero shard id", part)
 		}
-		g, err := guardian.New(ids.GuardianID(n), guardian.WithBackend(b), guardian.WithTracer(tr))
+		g, err := openOrNewGuardian(ids.GuardianID(n), b, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -244,6 +353,67 @@ func buildSharded(b core.Backend, tr obs.Tracer, cfg server.Config) (*server.Ser
 		}
 	}
 	return s, nil
+}
+
+// dataVol opens (creating if needed) the persistent volume under
+// -data/<sub>. With -datacap the subdirectory is size-capped, so each
+// guardian fills its own "disk" independently.
+func dataVol(sub string) (*stablelog.FileVolume, error) {
+	dir := filepath.Join(*data, sub)
+	if *datacap > 0 {
+		return stablelog.NewFileVolumeCapped(dir, dataBlockSize, *datasync, *datacap)
+	}
+	return stablelog.NewFileVolume(dir, dataBlockSize, *datasync)
+}
+
+// openOrNewGuardian builds the guardian for gid: in memory when -data
+// is unset, otherwise recovered from (or created in) the g<gid>
+// subdirectory. An existing site recovers through guardian.Open; a
+// directory with no completed site (first boot, or a crash before
+// creation finished) falls through to guardian.New on the same volume.
+func openOrNewGuardian(gid ids.GuardianID, b core.Backend, tr obs.Tracer) (*guardian.Guardian, error) {
+	if *data == "" {
+		return guardian.New(gid, guardian.WithBackend(b), guardian.WithTracer(tr))
+	}
+	vol, err := dataVol(fmt.Sprintf("g%d", gid))
+	if err != nil {
+		return nil, err
+	}
+	g, err := guardian.Open(gid, vol, b, guardian.WithTracer(tr))
+	if errors.Is(err, stablelog.ErrNoSite) {
+		g, err = guardian.New(gid, guardian.WithBackend(b), guardian.WithTracer(tr), guardian.WithVolume(vol))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := settleSelf(g); err != nil {
+		return nil, fmt.Errorf("guardian %d: settle recovered actions: %w", gid, err)
+	}
+	return g, nil
+}
+
+// settleSelf resolves the recovered guardian's own in-doubt actions:
+// for an action this guardian coordinated, its coordinator log is the
+// authority — a surviving committing record means committed, anything
+// less is the presumed abort (§2.2.3). Actions prepared here for a
+// foreign coordinator are left in doubt; only that coordinator (or an
+// operator re-driving outcomes through rosctl) may settle them.
+func settleSelf(g *guardian.Guardian) error {
+	for _, aid := range g.InDoubt() {
+		if aid.Coordinator != g.ID() {
+			continue
+		}
+		var err error
+		if g.OutcomeOf(aid) == twopc.OutcomeCommitted {
+			err = g.HandleCommit(aid)
+		} else {
+			err = g.HandleAbort(aid)
+		}
+		if err != nil {
+			return fmt.Errorf("action %v: %w", aid, err)
+		}
+	}
+	return nil
 }
 
 // parseRouteMap reads -routemap into a version-1 table. Entries are

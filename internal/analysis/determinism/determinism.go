@@ -64,6 +64,12 @@ var ScopedPackages = map[string]bool{
 	"repro/internal/client":    true,
 	"repro/internal/replog":    true,
 	"repro/cmd/roscrash":       true,
+	// The chaos workload generator: its op stream must be a pure
+	// function of (Config, seed) so an episode is replayable from its
+	// manifest. internal/chaos itself is deliberately out of scope — a
+	// fault injector's whole job is wall-clock pacing and real process
+	// signals.
+	"repro/internal/chaos/workload": true,
 }
 
 // AllowedPackages are scoped packages exempted wholesale: the soak

@@ -55,6 +55,17 @@ func TestShardTableInScope(t *testing.T) {
 	}
 }
 
+// TestWorkloadInScope pins the chaos workload generator into the
+// deterministic set: the op stream must be a pure function of the
+// (Config, seed) pair, so a failed chaos episode replays byte-for-byte
+// from the manifest in its report. The chaos harness itself stays out
+// of scope deliberately — injecting wall-clock faults is its job.
+func TestWorkloadInScope(t *testing.T) {
+	if !determinism.ScopedPackages["repro/internal/chaos/workload"] {
+		t.Fatal("repro/internal/chaos/workload must stay in determinism's ScopedPackages")
+	}
+}
+
 // TestOutOfScope checks that an unscoped package is ignored entirely:
 // package b reads the clock and the global rand, and nothing may be
 // reported when it is not in ScopedPackages.

@@ -50,6 +50,10 @@ var Analyzer = &analysis.Analyzer{
 // ScopePackages is the codec surface the rules cover.
 var ScopePackages = map[string]bool{
 	"repro/internal/wire": true,
+	// The chaos workload-config codec: an episode manifest must carry
+	// every knob that shaped the op stream, or a replay silently runs a
+	// different workload.
+	"repro/internal/chaos/workload": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -28,3 +28,12 @@ func TestWireInScope(t *testing.T) {
 		t.Fatal("repro/internal/wire must stay in wirecodec's ScopePackages")
 	}
 }
+
+// TestWorkloadConfigInScope pins the chaos workload-config codec into
+// the rules: a Config field that does not round-trip silently replays a
+// different workload than the episode manifest claims.
+func TestWorkloadConfigInScope(t *testing.T) {
+	if !wirecodec.ScopePackages["repro/internal/chaos/workload"] {
+		t.Fatal("repro/internal/chaos/workload must stay in wirecodec's ScopePackages")
+	}
+}

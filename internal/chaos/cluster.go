@@ -1,0 +1,477 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+)
+
+// Topology names a cluster shape the harness knows how to build.
+type Topology string
+
+const (
+	// TopologyStandalone is one unreplicated rosd.
+	TopologyStandalone Topology = "standalone"
+	// TopologyReplicated is one primary shipping its log to two
+	// backups with quorum 2 — the PR 6 arrangement.
+	TopologyReplicated Topology = "replicated"
+	// TopologySharded is three processes hosting four shards behind a
+	// hash routing table — the PR 8 arrangement, cross-shard 2PC over
+	// TCP.
+	TopologySharded Topology = "sharded"
+)
+
+// Node is one rosd process plus the proxy fronting it. Everything the
+// cluster's other members or clients dial is the proxy address; the
+// real listener is reachable only to the proxy, so a Partition cuts
+// the node off completely.
+type Node struct {
+	Name    string
+	Addr    string // real rosd listener
+	Proxy   *Proxy // what everyone else dials
+	DataDir string
+	// traceBase is the node's trace-file stem. Each process
+	// incarnation writes a fresh file (the sink truncates on open, and
+	// the merge wants one stream per process anyway); TraceFiles
+	// accumulates them in start order.
+	traceBase  string
+	TraceFiles []string
+	args       []string // rosd argv after the binary, minus -tracefile
+
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+	down bool // killed or stopped and not yet restarted
+}
+
+// Cluster is a set of rosd processes forming one topology, plus the
+// scratch directory their data and traces live in.
+type Cluster struct {
+	Topology Topology
+	Dir      string
+	RosdBin  string
+	CtlBin   string
+	Nodes    []*Node
+
+	// PrimaryIndex / BackupIndexes locate roles in Nodes (replicated
+	// topology only).
+	PrimaryIndex  int
+	BackupIndexes []int
+
+	// RouteMap is the -routemap value (sharded topology only), built
+	// over proxy addresses so routed traffic is partitionable.
+	RouteMap string
+	// ShardAddrs maps shard id to the proxy address of its hosting
+	// node (sharded topology only).
+	ShardAddrs map[uint32]string
+
+	// traceOrder lists every incarnation's trace file in global
+	// process-start order — the stream order the trace merge needs for
+	// its guardian-continuity rule.
+	traceMu    sync.Mutex
+	traceOrder []string
+}
+
+// BuildBinaries compiles rosd and rosctl into dir and returns their
+// paths. moduleRoot is the repo root (where go.mod lives); tests pass
+// "../.." and cmd/roschaos resolves it from the working directory.
+func BuildBinaries(moduleRoot, dir string) (rosdBin, ctlBin string, err error) {
+	rosdBin = filepath.Join(dir, "rosd")
+	ctlBin = filepath.Join(dir, "rosctl")
+	for _, b := range [][2]string{{rosdBin, "repro/cmd/rosd"}, {ctlBin, "repro/cmd/rosctl"}} {
+		cmd := exec.Command("go", "build", "-o", b[0], b[1])
+		cmd.Dir = moduleRoot
+		if out, berr := cmd.CombinedOutput(); berr != nil {
+			return "", "", fmt.Errorf("go build %s: %v\n%s", b[1], berr, out)
+		}
+	}
+	return rosdBin, ctlBin, nil
+}
+
+// ModuleRoot walks up from the working directory to the enclosing
+// go.mod.
+func ModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("chaos: no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// freeAddrs reserves n distinct loopback addresses. The usual bind
+// race (listener closed before rosd rebinds) is retried away by the
+// ping loop.
+func freeAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = l.Addr().String()
+		if err := l.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return addrs, nil
+}
+
+// ClusterConfig tunes cluster construction.
+type ClusterConfig struct {
+	Topology Topology
+	// Dir is the scratch directory (data dirs, trace files). Required.
+	Dir string
+	// RosdBin / CtlBin are prebuilt binaries. Required.
+	RosdBin string
+	CtlBin  string
+	// DataCap, when nonzero, starts every node with -datacap (bytes).
+	DataCap int64
+}
+
+// NewCluster builds (but does not start) the nodes of a topology.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	c := &Cluster{Topology: cfg.Topology, Dir: cfg.Dir, RosdBin: cfg.RosdBin, CtlBin: cfg.CtlBin}
+	var n int
+	switch cfg.Topology {
+	case TopologyStandalone:
+		n = 1
+	case TopologyReplicated, TopologySharded:
+		n = 3
+	default:
+		return nil, fmt.Errorf("chaos: unknown topology %q", cfg.Topology)
+	}
+	addrs, err := freeAddrs(n)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(i int, name string) (*Node, error) {
+		p, err := NewProxy(addrs[i])
+		if err != nil {
+			return nil, err
+		}
+		nd := &Node{
+			Name:      name,
+			Addr:      addrs[i],
+			Proxy:     p,
+			DataDir:   filepath.Join(cfg.Dir, name, "data"),
+			traceBase: filepath.Join(cfg.Dir, name+".trace"),
+		}
+		if err := os.MkdirAll(nd.DataDir, 0o755); err != nil {
+			p.Close()
+			return nil, err
+		}
+		return nd, nil
+	}
+	common := func(nd *Node) []string {
+		args := []string{
+			"-addr", nd.Addr,
+			"-data", nd.DataDir,
+		}
+		if cfg.DataCap > 0 {
+			args = append(args, "-datacap", fmt.Sprint(cfg.DataCap))
+		}
+		return args
+	}
+
+	switch cfg.Topology {
+	case TopologyStandalone:
+		nd, err := mk(0, "n0")
+		if err != nil {
+			return nil, err
+		}
+		nd.args = append(common(nd), "-id", "1")
+		c.Nodes = []*Node{nd}
+
+	case TopologyReplicated:
+		names := []string{"primary", "backup2", "backup3"}
+		nodes := make([]*Node, 3)
+		for i, name := range names {
+			nd, err := mk(i, name)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			nodes[i] = nd
+		}
+		// The primary dials its backups through their proxies, so a
+		// partition cuts replication traffic, not just client traffic.
+		backupsArg := fmt.Sprintf("2=%s,3=%s", nodes[1].Proxy.Addr(), nodes[2].Proxy.Addr())
+		nodes[0].args = append(common(nodes[0]),
+			"-id", "1", "-role", "primary", "-backups", backupsArg, "-quorum", "2")
+		nodes[1].args = append(common(nodes[1]),
+			"-id", "2", "-role", "backup", "-primary-id", "1")
+		nodes[2].args = append(common(nodes[2]),
+			"-id", "3", "-role", "backup", "-primary-id", "1")
+		c.Nodes = nodes
+		c.PrimaryIndex = 0
+		c.BackupIndexes = []int{1, 2}
+
+	case TopologySharded:
+		names := []string{"node0", "node1", "node2"}
+		nodes := make([]*Node, 3)
+		for i, name := range names {
+			nd, err := mk(i, name)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			nodes[i] = nd
+		}
+		// Shards 2 and 3 on node0, shard 4 on node1, shard 5 on node2
+		// (the smoke-test layout). The route map points at proxies.
+		c.RouteMap = fmt.Sprintf("2=%s,3=%s,4=%s,5=%s",
+			nodes[0].Proxy.Addr(), nodes[0].Proxy.Addr(),
+			nodes[1].Proxy.Addr(), nodes[2].Proxy.Addr())
+		c.ShardAddrs = map[uint32]string{
+			2: nodes[0].Proxy.Addr(), 3: nodes[0].Proxy.Addr(),
+			4: nodes[1].Proxy.Addr(), 5: nodes[2].Proxy.Addr(),
+		}
+		shardsOf := []string{"2,3", "4", "5"}
+		for i, nd := range nodes {
+			nd.args = append(common(nd), "-shards", shardsOf[i], "-routemap", c.RouteMap)
+		}
+		c.Nodes = nodes
+	}
+	return c, nil
+}
+
+// Start launches every node and waits until each answers a ping
+// through its proxy.
+func (c *Cluster) Start() error {
+	for _, nd := range c.Nodes {
+		if err := c.StartNode(nd, nil); err != nil {
+			return err
+		}
+	}
+	for _, nd := range c.Nodes {
+		if err := c.WaitUp(nd, 10*time.Second); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StartNode launches (or relaunches) one node, appending extraArgs to
+// its standing argv — a restart with a different -datacap is how the
+// disk-full fault heals.
+func (c *Cluster) StartNode(nd *Node, extraArgs []string) error {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.cmd != nil && !nd.down {
+		return fmt.Errorf("chaos: node %s already running", nd.Name)
+	}
+	trace := nd.traceBase
+	if n := len(nd.TraceFiles); n > 0 {
+		trace = fmt.Sprintf("%s.r%d", nd.traceBase, n)
+	}
+	argv := append(append([]string{}, nd.args...), "-tracefile", trace)
+	argv = append(argv, extraArgs...)
+	cmd := exec.Command(c.RosdBin, argv...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	nd.TraceFiles = append(nd.TraceFiles, trace)
+	c.traceMu.Lock()
+	c.traceOrder = append(c.traceOrder, trace)
+	c.traceMu.Unlock()
+	nd.cmd = cmd
+	nd.down = false
+	return nil
+}
+
+// TraceOrder returns every incarnation's trace file in global
+// process-start order.
+func (c *Cluster) TraceOrder() []string {
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
+	return append([]string(nil), c.traceOrder...)
+}
+
+// WaitUp pings the node through its proxy until it answers.
+func (c *Cluster) WaitUp(nd *Node, timeout time.Duration) error {
+	cl := client.New(nd.Proxy.Addr(), client.Options{
+		DialTimeout: 500 * time.Millisecond, CallTimeout: time.Second, MaxAttempts: 1,
+	})
+	//roslint:besteffort ping-probe client teardown
+	defer cl.Close()
+	deadline := time.Now().Add(timeout)
+	for {
+		err := cl.Ping()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: node %s never came up: %v", nd.Name, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Kill SIGKILLs the node: the Lampson–Sturgis crash. The page cache
+// survives, the process's volatile state does not.
+func (nd *Node) Kill() error {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.cmd == nil || nd.down {
+		return nil
+	}
+	if err := nd.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	// Reap the deliberately killed process; its exit status is meaningless.
+	_ = nd.cmd.Wait()
+	nd.down = true
+	return nil
+}
+
+// Pause SIGSTOPs the node — alive but unresponsive, the gray failure.
+func (nd *Node) Pause() error {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.cmd == nil || nd.down {
+		return nil
+	}
+	return nd.cmd.Process.Signal(syscall.SIGSTOP)
+}
+
+// Resume SIGCONTs a paused node.
+func (nd *Node) Resume() error {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.cmd == nil || nd.down {
+		return nil
+	}
+	return nd.cmd.Process.Signal(syscall.SIGCONT)
+}
+
+// Running reports whether the process is believed alive.
+func (nd *Node) Running() bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.cmd != nil && !nd.down
+}
+
+// Drain SIGTERMs the node and waits for its graceful exit, bounded by
+// timeout — this is what flushes and fsyncs the node's trace file.
+func (nd *Node) Drain(timeout time.Duration) error {
+	nd.mu.Lock()
+	cmd := nd.cmd
+	down := nd.down
+	nd.mu.Unlock()
+	if cmd == nil || down {
+		return nil
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		nd.mu.Lock()
+		nd.down = true
+		nd.mu.Unlock()
+		return err
+	case <-time.After(timeout):
+		// Escalate after the missed drain deadline.
+		_ = cmd.Process.Kill()
+		<-done
+		nd.mu.Lock()
+		nd.down = true
+		nd.mu.Unlock()
+		return fmt.Errorf("chaos: node %s missed the drain deadline", nd.Name)
+	}
+}
+
+// Close tears the whole cluster down: kill every process, close every
+// proxy. Data and traces stay on disk for inspection.
+func (c *Cluster) Close() {
+	for _, nd := range c.Nodes {
+		if nd == nil {
+			continue
+		}
+		_ = nd.Resume() // a SIGSTOPped process ignores SIGKILL's reaping otherwise
+		_ = nd.Kill()
+		if nd.Proxy != nil {
+			nd.Proxy.Close()
+		}
+	}
+}
+
+// Ctl runs one rosctl command against addr and returns its combined
+// output — the operator path the harness re-drives recovery through.
+func (c *Cluster) Ctl(addr string, args ...string) (string, error) {
+	out, err := exec.Command(c.CtlBin,
+		append([]string{"-addr", addr, "-timeout", "5s"}, args...)...).CombinedOutput()
+	return string(out), err
+}
+
+// Seeds returns the proxy addresses clients should dial.
+func (c *Cluster) Seeds() []string {
+	seeds := make([]string, len(c.Nodes))
+	for i, nd := range c.Nodes {
+		seeds[i] = nd.Proxy.Addr()
+	}
+	return seeds
+}
+
+// Promote picks the backup with the longest durable received log,
+// promotes it through `rosctl promote minAcked` (the safety-checked
+// operator path), and returns that node. lastQuorum is the deposed
+// primary's last known quorum-acked byte count; pass 0 to promote the
+// best backup unconditionally.
+func (c *Cluster) Promote(lastQuorum uint64) (*Node, error) {
+	if c.Topology != TopologyReplicated {
+		return nil, fmt.Errorf("chaos: promote on %s topology", c.Topology)
+	}
+	var best *Node
+	var bestDurable uint64
+	for _, i := range c.BackupIndexes {
+		nd := c.Nodes[i]
+		if !nd.Running() {
+			continue
+		}
+		cl := client.New(nd.Proxy.Addr(), client.Options{CallTimeout: 2 * time.Second})
+		st, err := cl.Status()
+		//roslint:besteffort status-poll client teardown
+		_ = cl.Close()
+		if err != nil {
+			continue
+		}
+		if best == nil || st.Rep.Durable > bestDurable {
+			best, bestDurable = nd, st.Rep.Durable
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("chaos: no live backup to promote")
+	}
+	if bestDurable < lastQuorum {
+		return nil, fmt.Errorf("chaos: best backup has %d durable bytes, quorum acked %d — an acked commit would be lost", bestDurable, lastQuorum)
+	}
+	out, err := c.Ctl(best.Proxy.Addr(), "promote", fmt.Sprint(lastQuorum))
+	if err != nil {
+		return nil, fmt.Errorf("rosctl promote: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "role") {
+		return nil, fmt.Errorf("rosctl promote: unexpected output:\n%s", out)
+	}
+	return best, nil
+}

@@ -1,0 +1,413 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/chaos/workload"
+	"repro/internal/client"
+	"repro/internal/crashtest"
+	"repro/internal/twopc"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// The driver is the harness's client fleet: it turns the deterministic
+// op stream from workload.Gen into real wire traffic and records every
+// attempt's externally visible outcome for the serial oracle.
+//
+// The recording contract mirrors the client retry contract:
+//
+//   - a reply is an ack (ExtAcked): the effect must survive;
+//   - ErrBusy (every attempt drew StatusRetry) and a remote handler
+//     error mean the server refused or aborted before completing the
+//     action — definitely not executed (ExtNotExecuted);
+//   - anything below the reply (dial refused, reset, deadline) means
+//     the op MAY have executed (ExtInDoubt) — mutating ops use
+//     MaxAttempts 1 precisely so one attempt is one 0/1 oracle
+//     variable, never a hidden double-execution.
+//
+// Per-key mutexes (taken in sorted order) serialize the driver's own
+// traffic key by key, which is what makes the oracle's per-key serial
+// construction sound; the bounded in-flight window and QPS pacing ride
+// on top.
+
+// PendingTxn is a cross-shard transaction whose two-phase commit was
+// interrupted by a fault; the heal phase re-drives it.
+type PendingTxn struct {
+	Txn  *client.Txn
+	Keys []string
+	// Verdict is the commit decision when the driver already knows it
+	// (OutcomeAborted for a transaction that never reached Commit);
+	// OutcomeUnknown means the heal phase must query the coordinator
+	// shard.
+	Verdict twopc.Outcome
+}
+
+// DriverConfig configures one episode's traffic.
+type DriverConfig struct {
+	Workload workload.Config
+	Seed     int64
+	// Ops is the total number of attempts to issue.
+	Ops int
+	// Seeds are the proxy addresses clients dial. Standalone and
+	// replicated topologies use Seeds[0]; sharded uses all of them.
+	Seeds []string
+	// Sharded selects the routed client and enables cross-shard txns.
+	Sharded bool
+	// OnIssued, when set, is called synchronously from the dispatch
+	// loop before the n-th op (1-based) is issued — the fault
+	// scheduler's hook.
+	OnIssued func(n int)
+}
+
+// Driver drives one workload against one cluster.
+type Driver struct {
+	cfg  DriverConfig
+	gen  *workload.Gen
+	hist *crashtest.ExtHistory
+
+	keyLocks []sync.Mutex
+
+	mutCl *client.Client
+	getCl *client.Client
+	mutR  *client.Routed
+	getR  *client.Routed
+
+	mu      sync.Mutex
+	pending []*PendingTxn
+	touched map[string]bool // key -> is blob
+	acked   int
+	inDoubt int
+	notExec int
+}
+
+// NewDriver builds a driver. Call Run once, then read History,
+// Pending, and Touched.
+func NewDriver(cfg DriverConfig) (*Driver, error) {
+	if err := cfg.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("chaos: driver needs at least one seed address")
+	}
+	gen, err := workload.New(cfg.Workload, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	d := &Driver{
+		cfg:      cfg,
+		gen:      gen,
+		hist:     &crashtest.ExtHistory{},
+		keyLocks: make([]sync.Mutex, cfg.Workload.Keys),
+		touched:  make(map[string]bool),
+	}
+	mutOpt := client.Options{
+		MaxAttempts: 1, DialTimeout: 500 * time.Millisecond, CallTimeout: 2 * time.Second,
+	}
+	getOpt := client.Options{
+		MaxAttempts: 2, DialTimeout: 500 * time.Millisecond, CallTimeout: time.Second,
+		BaseBackoff: 20 * time.Millisecond, MaxBackoff: 100 * time.Millisecond,
+	}
+	if cfg.Sharded {
+		d.mutR = client.NewRouted(cfg.Seeds, mutOpt)
+		d.getR = client.NewRouted(cfg.Seeds, getOpt)
+	} else {
+		d.mutCl = client.New(cfg.Seeds[0], mutOpt)
+		d.getCl = client.New(cfg.Seeds[0], getOpt)
+	}
+	return d, nil
+}
+
+// Close releases the driver's clients.
+func (d *Driver) Close() {
+	for _, c := range []*client.Client{d.mutCl, d.getCl} {
+		if c != nil {
+			//roslint:besteffort client teardown
+			_ = c.Close()
+		}
+	}
+	for _, r := range []*client.Routed{d.mutR, d.getR} {
+		if r != nil {
+			//roslint:besteffort client teardown
+			_ = r.Close()
+		}
+	}
+}
+
+// History returns the recorded external history.
+func (d *Driver) History() *crashtest.ExtHistory { return d.hist }
+
+// Pending returns the transactions the heal phase must re-drive.
+func (d *Driver) Pending() []*PendingTxn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]*PendingTxn(nil), d.pending...)
+}
+
+// Touched returns every key the workload addressed, sorted, with its
+// class (blob or counter) — the final-probe worklist.
+func (d *Driver) Touched() (keys []string, isBlob map[string]bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	isBlob = make(map[string]bool, len(d.touched))
+	for k, b := range d.touched {
+		keys = append(keys, k)
+		isBlob[k] = b
+	}
+	sort.Strings(keys)
+	return keys, isBlob
+}
+
+// Counts reports the attempt tally by outcome.
+func (d *Driver) Counts() (acked, inDoubt, notExec int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.acked, d.inDoubt, d.notExec
+}
+
+// Prime fetches the routing table (sharded) or pings the node so the
+// first real op doesn't pay discovery latency; retried until deadline.
+func (d *Driver) Prime(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var err error
+		if d.cfg.Sharded {
+			_, err = d.getR.Refresh()
+		} else {
+			err = d.getCl.Ping()
+		}
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: driver prime: %w", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Run issues cfg.Ops attempts at the configured QPS with the bounded
+// in-flight window and blocks until every attempt has completed.
+func (d *Driver) Run() {
+	interval := time.Second / time.Duration(d.cfg.Workload.QPS)
+	sem := make(chan struct{}, d.cfg.Workload.InFlight)
+	var wg sync.WaitGroup
+	next := time.Now()
+	for n := 1; n <= d.cfg.Ops; n++ {
+		if d.cfg.OnIssued != nil {
+			d.cfg.OnIssued(n)
+		}
+		op := d.gen.Next()
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			d.attempt(op)
+		}()
+		next = next.Add(interval)
+		if pause := time.Until(next); pause > 0 {
+			time.Sleep(pause)
+		}
+	}
+	wg.Wait()
+}
+
+// attempt executes one op under its key locks and records the result.
+func (d *Driver) attempt(op workload.Op) {
+	// Sorted distinct lock order prevents driver-side deadlock; the
+	// generator already emits distinct keys per op.
+	idx := append([]uint32(nil), op.Keys...)
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	for _, k := range idx {
+		d.keyLocks[k].Lock()
+	}
+	defer func() {
+		for i := len(idx) - 1; i >= 0; i-- {
+			d.keyLocks[idx[i]].Unlock()
+		}
+	}()
+
+	var att crashtest.ExtAttempt
+	switch op.Kind {
+	case workload.KindGet:
+		att = d.get(op)
+	case workload.KindPut:
+		att = d.put(op)
+	case workload.KindIncr:
+		att = d.incr(op)
+	case workload.KindTxn:
+		att = d.txn(op)
+	default:
+		return
+	}
+	d.record(op, att)
+}
+
+func (d *Driver) record(op workload.Op, att crashtest.ExtAttempt) {
+	// ExtHistory.Record is not safe for concurrent use; d.mu is the
+	// history's writer lock. (Cross-key append order is arbitrary —
+	// the oracle serializes per key, and per-key order is already
+	// fixed by the key locks held through this call.)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hist.Record(att)
+	for _, k := range op.Keys {
+		d.touched[workload.KeyName(k)] = d.cfg.Workload.IsBlobKey(k)
+	}
+	switch att.Outcome {
+	case crashtest.ExtAcked:
+		d.acked++
+	case crashtest.ExtInDoubt:
+		d.inDoubt++
+	default:
+		d.notExec++
+	}
+}
+
+// classify maps a client error to the oracle outcome for a mutating
+// op: refused or remotely aborted means not executed; anything below
+// the reply means in doubt.
+func classify(err error) crashtest.ExtOutcome {
+	switch {
+	case err == nil:
+		return crashtest.ExtAcked
+	case errors.Is(err, client.ErrBusy), errors.Is(err, wire.ErrRemote):
+		return crashtest.ExtNotExecuted
+	default:
+		return crashtest.ExtInDoubt
+	}
+}
+
+// invoke routes one single-key handler call through the right client.
+func (d *Driver) invoke(mutating bool, key, handler string, arg value.Value) (value.Value, error) {
+	if d.cfg.Sharded {
+		r := d.getR
+		if mutating {
+			r = d.mutR
+		}
+		return r.Invoke(key, handler, arg)
+	}
+	c := d.getCl
+	if mutating {
+		c = d.mutCl
+	}
+	return c.Invoke(handler, arg)
+}
+
+func (d *Driver) get(op workload.Op) crashtest.ExtAttempt {
+	key := workload.KeyName(op.Keys[0])
+	att := crashtest.ExtAttempt{Kind: crashtest.ExtGet, Keys: []string{key}}
+	v, err := d.invoke(false, key, "get", value.Str(key))
+	switch {
+	case err == nil:
+		att.Outcome = crashtest.ExtAcked
+		att.GetValue = renderValue(v)
+	case errors.Is(err, wire.ErrRemote) && strings.Contains(err.Error(), "no such key"):
+		att.Outcome = crashtest.ExtAcked
+		att.GetAbsent = true
+	default:
+		// A failed read constrains nothing; record it for the tally
+		// only. (classify never returns Acked here: err != nil.)
+		att.Outcome = classify(err)
+	}
+	return att
+}
+
+func (d *Driver) put(op workload.Op) crashtest.ExtAttempt {
+	key := workload.KeyName(op.Keys[0])
+	att := crashtest.ExtAttempt{Kind: crashtest.ExtPut, Keys: []string{key}, Value: string(op.Value)}
+	_, err := d.invoke(true, key, "put", &value.List{Elems: []value.Value{
+		value.Str(key), value.Str(op.Value),
+	}})
+	att.Outcome = classify(err)
+	return att
+}
+
+func (d *Driver) incr(op workload.Op) crashtest.ExtAttempt {
+	key := workload.KeyName(op.Keys[0])
+	att := crashtest.ExtAttempt{Kind: crashtest.ExtIncr, Keys: []string{key}, Deltas: []int64{op.Deltas[0]}}
+	_, err := d.invoke(true, key, "incr", &value.List{Elems: []value.Value{
+		value.Str(key), value.Int(op.Deltas[0]),
+	}})
+	att.Outcome = classify(err)
+	return att
+}
+
+// txn runs one cross-shard transaction: every key joins its owning
+// shard's guardian as a 2PC participant and the commit is client-
+// driven. Only issued on sharded topologies.
+func (d *Driver) txn(op workload.Op) crashtest.ExtAttempt {
+	keys := make([]string, len(op.Keys))
+	for i, k := range op.Keys {
+		keys[i] = workload.KeyName(k)
+	}
+	att := crashtest.ExtAttempt{Kind: crashtest.ExtTxn, Keys: keys, Deltas: append([]int64(nil), op.Deltas...)}
+	t, err := d.mutR.Begin(keys[0])
+	if err != nil {
+		// Begin only mints the action id; no data effect is possible.
+		att.Outcome = crashtest.ExtNotExecuted
+		return att
+	}
+	for i, k := range keys {
+		if _, err := t.Invoke(k, "incr", &value.List{Elems: []value.Value{
+			value.Str(k), value.Int(op.Deltas[i]),
+		}}); err != nil {
+			// A leg may have executed with the reply lost; no
+			// committing record can exist (Commit never ran), so the
+			// verdict is the presumed abort — but the abort must still
+			// be delivered everywhere once the cluster heals, or the
+			// leg's locks outlive the episode.
+			//roslint:besteffort immediate abort of the joined legs; the heal-phase re-drive finishes the job
+			_ = t.Abort()
+			att.Outcome = crashtest.ExtInDoubt
+			d.retain(t, keys, twopc.OutcomeAborted)
+			return att
+		}
+	}
+	res, err := t.Commit()
+	switch {
+	case err == nil:
+		att.Outcome = crashtest.ExtAcked
+		if !res.Done {
+			// Committed but some participant missed its commit
+			// message: Complete must be re-driven after heal.
+			d.retain(t, keys, twopc.OutcomeCommitted)
+		}
+	case errors.Is(err, twopc.ErrAborted):
+		// The coordinator decided abort before the point of no return.
+		att.Outcome = crashtest.ExtNotExecuted
+		d.retain(t, keys, twopc.OutcomeAborted)
+	default:
+		// The commit was interrupted: the committing record may or may
+		// not have been forced. The heal phase asks the coordinator.
+		att.Outcome = crashtest.ExtInDoubt
+		d.retain(t, keys, twopc.OutcomeUnknown)
+	}
+	return att
+}
+
+func (d *Driver) retain(t *client.Txn, keys []string, verdict twopc.Outcome) {
+	d.mu.Lock()
+	d.pending = append(d.pending, &PendingTxn{Txn: t, Keys: keys, Verdict: verdict})
+	d.mu.Unlock()
+}
+
+// renderValue renders a stored value the way the oracle's final-state
+// maps expect: decimal for counters, raw bytes for blobs.
+func renderValue(v value.Value) string {
+	switch x := v.(type) {
+	case value.Int:
+		return strconv.FormatInt(int64(x), 10)
+	case value.Str:
+		return string(x)
+	default:
+		return fmt.Sprint(v)
+	}
+}

@@ -1,0 +1,210 @@
+// Package chaos is a multi-process chaos testnet: it launches real
+// rosd processes, drives them with a deterministic seeded workload
+// (internal/chaos/workload), injects real faults mid-traffic —
+// SIGKILL, SIGSTOP/SIGCONT, TCP partitions, connect/read delays,
+// disk-full — heals, re-drives recovery through the rosctl paths, and
+// verifies the survivors against two independent authorities: the
+// external-history serial oracle (crashtest.CheckExternal) over what
+// clients were told, and the obs.Checker invariants over the merged
+// per-node trace files.
+//
+// The package deliberately lives outside the determinism analyzer's
+// scope: a fault injector's whole job is wall-clock pacing and real
+// process signals. Determinism lives one level down, in the workload
+// generator, where it is enforced.
+package chaos
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a TCP forwarder interposed between clients and one rosd
+// listener, so the harness can cut or degrade a node's network without
+// touching the process. A partition closes every established
+// connection and refuses new ones — the client sees connection resets,
+// exactly the below-the-reply failure the retry contract calls
+// "unreachable". Delays model slow links: a connect delay before each
+// upstream dial, a read delay before each chunk relayed from the node.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	mu          sync.Mutex
+	partitioned bool
+	connectWait time.Duration
+	readWait    time.Duration
+	conns       map[net.Conn]struct{}
+	closed      bool
+
+	wg sync.WaitGroup
+}
+
+// NewProxy starts a proxy on a fresh loopback port forwarding to
+// target.
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients (and peer nodes) should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Target is the real node address behind the proxy.
+func (p *Proxy) Target() string { return p.target }
+
+// Partition cuts the link: established connections are reset and new
+// ones refused until Heal.
+func (p *Proxy) Partition() {
+	p.mu.Lock()
+	p.partitioned = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	// Draining the active-connection set to reset them; order is irrelevant.
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		//roslint:besteffort the whole point is to break these connections
+		_ = c.Close()
+	}
+}
+
+// Heal restores the link.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.partitioned = false
+	p.connectWait = 0
+	p.readWait = 0
+	p.mu.Unlock()
+}
+
+// SetDelay injects a pause before each upstream dial (connect) and
+// before each relayed chunk from the node (read). Zero clears.
+func (p *Proxy) SetDelay(connect, read time.Duration) {
+	p.mu.Lock()
+	p.connectWait = connect
+	p.readWait = read
+	p.mu.Unlock()
+}
+
+// Close stops the proxy permanently.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	//roslint:besteffort listener teardown; the accept loop exits on the error either way
+	_ = p.ln.Close()
+	p.Partition() // reset whatever is still established
+	p.wg.Wait()
+}
+
+func (p *Proxy) state() (partitioned bool, connect, read time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.partitioned, p.connectWait, p.readWait
+}
+
+// track registers an active connection, or refuses it (false) when the
+// link is partitioned or the proxy closed.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.partitioned || p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		down, err := p.ln.Accept()
+		if err != nil {
+			return // closed
+		}
+		p.wg.Add(1)
+		go p.serve(down)
+	}
+}
+
+// serve relays one client connection to the target node.
+func (p *Proxy) serve(down net.Conn) {
+	defer p.wg.Done()
+	partitioned, connect, _ := p.state()
+	if partitioned {
+		//roslint:besteffort refusing a connection across a partition
+		_ = down.Close()
+		return
+	}
+	if connect > 0 {
+		time.Sleep(connect)
+	}
+	up, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		//roslint:besteffort the node is down or unreachable; the client sees the reset it would see without the proxy
+		_ = down.Close()
+		return
+	}
+	if !p.track(down) || !p.track(up) {
+		//roslint:besteffort a partition landed while dialing
+		_ = down.Close()
+		//roslint:besteffort same
+		_ = up.Close()
+		p.untrack(down)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); p.relay(up, down, false) }()
+	go func() { defer wg.Done(); p.relay(down, up, true) }()
+	wg.Wait()
+	p.untrack(down)
+	p.untrack(up)
+}
+
+// relay copies src into dst chunk by chunk and resets both ends when
+// either side drops. With delayed set (the node-to-client direction)
+// each chunk waits the current read delay, re-read per chunk so
+// SetDelay takes effect mid-connection.
+func (p *Proxy) relay(dst, src net.Conn, delayed bool) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if delayed {
+				if _, _, wait := p.state(); wait > 0 {
+					time.Sleep(wait)
+				}
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	//roslint:besteffort tearing down a finished or broken relay pair
+	_ = dst.Close()
+	//roslint:besteffort same
+	_ = src.Close()
+}

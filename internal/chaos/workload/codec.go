@@ -1,0 +1,106 @@
+// Config wire codec. An episode manifest carries the exact workload
+// bytes it ran under, so a failing chaos run can be replayed from its
+// report alone. Same discipline as internal/wire: minimal uvarints
+// only, trailing bytes rejected, and the wirecodec analyzer holds the
+// pair total (every Config field must round-trip).
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// configVersion fences the encoding; bump on layout change.
+const configVersion = 1
+
+// EncodeConfig renders c in its canonical byte form.
+func EncodeConfig(c Config) []byte {
+	b := make([]byte, 0, 64)
+	b = binary.AppendUvarint(b, configVersion)
+	b = binary.AppendUvarint(b, uint64(c.Keys))
+	b = binary.AppendUvarint(b, uint64(c.BlobFrac1024))
+	b = append(b, byte(c.Dist))
+	b = binary.AppendUvarint(b, uint64(c.ZipfSkew1000))
+	b = append(b, c.GetPct, c.PutPct, c.IncrPct, c.TxnPct, c.TxnSpan)
+	b = binary.AppendUvarint(b, uint64(c.ValueMin))
+	b = binary.AppendUvarint(b, uint64(c.ValueMax))
+	b = binary.AppendUvarint(b, uint64(c.MaxDelta))
+	b = binary.AppendUvarint(b, uint64(c.QPS))
+	b = binary.AppendUvarint(b, uint64(c.InFlight))
+	return b
+}
+
+// DecodeConfig parses EncodeConfig's output. It rejects non-minimal
+// varints, out-of-range values, and trailing bytes; the result is
+// additionally Validate-checked, so a decoded Config is runnable.
+func DecodeConfig(b []byte) (Config, error) {
+	var c Config
+	ver, b, err := takeUvarint(b)
+	if err != nil {
+		return Config{}, fmt.Errorf("workload config: version: %w", err)
+	}
+	if ver != configVersion {
+		return Config{}, fmt.Errorf("workload config: unknown version %d", ver)
+	}
+	u32 := func(name string) uint32 {
+		if err != nil {
+			return 0
+		}
+		var v uint64
+		v, b, err = takeUvarint(b)
+		if err == nil && v > 1<<32-1 {
+			err = fmt.Errorf("%s %d overflows uint32", name, v)
+		}
+		return uint32(v)
+	}
+	u8 := func(name string) uint8 {
+		if err != nil {
+			return 0
+		}
+		if len(b) == 0 {
+			err = fmt.Errorf("%s: short buffer", name)
+			return 0
+		}
+		v := b[0]
+		b = b[1:]
+		return v
+	}
+	c.Keys = u32("Keys")
+	c.BlobFrac1024 = u32("BlobFrac1024")
+	c.Dist = Dist(u8("Dist"))
+	c.ZipfSkew1000 = u32("ZipfSkew1000")
+	c.GetPct = u8("GetPct")
+	c.PutPct = u8("PutPct")
+	c.IncrPct = u8("IncrPct")
+	c.TxnPct = u8("TxnPct")
+	c.TxnSpan = u8("TxnSpan")
+	c.ValueMin = u32("ValueMin")
+	c.ValueMax = u32("ValueMax")
+	c.MaxDelta = u32("MaxDelta")
+	c.QPS = u32("QPS")
+	c.InFlight = u32("InFlight")
+	if err != nil {
+		return Config{}, fmt.Errorf("workload config: %w", err)
+	}
+	if len(b) != 0 {
+		return Config{}, fmt.Errorf("workload config: %d trailing bytes", len(b))
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// takeUvarint consumes one minimally-encoded uvarint.
+func takeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("truncated or overlong uvarint")
+	}
+	// Reject non-minimal encodings: re-encoding must reproduce the
+	// consumed width, else two byte strings decode to one value.
+	if n > 1 && b[n-1] == 0 {
+		return 0, nil, fmt.Errorf("non-minimal uvarint")
+	}
+	return v, b[n:], nil
+}

@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeConfig holds the config codec's invariants under arbitrary
+// bytes: DecodeConfig never panics, anything it accepts Validates and
+// re-encodes to the exact input (canonical form), and the Default
+// seeds keep KindGet/KindPut/KindIncr/KindTxn and
+// DistUniform/DistZipf reachable in the accepted corpus.
+func FuzzDecodeConfig(f *testing.F) {
+	f.Add(EncodeConfig(Default()))
+	uni := Default()
+	uni.Dist = DistUniform
+	uni.ZipfSkew1000 = 0
+	f.Add(EncodeConfig(uni))
+	small := Default()
+	small.Keys = 8
+	small.BlobFrac1024 = 512
+	small.TxnSpan = 3
+	f.Add(EncodeConfig(small))
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		c, err := DecodeConfig(b)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("decoded config fails Validate: %v", verr)
+		}
+		if !bytes.Equal(EncodeConfig(c), b) {
+			t.Fatalf("accepted non-canonical encoding: %x", b)
+		}
+	})
+}

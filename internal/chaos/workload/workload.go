@@ -1,0 +1,337 @@
+// Package workload is the chaos testnet's deterministic load
+// generator: the "millions of users" proxy of ROADMAP item 3. A Gen
+// turns a (Config, seed) pair into an unbounded stream of key/value
+// operations — point reads, blind writes, counter increments, and
+// cross-key transfer transactions — with a configurable operation mix,
+// value sizes, and key popularity (uniform or zipfian).
+//
+// Determinism contract: the op stream is a pure function of the
+// (Config, seed) pair. Identical pairs produce byte-identical streams
+// (see Op.Append and TestStreamDeterminism); nothing in this package
+// reads the wall clock, the global rand source, or map iteration
+// order — it is in the determinism analyzer's scope. Pacing knobs
+// (QPS, InFlight) ride in the Config so an episode is fully described
+// by one value, but they do not influence the generated stream.
+//
+// The keyspace is split by role, derived from the key index: counter
+// keys take incr and txn traffic (commutative deltas the serial oracle
+// can check exactly), blob keys take put traffic (write-once values
+// checked by membership). Transactions draw distinct counter keys and
+// zero-sum deltas, so the cross-shard conservation invariant — the sum
+// over all counters equals the sum of acked plain-incr deltas — holds
+// under any subset of in-doubt transactions.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind classifies one generated operation.
+type Kind uint8
+
+const (
+	// KindGet reads one key.
+	KindGet Kind = iota + 1
+	// KindPut blind-writes a generated value to a blob key.
+	KindPut
+	// KindIncr adds a delta to a counter key.
+	KindIncr
+	// KindTxn atomically transfers between Span counter keys (deltas
+	// sum to zero), the cross-shard two-phase-commit workload.
+	KindTxn
+)
+
+var kindNames = [...]string{
+	KindGet:  "get",
+	KindPut:  "put",
+	KindIncr: "incr",
+	KindTxn:  "txn",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Dist selects the key-popularity distribution.
+type Dist uint8
+
+const (
+	// DistUniform draws keys uniformly from the keyspace.
+	DistUniform Dist = iota + 1
+	// DistZipf draws keys zipfian: key 0 hottest, tail cold. The skew
+	// exponent is Config.ZipfSkew1000.
+	DistZipf
+)
+
+var distNames = [...]string{
+	DistUniform: "uniform",
+	DistZipf:    "zipf",
+}
+
+func (d Dist) String() string {
+	if int(d) < len(distNames) && distNames[d] != "" {
+		return distNames[d]
+	}
+	return fmt.Sprintf("dist(%d)", uint8(d))
+}
+
+// Config parameterizes a workload. The zero value is invalid; start
+// from Default and adjust. It is wire-encodable (EncodeConfig /
+// DecodeConfig) so an episode manifest can carry the exact workload it
+// ran and a report can be replayed from its bytes alone.
+type Config struct {
+	// Keys is the keyspace size; key indices are [0, Keys).
+	Keys uint32
+	// BlobFrac1024 is the per-1024 share of the keyspace given to blob
+	// (put-target) keys; the rest are counters. 0 disables puts'
+	// targets (puts are then skipped even with PutPct > 0).
+	BlobFrac1024 uint32
+	// Dist is the key-popularity distribution.
+	Dist Dist
+	// ZipfSkew1000 is the zipf exponent s in thousandths (e.g. 1100 =
+	// s 1.1). Must be > 1000 when Dist is DistZipf (rand.Zipf requires
+	// s > 1).
+	ZipfSkew1000 uint32
+	// GetPct, PutPct, IncrPct, TxnPct weight the op mix; they must sum
+	// to 100.
+	GetPct, PutPct, IncrPct, TxnPct uint8
+	// TxnSpan is how many distinct counter keys a transaction touches
+	// (≥ 2).
+	TxnSpan uint8
+	// ValueMin and ValueMax bound generated put-value sizes in bytes
+	// (inclusive; ValueMax ≥ ValueMin ≥ 1).
+	ValueMin, ValueMax uint32
+	// MaxDelta bounds plain-incr magnitudes: deltas are drawn from
+	// [-MaxDelta, +MaxDelta] excluding 0. Must be ≥ 1.
+	MaxDelta uint32
+	// QPS is the driver's target issue rate in ops/second; 0 means
+	// unpaced. Pacing only — it does not affect the op stream.
+	QPS uint32
+	// InFlight bounds the driver's concurrently outstanding ops.
+	// Pacing only. Must be ≥ 1 for the driver.
+	InFlight uint32
+}
+
+// Default is a balanced starting configuration: a read-heavy mix over
+// a small zipfian keyspace with occasional cross-key transfers.
+func Default() Config {
+	return Config{
+		Keys:         64,
+		BlobFrac1024: 256, // one key in four takes puts
+		Dist:         DistZipf,
+		ZipfSkew1000: 1100,
+		GetPct:       40,
+		PutPct:       10,
+		IncrPct:      40,
+		TxnPct:       10,
+		TxnSpan:      2,
+		ValueMin:     8,
+		ValueMax:     64,
+		MaxDelta:     10,
+		QPS:          200,
+		InFlight:     8,
+	}
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	if c.Keys == 0 {
+		return fmt.Errorf("workload: Keys must be positive")
+	}
+	if c.BlobFrac1024 > 1024 {
+		return fmt.Errorf("workload: BlobFrac1024 %d > 1024", c.BlobFrac1024)
+	}
+	if c.Dist != DistUniform && c.Dist != DistZipf {
+		return fmt.Errorf("workload: unknown distribution %d", c.Dist)
+	}
+	if c.Dist == DistZipf && c.ZipfSkew1000 <= 1000 {
+		return fmt.Errorf("workload: zipf skew %d must exceed 1000 (s > 1)", c.ZipfSkew1000)
+	}
+	if int(c.GetPct)+int(c.PutPct)+int(c.IncrPct)+int(c.TxnPct) != 100 {
+		return fmt.Errorf("workload: op mix %d+%d+%d+%d must sum to 100",
+			c.GetPct, c.PutPct, c.IncrPct, c.TxnPct)
+	}
+	if c.TxnPct > 0 && c.TxnSpan < 2 {
+		return fmt.Errorf("workload: TxnSpan %d must be ≥ 2", c.TxnSpan)
+	}
+	if counterKeys := c.Keys - c.blobKeys(); c.TxnPct > 0 && uint32(c.TxnSpan) > counterKeys {
+		return fmt.Errorf("workload: TxnSpan %d exceeds the %d counter keys", c.TxnSpan, counterKeys)
+	}
+	if c.PutPct > 0 && c.blobKeys() == 0 {
+		return fmt.Errorf("workload: PutPct %d with no blob keys (BlobFrac1024 0)", c.PutPct)
+	}
+	if c.PutPct > 0 && (c.ValueMin == 0 || c.ValueMax < c.ValueMin) {
+		return fmt.Errorf("workload: value size bounds [%d, %d] invalid", c.ValueMin, c.ValueMax)
+	}
+	if (c.IncrPct > 0 || c.TxnPct > 0) && c.MaxDelta == 0 {
+		return fmt.Errorf("workload: MaxDelta must be ≥ 1")
+	}
+	return nil
+}
+
+// blobKeys is how many keys at the top of the index range are blob
+// (put-target) keys.
+func (c Config) blobKeys() uint32 {
+	return c.Keys * c.BlobFrac1024 / 1024
+}
+
+// IsBlobKey reports whether key index i takes put traffic. The blob
+// keys are the top BlobFrac1024/1024 of the index range, so counter
+// indices stay dense at the bottom where the zipfian head lives.
+func (c Config) IsBlobKey(i uint32) bool {
+	return i >= c.Keys-c.blobKeys()
+}
+
+// KeyName renders key index i as the on-cluster key string.
+func KeyName(i uint32) string { return fmt.Sprintf("k%06d", i) }
+
+// Op is one generated operation. Keys holds one entry for Get/Put/
+// Incr and TxnSpan distinct entries for Txn; Deltas matches Keys for
+// Incr/Txn (zero-sum for Txn) and is nil otherwise; Value is the put
+// payload and nil otherwise.
+type Op struct {
+	// Seq is the op's position in the stream, starting at 1.
+	Seq uint64
+	// Kind classifies the op.
+	Kind Kind
+	// Keys are the key indices the op touches.
+	Keys []uint32
+	// Deltas are the per-key increments (Incr/Txn).
+	Deltas []int64
+	// Value is the put payload (Put).
+	Value []byte
+}
+
+// Append renders the op in a canonical byte form — the determinism
+// test's currency: two streams are identical iff their Append bytes
+// are.
+func (o Op) Append(dst []byte) []byte {
+	dst = append(dst, fmt.Sprintf("%d %s", o.Seq, o.Kind)...)
+	for i, k := range o.Keys {
+		dst = append(dst, ' ')
+		dst = append(dst, KeyName(k)...)
+		if o.Deltas != nil {
+			dst = append(dst, fmt.Sprintf("%+d", o.Deltas[i])...)
+		}
+	}
+	if o.Value != nil {
+		dst = append(dst, fmt.Sprintf(" %dB %x", len(o.Value), o.Value)...)
+	}
+	dst = append(dst, '\n')
+	return dst
+}
+
+// Gen generates the op stream for one (Config, seed) pair. Not safe
+// for concurrent use; the driver owns one Gen per episode.
+type Gen struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	seq  uint64
+}
+
+// New returns a generator. The Config must Validate.
+func New(cfg Config, seed int64) (*Gen, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Gen{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	if cfg.Dist == DistZipf {
+		s := float64(cfg.ZipfSkew1000) / 1000
+		g.zipf = rand.NewZipf(g.rng, s, 1, uint64(cfg.Keys)-1)
+	}
+	return g, nil
+}
+
+// Config returns the generator's configuration.
+func (g *Gen) Config() Config { return g.cfg }
+
+// key draws one key index from the configured distribution.
+func (g *Gen) key() uint32 {
+	if g.zipf != nil {
+		return uint32(g.zipf.Uint64())
+	}
+	return uint32(g.rng.Intn(int(g.cfg.Keys)))
+}
+
+// counterKey draws a key until it lands on a counter (non-blob) key.
+// Counter keys occupy the dense bottom of the index range, so under
+// zipf this stays the hot head and terminates fast; under uniform the
+// miss rate is BlobFrac1024/1024 < 1.
+func (g *Gen) counterKey() uint32 {
+	for {
+		if k := g.key(); !g.cfg.IsBlobKey(k) {
+			return k
+		}
+	}
+}
+
+// blobKey draws a blob key uniformly: the zipfian head is deliberately
+// kept on the counters, where the oracle's exact arithmetic lives.
+func (g *Gen) blobKey() uint32 {
+	n := g.cfg.blobKeys()
+	return g.cfg.Keys - n + uint32(g.rng.Intn(int(n)))
+}
+
+// delta draws a nonzero increment in [-MaxDelta, +MaxDelta].
+func (g *Gen) delta() int64 {
+	d := int64(g.rng.Intn(int(g.cfg.MaxDelta))) + 1
+	if g.rng.Intn(2) == 0 {
+		return -d
+	}
+	return d
+}
+
+// Next returns the next operation in the stream.
+func (g *Gen) Next() Op {
+	g.seq++
+	op := Op{Seq: g.seq}
+	roll := g.rng.Intn(100)
+	switch {
+	case roll < int(g.cfg.GetPct):
+		op.Kind = KindGet
+		op.Keys = []uint32{g.key()}
+	case roll < int(g.cfg.GetPct)+int(g.cfg.PutPct):
+		op.Kind = KindPut
+		op.Keys = []uint32{g.blobKey()}
+		n := int(g.cfg.ValueMin)
+		if g.cfg.ValueMax > g.cfg.ValueMin {
+			n += g.rng.Intn(int(g.cfg.ValueMax-g.cfg.ValueMin) + 1)
+		}
+		v := make([]byte, n)
+		for i := range v {
+			v[i] = 'a' + byte(g.rng.Intn(26))
+		}
+		op.Value = v
+	case roll < int(g.cfg.GetPct)+int(g.cfg.PutPct)+int(g.cfg.IncrPct):
+		op.Kind = KindIncr
+		op.Keys = []uint32{g.counterKey()}
+		op.Deltas = []int64{g.delta()}
+	default:
+		op.Kind = KindTxn
+		span := int(g.cfg.TxnSpan)
+		seen := make(map[uint32]bool, span)
+		op.Keys = make([]uint32, 0, span)
+		for len(op.Keys) < span {
+			k := g.counterKey()
+			if !seen[k] {
+				seen[k] = true
+				op.Keys = append(op.Keys, k)
+			}
+		}
+		// Zero-sum transfer: the first span-1 legs draw freely, the
+		// last balances, so total conservation is structural.
+		op.Deltas = make([]int64, span)
+		var sum int64
+		for i := 0; i < span-1; i++ {
+			op.Deltas[i] = g.delta()
+			sum += op.Deltas[i]
+		}
+		op.Deltas[span-1] = -sum
+	}
+	return op
+}

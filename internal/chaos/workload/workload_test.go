@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestStreamDeterminism: identical (seed, config) pairs produce
+// byte-identical op streams; a different seed diverges.
+func TestStreamDeterminism(t *testing.T) {
+	cfg := Default()
+	render := func(seed int64, n int) []byte {
+		g, err := New(cfg, seed)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		var b []byte
+		for i := 0; i < n; i++ {
+			b = g.Next().Append(b)
+		}
+		return b
+	}
+	const n = 2000
+	a, b := render(42, n), render(42, n)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same (seed, config) produced different streams")
+	}
+	if bytes.Equal(a, render(43, n)) {
+		t.Fatalf("different seeds produced identical streams")
+	}
+}
+
+// TestZipfSkew: the zipfian sampler's empirical head frequencies fit
+// the configured exponent. rand.Zipf draws P(k) ∝ (1+k)^(-s), so the
+// least-squares slope of log(freq) against log(1+k) over the head
+// ranks must come out near -s, across seeds.
+func TestZipfSkew(t *testing.T) {
+	for _, skew := range []uint32{1200, 1500} {
+		s := float64(skew) / 1000
+		for _, seed := range []int64{1, 2, 3} {
+			cfg := Default()
+			cfg.Dist = DistZipf
+			cfg.ZipfSkew1000 = skew
+			cfg.Keys = 1024
+			cfg.BlobFrac1024 = 0
+			cfg.PutPct = 0
+			cfg.GetPct = 50
+			g, err := New(cfg, seed)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			const samples = 200000
+			counts := make([]float64, cfg.Keys)
+			for i := 0; i < samples; i++ {
+				counts[g.key()]++
+			}
+			// Fit over the 8 hottest ranks — the tail is too sparse to
+			// estimate pointwise at this sample count.
+			const head = 8
+			var sx, sy, sxx, sxy float64
+			for k := 0; k < head; k++ {
+				if counts[k] == 0 {
+					t.Fatalf("skew %.2f seed %d: head rank %d never drawn", s, seed, k)
+				}
+				x := math.Log(float64(1 + k))
+				y := math.Log(counts[k] / samples)
+				sx += x
+				sy += y
+				sxx += x * x
+				sxy += x * y
+			}
+			slope := (float64(head)*sxy - sx*sy) / (float64(head)*sxx - sx*sx)
+			if got := -slope; math.Abs(got-s) > 0.1 {
+				t.Errorf("skew %.2f seed %d: fitted exponent %.3f, want within 0.1", s, seed, got)
+			}
+		}
+	}
+}
+
+// TestUniformDist: uniform sampling is flat within tolerance.
+func TestUniformDist(t *testing.T) {
+	cfg := Default()
+	cfg.Dist = DistUniform
+	cfg.ZipfSkew1000 = 0
+	cfg.Keys = 64
+	g, err := New(cfg, 7)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const samples = 64 * 2000
+	counts := make([]int, cfg.Keys)
+	for i := 0; i < samples; i++ {
+		counts[g.key()]++
+	}
+	for k, c := range counts {
+		if c < 1500 || c > 2500 {
+			t.Errorf("uniform key %d drawn %d times, want ≈2000", k, c)
+		}
+	}
+}
+
+// TestOpShape: generated ops respect their structural contracts —
+// puts hit blob keys, incrs hit counters, txn keys are distinct
+// counters with zero-sum deltas, and the mix tracks the percentages.
+func TestOpShape(t *testing.T) {
+	cfg := Default()
+	g, err := New(cfg, 99)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const n = 20000
+	kinds := map[Kind]int{}
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		kinds[op.Kind]++
+		if op.Seq != uint64(i+1) {
+			t.Fatalf("op %d: Seq %d", i, op.Seq)
+		}
+		switch op.Kind {
+		case KindGet:
+			if len(op.Keys) != 1 || op.Deltas != nil || op.Value != nil {
+				t.Fatalf("get shape: %+v", op)
+			}
+		case KindPut:
+			if len(op.Keys) != 1 || !cfg.IsBlobKey(op.Keys[0]) {
+				t.Fatalf("put to non-blob key: %+v", op)
+			}
+			if len(op.Value) < int(cfg.ValueMin) || len(op.Value) > int(cfg.ValueMax) {
+				t.Fatalf("put value size %d outside [%d, %d]", len(op.Value), cfg.ValueMin, cfg.ValueMax)
+			}
+		case KindIncr:
+			if len(op.Keys) != 1 || cfg.IsBlobKey(op.Keys[0]) {
+				t.Fatalf("incr to blob key: %+v", op)
+			}
+			if d := op.Deltas[0]; d == 0 || d < -int64(cfg.MaxDelta) || d > int64(cfg.MaxDelta) {
+				t.Fatalf("incr delta %d outside ±%d", d, cfg.MaxDelta)
+			}
+		case KindTxn:
+			if len(op.Keys) != int(cfg.TxnSpan) || len(op.Deltas) != int(cfg.TxnSpan) {
+				t.Fatalf("txn span: %+v", op)
+			}
+			seen := map[uint32]bool{}
+			var sum int64
+			for i, k := range op.Keys {
+				if cfg.IsBlobKey(k) {
+					t.Fatalf("txn leg on blob key: %+v", op)
+				}
+				if seen[k] {
+					t.Fatalf("txn repeats key %d: %+v", k, op)
+				}
+				seen[k] = true
+				sum += op.Deltas[i]
+			}
+			if sum != 0 {
+				t.Fatalf("txn deltas sum to %d: %+v", sum, op)
+			}
+		default:
+			t.Fatalf("unknown kind %v", op.Kind)
+		}
+	}
+	for kind, pct := range map[Kind]uint8{KindGet: cfg.GetPct, KindPut: cfg.PutPct, KindIncr: cfg.IncrPct, KindTxn: cfg.TxnPct} {
+		got := float64(kinds[kind]) / n * 100
+		if math.Abs(got-float64(pct)) > 2 {
+			t.Errorf("%v: %.1f%% of stream, configured %d%%", kind, got, pct)
+		}
+	}
+}
+
+// TestValidate rejects the known-bad shapes.
+func TestValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Keys = 0 },
+		func(c *Config) { c.BlobFrac1024 = 2000 },
+		func(c *Config) { c.Dist = 99 },
+		func(c *Config) { c.ZipfSkew1000 = 1000 },
+		func(c *Config) { c.GetPct = 50 }, // mix no longer sums to 100
+		func(c *Config) { c.TxnSpan = 1 },
+		func(c *Config) { c.TxnSpan = 255 }, // exceeds counter keys
+		func(c *Config) { c.BlobFrac1024 = 0 },
+		func(c *Config) { c.ValueMin, c.ValueMax = 10, 5 },
+		func(c *Config) { c.MaxDelta = 0 },
+	}
+	for i, mutate := range bad {
+		c := Default()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated: %+v", i, c)
+		}
+	}
+	if err := Default().Validate(); err != nil {
+		t.Errorf("Default invalid: %v", err)
+	}
+}
+
+// TestConfigCodec: round-trip identity, plus rejection of trailing
+// bytes, truncation, and version skew.
+func TestConfigCodec(t *testing.T) {
+	c := Default()
+	c.Keys = 1 << 20
+	c.QPS = 12345
+	b := EncodeConfig(c)
+	got, err := DecodeConfig(b)
+	if err != nil {
+		t.Fatalf("DecodeConfig: %v", err)
+	}
+	if got != c {
+		t.Fatalf("round trip: got %+v want %+v", got, c)
+	}
+	if _, err := DecodeConfig(append(b, 0)); err == nil {
+		t.Errorf("trailing byte accepted")
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := DecodeConfig(b[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	b2 := append([]byte(nil), b...)
+	b2[0] = 0x7f
+	if _, err := DecodeConfig(b2); err == nil {
+		t.Errorf("version skew accepted")
+	}
+}

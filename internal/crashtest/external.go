@@ -1,0 +1,542 @@
+package crashtest
+
+// External-history oracle: the serial-oracle contract of this package
+// (recovered state = some serial order of the committed actions, §6)
+// restated for histories observed from *outside* a cluster of real
+// processes, where the chaos harness sees only what its clients saw.
+//
+// The harness records every request attempt it issued, with one of
+// three externally-knowable outcomes:
+//
+//   - Acked: the reply said OK. The op executed exactly once (the
+//     driver disables client-internal retries, so one attempt is one
+//     wire request).
+//   - NotExecuted: the failure proves the request never reached a
+//     handler (the server refused it before dispatch — StatusRetry —
+//     or the connection failed before the request was written). It
+//     must have no effect, ever.
+//   - InDoubt: the attempt failed below the reply — timeout, killed
+//     connection, dead server. Under the Lampson–Sturgis fault model
+//     the request MAY have executed (and with 2PC, may even commit
+//     after the failure is reported), so its effect is a free 0/1
+//     variable.
+//
+// The oracle then asks: does ANY assignment of the in-doubt variables
+// explain the final state read back after heal? Three structural
+// facts make this exact rather than heuristic:
+//
+//   - The driver serializes attempts per key, so each key's acked
+//     effects apply in issue order (an acked attempt's execution is
+//     inside its attempt window, and windows on one key are disjoint).
+//     An in-doubt attempt's execution may be delayed past later
+//     windows (its request can sit in a server queue), which is why
+//     it stays a free variable to the end rather than resolving at
+//     the next acked op.
+//   - Counter keys take only commutative deltas, so a key's final
+//     value is exactly (sum of acked deltas) + (sum of the chosen
+//     in-doubt deltas) regardless of execution order.
+//   - A transaction is ONE variable spanning all its keys: there is no
+//     assignment in which it half-executes, so a state explainable
+//     only by a split transaction is reported as the atomicity
+//     violation it is.
+//
+// Violations the oracle can prove: an acked op lost (no assignment
+// reaches the final value), a never-executed op's effect present, a
+// transaction applied non-atomically, and a stale read on a key with
+// no in-doubt taint. "Zero acked-but-lost" in the acceptance criteria
+// is exactly CheckExternal returning nil.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ExtKind classifies an externally-driven attempt.
+type ExtKind uint8
+
+const (
+	// ExtGet reads one key.
+	ExtGet ExtKind = iota + 1
+	// ExtPut blind-writes Value to a blob key.
+	ExtPut
+	// ExtIncr adds Deltas[0] to a counter key.
+	ExtIncr
+	// ExtTxn atomically applies Deltas across counter Keys.
+	ExtTxn
+)
+
+var extKindNames = [...]string{
+	ExtGet:  "get",
+	ExtPut:  "put",
+	ExtIncr: "incr",
+	ExtTxn:  "txn",
+}
+
+func (k ExtKind) String() string {
+	if int(k) < len(extKindNames) && extKindNames[k] != "" {
+		return extKindNames[k]
+	}
+	return fmt.Sprintf("extkind(%d)", uint8(k))
+}
+
+// ExtOutcome is what the attempt's reply proved.
+type ExtOutcome uint8
+
+const (
+	// ExtAcked: OK reply; executed exactly once.
+	ExtAcked ExtOutcome = iota + 1
+	// ExtInDoubt: failed below the reply; may have executed.
+	ExtInDoubt
+	// ExtNotExecuted: refused before dispatch; never executed.
+	ExtNotExecuted
+)
+
+var extOutcomeNames = [...]string{
+	ExtAcked:       "acked",
+	ExtInDoubt:     "in-doubt",
+	ExtNotExecuted: "not-executed",
+}
+
+func (o ExtOutcome) String() string {
+	if int(o) < len(extOutcomeNames) && extOutcomeNames[o] != "" {
+		return extOutcomeNames[o]
+	}
+	return fmt.Sprintf("extoutcome(%d)", uint8(o))
+}
+
+// ExtAttempt is one wire request as the harness saw it. Record them in
+// issue order; the per-key serialization the oracle relies on means a
+// key's attempts never overlap in time.
+type ExtAttempt struct {
+	// Seq is the attempt's issue order, assigned by ExtHistory.Record.
+	Seq int
+	// Kind classifies the attempt.
+	Kind ExtKind
+	// Keys are the touched keys (one for Get/Put/Incr, the spanned
+	// counter keys for Txn).
+	Keys []string
+	// Deltas are the per-key increments (Incr/Txn).
+	Deltas []int64
+	// Value is the put payload.
+	Value string
+	// Outcome is what the reply proved.
+	Outcome ExtOutcome
+	// GetValue and GetAbsent carry an acked get's observation: the
+	// value read, or that the key did not exist.
+	GetValue  string
+	GetAbsent bool
+}
+
+// ExtHistory accumulates attempts. Safe for single-goroutine use; the
+// chaos driver serializes Record calls behind its own lock.
+type ExtHistory struct {
+	attempts []ExtAttempt
+}
+
+// Record appends a and assigns its Seq.
+func (h *ExtHistory) Record(a ExtAttempt) {
+	a.Seq = len(h.attempts)
+	h.attempts = append(h.attempts, a)
+}
+
+// Attempts returns the recorded history in issue order.
+func (h *ExtHistory) Attempts() []ExtAttempt { return h.attempts }
+
+// ExtFinal is the state read back after heal and quiesce. Keys absent
+// from both maps are absent from the store; the reader must have
+// probed every key the history touched.
+type ExtFinal struct {
+	// Counters holds the present counter keys' values.
+	Counters map[string]int64
+	// Blobs holds the present blob keys' values.
+	Blobs map[string]string
+}
+
+// ExtReport summarizes a checked history.
+type ExtReport struct {
+	Attempts    int
+	Acked       int
+	InDoubt     int
+	NotExecuted int
+	// Keys is how many distinct keys the history touched.
+	Keys int
+	// Components is how many in-doubt connected components the
+	// subset search solved.
+	Components int
+	// States is the largest reachable-sum state set a component
+	// needed.
+	States int
+}
+
+// maxOracleStates bounds the reachable-sum search; past it the episode
+// is too tangled to verify and the check errors rather than guessing.
+const maxOracleStates = 1 << 15
+
+// CheckExternal verifies final against the recorded history. It
+// returns a non-nil error naming the first violation found, and the
+// report either way.
+func CheckExternal(h *ExtHistory, final ExtFinal) (ExtReport, error) {
+	rep := ExtReport{Attempts: len(h.attempts)}
+	keys := map[string]*extKey{}
+	var keyOrder []string
+	key := func(name string) *extKey {
+		k, ok := keys[name]
+		if !ok {
+			k = &extKey{name: name}
+			keys[name] = k
+			keyOrder = append(keyOrder, name)
+		}
+		return k
+	}
+	// First pass: classify keys, accumulate acked effects, collect
+	// in-doubt variables, and verify acked-get observations inline.
+	var inDoubt []ExtAttempt
+	for _, a := range h.attempts {
+		switch a.Outcome {
+		case ExtAcked:
+			rep.Acked++
+		case ExtInDoubt:
+			rep.InDoubt++
+		case ExtNotExecuted:
+			rep.NotExecuted++
+		default:
+			return rep, fmt.Errorf("attempt %d: unknown outcome %v", a.Seq, a.Outcome)
+		}
+		switch a.Kind {
+		case ExtGet:
+			k := key(a.Keys[0])
+			if a.Outcome == ExtAcked {
+				if err := k.observe(a); err != nil {
+					return rep, err
+				}
+			}
+			// A failed get has no effect; an unexecuted one neither.
+		case ExtPut:
+			k := key(a.Keys[0])
+			if err := k.setClass(classBlob, a.Seq); err != nil {
+				return rep, err
+			}
+			switch a.Outcome {
+			case ExtAcked:
+				k.lastAckedPut = a.Value
+				k.ackedPuts++
+			case ExtInDoubt:
+				k.inDoubtPuts = append(k.inDoubtPuts, a.Value)
+				k.taint = true
+			}
+		case ExtIncr, ExtTxn:
+			if len(a.Keys) != len(a.Deltas) {
+				return rep, fmt.Errorf("attempt %d: %d keys, %d deltas", a.Seq, len(a.Keys), len(a.Deltas))
+			}
+			for i, name := range a.Keys {
+				k := key(name)
+				if err := k.setClass(classCounter, a.Seq); err != nil {
+					return rep, err
+				}
+				switch a.Outcome {
+				case ExtAcked:
+					k.ackedSum += a.Deltas[i]
+					k.ackedIncrs++
+				case ExtInDoubt:
+					k.taint = true
+				}
+			}
+			if a.Outcome == ExtInDoubt {
+				inDoubt = append(inDoubt, a)
+			}
+		default:
+			return rep, fmt.Errorf("attempt %d: unknown kind %v", a.Seq, a.Kind)
+		}
+	}
+	rep.Keys = len(keyOrder)
+
+	// Blob keys check locally: the final value must be the last acked
+	// put or some in-doubt put (which may have executed after it).
+	for _, name := range keyOrder {
+		k := keys[name]
+		if k.class != classBlob {
+			continue
+		}
+		v, present := final.Blobs[name]
+		switch {
+		case !present && k.ackedPuts > 0:
+			return rep, fmt.Errorf("key %s: acked put lost: key absent after %d acked puts", name, k.ackedPuts)
+		case present && k.ackedPuts == 0 && len(k.inDoubtPuts) == 0:
+			return rep, fmt.Errorf("key %s: phantom value %q: no put could have executed", name, v)
+		case present:
+			ok := k.ackedPuts > 0 && v == k.lastAckedPut
+			for _, w := range k.inDoubtPuts {
+				ok = ok || v == w
+			}
+			if !ok {
+				return rep, fmt.Errorf("key %s: final value %q is neither the last acked put %q nor any in-doubt put", name, v, k.lastAckedPut)
+			}
+		}
+	}
+
+	// Counter keys: group by in-doubt transactions (union-find), then
+	// per component ask whether any 0/1 assignment of its in-doubt
+	// attempts reaches the final values.
+	uf := newUnionFind()
+	for _, a := range inDoubt {
+		for i := 1; i < len(a.Keys); i++ {
+			uf.union(a.Keys[0], a.Keys[i])
+		}
+	}
+	comps := map[string][]string{}
+	var compRoots []string
+	for _, name := range keyOrder {
+		if keys[name].class != classCounter {
+			continue
+		}
+		root := uf.find(name)
+		if _, ok := comps[root]; !ok {
+			compRoots = append(compRoots, root)
+		}
+		comps[root] = append(comps[root], name)
+	}
+	attemptsByRoot := map[string][]ExtAttempt{}
+	for _, a := range inDoubt {
+		root := uf.find(a.Keys[0])
+		attemptsByRoot[root] = append(attemptsByRoot[root], a)
+	}
+	for _, root := range compRoots {
+		rep.Components++
+		states, err := checkComponent(comps[root], attemptsByRoot[root], keys, final)
+		if states > rep.States {
+			rep.States = states
+		}
+		if err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+type extClass uint8
+
+const (
+	classUnknown extClass = iota
+	classCounter
+	classBlob
+)
+
+// extKey is the oracle's per-key accumulator.
+type extKey struct {
+	name  string
+	class extClass
+	// taint marks that an in-doubt mutating attempt has touched the
+	// key; acked gets after the first taint carry no exact
+	// expectation (the in-doubt request may execute at any later
+	// point), so observation checking stops there.
+	taint bool
+
+	// Counter state.
+	ackedSum   int64
+	ackedIncrs int
+
+	// Blob state.
+	lastAckedPut string
+	ackedPuts    int
+	inDoubtPuts  []string
+}
+
+func (k *extKey) setClass(c extClass, seq int) error {
+	if k.class == classUnknown {
+		k.class = c
+	}
+	if k.class != c {
+		return fmt.Errorf("attempt %d: key %s used as both counter and blob", seq, k.name)
+	}
+	return nil
+}
+
+// observe scores an acked get against the key's exact expectation,
+// valid only before the first in-doubt taint.
+func (k *extKey) observe(a ExtAttempt) error {
+	if k.taint {
+		return nil
+	}
+	switch k.class {
+	case classUnknown:
+		// Nothing could have executed yet: the key must not exist.
+		if !a.GetAbsent {
+			return fmt.Errorf("attempt %d: key %s read %q before any mutation", a.Seq, k.name, a.GetValue)
+		}
+	case classCounter:
+		if k.ackedIncrs == 0 {
+			if !a.GetAbsent {
+				return fmt.Errorf("attempt %d: key %s read %q with no acked increments", a.Seq, k.name, a.GetValue)
+			}
+			return nil
+		}
+		want := fmt.Sprintf("%d", k.ackedSum)
+		if a.GetAbsent || a.GetValue != want {
+			return fmt.Errorf("attempt %d: stale read on %s: got %s, want %s (no in-doubt taint)",
+				a.Seq, k.name, renderGet(a), want)
+		}
+	case classBlob:
+		if k.ackedPuts == 0 {
+			if !a.GetAbsent {
+				return fmt.Errorf("attempt %d: key %s read %q with no acked puts", a.Seq, k.name, a.GetValue)
+			}
+			return nil
+		}
+		if a.GetAbsent || a.GetValue != k.lastAckedPut {
+			return fmt.Errorf("attempt %d: stale read on %s: got %s, want %q (no in-doubt taint)",
+				a.Seq, k.name, renderGet(a), k.lastAckedPut)
+		}
+	}
+	return nil
+}
+
+func renderGet(a ExtAttempt) string {
+	if a.GetAbsent {
+		return "absent"
+	}
+	return fmt.Sprintf("%q", a.GetValue)
+}
+
+// checkComponent runs the reachable-sum search over one connected
+// component: state = (per-key sums of chosen in-doubt deltas, bitmask
+// of keys any chosen attempt created). It reports the peak state count
+// and a violation error if no assignment explains the final values.
+func checkComponent(names []string, attempts []ExtAttempt, keys map[string]*extKey, final ExtFinal) (int, error) {
+	sort.Strings(names)
+	idx := map[string]int{}
+	for i, n := range names {
+		idx[n] = i
+	}
+	type state struct {
+		sums    string // encoded per-key sums
+		created uint64 // which keys some chosen attempt touched
+	}
+	encode := func(sums []int64) string {
+		var b strings.Builder
+		for _, s := range sums {
+			fmt.Fprintf(&b, "%d,", s)
+		}
+		return b.String()
+	}
+	// reach is the deduplicating set; order is its insertion-ordered
+	// mirror, so iteration never touches map order (this package is
+	// sweep-deterministic).
+	zero := make([]int64, len(names))
+	start := state{sums: encode(zero)}
+	reach := map[state][]int64{start: zero}
+	order := []state{start}
+	peak := 1
+	for _, a := range attempts {
+		next := make(map[state][]int64, 2*len(reach))
+		nextOrder := make([]state, 0, 2*len(order))
+		add := func(st state, sums []int64) {
+			if _, ok := next[st]; !ok {
+				next[st] = sums
+				nextOrder = append(nextOrder, st)
+			}
+		}
+		for _, st := range order {
+			sums := reach[st]
+			// Excluded: state carries over.
+			add(st, sums)
+			// Included: add the attempt's deltas.
+			withSums := append([]int64(nil), sums...)
+			created := st.created
+			for i, name := range a.Keys {
+				j, ok := idx[name]
+				if !ok {
+					return peak, fmt.Errorf("attempt %d: key %s outside its component", a.Seq, name)
+				}
+				withSums[j] += a.Deltas[i]
+				created |= 1 << uint(j)
+			}
+			add(state{sums: encode(withSums), created: created}, withSums)
+		}
+		reach, order = next, nextOrder
+		if len(reach) > peak {
+			peak = len(reach)
+		}
+		if len(reach) > maxOracleStates {
+			return peak, fmt.Errorf("oracle state explosion: %d reachable states over %d in-doubt attempts; bound the episode", len(reach), len(attempts))
+		}
+	}
+	// Which assignments match the final state? A key is present with
+	// value v iff ackedSum + chosen = v and something created it; a
+	// key is absent iff it has no acked attempts and no chosen attempt
+	// touched it.
+	for _, st := range order {
+		sums := reach[st]
+		ok := true
+		for j, name := range names {
+			k := keys[name]
+			v, present := final.Counters[name]
+			switch {
+			case present:
+				if k.ackedSum+sums[j] != v {
+					ok = false
+				}
+				if k.ackedIncrs == 0 && st.created&(1<<uint(j)) == 0 {
+					ok = false // present but nothing could have created it
+				}
+			default:
+				// Absent: no acked effect and no chosen attempt.
+				if k.ackedIncrs > 0 || st.created&(1<<uint(j)) != 0 {
+					ok = false
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return peak, nil
+		}
+	}
+	return peak, componentError(names, attempts, keys, final)
+}
+
+// componentError renders the unexplainable component's evidence.
+func componentError(names []string, attempts []ExtAttempt, keys map[string]*extKey, final ExtFinal) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "no in-doubt assignment explains the final state of component {%s}:", strings.Join(names, " "))
+	for _, name := range names {
+		k := keys[name]
+		v, present := final.Counters[name]
+		if present {
+			fmt.Fprintf(&b, " %s: final %d, acked sum %d (%d acked);", name, v, k.ackedSum, k.ackedIncrs)
+		} else {
+			fmt.Fprintf(&b, " %s: absent, acked sum %d (%d acked);", name, k.ackedSum, k.ackedIncrs)
+		}
+	}
+	fmt.Fprintf(&b, " %d in-doubt attempts", len(attempts))
+	return fmt.Errorf("%s", b.String())
+}
+
+// unionFind is a plain path-compressing union-find over key names.
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: map[string]string{}} }
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}

@@ -1,0 +1,206 @@
+package crashtest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func acked(kind ExtKind, keys []string, deltas []int64) ExtAttempt {
+	return ExtAttempt{Kind: kind, Keys: keys, Deltas: deltas, Outcome: ExtAcked}
+}
+
+func inDoubt(kind ExtKind, keys []string, deltas []int64) ExtAttempt {
+	return ExtAttempt{Kind: kind, Keys: keys, Deltas: deltas, Outcome: ExtInDoubt}
+}
+
+func checkErr(t *testing.T, h *ExtHistory, final ExtFinal, wantSubstr string) {
+	t.Helper()
+	_, err := CheckExternal(h, final)
+	switch {
+	case wantSubstr == "" && err != nil:
+		t.Fatalf("unexpected violation: %v", err)
+	case wantSubstr != "" && err == nil:
+		t.Fatalf("violation %q not detected", wantSubstr)
+	case wantSubstr != "" && !strings.Contains(err.Error(), wantSubstr):
+		t.Fatalf("got %v, want substring %q", err, wantSubstr)
+	}
+}
+
+// TestExternalAckedLost: the acceptance criterion's core case — an
+// acked increment missing from the final state is a violation; present
+// is a pass.
+func TestExternalAckedLost(t *testing.T) {
+	h := &ExtHistory{}
+	h.Record(acked(ExtIncr, []string{"a"}, []int64{5}))
+	h.Record(acked(ExtIncr, []string{"a"}, []int64{3}))
+	checkErr(t, h, ExtFinal{Counters: map[string]int64{"a": 8}}, "")
+	checkErr(t, h, ExtFinal{Counters: map[string]int64{"a": 5}}, "no in-doubt assignment")
+	checkErr(t, h, ExtFinal{}, "no in-doubt assignment") // key absent entirely
+}
+
+// TestExternalInDoubtEitherWay: an in-doubt increment may or may not
+// have executed; both final values pass, anything else fails.
+func TestExternalInDoubtEitherWay(t *testing.T) {
+	for _, final := range []int64{5, 12} {
+		h := &ExtHistory{}
+		h.Record(acked(ExtIncr, []string{"a"}, []int64{5}))
+		h.Record(inDoubt(ExtIncr, []string{"a"}, []int64{7}))
+		checkErr(t, h, ExtFinal{Counters: map[string]int64{"a": final}}, "")
+	}
+	h := &ExtHistory{}
+	h.Record(acked(ExtIncr, []string{"a"}, []int64{5}))
+	h.Record(inDoubt(ExtIncr, []string{"a"}, []int64{7}))
+	checkErr(t, h, ExtFinal{Counters: map[string]int64{"a": 7}}, "no in-doubt assignment")
+}
+
+// TestExternalNotExecuted: a refused-before-dispatch attempt must have
+// no effect, ever.
+func TestExternalNotExecuted(t *testing.T) {
+	h := &ExtHistory{}
+	h.Record(acked(ExtIncr, []string{"a"}, []int64{5}))
+	h.Record(ExtAttempt{Kind: ExtIncr, Keys: []string{"a"}, Deltas: []int64{7}, Outcome: ExtNotExecuted})
+	checkErr(t, h, ExtFinal{Counters: map[string]int64{"a": 5}}, "")
+	checkErr(t, h, ExtFinal{Counters: map[string]int64{"a": 12}}, "no in-doubt assignment")
+}
+
+// TestExternalTxnAtomicity: an in-doubt transfer applies to all its
+// keys or none — a half-applied transfer is the violation the single
+// 0/1 variable construction exists to catch.
+func TestExternalTxnAtomicity(t *testing.T) {
+	base := func() *ExtHistory {
+		h := &ExtHistory{}
+		h.Record(acked(ExtIncr, []string{"a"}, []int64{10}))
+		h.Record(acked(ExtIncr, []string{"b"}, []int64{10}))
+		h.Record(inDoubt(ExtTxn, []string{"a", "b"}, []int64{-4, 4}))
+		return h
+	}
+	checkErr(t, base(), ExtFinal{Counters: map[string]int64{"a": 10, "b": 10}}, "") // not executed
+	checkErr(t, base(), ExtFinal{Counters: map[string]int64{"a": 6, "b": 14}}, "")  // executed
+	checkErr(t, base(), ExtFinal{Counters: map[string]int64{"a": 6, "b": 10}}, "no in-doubt assignment")
+	checkErr(t, base(), ExtFinal{Counters: map[string]int64{"a": 10, "b": 14}}, "no in-doubt assignment")
+}
+
+// TestExternalConservation: zero-sum transfers cannot change the total
+// no matter which subset landed; a total drift is always detected.
+func TestExternalConservation(t *testing.T) {
+	h := &ExtHistory{}
+	h.Record(acked(ExtIncr, []string{"a"}, []int64{100}))
+	h.Record(inDoubt(ExtTxn, []string{"a", "b"}, []int64{-30, 30}))
+	h.Record(inDoubt(ExtTxn, []string{"b", "c"}, []int64{-10, 10}))
+	// All four subsets are fine…
+	for _, f := range []map[string]int64{
+		{"a": 100},
+		{"a": 70, "b": 30},
+		{"a": 70, "b": 20, "c": 10},
+	} {
+		checkErr(t, h, ExtFinal{Counters: f}, "")
+	}
+	// …but created money is not: a+b+c must stay 100.
+	checkErr(t, h, ExtFinal{Counters: map[string]int64{"a": 70, "b": 30, "c": 10}}, "no in-doubt assignment")
+}
+
+// TestExternalPhantomCreate: a counter present with no acked and no
+// chosen in-doubt creator is phantom state. The subtle shape: value 0
+// — sums match trivially, only the created-bitmask check catches it.
+func TestExternalPhantomCreate(t *testing.T) {
+	h := &ExtHistory{}
+	h.Record(acked(ExtIncr, []string{"a"}, []int64{1}))
+	checkErr(t, h, ExtFinal{Counters: map[string]int64{"a": 1, "zzz": 0}}, "")
+	// "zzz" never appears in the history: CheckExternal only scores
+	// keys the history touched, so the driver pairs it with a probe
+	// pass. An untouched-but-probed key is the driver's business; a
+	// touched key with an unexplainable 0 is ours:
+	h2 := &ExtHistory{}
+	h2.Record(ExtAttempt{Kind: ExtIncr, Keys: []string{"b"}, Deltas: []int64{4}, Outcome: ExtNotExecuted})
+	h2.Record(ExtAttempt{Kind: ExtGet, Keys: []string{"b"}, Outcome: ExtAcked, GetAbsent: true})
+	checkErr(t, h2, ExtFinal{Counters: map[string]int64{"b": 0}}, "no in-doubt assignment")
+}
+
+// TestExternalBlobMembership: the final blob value must be the last
+// acked put or some in-doubt put.
+func TestExternalBlobMembership(t *testing.T) {
+	h := func() *ExtHistory {
+		h := &ExtHistory{}
+		h.Record(ExtAttempt{Kind: ExtPut, Keys: []string{"x"}, Value: "v1", Outcome: ExtAcked})
+		h.Record(ExtAttempt{Kind: ExtPut, Keys: []string{"x"}, Value: "v2", Outcome: ExtInDoubt})
+		h.Record(ExtAttempt{Kind: ExtPut, Keys: []string{"x"}, Value: "v3", Outcome: ExtAcked})
+		return h
+	}
+	checkErr(t, h(), ExtFinal{Blobs: map[string]string{"x": "v3"}}, "") // last acked
+	checkErr(t, h(), ExtFinal{Blobs: map[string]string{"x": "v2"}}, "") // delayed in-doubt
+	checkErr(t, h(), ExtFinal{Blobs: map[string]string{"x": "v1"}}, "neither the last acked put")
+	checkErr(t, h(), ExtFinal{}, "acked put lost")
+	empty := &ExtHistory{}
+	empty.Record(ExtAttempt{Kind: ExtPut, Keys: []string{"y"}, Value: "v", Outcome: ExtNotExecuted})
+	checkErr(t, empty, ExtFinal{Blobs: map[string]string{"y": "v"}}, "phantom value")
+}
+
+// TestExternalGetObservations: an acked read on an untainted key must
+// see exactly the acked state; after the first in-doubt mutation the
+// key carries no exact expectation.
+func TestExternalGetObservations(t *testing.T) {
+	h := &ExtHistory{}
+	h.Record(acked(ExtIncr, []string{"a"}, []int64{5}))
+	h.Record(ExtAttempt{Kind: ExtGet, Keys: []string{"a"}, Outcome: ExtAcked, GetValue: "5"})
+	checkErr(t, h, ExtFinal{Counters: map[string]int64{"a": 5}}, "")
+
+	stale := &ExtHistory{}
+	stale.Record(acked(ExtIncr, []string{"a"}, []int64{5}))
+	stale.Record(ExtAttempt{Kind: ExtGet, Keys: []string{"a"}, Outcome: ExtAcked, GetValue: "0"})
+	checkErr(t, stale, ExtFinal{Counters: map[string]int64{"a": 5}}, "stale read")
+
+	tainted := &ExtHistory{}
+	tainted.Record(acked(ExtIncr, []string{"a"}, []int64{5}))
+	tainted.Record(inDoubt(ExtIncr, []string{"a"}, []int64{7}))
+	tainted.Record(ExtAttempt{Kind: ExtGet, Keys: []string{"a"}, Outcome: ExtAcked, GetValue: "12"})
+	checkErr(t, tainted, ExtFinal{Counters: map[string]int64{"a": 12}}, "")
+
+	preMutation := &ExtHistory{}
+	preMutation.Record(ExtAttempt{Kind: ExtGet, Keys: []string{"n"}, Outcome: ExtAcked, GetAbsent: true})
+	checkErr(t, preMutation, ExtFinal{}, "")
+	preBad := &ExtHistory{}
+	preBad.Record(ExtAttempt{Kind: ExtGet, Keys: []string{"n"}, Outcome: ExtAcked, GetValue: "1"})
+	checkErr(t, preBad, ExtFinal{}, "before any mutation")
+}
+
+// TestExternalMixedClass: one key used as both counter and blob is a
+// harness bug the oracle refuses to paper over.
+func TestExternalMixedClass(t *testing.T) {
+	h := &ExtHistory{}
+	h.Record(acked(ExtIncr, []string{"k"}, []int64{1}))
+	h.Record(ExtAttempt{Kind: ExtPut, Keys: []string{"k"}, Value: "v", Outcome: ExtAcked})
+	checkErr(t, h, ExtFinal{Counters: map[string]int64{"k": 1}}, "both counter and blob")
+}
+
+// TestExternalComponentScale: many in-doubt deltas on overlapping keys
+// stay tractable — the reachable-sum set grows with distinct sums, not
+// 2^n — and the report carries the component accounting.
+func TestExternalComponentScale(t *testing.T) {
+	h := &ExtHistory{}
+	total := int64(0)
+	for i := 0; i < 24; i++ {
+		k := fmt.Sprintf("k%d", i%3)
+		h.Record(acked(ExtIncr, []string{k}, []int64{1}))
+		h.Record(inDoubt(ExtIncr, []string{k}, []int64{1}))
+		if i%3 == 0 {
+			total++
+		}
+	}
+	// Chain the three keys into one component.
+	h.Record(inDoubt(ExtTxn, []string{"k0", "k1"}, []int64{-1, 1}))
+	h.Record(inDoubt(ExtTxn, []string{"k1", "k2"}, []int64{-1, 1}))
+	rep, err := CheckExternal(h, ExtFinal{Counters: map[string]int64{"k0": 8, "k1": 8, "k2": 8}})
+	if err != nil {
+		t.Fatalf("CheckExternal: %v", err)
+	}
+	if rep.Components != 1 {
+		t.Fatalf("components %d, want 1", rep.Components)
+	}
+	if rep.InDoubt != 26 || rep.Acked != 24 {
+		t.Fatalf("accounting: %+v", rep)
+	}
+	if rep.States > maxOracleStates {
+		t.Fatalf("peak states %d over bound", rep.States)
+	}
+}

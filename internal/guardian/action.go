@@ -9,6 +9,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/object"
 	"repro/internal/simplelog"
+	"repro/internal/stable"
 	"repro/internal/twopc"
 	"repro/internal/value"
 )
@@ -426,12 +427,29 @@ func (g *Guardian) Done(aid ids.ActionID) error {
 
 // Commit commits a top-level action whose only participant is its own
 // guardian: the full §2.2 sequence with coordinator == participant.
+//
+// The committing record is the point of no return (§2.2.3). A full
+// disk (stable.ErrNoSpace) is a deterministic refusal, not a device
+// fault, and the guardian keeps serving through it — so the commit
+// sequence must stay coherent across a refusal at any step. Before
+// the committing record is durable, a refused force aborts the action
+// and rolls its volatile state back without writing anything (presumed
+// abort: the missing outcome record IS the abort, and a leaked lock
+// would wedge the key until restart). After it is durable the outcome
+// is fixed: a refused committed-record force must still surface as
+// success, with the versions installed, because recovery will re-drive
+// the commit from the committing record no matter what the caller was
+// told. Any other storage failure is treated as a crash and propagates
+// untouched — no volatile cleanup, no further writes.
 func (a *Action) Commit() error {
 	if _, err := a.state(); err != nil {
 		return err
 	}
 	vote, err := a.g.HandlePrepare(a.id)
 	if err != nil {
+		if errors.Is(err, stable.ErrNoSpace) {
+			a.g.applyVerdict(a.id, false)
+		}
 		return err
 	}
 	if vote == twopc.VoteReadOnly {
@@ -443,12 +461,32 @@ func (a *Action) Commit() error {
 		return fmt.Errorf("guardian: local prepare of %v voted abort", a.id)
 	}
 	if err := a.g.Committing(a.id, []ids.GuardianID{a.g.id}); err != nil {
+		if errors.Is(err, stable.ErrNoSpace) {
+			a.g.applyVerdict(a.id, false)
+		}
 		return err
 	}
+	// Point of no return.
 	if err := a.g.HandleCommit(a.id); err != nil {
-		return err
+		if !errors.Is(err, stable.ErrNoSpace) {
+			return err
+		}
+		// The committed-record force was refused, but the committing
+		// record already decides recovery: install the versions and
+		// report the commit the log has fixed. The coordinator-table
+		// entry stays behind for settleSelf to re-force on the next
+		// boot.
+		a.g.applyVerdict(a.id, true)
+		return nil
 	}
-	return a.g.Done(a.id)
+	if err := a.g.Done(a.id); err != nil {
+		if !errors.Is(err, stable.ErrNoSpace) {
+			return err
+		}
+		// The done record only truncates the coordinator table; a
+		// refused force leaves a committing entry recovery re-resolves.
+	}
+	return nil
 }
 
 // Abort aborts the action at this guardian, discarding its versions.

@@ -99,6 +99,11 @@ func (c *Checker) Emit(e Event) {
 		// log is quorum-gated only once a replicator speaks again.
 		s.replicated = false
 		s.repBound = 0
+		// A reopened log means the process (re)started; any writer
+		// critical section of a previous incarnation died with it — a
+		// crashed holder must not pin R2 depth for the successor (seen
+		// in merged chaos traces when a SIGKILL lands mid-crit).
+		s.crit = 0
 
 	case KindForceDone:
 		if e.OK {

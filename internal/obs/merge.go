@@ -1,0 +1,192 @@
+package obs
+
+// Multi-node trace merging. Each chaos-testnet process leaves its own
+// trace file; the Checker's rules are stated over one stream per
+// guardian, so before checking, the harness merges the per-process
+// streams into a single causally-plausible order. The merge is a
+// greedy topological sort honoring, in priority order:
+//
+//  1. Per-stream order: a process's own events never reorder.
+//  2. Guardian continuity: a guardian id that appears in several
+//     streams (a SIGKILLed primary whose gid a promoted backup
+//     adopts, a restarted node's successor process) emits its events
+//     in stream order — callers pass streams in process-start order,
+//     and a later process only owns a gid after the earlier owner
+//     died, so all of the earlier stream's events for that gid
+//     happened first. This is what keeps R1/R4 state sound across a
+//     takeover: the promoted log.open must not reset the boundary
+//     before the dead primary's remaining outcome events are scored.
+//  3. Replication edges: a backup's rep.recv for boundary d follows a
+//     rep.send whose run ends at d; a primary's rep.ack at boundary d
+//     follows some rep.recv reaching d on the acked replica.
+//  4. 2PC edges: a participant's committed outcome append for action A
+//     follows the coordinator guardian's committing append for A.
+//
+// Edges 3 and 4 are best-effort: they only constrain when the matching
+// cause exists somewhere in the input (a truncated trace may have lost
+// it — the effect is then released, because the cause certainly
+// happened before the truncation took the record). If the constraints
+// ever wedge — possible only with inconsistent inputs — the merge
+// releases the lowest-indexed blocked stream and records a warning
+// rather than dropping events.
+
+import "fmt"
+
+// NodeTrace is one process's stream, as read by ReadTraceFile. Pass
+// streams to MergeTraces in process-start order.
+type NodeTrace struct {
+	// Node names the emitting process (trace-file header).
+	Node string
+	// Events is the stream in emission order.
+	Events []Event
+}
+
+// MergeTraces merges per-process streams into one stream, re-assigning
+// Seq. Warnings report constraint releases (inconsistent or truncated
+// inputs); a clean merge returns none.
+func MergeTraces(streams []NodeTrace) ([]Event, []string) {
+	total := 0
+	for _, s := range streams {
+		total += len(s.Events)
+	}
+	m := &merger{
+		streams:       streams,
+		frontier:      make([]int, len(streams)),
+		gidTotal:      make([]map[uint64]int, len(streams)),
+		gidEmitted:    make([]map[uint64]int, len(streams)),
+		sendTotal:     map[uint64]int{},
+		sendEmitted:   map[uint64]int{},
+		recvEmitted:   map[uint64]int{},
+		recvMax:       map[uint64]uint64{},
+		recvMaxTotal:  map[uint64]uint64{},
+		committing:    map[string]bool{},
+		committingAll: map[string]bool{},
+	}
+	for i, s := range streams {
+		m.gidTotal[i] = map[uint64]int{}
+		m.gidEmitted[i] = map[uint64]int{}
+		for _, e := range s.Events {
+			m.gidTotal[i][e.Gid]++
+			switch e.Kind {
+			case KindRepSend:
+				m.sendTotal[e.Durable+uint64(e.Bytes)]++
+			case KindRepRecv:
+				if e.Durable > m.recvMaxTotal[e.Gid] {
+					m.recvMaxTotal[e.Gid] = e.Durable
+				}
+			case KindOutcomeAppend:
+				if OutcomeKind(e.Code) == OutcomeCommitting {
+					m.committingAll[e.AID.String()] = true
+				}
+			}
+		}
+	}
+	merged := make([]Event, 0, total)
+	for len(merged) < total {
+		picked := -1
+		for i := range streams {
+			if m.frontier[i] < len(streams[i].Events) && m.ready(i) {
+				picked = i
+				break
+			}
+		}
+		if picked < 0 {
+			// Wedged: inconsistent inputs. Release the lowest-indexed
+			// blocked stream so every event still lands in the output.
+			for i := range streams {
+				if m.frontier[i] < len(streams[i].Events) {
+					picked = i
+					break
+				}
+			}
+			e := streams[picked].Events[m.frontier[picked]]
+			m.warnings = append(m.warnings, fmt.Sprintf(
+				"merge: released blocked %v (stream %d %q, seq %d): cause not yet emitted",
+				e.Kind, picked, streams[picked].Node, e.Seq))
+		}
+		merged = append(merged, m.emit(picked))
+	}
+	for i := range merged {
+		merged[i].Seq = uint64(i) + 1
+	}
+	return merged, m.warnings
+}
+
+type merger struct {
+	streams  []NodeTrace
+	frontier []int
+
+	// gidTotal/gidEmitted count events per (stream, gid) for the
+	// guardian-continuity rule.
+	gidTotal, gidEmitted []map[uint64]int
+	// sendTotal/sendEmitted count rep.send runs by end boundary;
+	// recvEmitted counts rep.recv by boundary.
+	sendTotal, sendEmitted, recvEmitted map[uint64]int
+	// recvMax/recvMaxTotal track the highest emitted / existing
+	// rep.recv boundary per replica gid, for the ack edge.
+	recvMax, recvMaxTotal map[uint64]uint64
+	// committing/committingAll track committing outcome appends by
+	// action id (emitted / anywhere in the input).
+	committing, committingAll map[string]bool
+
+	warnings []string
+}
+
+// ready reports whether stream i's frontier event may be emitted now.
+func (m *merger) ready(i int) bool {
+	e := m.streams[i].Events[m.frontier[i]]
+	// Guardian continuity: earlier-started streams flush this gid
+	// first. Gid 0 is not a guardian (unstamped events) — exempt.
+	if e.Gid != 0 {
+		for j := 0; j < i; j++ {
+			if m.gidEmitted[j][e.Gid] < m.gidTotal[j][e.Gid] {
+				return false
+			}
+		}
+	}
+	switch e.Kind {
+	case KindRepRecv:
+		// Needs an unconsumed send ending at this boundary, when one
+		// exists at all.
+		if m.sendTotal[e.Durable] > m.recvEmitted[e.Durable] &&
+			m.sendEmitted[e.Durable] <= m.recvEmitted[e.Durable] {
+			return false
+		}
+	case KindRepAck:
+		// Needs the acked replica to have received this far, when its
+		// recv record survived.
+		if m.recvMaxTotal[e.To] >= e.Durable && m.recvMax[e.To] < e.Durable {
+			return false
+		}
+	case KindOutcomeAppend:
+		// A participant's committed append follows the coordinator's
+		// committing append, when the latter was traced.
+		if OutcomeKind(e.Code) == OutcomeCommitted &&
+			uint64(e.AID.Coordinator) != e.Gid &&
+			m.committingAll[e.AID.String()] && !m.committing[e.AID.String()] {
+			return false
+		}
+	}
+	return true
+}
+
+// emit consumes stream i's frontier event and updates the cause state.
+func (m *merger) emit(i int) Event {
+	e := m.streams[i].Events[m.frontier[i]]
+	m.frontier[i]++
+	m.gidEmitted[i][e.Gid]++
+	switch e.Kind {
+	case KindRepSend:
+		m.sendEmitted[e.Durable+uint64(e.Bytes)]++
+	case KindRepRecv:
+		m.recvEmitted[e.Durable]++
+		if e.Durable > m.recvMax[e.Gid] {
+			m.recvMax[e.Gid] = e.Durable
+		}
+	case KindOutcomeAppend:
+		if OutcomeKind(e.Code) == OutcomeCommitting {
+			m.committing[e.AID.String()] = true
+		}
+	}
+	return e
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// positions returns the merged indices of events matching pred.
+func positions(merged []Event, pred func(Event) bool) []int {
+	var out []int
+	for i, e := range merged {
+		if pred(e) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TestMergeGuardianContinuity: a promoted backup's events for the dead
+// primary's gid come after every primary-stream event for that gid —
+// and the merged stream passes the Checker, which it would not if the
+// promoted log.open reset the boundary under the primary's last
+// outcome.
+func TestMergeGuardianContinuity(t *testing.T) {
+	const gid = 5
+	aid := ids.ActionID{Coordinator: gid, Seq: 1}
+	primary := NodeTrace{Node: "p", Events: []Event{
+		{Seq: 1, Kind: KindLogOpen, Gid: gid, Durable: 0},
+		{Seq: 2, Kind: KindOutcomeAppend, Gid: gid, AID: aid, LSN: 0, Code: uint8(OutcomeCommitted)},
+		{Seq: 3, Kind: KindForceDone, Gid: gid, LSN: 0, Durable: 512, Bytes: 512, OK: true},
+		{Seq: 4, Kind: KindOutcomeDurable, Gid: gid, AID: aid, LSN: 0, Code: uint8(OutcomeCommitted)},
+	}}
+	// The backup stream's own-gid traffic happens concurrently; its
+	// events for the primary's gid (the takeover) must sort last.
+	backup := NodeTrace{Node: "b", Events: []Event{
+		{Seq: 1, Kind: KindLogOpen, Gid: 6, Durable: 0},
+		{Seq: 2, Kind: KindRepPromote, Gid: gid, Durable: 512},
+		{Seq: 3, Kind: KindRecoveryStart, Gid: gid},
+		{Seq: 4, Kind: KindRecoveryPhase, Gid: gid, Code: uint8(PhaseResume)},
+		{Seq: 5, Kind: KindLogOpen, Gid: gid, Durable: 512},
+	}}
+	merged, warns := MergeTraces([]NodeTrace{primary, backup})
+	if len(warns) != 0 {
+		t.Fatalf("warnings: %v", warns)
+	}
+	if len(merged) != 9 {
+		t.Fatalf("merged %d events, want 9", len(merged))
+	}
+	lastPrimary := positions(merged, func(e Event) bool { return e.Kind == KindOutcomeDurable })[0]
+	promote := positions(merged, func(e Event) bool { return e.Kind == KindRepPromote })[0]
+	if promote < lastPrimary {
+		t.Fatalf("takeover at %d before primary's outcome at %d", promote, lastPrimary)
+	}
+	ck := NewChecker(nil)
+	for _, e := range merged {
+		ck.Emit(e)
+	}
+	if err := ck.Err(); err != nil {
+		t.Fatalf("checker over merged stream: %v", err)
+	}
+	// Determinism: merging again yields the identical stream.
+	again, _ := MergeTraces([]NodeTrace{primary, backup})
+	if !reflect.DeepEqual(merged, again) {
+		t.Fatalf("merge is not deterministic")
+	}
+}
+
+// TestMergeReplicationEdges: rep.recv sorts after its covering
+// rep.send even when the backup stream is listed first, and rep.ack
+// after the replica's recv.
+func TestMergeReplicationEdges(t *testing.T) {
+	backup := NodeTrace{Node: "b", Events: []Event{
+		{Seq: 1, Kind: KindRepRecv, Gid: 2, Durable: 512, Bytes: 512},
+	}}
+	primary := NodeTrace{Node: "p", Events: []Event{
+		{Seq: 1, Kind: KindRepSend, Gid: 1, From: 1, To: 2, Durable: 0, Bytes: 512},
+		{Seq: 2, Kind: KindRepAck, Gid: 1, From: 1, To: 2, Durable: 512},
+		{Seq: 3, Kind: KindRepQuorum, Gid: 1, Durable: 512, OK: true},
+	}}
+	merged, warns := MergeTraces([]NodeTrace{backup, primary})
+	if len(warns) != 0 {
+		t.Fatalf("warnings: %v", warns)
+	}
+	var order []Kind
+	for _, e := range merged {
+		order = append(order, e.Kind)
+	}
+	want := []Kind{KindRepSend, KindRepRecv, KindRepAck, KindRepQuorum}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+}
+
+// TestMergeTwoPCEdge: a participant's committed append follows the
+// coordinator shard's committing append.
+func TestMergeTwoPCEdge(t *testing.T) {
+	aid := ids.ActionID{Coordinator: 1, Seq: 9}
+	participant := NodeTrace{Node: "s2", Events: []Event{
+		{Seq: 1, Kind: KindOutcomeAppend, Gid: 2, AID: aid, LSN: 0, Code: uint8(OutcomeCommitted)},
+	}}
+	coord := NodeTrace{Node: "s1", Events: []Event{
+		{Seq: 1, Kind: KindOutcomeAppend, Gid: 1, AID: aid, LSN: 0, Code: uint8(OutcomeCommitting)},
+	}}
+	merged, warns := MergeTraces([]NodeTrace{participant, coord})
+	if len(warns) != 0 {
+		t.Fatalf("warnings: %v", warns)
+	}
+	if merged[0].Gid != 1 || merged[1].Gid != 2 {
+		t.Fatalf("committed before committing: %+v", merged)
+	}
+}
+
+// TestMergeTruncatedCause: when the cause record was lost to a torn
+// trace, the effect is released rather than wedging the merge.
+func TestMergeTruncatedCause(t *testing.T) {
+	// The recv's matching send does not exist anywhere (primary trace
+	// lost it): no constraint, no wedge, no warning.
+	backup := NodeTrace{Node: "b", Events: []Event{
+		{Seq: 1, Kind: KindRepRecv, Gid: 2, Durable: 512, Bytes: 512},
+	}}
+	merged, warns := MergeTraces([]NodeTrace{backup})
+	if len(merged) != 1 || len(warns) != 0 {
+		t.Fatalf("merged %d, warns %v", len(merged), warns)
+	}
+}
+
+// TestMergeWedgeRelease: genuinely cyclic inputs (possible only when
+// traces are inconsistent) release with a warning instead of dropping
+// events.
+func TestMergeWedgeRelease(t *testing.T) {
+	// Stream 0 holds gid 9 hostage behind a recv whose send sits in
+	// stream 1, behind stream 1's own gid-9 event (which waits for
+	// stream 0 to drain gid 9): a cycle.
+	s0 := NodeTrace{Node: "a", Events: []Event{
+		{Seq: 1, Kind: KindRepRecv, Gid: 9, Durable: 512, Bytes: 512},
+	}}
+	s1 := NodeTrace{Node: "b", Events: []Event{
+		{Seq: 1, Kind: KindLogOpen, Gid: 9},
+		{Seq: 2, Kind: KindRepSend, Gid: 9, From: 1, To: 2, Durable: 0, Bytes: 512},
+	}}
+	merged, warns := MergeTraces([]NodeTrace{s0, s1})
+	if len(merged) != 3 {
+		t.Fatalf("merged %d events, want all 3", len(merged))
+	}
+	if len(warns) == 0 {
+		t.Fatalf("no warning for a released wedge")
+	}
+}

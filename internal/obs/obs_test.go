@@ -239,6 +239,20 @@ func TestCheckerR2LockDiscipline(t *testing.T) {
 	if err := c.Err(); err != nil {
 		t.Fatalf("force outside crit flagged: %v", err)
 	}
+
+	// A crashed holder must not pin the depth: the crit.enter's process
+	// was SIGKILLed mid-section, the successor incarnation reopens the
+	// log (same gid, merged-trace continuity) and forces freely.
+	c = checkerOn(
+		Event{Kind: KindLogOpen, Gid: 1, Durable: 0},
+		Event{Kind: KindCritEnter, Gid: 1},
+		// ... process dies here; no crit.exit is ever emitted ...
+		Event{Kind: KindLogOpen, Gid: 1, Durable: 0},
+		Event{Kind: KindForceStart, Gid: 1},
+	)
+	if err := c.Err(); err != nil {
+		t.Fatalf("post-restart force flagged by a dead incarnation's crit: %v", err)
+	}
 }
 
 func TestCheckerR3RecoveryOrder(t *testing.T) {

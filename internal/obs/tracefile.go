@@ -1,0 +1,255 @@
+package obs
+
+// Trace files: the on-disk form of an event stream, written by a rosd
+// process (-tracefile) and read back by the chaos harness for
+// multi-node merging. The format is built to be SIGKILL-friendly: a
+// small header, then one CRC-framed record per event, fsynced on a
+// periodic tick and on drain, so a killed process leaves a readable
+// prefix and the reader treats a torn tail as end-of-stream rather
+// than corruption — the same salvage stance stablelog takes toward
+// its own torn tails.
+//
+// Layout:
+//
+//	header:  magic "ROSTRC01" · uvarint node-name length · name bytes
+//	record:  uvarint payload length · payload · 4-byte CRC32(payload)
+//	payload: Seq Kind Gid AID.{Coordinator,Seq} From To LSN Durable
+//	         Bytes Code OK Note — uvarints, single bytes for
+//	         Kind/Code/OK, zigzag varint for Bytes, length-prefixed
+//	         Note.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"repro/internal/ids"
+)
+
+// traceMagic opens every trace file; the trailing digits version the
+// record layout.
+const traceMagic = "ROSTRC01"
+
+// AppendEvent appends e's payload encoding (no framing) to dst.
+func AppendEvent(dst []byte, e Event) []byte {
+	dst = binary.AppendUvarint(dst, e.Seq)
+	dst = append(dst, byte(e.Kind))
+	dst = binary.AppendUvarint(dst, e.Gid)
+	dst = binary.AppendUvarint(dst, uint64(e.AID.Coordinator))
+	dst = binary.AppendUvarint(dst, e.AID.Seq)
+	dst = binary.AppendUvarint(dst, e.From)
+	dst = binary.AppendUvarint(dst, e.To)
+	dst = binary.AppendUvarint(dst, e.LSN)
+	dst = binary.AppendUvarint(dst, e.Durable)
+	dst = binary.AppendVarint(dst, int64(e.Bytes))
+	dst = append(dst, e.Code)
+	if e.OK {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(e.Note)))
+	dst = append(dst, e.Note...)
+	return dst
+}
+
+// DecodeEvent parses one AppendEvent payload. It rejects truncated
+// fields and trailing bytes.
+func DecodeEvent(b []byte) (Event, error) {
+	var e Event
+	var err error
+	u := func(name string) uint64 {
+		if err != nil {
+			return 0
+		}
+		v, n := binary.Uvarint(b)
+		if n <= 0 || (n > 1 && b[n-1] == 0) {
+			err = fmt.Errorf("trace event: %s: truncated or non-minimal uvarint", name)
+			return 0
+		}
+		b = b[n:]
+		return v
+	}
+	byteField := func(name string) byte {
+		if err != nil {
+			return 0
+		}
+		if len(b) == 0 {
+			err = fmt.Errorf("trace event: %s: short buffer", name)
+			return 0
+		}
+		v := b[0]
+		b = b[1:]
+		return v
+	}
+	e.Seq = u("Seq")
+	e.Kind = Kind(byteField("Kind"))
+	e.Gid = u("Gid")
+	e.AID.Coordinator = ids.GuardianID(u("AID.Coordinator"))
+	e.AID.Seq = u("AID.Seq")
+	e.From = u("From")
+	e.To = u("To")
+	e.LSN = u("LSN")
+	e.Durable = u("Durable")
+	if err == nil {
+		v, n := binary.Varint(b)
+		if n <= 0 || (n > 1 && b[n-1] == 0) {
+			err = fmt.Errorf("trace event: Bytes: truncated or non-minimal varint")
+		} else {
+			e.Bytes = int(v)
+			b = b[n:]
+		}
+	}
+	e.Code = byteField("Code")
+	e.OK = byteField("OK") != 0
+	noteLen := u("Note length")
+	if err != nil {
+		return Event{}, err
+	}
+	if noteLen > uint64(len(b)) {
+		return Event{}, fmt.Errorf("trace event: Note length %d exceeds %d remaining bytes", noteLen, len(b))
+	}
+	e.Note = string(b[:noteLen])
+	if rest := len(b) - int(noteLen); rest != 0 {
+		return Event{}, fmt.Errorf("trace event: %d trailing bytes", rest)
+	}
+	return e, nil
+}
+
+// FileSink is a Tracer that appends CRC-framed event records to a
+// file. Like Recorder it assigns the stream's sequence numbers. Writes
+// are buffered; Flush pushes them through the OS page cache to the
+// device, and the owner (rosd's tracefile tick, or Close on drain)
+// decides the cadence — the sink itself never touches a clock, keeping
+// the obs package inside the determinism analyzer's scope.
+type FileSink struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	seq  uint64
+	buf  []byte
+	done bool
+}
+
+// NewFileSink creates (or truncates) path and writes the header naming
+// node, the emitting process's identity for the merge step.
+func NewFileSink(path, node string) (*FileSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &FileSink{f: f, w: bufio.NewWriter(f)}
+	hdr := append([]byte(traceMagic), binary.AppendUvarint(nil, uint64(len(node)))...)
+	hdr = append(hdr, node...)
+	if _, err := s.w.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Emit implements Tracer.
+func (s *FileSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return
+	}
+	s.seq++
+	e.Seq = s.seq
+	s.buf = AppendEvent(s.buf[:0], e)
+	var frame [binary.MaxVarintLen64]byte
+	s.w.Write(frame[:binary.PutUvarint(frame[:], uint64(len(s.buf)))])
+	s.w.Write(s.buf)
+	binary.LittleEndian.PutUint32(frame[:4], crc32.ChecksumIEEE(s.buf))
+	s.w.Write(frame[:4])
+}
+
+// Flush pushes buffered records to the file and fsyncs, bounding how
+// much a SIGKILL can take with it.
+func (s *FileSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Close flushes, fsyncs, and closes the file. Further Emits are
+// dropped.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil
+	}
+	s.done = true
+	ferr := s.w.Flush()
+	if serr := s.f.Sync(); ferr == nil {
+		ferr = serr
+	}
+	if cerr := s.f.Close(); ferr == nil {
+		ferr = cerr
+	}
+	return ferr
+}
+
+// TraceFile is one process's recovered event stream.
+type TraceFile struct {
+	// Node is the emitting process's identity from the header.
+	Node string
+	// Events is the readable prefix, in emission order.
+	Events []Event
+	// Truncated reports that the file ended mid-record (the emitting
+	// process was killed with records unflushed) — the prefix in
+	// Events is still sound.
+	Truncated bool
+}
+
+// ReadTraceFile parses a trace file, salvaging the longest clean
+// prefix. A torn or CRC-failing tail sets Truncated instead of
+// erroring; a bad header errors.
+func ReadTraceFile(path string) (TraceFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return TraceFile{}, err
+	}
+	if len(b) < len(traceMagic) || string(b[:len(traceMagic)]) != traceMagic {
+		return TraceFile{}, fmt.Errorf("trace file %s: bad magic", path)
+	}
+	b = b[len(traceMagic):]
+	nameLen, n := binary.Uvarint(b)
+	if n <= 0 || nameLen > uint64(len(b)-n) {
+		return TraceFile{}, fmt.Errorf("trace file %s: bad header", path)
+	}
+	tf := TraceFile{Node: string(b[n : n+int(nameLen)])}
+	b = b[n+int(nameLen):]
+	for len(b) > 0 {
+		plen, n := binary.Uvarint(b)
+		if n <= 0 || plen > uint64(len(b)) || uint64(len(b)-n) < plen+4 {
+			tf.Truncated = true
+			return tf, nil
+		}
+		payload := b[n : n+int(plen)]
+		sum := binary.LittleEndian.Uint32(b[n+int(plen):])
+		if crc32.ChecksumIEEE(payload) != sum {
+			tf.Truncated = true
+			return tf, nil
+		}
+		e, err := DecodeEvent(payload)
+		if err != nil {
+			tf.Truncated = true
+			return tf, nil
+		}
+		tf.Events = append(tf.Events, e)
+		b = b[n+int(plen)+4:]
+	}
+	return tf, nil
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// sampleEvents exercises every payload field, including the NoLSN
+// sentinel and a negative Bytes (the codec must not assume sign).
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: KindLogOpen, Gid: 7, Durable: 4096},
+		{Kind: KindOutcomeAppend, Gid: 7, AID: ids.ActionID{Coordinator: 3, Seq: 99}, LSN: 128, Code: uint8(OutcomeCommitted)},
+		{Kind: KindForceDone, Gid: 7, LSN: NoLSN, Durable: 8192, Bytes: 4096, OK: true},
+		{Kind: KindRepSend, From: 1, To: 2, Durable: 0, Bytes: 512},
+		{Kind: KindNetCall, From: 1, To: 2, OK: false, Note: "refused (partition)"},
+		{Kind: KindRPCReply, Gid: 1, From: 42, Code: RPCOK, OK: true, Bytes: -1},
+	}
+}
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	for i, e := range sampleEvents() {
+		e.Seq = uint64(i) + 1
+		b := AppendEvent(nil, e)
+		got, err := DecodeEvent(b)
+		if err != nil {
+			t.Fatalf("event %d: DecodeEvent: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, e) {
+			t.Fatalf("event %d: round trip\n got %+v\nwant %+v", i, got, e)
+		}
+		for cut := 0; cut < len(b); cut++ {
+			if _, err := DecodeEvent(b[:cut]); err == nil {
+				t.Fatalf("event %d: truncation at %d accepted", i, cut)
+			}
+		}
+		if _, err := DecodeEvent(append(b, 0)); err == nil {
+			t.Fatalf("event %d: trailing byte accepted", i)
+		}
+	}
+}
+
+func TestFileSinkRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.trace")
+	s, err := NewFileSink(path, "n1")
+	if err != nil {
+		t.Fatalf("NewFileSink: %v", err)
+	}
+	want := sampleEvents()
+	for _, e := range want {
+		s.Emit(e)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s.Emit(Event{Kind: KindLogOpen}) // post-close emits are dropped, not a panic
+
+	tf, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatalf("ReadTraceFile: %v", err)
+	}
+	if tf.Node != "n1" || tf.Truncated {
+		t.Fatalf("header: node %q truncated %v", tf.Node, tf.Truncated)
+	}
+	if len(tf.Events) != len(want) {
+		t.Fatalf("read %d events, wrote %d", len(tf.Events), len(want))
+	}
+	for i, e := range tf.Events {
+		exp := want[i]
+		exp.Seq = uint64(i) + 1 // the sink assigns Seq
+		if !reflect.DeepEqual(e, exp) {
+			t.Fatalf("event %d:\n got %+v\nwant %+v", i, e, exp)
+		}
+	}
+}
+
+// TestReadTraceTornTail: a file cut mid-record (the SIGKILL shape)
+// salvages the clean prefix and reports Truncated.
+func TestReadTraceTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.trace")
+	s, err := NewFileSink(path, "n2")
+	if err != nil {
+		t.Fatalf("NewFileSink: %v", err)
+	}
+	for _, e := range sampleEvents() {
+		s.Emit(e)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(whole) - 1; cut > len(traceMagic)+3; cut -= 3 {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tf, err := ReadTraceFile(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		// Salvage property: whatever survives is an exact prefix of
+		// what was written.
+		if len(tf.Events) > len(sampleEvents()) {
+			t.Fatalf("cut %d: %d events from a shorter file", cut, len(tf.Events))
+		}
+		for i, e := range tf.Events {
+			exp := sampleEvents()[i]
+			exp.Seq = uint64(i) + 1
+			if !reflect.DeepEqual(e, exp) {
+				t.Fatalf("cut %d event %d:\n got %+v\nwant %+v", cut, i, e, exp)
+			}
+		}
+	}
+	// A corrupted byte inside a record fails its CRC: prefix salvage.
+	bad := append([]byte(nil), whole...)
+	bad[len(bad)-6] ^= 0xff
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	if !tf.Truncated || len(tf.Events) != len(sampleEvents())-1 {
+		t.Fatalf("corrupt tail: truncated=%v events=%d", tf.Truncated, len(tf.Events))
+	}
+	// A bad header is an error, not a salvage.
+	if err := os.WriteFile(path, []byte("NOTATRACE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTraceFile(path); err == nil {
+		t.Fatalf("bad magic accepted")
+	}
+}
+
+// FuzzDecodeEvent: arbitrary payload bytes never panic, and anything
+// accepted re-encodes to the exact input.
+func FuzzDecodeEvent(f *testing.F) {
+	for _, e := range sampleEvents() {
+		f.Add(AppendEvent(nil, e))
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		e, err := DecodeEvent(b)
+		if err != nil {
+			return
+		}
+		round := AppendEvent(nil, e)
+		if string(round) != string(b) {
+			t.Fatalf("accepted non-canonical payload %x (re-encodes %x)", b, round)
+		}
+	})
+}

@@ -37,15 +37,15 @@ func TestValidate(t *testing.T) {
 		}
 	}
 	bad := []Table{
-		{},                              // zero version, no kind, no shards
-		{Version: 1, Kind: KindHash},    // no shards
-		{Version: 1, Kind: 9, Shards: []Shard{{ID: 1, Addr: "a"}}},           // unknown kind
-		{Version: 1, Kind: KindHash, Shards: []Shard{{ID: 0, Addr: "a"}}},    // id 0
-		{Version: 1, Kind: KindHash, Shards: []Shard{{ID: 1}}},               // no addr
-		{Version: 1, Kind: KindHash, Shards: []Shard{{ID: 1, Addr: "a"}, {ID: 1, Addr: "b"}}}, // dup id
-		{Version: 1, Kind: KindHash, Shards: []Shard{{ID: 2, Addr: "a"}, {ID: 1, Addr: "b"}}}, // order
-		{Version: 1, Kind: KindHash, Shards: []Shard{{ID: 1, Addr: "a", Start: "x"}}},         // start on hash
-		{Version: 1, Kind: KindRange, Shards: []Shard{{ID: 1, Addr: "a", Start: "k"}}},        // first start not ""
+		{},                           // zero version, no kind, no shards
+		{Version: 1, Kind: KindHash}, // no shards
+		{Version: 1, Kind: 9, Shards: []Shard{{ID: 1, Addr: "a"}}},                             // unknown kind
+		{Version: 1, Kind: KindHash, Shards: []Shard{{ID: 0, Addr: "a"}}},                      // id 0
+		{Version: 1, Kind: KindHash, Shards: []Shard{{ID: 1}}},                                 // no addr
+		{Version: 1, Kind: KindHash, Shards: []Shard{{ID: 1, Addr: "a"}, {ID: 1, Addr: "b"}}},  // dup id
+		{Version: 1, Kind: KindHash, Shards: []Shard{{ID: 2, Addr: "a"}, {ID: 1, Addr: "b"}}},  // order
+		{Version: 1, Kind: KindHash, Shards: []Shard{{ID: 1, Addr: "a", Start: "x"}}},          // start on hash
+		{Version: 1, Kind: KindRange, Shards: []Shard{{ID: 1, Addr: "a", Start: "k"}}},         // first start not ""
 		{Version: 1, Kind: KindRange, Shards: []Shard{{ID: 1, Addr: "a"}, {ID: 2, Addr: "b"}}}, // equal starts
 	}
 	for i, tb := range bad {
@@ -186,7 +186,7 @@ func TestDecodeRejectsInvalid(t *testing.T) {
 	valid := hashTable(3, 2).Encode()
 	cases := [][]byte{
 		nil,
-		valid[:len(valid)-1],           // truncated
+		valid[:len(valid)-1],                  // truncated
 		append(append([]byte{}, valid...), 0), // trailing byte
 	}
 	// An encoding of a structurally invalid table must not decode.

@@ -1,0 +1,81 @@
+package stable
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrNoSpace is returned by a capped device when a write would grow it
+// past its volume's byte budget — the external face of disk-full. The
+// layers above treat it like any device write error: the force fails,
+// the commit is refused, and nothing is acknowledged; the chaos
+// harness injects it by starting a victim rosd with a small -datacap
+// and letting traffic fill it.
+var ErrNoSpace = errors.New("stable: no space left on device")
+
+// Budget is a byte allowance shared by the devices of one volume, so
+// the cap models a full disk rather than a full file.
+type Budget struct {
+	mu        sync.Mutex
+	remaining int64
+}
+
+// NewBudget returns a budget of n bytes.
+func NewBudget(n int64) *Budget { return &Budget{remaining: n} }
+
+// Charge debits n bytes, or returns ErrNoSpace (debiting nothing) if
+// fewer remain.
+func (b *Budget) Charge(n int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n > b.remaining {
+		return ErrNoSpace
+	}
+	b.remaining -= n
+	return nil
+}
+
+// Refund returns n bytes to the budget (a charged write that failed at
+// the device).
+func (b *Budget) Refund(n int64) {
+	b.mu.Lock()
+	b.remaining += n
+	b.mu.Unlock()
+}
+
+// Remaining reports the bytes left.
+func (b *Budget) Remaining() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.remaining
+}
+
+// CappedDevice charges block growth on an underlying device against a
+// shared Budget. Overwrites of existing blocks are free — the space is
+// already paid for — so a full volume still recovers and serves reads;
+// only growth (new log entries, new generations) is refused.
+type CappedDevice struct {
+	Device
+	budget *Budget
+}
+
+// Capped wraps d so its growth draws from budget.
+func Capped(d Device, budget *Budget) *CappedDevice {
+	return &CappedDevice{Device: d, budget: budget}
+}
+
+// WriteBlock implements Device, refusing growth past the budget.
+func (c *CappedDevice) WriteBlock(i int, p []byte) error {
+	var charge int64
+	if n := c.Device.NumBlocks(); i >= n {
+		charge = int64(i+1-n) * int64(c.Device.BlockSize())
+		if err := c.budget.Charge(charge); err != nil {
+			return err
+		}
+	}
+	if err := c.Device.WriteBlock(i, p); err != nil {
+		c.budget.Refund(charge)
+		return err
+	}
+	return nil
+}

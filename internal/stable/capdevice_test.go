@@ -1,0 +1,65 @@
+package stable
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// TestCappedDevice: growth charges the shared budget, overwrites are
+// free, and a refused write leaves the budget intact.
+func TestCappedDevice(t *testing.T) {
+	dir := t.TempDir()
+	const bs = 128
+	raw, err := OpenFileDevice(filepath.Join(dir, "dev"), bs, false)
+	if err != nil {
+		t.Fatalf("OpenFileDevice: %v", err)
+	}
+	defer raw.Close()
+	budget := NewBudget(3 * bs)
+	d := Capped(raw, budget)
+
+	block := make([]byte, bs)
+	for i := 0; i < 3; i++ {
+		if err := d.WriteBlock(i, block); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if got := budget.Remaining(); got != 0 {
+		t.Fatalf("remaining %d after 3 writes, want 0", got)
+	}
+	// Growth past the budget is disk-full…
+	if err := d.WriteBlock(3, block); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("write 3: %v, want ErrNoSpace", err)
+	}
+	// …but overwriting paid-for blocks still works (recovery reads and
+	// rewrites existing state on a full disk).
+	if err := d.WriteBlock(1, block); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	if _, err := d.ReadBlock(1); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// A sparse write charges every implied block.
+	budget2 := NewBudget(bs)
+	raw2, err := OpenFileDevice(filepath.Join(dir, "dev2"), bs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw2.Close()
+	d2 := Capped(raw2, budget2)
+	if err := d2.WriteBlock(5, block); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("sparse write: %v, want ErrNoSpace", err)
+	}
+	if got := budget2.Remaining(); got != bs {
+		t.Fatalf("refused write debited the budget: remaining %d", got)
+	}
+	// A failed device write refunds its charge: write past the block
+	// size bound fails in FileDevice after the charge.
+	if err := d2.WriteBlock(0, make([]byte, bs+1)); err == nil || errors.Is(err, ErrNoSpace) {
+		t.Fatalf("oversized write: %v", err)
+	}
+	if got := budget2.Remaining(); got != bs {
+		t.Fatalf("failed write kept its charge: remaining %d", got)
+	}
+}

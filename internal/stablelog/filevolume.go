@@ -18,6 +18,7 @@ type FileVolume struct {
 	dir       string
 	blockSize int
 	syncAll   bool
+	budget    *stable.Budget
 	root      *stable.Store
 	gens      map[uint64]*stable.Store
 	open      []*stable.FileDevice
@@ -37,6 +38,22 @@ func NewFileVolume(dir string, blockSize int, syncEveryWrite bool) (*FileVolume,
 	}, nil
 }
 
+// NewFileVolumeCapped is NewFileVolume with a byte budget shared by
+// every device in the directory — a size-capped data directory
+// modeling a full disk. Files already present (a reopened volume)
+// charge the budget at open, so the cap is on the directory's total
+// footprint, not on growth since boot. Writes past the cap fail with
+// stable.ErrNoSpace; overwrites of existing blocks stay free, so a
+// full volume still recovers.
+func NewFileVolumeCapped(dir string, blockSize int, syncEveryWrite bool, capBytes int64) (*FileVolume, error) {
+	v, err := NewFileVolume(dir, blockSize, syncEveryWrite)
+	if err != nil {
+		return nil, err
+	}
+	v.budget = stable.NewBudget(capBytes)
+	return v, nil
+}
+
 func (v *FileVolume) pair(name string) (*stable.Store, error) {
 	a, err := stable.OpenFileDevice(filepath.Join(v.dir, name+"-a"), v.blockSize, v.syncAll)
 	if err != nil {
@@ -49,7 +66,17 @@ func (v *FileVolume) pair(name string) (*stable.Store, error) {
 		return nil, err
 	}
 	v.open = append(v.open, a, b)
-	return stable.NewStore(a, b)
+	if v.budget == nil {
+		return stable.NewStore(a, b)
+	}
+	// Pre-existing blocks are footprint already on the "disk": charge
+	// them so a reopened capped volume stays capped.
+	existing := int64(a.NumBlocks()+b.NumBlocks()) * int64(v.blockSize)
+	if err := v.budget.Charge(existing); err != nil {
+		return nil, fmt.Errorf("stablelog: volume %s: %d existing bytes in %s exceed the cap: %w",
+			v.dir, existing, name, err)
+	}
+	return stable.NewStore(stable.Capped(a, v.budget), stable.Capped(b, v.budget))
 }
 
 // Root implements Volume.
