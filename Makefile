@@ -44,8 +44,9 @@ bench:
 # Regenerate the committed outputs (test_output.txt, bench_output.txt,
 # BENCH_commit.json — the machine-readable E11 group-commit rows —
 # BENCH_server.json — the E12 served-throughput curve —
-# BENCH_rep.json — the E13 replication cost and failover rows — and
-# BENCH_shard.json — the E14 shard-scaling and cross-shard 2PC rows).
+# BENCH_rep.json — the E13 replication cost and failover rows —
+# BENCH_shard.json — the E14 shard-scaling and cross-shard 2PC rows —
+# and BENCH_read.json — the E16 index-vs-action-path read rows).
 bench-save:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
@@ -53,6 +54,7 @@ bench-save:
 	$(GO) run ./cmd/rosbench -experiment e12 -serverjson BENCH_server.json
 	$(GO) run ./cmd/rosbench -experiment e13 -repjson BENCH_rep.json
 	$(GO) run ./cmd/rosbench -experiment e14 -trace -shardjson BENCH_shard.json
+	$(GO) run ./cmd/rosbench -experiment e16 -readjson BENCH_read.json
 
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzUnflatten -fuzztime 30s ./internal/value/

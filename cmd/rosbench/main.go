@@ -5,15 +5,18 @@
 // compaction-vs-snapshot comparison (E5), the effect of housekeeping on
 // recovery (E6), the group-commit force-sharing curve (E11), the
 // served-guardian throughput scaling curve over loopback TCP (E12), the
-// replication cost and failover-time comparison (E13), and the sharded
+// replication cost and failover-time comparison (E13), the sharded
 // keyspace's disjoint-key scaling curve plus cross-shard two-phase
-// commit overhead (E14).
+// commit overhead (E14), and the read-path comparison of the
+// live-version index against the action-path baseline, with and
+// without pipelined wire batching and under a mixed read/write load at
+// zipfian key skew (E16).
 //
 // Usage:
 //
-//	rosbench [-experiment all|e1|e2|e3|e4|e5|e6|e11|e12|e13|e14] [-quick]
+//	rosbench [-experiment all|e1|e2|e3|e4|e5|e6|e11|e12|e13|e14|e16] [-quick]
 //	         [-commitjson FILE] [-serverjson FILE] [-repjson FILE]
-//	         [-shardjson FILE]
+//	         [-shardjson FILE] [-readjson FILE]
 package main
 
 import (
@@ -21,10 +24,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
@@ -44,12 +50,13 @@ import (
 )
 
 var (
-	experiment = flag.String("experiment", "all", "which experiment to run: all, e1..e6, e11, e12, e13, e14")
+	experiment = flag.String("experiment", "all", "which experiment to run: all, e1..e6, e11, e12, e13, e14, e16")
 	quick      = flag.Bool("quick", false, "smaller workloads for a fast smoke run")
 	commitJSON = flag.String("commitjson", "", "write the E11 rows as JSON to this file (e.g. BENCH_commit.json)")
 	serverJSON = flag.String("serverjson", "", "write the E12 rows as JSON to this file (e.g. BENCH_server.json)")
 	repJSON    = flag.String("repjson", "", "write the E13 rows as JSON to this file (e.g. BENCH_rep.json)")
 	shardJSON  = flag.String("shardjson", "", "write the E14 rows as JSON to this file (e.g. BENCH_shard.json)")
+	readJSON   = flag.String("readjson", "", "write the E16 rows as JSON to this file (e.g. BENCH_read.json)")
 	trace      = flag.Bool("trace", false, "derive the E11/E14 per-commit numbers from the event stream and cross-check them against the counters")
 )
 
@@ -70,6 +77,7 @@ func main() {
 	run("e12", e12ServerThroughput)
 	run("e13", e13Replication)
 	run("e14", e14ShardScaling)
+	run("e16", e16ReadPath)
 }
 
 func backends() []core.Backend {
@@ -958,6 +966,264 @@ func e14Cross(shards, span, txns int) shardRow {
 		NsPerCommit:     float64(el.Nanoseconds()) / float64(txns),
 		ForcesPerCommit: float64(forces1-forces0) / float64(txns),
 		Source:          "counters",
+	}
+}
+
+// readRow is one E16 measurement, serialized to -readjson. IdxHits /
+// IdxMisses / Forces are the row's own deltas, cross-checked against
+// the guardian's event stream (an obs.Stats tracer) before reporting —
+// an index-served row must show hits == ops, zero misses, and zero
+// forces, proving the hot read path touched neither locks nor the
+// device.
+type readRow struct {
+	Mode      string  `json:"mode"`
+	Clients   int     `json:"clients"`
+	Batch     int     `json:"batch"`
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+	IdxHits   uint64  `json:"idx_hits"`
+	IdxMisses uint64  `json:"idx_misses"`
+	Forces    uint64  `json:"forces"`
+	Speedup   float64 `json:"speedup,omitempty"`
+}
+
+const (
+	// e16WriteDelay matches e12: the simulated device latency writers
+	// pay per forced block, which is what the action-path reader gets
+	// stuck behind under write contention.
+	e16WriteDelay = 200 * time.Microsecond
+	e16Keys       = 64
+	e16PayloadLen = 256
+	// e16ZipfS skews the key choice so readers and writers pile onto
+	// the same hot keys — the regime where lock-free index reads and
+	// lock-taking action reads diverge.
+	e16ZipfS = 1.2
+)
+
+func e16Key(i uint64) string { return fmt.Sprintf("k%03d", i) }
+
+// e16Guardian builds a hybrid guardian with e16Keys payload-bearing
+// keys committed, the benchmark handlers registered, and the delayed
+// device installed.
+func e16Guardian() *guardian.Guardian {
+	g, err := guardian.New(1, guardian.WithBackend(core.BackendHybrid))
+	die(err)
+	e14Register(g)
+	g.RegisterHandler("get", func(sub *guardian.Sub, arg value.Value) (value.Value, error) {
+		o, ok := g.VarAtomic(string(arg.(value.Str)))
+		if !ok {
+			return nil, fmt.Errorf("no such key %q", arg)
+		}
+		return sub.Read(o)
+	})
+	a := g.Begin()
+	payload := value.Str(make([]byte, e16PayloadLen))
+	for i := uint64(0); i < e16Keys; i++ {
+		o, err := a.NewAtomic(payload)
+		die(err)
+		die(a.SetVar(e16Key(i), o))
+	}
+	die(a.Commit())
+	g.Volume().SetWriteDelay(e16WriteDelay)
+	return g
+}
+
+// e16ReadPath compares the read paths at a fixed client count: the
+// action path (an invoked read-only "get" action — the baseline every
+// read paid before the index), the index-served OpGet path, the same
+// path with pipelined batches sharing one connection, and both paths
+// again under a mixed load where a quarter of the clients write to the
+// same zipfian-hot keys the readers read.
+func e16ReadPath() {
+	fmt.Println("E16 — memory-speed reads: live-version index vs the action path (zipfian keys)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "mode\tclients\tbatch\tops/s\tp50 µs\tp99 µs\tidx hits\tidx misses\tforces\tspeedup")
+	const clients = 16
+	perClient := 400
+	if *quick {
+		perClient = 48
+	}
+	rows := []readRow{
+		e16Run("get-invoke", clients, perClient, 1, 0),
+		e16Run("get-idx", clients, perClient, 1, 0),
+		e16Run("get-idx-batch", clients, perClient, 16, 0),
+		e16Run("mixed-invoke", clients, perClient, 1, 4),
+		e16Run("mixed-idx", clients, perClient, 1, 4),
+	}
+	// Speedups are against the like-for-like baseline: pure-read rows
+	// against the action path, mixed rows against the mixed action
+	// path.
+	rows[0].Speedup = 1
+	rows[1].Speedup = rows[1].OpsPerSec / rows[0].OpsPerSec
+	rows[2].Speedup = rows[2].OpsPerSec / rows[0].OpsPerSec
+	rows[3].Speedup = 1
+	rows[4].Speedup = rows[4].OpsPerSec / rows[3].OpsPerSec
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%.0f\t%.0f\t%d\t%d\t%d\t%.2fx\n",
+			row.Mode, row.Clients, row.Batch, row.OpsPerSec, row.P50Us, row.P99Us,
+			row.IdxHits, row.IdxMisses, row.Forces, row.Speedup)
+	}
+	w.Flush()
+	fmt.Println()
+	if *readJSON != "" {
+		out, err := json.MarshalIndent(rows, "", "  ")
+		die(err)
+		die(os.WriteFile(*readJSON, append(out, '\n'), 0o644))
+		fmt.Printf("wrote %s (%d rows)\n\n", *readJSON, len(rows))
+	}
+}
+
+// e16Run measures one row: a fresh served guardian, `clients` total
+// connections of which `writers` continuously put payloads to zipfian
+// keys and the rest issue perClient reads each through the mode's
+// path. Readers' client-observed latencies are what the percentiles
+// summarize; batched rows amortize the batch round trip over its ops.
+func e16Run(mode string, clients, perClient, batch, writers int) readRow {
+	g := e16Guardian()
+	st := new(obs.Stats)
+	g.SetTracer(st)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	die(err)
+	s := server.New(g, server.Config{Workers: 2 * clients, MaxConns: 2*clients + 4})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	idx0, _ := g.IndexStats()
+	forces0 := uint64(g.RS().Forces())
+	hits0, misses0 := st.Count(obs.KindIdxHit), st.Count(obs.KindIdxMiss)
+
+	// Writers run until the readers finish; their puts commit through
+	// the delayed device holding hot keys' write locks across forces.
+	// Busy refusals under skew are part of the load, not a failure.
+	var stop atomic.Bool
+	var wwg sync.WaitGroup
+	werrs := make([]error, writers)
+	for id := 0; id < writers; id++ {
+		id := id
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			c := client.New(addr, client.Options{PoolSize: 1})
+			//roslint:besteffort teardown of a load-generator client
+			defer c.Close()
+			zr := rand.New(rand.NewSource(int64(500 + id)))
+			z := rand.NewZipf(zr, e16ZipfS, 1, e16Keys-1)
+			payload := value.Str(make([]byte, e16PayloadLen))
+			for !stop.Load() {
+				key := e16Key(z.Uint64())
+				if _, err := c.Invoke("put", value.NewList(value.Str(key), payload)); err != nil && !errors.Is(err, client.ErrBusy) {
+					werrs[id] = err
+					return
+				}
+			}
+		}()
+	}
+
+	readers := clients - writers
+	ops := readers * perClient
+	lats := make([][]time.Duration, readers)
+	errs := make([]error, readers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for id := 0; id < readers; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := client.New(addr, client.Options{PoolSize: 1})
+			//roslint:besteffort teardown after the measured ops completed
+			defer c.Close()
+			zr := rand.New(rand.NewSource(int64(1 + id)))
+			z := rand.NewZipf(zr, e16ZipfS, 1, e16Keys-1)
+			lats[id] = make([]time.Duration, 0, perClient)
+			for n := 0; n < perClient; n += batch {
+				opStart := time.Now()
+				switch {
+				case batch > 1:
+					keys := make([]string, batch)
+					for j := range keys {
+						keys[j] = e16Key(z.Uint64())
+					}
+					if _, err := c.GetBatch(keys); err != nil {
+						errs[id] = err
+						return
+					}
+				case strings.HasSuffix(mode, "invoke"):
+					key := e16Key(z.Uint64())
+					// A busy refusal under write contention is a real
+					// client-observed read outcome; its latency counts.
+					if _, err := c.Invoke("get", value.Str(key)); err != nil && !errors.Is(err, client.ErrBusy) {
+						errs[id] = err
+						return
+					}
+				default:
+					key := e16Key(z.Uint64())
+					if _, err := c.Get(key); err != nil {
+						errs[id] = err
+						return
+					}
+				}
+				lat := time.Since(opStart)
+				for j := 0; j < batch; j++ {
+					lats[id] = append(lats[id], lat/time.Duration(batch))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	el := time.Since(start)
+	stop.Store(true)
+	wwg.Wait()
+	for _, err := range append(errs, werrs...) {
+		die(err)
+	}
+	die(s.Close())
+	if err := <-serveDone; !errors.Is(err, server.ErrClosed) {
+		die(err)
+	}
+
+	idx1, ok := g.IndexStats()
+	if !ok {
+		die(fmt.Errorf("e16 %s: index disabled on the served guardian", mode))
+	}
+	hits, misses := idx1.Hits-idx0.Hits, idx1.Misses-idx0.Misses
+	forces := uint64(g.RS().Forces()) - forces0
+	// The event stream must agree with the index counters (E11's rule
+	// for the new subsystem), and an index-served row must have been
+	// served entirely from memory: every op a hit, no fallback, and —
+	// without writers — not a single log force anywhere in the phase.
+	if th, tm := st.Count(obs.KindIdxHit)-hits0, st.Count(obs.KindIdxMiss)-misses0; th != hits || tm != misses {
+		die(fmt.Errorf("e16 %s: trace disagrees with index counters: hits %d vs %d, misses %d vs %d",
+			mode, th, hits, tm, misses))
+	}
+	if strings.Contains(mode, "idx") {
+		if hits != uint64(ops) || misses != 0 {
+			die(fmt.Errorf("e16 %s: %d ops but %d hits / %d misses — the hot path fell back", mode, ops, hits, misses))
+		}
+		if writers == 0 && forces != 0 {
+			die(fmt.Errorf("e16 %s: %d log forces during a pure-read index phase", mode, forces))
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return readRow{
+		Mode: mode, Clients: clients, Batch: batch, Ops: ops,
+		Seconds:   el.Seconds(),
+		OpsPerSec: float64(ops) / el.Seconds(),
+		P50Us:     float64(all[len(all)/2].Microseconds()),
+		P99Us:     float64(all[len(all)*99/100].Microseconds()),
+		IdxHits:   hits,
+		IdxMisses: misses,
+		Forces:    forces,
 	}
 }
 

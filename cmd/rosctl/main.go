@@ -8,12 +8,16 @@
 // Commands:
 //
 //	ping                  round-trip a frame
-//	get <key>             read a key's committed value
+//	get <key>             read a key's committed value over the
+//	                      index-served read path (OpGet): no action, no
+//	                      lock, no log force. Against a sharded cluster
+//	                      the read routes to the key's owning shard.
 //	put <key> <value>     store a value (int if it parses, else string)
 //	incr <key> [delta]    add delta (default 1) and print the new total
 //	status                report replication role, epoch, durable and
-//	                      quorum-acked log bytes, replica health, and
-//	                      one row per hosted shard
+//	                      quorum-acked log bytes, replica health, the
+//	                      live-version index counters (hits, misses,
+//	                      entries, bytes), and one row per hosted shard
 //	route                 print the server's shard routing table
 //	handoff <id> <addr>   transfer a hosted shard to the node at addr
 //	                      and print the routing table the server
@@ -85,7 +89,18 @@ func run(args []string) error {
 		if len(args) != 2 {
 			return fmt.Errorf("usage: rosctl get <key>")
 		}
-		v, err := c.Invoke("get", value.Str(args[1]))
+		// A sharded node hosts no default guardian: route the read to
+		// the key's owner. Everything else answers OpGet directly.
+		var v value.Value
+		var err error
+		if _, rerr := c.Route(); rerr == nil {
+			r := client.NewRouted([]string{*addr}, client.Options{CallTimeout: *timeout})
+			//roslint:besteffort process exit follows immediately; the read's own error is what matters
+			defer r.Close()
+			v, err = r.Get(args[1])
+		} else {
+			v, err = c.Get(args[1])
+		}
 		if err != nil {
 			return err
 		}
@@ -126,7 +141,8 @@ func run(args []string) error {
 		}
 		printStatus(st.Rep)
 		for _, row := range st.Shards {
-			fmt.Printf("shard %d: role=%v durable=%d bytes\n", row.ID, row.Role, row.Durable)
+			fmt.Printf("shard %d: role=%v durable=%d bytes idx=%d/%d hits/misses\n",
+				row.ID, row.Role, row.Durable, row.IdxHits, row.IdxMisses)
 		}
 		return nil
 	case "route":
@@ -239,6 +255,8 @@ func printStatus(st wire.RepStatus) {
 	fmt.Printf("role:    %v\n", st.Role)
 	fmt.Printf("epoch:   %d\n", st.Epoch)
 	fmt.Printf("durable: %d bytes\n", st.Durable)
+	fmt.Printf("idx:     hits=%d misses=%d entries=%d bytes=%d\n",
+		st.IdxHits, st.IdxMisses, st.IdxEntries, st.IdxBytes)
 	if st.Role == wire.RolePrimary && st.Replicas > 0 {
 		fmt.Printf("quorum:  %d bytes acked by %d of %d copies\n", st.QuorumBytes, st.Quorum, st.Replicas+1)
 		fmt.Printf("backups: %d of %d answering\n", st.Alive, st.Replicas)

@@ -147,15 +147,34 @@ func TestShardedClusterSmoke(t *testing.T) {
 		}
 	}
 
-	// rosctl status: the two-shard node reports one row per shard.
+	// rosctl get: an index-served read routed to the key's owning
+	// shard — the committed value, no action at the server.
+	out, err = ctl(t, rosctlBin, addrs[1], "get", keys[5])
+	if err != nil {
+		t.Fatalf("get: %v\n%s", err, out)
+	}
+	if strings.TrimSpace(out) != "9" {
+		t.Fatalf("get %s = %q, want 9", keys[5], strings.TrimSpace(out))
+	}
+
+	// rosctl status: the two-shard node reports one row per shard plus
+	// the node's aggregated index counters; node 2 (which just served
+	// the routed get of keys[5]) must have recorded the hit.
 	out, err = ctl(t, rosctlBin, addrs[0], "status")
 	if err != nil {
 		t.Fatalf("status: %v\n%s", err, out)
 	}
-	for _, want := range []string{"shard 2:", "shard 3:"} {
+	for _, want := range []string{"shard 2:", "shard 3:", "idx:"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("status output missing %q:\n%s", want, out)
 		}
+	}
+	out, err = ctl(t, rosctlBin, addrs[2], "status")
+	if err != nil {
+		t.Fatalf("status: %v\n%s", err, out)
+	}
+	if strings.Contains(out, "hits=0 ") {
+		t.Fatalf("node 2 served an index read but reports zero hits:\n%s", out)
 	}
 }
 

@@ -59,6 +59,7 @@ var ScopedPackages = map[string]bool{
 	"repro/internal/simplelog": true,
 	"repro/internal/hybridlog": true,
 	"repro/internal/stablelog": true,
+	"repro/internal/objindex":  true,
 	"repro/internal/obs":       true,
 	"repro/internal/shard":     true,
 	"repro/internal/client":    true,

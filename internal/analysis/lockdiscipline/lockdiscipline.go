@@ -44,6 +44,19 @@
 //     per-point held sets the flow analysis computes, so a lock
 //     released on one branch no longer taints calls on the other.
 //
+//  5. Index mutation confinement. In the guardian package, the
+//     live-version index (objindex.Index) may be mutated — Install,
+//     ReplaceBindings, Rebuild — only inside the two installers:
+//     installCommitted (the commit path, running after the point of no
+//     return with the action's write locks still held) and rebuildIndex
+//     (recovery, before the guardian serves). A mutation anywhere else
+//     could publish an uncommitted version or race a concurrent
+//     committer, exactly the bugs the index's consistency contract
+//     (DESIGN.md "Object index") rules out. Unlike rules 2–4 this is
+//     confinement by function, not by held set: the installers are the
+//     audited lock-correct sites, so the analyzer pins mutations to
+//     them by name.
+//
 // Intentional departures (lock handoff, conditionally held locks)
 // carry //roslint:lockorder with a justification.
 package lockdiscipline
@@ -89,6 +102,31 @@ var ForcePathPackages = map[string]bool{
 	"repro/internal/guardian":  true,
 	"repro/internal/simplelog": true,
 	"repro/internal/hybridlog": true,
+}
+
+const objindexPath = "repro/internal/objindex"
+
+// IndexPackages are the packages rule 5 applies to: code in them may
+// mutate a live-version index only from the named installers. A map so
+// the analyzer's tests can put their testdata package in scope.
+var IndexPackages = map[string]bool{
+	"repro/internal/guardian": true,
+}
+
+// indexMutators are the (*objindex.Index) methods that publish,
+// replace, or rebuild entries; read-side methods (Get, Bound,
+// Snapshot, Stats) are unrestricted.
+var indexMutators = map[string]bool{
+	"Install":         true,
+	"ReplaceBindings": true,
+	"Rebuild":         true,
+}
+
+// indexInstallers are the functions rule 5 allows to mutate the index:
+// the commit-path installer and the recovery rebuilder.
+var indexInstallers = map[string]bool{
+	"installCommitted": true,
+	"rebuildIndex":     true,
 }
 
 // forceMethods are the (*stablelog.Log) methods that block on device
@@ -180,6 +218,33 @@ func run(pass *analysis.Pass) error {
 				}
 				return true
 			})
+		}
+	}
+	// Pass 3 (rule 5): index mutations confined to the installers. The
+	// scan covers each declaration's whole body, function literals
+	// included — a literal defined inside an installer inherits its
+	// permission, one defined elsewhere does not.
+	if IndexPackages[pass.Pkg.Path()] {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || indexInstallers[fn.Name.Name] {
+					continue
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := analysis.CalleeFunc(pass.TypesInfo, call)
+					if callee != nil && indexMutators[callee.Name()] && analysis.IsMethodOf(callee, objindexPath, "Index") {
+						pass.Reportf(call.Pos(),
+							"objindex.Index.%s() outside the installers (installCommitted, rebuildIndex): index mutations must stay on the committed side of the point of no return, under the owning action's locks (or justify with //roslint:lockorder)",
+							callee.Name())
+					}
+					return true
+				})
+			}
 		}
 	}
 	return nil

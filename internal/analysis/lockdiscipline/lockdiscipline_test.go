@@ -20,6 +20,15 @@ func TestForceUnderLock(t *testing.T) {
 	analysistest.Run(t, lockdiscipline.Analyzer, "c")
 }
 
+func TestIndexConfinement(t *testing.T) {
+	// Rule 5 is scoped by import path; scope the testdata package the
+	// way internal/guardian is.
+	const pkg = "repro/internal/analysis/lockdiscipline/testdata/src/d"
+	lockdiscipline.IndexPackages[pkg] = true
+	defer delete(lockdiscipline.IndexPackages, pkg)
+	analysistest.Run(t, lockdiscipline.Analyzer, "d")
+}
+
 func TestDeviceUnderLock(t *testing.T) {
 	// Rule 3 is scoped by import path; scope the testdata package the
 	// way internal/stablelog is.

@@ -1,0 +1,79 @@
+// Package d exercises lockdiscipline rule 5: live-version index
+// mutations outside the guardian's installers are flagged; the
+// installers themselves, read-side methods, and annotated departures
+// are not.
+package d
+
+import (
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/objindex"
+	"repro/internal/value"
+)
+
+type guardianLike struct {
+	idx *objindex.Index
+}
+
+func flat(o *object.Atomic) []byte { return o.SnapshotBase(nil) }
+
+// The commit-path installer: mutations allowed.
+func (g *guardianLike) installCommitted(objs []*object.Atomic) {
+	for _, o := range objs {
+		g.idx.Install(o, flat(o), 0)
+	}
+	g.idx.ReplaceBindings(nil, flat, 0)
+}
+
+// The recovery rebuilder: mutations allowed.
+func (g *guardianLike) rebuildIndex(pairs []objindex.Binding) {
+	g.idx.Rebuild(pairs, flat, 0)
+}
+
+// A read-path helper sneaking an install in: flagged.
+func (g *guardianLike) readThrough(o *object.Atomic) ([]byte, bool) {
+	if e, ok := g.idx.Get("k"); ok {
+		return e.Flat, true
+	}
+	b := flat(o)
+	g.idx.Install(o, b, 0) // want `objindex\.Index\.Install\(\) outside the installers`
+	return b, false
+}
+
+// Rebinding from an abort path: flagged (aborts must not touch the
+// index at all).
+func (g *guardianLike) abortRebind(pairs []objindex.Binding) {
+	g.idx.ReplaceBindings(pairs, flat, 0) // want `objindex\.Index\.ReplaceBindings\(\) outside the installers`
+}
+
+// A rebuild from an unaudited site, even inside a function literal:
+// flagged.
+func (g *guardianLike) sneakyRebuild(pairs []objindex.Binding) {
+	redo := func() {
+		g.idx.Rebuild(pairs, flat, 0) // want `objindex\.Index\.Rebuild\(\) outside the installers`
+	}
+	redo()
+}
+
+// Read-side methods are unrestricted.
+func (g *guardianLike) readOnly(key string) (int, bool) {
+	if o, ok := g.idx.Bound(key); ok {
+		_ = o.UID()
+	}
+	_ = g.idx.Snapshot()
+	_ = g.idx.Stats()
+	e, ok := g.idx.Get(key)
+	return len(e.Flat), ok
+}
+
+// An audited departure carries the directive.
+func (g *guardianLike) migrate(o *object.Atomic) {
+	//roslint:lockorder one-shot migration helper, runs before the guardian serves
+	g.idx.Install(o, flat(o), 0)
+}
+
+// Constructing entries for the installers is fine anywhere.
+func makeBindings() []objindex.Binding {
+	o := object.NewAtomic(ids.UID(7), value.Int(1), ids.NoAction)
+	return []objindex.Binding{{Key: "k", Obj: o}}
+}

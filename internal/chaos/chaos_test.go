@@ -151,9 +151,9 @@ func requireEpisode(t *testing.T, cfg EpisodeConfig) *Report {
 	cfg.RosdBin, cfg.CtlBin = binRosd, binCtl
 	rep, err := RunEpisode(cfg)
 	if rep != nil {
-		t.Logf("episode: acked=%d inDoubt=%d notExec=%d redriven=%d promoted=%q mergedEvents=%d truncated=%v oracleStates=%d",
+		t.Logf("episode: acked=%d inDoubt=%d notExec=%d redriven=%d promoted=%q mergedEvents=%d truncated=%v oracleStates=%d idxProbed=%d",
 			rep.Acked, rep.InDoubt, rep.NotExecuted, rep.Redriven, rep.Promoted,
-			rep.MergedEvents, rep.TruncatedTraces, rep.OracleStates)
+			rep.MergedEvents, rep.TruncatedTraces, rep.OracleStates, rep.IndexProbed)
 	}
 	if err != nil {
 		t.Fatalf("episode harness: %v", err)
@@ -177,6 +177,12 @@ func requireEpisode(t *testing.T, cfg EpisodeConfig) *Report {
 	}
 	if rep.MergedEvents == 0 {
 		t.Error("merged trace is empty")
+	}
+	for _, m := range rep.IndexMismatch {
+		t.Errorf("index read-back: %s", m)
+	}
+	if rep.IndexProbed == 0 {
+		t.Error("index read-back probed no keys")
 	}
 	return rep
 }
@@ -265,6 +271,41 @@ func TestEpisodeSharded(t *testing.T) {
 	})
 	if len(rep.Faults) != 3 {
 		t.Errorf("injected %d faults, want 3", len(rep.Faults))
+	}
+}
+
+// TestEpisodeShardedHandoff moves a shard between live nodes in the
+// middle of the workload: shard 4 is drained off node1, shipped, and
+// adopted by node2 (which recovers over the shipped log and rebuilds
+// the shard's live-version index from scratch) while clients keep
+// writing through the stale route and converging via wrong-shard
+// refusals. A node kill later in the run layers a restart recovery on
+// top. The index read-back then verifies every key — including the
+// rehomed shard's — answers its committed value through OpGet.
+func TestEpisodeShardedHandoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process episode")
+	}
+	wcfg := workload.Default()
+	wcfg.QPS = 200
+	wcfg.InFlight = 8
+
+	rep := requireEpisode(t, EpisodeConfig{
+		Topology: TopologySharded,
+		Workload: wcfg,
+		Seed:     19,
+		Ops:      400,
+		Dir:      t.TempDir(),
+		Faults: []FaultSpec{
+			{AtOp: 120, Kind: FaultHandoff, Node: 1, Shard: 4, Target: 2},
+			{AtOp: 300, Kind: FaultKill, Node: 1},
+		},
+	})
+	if len(rep.Faults) != 2 {
+		t.Errorf("injected %d faults, want 2", len(rep.Faults))
+	}
+	if !rep.Passed() {
+		t.Error("episode did not pass both authorities and the index read-back")
 	}
 }
 

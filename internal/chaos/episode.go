@@ -40,6 +40,12 @@ const (
 	// current footprint, so ongoing traffic fills the "disk" and
 	// forces start failing; heal restarts it uncapped.
 	FaultDiskFull FaultKind = "diskfull"
+	// FaultHandoff moves Shard from Node to Target mid-traffic through
+	// the operator path (rosctl handoff), concurrently with the
+	// workload — the receiving node adopts the shard by recovering over
+	// the shipped log, rebuilding its live-version index from scratch.
+	// The heal phase waits for it to land.
+	FaultHandoff FaultKind = "handoff"
 )
 
 // FaultSpec schedules one fault at an issued-op threshold.
@@ -58,6 +64,10 @@ type FaultSpec struct {
 	// Slack is how many bytes of growth FaultDiskFull leaves before
 	// the disk is full (default 16 KiB).
 	Slack int64
+	// Shard and Target drive FaultHandoff: move Shard off Node to
+	// Cluster.Nodes[Target].
+	Shard  uint32
+	Target int
 }
 
 // FaultNote records one injected fault for the episode report.
@@ -93,13 +103,21 @@ type Report struct {
 	TruncatedTraces   []string `json:"truncated_traces,omitempty"`
 	MergeWarnings     []string `json:"merge_warnings,omitempty"`
 	CheckerViolations []string `json:"checker_violations,omitempty"`
+	// Index read-back: every probed key is read a second time through
+	// OpGet (the path the live-version index serves) and compared
+	// against the action-path probe. A mismatch means the index
+	// diverged from committed state across the episode's crashes,
+	// restarts, promotions, or handoffs.
+	IndexProbed   int      `json:"index_probed"`
+	IndexMismatch []string `json:"index_mismatch,omitempty"`
 }
 
-// Passed reports whether the episode met both authorities: the serial
-// oracle accepted the external history and the merged trace ran clean
-// through the checker.
+// Passed reports whether the episode met its authorities: the serial
+// oracle accepted the external history, the merged trace ran clean
+// through the checker, and the index read-back matched the probed end
+// state.
 func (r *Report) Passed() bool {
-	return r.OracleErr == "" && len(r.CheckerViolations) == 0
+	return r.OracleErr == "" && len(r.CheckerViolations) == 0 && len(r.IndexMismatch) == 0
 }
 
 // EpisodeConfig is one full chaos episode: a topology, a workload, a
@@ -131,6 +149,18 @@ type episode struct {
 	killedPrimary bool
 	// probeAddr overrides the final-probe target (the promoted node).
 	probeAddr string
+	// handoffs tracks in-flight FaultHandoff injections; the heal phase
+	// waits for each before re-driving anything that routes by shard.
+	handoffs []pendingHandoff
+}
+
+// pendingHandoff is one FaultHandoff running concurrently with the
+// workload.
+type pendingHandoff struct {
+	atOp   int
+	shard  uint32
+	target int
+	done   chan error
 }
 
 // RunEpisode runs one chaos episode end to end: start the cluster,
@@ -278,6 +308,26 @@ func (ep *episode) inject(f FaultSpec) error {
 			return err
 		}
 		return ep.cluster.StartNode(nd, []string{"-datacap", strconv.FormatInt(used+slack, 10)})
+	case FaultHandoff:
+		if ep.cfg.Topology != TopologySharded {
+			return fmt.Errorf("chaos: handoff fault needs the sharded topology")
+		}
+		target := ep.cluster.Nodes[f.Target].Proxy.Addr()
+		h := pendingHandoff{atOp: f.AtOp, shard: f.Shard, target: f.Target, done: make(chan error, 1)}
+		ep.handoffs = append(ep.handoffs, h)
+		// The operator call runs concurrently with the workload — a
+		// handoff is an online operation, and the episode's point is the
+		// traffic that races it. The heal phase joins it.
+		go func() {
+			out, err := ep.cluster.Ctl(nd.Proxy.Addr(), "handoff",
+				strconv.FormatUint(uint64(f.Shard), 10), target)
+			if err != nil {
+				h.done <- fmt.Errorf("rosctl handoff: %v\n%s", err, out)
+				return
+			}
+			h.done <- nil
+		}()
+		return nil
 	default:
 		return fmt.Errorf("chaos: unknown fault kind %q", f.Kind)
 	}
@@ -329,6 +379,23 @@ func (ep *episode) heal() error {
 		}
 		ep.report.Promoted = best.Name
 		ep.probeAddr = best.Proxy.Addr()
+	}
+	// Join every in-flight handoff: a failure is a fault error (the
+	// report carries it), a success rehomes the shard for everything
+	// that still addresses nodes by shard (outcome queries, aborts).
+	for _, h := range ep.handoffs {
+		err := <-h.done
+		if err != nil {
+			for i := range ep.report.Faults {
+				n := &ep.report.Faults[i]
+				if n.Kind == string(FaultHandoff) && n.AtOp == h.atOp && n.Error == "" {
+					n.Error = err.Error()
+					break
+				}
+			}
+			continue
+		}
+		ep.cluster.ShardAddrs[h.shard] = ep.cluster.Nodes[h.target].Proxy.Addr()
 	}
 	return nil
 }
@@ -439,10 +506,17 @@ func (ep *episode) probe() error {
 	keys, isBlob := ep.driver.Touched()
 	final := crashtest.ExtFinal{Counters: map[string]int64{}, Blobs: map[string]string{}}
 
-	var read func(key string) (string, bool, error)
+	// read goes through the action path (an invoked "get" handler);
+	// idxRead goes through OpGet, the path the live-version index
+	// serves. The episode's last assertion compares the two.
+	var read, idxRead func(key string) (string, bool, error)
 	if ep.cfg.Topology == TopologySharded {
 		read = func(key string) (string, bool, error) {
 			v, err := ep.driver.getR.Invoke(key, "get", value.Str(key))
+			return decodeProbe(v, err)
+		}
+		idxRead = func(key string) (string, bool, error) {
+			v, err := ep.driver.getR.Get(key)
 			return decodeProbe(v, err)
 		}
 	} else {
@@ -457,21 +531,29 @@ func (ep *episode) probe() error {
 			v, err := c.Invoke("get", value.Str(key))
 			return decodeProbe(v, err)
 		}
+		idxRead = func(key string) (string, bool, error) {
+			v, err := c.Get(key)
+			return decodeProbe(v, err)
+		}
+	}
+
+	retry := func(key string, f func(string) (string, bool, error)) (string, bool, error) {
+		for deadline := time.Now().Add(10 * time.Second); ; {
+			val, present, err := f(key)
+			if err == nil {
+				return val, present, nil
+			}
+			if time.Now().After(deadline) {
+				return "", false, err
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
 	}
 
 	for _, key := range keys {
-		var val string
-		var present bool
-		var err error
-		for deadline := time.Now().Add(10 * time.Second); ; {
-			val, present, err = read(key)
-			if err == nil {
-				break
-			}
-			if time.Now().After(deadline) {
-				return fmt.Errorf("chaos: probe %s: %w", key, err)
-			}
-			time.Sleep(100 * time.Millisecond)
+		val, present, err := retry(key, read)
+		if err != nil {
+			return fmt.Errorf("chaos: probe %s: %w", key, err)
 		}
 		if !present {
 			continue
@@ -494,7 +576,43 @@ func (ep *episode) probe() error {
 	if err != nil {
 		ep.report.OracleErr = err.Error()
 	}
+
+	// Index read-back: every touched key again, through the index-served
+	// path. Present keys must answer the same rendered value the action
+	// path just probed; absent keys must answer no-such-key. The crash
+	// sweeps already prove the rebuilt index byte-equal after every
+	// single crash point — this closes the loop end to end, across real
+	// processes, promotions, and handoffs.
+	for _, key := range keys {
+		val, present, err := retry(key, idxRead)
+		if err != nil {
+			return fmt.Errorf("chaos: index probe %s: %w", key, err)
+		}
+		ep.report.IndexProbed++
+		var want string
+		wantPresent := false
+		if isBlob[key] {
+			want, wantPresent = final.Blobs[key], hasKey(final.Blobs, key)
+		} else if n, ok := final.Counters[key]; ok {
+			want, wantPresent = strconv.FormatInt(n, 10), true
+		}
+		switch {
+		case present != wantPresent:
+			ep.report.IndexMismatch = append(ep.report.IndexMismatch,
+				fmt.Sprintf("%s: index-served present=%v, action-path present=%v", key, present, wantPresent))
+		case present && val != want:
+			ep.report.IndexMismatch = append(ep.report.IndexMismatch,
+				fmt.Sprintf("%s: index-served %q, action-path %q", key, val, want))
+		}
+	}
 	return nil
+}
+
+// hasKey reports map membership for the probe's blob map (generics-free
+// helper keeps the comparison above symmetric with the counter branch).
+func hasKey(m map[string]string, k string) bool {
+	_, ok := m[k]
+	return ok
 }
 
 // traces drains every live node (the SIGTERM path fsyncs each trace),

@@ -222,6 +222,21 @@ func (r *Routed) backoffRoute(n int) time.Duration {
 	return c.backoff(n)
 }
 
+// Get routes a read of key's committed value (OpGet, the index-served
+// path) to the shard owning key.
+func (r *Routed) Get(key string) (value.Value, error) {
+	var out value.Value
+	err := r.call(key, func(c *Client, sh uint32) error {
+		v, err := c.GetShard(sh, key)
+		if err != nil {
+			return err
+		}
+		out = v
+		return nil
+	})
+	return out, err
+}
+
 // Invoke routes a complete single-key atomic action to the shard
 // owning key and returns its result.
 func (r *Routed) Invoke(key, handler string, arg value.Value) (value.Value, error) {

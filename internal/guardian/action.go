@@ -363,11 +363,23 @@ func (g *Guardian) applyVerdict(aid ids.ActionID, commit bool) {
 	if ok {
 		st.mu.Lock()
 		locked := make([]*object.Atomic, 0, len(st.locked))
-		//roslint:nondet order-independent: commit/abort is applied per object, no cross-object effects
+		//roslint:nondet keys collected here are sorted below before use
 		for _, obj := range st.locked {
 			locked = append(locked, obj)
 		}
 		st.mu.Unlock()
+		// Sorted so the index-install events (and the installs
+		// themselves) happen in the same order on every run — the apply
+		// itself is per-object and order-independent, the trace is not.
+		sortAtomicsByUID(locked)
+		if commit {
+			// Point of no return is behind us (the outcome record is
+			// durable); publish the committed versions into the
+			// live-version index before releasing the write locks, so a
+			// reader can never see a stale version after a lock it could
+			// have contended on is gone.
+			g.installCommitted(aid, locked)
+		}
 		for _, obj := range locked {
 			apply(obj)
 		}
@@ -375,15 +387,28 @@ func (g *Guardian) applyVerdict(aid ids.ActionID, commit bool) {
 	}
 	// Recovered guardian: release every lock the recovered objects say
 	// aid holds.
+	var locked []*object.Atomic
 	for _, uid := range g.heap.UIDs() {
 		if o, found := g.heap.Lookup(uid); found {
 			if at, isAtomic := o.(*object.Atomic); isAtomic {
 				if at.Writer() == aid || at.HoldsRead(aid) {
-					apply(at)
+					locked = append(locked, at)
 				}
 			}
 		}
 	}
+	if commit {
+		g.installCommitted(aid, locked)
+	}
+	for _, obj := range locked {
+		apply(obj)
+	}
+}
+
+// sortAtomicsByUID orders objects by UID so install and apply loops
+// are deterministic across runs.
+func sortAtomicsByUID(objs []*object.Atomic) {
+	sort.Slice(objs, func(i, j int) bool { return objs[i].UID() < objs[j].UID() })
 }
 
 // --- coordinator-side log (twopc.CoordinatorLog) -----------------------

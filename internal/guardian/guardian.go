@@ -21,6 +21,7 @@ import (
 	"repro/internal/hybridlog"
 	"repro/internal/ids"
 	"repro/internal/object"
+	"repro/internal/objindex"
 	"repro/internal/obs"
 	"repro/internal/simplelog"
 	"repro/internal/stablelog"
@@ -41,6 +42,13 @@ type Guardian struct {
 	uids    *ids.UIDGenerator
 	aids    *ids.ActionIDGenerator
 	tr      obs.Tracer // raw (unwrapped) tracer, propagated across Restart
+
+	// idx is the live-version index over committed object versions
+	// (nil when disabled with WithoutIndex). It is mutated only by
+	// installCommitted and rebuildIndex — see internal/objindex for the
+	// consistency contract and roslint's lockdiscipline rule 5 for the
+	// enforcement.
+	idx *objindex.Index
 
 	// freshVars records that recovery found nothing on stable storage
 	// and registered the stable-variables object afresh, as New does; it
@@ -100,6 +108,7 @@ type config struct {
 	blockSize int
 	vol       stablelog.Volume
 	tracer    obs.Tracer
+	noIndex   bool
 }
 
 // WithBackend selects the stable-storage organization (default hybrid).
@@ -118,6 +127,14 @@ func WithBlockSize(n int) Option {
 // and emits the recovery-phase events through it.
 func WithTracer(tr obs.Tracer) Option {
 	return func(c *config) { c.tracer = tr }
+}
+
+// WithoutIndex disables the live-version index: every ReadKey takes
+// the action-path device-bound fallback. The default (index enabled)
+// is correct for all workloads; this exists for the device-bound
+// baseline rows of benchmarks and for A/B debugging.
+func WithoutIndex() Option {
+	return func(c *config) { c.noIndex = true }
 }
 
 // WithVolume runs the guardian's stable storage on the given volume —
@@ -198,6 +215,9 @@ func New(id ids.GuardianID, opts ...Option) (*Guardian, error) {
 	// The stable-variables object exists from the guardian's creation
 	// (§3.3.3.2), initially an empty record, unlocked.
 	g.heap.Register(object.NewAtomic(ids.StableVarsUID, value.NewRecord(), ids.NoAction))
+	if !cfg.noIndex {
+		g.idx = objindex.New()
+	}
 
 	switch cfg.backend {
 	case core.BackendShadow:
@@ -235,6 +255,9 @@ func (g *Guardian) SetTracer(tr obs.Tracer) {
 	if g.memVol != nil {
 		g.memVol.SetTracer(wrapped)
 	}
+	if g.idx != nil {
+		g.idx.SetTracer(wrapped)
+	}
 }
 
 // ID returns the guardian's identifier.
@@ -271,6 +294,17 @@ func (g *Guardian) RS() core.RecoverySystem { return g.rs }
 // Backend returns the stable-storage organization in use.
 func (g *Guardian) Backend() core.Backend { return g.backend }
 
+// VolumeBlockSize reports the device block size of the guardian's
+// volume, or the 512 default when the volume does not expose one — the
+// non-panicking accessor the serving layer's handoff path needs on
+// real file-backed volumes.
+func (g *Guardian) VolumeBlockSize() int {
+	if bs, ok := g.vol.(interface{ BlockSize() int }); ok {
+		return bs.BlockSize()
+	}
+	return 512
+}
+
 // Volume exposes the simulated storage volume for fault injection; it
 // panics for a guardian created on a non-simulated volume.
 func (g *Guardian) Volume() *stablelog.MemVolume {
@@ -302,7 +336,11 @@ func Restart(g *Guardian) (*Guardian, error) {
 	if g.memVol != nil {
 		g.memVol.Restart()
 	}
-	return Open(g.id, g.vol, g.backend, WithTracer(g.tr))
+	opts := []Option{WithTracer(g.tr)}
+	if g.idx == nil {
+		opts = append(opts, WithoutIndex())
+	}
+	return Open(g.id, g.vol, g.backend, opts...)
 }
 
 // Open recovers a guardian from an existing volume — either a restarted
@@ -401,9 +439,17 @@ func Open(id ids.GuardianID, vol stablelog.Volume, backend core.Backend, opts ..
 		ng.heap.Register(object.NewAtomic(ids.StableVarsUID, value.NewRecord(), ids.NoAction))
 		ng.freshVars = true
 	}
+	if !cfg.noIndex {
+		ng.idx = objindex.New()
+	}
 	if cfg.tracer != nil {
 		ng.SetTracer(cfg.tracer)
 	}
+	// Rebuild the live-version index from the committed state the
+	// backward scan just materialized: a restarted (or promoted, or
+	// handoff-adopting — both run Open) guardian resumes with a
+	// warm-correct index and no extra durable structure.
+	ng.rebuildIndex()
 	phase(obs.PhaseResume)
 	return ng, nil
 }
@@ -476,7 +522,10 @@ func CheckRecovered(g *Guardian) error {
 	if max := g.heap.MaxUID(); max > g.uids.Last() {
 		return fmt.Errorf("guardian: heap UID %v beyond stable counter %v", max, g.uids.Last())
 	}
-	return nil
+	// (4) The rebuilt live-version index is byte-equal to a from-scratch
+	// scan of the recovered committed state. Riding here puts index
+	// coherence under every crash point of every crashtest sweep.
+	return g.CheckIndexCoherence()
 }
 
 // LiveActions returns the actions that currently have volatile state at
@@ -585,8 +634,17 @@ func (g *Guardian) Var(name string) (object.Recoverable, bool) {
 	return obj, true
 }
 
-// VarAtomic is Var narrowed to atomic objects.
+// VarAtomic is Var narrowed to atomic objects. With the live-version
+// index enabled the binding resolves through it (the read half of a
+// read-validate update finds its object without walking the root
+// record); the index holds exactly the committed bindings, so both
+// paths agree.
 func (g *Guardian) VarAtomic(name string) (*object.Atomic, bool) {
+	if g.idx != nil {
+		if a, ok := g.idx.Bound(name); ok {
+			return a, true
+		}
+	}
 	o, ok := g.Var(name)
 	if !ok {
 		return nil, false

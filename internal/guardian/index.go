@@ -1,0 +1,215 @@
+package guardian
+
+// The guardian's half of the live-version index (internal/objindex):
+// all mutation of g.idx is confined to installCommitted and
+// rebuildIndex in this file — roslint's lockdiscipline rule 5 rejects
+// Install/ReplaceBindings/Clear calls anywhere else in the package —
+// so the consistency argument reduces to two call sites:
+//
+//   - installCommitted runs in applyVerdict, after the action's
+//     outcome is durable (§2.2.3 point of no return) and before its
+//     write locks are released. The objects' current versions are
+//     frozen (the committing action owns the write locks, and it is
+//     done), so the flattened bytes installed are exactly the bytes
+//     Commit is about to promote to base.
+//   - rebuildIndex runs in Open, over the committed heap the backward
+//     scan materialized, before the guardian resumes service.
+//
+// Aborts never touch the index: it only ever holds committed state.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/objindex"
+	"repro/internal/value"
+)
+
+// ErrNoSuchKey is returned by ReadKey for a key no stable variable
+// binds. The text must keep the "no such key" phrase: the serving
+// layer and the chaos harness classify missing-key reads by it.
+var ErrNoSuchKey = errors.New("guardian: no such key")
+
+// Index returns the guardian's live-version index (nil when disabled
+// with WithoutIndex). Callers may read stats and snapshots; mutation
+// belongs to the guardian alone.
+func (g *Guardian) Index() *objindex.Index { return g.idx }
+
+// IndexStats returns the index counters; ok is false when the index
+// is disabled.
+func (g *Guardian) IndexStats() (objindex.Stats, bool) {
+	if g.idx == nil {
+		return objindex.Stats{}, false
+	}
+	return g.idx.Stats(), true
+}
+
+// logCoord is the guardian's durable log boundary — the log
+// coordinate stamped on index entries. Zero on the shadow backend,
+// which keeps no log.
+func (g *Guardian) logCoord() uint64 {
+	site := g.rs.Site()
+	if site == nil {
+		return 0
+	}
+	durable, _ := site.Log().TailInfo()
+	return durable
+}
+
+// committedBindings scans the committed root record for its atomic
+// bindings, sorted by key — the from-scratch form the index is
+// rebuilt from and checked against.
+func (g *Guardian) committedBindings() []objindex.Binding {
+	root, ok := g.heap.StableVars()
+	if !ok {
+		return nil
+	}
+	rec, ok := root.Base().(*value.Record)
+	if !ok {
+		return nil
+	}
+	return recordBindings(rec)
+}
+
+// recordBindings extracts the atomic-object bindings of one root
+// record version, sorted by key. Bindings to non-atomic objects
+// (mutexes) are not indexed; their reads synchronize on the seize
+// lock instead.
+func recordBindings(rec *value.Record) []objindex.Binding {
+	names := make([]string, 0, len(rec.Fields))
+	//roslint:nondet keys collected here are sorted below before use
+	for name := range rec.Fields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]objindex.Binding, 0, len(names))
+	for _, name := range names {
+		ref, ok := rec.Fields[name].(value.Ref)
+		if !ok {
+			continue
+		}
+		if obj, ok := ref.Target.(*object.Atomic); ok {
+			out = append(out, objindex.Binding{Key: name, Obj: obj})
+		}
+	}
+	return out
+}
+
+// rebuildIndex rebuilds the live-version index whole from the
+// committed state recovery materialized. Prepared-but-undecided
+// writers hold their tentative versions as current, never base, so
+// the rebuilt index is committed-only by construction.
+func (g *Guardian) rebuildIndex() {
+	if g.idx == nil {
+		return
+	}
+	g.idx.Rebuild(g.committedBindings(), func(o *object.Atomic) []byte {
+		return o.SnapshotBase(nil)
+	}, g.logCoord())
+}
+
+// installCommitted publishes a committing action's new versions into
+// the live-version index. Called from applyVerdict on the commit
+// path only, after the outcome record is durable and before the
+// action's write locks are released; locked is the action's full
+// lock footprint, sorted by UID.
+//
+// The root record is processed first: if aid wrote it, the commit
+// rewrites the binding set, so the index's bindings are replaced from
+// the version this commit installs (keys rebound to existing,
+// unwritten objects fill from the version visible to aid — their
+// committed base). Then every other object aid wrote gets its
+// aid-visible version installed; Install drops objects no binding
+// references.
+func (g *Guardian) installCommitted(aid ids.ActionID, locked []*object.Atomic) {
+	idx := g.idx
+	if idx == nil {
+		return
+	}
+	lsn := g.logCoord()
+	flatten := func(o *object.Atomic) []byte { return o.SnapshotFor(aid, nil) }
+	for _, obj := range locked {
+		if obj.UID() != ids.StableVarsUID || obj.Writer() != aid {
+			continue
+		}
+		if rec, ok := obj.Value(aid).(*value.Record); ok {
+			idx.ReplaceBindings(recordBindings(rec), flatten, lsn)
+		}
+	}
+	for _, obj := range locked {
+		if obj.Writer() != aid || obj.UID() == ids.StableVarsUID {
+			continue
+		}
+		idx.Install(obj, flatten(obj), lsn)
+	}
+}
+
+// ReadKey serves the read path: the committed value bound to key,
+// flattened. With a warm index this touches no device and takes no
+// lock — the memory-speed path. On a miss (or with the index
+// disabled) it falls back to a read-only action over the committed
+// heap: the device-bound baseline, which can also return lock
+// conflicts under write contention.
+func (g *Guardian) ReadKey(key string) ([]byte, error) {
+	if g.idx != nil {
+		if e, ok := g.idx.Get(key); ok {
+			return e.Flat, nil
+		}
+	}
+	a := g.Begin()
+	obj, ok := g.VarAtomic(key)
+	if !ok {
+		// Abort of an empty action cannot meaningfully fail.
+		_ = a.Abort()
+		return nil, fmt.Errorf("%w %q", ErrNoSuchKey, key)
+	}
+	v, err := a.Read(obj)
+	if err != nil {
+		// The read error is the one to surface.
+		_ = a.Abort()
+		return nil, err
+	}
+	flat := value.Flatten(v, nil)
+	if err := a.Commit(); err != nil {
+		return nil, err
+	}
+	return flat, nil
+}
+
+// CheckIndexCoherence verifies the index against a from-scratch scan
+// of the committed state: same keys, same objects, byte-equal
+// flattened versions, and no stored version outside the binding set.
+// A nil (disabled) index is trivially coherent. The crash harnesses
+// run this after every recovery via CheckRecovered.
+func (g *Guardian) CheckIndexCoherence() error {
+	if g.idx == nil {
+		return nil
+	}
+	want := g.committedBindings()
+	got := g.idx.Snapshot()
+	if len(got) != len(want) {
+		return fmt.Errorf("guardian: index holds %d keys, committed scan %d", len(got), len(want))
+	}
+	uids := make(map[ids.UID]bool, len(want))
+	for i, b := range want {
+		s := got[i]
+		if s.Key != b.Key {
+			return fmt.Errorf("guardian: index key %q, committed scan %q", s.Key, b.Key)
+		}
+		if s.UID != b.Obj.UID() {
+			return fmt.Errorf("guardian: index binds %q to %v, committed scan to %v", s.Key, s.UID, b.Obj.UID())
+		}
+		if flat := b.Obj.SnapshotBase(nil); !bytes.Equal(flat, s.Flat) {
+			return fmt.Errorf("guardian: index bytes for %q diverge from committed base (%d vs %d bytes)", s.Key, len(s.Flat), len(flat))
+		}
+		uids[b.Obj.UID()] = true
+	}
+	if st := g.idx.Stats(); st.Entries != len(uids) {
+		return fmt.Errorf("guardian: index stores %d versions, bindings reference %d", st.Entries, len(uids))
+	}
+	return nil
+}

@@ -1,0 +1,318 @@
+package guardian
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/value"
+)
+
+func readInt(t *testing.T, g *Guardian, key string) int64 {
+	t.Helper()
+	flat, err := g.ReadKey(key)
+	if err != nil {
+		t.Fatalf("ReadKey(%q): %v", key, err)
+	}
+	v, err := value.Unflatten(flat)
+	if err != nil {
+		t.Fatalf("ReadKey(%q) bytes undecodable: %v", key, err)
+	}
+	n, ok := v.(value.Int)
+	if !ok {
+		t.Fatalf("ReadKey(%q) = %s, want an int", key, value.String(v))
+	}
+	return int64(n)
+}
+
+func TestIndexServesCommittedReads(t *testing.T) {
+	forBackends(t, func(t *testing.T, b core.Backend) {
+		g := mustGuardian(t, 1, b)
+		c := initCounter(t, g, 10)
+		if got := readInt(t, g, "counter"); got != 10 {
+			t.Fatalf("counter = %d, want 10", got)
+		}
+		a := g.Begin()
+		if err := a.Update(c, func(v value.Value) value.Value {
+			return value.Int(int64(v.(value.Int)) + 5)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if got := readInt(t, g, "counter"); got != 15 {
+			t.Fatalf("after commit counter = %d, want 15", got)
+		}
+		st, ok := g.IndexStats()
+		if !ok {
+			t.Fatal("index disabled by default")
+		}
+		if st.Hits < 2 {
+			t.Fatalf("hits = %d, want both reads served from the index", st.Hits)
+		}
+		if _, err := g.ReadKey("absent"); !errors.Is(err, ErrNoSuchKey) {
+			t.Fatalf("absent key error = %v, want ErrNoSuchKey", err)
+		}
+		if err := g.CheckIndexCoherence(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestIndexAbortInvisible(t *testing.T) {
+	forBackends(t, func(t *testing.T, b core.Backend) {
+		g := mustGuardian(t, 1, b)
+		c := initCounter(t, g, 10)
+		a := g.Begin()
+		if err := a.Set(c, value.Int(999)); err != nil {
+			t.Fatal(err)
+		}
+		// The uncommitted version must not be readable while the write
+		// lock is held, nor after the abort.
+		if err := a.Abort(); err != nil {
+			t.Fatal(err)
+		}
+		if got := readInt(t, g, "counter"); got != 10 {
+			t.Fatalf("aborted write visible: counter = %d, want 10", got)
+		}
+		if err := g.CheckIndexCoherence(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestIndexDisabledFallback(t *testing.T) {
+	g, err := New(1, WithoutIndex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	initCounter(t, g, 7)
+	if _, ok := g.IndexStats(); ok {
+		t.Fatal("WithoutIndex guardian reports index stats")
+	}
+	if got := readInt(t, g, "counter"); got != 7 {
+		t.Fatalf("fallback read = %d, want 7", got)
+	}
+	// Disabled stays disabled across Restart.
+	g.Crash()
+	g2, err := Restart(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Index() != nil {
+		t.Fatal("index reappeared after Restart of a WithoutIndex guardian")
+	}
+	if got := readInt(t, g2, "counter"); got != 7 {
+		t.Fatalf("recovered fallback read = %d, want 7", got)
+	}
+}
+
+// TestIndexRebuildMatchesScan is the direct form of the crash-sweep
+// property (CheckRecovered invariant 4): after every crash point of a
+// small scripted history, the rebuilt index is byte-equal to a
+// from-scratch scan of the recovered committed state, and reads it
+// serves match the committed base versions.
+func TestIndexRebuildMatchesScan(t *testing.T) {
+	forBackends(t, func(t *testing.T, b core.Backend) {
+		for crashAfter := 0; crashAfter <= 6; crashAfter++ {
+			g := mustGuardian(t, 1, b)
+			step := 0
+			commit := func(fn func(a *Action) error) {
+				if step >= crashAfter {
+					return
+				}
+				step++
+				a := g.Begin()
+				if err := fn(a); err != nil {
+					t.Fatal(err)
+				}
+				if err := a.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var objs []*object.Atomic
+			commit(func(a *Action) error {
+				for i := 0; i < 3; i++ {
+					o, err := a.NewAtomic(value.Int(int64(i)))
+					if err != nil {
+						return err
+					}
+					objs = append(objs, o)
+					if err := a.SetVar(fmt.Sprintf("k%d", i), o); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			commit(func(a *Action) error {
+				return a.Set(objs[0], value.Int(100))
+			})
+			commit(func(a *Action) error { // rebind k1 to k0's object
+				return a.SetVar("k1", objs[0])
+			})
+			commit(func(a *Action) error {
+				return a.Set(objs[2], value.Str("rewritten"))
+			})
+			commit(func(a *Action) error { // unbind k2's object, bind a fresh one
+				o, err := a.NewAtomic(value.Int(42))
+				if err != nil {
+					return err
+				}
+				return a.SetVar("k2", o)
+			})
+			commit(func(a *Action) error {
+				return a.Set(objs[0], value.Int(101))
+			})
+
+			g.Crash()
+			g2, err := Restart(g)
+			if err != nil {
+				t.Fatalf("crashAfter=%d: %v", crashAfter, err)
+			}
+			// CheckRecovered includes the byte-equality coherence check.
+			if err := CheckRecovered(g2); err != nil {
+				t.Fatalf("crashAfter=%d: %v", crashAfter, err)
+			}
+			// Every index-served read equals the committed base version.
+			for _, row := range g2.Index().Snapshot() {
+				flat, err := g2.ReadKey(row.Key)
+				if err != nil {
+					t.Fatalf("crashAfter=%d ReadKey(%q): %v", crashAfter, row.Key, err)
+				}
+				o, ok := g2.VarAtomic(row.Key)
+				if !ok {
+					t.Fatalf("crashAfter=%d: %q in index but unbound", crashAfter, row.Key)
+				}
+				if want := o.SnapshotBase(nil); !bytes.Equal(flat, want) {
+					t.Fatalf("crashAfter=%d: ReadKey(%q) diverges from committed base", crashAfter, row.Key)
+				}
+			}
+		}
+	})
+}
+
+// TestIndexConcurrent is the race soak CI runs with -race -count=3:
+// concurrent index readers against committers and aborters. Readers
+// must only ever see committed versions — the per-key counter values
+// are monotonically nondecreasing and never show an aborted write.
+func TestIndexConcurrent(t *testing.T) {
+	g := mustGuardian(t, 1, core.BackendHybrid)
+	const keys = 4
+	objs := make([]*object.Atomic, keys)
+	setup := g.Begin()
+	for i := range objs {
+		o, err := setup.NewAtomic(value.Int(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs[i] = o
+		if err := setup.SetVar(fmt.Sprintf("k%d", i), o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const committers = 4
+	const increments = 30
+	var commitWG, readWG sync.WaitGroup
+	errc := make(chan error, committers+keys)
+	for w := 0; w < committers; w++ {
+		w := w
+		commitWG.Add(1)
+		go func() {
+			defer commitWG.Done()
+			obj := objs[w%keys]
+			done := 0
+			for done < increments {
+				a := g.Begin()
+				err := a.Update(obj, func(v value.Value) value.Value {
+					return value.Int(int64(v.(value.Int)) + 1)
+				})
+				if err != nil {
+					_ = a.Abort()
+					if errors.Is(err, object.ErrLockConflict) {
+						continue
+					}
+					errc <- err
+					return
+				}
+				// Odd iterations abort: the poisoned value -1 must never
+				// surface through the index.
+				if done%2 == 1 {
+					if err := a.Set(obj, value.Int(-1)); err == nil {
+						if err := a.Abort(); err != nil {
+							errc <- err
+							return
+						}
+						done++
+						continue
+					}
+				}
+				if err := a.Commit(); err != nil {
+					errc <- err
+					return
+				}
+				done++
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	for r := 0; r < keys; r++ {
+		r := r
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			key := fmt.Sprintf("k%d", r)
+			var last int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				flat, err := g.ReadKey(key)
+				if err != nil {
+					errc <- fmt.Errorf("reader %s: %w", key, err)
+					return
+				}
+				v, err := value.Unflatten(flat)
+				if err != nil {
+					errc <- fmt.Errorf("reader %s: torn bytes: %w", key, err)
+					return
+				}
+				n := int64(v.(value.Int))
+				if n < last {
+					errc <- fmt.Errorf("reader %s: went backwards %d -> %d", key, last, n)
+					return
+				}
+				if n < 0 {
+					errc <- fmt.Errorf("reader %s: saw aborted write %d", key, n)
+					return
+				}
+				last = n
+			}
+		}()
+	}
+	// Readers spin until every committer finishes its bounded work.
+	commitWG.Wait()
+	close(stop)
+	readWG.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if err := g.CheckIndexCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := g.IndexStats()
+	if st.Hits == 0 {
+		t.Fatal("soak never hit the index")
+	}
+}

@@ -1,0 +1,330 @@
+// Package objindex is the per-guardian live-version index: an
+// in-memory map from stable-variable keys to the current committed
+// version of the bound atomic object (flattened bytes plus the log
+// coordinate the version was durable at). It is the LogBase-style
+// "log as data" read path — a warm index serves gets at memory speed
+// with zero device reads and zero lock traffic, while the log stays
+// the only durable truth.
+//
+// Consistency contract (maintained by the guardian, audited by
+// roslint's lockdiscipline confinement rule and by
+// guardian.CheckIndexCoherence in every crash sweep):
+//
+//   - Installs happen only on the committed side of the §2.2.3 point
+//     of no return: after the outcome record is durable and before the
+//     committing action's write locks are released. A reader can never
+//     observe an uncommitted version, and the install order of two
+//     versions of one object matches their commit order (serialized by
+//     the object's write lock).
+//   - Aborts touch nothing. The index only ever holds committed
+//     state, so discarding an action's versions needs no invalidation.
+//   - Rebuild derives the whole index from the committed heap the
+//     backward-scan recovery materializes (root-record bindings →
+//     base versions), so a restarted, promoted, or handed-off guardian
+//     comes up warm-correct without any extra durable structure.
+//
+// Layout: two maps. bindings maps a stable-variable key to the UID of
+// the atomic object it names (the committed root record, inverted);
+// values maps a UID to that object's current committed version. The
+// indirection keeps a rebinding (SetVar pointing an existing key at a
+// new object) and a rewrite (a new version of a bound object) both
+// O(1), and keys bound to the same object share one stored version.
+// Invariant: every binding's UID has a values entry, and every values
+// entry is referenced by at least one binding.
+//
+// The package is in the determinism analyzer's scope: no clocks, no
+// global randomness, no goroutines; map iterations are sorted before
+// use or order-independent and annotated.
+package objindex
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/obs"
+)
+
+// Entry is one live committed version.
+type Entry struct {
+	// Obj is the indexed atomic object (the heap object, shared, not a
+	// copy); the guardian's Var fast path resolves bindings through it.
+	Obj *object.Atomic
+	// Flat is the committed version, flattened exactly as value.Flatten
+	// renders it — byte-identical to what a device read of the same
+	// version would decode to.
+	Flat []byte
+	// LSN is the guardian's durable log boundary when the version was
+	// installed (or the boundary recovery rebuilt from): the "log
+	// coordinate" tying the cached bytes back to the durable truth.
+	LSN uint64
+}
+
+// Binding names one stable-variable key and the atomic object bound
+// to it, the unit Rebuild and ReplaceBindings consume.
+type Binding struct {
+	Key string
+	Obj *object.Atomic
+}
+
+// Snap is one row of Snapshot's sorted dump: a key, the UID it binds,
+// and the indexed bytes — the shape coherence checks compare against a
+// from-scratch scan.
+type Snap struct {
+	Key  string
+	UID  ids.UID
+	Flat []byte
+	LSN  uint64
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses uint64
+	// Installs counts committed versions published (installs and
+	// rebind fills), Rebuilds full from-recovery rebuilds.
+	Installs, Rebuilds uint64
+	// Keys is the number of bound stable-variable keys, Entries the
+	// number of stored versions (Entries ≤ Keys; keys may share one).
+	Keys, Entries int
+	// Bytes is the total flattened size of all stored versions.
+	Bytes uint64
+}
+
+// Index is one guardian's live-version index. All methods are safe
+// for concurrent use: reads take an RWMutex read lock, mutations the
+// write lock. The guardian confines mutations to its commit and
+// recovery paths (see the package comment).
+type Index struct {
+	mu       sync.Mutex // guards tr, installs, rebuilds
+	tr       obs.Tracer
+	installs uint64
+	rebuilds uint64
+
+	// vmu guards the maps and the byte gauge.
+	vmu      sync.RWMutex
+	values   map[ids.UID]Entry
+	bindings map[string]ids.UID
+	bytes    uint64
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		values:   make(map[ids.UID]Entry),
+		bindings: make(map[string]ids.UID),
+	}
+}
+
+// SetTracer installs (or, with nil, removes) an event tracer: Get
+// emits idx.hit/idx.miss, installs emit idx.install, Rebuild emits
+// idx.rebuild. The guardian passes its id-stamping tracer here.
+func (x *Index) SetTracer(tr obs.Tracer) {
+	x.mu.Lock()
+	x.tr = tr
+	x.mu.Unlock()
+}
+
+func (x *Index) emit(e obs.Event) {
+	x.mu.Lock()
+	tr := x.tr
+	x.mu.Unlock()
+	if tr != nil {
+		tr.Emit(e)
+	}
+}
+
+// Get returns the live committed version bound to key. A hit is the
+// memory-speed read path; a miss (unbound key, or a binding whose
+// value was pruned mid-rebind) sends the caller to the action-path
+// fallback.
+func (x *Index) Get(key string) (Entry, bool) {
+	x.vmu.RLock()
+	var e Entry
+	uid, ok := x.bindings[key]
+	if ok {
+		e, ok = x.values[uid]
+	}
+	x.vmu.RUnlock()
+	if !ok {
+		x.misses.Add(1)
+		x.emit(obs.Event{Kind: obs.KindIdxMiss, Note: key})
+		return Entry{}, false
+	}
+	x.hits.Add(1)
+	x.emit(obs.Event{Kind: obs.KindIdxHit, Bytes: len(e.Flat)})
+	return e, true
+}
+
+// Bound returns the atomic object bound to key, resolving the
+// committed binding without touching the hit/miss counters — the
+// guardian's Var fast path (the read half of a read-validate update
+// locates its object here instead of walking the root record).
+func (x *Index) Bound(key string) (*object.Atomic, bool) {
+	x.vmu.RLock()
+	defer x.vmu.RUnlock()
+	if uid, ok := x.bindings[key]; ok {
+		if e, ok := x.values[uid]; ok {
+			return e.Obj, true
+		}
+	}
+	return nil, false
+}
+
+// Install publishes a committed version of obj. It is a no-op for
+// objects no binding references (an unbound object's version can
+// never be served, and storing it would leak); the guardian calls it
+// for every object a committing action wrote, at the point of no
+// return, before the action's write locks are released.
+func (x *Index) Install(obj *object.Atomic, flat []byte, lsn uint64) {
+	uid := obj.UID()
+	x.vmu.Lock()
+	if !x.referencedLocked(uid) {
+		x.vmu.Unlock()
+		return
+	}
+	x.setLocked(uid, Entry{Obj: obj, Flat: flat, LSN: lsn})
+	x.vmu.Unlock()
+	x.noteInstall(uid, len(flat), lsn)
+}
+
+// ReplaceBindings swaps in the complete new binding set of a
+// committed root-record write. Versions for objects the new set
+// references but the index does not yet hold (a key rebound to an
+// existing, unwritten object) are filled by flatten — called under
+// the index lock, with the owning action's write locks still held, so
+// the fill and the bindings change are atomic to readers. Versions no
+// binding references afterwards are pruned.
+func (x *Index) ReplaceBindings(pairs []Binding, flatten func(*object.Atomic) []byte, lsn uint64) {
+	type fill struct {
+		uid   ids.UID
+		bytes int
+	}
+	var filled []fill
+	x.vmu.Lock()
+	next := make(map[string]ids.UID, len(pairs))
+	keep := make(map[ids.UID]bool, len(pairs))
+	for _, b := range pairs {
+		uid := b.Obj.UID()
+		next[b.Key] = uid
+		keep[uid] = true
+		if _, ok := x.values[uid]; !ok {
+			flat := flatten(b.Obj)
+			x.setLocked(uid, Entry{Obj: b.Obj, Flat: flat, LSN: lsn})
+			filled = append(filled, fill{uid: uid, bytes: len(flat)})
+		}
+	}
+	x.bindings = next
+	//roslint:nondet order-independent: pruning deletes entries by membership, no cross-entry effects
+	for uid, e := range x.values {
+		if !keep[uid] {
+			x.bytes -= uint64(len(e.Flat))
+			delete(x.values, uid)
+		}
+	}
+	x.vmu.Unlock()
+	for _, f := range filled {
+		x.noteInstall(f.uid, f.bytes, lsn)
+	}
+}
+
+// Rebuild discards the index and rebuilds it from the committed
+// bindings recovery (or a fresh scan) produced: each pair's version
+// is filled from flatten. The recovery path of a restart, a backup
+// promotion, and a shard-handoff adoption all come through here.
+func (x *Index) Rebuild(pairs []Binding, flatten func(*object.Atomic) []byte, lsn uint64) {
+	x.vmu.Lock()
+	x.values = make(map[ids.UID]Entry, len(pairs))
+	x.bindings = make(map[string]ids.UID, len(pairs))
+	x.bytes = 0
+	for _, b := range pairs {
+		uid := b.Obj.UID()
+		x.bindings[b.Key] = uid
+		if _, ok := x.values[uid]; !ok {
+			x.setLocked(uid, Entry{Obj: b.Obj, Flat: flatten(b.Obj), LSN: lsn})
+		}
+	}
+	total := x.bytes
+	x.vmu.Unlock()
+	x.mu.Lock()
+	x.rebuilds++
+	x.mu.Unlock()
+	x.emit(obs.Event{Kind: obs.KindIdxRebuild, LSN: lsn, Bytes: int(total)})
+}
+
+// referencedLocked reports whether any binding names uid. Callers
+// hold vmu.
+func (x *Index) referencedLocked(uid ids.UID) bool {
+	_, ok := x.values[uid]
+	if ok {
+		return true
+	}
+	//roslint:nondet order-independent: membership probe, first match wins and all matches agree
+	for _, bound := range x.bindings {
+		if bound == uid {
+			return true
+		}
+	}
+	return false
+}
+
+// setLocked stores e, maintaining the byte gauge. Callers hold vmu.
+func (x *Index) setLocked(uid ids.UID, e Entry) {
+	if old, ok := x.values[uid]; ok {
+		x.bytes -= uint64(len(old.Flat))
+	}
+	x.bytes += uint64(len(e.Flat))
+	x.values[uid] = e
+}
+
+func (x *Index) noteInstall(uid ids.UID, n int, lsn uint64) {
+	x.mu.Lock()
+	x.installs++
+	x.mu.Unlock()
+	x.emit(obs.Event{Kind: obs.KindIdxInstall, LSN: lsn, Bytes: n, Note: uid.String()})
+}
+
+// Snapshot dumps the index as one row per binding, sorted by key —
+// the canonical form coherence checks compare against a from-scratch
+// scan of committed state. A binding whose value entry is missing
+// (an invariant violation) surfaces as a row with nil Flat.
+func (x *Index) Snapshot() []Snap {
+	x.vmu.RLock()
+	out := make([]Snap, 0, len(x.bindings))
+	//roslint:nondet keys collected here are sorted below before use
+	for key, uid := range x.bindings {
+		row := Snap{Key: key, UID: uid}
+		if e, ok := x.values[uid]; ok {
+			row.Flat = e.Flat
+			row.LSN = e.LSN
+		}
+		out = append(out, row)
+	}
+	x.vmu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Stats returns a point-in-time counter snapshot.
+func (x *Index) Stats() Stats {
+	x.mu.Lock()
+	installs, rebuilds := x.installs, x.rebuilds
+	x.mu.Unlock()
+	x.vmu.RLock()
+	keys, entries, bytes := len(x.bindings), len(x.values), x.bytes
+	x.vmu.RUnlock()
+	return Stats{
+		Hits:     x.hits.Load(),
+		Misses:   x.misses.Load(),
+		Installs: installs,
+		Rebuilds: rebuilds,
+		Keys:     keys,
+		Entries:  entries,
+		Bytes:    bytes,
+	}
+}

@@ -1,0 +1,147 @@
+package objindex
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/object"
+	"repro/internal/value"
+)
+
+func atom(uid ids.UID, v int64) *object.Atomic {
+	return object.NewAtomic(uid, value.Int(v), ids.NoAction)
+}
+
+func flatBase(o *object.Atomic) []byte { return o.SnapshotBase(nil) }
+
+func TestGetHitMissCounters(t *testing.T) {
+	x := New()
+	a := atom(10, 7)
+	x.Rebuild([]Binding{{Key: "a", Obj: a}}, flatBase, 42)
+
+	e, ok := x.Get("a")
+	if !ok {
+		t.Fatal("warm key missed")
+	}
+	if !bytes.Equal(e.Flat, a.SnapshotBase(nil)) {
+		t.Fatalf("Get bytes = %x, want base snapshot", e.Flat)
+	}
+	if e.LSN != 42 {
+		t.Fatalf("LSN = %d, want 42", e.LSN)
+	}
+	if _, ok := x.Get("absent"); ok {
+		t.Fatal("absent key hit")
+	}
+	st := x.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", st.Hits, st.Misses)
+	}
+	if st.Keys != 1 || st.Entries != 1 || st.Rebuilds != 1 {
+		t.Fatalf("keys/entries/rebuilds = %d/%d/%d, want 1/1/1", st.Keys, st.Entries, st.Rebuilds)
+	}
+	if st.Bytes != uint64(len(e.Flat)) {
+		t.Fatalf("bytes gauge = %d, want %d", st.Bytes, len(e.Flat))
+	}
+}
+
+func TestInstallRefusesUnbound(t *testing.T) {
+	x := New()
+	bound := atom(10, 1)
+	stray := atom(11, 2)
+	x.Rebuild([]Binding{{Key: "a", Obj: bound}}, flatBase, 0)
+
+	x.Install(stray, stray.SnapshotBase(nil), 1)
+	if st := x.Stats(); st.Entries != 1 || st.Installs != 0 {
+		t.Fatalf("unbound install stored: entries=%d installs=%d", st.Entries, st.Installs)
+	}
+	x.Install(bound, bound.SnapshotBase(nil), 1)
+	if st := x.Stats(); st.Entries != 1 || st.Installs != 1 {
+		t.Fatalf("bound install: entries=%d installs=%d", st.Entries, st.Installs)
+	}
+}
+
+func TestReplaceBindingsFillsAndPrunes(t *testing.T) {
+	x := New()
+	a, b, c := atom(10, 1), atom(11, 2), atom(12, 3)
+	x.Rebuild([]Binding{{Key: "a", Obj: a}, {Key: "b", Obj: b}}, flatBase, 0)
+
+	// Rebind: drop "a", keep "b", add "c" (never written, filled via
+	// the flatten callback).
+	x.ReplaceBindings([]Binding{{Key: "b", Obj: b}, {Key: "c", Obj: c}}, flatBase, 5)
+
+	if _, ok := x.Get("a"); ok {
+		t.Fatal("pruned key still hits")
+	}
+	if e, ok := x.Get("c"); !ok || !bytes.Equal(e.Flat, c.SnapshotBase(nil)) {
+		t.Fatalf("filled key: ok=%v flat=%x", ok, e.Flat)
+	}
+	st := x.Stats()
+	if st.Keys != 2 || st.Entries != 2 {
+		t.Fatalf("keys/entries = %d/%d, want 2/2", st.Keys, st.Entries)
+	}
+	want := uint64(len(b.SnapshotBase(nil)) + len(c.SnapshotBase(nil)))
+	if st.Bytes != want {
+		t.Fatalf("bytes gauge = %d, want %d", st.Bytes, want)
+	}
+}
+
+func TestSharedObjectOneEntry(t *testing.T) {
+	x := New()
+	shared := atom(10, 9)
+	x.Rebuild([]Binding{{Key: "k1", Obj: shared}, {Key: "k2", Obj: shared}}, flatBase, 0)
+	st := x.Stats()
+	if st.Keys != 2 || st.Entries != 1 {
+		t.Fatalf("keys/entries = %d/%d, want 2/1", st.Keys, st.Entries)
+	}
+	// Unbinding one alias keeps the entry; unbinding both prunes it.
+	x.ReplaceBindings([]Binding{{Key: "k1", Obj: shared}}, flatBase, 1)
+	if st := x.Stats(); st.Entries != 1 {
+		t.Fatalf("entries after one alias dropped = %d, want 1", st.Entries)
+	}
+	x.ReplaceBindings(nil, flatBase, 2)
+	if st := x.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("entries/bytes after all dropped = %d/%d, want 0/0", st.Entries, st.Bytes)
+	}
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	x := New()
+	var pairs []Binding
+	for i := 0; i < 20; i++ {
+		pairs = append(pairs, Binding{Key: fmt.Sprintf("k%02d", 19-i), Obj: atom(ids.UID(100+i), int64(i))})
+	}
+	x.Rebuild(pairs, flatBase, 3)
+	snap := x.Snapshot()
+	if len(snap) != 20 {
+		t.Fatalf("snapshot rows = %d, want 20", len(snap))
+	}
+	for i, row := range snap {
+		if want := fmt.Sprintf("k%02d", i); row.Key != want {
+			t.Fatalf("row %d key = %q, want %q (sorted)", i, row.Key, want)
+		}
+		if row.Flat == nil {
+			t.Fatalf("row %q has no bytes", row.Key)
+		}
+		if row.LSN != 3 {
+			t.Fatalf("row %q LSN = %d, want 3", row.Key, row.LSN)
+		}
+	}
+}
+
+func TestBoundResolvesWithoutCounting(t *testing.T) {
+	x := New()
+	a := atom(10, 7)
+	x.Rebuild([]Binding{{Key: "a", Obj: a}}, flatBase, 0)
+	got, ok := x.Bound("a")
+	if !ok || got != a {
+		t.Fatalf("Bound = %v/%v, want the bound object", got, ok)
+	}
+	if _, ok := x.Bound("absent"); ok {
+		t.Fatal("Bound hit for absent key")
+	}
+	if st := x.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Bound moved the counters: %d/%d", st.Hits, st.Misses)
+	}
+}

@@ -176,6 +176,20 @@ const (
 	// the rehomed table goes out (Durable = new table version); the
 	// receiver emits Note "adopt" when it recovers the guardian.
 	KindShardHandoff
+	// KindIdxHit / KindIdxMiss are a live-version index lookup being
+	// served from memory (Bytes = flattened value size) or falling
+	// through to the action-path device read (Note = the key).
+	KindIdxHit
+	KindIdxMiss
+	// KindIdxInstall is a committed version entering the index at the
+	// §2.2.3 point of no return; LSN is the guardian's durable log
+	// boundary, Bytes the flattened size, Note the object UID.
+	KindIdxInstall
+	// KindIdxRebuild is the index being rebuilt whole from recovered
+	// committed state (restart, promotion, or handoff adoption); LSN
+	// is the durable boundary rebuilt from, Bytes the total indexed
+	// size.
+	KindIdxRebuild
 
 	kindMax
 )
@@ -215,6 +229,10 @@ var kindNames = [...]string{
 	KindShardWrong:     "shard.wrong",
 	KindShardInstall:   "shard.install",
 	KindShardHandoff:   "shard.handoff",
+	KindIdxHit:         "idx.hit",
+	KindIdxMiss:        "idx.miss",
+	KindIdxInstall:     "idx.install",
+	KindIdxRebuild:     "idx.rebuild",
 }
 
 func (k Kind) String() string {
@@ -333,6 +351,7 @@ const (
 	RPCDone
 	RPCHandoff
 	RPCHandoffInstall
+	RPCGet
 )
 
 var rpcOpNames = [...]string{
@@ -354,6 +373,7 @@ var rpcOpNames = [...]string{
 	RPCDone:           "done",
 	RPCHandoff:        "handoff",
 	RPCHandoffInstall: "handoff.install",
+	RPCGet:            "get",
 }
 
 // RPCStatus codes for KindRPCReply events (Code field), mirroring
@@ -494,7 +514,8 @@ func (e Event) appendText(b []byte) []byte {
 	}
 	switch e.Kind {
 	case KindLogAppend, KindForceStart, KindForceDone, KindForceWait,
-		KindOutcomeAppend, KindOutcomeDurable, KindFaultInjected:
+		KindOutcomeAppend, KindOutcomeDurable, KindFaultInjected,
+		KindIdxInstall, KindIdxRebuild:
 		b = append(b, " lsn="...)
 		if e.LSN == NoLSN {
 			b = append(b, "nil"...)

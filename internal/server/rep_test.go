@@ -378,7 +378,8 @@ func TestStatusOverTCP(t *testing.T) {
 	}
 
 	want := wire.RepStatus{Role: wire.RolePrimary, Epoch: 3, Durable: 48, QuorumBytes: 32, Quorum: 2, Replicas: 2, Alive: 1}
-	_, addr2 := startServer(t, newCounterGuardian(t, 10), Config{
+	g2 := newCounterGuardian(t, 10)
+	_, addr2 := startServer(t, g2, Config{
 		Status: func() wire.RepStatus { return want },
 	})
 	c2 := client.New(addr2, client.Options{})
@@ -386,6 +387,14 @@ func TestStatusOverTCP(t *testing.T) {
 	st2, err := c2.Status()
 	if err != nil {
 		t.Fatal(err)
+	}
+	// The hook answers the replication fields; the server stamps the
+	// served guardian's index counters on top.
+	if idx, ok := g2.IndexStats(); ok {
+		want.IdxHits = idx.Hits
+		want.IdxMisses = idx.Misses
+		want.IdxEntries = uint64(idx.Entries)
+		want.IdxBytes = idx.Bytes
 	}
 	if st2.Rep != want {
 		t.Fatalf("hooked status = %+v, want %+v", st2.Rep, want)

@@ -10,7 +10,11 @@
 // execute guardian operations (handler invocations, two-phase-commit
 // messages) and write responses back under a per-connection write
 // lock, so responses from concurrent workers never interleave
-// mid-frame. Group commit (PR 3) is what makes this compose: N
+// mid-frame. A pipelining client (several requests written before any
+// response is read) gets its responses coalesced: the reader counts
+// in-flight dispatches and the worker answering the last one flushes
+// every buffered frame in one write, amortizing syscalls the way group
+// commit amortizes forces. Group commit (PR 3) is what makes this compose: N
 // concurrent client commits coalesce into a fraction of N log forces,
 // so the serving layer rides the force scheduler instead of defeating
 // it (experiment E12).
@@ -32,6 +36,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/guardian"
@@ -167,7 +172,15 @@ type conn struct {
 	nc     net.Conn
 	serial uint64
 
-	wmu sync.Mutex // serializes response frames
+	// inflight counts requests dispatched from this connection whose
+	// responses have not yet been handed to replyTracked. While it is
+	// above zero the client is pipelining (it wrote another request
+	// before reading the previous answer), so response frames coalesce
+	// in wbuf and go out in one write when the count reaches zero.
+	inflight atomic.Int64
+
+	wmu  sync.Mutex // serializes response frames; guards wbuf
+	wbuf []byte     // coalesced response frames awaiting flush
 
 	closeOnce sync.Once
 }
@@ -364,10 +377,14 @@ func (s *Server) readLoop(c *conn) {
 			continue
 		}
 		s.emit(obs.Event{Kind: obs.KindRPCDispatch, From: c.serial, Code: uint8(req.Op), Bytes: len(f.Payload)})
+		// Count the dispatch before handing it off: exactly one
+		// replyTracked call (the worker's, or the drain refusal below)
+		// balances this increment.
+		c.inflight.Add(1)
 		select {
 		case s.work <- task{c: c, corrID: f.CorrID, req: req}:
 		case <-s.closed:
-			s.reply(c, f.CorrID, wire.Response{Status: wire.StatusRetry, Err: "server draining"})
+			s.replyTracked(c, f.CorrID, wire.Response{Status: wire.StatusRetry, Err: "server draining"})
 			return
 		}
 	}
@@ -385,17 +402,60 @@ func (s *Server) forget(c *conn) {
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for t := range s.work {
-		s.reply(t.c, t.corrID, s.execute(t.req))
+		s.replyTracked(t.c, t.corrID, s.execute(t.req))
 	}
 }
 
-// reply writes one response frame under the connection's write lock.
+// coalesceLimit bounds the per-connection response buffer: a deeply
+// pipelined batch flushes early once this many bytes accumulate, so
+// the buffer never grows with batch depth.
+const coalesceLimit = 32 << 10
+
+// reply writes one response frame under the connection's write lock,
+// flushing immediately — the path for responses that never entered the
+// dispatch count (malformed frames, protocol errors).
 func (s *Server) reply(c *conn, corrID uint64, resp wire.Response) {
+	s.replyFrame(c, corrID, resp, false)
+}
+
+// replyTracked answers one dispatched request: the frame joins the
+// connection's coalescing buffer and the write goes out when this was
+// the last in-flight request (or the buffer outgrew coalesceLimit).
+// Exactly one replyTracked call balances each inflight increment the
+// reader performed at dispatch.
+func (s *Server) replyTracked(c *conn, corrID uint64, resp wire.Response) {
+	s.replyFrame(c, corrID, resp, true)
+}
+
+func (s *Server) replyFrame(c *conn, corrID uint64, resp wire.Response, tracked bool) {
 	payload := wire.EncodeResponse(resp)
 	c.wmu.Lock()
-	//roslint:besteffort a dead connection surfaces in the following write
-	_ = c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	err := wire.WriteFrame(c.nc, wire.Frame{Type: wire.TypeResponse, CorrID: corrID, Payload: payload})
+	buf, err := wire.AppendFrame(c.wbuf, wire.Frame{Type: wire.TypeResponse, CorrID: corrID, Payload: payload})
+	if err != nil {
+		c.wmu.Unlock()
+		if tracked {
+			c.inflight.Add(-1)
+		}
+		// An unencodable response (oversized payload) can never reach
+		// the client; drop the connection so it re-dials and retries.
+		c.close()
+		return
+	}
+	c.wbuf = buf
+	// The decrement happens here — inside wmu, after the append. Were
+	// it outside, a sibling worker could observe the count hit zero and
+	// flush between this frame's decrement and its append, stranding
+	// the frame in the buffer with nobody left to write it.
+	flush := true
+	if tracked {
+		flush = c.inflight.Add(-1) == 0 || len(c.wbuf) >= coalesceLimit
+	}
+	if flush {
+		//roslint:besteffort a dead connection surfaces in the following write
+		_ = c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		_, err = c.nc.Write(c.wbuf)
+		c.wbuf = c.wbuf[:0]
+	}
 	c.wmu.Unlock()
 	if err != nil {
 		var nerr net.Error
@@ -443,6 +503,8 @@ func (s *Server) execute(req wire.Request) wire.Response {
 	switch req.Op {
 	case wire.OpInvoke:
 		return s.invoke(g, req)
+	case wire.OpGet:
+		return s.get(g, req)
 	case wire.OpPrepare:
 		vote, err := g.HandlePrepare(req.AID)
 		if err != nil {
@@ -618,6 +680,18 @@ func (s *Server) invoke(g *guardian.Guardian, req wire.Request) wire.Response {
 	var flat []byte
 	if result != nil {
 		flat = value.Flatten(result, func(value.Obj) {})
+	}
+	return wire.Response{Status: wire.StatusOK, Result: flat}
+}
+
+// get answers OpGet: the committed value bound to the stable variable
+// named by Handler, flattened — served from the guardian's live-version
+// index when it holds the key, else through the guardian's read-only
+// action fallback (which takes a read lock and releases it force-free).
+func (s *Server) get(g *guardian.Guardian, req wire.Request) wire.Response {
+	flat, err := g.ReadKey(req.Handler)
+	if err != nil {
+		return failure(err)
 	}
 	return wire.Response{Status: wire.StatusOK, Result: flat}
 }

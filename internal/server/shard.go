@@ -150,7 +150,9 @@ func (s *Server) routeInstall(req wire.Request) wire.Response {
 }
 
 // statusReport builds the OpStatus answer: the node-level replication
-// report plus one row per hosted shard, in ascending id order.
+// report plus one row per hosted shard, in ascending id order. The
+// node-level idx.* counters aggregate every hosted guardian (default
+// plus shards); each shard row carries its own guardian's.
 func (s *Server) statusReport() wire.StatusReport {
 	rep := wire.StatusReport{Rep: s.status()}
 	s.smu.Lock()
@@ -164,12 +166,28 @@ func (s *Server) statusReport() wire.StatusReport {
 		guardians = append(guardians, s.shards[id])
 	}
 	s.smu.Unlock()
-	// Durable boundaries are read outside smu: TailInfo takes log
-	// locks, and smu stays a leaf.
+	// Durable boundaries and index counters are read outside smu:
+	// TailInfo takes log locks, and smu stays a leaf.
+	if g := s.guardian(); g != nil {
+		if st, ok := g.IndexStats(); ok {
+			rep.Rep.IdxHits += st.Hits
+			rep.Rep.IdxMisses += st.Misses
+			rep.Rep.IdxEntries += uint64(st.Entries)
+			rep.Rep.IdxBytes += uint64(st.Bytes)
+		}
+	}
 	for i, id := range ids {
 		row := wire.ShardStatus{ID: id, Role: wire.RoleStandalone}
 		if site := guardians[i].Site(); site != nil {
 			row.Durable, _ = site.Log().TailInfo()
+		}
+		if st, ok := guardians[i].IndexStats(); ok {
+			row.IdxHits = st.Hits
+			row.IdxMisses = st.Misses
+			rep.Rep.IdxHits += st.Hits
+			rep.Rep.IdxMisses += st.Misses
+			rep.Rep.IdxEntries += uint64(st.Entries)
+			rep.Rep.IdxBytes += uint64(st.Bytes)
 		}
 		rep.Shards = append(rep.Shards, row)
 	}
@@ -237,11 +255,7 @@ func (s *Server) handoff(req wire.Request) wire.Response {
 	lg := site.Log()
 	durable, _ := lg.TailInfo()
 	s.emit(obs.Event{Kind: obs.KindShardHandoff, From: uint64(h.Shard), Bytes: int(durable), Note: "begin"})
-	blockSize := uint32(512)
-	if vol := g.Volume(); vol != nil {
-		blockSize = uint32(vol.BlockSize())
-	}
-	base := wire.HandoffFrames{Shard: h.Shard, Backend: uint8(g.Backend()), BlockSize: blockSize}
+	base := wire.HandoffFrames{Shard: h.Shard, Backend: uint8(g.Backend()), BlockSize: uint32(g.VolumeBlockSize())}
 	var cursor uint64
 	for cursor < durable {
 		frames, prevLen, err := lg.ReadRaw(cursor, handoffChunk)

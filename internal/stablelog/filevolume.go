@@ -54,6 +54,13 @@ func NewFileVolumeCapped(dir string, blockSize int, syncEveryWrite bool, capByte
 	return v, nil
 }
 
+// BlockSize reports the block size the volume's devices use.
+func (v *FileVolume) BlockSize() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.blockSize
+}
+
 func (v *FileVolume) pair(name string) (*stable.Store, error) {
 	a, err := stable.OpenFileDevice(filepath.Join(v.dir, name+"-a"), v.blockSize, v.syncAll)
 	if err != nil {

@@ -25,6 +25,13 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(valid[:len(valid)-3])                           // truncated trailer
 	f.Add(valid[:HeaderSize-2])                           // truncated header
 	f.Add(append([]byte(nil), bytes.Repeat(valid, 3)...)) // several frames
+	// A pipelined batch as the server coalesces it: several response
+	// frames with distinct correlation ids in one write.
+	batch := seed(Frame{Type: TypeResponse, CorrID: 8, Payload: EncodeResponse(Response{Status: StatusOK, Result: []byte("v1")})})
+	batch = append(batch, seed(Frame{Type: TypeResponse, CorrID: 10, Payload: EncodeResponse(Response{Status: StatusRetry})})...)
+	batch = append(batch, seed(Frame{Type: TypeResponse, CorrID: 9, Payload: EncodeResponse(Response{Status: StatusError, Err: "guardian: no such key"})})...)
+	f.Add(batch)
+	f.Add(batch[:len(batch)-TrailerSize-1]) // batch with a torn last frame
 	corrupt := append([]byte(nil), valid...)
 	corrupt[HeaderSize] ^= 0xFF
 	f.Add(corrupt)
@@ -100,6 +107,7 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(EncodeRequest(Request{Op: OpHandoff, Arg: EncodeHandoffReq(HandoffReq{Shard: 2, Target: "node2:4146"})}))
 	f.Add(EncodeRequest(Request{Op: OpHandoffInstall, Arg: EncodeHandoffFrames(HandoffFrames{Shard: 2, Backend: 1, BlockSize: 512, App: RepAppend{Epoch: 1}})}))
 	f.Add(EncodeRequest(Request{Op: OpInvoke, Shard: 3, Handler: "get", Arg: []byte("k")}))
+	f.Add(EncodeRequest(Request{Op: OpGet, Shard: 2, Handler: "hot-key"}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if req, err := DecodeRequest(data); err == nil {
 			if !bytes.Equal(EncodeRequest(req), data) {
@@ -139,6 +147,7 @@ func TestEveryOpHasFuzzTarget(t *testing.T) {
 		OpDone:           "OpDone",
 		OpHandoff:        "OpHandoff",
 		OpHandoffInstall: "OpHandoffInstall",
+		OpGet:            "OpGet",
 	}
 	var text []byte
 	for _, name := range []string{"fuzz_test.go", "rep_test.go", "shard_test.go"} {

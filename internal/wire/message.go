@@ -95,6 +95,12 @@ const (
 	// receiving node: a run of log frames, or the final "done" that
 	// recovers and adopts the guardian. Arg is a HandoffFrames.
 	OpHandoffInstall
+	// OpGet reads the committed value bound to a stable-variable key
+	// (Handler carries the key) at the addressed shard's guardian,
+	// served from the live-version index when warm — no action, no
+	// locks, no device reads. Result is the flattened value. A key no
+	// variable binds answers StatusError ("no such key").
+	OpGet
 )
 
 var opNames = [...]string{
@@ -116,6 +122,7 @@ var opNames = [...]string{
 	OpDone:           "done",
 	OpHandoff:        "handoff",
 	OpHandoffInstall: "handoff.install",
+	OpGet:            "get",
 }
 
 func (o Op) String() string {
@@ -192,7 +199,8 @@ type Request struct {
 	// every old client still speaks. A node that does not host the
 	// named shard answers StatusWrongShard without touching state.
 	Shard uint32
-	// Handler names the invoked handler (OpInvoke only).
+	// Handler names the invoked handler (OpInvoke), or the read key
+	// (OpGet).
 	Handler string
 	// Arg is the handler argument as a flattened value (OpInvoke
 	// only; see value.Flatten).

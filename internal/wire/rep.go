@@ -134,6 +134,14 @@ type RepStatus struct {
 	// Alive is how many of those backups answered the most recent
 	// round or probe (primaries only).
 	Alive uint32
+	// IdxHits / IdxMisses are the node's live-version index counters,
+	// summed over its guardians (zero with the index disabled).
+	IdxHits   uint64
+	IdxMisses uint64
+	// IdxEntries is the number of indexed versions, IdxBytes their
+	// total flattened size.
+	IdxEntries uint64
+	IdxBytes   uint64
 }
 
 const (
@@ -141,7 +149,7 @@ const (
 	repHeartbeatSize = 16
 	repSnapshotSize  = 8
 	repPromoteSize   = 8
-	repStatusSize    = 37
+	repStatusSize    = 69
 )
 
 // EncodeRepAppend renders a as a request argument.
@@ -262,7 +270,11 @@ func EncodeRepStatus(s RepStatus) []byte {
 	out = binary.LittleEndian.AppendUint64(out, s.QuorumBytes)
 	out = binary.LittleEndian.AppendUint32(out, s.Quorum)
 	out = binary.LittleEndian.AppendUint32(out, s.Replicas)
-	return binary.LittleEndian.AppendUint32(out, s.Alive)
+	out = binary.LittleEndian.AppendUint32(out, s.Alive)
+	out = binary.LittleEndian.AppendUint64(out, s.IdxHits)
+	out = binary.LittleEndian.AppendUint64(out, s.IdxMisses)
+	out = binary.LittleEndian.AppendUint64(out, s.IdxEntries)
+	return binary.LittleEndian.AppendUint64(out, s.IdxBytes)
 }
 
 // DecodeRepStatus parses a response result as a RepStatus.
@@ -281,5 +293,9 @@ func DecodeRepStatus(b []byte) (RepStatus, error) {
 	s.Quorum = binary.LittleEndian.Uint32(b[25:29])
 	s.Replicas = binary.LittleEndian.Uint32(b[29:33])
 	s.Alive = binary.LittleEndian.Uint32(b[33:37])
+	s.IdxHits = binary.LittleEndian.Uint64(b[37:45])
+	s.IdxMisses = binary.LittleEndian.Uint64(b[45:53])
+	s.IdxEntries = binary.LittleEndian.Uint64(b[53:61])
+	s.IdxBytes = binary.LittleEndian.Uint64(b[61:69])
 	return s, nil
 }

@@ -70,12 +70,12 @@ func TestRepFixedCodecsRoundTrip(t *testing.T) {
 	if _, err := DecodeRepPromote(make([]byte, 7)); !errors.Is(err, ErrBadMessage) {
 		t.Fatalf("7-byte promote: err = %v, want ErrBadMessage", err)
 	}
-	st := RepStatus{Role: RolePrimary, Epoch: 4, Durable: 99, QuorumBytes: 88, Quorum: 2, Replicas: 2, Alive: 1}
+	st := RepStatus{Role: RolePrimary, Epoch: 4, Durable: 99, QuorumBytes: 88, Quorum: 2, Replicas: 2, Alive: 1, IdxHits: 1000, IdxMisses: 3, IdxEntries: 64, IdxBytes: 8192}
 	if got, err := DecodeRepStatus(EncodeRepStatus(st)); err != nil || got != st {
 		t.Fatalf("status round trip = %+v, %v", got, err)
 	}
 	// Exact-size codecs reject any other length.
-	for _, n := range []int{0, 7, 15, 17, 36, 38} {
+	for _, n := range []int{0, 7, 15, 17, 36, 37, 38, 68, 70} {
 		b := make([]byte, n)
 		if _, err := DecodeRepAck(b); err == nil && n != repAckSize {
 			t.Fatalf("ack accepted %d bytes", n)
@@ -121,7 +121,7 @@ func FuzzDecodeRepMessage(f *testing.F) {
 	f.Add(EncodeRepHeartbeat(RepHeartbeat{Epoch: 2, Durable: 13}))
 	f.Add(EncodeRepSnapshot(RepSnapshot{Epoch: 3}))
 	f.Add(EncodeRepPromote(RepPromote{MinDurable: 512}))
-	f.Add(EncodeRepStatus(RepStatus{Role: RoleBackup, Epoch: 2, Durable: 42}))
+	f.Add(EncodeRepStatus(RepStatus{Role: RoleBackup, Epoch: 2, Durable: 42, IdxHits: 7, IdxEntries: 2, IdxBytes: 33}))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if a, err := DecodeRepAppend(data); err == nil {

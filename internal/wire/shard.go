@@ -66,6 +66,10 @@ type ShardStatus struct {
 	Role Role
 	// Durable is the shard's durable log prefix in bytes.
 	Durable uint64
+	// IdxHits / IdxMisses are the shard guardian's live-version index
+	// counters (zero with the index disabled).
+	IdxHits   uint64
+	IdxMisses uint64
 }
 
 // StatusReport answers OpStatus: the node-level replication report
@@ -79,7 +83,7 @@ type StatusReport struct {
 	Shards []ShardStatus
 }
 
-const shardStatusSize = 13
+const shardStatusSize = 29
 
 // takeUvarint consumes a minimally-encoded uvarint from b.
 func takeUvarint(b []byte) (uint64, []byte, error) {
@@ -173,7 +177,9 @@ func EncodeShardStatus(s ShardStatus) []byte {
 	out := make([]byte, 0, shardStatusSize)
 	out = binary.LittleEndian.AppendUint32(out, s.ID)
 	out = append(out, byte(s.Role))
-	return binary.LittleEndian.AppendUint64(out, s.Durable)
+	out = binary.LittleEndian.AppendUint64(out, s.Durable)
+	out = binary.LittleEndian.AppendUint64(out, s.IdxHits)
+	return binary.LittleEndian.AppendUint64(out, s.IdxMisses)
 }
 
 // DecodeShardStatus parses one fixed-size row as a ShardStatus.
@@ -188,6 +194,8 @@ func DecodeShardStatus(b []byte) (ShardStatus, error) {
 		return ShardStatus{}, fmt.Errorf("%w: unknown role %d", ErrBadMessage, b[4])
 	}
 	s.Durable = binary.LittleEndian.Uint64(b[5:13])
+	s.IdxHits = binary.LittleEndian.Uint64(b[13:21])
+	s.IdxMisses = binary.LittleEndian.Uint64(b[21:29])
 	return s, nil
 }
 

@@ -63,9 +63,9 @@ func TestStatusReportRoundTrip(t *testing.T) {
 		{
 			Rep: RepStatus{Role: RolePrimary, Epoch: 2, Durable: 99, QuorumBytes: 88, Quorum: 2, Replicas: 2, Alive: 1},
 			Shards: []ShardStatus{
-				{ID: 1, Role: RoleStandalone, Durable: 100},
+				{ID: 1, Role: RoleStandalone, Durable: 100, IdxHits: 12, IdxMisses: 1},
 				{ID: 2, Role: RoleStandalone, Durable: 250},
-				{ID: 7, Role: RolePrimary, Durable: 3},
+				{ID: 7, Role: RolePrimary, Durable: 3, IdxHits: 9000},
 			},
 		},
 	}
@@ -149,7 +149,7 @@ func FuzzDecodeShardMessage(f *testing.F) {
 	f.Add(EncodeHandoffFrames(HandoffFrames{Shard: 2, Backend: 1, BlockSize: 512, App: RepAppend{Epoch: 1, Frames: []byte{0xA7, 0, 0}}}))
 	f.Add(EncodeHandoffFrames(HandoffFrames{Shard: 2, Backend: 1, BlockSize: 512, Done: true, App: RepAppend{Epoch: 1, Start: 3}, Table: []byte("t")}))
 	f.Add(EncodeStatusReport(StatusReport{Rep: RepStatus{Role: RoleStandalone, Durable: 9}, Shards: []ShardStatus{{ID: 1, Role: RoleStandalone, Durable: 9}}}))
-	f.Add(EncodeShardStatus(ShardStatus{ID: 4, Role: RolePrimary, Durable: 77}))
+	f.Add(EncodeShardStatus(ShardStatus{ID: 4, Role: RolePrimary, Durable: 77, IdxHits: 5, IdxMisses: 2}))
 	f.Add(EncodeActionID(ids.ActionID{Coordinator: 3, Seq: 41}))
 	f.Add(EncodeGuardianIDs([]ids.GuardianID{1, 2, 3}))
 	f.Add([]byte{})
